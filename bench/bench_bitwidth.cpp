@@ -1,0 +1,118 @@
+// Ablation — bit-precise datapaths vs. C's four integer sizes.
+//
+// Paper context (introduction): "Bit vectors are natural in hardware, yet
+// C only supports four sizes" — everything the programmer didn't annotate
+// is 32 bits.  This ablation runs the bit-width inference analysis
+// (opt/widthinfer.h) over the workload suite and compares the functional-
+// unit area of a naive declared-width datapath against one sized to the
+// inferred effective widths.  Kernels written with uC's int<N> types and
+// masked arithmetic recover large fractions; kernels that genuinely use
+// 32-bit values recover little — which is the honest shape of the claim.
+#include "core/c2h.h"
+#include "opt/widthinfer.h"
+#include "support/text.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+using namespace c2h;
+
+namespace {
+
+struct Sizing {
+  std::uint64_t declaredBits = 0;
+  std::uint64_t effectiveBits = 0;
+  double declaredArea = 0;
+  double effectiveArea = 0;
+};
+
+Sizing sizeOf(const ir::Module &module, const ir::Function &fn,
+              const sched::TechLibrary &lib) {
+  Sizing s;
+  auto widths = opt::inferWidths(module, fn);
+  s.declaredBits = widths.declaredBits;
+  s.effectiveBits = widths.effectiveBits;
+  for (const auto &block : fn.blocks()) {
+    for (const auto &instr : block->instrs()) {
+      if (!instr->dst || sched::fuClassOf(instr->op) == sched::FuClass::Other)
+        continue;
+      unsigned declared = instr->dst->width;
+      unsigned effective = widths.widthOf(instr->dst->id, declared);
+      s.declaredArea += lib.lookup(instr->op, declared, 2.0).area;
+      s.effectiveArea += lib.lookup(instr->op, effective, 2.0).area;
+    }
+  }
+  return s;
+}
+
+void printBitwidthTable() {
+  std::cout << "==================================================\n";
+  std::cout << "Ablation: inferred bit-widths vs. declared widths "
+               "(datapath sizing)\n";
+  std::cout << "==================================================\n\n";
+
+  TextTable table({"workload", "declared bits", "effective bits",
+                   "bits kept", "FU area (decl)", "FU area (eff)",
+                   "area kept"});
+  std::uint64_t totalDecl = 0, totalEff = 0;
+  double areaDecl = 0, areaEff = 0;
+  sched::TechLibrary lib;
+  for (const auto &w : core::standardWorkloads()) {
+    auto r = flows::runFlow(*flows::findFlow("bachc"), w.source, w.top);
+    if (!r.ok)
+      continue;
+    const ir::Function *top = r.module->findFunction(w.top);
+    if (!top)
+      continue;
+    Sizing s = sizeOf(*r.module, *top, lib);
+    totalDecl += s.declaredBits;
+    totalEff += s.effectiveBits;
+    areaDecl += s.declaredArea;
+    areaEff += s.effectiveArea;
+    table.addRow({w.name, std::to_string(s.declaredBits),
+                  std::to_string(s.effectiveBits),
+                  formatDouble(100.0 * s.effectiveBits /
+                                   std::max<std::uint64_t>(1, s.declaredBits),
+                               0) + "%",
+                  formatDouble(s.declaredArea, 0),
+                  formatDouble(s.effectiveArea, 0),
+                  formatDouble(100.0 * s.effectiveArea /
+                                   std::max(1.0, s.declaredArea), 0) + "%"});
+  }
+  table.addRule();
+  table.addRow({"total", std::to_string(totalDecl),
+                std::to_string(totalEff),
+                formatDouble(100.0 * totalEff /
+                                 std::max<std::uint64_t>(1, totalDecl), 0) +
+                    "%",
+                formatDouble(areaDecl, 0), formatDouble(areaEff, 0),
+                formatDouble(100.0 * areaEff / std::max(1.0, areaDecl), 0) +
+                    "%"});
+  std::cout << table.str() << "\n";
+  std::cout << "(sound per-value magnitude bounds: every dynamic value "
+               "provably fits its effective width.\n The recovered slack "
+               "is what C's fixed sizes waste and what uC's int<N> lets "
+               "programmers state\n directly — the paper's bit-vector "
+               "complaint, quantified.)\n\n";
+}
+
+void BM_InferWidths(benchmark::State &state) {
+  const core::Workload &w = core::findWorkload("crc32");
+  auto r = flows::runFlow(*flows::findFlow("bachc"), w.source, w.top);
+  const ir::Function *top = r.module->findFunction(w.top);
+  for (auto _ : state) {
+    auto widths = opt::inferWidths(*r.module, *top);
+    benchmark::DoNotOptimize(widths.effectiveBits);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printBitwidthTable();
+  benchmark::RegisterBenchmark("widthinfer/crc32", BM_InferWidths);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E2 — Limits of instruction-level parallelism (Wall [25, 26], as cited in
+// the paper's Concurrency section).
+//
+// Paper claim: "it seems that ILP beyond about five simultaneous
+// instructions is unlikely due to fundamental limits."
+//
+// Reproduction: execute each workload's dynamic trace on an idealized
+// dataflow machine (registers renamed, value-based memory dependences) and
+// sweep the issue width.  Two branch models bracket reality: `realistic`
+// (instructions wait for the most recent branch) and `perfect` (control is
+// free — Wall's oracle).  The expected *shape*: ILP climbs with width,
+// saturates quickly, and with real control dependences the plateau sits in
+// the single digits — while the perfect-branch oracle shows there is much
+// more parallelism that control flow locks away.
+#include "core/c2h.h"
+#include "support/text.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+using namespace c2h;
+
+namespace {
+
+struct Prepared {
+  std::shared_ptr<ir::Module> module;
+  std::vector<BitVector> args;
+};
+
+Prepared prepare(const core::Workload &w) {
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto program = frontend(w.source, types, diags);
+  opt::inlineFunctions(*program, types, diags);
+  opt::removeUnusedFunctions(*program, w.top);
+  auto module = ir::lowerToIR(*program, diags);
+  opt::optimizeModule(*module);
+  Prepared p;
+  p.args = core::argBits(*program, w.top, w.args);
+  p.module = std::shared_ptr<ir::Module>(std::move(module));
+  return p;
+}
+
+const std::vector<std::string> kKernels = {
+    "fir", "crc32", "gcd", "matmul", "bubblesort", "dotprod", "parity",
+    "collatz", "histogram", "idct"};
+
+void printIlpTable() {
+  std::cout << "==================================================\n";
+  std::cout << "E2: ILP limits (after Wall) — achievable ILP vs. issue "
+               "width\n";
+  std::cout << "==================================================\n\n";
+  std::cout << "Realistic branches (no speculation past unresolved "
+               "branches):\n\n";
+
+  const std::vector<unsigned> widths = {1, 2, 4, 8, 16, 64, 0};
+  std::vector<std::string> header{"kernel"};
+  for (unsigned w : widths)
+    header.push_back(w == 0 ? "inf" : "w=" + std::to_string(w));
+  header.push_back("perfect-inf");
+  TextTable table(header);
+
+  double sumRealistic = 0.0, sumPerfect = 0.0;
+  unsigned counted = 0;
+  for (const auto &name : kKernels) {
+    const core::Workload &w = core::findWorkload(name);
+    Prepared p = prepare(w);
+    std::vector<std::string> row{name};
+    double realisticInf = 0.0;
+    for (unsigned width : widths) {
+      sched::IlpOptions o;
+      o.issueWidth = width;
+      auto r = sched::measureIlp(*p.module, w.top, p.args, o);
+      row.push_back(r.ok ? formatDouble(r.ilp, 2) : "!" + r.error);
+      if (r.ok && width == 0)
+        realisticInf = r.ilp;
+    }
+    sched::IlpOptions oracle;
+    oracle.issueWidth = 0;
+    oracle.perfectBranches = true;
+    auto rp = sched::measureIlp(*p.module, w.top, p.args, oracle);
+    row.push_back(rp.ok ? formatDouble(rp.ilp, 2) : "!");
+    table.addRow(row);
+    if (rp.ok && realisticInf > 0) {
+      sumRealistic += realisticInf;
+      sumPerfect += rp.ilp;
+      ++counted;
+    }
+  }
+  std::cout << table.str() << "\n";
+  if (counted) {
+    std::cout << "mean ILP, unbounded width:  realistic = "
+              << formatDouble(sumRealistic / counted, 2)
+              << "   perfect branches = "
+              << formatDouble(sumPerfect / counted, 2) << "\n";
+    std::cout << "(paper's claim: the realistic number saturates around "
+                 "~5 regardless of machine width)\n\n";
+  }
+}
+
+void BM_MeasureIlp(benchmark::State &state, const char *workload,
+                   unsigned width) {
+  const core::Workload &w = core::findWorkload(workload);
+  Prepared p = prepare(w);
+  sched::IlpOptions o;
+  o.issueWidth = width;
+  for (auto _ : state) {
+    auto r = sched::measureIlp(*p.module, w.top, p.args, o);
+    benchmark::DoNotOptimize(r.ilp);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printIlpTable();
+  benchmark::RegisterBenchmark("ilp/fir/w4", BM_MeasureIlp, "fir", 4u);
+  benchmark::RegisterBenchmark("ilp/bubblesort/w8", BM_MeasureIlp,
+                               "bubblesort", 8u);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

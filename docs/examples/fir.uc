@@ -1,0 +1,20 @@
+// 8-tap FIR filter — try:
+//   c2hc fir.uc --flow=bachc
+//   c2hc fir.uc --flow=handelc       (one cycle per assignment)
+//   c2hc fir.uc --flow=all
+const int coeff[8] = {2, -3, 5, 7, -11, 13, -17, 19};
+int x[32];
+int y[32];
+int main() {
+  for (int i = 0; i < 32; i = i + 1) { x[i] = ((i * 37 + 11) & 63) - 32; }
+  for (int n = 0; n < 32; n = n + 1) {
+    int acc = 0;
+    for (int k = 0; k < 8; k = k + 1) {
+      if (n - k >= 0) { acc = acc + coeff[k] * x[n - k]; }
+    }
+    y[n] = acc;
+  }
+  int checksum = 0;
+  for (int i = 0; i < 32; i = i + 1) { checksum = checksum ^ (y[i] * (i + 1)); }
+  return checksum;
+}

@@ -1,0 +1,6 @@
+// Euclid's algorithm — try: c2hc gcd.uc --flow=all --args=3528,3780
+int gcd(int a, int b) {
+  while (b != 0) { int t = b; b = a % b; a = t; }
+  return a;
+}
+int main(int a, int b) { return gcd(a, b); }

@@ -1,0 +1,24 @@
+// Two communicating processes over a rendezvous channel — try:
+//   c2hc pipeline.uc --flow=handelc
+//   c2hc pipeline.uc --flow=cash        (rejected: plain C input only)
+chan<int<16>> stage;
+int<16> out[24];
+void producer() {
+  int<16> v = 1;
+  for (int i = 0; i < 24; i = i + 1) { v = v * 3 + 1; stage ! v; }
+}
+void consumer() {
+  int<16> prev = 0;
+  for (int i = 0; i < 24; i = i + 1) {
+    int<16> v;
+    stage ? v;
+    out[i] = v - prev;
+    prev = v;
+  }
+}
+int main() {
+  par { producer(); consumer(); }
+  int acc = 0;
+  for (int i = 0; i < 24; i = i + 1) { acc = acc ^ ((int)out[i] + i); }
+  return acc;
+}

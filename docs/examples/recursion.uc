@@ -1,0 +1,8 @@
+// Recursion — only C2Verilog takes it (compiled to a stack-machine FSM):
+//   c2hc recursion.uc --flow=c2verilog --args=12
+//   c2hc recursion.uc --flow=all --args=12
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main(int n) { return fib(n); }

@@ -1,0 +1,152 @@
+// Hardware/software codesign exploration — the paper's second motivation:
+// "today's systems usually contain a mix of hardware and software, and it
+// is often unclear initially which portions to implement in hardware.
+// Here, using a single language should simplify the migration task."
+//
+// This example takes one program with several candidate kernels and
+// evaluates each kernel both ways from the same source:
+//   * software cost — dynamic operation count on a simple embedded-CPU
+//     model (the IR executor's instruction count x CPI / f_cpu),
+//   * hardware cost — synthesized FSMD cycles x clock, plus area.
+// It then recommends a partition: move a kernel to hardware when the
+// speedup per unit area clears a threshold.  The single-language premise
+// is real here: no rewriting happened between the two estimates.
+#include "core/c2h.h"
+#include "support/text.h"
+
+#include <iostream>
+
+using namespace c2h;
+
+namespace {
+
+struct Kernel {
+  const char *name;
+  const char *description;
+  const char *source; // self-contained, entry = main
+  std::vector<std::int64_t> args;
+};
+
+const Kernel kKernels[] = {
+    {"checksum", "byte-stream checksum (control-light, streaming)", R"(
+      uint<8> data[128];
+      int main() {
+        for (int i = 0; i < 128; i = i + 1) { data[i] = (uint<8>)(i * 31); }
+        uint crc = 0xFFFFFFFF;
+        for (int i = 0; i < 128; i = i + 1) {
+          crc = crc ^ (uint)data[i];
+          for (int k = 0; k < 8; k = k + 1) {
+            if ((crc & 1) != 0) { crc = (crc >> 1) ^ 0xEDB88320; }
+            else { crc = crc >> 1; }
+          }
+        }
+        return (int)crc;
+      })",
+     {}},
+    {"filter", "16-tap FIR over 64 samples (multiply-heavy, regular)", R"(
+      const int coeff[16] = {1,-2,3,-4,5,-6,7,-8,8,-7,6,-5,4,-3,2,-1};
+      int x[80]; int y[64];
+      int main() {
+        for (int i = 0; i < 80; i = i + 1) { x[i] = ((i * 29) & 255) - 128; }
+        for (int n = 0; n < 64; n = n + 1) {
+          int acc = 0;
+          for (int k = 0; k < 16; k = k + 1) { acc = acc + coeff[k] * x[n + k]; }
+          y[n] = acc >> 6;
+        }
+        int s = 0;
+        for (int n = 0; n < 64; n = n + 1) { s = s ^ y[n]; }
+        return s;
+      })",
+     {}},
+    {"parser", "branchy token scanner (control-dominated, irregular)", R"(
+      uint<8> text[96];
+      int main() {
+        for (int i = 0; i < 96; i = i + 1) {
+          text[i] = (uint<8>)(32 + ((i * 7) & 63));
+        }
+        int tokens = 0; int inWord = 0; int depth = 0; int errors = 0;
+        for (int i = 0; i < 96; i = i + 1) {
+          int c = (int)text[i];
+          if (c == 40) { depth = depth + 1; }
+          else { if (c == 41) {
+            if (depth == 0) { errors = errors + 1; } else { depth = depth - 1; }
+          } else { if (c > 64) {
+            if (inWord == 0) { tokens = tokens + 1; inWord = 1; }
+          } else { inWord = 0; } } }
+        }
+        return tokens * 100 + depth * 10 + errors;
+      })",
+     {}},
+};
+
+// A simple embedded-CPU software model: every IR operation costs one CPU
+// cycle (single-issue, perfect cache) at f_cpu.
+constexpr double kCpuMHz = 100.0;
+constexpr double kHwClockNs = 2.0;
+
+} // namespace
+
+int main() {
+  std::cout << "HW/SW codesign exploration from one source language\n";
+  std::cout << "CPU model: single-issue @ " << kCpuMHz
+            << " MHz; HW clock: " << kHwClockNs << " ns\n\n";
+
+  TextTable table({"kernel", "sw ops", "sw time(us)", "hw cycles",
+                   "hw time(us)", "speedup", "hw area",
+                   "speedup/area*1k", "recommendation"});
+  for (const Kernel &k : kKernels) {
+    // Software estimate: dynamic IR operations.
+    TypeContext types;
+    DiagnosticEngine diags;
+    auto program = frontend(k.source, types, diags);
+    if (!program) {
+      std::cerr << k.name << ": " << diags.str();
+      return 1;
+    }
+    auto module = ir::lowerToIR(*program, diags);
+    opt::optimizeModule(*module);
+    ir::IRExecutor cpu(*module);
+    auto sw = cpu.call("main", core::argBits(*program, "main", k.args));
+    if (!sw.ok) {
+      std::cerr << k.name << ": " << sw.error << "\n";
+      return 1;
+    }
+    double swUs = static_cast<double>(sw.instructions) / kCpuMHz;
+
+    // Hardware estimate: scheduled FSMD.
+    flows::FlowTuning tuning;
+    tuning.clockNs = kHwClockNs;
+    auto hw = flows::runFlow(*flows::findFlow("bachc"), k.source, "main",
+                             tuning);
+    if (!hw.ok) {
+      std::cerr << k.name << ": " << hw.error << "\n";
+      return 1;
+    }
+    core::Workload w;
+    w.name = k.name;
+    w.source = k.source;
+    w.top = "main";
+    w.args = k.args;
+    auto v = core::verifyAgainstGoldenModel(w, hw);
+    if (!v.ok) {
+      std::cerr << k.name << ": " << v.detail << "\n";
+      return 1;
+    }
+    double hwUs = static_cast<double>(v.cycles) * kHwClockNs / 1000.0;
+    double speedup = swUs / hwUs;
+    double density = speedup / hw.area.total() * 1000.0;
+    table.addRow({k.name, std::to_string(sw.instructions),
+                  formatDouble(swUs, 1), std::to_string(v.cycles),
+                  formatDouble(hwUs, 1), formatDouble(speedup, 1) + "x",
+                  formatDouble(hw.area.total(), 0),
+                  formatDouble(density, 2),
+                  speedup >= 4.0 ? "-> HARDWARE" : "keep in software"});
+  }
+  std::cout << table.str() << "\n";
+  std::cout << "The migration needed no rewriting: the same source fed the "
+               "CPU model and the synthesizer.\nThat is the codesign "
+               "promise the paper's proponents make — and the concurrency/"
+               "timing caveats\nfrom the other experiments are the fine "
+               "print.\n";
+  return 0;
+}

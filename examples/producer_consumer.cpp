@@ -1,0 +1,89 @@
+// Communicating processes: the Handel-C / Bach C programming model.
+//
+// Builds a two-stage pipeline connected by a rendezvous channel, runs it
+// through both explicit-concurrency flows, and shows how the same program
+// costs different cycle counts under the two timing models — and how an
+// incorrectly paired protocol deadlocks (and is caught).
+#include "core/c2h.h"
+#include "support/text.h"
+
+#include <iostream>
+
+int main() {
+  using namespace c2h;
+
+  const std::string source = R"(
+    chan<int<16>> stage;
+    int<16> out[24];
+    void producer() {
+      int<16> v = 1;
+      for (int i = 0; i < 24; i = i + 1) {
+        v = v * 3 + 1;
+        stage ! v;
+      }
+    }
+    void consumer() {
+      int<16> prev = 0;
+      for (int i = 0; i < 24; i = i + 1) {
+        int<16> v;
+        stage ? v;
+        out[i] = v - prev;
+        prev = v;
+      }
+    }
+    int main() {
+      par { producer(); consumer(); }
+      int acc = 0;
+      for (int i = 0; i < 24; i = i + 1) { acc = acc ^ ((int)out[i] + i); }
+      return acc;
+    }
+  )";
+
+  core::Workload w;
+  w.name = "pipeline";
+  w.source = source;
+  w.top = "main";
+  w.checkGlobals = {"out"};
+
+  std::cout << "Two-process pipeline over a rendezvous channel\n\n";
+  TextTable table({"flow", "timing model", "cycles", "area", "verified"});
+  for (const char *id : {"handelc", "bachc", "specc", "hardwarec"}) {
+    const flows::FlowSpec *flow = flows::findFlow(id);
+    flows::FlowResult r = flows::runFlow(*flow, source, "main");
+    if (!r.ok) {
+      table.addRow({flow->info.displayName, flow->info.timingModel, "-",
+                    "-", r.rejections.empty() ? r.error : r.rejections[0]});
+      continue;
+    }
+    core::Verification v = core::verifyAgainstGoldenModel(w, r);
+    table.addRow({flow->info.displayName, flow->info.timingModel,
+                  std::to_string(v.cycles), formatDouble(r.area.total(), 0),
+                  v.ok ? "yes" : v.detail});
+  }
+  std::cout << table.str() << "\n";
+
+  // A broken protocol: the consumer only takes 23 of 24 tokens.
+  const std::string broken = R"(
+    chan<int> c;
+    int main() {
+      int last = 0;
+      par {
+        { for (int i = 0; i < 24; i = i + 1) { c ! i; } }
+        { for (int i = 0; i < 23; i = i + 1) { int v; c ? v; last = v; } }
+      }
+      return last;
+    }
+  )";
+  std::cout << "Deliberately mismatched send/receive counts:\n";
+  flows::FlowResult r = flows::runFlow(*flows::findFlow("handelc"), broken,
+                                       "main");
+  if (r.ok) {
+    rtl::SimOptions so;
+    so.stallLimit = 2000;
+    rtl::Simulator sim(*r.design, so);
+    auto sr = sim.run({});
+    std::cout << "  RTL simulation says: "
+              << (sr.ok ? "completed (unexpected!)" : sr.error) << "\n";
+  }
+  return 0;
+}

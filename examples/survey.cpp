@@ -1,0 +1,51 @@
+// The executable survey: run one workload through every surveyed language's
+// flow and print what each accepts, rejects, and produces — the paper's
+// Table 1 brought to life for a single program.
+//
+//   $ ./survey            # defaults to the 'fir' workload
+//   $ ./survey gcd        # any workload from the standard suite
+#include "core/c2h.h"
+#include "support/text.h"
+
+#include <iostream>
+
+int main(int argc, char **argv) {
+  using namespace c2h;
+  std::string name = argc > 1 ? argv[1] : "fir";
+
+  const core::Workload *workload = nullptr;
+  for (const auto &w : core::standardWorkloads())
+    if (w.name == name)
+      workload = &w;
+  if (!workload) {
+    std::cerr << "unknown workload '" << name << "'. Available:\n";
+    for (const auto &w : core::standardWorkloads())
+      std::cerr << "  " << w.name << " — " << w.description << "\n";
+    return 1;
+  }
+
+  std::cout << "Workload: " << workload->name << " — "
+            << workload->description << "\n\n";
+
+  TextTable table({"flow", "year", "accepted", "cycles", "async(ns)",
+                   "area", "fmax(MHz)", "note"});
+  auto rows = core::compareFlows(*workload);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto &row = rows[i];
+    const flows::FlowSpec &spec = flows::allFlows()[i];
+    std::string note = row.note;
+    if (note.size() > 56)
+      note = note.substr(0, 53) + "...";
+    table.addRow({spec.info.displayName, std::to_string(spec.info.year),
+                  row.accepted ? (row.verified ? "yes (verified)" : "yes")
+                               : "rejected",
+                  row.accepted && row.cycles ? std::to_string(row.cycles)
+                                             : "-",
+                  row.asyncNs > 0 ? formatDouble(row.asyncNs, 1) : "-",
+                  row.accepted ? formatDouble(row.areaTotal, 0) : "-",
+                  row.fmaxMHz > 0 ? formatDouble(row.fmaxMHz, 0) : "-",
+                  note});
+  }
+  std::cout << table.str();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// c2h public API — the one header an application needs.
+//
+// Typical use:
+//
+//   #include "core/c2h.h"
+//   using namespace c2h;
+//
+//   core::Workload w = core::findWorkload("fir");
+//   const flows::FlowSpec *flow = flows::findFlow("handelc");
+//   flows::FlowResult r = flows::runFlow(*flow, w.source, w.top);
+//   core::Verification v = core::verifyAgainstGoldenModel(w, r);
+//   // v.ok, v.cycles, r.area, r.timing ...
+//
+// Everything below re-exports the library's layers (frontend, interpreter,
+// IR, scheduling, RTL, flows) plus the workload registry and the
+// golden-model verification harness used by the tests, examples, and every
+// benchmark.
+#ifndef C2H_CORE_C2H_H
+#define C2H_CORE_C2H_H
+
+#include "async/dataflow.h"
+#include "flows/flow.h"
+#include "frontend/sema.h"
+#include "interp/interp.h"
+#include "ir/exec.h"
+#include "ir/lower.h"
+#include "opt/inline.h"
+#include "opt/irpasses.h"
+#include "opt/unroll.h"
+#include "rtl/report.h"
+#include "rtl/sim.h"
+#include "rtl/verilog.h"
+#include "sched/ilp.h"
+#include "sched/modulo.h"
+#include "sched/schedule.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace c2h::core {
+
+// A named benchmark program: uC source, entry function, inputs, and the
+// globals whose final contents define "the output".
+struct Workload {
+  std::string name;
+  std::string description;
+  std::string source;
+  std::string top;
+  std::vector<std::int64_t> args; // widened to the parameter types
+  std::vector<std::string> checkGlobals;
+  // Loop iterations of the main loop (for per-iteration metrics); 0 = n/a.
+  std::uint64_t iterations = 0;
+};
+
+// The standard workload suite used across experiments (FIR, GCD, CRC32,
+// matrix multiply, sorting, Collatz, dot product, histogram, ...).
+const std::vector<Workload> &standardWorkloads();
+// Lookup by name; throws std::out_of_range if unknown.
+const Workload &findWorkload(const std::string &name);
+
+struct Verification {
+  bool ok = false;
+  std::string detail;        // mismatch description or failure reason
+  std::uint64_t cycles = 0;  // synchronous designs
+  double asyncNs = 0.0;      // CASH designs
+  BitVector returnValue{1};
+};
+
+// Execute `workload` on the reference interpreter and on the synthesized
+// design inside `result` (FSMD simulation or asynchronous dataflow timing),
+// comparing return values and every checked global bit-for-bit.
+Verification verifyAgainstGoldenModel(const Workload &workload,
+                                      const flows::FlowResult &result);
+
+// Golden-model-only execution (reference outputs + a sanity baseline).
+Verification runGoldenModel(const Workload &workload);
+
+// One row of a cross-flow comparison.
+struct FlowComparison {
+  std::string flowId;
+  bool accepted = false;
+  bool verified = false;
+  std::string note;       // rejection reason or error
+  std::uint64_t cycles = 0;
+  double areaTotal = 0.0;
+  double fmaxMHz = 0.0;
+  double asyncNs = 0.0;
+};
+
+// Run every registered flow over one workload, verifying each accepted
+// design against the golden model.
+std::vector<FlowComparison> compareFlows(const Workload &workload,
+                                         const flows::FlowTuning &tuning = {});
+
+// Helper: argument list converted to the entry function's parameter widths.
+std::vector<BitVector> argBits(const ast::Program &program,
+                               const std::string &fn,
+                               const std::vector<std::int64_t> &args);
+
+} // namespace c2h::core
+
+#endif // C2H_CORE_C2H_H

@@ -1,0 +1,172 @@
+#include "core/c2h.h"
+
+namespace c2h::core {
+
+std::vector<BitVector> argBits(const ast::Program &program,
+                               const std::string &fn,
+                               const std::vector<std::int64_t> &args) {
+  std::vector<BitVector> out;
+  const ast::FuncDecl *decl = program.findFunction(fn);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    unsigned width = 32;
+    if (decl && i < decl->params.size() && decl->params[i]->type->isScalar())
+      width = decl->params[i]->type->bitWidth();
+    out.push_back(BitVector::fromInt(width, args[i]));
+  }
+  return out;
+}
+
+Verification runGoldenModel(const Workload &workload) {
+  Verification v;
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto program = frontend(workload.source, types, diags);
+  if (!program) {
+    v.detail = "frontend: " + diags.str();
+    return v;
+  }
+  Interpreter interp(*program);
+  auto r = interp.call(workload.top,
+                       argBits(*program, workload.top, workload.args));
+  if (!r.ok) {
+    v.detail = "interpreter: " + r.error;
+    return v;
+  }
+  v.ok = true;
+  v.returnValue = r.returnValue;
+  return v;
+}
+
+Verification verifyAgainstGoldenModel(const Workload &workload,
+                                      const flows::FlowResult &result) {
+  Verification v;
+  if (!result.accepted) {
+    v.detail = "flow rejected the program";
+    return v;
+  }
+  if (!result.ok) {
+    v.detail = "flow failed: " + result.error;
+    return v;
+  }
+
+  // Golden model.
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto program = frontend(workload.source, types, diags);
+  if (!program) {
+    v.detail = "frontend: " + diags.str();
+    return v;
+  }
+  std::vector<BitVector> args =
+      argBits(*program, workload.top, workload.args);
+  Interpreter interp(*program);
+  auto golden = interp.call(workload.top, args);
+  if (!golden.ok) {
+    v.detail = "interpreter: " + golden.error;
+    return v;
+  }
+  const ast::FuncDecl *fn = program->findFunction(workload.top);
+  bool hasReturn = fn && !fn->returnType->isVoid();
+  unsigned retWidth = hasReturn ? fn->returnType->bitWidth() : 1;
+
+  // Asynchronous (CASH) designs: event-driven dataflow timing simulation.
+  if (result.asyncInfo) {
+    sched::TechLibrary lib;
+    auto r = async::simulateAsync(*result.module, workload.top, args, lib);
+    if (!r.ok) {
+      v.detail = "async simulation: " + r.error;
+      return v;
+    }
+    if (hasReturn &&
+        !(r.returnValue.resize(retWidth, false) ==
+          golden.returnValue.resize(retWidth, false))) {
+      v.detail = "async return value mismatch: golden " +
+                 golden.returnValue.toStringHex() + " vs " +
+                 r.returnValue.toStringHex();
+      return v;
+    }
+    v.ok = true;
+    v.asyncNs = r.timeNs;
+    v.returnValue = golden.returnValue;
+    return v;
+  }
+
+  // Synchronous designs: cycle-accurate FSMD simulation.
+  if (!result.design) {
+    v.detail = "flow produced no design";
+    return v;
+  }
+  rtl::Simulator sim(*result.design);
+  auto r = sim.run(args);
+  if (!r.ok) {
+    v.detail = "rtl simulation: " + r.error;
+    return v;
+  }
+  if (hasReturn &&
+      !(r.returnValue.resize(retWidth, false) ==
+        golden.returnValue.resize(retWidth, false))) {
+    v.detail = "return value mismatch: golden " +
+               golden.returnValue.toStringHex() + " vs rtl " +
+               r.returnValue.toStringHex();
+    return v;
+  }
+  for (const auto &name : workload.checkGlobals) {
+    auto gi = interp.readGlobal(name);
+    auto gr = sim.readGlobal(name);
+    if (gi.size() != gr.size()) {
+      v.detail = "global '" + name + "' size mismatch";
+      return v;
+    }
+    for (std::size_t i = 0; i < gi.size(); ++i) {
+      if (!(gi[i] == gr[i].resize(gi[i].width(), false))) {
+        v.detail = "global '" + name + "[" + std::to_string(i) +
+                   "]' mismatch: golden " + gi[i].toStringHex() + " vs rtl " +
+                   gr[i].toStringHex();
+        return v;
+      }
+    }
+  }
+  v.ok = true;
+  v.cycles = r.cycles;
+  v.returnValue = golden.returnValue;
+  return v;
+}
+
+std::vector<FlowComparison> compareFlows(const Workload &workload,
+                                         const flows::FlowTuning &tuning) {
+  std::vector<FlowComparison> rows;
+  for (const auto &spec : flows::allFlows()) {
+    FlowComparison row;
+    row.flowId = spec.info.id;
+    flows::FlowResult result =
+        flows::runFlow(spec, workload.source, workload.top, tuning);
+    row.accepted = result.accepted;
+    if (!result.accepted) {
+      row.note = result.rejections.empty() ? "rejected"
+                                           : result.rejections.front();
+      rows.push_back(std::move(row));
+      continue;
+    }
+    if (!result.ok) {
+      row.note = result.error;
+      rows.push_back(std::move(row));
+      continue;
+    }
+    Verification v = verifyAgainstGoldenModel(workload, result);
+    row.verified = v.ok;
+    if (!v.ok)
+      row.note = v.detail;
+    row.cycles = v.cycles;
+    row.asyncNs = v.asyncNs;
+    if (result.asyncInfo) {
+      row.areaTotal = result.asyncInfo->area;
+    } else {
+      row.areaTotal = result.area.total();
+      row.fmaxMHz = result.timing.fmaxMHz;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+} // namespace c2h::core

@@ -1,0 +1,369 @@
+#include "core/c2h.h"
+
+#include <stdexcept>
+
+namespace c2h::core {
+
+// The workload suite.  These are the kernels the surveyed papers and the
+// broader HLS literature evaluate on: filters and transforms (regular
+// loops — where pipelining shines), control-dominated integer code (GCD,
+// Collatz, sorting — where it does not), table lookups, and communicating
+// processes (the Handel-C/Bach C programming style).
+const std::vector<Workload> &standardWorkloads() {
+  static const std::vector<Workload> workloads = {
+      {"fir",
+       "8-tap FIR filter over 32 samples (regular loop, MAC-bound)",
+       R"(
+const int coeff[8] = {2, -3, 5, 7, -11, 13, -17, 19};
+int x[32];
+int y[32];
+void fir() {
+  for (int n = 0; n < 32; n = n + 1) {
+    int acc = 0;
+    for (int k = 0; k < 8; k = k + 1) {
+      if (n - k >= 0) { acc = acc + coeff[k] * x[n - k]; }
+    }
+    y[n] = acc;
+  }
+}
+int main() {
+  for (int i = 0; i < 32; i = i + 1) { x[i] = ((i * 37 + 11) & 63) - 32; }
+  fir();
+  int checksum = 0;
+  for (int i = 0; i < 32; i = i + 1) { checksum = checksum ^ (y[i] * (i + 1)); }
+  return checksum;
+}
+)",
+       "main", {}, {"y"}, 32},
+
+      {"gcd",
+       "Euclid's algorithm (data-dependent while loop, divider-bound)",
+       R"(
+int gcd(int a, int b) {
+  while (b != 0) { int t = b; b = a % b; a = t; }
+  return a;
+}
+int main(int a, int b) { return gcd(a, b); }
+)",
+       "main", {3528, 3780}, {}, 6},
+
+      {"crc32",
+       "bitwise CRC-32 of 16 bytes (shift/xor loop, bounded control)",
+       R"(
+uint crc32(uint crc, uint<8> byte) {
+  crc = crc ^ (uint)byte;
+  for (int k = 0; k < 8; k = k + 1) {
+    if ((crc & 1) != 0) { crc = (crc >> 1) ^ 0xEDB88320; }
+    else { crc = crc >> 1; }
+  }
+  return crc;
+}
+uint<8> data[16];
+int main() {
+  for (int i = 0; i < 16; i = i + 1) { data[i] = (uint<8>)(i * 29 + 3); }
+  uint crc = 0xFFFFFFFF;
+  for (int i = 0; i < 16; i = i + 1) { crc = crc32(crc, data[i]); }
+  return (int)(crc ^ 0xFFFFFFFF);
+}
+)",
+       "main", {}, {}, 128},
+
+      {"matmul",
+       "4x4 integer matrix multiply (triply nested regular loops)",
+       R"(
+int a[4][4]; int b[4][4]; int c[4][4];
+void matmul() {
+  for (int i = 0; i < 4; i = i + 1)
+    for (int j = 0; j < 4; j = j + 1) {
+      int s = 0;
+      for (int k = 0; k < 4; k = k + 1) { s = s + a[i][k] * b[k][j]; }
+      c[i][j] = s;
+    }
+}
+int main() {
+  for (int i = 0; i < 4; i = i + 1)
+    for (int j = 0; j < 4; j = j + 1) {
+      a[i][j] = i * 4 + j + 1;
+      b[i][j] = (i == j) ? 2 : (i - j);
+    }
+  matmul();
+  int checksum = 0;
+  for (int i = 0; i < 4; i = i + 1)
+    for (int j = 0; j < 4; j = j + 1) { checksum = checksum + c[i][j] * (i + 2 * j + 1); }
+  return checksum;
+}
+)",
+       "main", {}, {"c"}, 64},
+
+      {"bubblesort",
+       "bubble sort of 16 elements (compare/swap, control-dominated)",
+       R"(
+int v[16];
+void sort() {
+  for (int i = 0; i < 16; i = i + 1)
+    for (int j = 0; j + 1 < 16 - i; j = j + 1)
+      if (v[j] > v[j + 1]) { int t = v[j]; v[j] = v[j + 1]; v[j + 1] = t; }
+}
+int main() {
+  for (int i = 0; i < 16; i = i + 1) { v[i] = (i * 113 + 55) % 97 - 48; }
+  sort();
+  int checksum = 0;
+  for (int i = 0; i < 16; i = i + 1) { checksum = checksum + v[i] * (i + 1); }
+  return checksum;
+}
+)",
+       "main", {}, {"v"}, 240},
+
+      {"collatz",
+       "Collatz trajectory length (irregular data-dependent control)",
+       R"(
+int main(int n) {
+  int steps = 0;
+  while (n != 1) {
+    if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+    steps = steps + 1;
+  }
+  return steps;
+}
+)",
+       "main", {27}, {}, 111},
+
+      {"dotprod",
+       "dot product of two 64-element vectors (the simplest regular loop)",
+       R"(
+int u[64]; int w[64];
+int main() {
+  for (int i = 0; i < 64; i = i + 1) { u[i] = i - 32; w[i] = 3 * i + 1; }
+  int s = 0;
+  for (int i = 0; i < 64; i = i + 1) { s = s + u[i] * w[i]; }
+  return s;
+}
+)",
+       "main", {}, {}, 64},
+
+      {"histogram",
+       "byte histogram (memory-port-bound read-modify-write loop)",
+       R"(
+uint<8> input[64];
+int bins[16];
+int main() {
+  for (int i = 0; i < 64; i = i + 1) { input[i] = (uint<8>)(i * 7 + 13); }
+  for (int i = 0; i < 64; i = i + 1) {
+    int b = (int)(input[i] & 15);
+    bins[b] = bins[b] + 1;
+  }
+  int checksum = 0;
+  for (int b = 0; b < 16; b = b + 1) { checksum = checksum + bins[b] * (b + 1); }
+  return checksum;
+}
+)",
+       "main", {}, {"bins"}, 64},
+
+      {"fib",
+       "naive recursive Fibonacci (recursion: only broad-C flows take it)",
+       R"(
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main(int n) { return fib(n); }
+)",
+       "main", {12}, {}, 0},
+
+      {"pointersum",
+       "pointer-walk over an array (pointers: C2Verilog territory)",
+       R"(
+int buf[16];
+int main() {
+  for (int i = 0; i < 16; i = i + 1) { buf[i] = i * i - 7; }
+  int *p = &buf[0];
+  int s = 0;
+  for (int i = 0; i < 16; i = i + 1) { s = s + *p; p = p + 1; }
+  return s;
+}
+)",
+       "main", {}, {}, 16},
+
+      {"prodcons",
+       "producer/consumer over a rendezvous channel (Handel-C style)",
+       R"(
+chan<int> c;
+int out[16];
+void producer() {
+  for (int i = 0; i < 16; i = i + 1) { c ! (i * i - 3 * i + 2); }
+}
+void consumer() {
+  for (int i = 0; i < 16; i = i + 1) { int v; c ? v; out[i] = v; }
+}
+int main() {
+  par { producer(); consumer(); }
+  int checksum = 0;
+  for (int i = 0; i < 16; i = i + 1) { checksum = checksum ^ (out[i] + i); }
+  return checksum;
+}
+)",
+       "main", {}, {"out"}, 16},
+
+      {"parsplit",
+       "explicitly parallel split-phase sum (par doubles the datapath)",
+       R"(
+int data[32];
+int lo; int hi;
+int main() {
+  for (int i = 0; i < 32; i = i + 1) { data[i] = (i * 19 + 7) % 31; }
+  par {
+    { int s = 0; for (int i = 0; i < 16; i = i + 1) { s = s + data[i]; } lo = s; }
+    { int s = 0; for (int i = 16; i < 32; i = i + 1) { s = s + data[i]; } hi = s; }
+  }
+  return lo + hi;
+}
+)",
+       "main", {}, {}, 32},
+
+      {"idct",
+       "8-point scaled integer IDCT butterfly slice (DSP-flavored)",
+       R"(
+int blk[8];
+void idct1d() {
+  int x0 = blk[0] << 8; int x1 = blk[4] << 8;
+  int x2 = blk[6]; int x3 = blk[2];
+  int x4 = blk[1]; int x5 = blk[7];
+  int x6 = blk[5]; int x7 = blk[3];
+  int t0 = (x4 + x5) * 565;
+  x4 = t0 + x4 * 2276;
+  x5 = t0 - x5 * 3406;
+  int t1 = (x6 + x7) * 2408;
+  x6 = t1 - x6 * 799;
+  x7 = t1 - x7 * 4017;
+  int t2 = x0 + x1;
+  x0 = x0 - x1;
+  x1 = (x3 + x2) * 1108;
+  x3 = x1 + x3 * 1568;
+  x2 = x1 - x2 * 3784;
+  int t3 = x4 + x6;
+  x4 = x4 - x6;
+  x6 = x5 + x7;
+  x5 = x5 - x7;
+  blk[0] = (t2 + x3 + t3) >> 8;
+  blk[7] = (t2 + x3 - t3) >> 8;
+  blk[1] = (x0 + x2 + x6) >> 8;
+  blk[6] = (x0 + x2 - x6) >> 8;
+  blk[2] = (x0 - x2 + x5) >> 8;
+  blk[5] = (x0 - x2 - x5) >> 8;
+  blk[3] = (t2 - x3 + x4) >> 8;
+  blk[4] = (t2 - x3 - x4) >> 8;
+}
+int main() {
+  for (int i = 0; i < 8; i = i + 1) { blk[i] = (i * 23 - 61) % 53; }
+  idct1d();
+  int checksum = 0;
+  for (int i = 0; i < 8; i = i + 1) { checksum = checksum ^ (blk[i] * (i + 1)); }
+  return checksum;
+}
+)",
+       "main", {}, {"blk"}, 8},
+
+      {"parity",
+       "population-count parity over 64 words (bit-twiddling loop)",
+       R"(
+uint words[64];
+int main() {
+  for (int i = 0; i < 64; i = i + 1) { words[i] = (uint)(i * 2654435761); }
+  int p = 0;
+  for (int i = 0; i < 64; i = i + 1) {
+    uint v = words[i];
+    v = v ^ (v >> 16); v = v ^ (v >> 8); v = v ^ (v >> 4);
+    v = v ^ (v >> 2); v = v ^ (v >> 1);
+    p = p ^ (int)(v & 1);
+  }
+  return p;
+}
+)",
+       "main", {}, {}, 64},
+
+      {"sqrtint",
+       "integer square root by shift-subtract (data-dependent bits)",
+       R"(
+uint isqrt(uint v) {
+  uint root = 0;
+  uint bit = 1 << 30;
+  while (bit > v) { bit = bit >> 2; }
+  while (bit != 0) {
+    if (v >= root + bit) {
+      v = v - (root + bit);
+      root = (root >> 1) + bit;
+    } else {
+      root = root >> 1;
+    }
+    bit = bit >> 2;
+  }
+  return root;
+}
+int main(int x) { return (int)isqrt((uint)x); }
+)",
+       "main", {1764000}, {}, 16},
+
+      {"edge1d",
+       "1-D edge detector: out[i] = |x[i+1] - x[i-1]| (stencil)",
+       R"(
+int x[34];
+int out[32];
+void detect() {
+  for (int i = 1; i < 33; i = i + 1) {
+    int d = x[i + 1] - x[i - 1];
+    out[i - 1] = d < 0 ? -d : d;
+  }
+}
+int main() {
+  for (int i = 0; i < 34; i = i + 1) { x[i] = ((i * i) & 127) - 64; }
+  detect();
+  int peak = 0;
+  for (int i = 0; i < 32; i = i + 1) { if (out[i] > peak) { peak = out[i]; } }
+  return peak;
+}
+)",
+       "main", {}, {"out"}, 32},
+
+      {"pacer",
+       "rate-paced sampler using explicit delay (SystemC wait() style)",
+       R"(
+int samples[8];
+int main(int base) {
+  int v = base;
+  for (int i = 0; i < 8; i = i + 1) {
+    v = v * 5 + 3;
+    samples[i] = v & 1023;
+    delay(4);
+  }
+  int acc = 0;
+  for (int i = 0; i < 8; i = i + 1) { acc = acc ^ (samples[i] + i); }
+  return acc;
+}
+)",
+       "main", {17}, {"samples"}, 8},
+
+      {"crc8small",
+       "CRC-8 of one byte (tiny bounded kernel — flattens combinationally)",
+       R"(
+int main(int data) {
+  uint<8> crc = (uint<8>)data;
+  unroll for (int i = 0; i < 8; i = i + 1) {
+    if ((crc & 0x80) != 0) { crc = (crc << 1) ^ 0x07; }
+    else { crc = crc << 1; }
+  }
+  return (int)crc;
+}
+)",
+       "main", {0x31}, {}, 8},
+  };
+  return workloads;
+}
+
+const Workload &findWorkload(const std::string &name) {
+  for (const auto &w : standardWorkloads())
+    if (w.name == name)
+      return w;
+  throw std::out_of_range("unknown workload '" + name + "'");
+}
+
+} // namespace c2h::core

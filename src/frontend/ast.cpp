@@ -1,0 +1,213 @@
+#include "frontend/ast.h"
+
+namespace c2h::ast {
+
+const char *unaryOpName(UnaryOp op) {
+  switch (op) {
+  case UnaryOp::Neg: return "-";
+  case UnaryOp::Not: return "!";
+  case UnaryOp::BitNot: return "~";
+  case UnaryOp::Plus: return "+";
+  case UnaryOp::Deref: return "*";
+  case UnaryOp::AddrOf: return "&";
+  case UnaryOp::PreInc: return "++pre";
+  case UnaryOp::PreDec: return "--pre";
+  case UnaryOp::PostInc: return "post++";
+  case UnaryOp::PostDec: return "post--";
+  }
+  return "?";
+}
+
+const char *binaryOpName(BinaryOp op) {
+  switch (op) {
+  case BinaryOp::Add: return "+";
+  case BinaryOp::Sub: return "-";
+  case BinaryOp::Mul: return "*";
+  case BinaryOp::Div: return "/";
+  case BinaryOp::Rem: return "%";
+  case BinaryOp::And: return "&";
+  case BinaryOp::Or: return "|";
+  case BinaryOp::Xor: return "^";
+  case BinaryOp::Shl: return "<<";
+  case BinaryOp::Shr: return ">>";
+  case BinaryOp::LogicalAnd: return "&&";
+  case BinaryOp::LogicalOr: return "||";
+  case BinaryOp::Eq: return "==";
+  case BinaryOp::Ne: return "!=";
+  case BinaryOp::Lt: return "<";
+  case BinaryOp::Le: return "<=";
+  case BinaryOp::Gt: return ">";
+  case BinaryOp::Ge: return ">=";
+  }
+  return "?";
+}
+
+bool Expr::isLValue() const {
+  switch (kind) {
+  case Kind::VarRef:
+    return true;
+  case Kind::Index:
+    return true;
+  case Kind::Unary:
+    return static_cast<const UnaryExpr *>(this)->op == UnaryOp::Deref;
+  default:
+    return false;
+  }
+}
+
+FuncDecl *Program::findFunction(const std::string &name) const {
+  for (const auto &f : functions)
+    if (f->name == name)
+      return f.get();
+  return nullptr;
+}
+
+VarDecl *Program::findGlobal(const std::string &name) const {
+  for (const auto &g : globals)
+    if (g->name == name)
+      return g.get();
+  return nullptr;
+}
+
+void walk(Expr &expr, const std::function<void(Expr &)> &onExpr) {
+  if (onExpr)
+    onExpr(expr);
+  switch (expr.kind) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::BoolLiteral:
+  case Expr::Kind::VarRef:
+    break;
+  case Expr::Kind::Unary:
+    walk(*static_cast<UnaryExpr &>(expr).operand, onExpr);
+    break;
+  case Expr::Kind::Binary: {
+    auto &b = static_cast<BinaryExpr &>(expr);
+    walk(*b.lhs, onExpr);
+    walk(*b.rhs, onExpr);
+    break;
+  }
+  case Expr::Kind::Assign: {
+    auto &a = static_cast<AssignExpr &>(expr);
+    walk(*a.target, onExpr);
+    walk(*a.value, onExpr);
+    break;
+  }
+  case Expr::Kind::Ternary: {
+    auto &t = static_cast<TernaryExpr &>(expr);
+    walk(*t.cond, onExpr);
+    walk(*t.thenExpr, onExpr);
+    walk(*t.elseExpr, onExpr);
+    break;
+  }
+  case Expr::Kind::Call:
+    for (auto &arg : static_cast<CallExpr &>(expr).args)
+      walk(*arg, onExpr);
+    break;
+  case Expr::Kind::Index: {
+    auto &i = static_cast<IndexExpr &>(expr);
+    walk(*i.base, onExpr);
+    walk(*i.index, onExpr);
+    break;
+  }
+  case Expr::Kind::Cast:
+    walk(*static_cast<CastExpr &>(expr).operand, onExpr);
+    break;
+  }
+}
+
+void walk(Stmt &stmt, const std::function<void(Stmt &)> &onStmt,
+          const std::function<void(Expr &)> &onExpr) {
+  if (onStmt)
+    onStmt(stmt);
+  auto walkExpr = [&](Expr *e) {
+    if (e)
+      walk(*e, onExpr);
+  };
+  switch (stmt.kind) {
+  case Stmt::Kind::Decl: {
+    auto &d = static_cast<DeclStmt &>(stmt);
+    walkExpr(d.decl->init.get());
+    for (auto &e : d.decl->arrayInit)
+      walkExpr(e.get());
+    break;
+  }
+  case Stmt::Kind::Expr:
+    walkExpr(static_cast<ExprStmt &>(stmt).expr.get());
+    break;
+  case Stmt::Kind::Block:
+    for (auto &s : static_cast<BlockStmt &>(stmt).stmts)
+      walk(*s, onStmt, onExpr);
+    break;
+  case Stmt::Kind::If: {
+    auto &i = static_cast<IfStmt &>(stmt);
+    walkExpr(i.cond.get());
+    walk(*i.thenStmt, onStmt, onExpr);
+    if (i.elseStmt)
+      walk(*i.elseStmt, onStmt, onExpr);
+    break;
+  }
+  case Stmt::Kind::While: {
+    auto &w = static_cast<WhileStmt &>(stmt);
+    walkExpr(w.cond.get());
+    walk(*w.body, onStmt, onExpr);
+    break;
+  }
+  case Stmt::Kind::DoWhile: {
+    auto &w = static_cast<DoWhileStmt &>(stmt);
+    walk(*w.body, onStmt, onExpr);
+    walkExpr(w.cond.get());
+    break;
+  }
+  case Stmt::Kind::For: {
+    auto &f = static_cast<ForStmt &>(stmt);
+    if (f.init)
+      walk(*f.init, onStmt, onExpr);
+    walkExpr(f.cond.get());
+    walkExpr(f.step.get());
+    walk(*f.body, onStmt, onExpr);
+    break;
+  }
+  case Stmt::Kind::Return:
+    walkExpr(static_cast<ReturnStmt &>(stmt).value.get());
+    break;
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+  case Stmt::Kind::Delay:
+    break;
+  case Stmt::Kind::Par:
+    for (auto &s : static_cast<ParStmt &>(stmt).branches)
+      walk(*s, onStmt, onExpr);
+    break;
+  case Stmt::Kind::Send: {
+    auto &s = static_cast<SendStmt &>(stmt);
+    walkExpr(s.chan.get());
+    walkExpr(s.value.get());
+    break;
+  }
+  case Stmt::Kind::Recv: {
+    auto &r = static_cast<RecvStmt &>(stmt);
+    walkExpr(r.chan.get());
+    walkExpr(r.target.get());
+    break;
+  }
+  case Stmt::Kind::Constraint:
+    walk(*static_cast<ConstraintStmt &>(stmt).body, onStmt, onExpr);
+    break;
+  }
+}
+
+void walk(Program &program, const std::function<void(Stmt &)> &onStmt,
+          const std::function<void(Expr &)> &onExpr) {
+  for (auto &g : program.globals) {
+    if (g->init && onExpr)
+      walk(*g->init, onExpr);
+    for (auto &e : g->arrayInit)
+      if (onExpr)
+        walk(*e, onExpr);
+  }
+  for (auto &f : program.functions)
+    if (f->body)
+      walk(*f->body, onStmt, onExpr);
+}
+
+} // namespace c2h::ast

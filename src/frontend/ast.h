@@ -1,0 +1,301 @@
+// Abstract syntax tree for uC.
+//
+// The tree is owned by an ast::Program.  After Sema runs, every Expr carries
+// its computed Type, every VarRef/Call is bound to its declaration, and all
+// implicit conversions have been materialized as Cast nodes — so consumers
+// (interpreter, IR lowering, flow restriction checks) never re-derive types.
+#ifndef C2H_FRONTEND_AST_H
+#define C2H_FRONTEND_AST_H
+
+#include "frontend/type.h"
+#include "support/bitvector.h"
+#include "support/diagnostics.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c2h::ast {
+
+struct VarDecl;
+struct FuncDecl;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class UnaryOp { Neg, Not, BitNot, Plus, Deref, AddrOf, PreInc, PreDec,
+                     PostInc, PostDec };
+enum class BinaryOp { Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+                      LogicalAnd, LogicalOr, Eq, Ne, Lt, Le, Gt, Ge };
+
+const char *unaryOpName(UnaryOp op);
+const char *binaryOpName(BinaryOp op);
+
+struct Expr {
+  enum class Kind { IntLiteral, BoolLiteral, VarRef, Unary, Binary, Assign,
+                    Ternary, Call, Index, Cast };
+
+  explicit Expr(Kind kind, SourceLoc loc) : kind(kind), loc(loc) {}
+  virtual ~Expr() = default;
+
+  Kind kind;
+  SourceLoc loc;
+  const Type *type = nullptr; // set by Sema
+
+  bool isLValue() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLiteralExpr : Expr {
+  IntLiteralExpr(SourceLoc loc, BitVector value)
+      : Expr(Kind::IntLiteral, loc), value(std::move(value)) {}
+  BitVector value;
+};
+
+struct BoolLiteralExpr : Expr {
+  BoolLiteralExpr(SourceLoc loc, bool value)
+      : Expr(Kind::BoolLiteral, loc), value(value) {}
+  bool value;
+};
+
+struct VarRefExpr : Expr {
+  VarRefExpr(SourceLoc loc, std::string name)
+      : Expr(Kind::VarRef, loc), name(std::move(name)) {}
+  std::string name;
+  VarDecl *decl = nullptr; // set by Sema
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr(SourceLoc loc, UnaryOp op, ExprPtr operand)
+      : Expr(Kind::Unary, loc), op(op), operand(std::move(operand)) {}
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(SourceLoc loc, BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(Kind::Binary, loc), op(op), lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
+  BinaryOp op;
+  ExprPtr lhs, rhs;
+};
+
+// `target op= value`; op == nullopt-like plain assignment is represented by
+// isCompound == false.
+struct AssignExpr : Expr {
+  AssignExpr(SourceLoc loc, ExprPtr target, ExprPtr value)
+      : Expr(Kind::Assign, loc), target(std::move(target)),
+        value(std::move(value)) {}
+  ExprPtr target, value;
+  bool isCompound = false;
+  BinaryOp compoundOp = BinaryOp::Add; // valid when isCompound
+};
+
+struct TernaryExpr : Expr {
+  TernaryExpr(SourceLoc loc, ExprPtr cond, ExprPtr thenExpr, ExprPtr elseExpr)
+      : Expr(Kind::Ternary, loc), cond(std::move(cond)),
+        thenExpr(std::move(thenExpr)), elseExpr(std::move(elseExpr)) {}
+  ExprPtr cond, thenExpr, elseExpr;
+};
+
+struct CallExpr : Expr {
+  CallExpr(SourceLoc loc, std::string callee, std::vector<ExprPtr> args)
+      : Expr(Kind::Call, loc), callee(std::move(callee)),
+        args(std::move(args)) {}
+  std::string callee;
+  std::vector<ExprPtr> args;
+  FuncDecl *decl = nullptr; // set by Sema
+};
+
+struct IndexExpr : Expr {
+  IndexExpr(SourceLoc loc, ExprPtr base, ExprPtr index)
+      : Expr(Kind::Index, loc), base(std::move(base)),
+        index(std::move(index)) {}
+  ExprPtr base, index;
+};
+
+struct CastExpr : Expr {
+  CastExpr(SourceLoc loc, const Type *to, ExprPtr operand)
+      : Expr(Kind::Cast, loc), operand(std::move(operand)) {
+    type = to;
+  }
+  ExprPtr operand;
+  bool isImplicit = false;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt {
+  enum class Kind { Decl, Expr, Block, If, While, DoWhile, For, Return,
+                    Break, Continue, Par, Send, Recv, Delay, Constraint };
+
+  explicit Stmt(Kind kind, SourceLoc loc) : kind(kind), loc(loc) {}
+  virtual ~Stmt() = default;
+
+  Kind kind;
+  SourceLoc loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// A variable, parameter, global, or channel declaration.
+struct VarDecl {
+  std::string name;
+  const Type *type = nullptr;
+  ExprPtr init;                      // may be null
+  std::vector<ExprPtr> arrayInit;    // brace initializer for arrays
+  bool isConst = false;
+  bool isGlobal = false;
+  bool isParam = false;
+  SourceLoc loc;
+  // Set by Sema when the variable's address is taken (forces memory
+  // placement rather than register promotion during lowering).
+  bool addressTaken = false;
+  // Unique id assigned by Sema; stable across the whole program.
+  unsigned id = 0;
+};
+
+struct DeclStmt : Stmt {
+  DeclStmt(SourceLoc loc, std::unique_ptr<VarDecl> decl)
+      : Stmt(Kind::Decl, loc), decl(std::move(decl)) {}
+  std::unique_ptr<VarDecl> decl;
+};
+
+struct ExprStmt : Stmt {
+  ExprStmt(SourceLoc loc, ExprPtr expr)
+      : Stmt(Kind::Expr, loc), expr(std::move(expr)) {}
+  ExprPtr expr;
+};
+
+struct BlockStmt : Stmt {
+  explicit BlockStmt(SourceLoc loc) : Stmt(Kind::Block, loc) {}
+  std::vector<StmtPtr> stmts;
+};
+
+struct IfStmt : Stmt {
+  IfStmt(SourceLoc loc, ExprPtr cond, StmtPtr thenStmt, StmtPtr elseStmt)
+      : Stmt(Kind::If, loc), cond(std::move(cond)),
+        thenStmt(std::move(thenStmt)), elseStmt(std::move(elseStmt)) {}
+  ExprPtr cond;
+  StmtPtr thenStmt, elseStmt; // elseStmt may be null
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt(SourceLoc loc, ExprPtr cond, StmtPtr body)
+      : Stmt(Kind::While, loc), cond(std::move(cond)), body(std::move(body)) {}
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+struct DoWhileStmt : Stmt {
+  DoWhileStmt(SourceLoc loc, StmtPtr body, ExprPtr cond)
+      : Stmt(Kind::DoWhile, loc), body(std::move(body)),
+        cond(std::move(cond)) {}
+  StmtPtr body;
+  ExprPtr cond;
+};
+
+struct ForStmt : Stmt {
+  explicit ForStmt(SourceLoc loc) : Stmt(Kind::For, loc) {}
+  StmtPtr init;  // DeclStmt or ExprStmt; may be null
+  ExprPtr cond;  // may be null (infinite)
+  ExprPtr step;  // may be null
+  StmtPtr body;
+  // `unroll(N) for ...`: 0 = no request, kFullUnroll = unroll completely.
+  static constexpr unsigned kFullUnroll = ~0u;
+  unsigned unrollFactor = 0;
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt(SourceLoc loc, ExprPtr value)
+      : Stmt(Kind::Return, loc), value(std::move(value)) {}
+  ExprPtr value; // may be null
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(SourceLoc loc) : Stmt(Kind::Break, loc) {}
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(SourceLoc loc) : Stmt(Kind::Continue, loc) {}
+};
+
+// `par { s1 s2 ... }` — each child statement is one parallel branch
+// (Handel-C / Bach C / SpecC style).  Branches join at the closing brace.
+struct ParStmt : Stmt {
+  explicit ParStmt(SourceLoc loc) : Stmt(Kind::Par, loc) {}
+  std::vector<StmtPtr> branches;
+};
+
+// `c ! value;` — blocking rendezvous send on channel c.
+struct SendStmt : Stmt {
+  SendStmt(SourceLoc loc, ExprPtr chan, ExprPtr value)
+      : Stmt(Kind::Send, loc), chan(std::move(chan)),
+        value(std::move(value)) {}
+  ExprPtr chan, value;
+};
+
+// `c ? lvalue;` — blocking rendezvous receive.
+struct RecvStmt : Stmt {
+  RecvStmt(SourceLoc loc, ExprPtr chan, ExprPtr target)
+      : Stmt(Kind::Recv, loc), chan(std::move(chan)),
+        target(std::move(target)) {}
+  ExprPtr chan, target;
+};
+
+// `delay;` or `delay(n);` — explicit cycle boundary (SystemC wait()).
+struct DelayStmt : Stmt {
+  DelayStmt(SourceLoc loc, unsigned cycles)
+      : Stmt(Kind::Delay, loc), cycles(cycles) {}
+  unsigned cycles;
+};
+
+// `constraint(min, max) { ... }` — HardwareC-style timing constraint: the
+// enclosed statements must take between min and max cycles.  max == 0 means
+// unbounded above.
+struct ConstraintStmt : Stmt {
+  ConstraintStmt(SourceLoc loc, unsigned minCycles, unsigned maxCycles,
+                 StmtPtr body)
+      : Stmt(Kind::Constraint, loc), minCycles(minCycles),
+        maxCycles(maxCycles), body(std::move(body)) {}
+  unsigned minCycles, maxCycles;
+  StmtPtr body;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations / program
+// ---------------------------------------------------------------------------
+
+struct FuncDecl {
+  std::string name;
+  const Type *returnType = nullptr;
+  std::vector<std::unique_ptr<VarDecl>> params;
+  std::unique_ptr<BlockStmt> body;
+  SourceLoc loc;
+  // Set by Sema: this function (transitively) calls itself.
+  bool isRecursive = false;
+};
+
+struct Program {
+  std::vector<std::unique_ptr<VarDecl>> globals;
+  std::vector<std::unique_ptr<FuncDecl>> functions;
+
+  FuncDecl *findFunction(const std::string &name) const;
+  VarDecl *findGlobal(const std::string &name) const;
+};
+
+// Deep structural walk helpers (pre-order).  The callbacks may be null.
+void walk(Stmt &stmt, const std::function<void(Stmt &)> &onStmt,
+          const std::function<void(Expr &)> &onExpr);
+void walk(Expr &expr, const std::function<void(Expr &)> &onExpr);
+void walk(Program &program, const std::function<void(Stmt &)> &onStmt,
+          const std::function<void(Expr &)> &onExpr);
+
+} // namespace c2h::ast
+
+#endif // C2H_FRONTEND_AST_H

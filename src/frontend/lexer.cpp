@@ -1,0 +1,273 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace c2h {
+
+const char *tokenKindName(TokenKind kind) {
+  switch (kind) {
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::IntLiteral: return "integer literal";
+  case TokenKind::KwVoid: return "'void'";
+  case TokenKind::KwBool: return "'bool'";
+  case TokenKind::KwChar: return "'char'";
+  case TokenKind::KwShort: return "'short'";
+  case TokenKind::KwInt: return "'int'";
+  case TokenKind::KwLong: return "'long'";
+  case TokenKind::KwUint: return "'uint'";
+  case TokenKind::KwUnsigned: return "'unsigned'";
+  case TokenKind::KwSigned: return "'signed'";
+  case TokenKind::KwConst: return "'const'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwFor: return "'for'";
+  case TokenKind::KwDo: return "'do'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwBreak: return "'break'";
+  case TokenKind::KwContinue: return "'continue'";
+  case TokenKind::KwPar: return "'par'";
+  case TokenKind::KwChan: return "'chan'";
+  case TokenKind::KwDelay: return "'delay'";
+  case TokenKind::KwConstraint: return "'constraint'";
+  case TokenKind::KwUnroll: return "'unroll'";
+  case TokenKind::KwTrue: return "'true'";
+  case TokenKind::KwFalse: return "'false'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Semi: return "';'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::Question: return "'?'";
+  case TokenKind::Assign: return "'='";
+  case TokenKind::PlusAssign: return "'+='";
+  case TokenKind::MinusAssign: return "'-='";
+  case TokenKind::StarAssign: return "'*='";
+  case TokenKind::SlashAssign: return "'/='";
+  case TokenKind::PercentAssign: return "'%='";
+  case TokenKind::AmpAssign: return "'&='";
+  case TokenKind::PipeAssign: return "'|='";
+  case TokenKind::CaretAssign: return "'^='";
+  case TokenKind::ShlAssign: return "'<<='";
+  case TokenKind::ShrAssign: return "'>>='";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::Amp: return "'&'";
+  case TokenKind::Pipe: return "'|'";
+  case TokenKind::Caret: return "'^'";
+  case TokenKind::Tilde: return "'~'";
+  case TokenKind::Bang: return "'!'";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::PipePipe: return "'||'";
+  case TokenKind::Eq: return "'=='";
+  case TokenKind::Ne: return "'!='";
+  case TokenKind::Lt: return "'<'";
+  case TokenKind::Gt: return "'>'";
+  case TokenKind::Le: return "'<='";
+  case TokenKind::Ge: return "'>='";
+  case TokenKind::Shl: return "'<<'";
+  case TokenKind::Shr: return "'>>'";
+  case TokenKind::PlusPlus: return "'++'";
+  case TokenKind::MinusMinus: return "'--'";
+  case TokenKind::Eof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+const std::unordered_map<std::string, TokenKind> &keywordMap() {
+  static const std::unordered_map<std::string, TokenKind> map = {
+      {"void", TokenKind::KwVoid},       {"bool", TokenKind::KwBool},
+      {"char", TokenKind::KwChar},       {"short", TokenKind::KwShort},
+      {"int", TokenKind::KwInt},         {"long", TokenKind::KwLong},
+      {"uint", TokenKind::KwUint},       {"unsigned", TokenKind::KwUnsigned},
+      {"signed", TokenKind::KwSigned},   {"const", TokenKind::KwConst},
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},     {"for", TokenKind::KwFor},
+      {"do", TokenKind::KwDo},           {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},     {"continue", TokenKind::KwContinue},
+      {"par", TokenKind::KwPar},         {"chan", TokenKind::KwChan},
+      {"delay", TokenKind::KwDelay},     {"constraint", TokenKind::KwConstraint},
+      {"unroll", TokenKind::KwUnroll},   {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+  };
+  return map;
+}
+} // namespace
+
+Lexer::Lexer(std::string source, DiagnosticEngine &diags)
+    : source_(std::move(source)), diags_(diags) {}
+
+char Lexer::peek(unsigned ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+    } else if (c == '/' && peek(1) == '*') {
+      SourceLoc start = here();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          diags_.error(start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::makeToken(TokenKind kind, SourceLoc loc, std::string text) {
+  return Token{kind, std::move(text), loc};
+}
+
+Token Lexer::lexToken() {
+  skipWhitespaceAndComments();
+  SourceLoc loc = here();
+  if (pos_ >= source_.size())
+    return makeToken(TokenKind::Eof, loc);
+
+  char c = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string text(1, c);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      text.push_back(advance());
+    auto it = keywordMap().find(text);
+    if (it != keywordMap().end())
+      return makeToken(it->second, loc, std::move(text));
+    return makeToken(TokenKind::Identifier, loc, std::move(text));
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string text(1, c);
+    if (c == '0' && (peek() == 'x' || peek() == 'X')) {
+      text.push_back(advance());
+      while (std::isxdigit(static_cast<unsigned char>(peek())))
+        text.push_back(advance());
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        text.push_back(advance());
+    }
+    // Optional unsignedness suffix, recorded in the spelling.
+    if (peek() == 'u' || peek() == 'U')
+      text.push_back(advance());
+    return makeToken(TokenKind::IntLiteral, loc, std::move(text));
+  }
+
+  switch (c) {
+  case '(': return makeToken(TokenKind::LParen, loc);
+  case ')': return makeToken(TokenKind::RParen, loc);
+  case '{': return makeToken(TokenKind::LBrace, loc);
+  case '}': return makeToken(TokenKind::RBrace, loc);
+  case '[': return makeToken(TokenKind::LBracket, loc);
+  case ']': return makeToken(TokenKind::RBracket, loc);
+  case ';': return makeToken(TokenKind::Semi, loc);
+  case ',': return makeToken(TokenKind::Comma, loc);
+  case ':': return makeToken(TokenKind::Colon, loc);
+  case '?': return makeToken(TokenKind::Question, loc);
+  case '~': return makeToken(TokenKind::Tilde, loc);
+  case '+':
+    if (match('+')) return makeToken(TokenKind::PlusPlus, loc);
+    if (match('=')) return makeToken(TokenKind::PlusAssign, loc);
+    return makeToken(TokenKind::Plus, loc);
+  case '-':
+    if (match('-')) return makeToken(TokenKind::MinusMinus, loc);
+    if (match('=')) return makeToken(TokenKind::MinusAssign, loc);
+    return makeToken(TokenKind::Minus, loc);
+  case '*':
+    if (match('=')) return makeToken(TokenKind::StarAssign, loc);
+    return makeToken(TokenKind::Star, loc);
+  case '/':
+    if (match('=')) return makeToken(TokenKind::SlashAssign, loc);
+    return makeToken(TokenKind::Slash, loc);
+  case '%':
+    if (match('=')) return makeToken(TokenKind::PercentAssign, loc);
+    return makeToken(TokenKind::Percent, loc);
+  case '&':
+    if (match('&')) return makeToken(TokenKind::AmpAmp, loc);
+    if (match('=')) return makeToken(TokenKind::AmpAssign, loc);
+    return makeToken(TokenKind::Amp, loc);
+  case '|':
+    if (match('|')) return makeToken(TokenKind::PipePipe, loc);
+    if (match('=')) return makeToken(TokenKind::PipeAssign, loc);
+    return makeToken(TokenKind::Pipe, loc);
+  case '^':
+    if (match('=')) return makeToken(TokenKind::CaretAssign, loc);
+    return makeToken(TokenKind::Caret, loc);
+  case '!':
+    if (match('=')) return makeToken(TokenKind::Ne, loc);
+    return makeToken(TokenKind::Bang, loc);
+  case '=':
+    if (match('=')) return makeToken(TokenKind::Eq, loc);
+    return makeToken(TokenKind::Assign, loc);
+  case '<':
+    if (match('<')) {
+      if (match('=')) return makeToken(TokenKind::ShlAssign, loc);
+      return makeToken(TokenKind::Shl, loc);
+    }
+    if (match('=')) return makeToken(TokenKind::Le, loc);
+    return makeToken(TokenKind::Lt, loc);
+  case '>':
+    if (match('>')) {
+      if (match('=')) return makeToken(TokenKind::ShrAssign, loc);
+      return makeToken(TokenKind::Shr, loc);
+    }
+    if (match('=')) return makeToken(TokenKind::Ge, loc);
+    return makeToken(TokenKind::Gt, loc);
+  default:
+    diags_.error(loc, std::string("stray character '") + c + "' in input");
+    return lexToken();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> tokens;
+  for (;;) {
+    Token t = lexToken();
+    bool done = t.is(TokenKind::Eof);
+    tokens.push_back(std::move(t));
+    if (done)
+      return tokens;
+  }
+}
+
+} // namespace c2h

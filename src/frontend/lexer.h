@@ -1,0 +1,42 @@
+// Hand-written lexer for uC.  Produces the whole token stream up front so
+// the parser can backtrack cheaply (needed to disambiguate the Handel-C
+// channel statements `c ? x;` from ternary expressions).
+#ifndef C2H_FRONTEND_LEXER_H
+#define C2H_FRONTEND_LEXER_H
+
+#include "frontend/token.h"
+#include "support/diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace c2h {
+
+class Lexer {
+public:
+  Lexer(std::string source, DiagnosticEngine &diags);
+
+  // Lex the entire buffer.  The returned vector always ends with an Eof
+  // token.  Errors (stray characters, unterminated comments) are reported to
+  // the DiagnosticEngine and skipped.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  SourceLoc here() const { return {line_, column_}; }
+  void skipWhitespaceAndComments();
+  Token lexToken();
+  Token makeToken(TokenKind kind, SourceLoc loc, std::string text = {});
+
+  std::string source_;
+  DiagnosticEngine &diags_;
+  std::size_t pos_ = 0;
+  unsigned line_ = 1;
+  unsigned column_ = 1;
+};
+
+} // namespace c2h
+
+#endif // C2H_FRONTEND_LEXER_H

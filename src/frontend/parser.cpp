@@ -1,0 +1,851 @@
+#include "frontend/parser.h"
+
+#include "frontend/lexer.h"
+
+#include <cassert>
+
+namespace c2h {
+
+using namespace ast;
+
+Parser::Parser(std::vector<Token> tokens, TypeContext &types,
+               DiagnosticEngine &diags)
+    : tokens_(std::move(tokens)), types_(types), diags_(diags) {
+  assert(!tokens_.empty() && tokens_.back().is(TokenKind::Eof));
+}
+
+const Token &Parser::peek(unsigned ahead) const {
+  std::size_t i = pos_ + ahead;
+  if (i >= tokens_.size())
+    i = tokens_.size() - 1; // Eof
+  return tokens_[i];
+}
+
+Token Parser::advance() {
+  Token t = current();
+  if (!current().is(TokenKind::Eof))
+    ++pos_;
+  return t;
+}
+
+bool Parser::accept(TokenKind kind) {
+  if (!check(kind))
+    return false;
+  advance();
+  return true;
+}
+
+Token Parser::expect(TokenKind kind, const char *context) {
+  if (check(kind))
+    return advance();
+  error(std::string("expected ") + tokenKindName(kind) + " " + context +
+        ", found " + tokenKindName(current().kind));
+  return Token{kind, "", current().loc};
+}
+
+void Parser::error(const std::string &message) {
+  diags_.error(current().loc, message);
+}
+
+void Parser::synchronize() {
+  while (!check(TokenKind::Eof)) {
+    if (accept(TokenKind::Semi))
+      return;
+    if (check(TokenKind::RBrace) || check(TokenKind::LBrace))
+      return;
+    advance();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+bool Parser::atTypeStart() const {
+  switch (current().kind) {
+  case TokenKind::KwVoid:
+  case TokenKind::KwBool:
+  case TokenKind::KwChar:
+  case TokenKind::KwShort:
+  case TokenKind::KwInt:
+  case TokenKind::KwLong:
+  case TokenKind::KwUint:
+  case TokenKind::KwUnsigned:
+  case TokenKind::KwSigned:
+  case TokenKind::KwChan:
+  case TokenKind::KwConst:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::optional<std::int64_t> Parser::constEval(const Expr &expr) const {
+  switch (expr.kind) {
+  case Expr::Kind::IntLiteral:
+    return static_cast<const IntLiteralExpr &>(expr).value.toInt64();
+  case Expr::Kind::BoolLiteral:
+    return static_cast<const BoolLiteralExpr &>(expr).value ? 1 : 0;
+  case Expr::Kind::VarRef: {
+    auto it = constGlobals_.find(static_cast<const VarRefExpr &>(expr).name);
+    if (it == constGlobals_.end())
+      return std::nullopt;
+    return it->second;
+  }
+  case Expr::Kind::Unary: {
+    const auto &u = static_cast<const UnaryExpr &>(expr);
+    auto v = constEval(*u.operand);
+    if (!v)
+      return std::nullopt;
+    switch (u.op) {
+    case UnaryOp::Neg: return -*v;
+    case UnaryOp::Plus: return *v;
+    case UnaryOp::BitNot: return ~*v;
+    case UnaryOp::Not: return *v == 0 ? 1 : 0;
+    default: return std::nullopt;
+    }
+  }
+  case Expr::Kind::Binary: {
+    const auto &b = static_cast<const BinaryExpr &>(expr);
+    auto l = constEval(*b.lhs), r = constEval(*b.rhs);
+    if (!l || !r)
+      return std::nullopt;
+    switch (b.op) {
+    case BinaryOp::Add: return *l + *r;
+    case BinaryOp::Sub: return *l - *r;
+    case BinaryOp::Mul: return *l * *r;
+    case BinaryOp::Div: return *r == 0 ? std::nullopt
+                                       : std::optional<std::int64_t>(*l / *r);
+    case BinaryOp::Rem: return *r == 0 ? std::nullopt
+                                       : std::optional<std::int64_t>(*l % *r);
+    case BinaryOp::Shl: return *l << (*r & 63);
+    case BinaryOp::Shr: return *l >> (*r & 63);
+    case BinaryOp::And: return *l & *r;
+    case BinaryOp::Or: return *l | *r;
+    case BinaryOp::Xor: return *l ^ *r;
+    default: return std::nullopt;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<std::int64_t> Parser::parseConstIntExpr(const char *context) {
+  // Parse at additive precedence and tighter so a closing '>' (bit widths,
+  // chan<...>) or '>>' (nested closers) is never consumed as an operator —
+  // the same disambiguation C++ applies inside template argument lists.
+  ExprPtr e = parseBinary(9);
+  if (!e)
+    return std::nullopt;
+  auto v = constEval(*e);
+  if (!v)
+    diags_.error(e->loc,
+                 std::string("expression in ") + context +
+                     " must be an integer constant");
+  return v;
+}
+
+const Type *Parser::parseType(const char *context) {
+  accept(TokenKind::KwConst); // constness handled by the caller for decls
+  const Type *base = nullptr;
+  SourceLoc loc = current().loc;
+
+  // Consume one closing '>' — splitting a '>>' token when nested type
+  // arguments close together (chan<uint<8>>), as in C++.
+  auto closeAngle = [&](const char *where) {
+    if (check(TokenKind::Shr)) {
+      tokens_[pos_].kind = TokenKind::Gt;
+      return;
+    }
+    expect(TokenKind::Gt, where);
+  };
+
+  auto widthArg = [&](unsigned deflt, bool isSigned) -> const Type * {
+    unsigned width = deflt;
+    if (accept(TokenKind::Lt)) {
+      auto w = parseConstIntExpr("bit width");
+      if (w && *w >= 1 &&
+          *w <= static_cast<std::int64_t>(BitVector::kMaxWidth))
+        width = static_cast<unsigned>(*w);
+      else if (w)
+        diags_.error(loc, "bit width must be in [1, " +
+                              std::to_string(BitVector::kMaxWidth) + "]");
+      closeAngle("after bit width");
+    }
+    return types_.intType(width, isSigned);
+  };
+
+  switch (current().kind) {
+  case TokenKind::KwVoid:
+    advance();
+    base = types_.voidType();
+    break;
+  case TokenKind::KwBool:
+    advance();
+    base = types_.boolType();
+    break;
+  case TokenKind::KwChar:
+    advance();
+    base = types_.intType(8);
+    break;
+  case TokenKind::KwShort:
+    advance();
+    accept(TokenKind::KwInt);
+    base = types_.intType(16);
+    break;
+  case TokenKind::KwLong:
+    advance();
+    accept(TokenKind::KwInt);
+    base = types_.intType(64);
+    break;
+  case TokenKind::KwInt:
+    advance();
+    base = widthArg(32, true);
+    break;
+  case TokenKind::KwUint:
+    advance();
+    base = widthArg(32, false);
+    break;
+  case TokenKind::KwUnsigned:
+  case TokenKind::KwSigned: {
+    bool isSigned = current().is(TokenKind::KwSigned);
+    advance();
+    switch (current().kind) {
+    case TokenKind::KwChar:
+      advance();
+      base = types_.intType(8, isSigned);
+      break;
+    case TokenKind::KwShort:
+      advance();
+      accept(TokenKind::KwInt);
+      base = types_.intType(16, isSigned);
+      break;
+    case TokenKind::KwLong:
+      advance();
+      accept(TokenKind::KwInt);
+      base = types_.intType(64, isSigned);
+      break;
+    case TokenKind::KwInt:
+      advance();
+      base = widthArg(32, isSigned);
+      break;
+    default:
+      base = types_.intType(32, isSigned);
+      break;
+    }
+    break;
+  }
+  case TokenKind::KwChan: {
+    advance();
+    expect(TokenKind::Lt, "after 'chan'");
+    const Type *elem = parseType("channel element");
+    closeAngle("after channel element type");
+    base = types_.chanType(elem);
+    break;
+  }
+  default:
+    error(std::string("expected type ") + context + ", found " +
+          tokenKindName(current().kind));
+    return types_.intType(32);
+  }
+
+  while (accept(TokenKind::Star))
+    base = types_.pointerType(base);
+  return base;
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<VarDecl> Parser::parseVarDecl(bool isConst, const Type *base,
+                                              bool isGlobal) {
+  auto decl = std::make_unique<VarDecl>();
+  decl->isConst = isConst;
+  decl->isGlobal = isGlobal;
+  decl->loc = current().loc;
+  decl->name = expect(TokenKind::Identifier, "in declaration").text;
+  decl->type = base;
+
+  // Array declarators: T name[N][M] — laid out as array of arrays.
+  std::vector<std::uint64_t> dims;
+  while (accept(TokenKind::LBracket)) {
+    auto size = parseConstIntExpr("array size");
+    expect(TokenKind::RBracket, "after array size");
+    if (size && *size >= 1)
+      dims.push_back(static_cast<std::uint64_t>(*size));
+    else {
+      if (size)
+        diags_.error(decl->loc, "array size must be positive");
+      dims.push_back(1);
+    }
+  }
+  for (std::size_t i = dims.size(); i-- > 0;)
+    decl->type = types_.arrayType(decl->type, dims[i]);
+
+  if (accept(TokenKind::Assign)) {
+    if (accept(TokenKind::LBrace)) {
+      // Brace initializer for arrays.
+      if (!check(TokenKind::RBrace)) {
+        do
+          decl->arrayInit.push_back(parseTernary());
+        while (accept(TokenKind::Comma) && !check(TokenKind::RBrace));
+      }
+      expect(TokenKind::RBrace, "after array initializer");
+    } else {
+      decl->init = parseExpr();
+    }
+  }
+
+  // Record parse-time-constant const globals for width expressions.
+  if (isConst && isGlobal && decl->init) {
+    if (auto v = constEval(*decl->init))
+      constGlobals_[decl->name] = *v;
+  }
+  return decl;
+}
+
+std::unique_ptr<FuncDecl> Parser::parseFunction(const Type *returnType,
+                                                std::string name,
+                                                SourceLoc loc) {
+  auto fn = std::make_unique<FuncDecl>();
+  fn->name = std::move(name);
+  fn->returnType = returnType;
+  fn->loc = loc;
+
+  expect(TokenKind::LParen, "after function name");
+  if (!check(TokenKind::RParen)) {
+    do {
+      bool isConst = check(TokenKind::KwConst);
+      const Type *paramType = parseType("for parameter");
+      auto param = std::make_unique<VarDecl>();
+      param->isConst = isConst;
+      param->isParam = true;
+      param->loc = current().loc;
+      param->name = expect(TokenKind::Identifier, "for parameter name").text;
+      // `T a[N]` parameter: passed by reference, like C.
+      std::vector<std::uint64_t> dims;
+      while (accept(TokenKind::LBracket)) {
+        auto size = parseConstIntExpr("array size");
+        expect(TokenKind::RBracket, "after array size");
+        dims.push_back(size && *size >= 1 ? static_cast<std::uint64_t>(*size)
+                                          : 1);
+      }
+      for (std::size_t i = dims.size(); i-- > 0;)
+        paramType = types_.arrayType(paramType, dims[i]);
+      param->type = paramType;
+      fn->params.push_back(std::move(param));
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameter list");
+  fn->body = parseBlock();
+  return fn;
+}
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  auto program = std::make_unique<Program>();
+  while (!check(TokenKind::Eof)) {
+    bool isConst = check(TokenKind::KwConst);
+    if (!atTypeStart()) {
+      error("expected declaration at top level, found " +
+            std::string(tokenKindName(current().kind)));
+      synchronize();
+      continue;
+    }
+    const Type *base = parseType("at top level");
+    SourceLoc loc = current().loc;
+    if (check(TokenKind::Identifier) && peek(1).is(TokenKind::LParen)) {
+      std::string name = advance().text;
+      program->functions.push_back(parseFunction(base, std::move(name), loc));
+    } else {
+      program->globals.push_back(parseVarDecl(isConst, base, true));
+      expect(TokenKind::Semi, "after global declaration");
+    }
+  }
+  return program;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  SourceLoc loc = current().loc;
+  expect(TokenKind::LBrace, "to open block");
+  auto block = std::make_unique<BlockStmt>(loc);
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    std::size_t before = pos_;
+    block->stmts.push_back(parseStatement());
+    if (pos_ == before) { // no progress: bail out of the block
+      synchronize();
+      if (pos_ == before)
+        advance();
+    }
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return block;
+}
+
+StmtPtr Parser::parseDeclStatement() {
+  SourceLoc loc = current().loc;
+  bool isConst = check(TokenKind::KwConst);
+  const Type *base = parseType("in declaration");
+  auto decl = parseVarDecl(isConst, base, false);
+  expect(TokenKind::Semi, "after declaration");
+  return std::make_unique<DeclStmt>(loc, std::move(decl));
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc loc = advance().loc; // 'if'
+  expect(TokenKind::LParen, "after 'if'");
+  ExprPtr cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  StmtPtr thenStmt = parseStatement();
+  StmtPtr elseStmt;
+  if (accept(TokenKind::KwElse))
+    elseStmt = parseStatement();
+  return std::make_unique<IfStmt>(loc, std::move(cond), std::move(thenStmt),
+                                  std::move(elseStmt));
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc loc = advance().loc; // 'while'
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  StmtPtr body = parseStatement();
+  return std::make_unique<WhileStmt>(loc, std::move(cond), std::move(body));
+}
+
+StmtPtr Parser::parseDoWhile() {
+  SourceLoc loc = advance().loc; // 'do'
+  StmtPtr body = parseStatement();
+  expect(TokenKind::KwWhile, "after do body");
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr cond = parseExpr();
+  expect(TokenKind::RParen, "after do-while condition");
+  expect(TokenKind::Semi, "after do-while");
+  return std::make_unique<DoWhileStmt>(loc, std::move(body), std::move(cond));
+}
+
+StmtPtr Parser::parseFor(unsigned unrollFactor) {
+  SourceLoc loc = advance().loc; // 'for'
+  auto stmt = std::make_unique<ForStmt>(loc);
+  stmt->unrollFactor = unrollFactor;
+  expect(TokenKind::LParen, "after 'for'");
+  if (!accept(TokenKind::Semi)) {
+    if (atTypeStart())
+      stmt->init = parseDeclStatement(); // consumes ';'
+    else {
+      SourceLoc exprLoc = current().loc;
+      stmt->init = std::make_unique<ExprStmt>(exprLoc, parseExpr());
+      expect(TokenKind::Semi, "after for initializer");
+    }
+  }
+  if (!check(TokenKind::Semi))
+    stmt->cond = parseExpr();
+  expect(TokenKind::Semi, "after for condition");
+  if (!check(TokenKind::RParen))
+    stmt->step = parseExpr();
+  expect(TokenKind::RParen, "after for clauses");
+  stmt->body = parseStatement();
+  return stmt;
+}
+
+StmtPtr Parser::parsePar() {
+  SourceLoc loc = advance().loc; // 'par'
+  expect(TokenKind::LBrace, "after 'par'");
+  auto stmt = std::make_unique<ParStmt>(loc);
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    std::size_t before = pos_;
+    stmt->branches.push_back(parseStatement());
+    if (pos_ == before) {
+      synchronize();
+      if (pos_ == before)
+        advance();
+    }
+  }
+  expect(TokenKind::RBrace, "to close par block");
+  return stmt;
+}
+
+StmtPtr Parser::parseConstraint() {
+  SourceLoc loc = advance().loc; // 'constraint'
+  expect(TokenKind::LParen, "after 'constraint'");
+  auto minVal = parseConstIntExpr("constraint lower bound");
+  unsigned minCycles = minVal && *minVal >= 0
+                           ? static_cast<unsigned>(*minVal)
+                           : 0;
+  unsigned maxCycles = 0;
+  if (accept(TokenKind::Comma)) {
+    auto maxVal = parseConstIntExpr("constraint upper bound");
+    maxCycles = maxVal && *maxVal >= 0 ? static_cast<unsigned>(*maxVal) : 0;
+  }
+  expect(TokenKind::RParen, "after constraint bounds");
+  StmtPtr body = parseBlock();
+  if (maxCycles != 0 && maxCycles < minCycles)
+    diags_.error(loc, "constraint upper bound is below lower bound");
+  return std::make_unique<ConstraintStmt>(loc, minCycles, maxCycles,
+                                          std::move(body));
+}
+
+StmtPtr Parser::parseStatement() {
+  switch (current().kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDoWhile();
+  case TokenKind::KwFor:
+    return parseFor(0);
+  case TokenKind::KwUnroll: {
+    advance();
+    unsigned factor = ForStmt::kFullUnroll;
+    if (accept(TokenKind::LParen)) {
+      auto f = parseConstIntExpr("unroll factor");
+      expect(TokenKind::RParen, "after unroll factor");
+      if (f && *f >= 1)
+        factor = static_cast<unsigned>(*f);
+      else if (f)
+        error("unroll factor must be >= 1");
+    }
+    if (!check(TokenKind::KwFor)) {
+      error("'unroll' must be followed by a for loop");
+      return parseStatement();
+    }
+    return parseFor(factor);
+  }
+  case TokenKind::KwReturn: {
+    SourceLoc loc = advance().loc;
+    ExprPtr value;
+    if (!check(TokenKind::Semi))
+      value = parseExpr();
+    expect(TokenKind::Semi, "after return");
+    return std::make_unique<ReturnStmt>(loc, std::move(value));
+  }
+  case TokenKind::KwBreak: {
+    SourceLoc loc = advance().loc;
+    expect(TokenKind::Semi, "after 'break'");
+    return std::make_unique<BreakStmt>(loc);
+  }
+  case TokenKind::KwContinue: {
+    SourceLoc loc = advance().loc;
+    expect(TokenKind::Semi, "after 'continue'");
+    return std::make_unique<ContinueStmt>(loc);
+  }
+  case TokenKind::KwPar:
+    return parsePar();
+  case TokenKind::KwConstraint:
+    return parseConstraint();
+  case TokenKind::KwDelay: {
+    SourceLoc loc = advance().loc;
+    unsigned cycles = 1;
+    if (accept(TokenKind::LParen)) {
+      auto c = parseConstIntExpr("delay count");
+      expect(TokenKind::RParen, "after delay count");
+      if (c && *c >= 1)
+        cycles = static_cast<unsigned>(*c);
+    }
+    expect(TokenKind::Semi, "after 'delay'");
+    return std::make_unique<DelayStmt>(loc, cycles);
+  }
+  case TokenKind::Semi: { // empty statement
+    SourceLoc loc = advance().loc;
+    return std::make_unique<BlockStmt>(loc);
+  }
+  default:
+    break;
+  }
+
+  if (atTypeStart())
+    return parseDeclStatement();
+
+  // Channel statements: `ident ! expr ;` is always a send.  `ident ? ...`
+  // may be a receive or a ternary expression statement; try receive first
+  // and backtrack on failure.
+  if (check(TokenKind::Identifier) && peek(1).is(TokenKind::Bang)) {
+    SourceLoc loc = current().loc;
+    auto chan = std::make_unique<VarRefExpr>(loc, advance().text);
+    advance(); // '!'
+    ExprPtr value = parseExpr();
+    expect(TokenKind::Semi, "after channel send");
+    return std::make_unique<SendStmt>(loc, std::move(chan), std::move(value));
+  }
+  if (check(TokenKind::Identifier) && peek(1).is(TokenKind::Question)) {
+    std::size_t save = pos_;
+    unsigned errorsBefore = diags_.errorCount();
+    SourceLoc loc = current().loc;
+    auto chan = std::make_unique<VarRefExpr>(loc, advance().text);
+    advance(); // '?'
+    ExprPtr target = parseUnary();
+    if (target) // allow indexed lvalues: c ? buf[i];
+      target = parsePostfix(std::move(target));
+    if (target && check(TokenKind::Semi) &&
+        diags_.errorCount() == errorsBefore) {
+      advance(); // ';'
+      return std::make_unique<RecvStmt>(loc, std::move(chan),
+                                        std::move(target));
+    }
+    pos_ = save; // not a receive: reparse as expression statement
+  }
+
+  SourceLoc loc = current().loc;
+  ExprPtr expr = parseExpr();
+  expect(TokenKind::Semi, "after expression statement");
+  return std::make_unique<ExprStmt>(loc, std::move(expr));
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ast::ExprPtr Parser::parseExpr() {
+  ExprPtr lhs = parseTernary();
+  if (!lhs)
+    return lhs;
+
+  auto compound = [&](BinaryOp op) -> ExprPtr {
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = parseExpr(); // right-associative
+    auto assign =
+        std::make_unique<AssignExpr>(loc, std::move(lhs), std::move(rhs));
+    assign->isCompound = true;
+    assign->compoundOp = op;
+    return assign;
+  };
+
+  switch (current().kind) {
+  case TokenKind::Assign: {
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = parseExpr();
+    return std::make_unique<AssignExpr>(loc, std::move(lhs), std::move(rhs));
+  }
+  case TokenKind::PlusAssign: return compound(BinaryOp::Add);
+  case TokenKind::MinusAssign: return compound(BinaryOp::Sub);
+  case TokenKind::StarAssign: return compound(BinaryOp::Mul);
+  case TokenKind::SlashAssign: return compound(BinaryOp::Div);
+  case TokenKind::PercentAssign: return compound(BinaryOp::Rem);
+  case TokenKind::AmpAssign: return compound(BinaryOp::And);
+  case TokenKind::PipeAssign: return compound(BinaryOp::Or);
+  case TokenKind::CaretAssign: return compound(BinaryOp::Xor);
+  case TokenKind::ShlAssign: return compound(BinaryOp::Shl);
+  case TokenKind::ShrAssign: return compound(BinaryOp::Shr);
+  default:
+    return lhs;
+  }
+}
+
+ast::ExprPtr Parser::parseTernary() {
+  ExprPtr cond = parseBinary(0);
+  if (!cond || !check(TokenKind::Question))
+    return cond;
+  SourceLoc loc = advance().loc;
+  ExprPtr thenExpr = parseExpr();
+  expect(TokenKind::Colon, "in ternary expression");
+  ExprPtr elseExpr = parseTernary();
+  return std::make_unique<TernaryExpr>(loc, std::move(cond),
+                                       std::move(thenExpr),
+                                       std::move(elseExpr));
+}
+
+namespace {
+struct BinOpInfo {
+  BinaryOp op;
+  int precedence;
+};
+
+std::optional<BinOpInfo> binOpFor(TokenKind kind) {
+  switch (kind) {
+  case TokenKind::PipePipe: return BinOpInfo{BinaryOp::LogicalOr, 1};
+  case TokenKind::AmpAmp: return BinOpInfo{BinaryOp::LogicalAnd, 2};
+  case TokenKind::Pipe: return BinOpInfo{BinaryOp::Or, 3};
+  case TokenKind::Caret: return BinOpInfo{BinaryOp::Xor, 4};
+  case TokenKind::Amp: return BinOpInfo{BinaryOp::And, 5};
+  case TokenKind::Eq: return BinOpInfo{BinaryOp::Eq, 6};
+  case TokenKind::Ne: return BinOpInfo{BinaryOp::Ne, 6};
+  case TokenKind::Lt: return BinOpInfo{BinaryOp::Lt, 7};
+  case TokenKind::Le: return BinOpInfo{BinaryOp::Le, 7};
+  case TokenKind::Gt: return BinOpInfo{BinaryOp::Gt, 7};
+  case TokenKind::Ge: return BinOpInfo{BinaryOp::Ge, 7};
+  case TokenKind::Shl: return BinOpInfo{BinaryOp::Shl, 8};
+  case TokenKind::Shr: return BinOpInfo{BinaryOp::Shr, 8};
+  case TokenKind::Plus: return BinOpInfo{BinaryOp::Add, 9};
+  case TokenKind::Minus: return BinOpInfo{BinaryOp::Sub, 9};
+  case TokenKind::Star: return BinOpInfo{BinaryOp::Mul, 10};
+  case TokenKind::Slash: return BinOpInfo{BinaryOp::Div, 10};
+  case TokenKind::Percent: return BinOpInfo{BinaryOp::Rem, 10};
+  default: return std::nullopt;
+  }
+}
+} // namespace
+
+ast::ExprPtr Parser::parseBinary(int minPrecedence) {
+  ExprPtr lhs = parseUnary();
+  for (;;) {
+    auto info = binOpFor(current().kind);
+    if (!info || info->precedence < minPrecedence)
+      return lhs;
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = parseBinary(info->precedence + 1);
+    lhs = std::make_unique<BinaryExpr>(loc, info->op, std::move(lhs),
+                                       std::move(rhs));
+  }
+}
+
+ast::ExprPtr Parser::parseUnary() {
+  SourceLoc loc = current().loc;
+  switch (current().kind) {
+  case TokenKind::Minus:
+    advance();
+    return std::make_unique<UnaryExpr>(loc, UnaryOp::Neg, parseUnary());
+  case TokenKind::Plus:
+    advance();
+    return std::make_unique<UnaryExpr>(loc, UnaryOp::Plus, parseUnary());
+  case TokenKind::Bang:
+    advance();
+    return std::make_unique<UnaryExpr>(loc, UnaryOp::Not, parseUnary());
+  case TokenKind::Tilde:
+    advance();
+    return std::make_unique<UnaryExpr>(loc, UnaryOp::BitNot, parseUnary());
+  case TokenKind::Star:
+    advance();
+    return std::make_unique<UnaryExpr>(loc, UnaryOp::Deref, parseUnary());
+  case TokenKind::Amp:
+    advance();
+    return std::make_unique<UnaryExpr>(loc, UnaryOp::AddrOf, parseUnary());
+  case TokenKind::PlusPlus:
+    advance();
+    return std::make_unique<UnaryExpr>(loc, UnaryOp::PreInc, parseUnary());
+  case TokenKind::MinusMinus:
+    advance();
+    return std::make_unique<UnaryExpr>(loc, UnaryOp::PreDec, parseUnary());
+  case TokenKind::LParen:
+    // Cast: '(' type ')' unary.  No typedefs, so a type keyword after '('
+    // is unambiguous.
+    if (atTypeStart() || [&] {
+          switch (peek(1).kind) {
+          case TokenKind::KwVoid: case TokenKind::KwBool:
+          case TokenKind::KwChar: case TokenKind::KwShort:
+          case TokenKind::KwInt: case TokenKind::KwLong:
+          case TokenKind::KwUint: case TokenKind::KwUnsigned:
+          case TokenKind::KwSigned:
+            return true;
+          default:
+            return false;
+          }
+        }()) {
+      advance(); // '('
+      const Type *to = parseType("in cast");
+      expect(TokenKind::RParen, "after cast type");
+      ExprPtr operand = parseUnary();
+      if (operand)
+        operand = parsePostfix(std::move(operand));
+      return std::make_unique<CastExpr>(loc, to, std::move(operand));
+    }
+    return parsePostfix(parsePrimary());
+  default:
+    return parsePostfix(parsePrimary());
+  }
+}
+
+ast::ExprPtr Parser::parsePostfix(ast::ExprPtr base) {
+  for (;;) {
+    SourceLoc loc = current().loc;
+    if (accept(TokenKind::LBracket)) {
+      ExprPtr index = parseExpr();
+      expect(TokenKind::RBracket, "after array index");
+      base = std::make_unique<IndexExpr>(loc, std::move(base),
+                                         std::move(index));
+    } else if (check(TokenKind::LParen) &&
+               base->kind == Expr::Kind::VarRef) {
+      advance();
+      std::string name = static_cast<VarRefExpr *>(base.get())->name;
+      std::vector<ExprPtr> args;
+      if (!check(TokenKind::RParen)) {
+        do
+          args.push_back(parseExpr());
+        while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "after call arguments");
+      base = std::make_unique<CallExpr>(base->loc, std::move(name),
+                                        std::move(args));
+    } else if (accept(TokenKind::PlusPlus)) {
+      base = std::make_unique<UnaryExpr>(loc, UnaryOp::PostInc,
+                                         std::move(base));
+    } else if (accept(TokenKind::MinusMinus)) {
+      base = std::make_unique<UnaryExpr>(loc, UnaryOp::PostDec,
+                                         std::move(base));
+    } else {
+      return base;
+    }
+  }
+}
+
+ast::ExprPtr Parser::parseIntLiteral() {
+  Token t = advance();
+  std::string spelling = t.text;
+  bool isUnsigned = false;
+  if (!spelling.empty() && (spelling.back() == 'u' || spelling.back() == 'U')) {
+    isUnsigned = true;
+    spelling.pop_back();
+  }
+  bool ok = true;
+  // Parse wide, then size to the literal's natural type (int<32>, widening
+  // to 64 when the value does not fit — mirroring C's literal typing).
+  BitVector wide = BitVector::fromString(128, spelling, &ok);
+  if (!ok)
+    diags_.error(t.loc, "malformed integer literal '" + t.text + "'");
+  unsigned needed = std::max(1u, wide.activeBits());
+  unsigned width = needed <= (isUnsigned ? 32u : 31u) ? 32 : 64;
+  if (needed > (isUnsigned ? 64u : 63u)) {
+    diags_.error(t.loc, "integer literal too large");
+    width = 64;
+  }
+  auto expr =
+      std::make_unique<IntLiteralExpr>(t.loc, wide.trunc(width));
+  // Literal type is attached during Sema, but record signedness intent by
+  // value; unsigned literals keep their bit pattern either way.
+  (void)isUnsigned;
+  return expr;
+}
+
+ast::ExprPtr Parser::parsePrimary() {
+  SourceLoc loc = current().loc;
+  switch (current().kind) {
+  case TokenKind::IntLiteral:
+    return parseIntLiteral();
+  case TokenKind::KwTrue:
+    advance();
+    return std::make_unique<BoolLiteralExpr>(loc, true);
+  case TokenKind::KwFalse:
+    advance();
+    return std::make_unique<BoolLiteralExpr>(loc, false);
+  case TokenKind::Identifier:
+    return std::make_unique<VarRefExpr>(loc, advance().text);
+  case TokenKind::LParen: {
+    advance();
+    ExprPtr inner = parseExpr();
+    expect(TokenKind::RParen, "after parenthesized expression");
+    return inner;
+  }
+  default:
+    error("expected expression, found " +
+          std::string(tokenKindName(current().kind)));
+    advance();
+    return std::make_unique<IntLiteralExpr>(loc, BitVector(32));
+  }
+}
+
+std::unique_ptr<ast::Program> parseString(const std::string &source,
+                                          TypeContext &types,
+                                          DiagnosticEngine &diags) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.lexAll(), types, diags);
+  return parser.parseProgram();
+}
+
+} // namespace c2h

@@ -1,0 +1,98 @@
+// Recursive-descent parser for uC.
+//
+// The grammar is C's statement/expression core plus the surveyed hardware
+// extensions: `par { ... }` blocks, channel send/receive statements
+// (`c ! e;` / `c ? x;`), `delay(n);`, `constraint(min,max) { ... }` blocks,
+// bit-precise `int<N>`/`uint<N>` types, and `unroll(N)` loop annotations.
+//
+// Because uC has no typedefs, declaration starts are always keywords, which
+// keeps the grammar LL(k) except for the Handel-C receive statement
+// (`c ? x;` vs. ternary `c ? x : y`), which is resolved by backtracking.
+#ifndef C2H_FRONTEND_PARSER_H
+#define C2H_FRONTEND_PARSER_H
+
+#include "frontend/ast.h"
+#include "frontend/token.h"
+#include "frontend/type.h"
+#include "support/diagnostics.h"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+namespace c2h {
+
+class Parser {
+public:
+  Parser(std::vector<Token> tokens, TypeContext &types,
+         DiagnosticEngine &diags);
+
+  // Parse a whole translation unit.  On syntax errors, diagnostics are
+  // emitted and a best-effort partial program is still returned; callers
+  // must check diags.hasErrors().
+  std::unique_ptr<ast::Program> parseProgram();
+
+private:
+  // -- token stream helpers --
+  const Token &peek(unsigned ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token advance();
+  bool check(TokenKind kind) const { return current().is(kind); }
+  bool accept(TokenKind kind);
+  // Consume `kind` or report an error mentioning `context`.
+  Token expect(TokenKind kind, const char *context);
+  void error(const std::string &message);
+  // Skip tokens until a statement boundary, for error recovery.
+  void synchronize();
+
+  // -- types --
+  bool atTypeStart() const;
+  const Type *parseType(const char *context);
+  // Width/array-size expressions: evaluated at parse time over literals and
+  // previously seen global constants.
+  std::optional<std::int64_t> parseConstIntExpr(const char *context);
+  std::optional<std::int64_t> constEval(const ast::Expr &expr) const;
+
+  // -- declarations --
+  std::unique_ptr<ast::VarDecl> parseVarDecl(bool isConst, const Type *base,
+                                             bool isGlobal);
+  std::unique_ptr<ast::FuncDecl> parseFunction(const Type *returnType,
+                                               std::string name,
+                                               SourceLoc loc);
+
+  // -- statements --
+  ast::StmtPtr parseStatement();
+  std::unique_ptr<ast::BlockStmt> parseBlock();
+  ast::StmtPtr parseIf();
+  ast::StmtPtr parseWhile();
+  ast::StmtPtr parseDoWhile();
+  ast::StmtPtr parseFor(unsigned unrollFactor);
+  ast::StmtPtr parsePar();
+  ast::StmtPtr parseConstraint();
+  ast::StmtPtr parseDeclStatement();
+
+  // -- expressions (precedence climbing) --
+  ast::ExprPtr parseExpr();       // assignment level
+  ast::ExprPtr parseTernary();
+  ast::ExprPtr parseBinary(int minPrecedence);
+  ast::ExprPtr parseUnary();
+  ast::ExprPtr parsePostfix(ast::ExprPtr base);
+  ast::ExprPtr parsePrimary();
+  ast::ExprPtr parseIntLiteral();
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  TypeContext &types_;
+  DiagnosticEngine &diags_;
+  // Const globals usable in width / array-size expressions.
+  std::unordered_map<std::string, std::int64_t> constGlobals_;
+};
+
+// Convenience: lex + parse `source`.
+std::unique_ptr<ast::Program> parseString(const std::string &source,
+                                          TypeContext &types,
+                                          DiagnosticEngine &diags);
+
+} // namespace c2h
+
+#endif // C2H_FRONTEND_PARSER_H

@@ -1,0 +1,47 @@
+// Token definitions for the uC lexer.
+#ifndef C2H_FRONTEND_TOKEN_H
+#define C2H_FRONTEND_TOKEN_H
+
+#include "support/diagnostics.h"
+
+#include <string>
+
+namespace c2h {
+
+enum class TokenKind {
+  // Literals and identifiers
+  Identifier,
+  IntLiteral, // text kept verbatim; sema sizes it
+  // Keywords
+  KwVoid, KwBool, KwChar, KwShort, KwInt, KwLong, KwUint, KwUnsigned,
+  KwSigned, KwConst, KwIf, KwElse, KwWhile, KwFor, KwDo, KwReturn, KwBreak,
+  KwContinue, KwPar, KwChan, KwDelay, KwConstraint, KwUnroll, KwTrue, KwFalse,
+  // Punctuation / operators
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Colon, Question,
+  Assign,        // =
+  PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  AmpAmp, PipePipe,
+  Eq, Ne, Lt, Gt, Le, Ge,
+  Shl, Shr,
+  PlusPlus, MinusMinus,
+  Eof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::Eof;
+  std::string text; // identifier name or literal spelling
+  SourceLoc loc;
+
+  bool is(TokenKind k) const { return kind == k; }
+};
+
+// Human-readable token-kind name for diagnostics ("'while'", "'<<='", ...).
+const char *tokenKindName(TokenKind kind);
+
+} // namespace c2h
+
+#endif // C2H_FRONTEND_TOKEN_H

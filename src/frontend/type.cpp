@@ -1,0 +1,94 @@
+#include "frontend/type.h"
+
+#include "support/bitvector.h"
+
+#include <cassert>
+
+namespace c2h {
+
+unsigned Type::bitWidth() const {
+  assert(isScalar());
+  return isBool() ? 1 : width_;
+}
+
+bool Type::isSigned() const {
+  assert(isScalar());
+  return isBool() ? false : signed_;
+}
+
+unsigned Type::storageBits() const {
+  switch (kind_) {
+  case Kind::Bool:
+    return 1;
+  case Kind::Int:
+    return width_;
+  case Kind::Pointer:
+    return kPointerWidth;
+  case Kind::Array:
+    return static_cast<unsigned>(element_->storageBits() * arraySize_);
+  default:
+    assert(false && "type has no storage");
+    return 0;
+  }
+}
+
+std::string Type::str() const {
+  switch (kind_) {
+  case Kind::Void:
+    return "void";
+  case Kind::Bool:
+    return "bool";
+  case Kind::Int:
+    return (signed_ ? "int<" : "uint<") + std::to_string(width_) + ">";
+  case Kind::Array: {
+    // Print dimensions outermost-first, as C declarators read.
+    std::string dims;
+    const Type *t = this;
+    while (t->kind_ == Kind::Array) {
+      dims += "[" + std::to_string(t->arraySize_) + "]";
+      t = t->element_;
+    }
+    return t->str() + dims;
+  }
+  case Kind::Pointer:
+    return element_->str() + "*";
+  case Kind::Chan:
+    return "chan<" + element_->str() + ">";
+  }
+  return "?";
+}
+
+TypeContext::TypeContext() {
+  void_ = intern(Type(Type::Kind::Void, 0, false, nullptr, 0));
+  bool_ = intern(Type(Type::Kind::Bool, 1, false, nullptr, 0));
+}
+
+const Type *TypeContext::intern(Type t) {
+  for (const auto &existing : storage_) {
+    if (existing->kind_ == t.kind_ && existing->width_ == t.width_ &&
+        existing->signed_ == t.signed_ && existing->element_ == t.element_ &&
+        existing->arraySize_ == t.arraySize_)
+      return existing.get();
+  }
+  storage_.push_back(std::unique_ptr<Type>(new Type(t)));
+  return storage_.back().get();
+}
+
+const Type *TypeContext::intType(unsigned width, bool isSigned) {
+  assert(width >= 1 && width <= BitVector::kMaxWidth);
+  return intern(Type(Type::Kind::Int, width, isSigned, nullptr, 0));
+}
+
+const Type *TypeContext::arrayType(const Type *element, std::uint64_t size) {
+  return intern(Type(Type::Kind::Array, 0, false, element, size));
+}
+
+const Type *TypeContext::pointerType(const Type *element) {
+  return intern(Type(Type::Kind::Pointer, 0, false, element, 0));
+}
+
+const Type *TypeContext::chanType(const Type *element) {
+  return intern(Type(Type::Kind::Chan, 0, false, element, 0));
+}
+
+} // namespace c2h

@@ -1,0 +1,95 @@
+// The uC type system.
+//
+// uC generalizes C's "four integer sizes" (the paper's complaint) to
+// bit-precise int<N>/uint<N>, keeps C arrays and (restricted) pointers, and
+// adds chan<T> for the Handel-C/Bach-C rendezvous channels.  Types are
+// interned in a TypeContext; Type pointers are non-owning and comparable by
+// identity.
+#ifndef C2H_FRONTEND_TYPE_H
+#define C2H_FRONTEND_TYPE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c2h {
+
+class Type {
+public:
+  enum class Kind { Void, Bool, Int, Array, Pointer, Chan };
+
+  Kind kind() const { return kind_; }
+  bool isVoid() const { return kind_ == Kind::Void; }
+  bool isBool() const { return kind_ == Kind::Bool; }
+  bool isInt() const { return kind_ == Kind::Int; }
+  bool isArray() const { return kind_ == Kind::Array; }
+  bool isPointer() const { return kind_ == Kind::Pointer; }
+  bool isChan() const { return kind_ == Kind::Chan; }
+  // Bool or Int — usable in arithmetic and conditions.
+  bool isScalar() const { return isBool() || isInt(); }
+
+  // Int width; Bool is 1.  Only valid for scalars.
+  unsigned bitWidth() const;
+  // Signedness of an Int (Bool is unsigned).
+  bool isSigned() const;
+  // Element type of Array/Pointer/Chan.
+  const Type *element() const { return element_; }
+  // Array length.
+  std::uint64_t arraySize() const { return arraySize_; }
+
+  // Total storage bits (arrays = elem bits * size); pointers are
+  // kPointerWidth.  Valid for storable types (not void/chan).
+  unsigned storageBits() const;
+
+  std::string str() const;
+
+  static constexpr unsigned kPointerWidth = 32;
+
+private:
+  friend class TypeContext;
+  Type(Kind kind, unsigned width, bool isSigned, const Type *element,
+       std::uint64_t arraySize)
+      : kind_(kind), width_(width), signed_(isSigned), element_(element),
+        arraySize_(arraySize) {}
+
+  Kind kind_;
+  unsigned width_ = 0;
+  bool signed_ = false;
+  const Type *element_ = nullptr;
+  std::uint64_t arraySize_ = 0;
+};
+
+// Owns and interns all Types for one compilation.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const Type *voidType() const { return void_; }
+  const Type *boolType() const { return bool_; }
+  // int<width> with the given signedness; width in [1, BitVector::kMaxWidth].
+  const Type *intType(unsigned width, bool isSigned = true);
+  const Type *arrayType(const Type *element, std::uint64_t size);
+  const Type *pointerType(const Type *element);
+  const Type *chanType(const Type *element);
+
+  // Convenience aliases matching the C-ish surface syntax.
+  const Type *i8() { return intType(8); }
+  const Type *i16() { return intType(16); }
+  const Type *i32() { return intType(32); }
+  const Type *i64() { return intType(64); }
+  const Type *u32() { return intType(32, false); }
+
+private:
+  const Type *intern(Type t);
+
+  std::vector<std::unique_ptr<Type>> storage_;
+  const Type *void_;
+  const Type *bool_;
+};
+
+} // namespace c2h
+
+#endif // C2H_FRONTEND_TYPE_H

@@ -1,0 +1,74 @@
+// Reference interpreter for uC — the golden model.
+//
+// Every synthesis flow's output (RTL FSMD or asynchronous dataflow circuit)
+// is validated by running the same program here and comparing results
+// bit-exactly.  The interpreter executes the *checked* AST directly:
+//
+//  * bit-precise arithmetic via BitVector (a 13-bit multiply wraps at 13
+//    bits exactly as the synthesized datapath does),
+//  * `par` branches run as real threads serialized by a global interpreter
+//    lock (released at channel operations and joins),
+//  * channels implement blocking rendezvous (CSP/OCCAM style, as in
+//    Handel-C and Bach C), with a deadlock timeout so miscommunicating
+//    programs fail loudly instead of hanging the test suite,
+//  * a step budget bounds runaway loops.
+#ifndef C2H_INTERP_INTERP_H
+#define C2H_INTERP_INTERP_H
+
+#include "frontend/ast.h"
+#include "frontend/type.h"
+#include "support/bitvector.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace c2h {
+
+struct InterpOptions {
+  // Abort after this many evaluation steps (0 = unlimited).
+  std::uint64_t maxSteps = 50'000'000;
+  // Channel operations that block longer than this are declared deadlocked.
+  unsigned deadlockTimeoutMs = 5000;
+};
+
+struct InterpResult {
+  bool ok = false;
+  std::string error;        // set when !ok
+  BitVector returnValue{1}; // valid when ok and function is non-void
+  std::uint64_t steps = 0;  // evaluation steps consumed
+};
+
+class Interpreter {
+public:
+  explicit Interpreter(const ast::Program &program, InterpOptions options = {});
+  ~Interpreter();
+
+  Interpreter(const Interpreter &) = delete;
+  Interpreter &operator=(const Interpreter &) = delete;
+
+  // Run `name(args...)`.  Scalar arguments only (arrays are reached through
+  // globals).  Globals persist across calls, so a test can seed inputs,
+  // call, then inspect outputs.
+  InterpResult call(const std::string &name,
+                    const std::vector<BitVector> &args = {});
+
+  // Read/write global variables (scalars and whole arrays), for seeding
+  // inputs and checking outputs.
+  std::vector<BitVector> readGlobal(const std::string &name) const;
+  void writeGlobal(const std::string &name,
+                   const std::vector<BitVector> &cells);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+} // namespace c2h
+
+#endif // C2H_INTERP_INTERP_H

@@ -1,0 +1,210 @@
+// Convenience builder for emitting IR instructions into a basic block.
+#ifndef C2H_IR_BUILDER_H
+#define C2H_IR_BUILDER_H
+
+#include "ir/ir.h"
+
+#include <cassert>
+
+namespace c2h::ir {
+
+class Builder {
+public:
+  explicit Builder(Function &fn) : fn_(fn) {}
+
+  Function &function() { return fn_; }
+  BasicBlock *block() const { return block_; }
+  void setInsertPoint(BasicBlock *block) { block_ = block; }
+
+  // Every instruction emitted while a constraint is active is tagged with
+  // it (HardwareC timing windows).
+  void setActiveConstraint(unsigned id) { constraintId_ = id; }
+  unsigned activeConstraint() const { return constraintId_; }
+
+  Instr *emit(std::unique_ptr<Instr> instr) {
+    assert(block_ && "no insert point");
+    instr->constraintId = constraintId_;
+    instr->loc = loc_;
+    return block_->append(std::move(instr));
+  }
+  void setLoc(SourceLoc loc) { loc_ = loc; }
+
+  VReg emitConst(BitVector value) {
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::Const;
+    instr->dst = fn_.newVReg(value.width());
+    instr->constValue = std::move(value);
+    return *emit(std::move(instr))->dst;
+  }
+
+  VReg emitBinary(Opcode op, Operand a, Operand b) {
+    assert(a.width() == b.width());
+    auto instr = std::make_unique<Instr>();
+    instr->op = op;
+    instr->dst = fn_.newVReg(a.width());
+    instr->operands = {std::move(a), std::move(b)};
+    return *emit(std::move(instr))->dst;
+  }
+
+  VReg emitShift(Opcode op, Operand value, Operand amount) {
+    auto instr = std::make_unique<Instr>();
+    instr->op = op;
+    instr->dst = fn_.newVReg(value.width());
+    instr->operands = {std::move(value), std::move(amount)};
+    return *emit(std::move(instr))->dst;
+  }
+
+  VReg emitCompare(Opcode op, Operand a, Operand b) {
+    assert(a.width() == b.width());
+    auto instr = std::make_unique<Instr>();
+    instr->op = op;
+    instr->dst = fn_.newVReg(1);
+    instr->operands = {std::move(a), std::move(b)};
+    return *emit(std::move(instr))->dst;
+  }
+
+  VReg emitUnary(Opcode op, Operand a) {
+    auto instr = std::make_unique<Instr>();
+    instr->op = op;
+    instr->dst = fn_.newVReg(a.width());
+    instr->operands = {std::move(a)};
+    return *emit(std::move(instr))->dst;
+  }
+
+  VReg emitMux(Operand cond, Operand ifTrue, Operand ifFalse) {
+    assert(cond.width() == 1 && ifTrue.width() == ifFalse.width());
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::Mux;
+    instr->dst = fn_.newVReg(ifTrue.width());
+    instr->operands = {std::move(cond), std::move(ifTrue),
+                       std::move(ifFalse)};
+    return *emit(std::move(instr))->dst;
+  }
+
+  // Resize to `width` (Trunc / ZExt / SExt / passthrough).
+  Operand emitResize(Operand value, unsigned width, bool isSigned) {
+    if (value.width() == width)
+      return value;
+    auto instr = std::make_unique<Instr>();
+    instr->op = value.width() > width ? Opcode::Trunc
+                : isSigned           ? Opcode::SExt
+                                     : Opcode::ZExt;
+    instr->dst = fn_.newVReg(width);
+    instr->operands = {std::move(value)};
+    return *emit(std::move(instr))->dst;
+  }
+
+  // Write `value` into an existing vreg (same width) — a register-transfer
+  // assignment.
+  void emitCopyTo(VReg dst, Operand value) {
+    assert(dst.width == value.width());
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::Copy;
+    instr->dst = dst;
+    instr->operands = {std::move(value)};
+    emit(std::move(instr));
+  }
+
+  VReg emitLoad(unsigned memId, Operand addr, unsigned width) {
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::Load;
+    instr->dst = fn_.newVReg(width);
+    instr->memId = memId;
+    instr->operands = {std::move(addr)};
+    return *emit(std::move(instr))->dst;
+  }
+
+  void emitStore(unsigned memId, Operand addr, Operand value) {
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::Store;
+    instr->memId = memId;
+    instr->operands = {std::move(addr), std::move(value)};
+    emit(std::move(instr));
+  }
+
+  void emitChanSend(unsigned chanId, Operand value) {
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::ChanSend;
+    instr->chanId = chanId;
+    instr->operands = {std::move(value)};
+    emit(std::move(instr));
+  }
+
+  VReg emitChanRecv(unsigned chanId, unsigned width) {
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::ChanRecv;
+    instr->chanId = chanId;
+    instr->dst = fn_.newVReg(width);
+    return *emit(std::move(instr))->dst;
+  }
+
+  void emitFork(std::vector<unsigned> processes) {
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::Fork;
+    instr->processes = std::move(processes);
+    emit(std::move(instr));
+  }
+
+  void emitDelay(unsigned cycles) {
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::Delay;
+    instr->delayCycles = cycles;
+    emit(std::move(instr));
+  }
+
+  VReg emitCall(const std::string &callee, std::vector<Operand> args,
+                unsigned returnWidth) {
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::Call;
+    instr->callee = callee;
+    instr->operands = std::move(args);
+    if (returnWidth != 0)
+      instr->dst = fn_.newVReg(returnWidth);
+    Instr *emitted = emit(std::move(instr));
+    return emitted->dst ? *emitted->dst : VReg{};
+  }
+
+  void emitBr(BasicBlock *target) {
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::Br;
+    instr->target0 = target;
+    emit(std::move(instr));
+  }
+
+  void emitCondBr(Operand cond, BasicBlock *ifTrue, BasicBlock *ifFalse) {
+    assert(cond.width() == 1);
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::CondBr;
+    instr->operands = {std::move(cond)};
+    instr->target0 = ifTrue;
+    instr->target1 = ifFalse;
+    emit(std::move(instr));
+  }
+
+  void emitRet() {
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::Ret;
+    emit(std::move(instr));
+  }
+
+  void emitRet(Operand value) {
+    auto instr = std::make_unique<Instr>();
+    instr->op = Opcode::Ret;
+    instr->operands = {std::move(value)};
+    emit(std::move(instr));
+  }
+
+  // True when the current block already ends in a terminator (e.g. after
+  // lowering a `return`), so no more instructions may be appended.
+  bool terminated() const { return block_ && block_->terminator() != nullptr; }
+
+private:
+  Function &fn_;
+  BasicBlock *block_ = nullptr;
+  unsigned constraintId_ = 0;
+  SourceLoc loc_;
+};
+
+} // namespace c2h::ir
+
+#endif // C2H_IR_BUILDER_H

@@ -1,0 +1,216 @@
+#include "ir/exec.h"
+#include <functional>
+
+#include <cassert>
+#include <stdexcept>
+
+namespace c2h::ir {
+
+namespace {
+struct ExecError {
+  std::string message;
+};
+[[noreturn]] void fail(const std::string &message) {
+  throw ExecError{message};
+}
+
+unsigned clampShift(const BitVector &amount, unsigned width) {
+  std::uint64_t a = amount.toUint64();
+  // Any high bits beyond 64 would make the amount gigantic anyway.
+  if (amount.activeBits() > 64 || a > width)
+    return width;
+  return static_cast<unsigned>(a);
+}
+} // namespace
+
+BitVector IRExecutor::evalOp(Opcode op, const std::vector<BitVector> &ops,
+                             unsigned dstWidth) {
+  switch (op) {
+  case Opcode::Copy: return ops[0];
+  case Opcode::Add: return ops[0].add(ops[1]);
+  case Opcode::Sub: return ops[0].sub(ops[1]);
+  case Opcode::Mul: return ops[0].mul(ops[1]);
+  case Opcode::DivS: return ops[0].sdiv(ops[1]);
+  case Opcode::DivU: return ops[0].udiv(ops[1]);
+  case Opcode::RemS: return ops[0].srem(ops[1]);
+  case Opcode::RemU: return ops[0].urem(ops[1]);
+  case Opcode::And: return ops[0].bitAnd(ops[1]);
+  case Opcode::Or: return ops[0].bitOr(ops[1]);
+  case Opcode::Xor: return ops[0].bitXor(ops[1]);
+  case Opcode::Not: return ops[0].bitNot();
+  case Opcode::Neg: return ops[0].neg();
+  case Opcode::Shl: return ops[0].shl(clampShift(ops[1], ops[0].width()));
+  case Opcode::ShrL: return ops[0].lshr(clampShift(ops[1], ops[0].width()));
+  case Opcode::ShrA: return ops[0].ashr(clampShift(ops[1], ops[0].width()));
+  case Opcode::CmpEq: return BitVector(1, ops[0].eq(ops[1]));
+  case Opcode::CmpNe: return BitVector(1, !ops[0].eq(ops[1]));
+  case Opcode::CmpLtS: return BitVector(1, ops[0].slt(ops[1]));
+  case Opcode::CmpLtU: return BitVector(1, ops[0].ult(ops[1]));
+  case Opcode::CmpLeS: return BitVector(1, ops[0].sle(ops[1]));
+  case Opcode::CmpLeU: return BitVector(1, ops[0].ule(ops[1]));
+  case Opcode::Mux: return ops[0].isZero() ? ops[2] : ops[1];
+  case Opcode::Trunc: return ops[0].trunc(dstWidth);
+  case Opcode::ZExt: return ops[0].zext(dstWidth);
+  case Opcode::SExt: return ops[0].sext(dstWidth);
+  default:
+    fail(std::string("evalOp: not a datapath opcode: ") + opcodeName(op));
+  }
+}
+
+IRExecutor::IRExecutor(const Module &module, std::uint64_t maxInstructions)
+    : module_(module), maxInstructions_(maxInstructions) {
+  for (const auto &mem : module.mems()) {
+    std::vector<BitVector> cells(mem.depth, BitVector(std::max(1u, mem.width)));
+    for (std::size_t i = 0; i < mem.init.size() && i < cells.size(); ++i)
+      cells[i] = mem.init[i];
+    mems_.push_back(std::move(cells));
+  }
+}
+
+ExecResult IRExecutor::call(const std::string &name,
+                            const std::vector<BitVector> &args) {
+  ExecResult result;
+  const Function *fn = module_.findFunction(name);
+  if (!fn) {
+    result.error = "no function named '" + name + "'";
+    return result;
+  }
+  if (args.size() != fn->params().size()) {
+    result.error = "argument count mismatch";
+    return result;
+  }
+
+  // Recursive lambda over call frames.
+  std::function<BitVector(const Function &, const std::vector<BitVector> &)>
+      run = [&](const Function &f,
+                const std::vector<BitVector> &actuals) -> BitVector {
+    std::vector<BitVector> regs(f.vregCount(), BitVector(1));
+    for (std::size_t i = 0; i < f.params().size(); ++i)
+      regs[f.params()[i].id] =
+          actuals[i].resize(f.params()[i].width, false);
+
+    auto value = [&](const Operand &op) -> const BitVector & {
+      if (op.isImm())
+        return op.imm();
+      return regs[op.reg().id];
+    };
+
+    const BasicBlock *block = f.entry();
+    if (!block)
+      fail("function '" + f.name() + "' has no blocks");
+    for (;;) {
+      const BasicBlock *next = nullptr;
+      for (const auto &instrPtr : block->instrs()) {
+        const Instr &instr = *instrPtr;
+        if (++executed_ > maxInstructions_)
+          fail("instruction budget exceeded (possible infinite loop)");
+        switch (instr.op) {
+        case Opcode::Const:
+          regs[instr.dst->id] = instr.constValue;
+          break;
+        case Opcode::Load: {
+          auto &mem = mems_.at(instr.memId);
+          std::uint64_t addr = value(instr.operands[0]).toUint64();
+          if (addr >= mem.size())
+            fail("load out of bounds in " + f.name() + " (@m" +
+                 std::to_string(instr.memId) + "[" + std::to_string(addr) +
+                 "])");
+          regs[instr.dst->id] = mem[addr];
+          break;
+        }
+        case Opcode::Store: {
+          auto &mem = mems_.at(instr.memId);
+          std::uint64_t addr = value(instr.operands[0]).toUint64();
+          if (addr >= mem.size())
+            fail("store out of bounds in " + f.name() + " (@m" +
+                 std::to_string(instr.memId) + "[" + std::to_string(addr) +
+                 "])");
+          mem[addr] = value(instr.operands[1]);
+          break;
+        }
+        case Opcode::Call: {
+          const Function *callee = module_.findFunction(instr.callee);
+          if (!callee)
+            fail("call to unknown function " + instr.callee);
+          std::vector<BitVector> callArgs;
+          for (const auto &op : instr.operands)
+            callArgs.push_back(value(op));
+          BitVector ret = run(*callee, callArgs);
+          if (instr.dst)
+            regs[instr.dst->id] = ret.resize(instr.dst->width, false);
+          break;
+        }
+        case Opcode::Ret:
+          if (!instr.operands.empty())
+            return value(instr.operands[0]);
+          return BitVector(1);
+        case Opcode::Br:
+          next = instr.target0;
+          break;
+        case Opcode::CondBr:
+          next = value(instr.operands[0]).isZero() ? instr.target1
+                                                   : instr.target0;
+          break;
+        case Opcode::Delay:
+        case Opcode::Nop:
+          break;
+        case Opcode::Fork:
+        case Opcode::ChanSend:
+        case Opcode::ChanRecv:
+          fail("IRExecutor does not execute concurrent constructs (" +
+               std::string(opcodeName(instr.op)) +
+               "); use the RTL simulator");
+        default: {
+          std::vector<BitVector> ops;
+          for (const auto &op : instr.operands)
+            ops.push_back(value(op));
+          regs[instr.dst->id] =
+              evalOp(instr.op, ops, instr.dst->width);
+          break;
+        }
+        }
+      }
+      if (!next)
+        fail("block " + block->name() + " fell through without a terminator");
+      block = next;
+    }
+  };
+
+  try {
+    BitVector ret = run(*fn, args);
+    result.ok = true;
+    result.returnValue = ret;
+  } catch (const ExecError &e) {
+    result.error = e.message;
+  }
+  result.instructions = executed_;
+  return result;
+}
+
+std::vector<BitVector> IRExecutor::readGlobal(const std::string &name) const {
+  const GlobalSlot *slot = module_.findGlobal(name);
+  if (!slot)
+    return {};
+  std::vector<BitVector> out;
+  const auto &mem = mems_.at(slot->memId);
+  for (std::uint64_t i = 0; i < slot->words && slot->base + i < mem.size();
+       ++i)
+    out.push_back(mem[slot->base + i].trunc(slot->width));
+  return out;
+}
+
+void IRExecutor::writeGlobal(const std::string &name,
+                             const std::vector<BitVector> &cells) {
+  const GlobalSlot *slot = module_.findGlobal(name);
+  if (!slot)
+    return;
+  auto &mem = mems_.at(slot->memId);
+  unsigned cellWidth = module_.mems()[slot->memId].width;
+  for (std::uint64_t i = 0;
+       i < cells.size() && i < slot->words && slot->base + i < mem.size();
+       ++i)
+    mem[slot->base + i] =
+        cells[i].resize(slot->width, false).resize(cellWidth, false);
+}
+
+} // namespace c2h::ir

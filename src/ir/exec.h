@@ -1,0 +1,57 @@
+// A direct executor for lowered IR (sequential programs only).
+//
+// This is the mid-level oracle in the three-level validation chain:
+//   AST interpreter  ==  IR executor  ==  cycle-accurate RTL simulation.
+// It runs functions instruction-by-instruction over a virtual register file
+// and the module's memories.  Fork/channel instructions are rejected —
+// concurrency is exercised at the RTL level, where it has cycle semantics.
+#ifndef C2H_IR_EXEC_H
+#define C2H_IR_EXEC_H
+
+#include "ir/ir.h"
+#include "support/bitvector.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c2h::ir {
+
+struct ExecResult {
+  bool ok = false;
+  std::string error;
+  BitVector returnValue{1};
+  std::uint64_t instructions = 0; // dynamic instruction count
+};
+
+class IRExecutor {
+public:
+  explicit IRExecutor(const Module &module, std::uint64_t maxInstructions =
+                                                50'000'000);
+
+  ExecResult call(const std::string &name,
+                  const std::vector<BitVector> &args = {});
+
+  // Global access through the module's global map.
+  std::vector<BitVector> readGlobal(const std::string &name) const;
+  void writeGlobal(const std::string &name,
+                   const std::vector<BitVector> &cells);
+
+  // Raw memory access (by memory id).
+  const std::vector<BitVector> &mem(unsigned id) const { return mems_[id]; }
+
+  // Evaluate one pure/datapath opcode on immediate values — shared with the
+  // constant folder and the RTL simulator so all layers agree bit-for-bit.
+  static BitVector evalOp(Opcode op, const std::vector<BitVector> &operands,
+                          unsigned dstWidth);
+
+private:
+  const Module &module_;
+  std::uint64_t maxInstructions_;
+  std::uint64_t executed_ = 0;
+  std::vector<std::vector<BitVector>> mems_;
+};
+
+} // namespace c2h::ir
+
+#endif // C2H_IR_EXEC_H

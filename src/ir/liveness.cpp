@@ -1,0 +1,70 @@
+#include "ir/liveness.h"
+
+namespace c2h::ir {
+
+std::vector<unsigned> Liveness::uses(const Instr &instr) {
+  std::vector<unsigned> out;
+  for (const auto &op : instr.operands)
+    if (op.isReg())
+      out.push_back(op.reg().id);
+  return out;
+}
+
+std::vector<unsigned> Liveness::defs(const Instr &instr) {
+  if (instr.dst)
+    return {instr.dst->id};
+  return {};
+}
+
+Liveness::Liveness(const Function &fn) {
+  // Per-block use (read before written) and def sets.
+  std::map<const BasicBlock *, std::set<unsigned>> use, def;
+  for (const auto &block : fn.blocks()) {
+    auto &u = use[block.get()];
+    auto &d = def[block.get()];
+    for (const auto &instr : block->instrs()) {
+      for (unsigned r : uses(*instr))
+        if (d.count(r) == 0)
+          u.insert(r);
+      for (unsigned r : defs(*instr))
+        d.insert(r);
+    }
+    liveIn_[block.get()];
+    liveOut_[block.get()];
+  }
+
+  // Backward fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = fn.blocks().rbegin(); it != fn.blocks().rend(); ++it) {
+      const BasicBlock *block = it->get();
+      std::set<unsigned> out;
+      for (const BasicBlock *succ : block->successors()) {
+        const auto &in = liveIn_[succ];
+        out.insert(in.begin(), in.end());
+      }
+      std::set<unsigned> in = use[block];
+      for (unsigned r : out)
+        if (def[block].count(r) == 0)
+          in.insert(r);
+      if (out != liveOut_[block] || in != liveIn_[block]) {
+        liveOut_[block] = std::move(out);
+        liveIn_[block] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+}
+
+const std::set<unsigned> &Liveness::liveIn(const BasicBlock *block) const {
+  auto it = liveIn_.find(block);
+  return it == liveIn_.end() ? empty_ : it->second;
+}
+
+const std::set<unsigned> &Liveness::liveOut(const BasicBlock *block) const {
+  auto it = liveOut_.find(block);
+  return it == liveOut_.end() ? empty_ : it->second;
+}
+
+} // namespace c2h::ir

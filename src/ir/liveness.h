@@ -1,0 +1,35 @@
+// Virtual-register liveness over the CFG.
+//
+// Used by dead-code elimination and by the register binder (two vregs may
+// share one hardware register iff their live ranges do not interfere).
+#ifndef C2H_IR_LIVENESS_H
+#define C2H_IR_LIVENESS_H
+
+#include "ir/ir.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace c2h::ir {
+
+class Liveness {
+public:
+  explicit Liveness(const Function &fn);
+
+  const std::set<unsigned> &liveIn(const BasicBlock *block) const;
+  const std::set<unsigned> &liveOut(const BasicBlock *block) const;
+
+  // Registers read by `instr` / written by `instr`.
+  static std::vector<unsigned> uses(const Instr &instr);
+  static std::vector<unsigned> defs(const Instr &instr);
+
+private:
+  std::map<const BasicBlock *, std::set<unsigned>> liveIn_;
+  std::map<const BasicBlock *, std::set<unsigned>> liveOut_;
+  std::set<unsigned> empty_;
+};
+
+} // namespace c2h::ir
+
+#endif // C2H_IR_LIVENESS_H

@@ -1,0 +1,1175 @@
+#include "ir/lower.h"
+
+#include "frontend/sema.h"
+#include "ir/builder.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace c2h::ir {
+
+using namespace ast;
+
+namespace {
+
+constexpr unsigned kAddrWidth = 32;
+
+std::uint64_t countScalars(const Type *type) {
+  if (type->isArray())
+    return type->arraySize() * countScalars(type->element());
+  return 1;
+}
+
+const Type *leafType(const Type *type) {
+  while (type->isArray())
+    type = type->element();
+  return type;
+}
+
+unsigned storageWidth(const Type *type) {
+  const Type *leaf = leafType(type);
+  return leaf->isPointer() ? Type::kPointerWidth : leaf->bitWidth();
+}
+
+bool exprHasSideEffects(const Expr &expr) {
+  bool found = false;
+  walk(const_cast<Expr &>(expr), [&](Expr &e) {
+    switch (e.kind) {
+    case Expr::Kind::Assign:
+    case Expr::Kind::Call:
+      found = true;
+      break;
+    case Expr::Kind::Unary: {
+      auto op = static_cast<UnaryExpr &>(e).op;
+      if (op == UnaryOp::PreInc || op == UnaryOp::PreDec ||
+          op == UnaryOp::PostInc || op == UnaryOp::PostDec)
+        found = true;
+      break;
+    }
+    default:
+      break;
+    }
+  });
+  return found;
+}
+
+// Where a variable lives after lowering.
+struct VarPlace {
+  enum class Kind { Reg, Mem, Chan };
+  Kind kind = Kind::Reg;
+  VReg reg;                  // Reg
+  unsigned memId = 0;        // Mem
+  std::uint64_t base = 0;    // word offset within the memory
+  unsigned chanId = 0;       // Chan
+};
+
+class Lowering {
+public:
+  Lowering(const ast::Program &program, DiagnosticEngine &diags,
+           const LowerOptions &options)
+      : program_(program), diags_(diags), options_(options),
+        module_(std::make_unique<Module>()) {}
+
+  std::unique_ptr<Module> run();
+
+private:
+  // -- program-level placement --
+  void analyzePlacement();
+  void placeGlobals();
+  void collectParShared(const Stmt &stmt, std::set<const VarDecl *> &shared);
+  unsigned unifiedMem(); // create lazily
+
+  // -- function lowering --
+  struct LoopTargets {
+    BasicBlock *continueTarget = nullptr;
+    BasicBlock *breakTarget = nullptr;
+  };
+  struct FnCtx {
+    Function *fn = nullptr;
+    std::unique_ptr<Builder> builder;
+    std::map<unsigned, VarPlace> places; // VarDecl::id -> place
+    std::vector<LoopTargets> loops;
+    bool insidePar = false; // lowering a par-branch process body
+  };
+
+  void lowerFunction(const FuncDecl &fn);
+  void lowerProcessBody(const Stmt &branch, FnCtx &parent,
+                        const std::string &name, unsigned index);
+
+  void lowerStmt(FnCtx &ctx, const Stmt &stmt);
+  void lowerDecl(FnCtx &ctx, const VarDecl &decl);
+
+  // -- expressions --
+  Operand lowerExpr(FnCtx &ctx, const Expr &expr);
+  Operand lowerUnary(FnCtx &ctx, const UnaryExpr &expr);
+  Operand lowerBinary(FnCtx &ctx, const BinaryExpr &expr);
+  Operand lowerAssign(FnCtx &ctx, const AssignExpr &expr);
+  Operand lowerCall(FnCtx &ctx, const CallExpr &expr);
+  Operand lowerCast(FnCtx &ctx, const CastExpr &expr);
+
+  // A resolved assignable location.
+  struct LValue {
+    bool isReg = false;
+    VReg reg;
+    unsigned memId = 0;
+    Operand addr;        // absolute word address (imm or reg)
+    const Type *type = nullptr;
+  };
+  LValue lowerLValue(FnCtx &ctx, const Expr &expr);
+  Operand loadLValue(FnCtx &ctx, const LValue &lv);
+  void storeLValue(FnCtx &ctx, const LValue &lv, Operand value,
+                   bool valueSigned);
+  // The address (as an operand) of an lvalue that lives in memory — used
+  // for & and array decay.  Requires the unified layout.
+  Operand addressOf(FnCtx &ctx, const Expr &expr);
+
+  Operand resizeTo(FnCtx &ctx, Operand value, unsigned width, bool isSigned) {
+    return ctx.builder->emitResize(std::move(value), width, isSigned);
+  }
+  // Condition operand (width 1) from a bool-typed expression.
+  Operand lowerCond(FnCtx &ctx, const Expr &expr) {
+    Operand v = lowerExpr(ctx, expr);
+    assert(v.width() == 1);
+    return v;
+  }
+
+  void error(SourceLoc loc, std::string message) {
+    diags_.error(loc, std::move(message));
+  }
+
+  const VarPlace &place(FnCtx &ctx, const VarDecl *decl, SourceLoc loc);
+
+  const ast::Program &program_;
+  DiagnosticEngine &diags_;
+  LowerOptions options_;
+  std::unique_ptr<Module> module_;
+
+  bool useUnified_ = false;
+  int unifiedMemId_ = -1;
+  std::uint64_t unifiedTop_ = 0;   // next free word in the unified memory
+  unsigned unifiedWidth_ = 0;      // computed before lowering
+
+  // Program-wide placement decisions (by VarDecl::id).
+  std::set<unsigned> memPlaced_;   // must live in memory
+  std::map<unsigned, VarPlace> globalPlaces_;
+  unsigned processCounter_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Placement analysis
+// ---------------------------------------------------------------------------
+
+void Lowering::collectParShared(const Stmt &stmt,
+                                std::set<const VarDecl *> &shared) {
+  if (stmt.kind != Stmt::Kind::Par)
+    return;
+  const auto &par = static_cast<const ParStmt &>(stmt);
+  for (const auto &branch : par.branches) {
+    // Declarations inside this branch are private to it.
+    std::set<const VarDecl *> declared;
+    walk(*branch, [&](Stmt &s) {
+      if (s.kind == Stmt::Kind::Decl)
+        declared.insert(static_cast<DeclStmt &>(s).decl.get());
+    }, nullptr);
+    walk(*branch, nullptr, [&](Expr &e) {
+      if (e.kind != Expr::Kind::VarRef)
+        return;
+      const VarDecl *decl = static_cast<VarRefExpr &>(e).decl;
+      if (decl && !decl->isGlobal && declared.count(decl) == 0)
+        shared.insert(decl);
+    });
+  }
+}
+
+void Lowering::analyzePlacement() {
+  FeatureSet features = analyzeFeatures(program_);
+  useUnified_ = options_.forceUnifiedMemory || features.has(Feature::Pointers);
+
+  // Everything that must live in memory: arrays, address-taken variables,
+  // and variables shared across par branches.
+  std::set<const VarDecl *> shared;
+  auto consider = [&](const VarDecl &decl) {
+    if (decl.type->isChan())
+      return;
+    if (decl.type->isArray() || decl.addressTaken || decl.isGlobal)
+      memPlaced_.insert(decl.id);
+  };
+  for (const auto &g : program_.globals)
+    consider(*g);
+  for (const auto &fn : program_.functions) {
+    for (const auto &p : fn->params)
+      consider(*p);
+    walk(*fn->body, [&](Stmt &s) {
+      if (s.kind == Stmt::Kind::Decl)
+        consider(*static_cast<DeclStmt &>(s).decl);
+      collectParShared(s, shared);
+    }, nullptr);
+  }
+  for (const VarDecl *decl : shared)
+    memPlaced_.insert(decl->id);
+
+  if (useUnified_) {
+    // The unified word must hold the widest stored scalar (and pointers).
+    unifiedWidth_ = Type::kPointerWidth;
+    auto widen = [&](const VarDecl &decl) {
+      if (!decl.type->isChan() && memPlaced_.count(decl.id))
+        unifiedWidth_ = std::max(unifiedWidth_, storageWidth(decl.type));
+    };
+    for (const auto &g : program_.globals)
+      widen(*g);
+    for (const auto &fn : program_.functions) {
+      for (const auto &p : fn->params)
+        widen(*p);
+      walk(*fn->body, [&](Stmt &s) {
+        if (s.kind == Stmt::Kind::Decl)
+          widen(*static_cast<DeclStmt &>(s).decl);
+      }, nullptr);
+    }
+  }
+}
+
+unsigned Lowering::unifiedMem() {
+  if (unifiedMemId_ < 0) {
+    MemObject &mem = module_->addMem("umem", unifiedWidth_, 0);
+    unifiedMemId_ = static_cast<int>(mem.id);
+  }
+  return static_cast<unsigned>(unifiedMemId_);
+}
+
+// Allocate memory for one variable; returns its place.  In unified mode the
+// object is appended to umem, otherwise it gets its own memory.
+static VarPlace allocObject(Module &module, bool unified, unsigned unifiedId,
+                            std::uint64_t &unifiedTop, const std::string &name,
+                            const Type *type) {
+  VarPlace place;
+  place.kind = VarPlace::Kind::Mem;
+  std::uint64_t words = countScalars(type);
+  if (unified) {
+    place.memId = unifiedId;
+    place.base = unifiedTop;
+    unifiedTop += words;
+    module.mems()[unifiedId].depth = unifiedTop;
+  } else {
+    MemObject &mem = module.addMem(name, storageWidth(type), words);
+    place.memId = mem.id;
+    place.base = 0;
+  }
+  return place;
+}
+
+void Lowering::placeGlobals() {
+  // Evaluate global initializers with the interpreter-grade constant rules:
+  // sema guarantees they are checked; here we only fold literal trees (the
+  // common case).  Non-constant global initializers are rejected.
+  for (const auto &g : program_.globals) {
+    if (g->type->isChan()) {
+      ChanObject &chan =
+          module_->addChan(g->name, g->type->element()->bitWidth());
+      VarPlace place;
+      place.kind = VarPlace::Kind::Chan;
+      place.chanId = chan.id;
+      globalPlaces_[g->id] = place;
+      continue;
+    }
+    VarPlace place = allocObject(*module_, useUnified_,
+                                 useUnified_ ? unifiedMem() : 0, unifiedTop_,
+                                 g->name, g->type);
+    globalPlaces_[g->id] = place;
+
+    MemObject &mem = module_->mems()[place.memId];
+    std::uint64_t words = countScalars(g->type);
+    module_->globalMap().push_back(
+        {g->name, place.memId, place.base, words, storageWidth(g->type)});
+    if (!useUnified_ && g->isConst)
+      mem.readOnly = true;
+
+    // Fold initializers.
+    auto foldInit = [&](const Expr &e, unsigned width) -> BitVector {
+      // After sema the initializer tree is typed; evaluate the simple
+      // constant forms (literals, possibly wrapped in implicit casts and
+      // unary minus).
+      std::function<std::optional<BitVector>(const Expr &)> fold =
+          [&](const Expr &expr) -> std::optional<BitVector> {
+        switch (expr.kind) {
+        case Expr::Kind::IntLiteral:
+          return static_cast<const IntLiteralExpr &>(expr).value;
+        case Expr::Kind::BoolLiteral:
+          return BitVector(
+              1, static_cast<const BoolLiteralExpr &>(expr).value ? 1 : 0);
+        case Expr::Kind::Cast: {
+          const auto &c = static_cast<const CastExpr &>(expr);
+          auto inner = fold(*c.operand);
+          if (!inner || !c.type->isScalar() || !c.operand->type->isScalar())
+            return std::nullopt;
+          return inner->resize(c.type->bitWidth(),
+                               c.operand->type->isSigned());
+        }
+        case Expr::Kind::Unary: {
+          const auto &un = static_cast<const UnaryExpr &>(expr);
+          auto inner = fold(*un.operand);
+          if (!inner)
+            return std::nullopt;
+          if (un.op == UnaryOp::Neg)
+            return inner->neg();
+          if (un.op == UnaryOp::BitNot)
+            return inner->bitNot();
+          if (un.op == UnaryOp::Plus)
+            return inner;
+          return std::nullopt;
+        }
+        case Expr::Kind::Binary: {
+          const auto &b = static_cast<const BinaryExpr &>(expr);
+          auto l = fold(*b.lhs), r = fold(*b.rhs);
+          if (!l || !r)
+            return std::nullopt;
+          bool isSigned = b.lhs->type->isScalar() && b.lhs->type->isSigned();
+          switch (b.op) {
+          case BinaryOp::Add: return l->add(*r);
+          case BinaryOp::Sub: return l->sub(*r);
+          case BinaryOp::Mul: return l->mul(*r);
+          case BinaryOp::Div: return isSigned ? l->sdiv(*r) : l->udiv(*r);
+          case BinaryOp::Rem: return isSigned ? l->srem(*r) : l->urem(*r);
+          case BinaryOp::And: return l->bitAnd(*r);
+          case BinaryOp::Or: return l->bitOr(*r);
+          case BinaryOp::Xor: return l->bitXor(*r);
+          case BinaryOp::Shl:
+            return l->shl(static_cast<unsigned>(
+                std::min<std::uint64_t>(r->toUint64(), l->width())));
+          case BinaryOp::Shr: {
+            unsigned amount = static_cast<unsigned>(
+                std::min<std::uint64_t>(r->toUint64(), l->width()));
+            return isSigned ? l->ashr(amount) : l->lshr(amount);
+          }
+          default: return std::nullopt;
+          }
+        }
+        default:
+          return std::nullopt;
+        }
+      };
+      auto v = fold(e);
+      if (!v) {
+        error(e.loc, "global initializer must be a constant expression");
+        return BitVector(width);
+      }
+      return v->resize(width, e.type->isScalar() && e.type->isSigned());
+    };
+
+    unsigned cellWidth = mem.width;
+    auto placeInit = [&](std::uint64_t offset, BitVector v) {
+      std::uint64_t at = place.base + offset;
+      if (mem.init.size() <= at)
+        mem.init.resize(at + 1, BitVector(cellWidth));
+      mem.init[at] = v.resize(cellWidth, false);
+    };
+    if (g->init)
+      placeInit(0, foldInit(*g->init, storageWidth(g->type)));
+    for (std::size_t i = 0; i < g->arrayInit.size(); ++i)
+      placeInit(i, foldInit(*g->arrayInit[i], storageWidth(g->type)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Function lowering
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Module> Lowering::run() {
+  unsigned errorsBefore = diags_.errorCount();
+  analyzePlacement();
+  placeGlobals();
+  for (const auto &fn : program_.functions)
+    lowerFunction(*fn);
+  if (diags_.errorCount() != errorsBefore)
+    return nullptr;
+  return std::move(module_);
+}
+
+const VarPlace &Lowering::place(FnCtx &ctx, const VarDecl *decl,
+                                SourceLoc loc) {
+  auto it = ctx.places.find(decl->id);
+  if (it != ctx.places.end())
+    return it->second;
+  auto git = globalPlaces_.find(decl->id);
+  if (git != globalPlaces_.end())
+    return git->second;
+  error(loc, "variable '" + decl->name +
+                 "' is not reachable here (captured register in a par "
+                 "branch?)");
+  static VarPlace dummy;
+  dummy.kind = VarPlace::Kind::Reg;
+  dummy.reg = ctx.fn->newVReg(decl->type->isScalar() ? decl->type->bitWidth()
+                                                     : Type::kPointerWidth);
+  return dummy;
+}
+
+void Lowering::lowerFunction(const FuncDecl &fn) {
+  unsigned retWidth = fn.returnType->isVoid() ? 0 : fn.returnType->bitWidth();
+  Function *irFn = module_->addFunction(fn.name, retWidth);
+  FnCtx ctx;
+  ctx.fn = irFn;
+  ctx.builder = std::make_unique<Builder>(*irFn);
+  BasicBlock *entry = irFn->newBlock("entry");
+  ctx.builder->setInsertPoint(entry);
+
+  for (const auto &param : fn.params) {
+    if (param->type->isChan() || param->type->isArray()) {
+      error(param->loc, std::string(param->type->isChan() ? "channel"
+                                                          : "array") +
+                            " parameters must be inlined away before "
+                            "lowering (run the inliner)");
+      // Keep lowering structurally sane: bind to a scratch register.
+      VarPlace p;
+      p.kind = VarPlace::Kind::Reg;
+      p.reg = irFn->newVReg(Type::kPointerWidth);
+      ctx.places[param->id] = p;
+      continue;
+    }
+    unsigned width = param->type->isScalar() ? param->type->bitWidth()
+                                             : Type::kPointerWidth;
+    VReg preg = irFn->newVReg(width);
+    irFn->params().push_back(preg);
+    if (memPlaced_.count(param->id)) {
+      // Shared with a par branch or address-taken: spill to memory at entry.
+      VarPlace p = allocObject(*module_, useUnified_,
+                               useUnified_ ? unifiedMem() : 0, unifiedTop_,
+                               fn.name + "." + param->name, param->type);
+      ctx.builder->emitStore(
+          p.memId, BitVector(kAddrWidth, p.base),
+          ctx.builder->emitResize(preg, module_->mems()[p.memId].width,
+                                  param->type->isScalar() &&
+                                      param->type->isSigned()));
+      ctx.places[param->id] = p;
+    } else {
+      VarPlace p;
+      p.kind = VarPlace::Kind::Reg;
+      p.reg = preg;
+      ctx.places[param->id] = p;
+    }
+  }
+
+  lowerStmt(ctx, *fn.body);
+
+  // Implicit return at the end of a void function (or error path).
+  if (!ctx.builder->terminated()) {
+    if (retWidth == 0)
+      ctx.builder->emitRet();
+    else
+      ctx.builder->emitRet(Operand(BitVector(retWidth)));
+  }
+}
+
+void Lowering::lowerProcessBody(const Stmt &branch, FnCtx &parent,
+                                const std::string &name, unsigned index) {
+  (void)index;
+  Function *proc = module_->addFunction(name, 0);
+  proc->isProcess = true;
+  FnCtx ctx;
+  ctx.fn = proc;
+  ctx.builder = std::make_unique<Builder>(*proc);
+  ctx.insidePar = true;
+  // Inherit only memory/channel places: registers cannot cross process
+  // boundaries (placement analysis guarantees shared vars are mem-placed).
+  for (const auto &[id, p] : parent.places)
+    if (p.kind != VarPlace::Kind::Reg)
+      ctx.places.emplace(id, p);
+  BasicBlock *entry = proc->newBlock("entry");
+  ctx.builder->setInsertPoint(entry);
+  lowerStmt(ctx, branch);
+  if (!ctx.builder->terminated())
+    ctx.builder->emitRet();
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+void Lowering::lowerDecl(FnCtx &ctx, const VarDecl &decl) {
+  if (decl.type->isChan()) {
+    // Local channels become module channels (one per declaration site).
+    ChanObject &chan = module_->addChan(
+        ctx.fn->name() + "." + decl.name + "#" + std::to_string(decl.id),
+        decl.type->element()->bitWidth());
+    VarPlace p;
+    p.kind = VarPlace::Kind::Chan;
+    p.chanId = chan.id;
+    ctx.places[decl.id] = p;
+    return;
+  }
+
+  if (memPlaced_.count(decl.id)) {
+    auto it = ctx.places.find(decl.id);
+    VarPlace p;
+    if (it != ctx.places.end()) {
+      p = it->second; // re-entered declaration (loop body): reuse storage
+    } else {
+      p = allocObject(*module_, useUnified_, useUnified_ ? unifiedMem() : 0,
+                      unifiedTop_,
+                      ctx.fn->name() + "." + decl.name + "#" +
+                          std::to_string(decl.id),
+                      decl.type);
+      ctx.places[decl.id] = p;
+    }
+    unsigned cellWidth = module_->mems()[p.memId].width;
+    if (!decl.init && decl.type->isScalar()) {
+      // Match the interpreter's fresh-zero semantics on loop re-entry.
+      ctx.builder->emitStore(p.memId, BitVector(kAddrWidth, p.base),
+                             Operand(BitVector(cellWidth)));
+    }
+    if (decl.init) {
+      Operand v = lowerExpr(ctx, *decl.init);
+      ctx.builder->emitStore(p.memId, BitVector(kAddrWidth, p.base),
+                             resizeTo(ctx, v, cellWidth,
+                                      decl.init->type->isScalar() &&
+                                          decl.init->type->isSigned()));
+    }
+    for (std::size_t i = 0; i < decl.arrayInit.size(); ++i) {
+      Operand v = lowerExpr(ctx, *decl.arrayInit[i]);
+      ctx.builder->emitStore(
+          p.memId, BitVector(kAddrWidth, p.base + i),
+          resizeTo(ctx, v, cellWidth,
+                   decl.arrayInit[i]->type->isScalar() &&
+                       decl.arrayInit[i]->type->isSigned()));
+    }
+    return;
+  }
+
+  // Register-placed scalar (or pointer).
+  unsigned width = decl.type->isScalar() ? decl.type->bitWidth()
+                                         : Type::kPointerWidth;
+  auto it = ctx.places.find(decl.id);
+  VReg reg;
+  if (it != ctx.places.end()) {
+    reg = it->second.reg;
+  } else {
+    reg = ctx.fn->newVReg(width);
+    VarPlace p;
+    p.kind = VarPlace::Kind::Reg;
+    p.reg = reg;
+    ctx.places[decl.id] = p;
+  }
+  if (decl.init) {
+    Operand v = lowerExpr(ctx, *decl.init);
+    ctx.builder->emitCopyTo(reg, resizeTo(ctx, v, width,
+                                          decl.init->type->isScalar() &&
+                                              decl.init->type->isSigned()));
+  } else {
+    // Deterministic zero initialization, matching the reference interpreter.
+    ctx.builder->emitCopyTo(reg, Operand(BitVector(width)));
+  }
+}
+
+void Lowering::lowerStmt(FnCtx &ctx, const Stmt &stmt) {
+  Builder &b = *ctx.builder;
+  if (b.terminated())
+    return; // unreachable code after return/break
+  b.setLoc(stmt.loc);
+
+  switch (stmt.kind) {
+  case Stmt::Kind::Decl:
+    lowerDecl(ctx, *static_cast<const DeclStmt &>(stmt).decl);
+    return;
+  case Stmt::Kind::Expr: {
+    const auto &e = static_cast<const ExprStmt &>(stmt);
+    if (e.expr)
+      lowerExpr(ctx, *e.expr);
+    return;
+  }
+  case Stmt::Kind::Block:
+    for (const auto &s : static_cast<const BlockStmt &>(stmt).stmts) {
+      lowerStmt(ctx, *s);
+      if (ctx.builder->terminated())
+        return;
+    }
+    return;
+  case Stmt::Kind::If: {
+    const auto &i = static_cast<const IfStmt &>(stmt);
+    Operand cond = lowerCond(ctx, *i.cond);
+    BasicBlock *thenBB = ctx.fn->newBlock("");
+    BasicBlock *joinBB = ctx.fn->newBlock("");
+    BasicBlock *elseBB = i.elseStmt ? ctx.fn->newBlock("") : joinBB;
+    b.emitCondBr(cond, thenBB, elseBB);
+    b.setInsertPoint(thenBB);
+    lowerStmt(ctx, *i.thenStmt);
+    if (!b.terminated())
+      b.emitBr(joinBB);
+    if (i.elseStmt) {
+      b.setInsertPoint(elseBB);
+      lowerStmt(ctx, *i.elseStmt);
+      if (!b.terminated())
+        b.emitBr(joinBB);
+    }
+    b.setInsertPoint(joinBB);
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto &w = static_cast<const WhileStmt &>(stmt);
+    BasicBlock *condBB = ctx.fn->newBlock("");
+    BasicBlock *bodyBB = ctx.fn->newBlock("");
+    BasicBlock *exitBB = ctx.fn->newBlock("");
+    b.emitBr(condBB);
+    b.setInsertPoint(condBB);
+    Operand cond = lowerCond(ctx, *w.cond);
+    b.emitCondBr(cond, bodyBB, exitBB);
+    b.setInsertPoint(bodyBB);
+    ctx.loops.push_back({condBB, exitBB});
+    lowerStmt(ctx, *w.body);
+    ctx.loops.pop_back();
+    if (!b.terminated())
+      b.emitBr(condBB);
+    b.setInsertPoint(exitBB);
+    return;
+  }
+  case Stmt::Kind::DoWhile: {
+    const auto &w = static_cast<const DoWhileStmt &>(stmt);
+    BasicBlock *bodyBB = ctx.fn->newBlock("");
+    BasicBlock *condBB = ctx.fn->newBlock("");
+    BasicBlock *exitBB = ctx.fn->newBlock("");
+    b.emitBr(bodyBB);
+    b.setInsertPoint(bodyBB);
+    ctx.loops.push_back({condBB, exitBB});
+    lowerStmt(ctx, *w.body);
+    ctx.loops.pop_back();
+    if (!b.terminated())
+      b.emitBr(condBB);
+    b.setInsertPoint(condBB);
+    Operand cond = lowerCond(ctx, *w.cond);
+    b.emitCondBr(cond, bodyBB, exitBB);
+    b.setInsertPoint(exitBB);
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto &f = static_cast<const ForStmt &>(stmt);
+    if (f.init)
+      lowerStmt(ctx, *f.init);
+    BasicBlock *condBB = ctx.fn->newBlock("");
+    BasicBlock *bodyBB = ctx.fn->newBlock("");
+    BasicBlock *stepBB = ctx.fn->newBlock("");
+    BasicBlock *exitBB = ctx.fn->newBlock("");
+    b.emitBr(condBB);
+    b.setInsertPoint(condBB);
+    if (f.cond) {
+      Operand cond = lowerCond(ctx, *f.cond);
+      b.emitCondBr(cond, bodyBB, exitBB);
+    } else {
+      b.emitBr(bodyBB);
+    }
+    b.setInsertPoint(bodyBB);
+    ctx.loops.push_back({stepBB, exitBB});
+    lowerStmt(ctx, *f.body);
+    ctx.loops.pop_back();
+    if (!b.terminated())
+      b.emitBr(stepBB);
+    b.setInsertPoint(stepBB);
+    if (f.step)
+      lowerExpr(ctx, *f.step);
+    b.emitBr(condBB);
+    b.setInsertPoint(exitBB);
+    return;
+  }
+  case Stmt::Kind::Return: {
+    const auto &r = static_cast<const ReturnStmt &>(stmt);
+    if (ctx.insidePar) {
+      error(r.loc, "'return' may not leave a par branch");
+      return;
+    }
+    if (r.value) {
+      Operand v = lowerExpr(ctx, *r.value);
+      b.emitRet(resizeTo(ctx, v, ctx.fn->returnWidth(),
+                         r.value->type->isScalar() &&
+                             r.value->type->isSigned()));
+    } else {
+      b.emitRet();
+    }
+    return;
+  }
+  case Stmt::Kind::Break:
+    if (ctx.loops.empty()) {
+      error(stmt.loc, "'break' crosses a par boundary");
+      return;
+    }
+    b.emitBr(ctx.loops.back().breakTarget);
+    return;
+  case Stmt::Kind::Continue:
+    if (ctx.loops.empty()) {
+      error(stmt.loc, "'continue' crosses a par boundary");
+      return;
+    }
+    b.emitBr(ctx.loops.back().continueTarget);
+    return;
+  case Stmt::Kind::Par: {
+    const auto &par = static_cast<const ParStmt &>(stmt);
+    std::vector<unsigned> processes;
+    for (std::size_t i = 0; i < par.branches.size(); ++i) {
+      std::string name = ctx.fn->name() + "$par" +
+                         std::to_string(processCounter_++) + "_" +
+                         std::to_string(i);
+      lowerProcessBody(*par.branches[i], ctx, name, static_cast<unsigned>(i));
+      processes.push_back(module_->indexOf(module_->findFunction(name)));
+    }
+    b.emitFork(std::move(processes));
+    return;
+  }
+  case Stmt::Kind::Send: {
+    const auto &s = static_cast<const SendStmt &>(stmt);
+    const auto &ref = static_cast<const VarRefExpr &>(*s.chan);
+    const VarPlace &p = place(ctx, ref.decl, s.loc);
+    if (p.kind != VarPlace::Kind::Chan) {
+      error(s.loc, "send on non-channel");
+      return;
+    }
+    Operand v = lowerExpr(ctx, *s.value);
+    b.emitChanSend(p.chanId, v);
+    return;
+  }
+  case Stmt::Kind::Recv: {
+    const auto &r = static_cast<const RecvStmt &>(stmt);
+    const auto &ref = static_cast<const VarRefExpr &>(*r.chan);
+    const VarPlace &p = place(ctx, ref.decl, r.loc);
+    if (p.kind != VarPlace::Kind::Chan) {
+      error(r.loc, "receive on non-channel");
+      return;
+    }
+    unsigned width = module_->chans()[p.chanId].width;
+    VReg v = b.emitChanRecv(p.chanId, width);
+    LValue lv = lowerLValue(ctx, *r.target);
+    // Element signedness drives the resize into the target.
+    bool isSigned = r.chan->type->element()->isSigned();
+    storeLValue(ctx, lv, v, isSigned);
+    return;
+  }
+  case Stmt::Kind::Delay:
+    b.emitDelay(static_cast<const DelayStmt &>(stmt).cycles);
+    return;
+  case Stmt::Kind::Constraint: {
+    const auto &c = static_cast<const ConstraintStmt &>(stmt);
+    unsigned previous = b.activeConstraint();
+    if (previous != 0)
+      diags_.warning(c.loc, "nested timing constraints: inner wins");
+    TimingConstraint tc;
+    tc.id = static_cast<unsigned>(ctx.fn->constraints().size()) + 1;
+    tc.minCycles = c.minCycles;
+    tc.maxCycles = c.maxCycles;
+    ctx.fn->constraints().push_back(tc);
+    b.setActiveConstraint(tc.id);
+    lowerStmt(ctx, *c.body);
+    b.setActiveConstraint(previous);
+    return;
+  }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LValues
+// ---------------------------------------------------------------------------
+
+Lowering::LValue Lowering::lowerLValue(FnCtx &ctx, const Expr &expr) {
+  Builder &b = *ctx.builder;
+  switch (expr.kind) {
+  case Expr::Kind::VarRef: {
+    const auto &ref = static_cast<const VarRefExpr &>(expr);
+    const VarPlace &p = place(ctx, ref.decl, ref.loc);
+    LValue lv;
+    lv.type = ref.decl->type;
+    if (p.kind == VarPlace::Kind::Reg) {
+      lv.isReg = true;
+      lv.reg = p.reg;
+    } else {
+      lv.memId = p.memId;
+      lv.addr = Operand(BitVector(kAddrWidth, p.base));
+    }
+    return lv;
+  }
+  case Expr::Kind::Index: {
+    const auto &idx = static_cast<const IndexExpr &>(expr);
+    const Type *baseTy = idx.base->type;
+    Operand i = lowerExpr(ctx, *idx.index);
+    i = resizeTo(ctx, i, kAddrWidth,
+                 idx.index->type->isScalar() && idx.index->type->isSigned());
+    std::uint64_t stride = countScalars(baseTy->element());
+    Operand scaled = i;
+    if (stride != 1)
+      scaled = b.emitBinary(Opcode::Mul, i,
+                            Operand(BitVector(kAddrWidth, stride)));
+    LValue lv;
+    lv.type = baseTy->element();
+    if (baseTy->isArray()) {
+      LValue base = lowerLValue(ctx, *idx.base);
+      if (base.isReg) { // error recovery: base could not be memory-placed
+        lv.isReg = true;
+        lv.reg = ctx.fn->newVReg(
+            lv.type->isScalar() ? lv.type->bitWidth() : Type::kPointerWidth);
+        return lv;
+      }
+      lv.memId = base.memId;
+      lv.addr = b.emitBinary(Opcode::Add, base.addr, scaled);
+    } else {
+      // Pointer subscript: address arithmetic in the unified memory.
+      Operand p = lowerExpr(ctx, *idx.base);
+      lv.memId = unifiedMem();
+      lv.addr = b.emitBinary(Opcode::Add, p, scaled);
+    }
+    return lv;
+  }
+  case Expr::Kind::Unary: {
+    const auto &u = static_cast<const UnaryExpr &>(expr);
+    if (u.op == UnaryOp::Deref) {
+      Operand p = lowerExpr(ctx, *u.operand);
+      LValue lv;
+      lv.type = u.operand->type->element();
+      lv.memId = unifiedMem();
+      lv.addr = p;
+      return lv;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  error(expr.loc, "expression is not an assignable location");
+  LValue lv;
+  lv.isReg = true;
+  lv.reg = ctx.fn->newVReg(expr.type && expr.type->isScalar()
+                               ? expr.type->bitWidth()
+                               : 32);
+  lv.type = expr.type;
+  return lv;
+}
+
+Operand Lowering::loadLValue(FnCtx &ctx, const LValue &lv) {
+  if (lv.isReg)
+    return lv.reg;
+  unsigned cellWidth = module_->mems()[lv.memId].width;
+  VReg loaded = ctx.builder->emitLoad(lv.memId, lv.addr, cellWidth);
+  unsigned want = lv.type->isScalar() ? lv.type->bitWidth()
+                                      : Type::kPointerWidth;
+  return resizeTo(ctx, loaded, want, false);
+}
+
+void Lowering::storeLValue(FnCtx &ctx, const LValue &lv, Operand value,
+                           bool valueSigned) {
+  if (lv.isReg) {
+    ctx.builder->emitCopyTo(
+        lv.reg, resizeTo(ctx, std::move(value), lv.reg.width, valueSigned));
+    return;
+  }
+  unsigned want = lv.type->isScalar() ? lv.type->bitWidth()
+                                      : Type::kPointerWidth;
+  // First bring the value to the location's value width (two's-complement
+  // wrap), then widen into the cell.
+  value = resizeTo(ctx, std::move(value), want, valueSigned);
+  unsigned cellWidth = module_->mems()[lv.memId].width;
+  value = resizeTo(ctx, std::move(value), cellWidth, false);
+  ctx.builder->emitStore(lv.memId, lv.addr, std::move(value));
+}
+
+Operand Lowering::addressOf(FnCtx &ctx, const Expr &expr) {
+  LValue lv = lowerLValue(ctx, expr);
+  if (lv.isReg) {
+    error(expr.loc, "cannot take the address of a register variable");
+    return Operand(BitVector(kAddrWidth));
+  }
+  return lv.addr;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Operand Lowering::lowerExpr(FnCtx &ctx, const Expr &expr) {
+  Builder &b = *ctx.builder;
+  b.setLoc(expr.loc);
+  switch (expr.kind) {
+  case Expr::Kind::IntLiteral:
+    return Operand(static_cast<const IntLiteralExpr &>(expr).value);
+  case Expr::Kind::BoolLiteral:
+    return Operand(
+        BitVector(1, static_cast<const BoolLiteralExpr &>(expr).value));
+  case Expr::Kind::VarRef:
+  case Expr::Kind::Index: {
+    if (expr.type->isArray()) // decayed below in Cast
+      return addressOf(ctx, expr);
+    LValue lv = lowerLValue(ctx, expr);
+    return loadLValue(ctx, lv);
+  }
+  case Expr::Kind::Unary:
+    return lowerUnary(ctx, static_cast<const UnaryExpr &>(expr));
+  case Expr::Kind::Binary:
+    return lowerBinary(ctx, static_cast<const BinaryExpr &>(expr));
+  case Expr::Kind::Assign:
+    return lowerAssign(ctx, static_cast<const AssignExpr &>(expr));
+  case Expr::Kind::Ternary: {
+    const auto &t = static_cast<const TernaryExpr &>(expr);
+    unsigned width = t.type->isScalar() ? t.type->bitWidth()
+                                        : Type::kPointerWidth;
+    if (!exprHasSideEffects(*t.thenExpr) && !exprHasSideEffects(*t.elseExpr)) {
+      Operand cond = lowerCond(ctx, *t.cond);
+      Operand thenV = lowerExpr(ctx, *t.thenExpr);
+      Operand elseV = lowerExpr(ctx, *t.elseExpr);
+      return b.emitMux(cond, thenV, elseV);
+    }
+    // Side effects: real control flow writing a register.
+    VReg result = ctx.fn->newVReg(width);
+    Operand cond = lowerCond(ctx, *t.cond);
+    BasicBlock *thenBB = ctx.fn->newBlock("");
+    BasicBlock *elseBB = ctx.fn->newBlock("");
+    BasicBlock *joinBB = ctx.fn->newBlock("");
+    b.emitCondBr(cond, thenBB, elseBB);
+    b.setInsertPoint(thenBB);
+    b.emitCopyTo(result, lowerExpr(ctx, *t.thenExpr));
+    b.emitBr(joinBB);
+    b.setInsertPoint(elseBB);
+    b.emitCopyTo(result, lowerExpr(ctx, *t.elseExpr));
+    b.emitBr(joinBB);
+    b.setInsertPoint(joinBB);
+    return result;
+  }
+  case Expr::Kind::Call:
+    return lowerCall(ctx, static_cast<const CallExpr &>(expr));
+  case Expr::Kind::Cast:
+    return lowerCast(ctx, static_cast<const CastExpr &>(expr));
+  }
+  error(expr.loc, "unsupported expression in lowering");
+  return Operand(BitVector(32));
+}
+
+Operand Lowering::lowerUnary(FnCtx &ctx, const UnaryExpr &u) {
+  Builder &b = *ctx.builder;
+  switch (u.op) {
+  case UnaryOp::Neg:
+    return b.emitUnary(Opcode::Neg, lowerExpr(ctx, *u.operand));
+  case UnaryOp::Plus:
+    return lowerExpr(ctx, *u.operand);
+  case UnaryOp::BitNot:
+    return b.emitUnary(Opcode::Not, lowerExpr(ctx, *u.operand));
+  case UnaryOp::Not: {
+    Operand v = lowerExpr(ctx, *u.operand);
+    return b.emitCompare(Opcode::CmpEq, v, Operand(BitVector(v.width())));
+  }
+  case UnaryOp::Deref:
+  case UnaryOp::AddrOf: {
+    if (u.op == UnaryOp::AddrOf)
+      return addressOf(ctx, *u.operand);
+    LValue lv = lowerLValue(ctx, u);
+    if (u.type->isArray())
+      return lv.addr;
+    return loadLValue(ctx, lv);
+  }
+  case UnaryOp::PreInc:
+  case UnaryOp::PreDec:
+  case UnaryOp::PostInc:
+  case UnaryOp::PostDec: {
+    LValue lv = lowerLValue(ctx, *u.operand);
+    Operand old = loadLValue(ctx, lv);
+    bool isPost = u.op == UnaryOp::PostInc || u.op == UnaryOp::PostDec;
+    if (isPost && lv.isReg)
+      // Snapshot: the register is about to be overwritten, but the
+      // expression's value is the *old* contents.
+      old = ctx.builder->emitUnary(Opcode::Copy, old);
+    bool isInc = u.op == UnaryOp::PreInc || u.op == UnaryOp::PostInc;
+    std::uint64_t delta = 1;
+    if (u.operand->type->isPointer())
+      delta = countScalars(u.operand->type->element());
+    Operand updated =
+        b.emitBinary(isInc ? Opcode::Add : Opcode::Sub, old,
+                     Operand(BitVector(old.width(), delta)));
+    storeLValue(ctx, lv, updated,
+                u.operand->type->isScalar() && u.operand->type->isSigned());
+    return isPost ? old : updated;
+  }
+  }
+  error(u.loc, "unsupported unary operator in lowering");
+  return Operand(BitVector(32));
+}
+
+Operand Lowering::lowerBinary(FnCtx &ctx, const BinaryExpr &expr) {
+  Builder &b = *ctx.builder;
+
+  // Short-circuit operators: eager evaluation is equivalent when the rhs is
+  // pure (and maps to plain gates); otherwise build control flow.
+  if (expr.op == BinaryOp::LogicalAnd || expr.op == BinaryOp::LogicalOr) {
+    bool isAnd = expr.op == BinaryOp::LogicalAnd;
+    if (!exprHasSideEffects(*expr.rhs)) {
+      Operand l = lowerCond(ctx, *expr.lhs);
+      Operand r = lowerCond(ctx, *expr.rhs);
+      return b.emitBinary(isAnd ? Opcode::And : Opcode::Or, l, r);
+    }
+    VReg result = ctx.fn->newVReg(1);
+    Operand l = lowerCond(ctx, *expr.lhs);
+    BasicBlock *evalBB = ctx.fn->newBlock("");
+    BasicBlock *shortBB = ctx.fn->newBlock("");
+    BasicBlock *joinBB = ctx.fn->newBlock("");
+    if (isAnd)
+      b.emitCondBr(l, evalBB, shortBB);
+    else
+      b.emitCondBr(l, shortBB, evalBB);
+    b.setInsertPoint(evalBB);
+    b.emitCopyTo(result, lowerCond(ctx, *expr.rhs));
+    b.emitBr(joinBB);
+    b.setInsertPoint(shortBB);
+    b.emitCopyTo(result, Operand(BitVector(1, isAnd ? 0 : 1)));
+    b.emitBr(joinBB);
+    b.setInsertPoint(joinBB);
+    return result;
+  }
+
+  const Type *lt = expr.lhs->type;
+  const Type *rt = expr.rhs->type;
+
+  // Pointer arithmetic.
+  if ((lt->isPointer() || rt->isPointer()) &&
+      (expr.op == BinaryOp::Add || expr.op == BinaryOp::Sub)) {
+    const Expr &ptrExpr = lt->isPointer() ? *expr.lhs : *expr.rhs;
+    const Expr &intExpr = lt->isPointer() ? *expr.rhs : *expr.lhs;
+    Operand p = lowerExpr(ctx, ptrExpr);
+    Operand n = lowerExpr(ctx, intExpr);
+    n = resizeTo(ctx, n, kAddrWidth,
+                 intExpr.type->isScalar() && intExpr.type->isSigned());
+    std::uint64_t stride = countScalars(ptrExpr.type->element());
+    if (stride != 1)
+      n = b.emitBinary(Opcode::Mul, n,
+                       Operand(BitVector(kAddrWidth, stride)));
+    return b.emitBinary(expr.op == BinaryOp::Add ? Opcode::Add : Opcode::Sub,
+                        p, n);
+  }
+  // Pointer comparison.
+  if (lt->isPointer() && rt->isPointer()) {
+    Operand l = lowerExpr(ctx, *expr.lhs);
+    Operand r = lowerExpr(ctx, *expr.rhs);
+    return b.emitCompare(expr.op == BinaryOp::Eq ? Opcode::CmpEq
+                                                 : Opcode::CmpNe,
+                         l, r);
+  }
+
+  Operand l = lowerExpr(ctx, *expr.lhs);
+  Operand r = lowerExpr(ctx, *expr.rhs);
+  bool isSigned = lt->isScalar() && lt->isSigned();
+
+  switch (expr.op) {
+  case BinaryOp::Add: return b.emitBinary(Opcode::Add, l, r);
+  case BinaryOp::Sub: return b.emitBinary(Opcode::Sub, l, r);
+  case BinaryOp::Mul: return b.emitBinary(Opcode::Mul, l, r);
+  case BinaryOp::Div:
+    return b.emitBinary(isSigned ? Opcode::DivS : Opcode::DivU, l, r);
+  case BinaryOp::Rem:
+    return b.emitBinary(isSigned ? Opcode::RemS : Opcode::RemU, l, r);
+  case BinaryOp::And: return b.emitBinary(Opcode::And, l, r);
+  case BinaryOp::Or: return b.emitBinary(Opcode::Or, l, r);
+  case BinaryOp::Xor: return b.emitBinary(Opcode::Xor, l, r);
+  case BinaryOp::Shl: return b.emitShift(Opcode::Shl, l, r);
+  case BinaryOp::Shr:
+    return b.emitShift(isSigned ? Opcode::ShrA : Opcode::ShrL, l, r);
+  case BinaryOp::Eq: return b.emitCompare(Opcode::CmpEq, l, r);
+  case BinaryOp::Ne: return b.emitCompare(Opcode::CmpNe, l, r);
+  case BinaryOp::Lt:
+    return b.emitCompare(isSigned ? Opcode::CmpLtS : Opcode::CmpLtU, l, r);
+  case BinaryOp::Le:
+    return b.emitCompare(isSigned ? Opcode::CmpLeS : Opcode::CmpLeU, l, r);
+  case BinaryOp::Gt:
+    return b.emitCompare(isSigned ? Opcode::CmpLtS : Opcode::CmpLtU, r, l);
+  case BinaryOp::Ge:
+    return b.emitCompare(isSigned ? Opcode::CmpLeS : Opcode::CmpLeU, r, l);
+  default:
+    error(expr.loc, "unsupported binary operator in lowering");
+    return Operand(BitVector(32));
+  }
+}
+
+Operand Lowering::lowerAssign(FnCtx &ctx, const AssignExpr &a) {
+  Builder &b = *ctx.builder;
+  LValue lv = lowerLValue(ctx, *a.target);
+  Operand v = lowerExpr(ctx, *a.value);
+  bool valueSigned = a.value->type->isScalar() && a.value->type->isSigned();
+  if (a.isCompound) {
+    Operand old = loadLValue(ctx, lv);
+    bool isSigned = lv.type->isScalar() && lv.type->isSigned();
+    Operand rhs = resizeTo(ctx, v, old.width(), valueSigned);
+    Opcode op;
+    switch (a.compoundOp) {
+    case BinaryOp::Add: op = Opcode::Add; break;
+    case BinaryOp::Sub: op = Opcode::Sub; break;
+    case BinaryOp::Mul: op = Opcode::Mul; break;
+    case BinaryOp::Div: op = isSigned ? Opcode::DivS : Opcode::DivU; break;
+    case BinaryOp::Rem: op = isSigned ? Opcode::RemS : Opcode::RemU; break;
+    case BinaryOp::And: op = Opcode::And; break;
+    case BinaryOp::Or: op = Opcode::Or; break;
+    case BinaryOp::Xor: op = Opcode::Xor; break;
+    case BinaryOp::Shl: op = Opcode::Shl; break;
+    case BinaryOp::Shr: op = isSigned ? Opcode::ShrA : Opcode::ShrL; break;
+    default:
+      error(a.loc, "unsupported compound assignment");
+      return old;
+    }
+    Operand result =
+        (op == Opcode::Shl || op == Opcode::ShrA || op == Opcode::ShrL)
+            ? Operand(b.emitShift(op, old, v))
+            : Operand(b.emitBinary(op, old, rhs));
+    storeLValue(ctx, lv, result, isSigned);
+    return loadLValue(ctx, lv);
+  }
+  storeLValue(ctx, lv, v, valueSigned);
+  return loadLValue(ctx, lv);
+}
+
+Operand Lowering::lowerCall(FnCtx &ctx, const CallExpr &call) {
+  const FuncDecl *callee = call.decl;
+  if (!callee) {
+    error(call.loc, "call to unresolved function");
+    return Operand(BitVector(32));
+  }
+  std::vector<Operand> args;
+  for (std::size_t i = 0; i < call.args.size(); ++i) {
+    const Type *paramTy = callee->params[i]->type;
+    if (!paramTy->isScalar() && !paramTy->isPointer()) {
+      error(call.args[i]->loc,
+            "non-scalar call arguments must be inlined away before lowering "
+            "(run the inliner)");
+      return Operand(BitVector(32));
+    }
+    Operand v = lowerExpr(ctx, *call.args[i]);
+    unsigned width = paramTy->isScalar() ? paramTy->bitWidth()
+                                         : Type::kPointerWidth;
+    args.push_back(resizeTo(ctx, v, width,
+                            call.args[i]->type->isScalar() &&
+                                call.args[i]->type->isSigned()));
+  }
+  unsigned retWidth =
+      callee->returnType->isVoid() ? 0 : callee->returnType->bitWidth();
+  VReg result = ctx.builder->emitCall(callee->name, std::move(args), retWidth);
+  if (retWidth == 0)
+    return Operand(BitVector(1));
+  return result;
+}
+
+Operand Lowering::lowerCast(FnCtx &ctx, const CastExpr &cast) {
+  const Type *to = cast.type;
+  const Type *from = cast.operand->type;
+  Builder &b = *ctx.builder;
+
+  // Array decay: the operand's address.
+  if (from->isArray() && to->isPointer())
+    return addressOf(ctx, *cast.operand);
+
+  Operand v = lowerExpr(ctx, *cast.operand);
+  if (to->isBool())
+    return b.emitCompare(Opcode::CmpNe, v, Operand(BitVector(v.width())));
+  if (to->isScalar())
+    return resizeTo(ctx, v, to->bitWidth(),
+                    from->isScalar() ? from->isSigned() : false);
+  if (to->isPointer())
+    return resizeTo(ctx, v, Type::kPointerWidth,
+                    from->isScalar() ? from->isSigned() : false);
+  error(cast.loc, "unsupported cast in lowering");
+  return v;
+}
+
+} // namespace
+
+std::unique_ptr<Module> lowerToIR(const ast::Program &program,
+                                  DiagnosticEngine &diags,
+                                  const LowerOptions &options) {
+  Lowering lowering(program, diags, options);
+  return lowering.run();
+}
+
+} // namespace c2h::ir

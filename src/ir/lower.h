@@ -1,0 +1,46 @@
+// AST -> IR lowering.
+//
+// Placement policy (this is where the paper's "C's memory model vs. many
+// small hardware memories" tension is decided):
+//
+//  * Local scalars and parameters become virtual registers.
+//  * Globals, arrays, address-taken locals, and locals shared with a `par`
+//    branch become memories.  Each object gets its *own* memory (enabling
+//    parallel banks) — except when the program uses C pointers, in which
+//    case every memory-placed object is laid out in one unified memory and
+//    a pointer is simply a word address (the C2Verilog strategy).
+//  * Channel declarations become module channels; `par` branches become
+//    process functions started by Fork.
+//
+// Pre-conditions (reported as errors otherwise):
+//  * The program is Sema-checked.
+//  * Calls pass scalars only — run the AST inliner first for array/channel
+//    arguments (recursive functions must be scalar-only, as real C-to-RTL
+//    compilers with stack support require).
+//  * `return`/`break`/`continue` do not cross a `par` boundary.
+#ifndef C2H_IR_LOWER_H
+#define C2H_IR_LOWER_H
+
+#include "frontend/ast.h"
+#include "ir/ir.h"
+#include "support/diagnostics.h"
+
+#include <memory>
+
+namespace c2h::ir {
+
+struct LowerOptions {
+  // Force the unified-memory (pointer-style) layout even for pointer-free
+  // programs; used by ablation benches.
+  bool forceUnifiedMemory = false;
+};
+
+// Lower a checked program.  Returns nullptr and reports diagnostics when the
+// program violates a lowering pre-condition.
+std::unique_ptr<Module> lowerToIR(const ast::Program &program,
+                                  DiagnosticEngine &diags,
+                                  const LowerOptions &options = {});
+
+} // namespace c2h::ir
+
+#endif // C2H_IR_LOWER_H

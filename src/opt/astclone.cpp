@@ -1,0 +1,208 @@
+#include "opt/astclone.h"
+
+#include <cassert>
+
+namespace c2h::opt {
+
+using namespace ast;
+
+unsigned maxVarDeclId(const Program &program) {
+  unsigned maxId = 0;
+  auto consider = [&](const VarDecl &d) { maxId = std::max(maxId, d.id); };
+  for (const auto &g : program.globals)
+    consider(*g);
+  for (const auto &fn : program.functions) {
+    for (const auto &p : fn->params)
+      consider(*p);
+    walk(*fn->body, [&](Stmt &s) {
+      if (s.kind == Stmt::Kind::Decl)
+        consider(*static_cast<DeclStmt &>(s).decl);
+    }, nullptr);
+  }
+  return maxId;
+}
+
+std::unique_ptr<VarDecl> CloneContext::cloneDecl(const VarDecl &decl) {
+  auto clone = std::make_unique<VarDecl>();
+  clone->name = decl.name;
+  clone->type = decl.type;
+  clone->isConst = decl.isConst;
+  clone->isGlobal = decl.isGlobal;
+  clone->isParam = false;
+  clone->loc = decl.loc;
+  clone->addressTaken = decl.addressTaken;
+  clone->id = ++nextId_;
+  if (decl.init)
+    clone->init = cloneExpr(*decl.init);
+  for (const auto &e : decl.arrayInit)
+    clone->arrayInit.push_back(cloneExpr(*e));
+  declMap_[&decl] = clone.get();
+  return clone;
+}
+
+ast::ExprPtr CloneContext::cloneExpr(const Expr &expr) {
+  ExprPtr out;
+  switch (expr.kind) {
+  case Expr::Kind::IntLiteral:
+    out = std::make_unique<IntLiteralExpr>(
+        expr.loc, static_cast<const IntLiteralExpr &>(expr).value);
+    break;
+  case Expr::Kind::BoolLiteral:
+    out = std::make_unique<BoolLiteralExpr>(
+        expr.loc, static_cast<const BoolLiteralExpr &>(expr).value);
+    break;
+  case Expr::Kind::VarRef: {
+    const auto &ref = static_cast<const VarRefExpr &>(expr);
+    auto subIt = substitutions_.find(ref.decl);
+    if (subIt != substitutions_.end())
+      return cloneExpr(*subIt->second); // parameter substitution
+    auto clone = std::make_unique<VarRefExpr>(expr.loc, ref.name);
+    auto mapIt = declMap_.find(ref.decl);
+    clone->decl = mapIt != declMap_.end() ? mapIt->second : ref.decl;
+    out = std::move(clone);
+    break;
+  }
+  case Expr::Kind::Unary: {
+    const auto &u = static_cast<const UnaryExpr &>(expr);
+    out = std::make_unique<UnaryExpr>(expr.loc, u.op, cloneExpr(*u.operand));
+    break;
+  }
+  case Expr::Kind::Binary: {
+    const auto &b = static_cast<const BinaryExpr &>(expr);
+    out = std::make_unique<BinaryExpr>(expr.loc, b.op, cloneExpr(*b.lhs),
+                                       cloneExpr(*b.rhs));
+    break;
+  }
+  case Expr::Kind::Assign: {
+    const auto &a = static_cast<const AssignExpr &>(expr);
+    auto clone = std::make_unique<AssignExpr>(expr.loc, cloneExpr(*a.target),
+                                              cloneExpr(*a.value));
+    clone->isCompound = a.isCompound;
+    clone->compoundOp = a.compoundOp;
+    out = std::move(clone);
+    break;
+  }
+  case Expr::Kind::Ternary: {
+    const auto &t = static_cast<const TernaryExpr &>(expr);
+    out = std::make_unique<TernaryExpr>(expr.loc, cloneExpr(*t.cond),
+                                        cloneExpr(*t.thenExpr),
+                                        cloneExpr(*t.elseExpr));
+    break;
+  }
+  case Expr::Kind::Call: {
+    const auto &c = static_cast<const CallExpr &>(expr);
+    std::vector<ExprPtr> args;
+    for (const auto &arg : c.args)
+      args.push_back(cloneExpr(*arg));
+    auto clone =
+        std::make_unique<CallExpr>(expr.loc, c.callee, std::move(args));
+    clone->decl = c.decl;
+    out = std::move(clone);
+    break;
+  }
+  case Expr::Kind::Index: {
+    const auto &i = static_cast<const IndexExpr &>(expr);
+    out = std::make_unique<IndexExpr>(expr.loc, cloneExpr(*i.base),
+                                      cloneExpr(*i.index));
+    break;
+  }
+  case Expr::Kind::Cast: {
+    const auto &c = static_cast<const CastExpr &>(expr);
+    auto clone =
+        std::make_unique<CastExpr>(expr.loc, c.type, cloneExpr(*c.operand));
+    clone->isImplicit = c.isImplicit;
+    out = std::move(clone);
+    return out; // type already set via constructor
+  }
+  }
+  out->type = expr.type;
+  return out;
+}
+
+ast::StmtPtr CloneContext::cloneStmt(const Stmt &stmt) {
+  switch (stmt.kind) {
+  case Stmt::Kind::Decl: {
+    const auto &d = static_cast<const DeclStmt &>(stmt);
+    return std::make_unique<DeclStmt>(stmt.loc, cloneDecl(*d.decl));
+  }
+  case Stmt::Kind::Expr: {
+    const auto &e = static_cast<const ExprStmt &>(stmt);
+    return std::make_unique<ExprStmt>(stmt.loc,
+                                      e.expr ? cloneExpr(*e.expr) : nullptr);
+  }
+  case Stmt::Kind::Block: {
+    const auto &b = static_cast<const BlockStmt &>(stmt);
+    auto clone = std::make_unique<BlockStmt>(stmt.loc);
+    for (const auto &s : b.stmts)
+      clone->stmts.push_back(cloneStmt(*s));
+    return clone;
+  }
+  case Stmt::Kind::If: {
+    const auto &i = static_cast<const IfStmt &>(stmt);
+    return std::make_unique<IfStmt>(
+        stmt.loc, cloneExpr(*i.cond), cloneStmt(*i.thenStmt),
+        i.elseStmt ? cloneStmt(*i.elseStmt) : nullptr);
+  }
+  case Stmt::Kind::While: {
+    const auto &w = static_cast<const WhileStmt &>(stmt);
+    return std::make_unique<WhileStmt>(stmt.loc, cloneExpr(*w.cond),
+                                       cloneStmt(*w.body));
+  }
+  case Stmt::Kind::DoWhile: {
+    const auto &w = static_cast<const DoWhileStmt &>(stmt);
+    return std::make_unique<DoWhileStmt>(stmt.loc, cloneStmt(*w.body),
+                                         cloneExpr(*w.cond));
+  }
+  case Stmt::Kind::For: {
+    const auto &f = static_cast<const ForStmt &>(stmt);
+    auto clone = std::make_unique<ForStmt>(stmt.loc);
+    clone->unrollFactor = f.unrollFactor;
+    if (f.init)
+      clone->init = cloneStmt(*f.init);
+    if (f.cond)
+      clone->cond = cloneExpr(*f.cond);
+    if (f.step)
+      clone->step = cloneExpr(*f.step);
+    clone->body = cloneStmt(*f.body);
+    return clone;
+  }
+  case Stmt::Kind::Return: {
+    const auto &r = static_cast<const ReturnStmt &>(stmt);
+    return std::make_unique<ReturnStmt>(
+        stmt.loc, r.value ? cloneExpr(*r.value) : nullptr);
+  }
+  case Stmt::Kind::Break:
+    return std::make_unique<BreakStmt>(stmt.loc);
+  case Stmt::Kind::Continue:
+    return std::make_unique<ContinueStmt>(stmt.loc);
+  case Stmt::Kind::Par: {
+    const auto &p = static_cast<const ParStmt &>(stmt);
+    auto clone = std::make_unique<ParStmt>(stmt.loc);
+    for (const auto &branch : p.branches)
+      clone->branches.push_back(cloneStmt(*branch));
+    return clone;
+  }
+  case Stmt::Kind::Send: {
+    const auto &s = static_cast<const SendStmt &>(stmt);
+    return std::make_unique<SendStmt>(stmt.loc, cloneExpr(*s.chan),
+                                      cloneExpr(*s.value));
+  }
+  case Stmt::Kind::Recv: {
+    const auto &r = static_cast<const RecvStmt &>(stmt);
+    return std::make_unique<RecvStmt>(stmt.loc, cloneExpr(*r.chan),
+                                      cloneExpr(*r.target));
+  }
+  case Stmt::Kind::Delay:
+    return std::make_unique<DelayStmt>(
+        stmt.loc, static_cast<const DelayStmt &>(stmt).cycles);
+  case Stmt::Kind::Constraint: {
+    const auto &c = static_cast<const ConstraintStmt &>(stmt);
+    return std::make_unique<ConstraintStmt>(stmt.loc, c.minCycles,
+                                            c.maxCycles, cloneStmt(*c.body));
+  }
+  }
+  assert(false && "unhandled statement kind in clone");
+  return nullptr;
+}
+
+} // namespace c2h::opt

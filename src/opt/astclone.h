@@ -1,0 +1,50 @@
+// Deep cloning of checked AST fragments with declaration remapping.
+//
+// The inliner and the loop unroller both duplicate statement trees.  A clone
+// must stay *checked*: every cloned VarDecl gets a fresh program-unique id,
+// every cloned VarRef points at the cloned declaration (or, for inlined
+// by-reference parameters, at a substituted caller expression), and types
+// are preserved — so transformed programs never need re-analysis.
+#ifndef C2H_OPT_ASTCLONE_H
+#define C2H_OPT_ASTCLONE_H
+
+#include "frontend/ast.h"
+
+#include <map>
+
+namespace c2h::opt {
+
+class CloneContext {
+public:
+  // `nextId` supplies fresh VarDecl ids; it must start above every id in
+  // the program (see maxVarDeclId).
+  explicit CloneContext(unsigned &nextId) : nextId_(nextId) {}
+
+  // Substitute references to `decl` with clones of `replacement`
+  // (by-reference parameter binding).  The replacement expression must be
+  // side-effect free.
+  void substitute(const ast::VarDecl *decl, const ast::Expr *replacement) {
+    substitutions_[decl] = replacement;
+  }
+  // Map references to `from` onto the existing declaration `to` (without
+  // cloning `to`).
+  void redirect(const ast::VarDecl *from, ast::VarDecl *to) {
+    declMap_[from] = to;
+  }
+
+  ast::ExprPtr cloneExpr(const ast::Expr &expr);
+  ast::StmtPtr cloneStmt(const ast::Stmt &stmt);
+  std::unique_ptr<ast::VarDecl> cloneDecl(const ast::VarDecl &decl);
+
+private:
+  unsigned &nextId_;
+  std::map<const ast::VarDecl *, ast::VarDecl *> declMap_;
+  std::map<const ast::VarDecl *, const ast::Expr *> substitutions_;
+};
+
+// The largest VarDecl id in the program (globals, params, locals).
+unsigned maxVarDeclId(const ast::Program &program);
+
+} // namespace c2h::opt
+
+#endif // C2H_OPT_ASTCLONE_H

@@ -1,0 +1,126 @@
+#include "opt/astconst.h"
+
+namespace c2h::opt {
+
+using namespace ast;
+
+bool isPureExpr(const Expr &expr) {
+  bool pure = true;
+  walk(const_cast<Expr &>(expr), [&](Expr &e) {
+    switch (e.kind) {
+    case Expr::Kind::Assign:
+    case Expr::Kind::Call:
+      pure = false;
+      break;
+    case Expr::Kind::Unary: {
+      auto op = static_cast<UnaryExpr &>(e).op;
+      if (op == UnaryOp::PreInc || op == UnaryOp::PreDec ||
+          op == UnaryOp::PostInc || op == UnaryOp::PostDec)
+        pure = false;
+      break;
+    }
+    default:
+      break;
+    }
+  });
+  return pure;
+}
+
+std::optional<BitVector> tryEvalConst(const Expr &expr) {
+  switch (expr.kind) {
+  case Expr::Kind::IntLiteral:
+    return static_cast<const IntLiteralExpr &>(expr).value;
+  case Expr::Kind::BoolLiteral:
+    return BitVector(1, static_cast<const BoolLiteralExpr &>(expr).value);
+  case Expr::Kind::VarRef: {
+    const auto &ref = static_cast<const VarRefExpr &>(expr);
+    if (ref.decl && ref.decl->isConst && ref.decl->init &&
+        ref.decl->type->isScalar())
+      return tryEvalConst(*ref.decl->init);
+    return std::nullopt;
+  }
+  case Expr::Kind::Cast: {
+    const auto &c = static_cast<const CastExpr &>(expr);
+    auto v = tryEvalConst(*c.operand);
+    if (!v || !c.type->isScalar() || !c.operand->type->isScalar())
+      return std::nullopt;
+    if (c.type->isBool())
+      return BitVector(1, !v->isZero());
+    return v->resize(c.type->bitWidth(), c.operand->type->isSigned());
+  }
+  case Expr::Kind::Unary: {
+    const auto &u = static_cast<const UnaryExpr &>(expr);
+    auto v = tryEvalConst(*u.operand);
+    if (!v)
+      return std::nullopt;
+    switch (u.op) {
+    case UnaryOp::Neg: return v->neg();
+    case UnaryOp::Plus: return v;
+    case UnaryOp::BitNot: return v->bitNot();
+    case UnaryOp::Not: return BitVector(1, v->isZero());
+    default: return std::nullopt;
+    }
+  }
+  case Expr::Kind::Ternary: {
+    const auto &t = static_cast<const TernaryExpr &>(expr);
+    auto c = tryEvalConst(*t.cond);
+    if (!c)
+      return std::nullopt;
+    return tryEvalConst(c->isZero() ? *t.elseExpr : *t.thenExpr);
+  }
+  case Expr::Kind::Binary: {
+    const auto &b = static_cast<const BinaryExpr &>(expr);
+    auto l = tryEvalConst(*b.lhs);
+    if (!l)
+      return std::nullopt;
+    // Short-circuit forms only need the lhs sometimes.
+    if (b.op == BinaryOp::LogicalAnd && l->isZero())
+      return BitVector(1, 0);
+    if (b.op == BinaryOp::LogicalOr && !l->isZero())
+      return BitVector(1, 1);
+    auto r = tryEvalConst(*b.rhs);
+    if (!r)
+      return std::nullopt;
+    bool isSigned = b.lhs->type->isScalar() && b.lhs->type->isSigned();
+    switch (b.op) {
+    case BinaryOp::Add: return l->add(*r);
+    case BinaryOp::Sub: return l->sub(*r);
+    case BinaryOp::Mul: return l->mul(*r);
+    case BinaryOp::Div: return isSigned ? l->sdiv(*r) : l->udiv(*r);
+    case BinaryOp::Rem: return isSigned ? l->srem(*r) : l->urem(*r);
+    case BinaryOp::And: return l->bitAnd(*r);
+    case BinaryOp::Or: return l->bitOr(*r);
+    case BinaryOp::Xor: return l->bitXor(*r);
+    case BinaryOp::Shl: {
+      std::uint64_t a = r->toUint64();
+      return l->shl(a > l->width() ? l->width() : static_cast<unsigned>(a));
+    }
+    case BinaryOp::Shr: {
+      std::uint64_t a = r->toUint64();
+      unsigned amount =
+          a > l->width() ? l->width() : static_cast<unsigned>(a);
+      return isSigned ? l->ashr(amount) : l->lshr(amount);
+    }
+    case BinaryOp::LogicalAnd:
+      return BitVector(1, !l->isZero() && !r->isZero());
+    case BinaryOp::LogicalOr:
+      return BitVector(1, !l->isZero() || !r->isZero());
+    case BinaryOp::Eq: return BitVector(1, l->eq(*r));
+    case BinaryOp::Ne: return BitVector(1, !l->eq(*r));
+    case BinaryOp::Lt:
+      return BitVector(1, isSigned ? l->slt(*r) : l->ult(*r));
+    case BinaryOp::Le:
+      return BitVector(1, isSigned ? l->sle(*r) : l->ule(*r));
+    case BinaryOp::Gt:
+      return BitVector(1, isSigned ? r->slt(*l) : r->ult(*l));
+    case BinaryOp::Ge:
+      return BitVector(1, isSigned ? r->sle(*l) : r->ule(*l));
+    }
+    return std::nullopt;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+} // namespace c2h::opt

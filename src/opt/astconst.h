@@ -1,0 +1,27 @@
+// Compile-time evaluation of checked AST expressions.
+//
+// Used by the unroller (trip counts) and flows that must know loop bounds
+// statically (Cones flattens everything; Transmogrifier charges a cycle per
+// iteration).  Follows const-qualified scalar variables with constant
+// initializers.
+#ifndef C2H_OPT_ASTCONST_H
+#define C2H_OPT_ASTCONST_H
+
+#include "frontend/ast.h"
+#include "support/bitvector.h"
+
+#include <optional>
+
+namespace c2h::opt {
+
+// Evaluate `expr` if it is a compile-time constant; the result carries the
+// expression's type width.  Returns nullopt for anything dynamic.
+std::optional<BitVector> tryEvalConst(const ast::Expr &expr);
+
+// True when evaluating `expr` can have no side effects (no assignments,
+// calls, or increments anywhere inside).
+bool isPureExpr(const ast::Expr &expr);
+
+} // namespace c2h::opt
+
+#endif // C2H_OPT_ASTCONST_H

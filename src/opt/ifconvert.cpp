@@ -1,0 +1,191 @@
+#include "opt/ifconvert.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace c2h::opt {
+
+using namespace ir;
+
+namespace {
+
+// An arm qualifies when every instruction is pure datapath (or a register
+// copy) — nothing that touches memory, channels, or control beyond the
+// final unconditional branch.
+bool armConvertible(const BasicBlock &block, const BasicBlock *join) {
+  const Instr *term = block.terminator();
+  if (!term || term->op != Opcode::Br || term->target0 != join)
+    return false;
+  for (const auto &instr : block.instrs()) {
+    if (instr->isTerminator())
+      continue;
+    if (!isPure(instr->op) && instr->op != Opcode::Const &&
+        instr->op != Opcode::Copy)
+      return false;
+  }
+  return true;
+}
+
+std::map<const BasicBlock *, unsigned> predCounts(const Function &fn) {
+  std::map<const BasicBlock *, unsigned> counts;
+  for (const auto &block : fn.blocks())
+    for (BasicBlock *s : block->successors())
+      ++counts[s];
+  return counts;
+}
+
+// Splice `arm`'s instructions into `dst` (before its terminator), renaming
+// every written register to a fresh one so the other arm's values survive.
+// Returns the final value (operand) each original register holds at the
+// arm's end.
+std::map<unsigned, Operand> spliceArm(Function &fn, BasicBlock &dst,
+                                      BasicBlock &arm) {
+  std::map<unsigned, Operand> renamed; // original reg -> current operand
+  auto &dstInstrs = dst.instrs();
+  auto insertAt = dstInstrs.end() - 1; // before the terminator
+
+  for (auto &instrPtr : arm.instrs()) {
+    if (instrPtr->isTerminator())
+      continue;
+    auto clone = std::make_unique<Instr>(*instrPtr);
+    // Rewrite operand uses of renamed registers.
+    for (auto &op : clone->operands) {
+      if (!op.isReg())
+        continue;
+      auto it = renamed.find(op.reg().id);
+      if (it != renamed.end())
+        op = it->second;
+    }
+    if (clone->dst) {
+      VReg fresh = fn.newVReg(clone->dst->width);
+      renamed[clone->dst->id] = Operand(fresh);
+      clone->dst = fresh;
+    }
+    insertAt = dstInstrs.insert(insertAt, std::move(clone));
+    ++insertAt;
+  }
+  return renamed;
+}
+
+bool convertOne(Function &fn) {
+  auto preds = predCounts(fn);
+  for (auto &blockPtr : fn.blocks()) {
+    BasicBlock &head = *blockPtr;
+    Instr *term = head.terminator();
+    if (!term || term->op != Opcode::CondBr || term->target0 == term->target1)
+      continue;
+    BasicBlock *t = term->target0;
+    BasicBlock *f = term->target1;
+    if (t == &head || f == &head)
+      continue; // loop edge, not a conditional
+
+    BasicBlock *join = nullptr;
+    bool diamond = false;
+    // Diamond: head -> {T, F} -> J.
+    if (preds[t] == 1 && preds[f] == 1) {
+      const Instr *tt = t->terminator(), *ft = f->terminator();
+      if (tt && ft && tt->op == Opcode::Br && ft->op == Opcode::Br &&
+          tt->target0 == ft->target0 && tt->target0 != t &&
+          tt->target0 != f && tt->target0 != &head &&
+          armConvertible(*t, tt->target0) &&
+          armConvertible(*f, tt->target0)) {
+        join = tt->target0;
+        diamond = true;
+      }
+    }
+    // Triangle: head -> {T, J}; T -> J.
+    if (!join && preds[t] == 1 && armConvertible(*t, f) && t != f) {
+      join = f;
+    }
+    // Mirrored triangle: head -> {J, F}; F -> J.
+    bool mirrored = false;
+    if (!join && preds[f] == 1 && armConvertible(*f, t) && t != f) {
+      join = t;
+      mirrored = true;
+    }
+    if (!join)
+      continue;
+
+    Operand cond = term->operands[0];
+
+    std::map<unsigned, Operand> tVals, fVals;
+    std::map<unsigned, unsigned> widths;
+    auto collectWidths = [&](BasicBlock *arm) {
+      for (const auto &i : arm->instrs())
+        if (i->dst)
+          widths[i->dst->id] = i->dst->width;
+    };
+    if (diamond) {
+      collectWidths(t);
+      collectWidths(f);
+      tVals = spliceArm(fn, head, *t);
+      fVals = spliceArm(fn, head, *f);
+    } else if (mirrored) {
+      collectWidths(f);
+      fVals = spliceArm(fn, head, *f);
+    } else {
+      collectWidths(t);
+      tVals = spliceArm(fn, head, *t);
+    }
+
+    // Merge: every register written by either arm gets a mux.
+    std::set<unsigned> written;
+    for (const auto &[reg, v] : tVals)
+      written.insert(reg);
+    for (const auto &[reg, v] : fVals)
+      written.insert(reg);
+    auto &instrs = head.instrs();
+    auto insertAt = instrs.end() - 1;
+    for (unsigned reg : written) {
+      unsigned width = widths[reg];
+      Operand tv = tVals.count(reg) ? tVals[reg] : Operand(VReg{reg, width});
+      Operand fv = fVals.count(reg) ? fVals[reg] : Operand(VReg{reg, width});
+      auto mux = std::make_unique<Instr>();
+      mux->op = Opcode::Mux;
+      mux->dst = VReg{reg, width};
+      mux->operands = {cond, tv, fv};
+      insertAt = instrs.insert(insertAt, std::move(mux));
+      ++insertAt;
+    }
+
+    // Retarget: head now branches straight to the join.
+    Instr *newTerm = head.terminator();
+    newTerm->op = Opcode::Br;
+    newTerm->operands.clear();
+    newTerm->target0 = join;
+    newTerm->target1 = nullptr;
+
+    // Drop the converted arm blocks.
+    auto &blocks = fn.blocks();
+    blocks.erase(std::remove_if(blocks.begin(), blocks.end(),
+                                [&](const std::unique_ptr<BasicBlock> &b) {
+                                  if (diamond)
+                                    return b.get() == t || b.get() == f;
+                                  if (mirrored)
+                                    return b.get() == f;
+                                  return b.get() == t;
+                                }),
+                 blocks.end());
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool ifConvert(ir::Function &fn) {
+  bool any = false;
+  while (convertOne(fn))
+    any = true;
+  return any;
+}
+
+bool ifConvert(ir::Module &module) {
+  bool any = false;
+  for (auto &fn : module.functions())
+    any |= ifConvert(*fn);
+  return any;
+}
+
+} // namespace c2h::opt

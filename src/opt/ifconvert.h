@@ -1,0 +1,23 @@
+// If-conversion: turn triangle/diamond control flow whose arms are pure
+// computation into straight-line code with multiplexers.
+//
+// This is how Cones "handled conditionals" when flattening a C function
+// into a single combinational block, and it also widens the reach of loop
+// pipelining (a branchy loop body becomes a single block).  Arms may
+// contain only side-effect-free instructions and register copies; memory
+// accesses and synchronization are never speculated.
+#ifndef C2H_OPT_IFCONVERT_H
+#define C2H_OPT_IFCONVERT_H
+
+#include "ir/ir.h"
+
+namespace c2h::opt {
+
+// Convert every eligible triangle/diamond in `fn` (to a fixpoint).
+// Returns true if anything changed.
+bool ifConvert(ir::Function &fn);
+bool ifConvert(ir::Module &module);
+
+} // namespace c2h::opt
+
+#endif // C2H_OPT_IFCONVERT_H

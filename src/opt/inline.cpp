@@ -1,0 +1,473 @@
+#include "opt/inline.h"
+
+#include "opt/astclone.h"
+#include "opt/astconst.h"
+
+#include <cassert>
+#include <set>
+
+namespace c2h::opt {
+
+using namespace ast;
+
+namespace {
+
+class Inliner {
+public:
+  Inliner(Program &program, TypeContext &types, DiagnosticEngine &diags)
+      : program_(program), types_(types), diags_(diags),
+        nextId_(maxVarDeclId(program)) {}
+
+  bool runPass() {
+    changed_ = false;
+    for (auto &fn : program_.functions)
+      processStmt(fn->body);
+    return changed_;
+  }
+
+private:
+  bool inlinable(const CallExpr &call) const {
+    return call.decl && !call.decl->isRecursive && call.decl->body;
+  }
+
+  // ---- statement traversal ------------------------------------------------
+
+  void processStmt(std::unique_ptr<BlockStmt> &block) {
+    StmtPtr asStmt(block.release());
+    processStmt(asStmt);
+    assert(asStmt->kind == Stmt::Kind::Block);
+    block.reset(static_cast<BlockStmt *>(asStmt.release()));
+  }
+
+  void processStmtList(std::vector<StmtPtr> &stmts) {
+    std::vector<StmtPtr> out;
+    out.reserve(stmts.size());
+    for (auto &stmt : stmts) {
+      processStmt(stmt);
+      std::vector<StmtPtr> before;
+      rewriteStmt(stmt, before);
+      for (auto &s : before)
+        out.push_back(std::move(s));
+      if (stmt)
+        out.push_back(std::move(stmt));
+    }
+    stmts = std::move(out);
+  }
+
+  // Recurse into child statements first (bottom-up), then handle the calls
+  // in this statement's own expressions.
+  void processStmt(StmtPtr &stmt) {
+    switch (stmt->kind) {
+    case Stmt::Kind::Block:
+      processStmtList(static_cast<BlockStmt &>(*stmt).stmts);
+      return;
+    case Stmt::Kind::If: {
+      auto &i = static_cast<IfStmt &>(*stmt);
+      processWrapped(i.thenStmt);
+      if (i.elseStmt)
+        processWrapped(i.elseStmt);
+      return;
+    }
+    case Stmt::Kind::While:
+      processWrapped(static_cast<WhileStmt &>(*stmt).body);
+      return;
+    case Stmt::Kind::DoWhile:
+      processWrapped(static_cast<DoWhileStmt &>(*stmt).body);
+      return;
+    case Stmt::Kind::For: {
+      auto &f = static_cast<ForStmt &>(*stmt);
+      if (f.init)
+        processStmt(f.init);
+      processWrapped(f.body);
+      return;
+    }
+    case Stmt::Kind::Par:
+      for (auto &branch : static_cast<ParStmt &>(*stmt).branches)
+        processWrapped(branch);
+      return;
+    case Stmt::Kind::Constraint:
+      processWrapped(static_cast<ConstraintStmt &>(*stmt).body);
+      return;
+    default:
+      return;
+    }
+  }
+
+  // A child statement that is not necessarily a block: hoisted statements
+  // need somewhere to go, so wrap in a block when rewriting occurs.
+  void processWrapped(StmtPtr &stmt) {
+    SourceLoc loc = stmt->loc;
+    processStmt(stmt);
+    std::vector<StmtPtr> before;
+    rewriteStmt(stmt, before);
+    if (before.empty())
+      return;
+    auto block = std::make_unique<BlockStmt>(loc);
+    for (auto &s : before)
+      block->stmts.push_back(std::move(s));
+    if (stmt)
+      block->stmts.push_back(std::move(stmt));
+    stmt = std::move(block);
+  }
+
+  // Hoist + inline the calls inside one statement's expressions.  `before`
+  // receives statements to execute first.  `stmt` may become null when the
+  // whole statement dissolved into the inlined body.
+  void rewriteStmt(StmtPtr &stmt, std::vector<StmtPtr> &before) {
+    if (!stmt)
+      return;
+    switch (stmt->kind) {
+    case Stmt::Kind::Expr: {
+      auto &e = static_cast<ExprStmt &>(*stmt);
+      if (!e.expr)
+        return;
+      // A bare call statement: inline without a result temporary.
+      if (e.expr->kind == Expr::Kind::Call &&
+          inlinable(static_cast<CallExpr &>(*e.expr))) {
+        auto call = std::unique_ptr<CallExpr>(
+            static_cast<CallExpr *>(e.expr.release()));
+        hoistArgs(call->args, before);
+        before.push_back(inlineCall(*call, /*wantResult=*/nullptr));
+        stmt.reset();
+        return;
+      }
+      hoistCalls(e.expr, before);
+      return;
+    }
+    case Stmt::Kind::Decl: {
+      auto &d = static_cast<DeclStmt &>(*stmt);
+      if (d.decl->init)
+        hoistCalls(d.decl->init, before);
+      for (auto &e : d.decl->arrayInit)
+        hoistCalls(e, before);
+      return;
+    }
+    case Stmt::Kind::If:
+      hoistCalls(static_cast<IfStmt &>(*stmt).cond, before);
+      return;
+    case Stmt::Kind::Return: {
+      auto &r = static_cast<ReturnStmt &>(*stmt);
+      if (r.value)
+        hoistCalls(r.value, before);
+      return;
+    }
+    case Stmt::Kind::Send:
+      hoistCalls(static_cast<SendStmt &>(*stmt).value, before);
+      return;
+    // Loop conditions/steps are conditionally (re-)evaluated: leave calls.
+    default:
+      return;
+    }
+  }
+
+  void hoistArgs(std::vector<ExprPtr> &args, std::vector<StmtPtr> &before) {
+    for (auto &arg : args)
+      hoistCalls(arg, before);
+  }
+
+  // Hoist inlinable calls in unconditionally evaluated positions of `expr`.
+  void hoistCalls(ExprPtr &expr, std::vector<StmtPtr> &before) {
+    if (!expr)
+      return;
+    switch (expr->kind) {
+    case Expr::Kind::Unary:
+      hoistCalls(static_cast<UnaryExpr &>(*expr).operand, before);
+      break;
+    case Expr::Kind::Binary: {
+      auto &b = static_cast<BinaryExpr &>(*expr);
+      hoistCalls(b.lhs, before);
+      // The right side of && / || is conditionally evaluated.
+      if (b.op != BinaryOp::LogicalAnd && b.op != BinaryOp::LogicalOr)
+        hoistCalls(b.rhs, before);
+      break;
+    }
+    case Expr::Kind::Assign: {
+      auto &a = static_cast<AssignExpr &>(*expr);
+      hoistCalls(a.target, before);
+      hoistCalls(a.value, before);
+      break;
+    }
+    case Expr::Kind::Ternary:
+      // Only the condition is unconditional.
+      hoistCalls(static_cast<TernaryExpr &>(*expr).cond, before);
+      break;
+    case Expr::Kind::Call: {
+      auto &call = static_cast<CallExpr &>(*expr);
+      hoistArgs(call.args, before);
+      if (!inlinable(call))
+        return;
+      // Non-void result: inline into a temporary and substitute it.
+      const Type *retTy = call.decl->returnType;
+      if (retTy->isVoid()) {
+        auto owned = std::unique_ptr<CallExpr>(
+            static_cast<CallExpr *>(expr.release()));
+        before.push_back(inlineCall(*owned, nullptr));
+        // A void call in value position cannot happen post-sema except as
+        // a bare statement, which rewriteStmt handles; keep a dummy 0.
+        expr = std::make_unique<IntLiteralExpr>(owned->loc, BitVector(32));
+        expr->type = types_.i32();
+        return;
+      }
+      auto temp = std::make_unique<VarDecl>();
+      temp->name = "inl$" + std::to_string(nextId_ + 1);
+      temp->type = retTy;
+      temp->loc = call.loc;
+      temp->id = ++nextId_;
+      VarDecl *tempPtr = temp.get();
+      auto owned = std::unique_ptr<CallExpr>(
+          static_cast<CallExpr *>(expr.release()));
+      before.push_back(
+          std::make_unique<DeclStmt>(owned->loc, std::move(temp)));
+      before.push_back(inlineCall(*owned, tempPtr));
+      auto ref = std::make_unique<VarRefExpr>(owned->loc, tempPtr->name);
+      ref->decl = tempPtr;
+      ref->type = retTy;
+      expr = std::move(ref);
+      return;
+    }
+    case Expr::Kind::Index: {
+      auto &i = static_cast<IndexExpr &>(*expr);
+      hoistCalls(i.base, before);
+      hoistCalls(i.index, before);
+      break;
+    }
+    case Expr::Kind::Cast:
+      hoistCalls(static_cast<CastExpr &>(*expr).operand, before);
+      break;
+    default:
+      break;
+    }
+  }
+
+  // ---- body splicing ------------------------------------------------------
+
+  VarRefExpr *makeRef(VarDecl *decl, SourceLoc loc) {
+    auto *ref = new VarRefExpr(loc, decl->name);
+    ref->decl = decl;
+    ref->type = decl->type;
+    return ref;
+  }
+
+  // Build the block replacing `call`.  `result` (may be null) receives the
+  // return value.
+  StmtPtr inlineCall(CallExpr &call, VarDecl *result) {
+    changed_ = true;
+    FuncDecl &callee = *call.decl;
+    auto block = std::make_unique<BlockStmt>(call.loc);
+    CloneContext clones(nextId_);
+
+    // Bind parameters.
+    for (std::size_t i = 0; i < callee.params.size(); ++i) {
+      VarDecl &param = *callee.params[i];
+      ExprPtr &arg = call.args[i];
+      if (param.type->isArray() || param.type->isChan()) {
+        if (!isPureExpr(*arg)) {
+          diags_.error(arg->loc,
+                       "argument bound by reference must be a simple "
+                       "variable reference to be inlined");
+          continue;
+        }
+        clones.substitute(&param, arg.get());
+        // Keep the argument alive for the duration of cloning: move it
+        // into a keep-alive list.
+        keepAlive_.push_back(std::move(arg));
+        continue;
+      }
+      // Scalar (or pointer) parameter: by-value local.
+      auto local = std::make_unique<VarDecl>();
+      local->name = param.name + "$" + std::to_string(nextId_ + 1);
+      local->type = param.type;
+      local->loc = call.loc;
+      local->id = ++nextId_;
+      local->init = std::move(arg);
+      clones.redirect(&param, local.get());
+      block->stmts.push_back(
+          std::make_unique<DeclStmt>(call.loc, std::move(local)));
+    }
+
+    // Result and guard variables.
+    VarDecl *retVar = result;
+    // Count returns and check whether the only one is trailing.
+    unsigned returns = 0;
+    walk(*callee.body, [&](Stmt &s) {
+      if (s.kind == Stmt::Kind::Return)
+        ++returns;
+    }, nullptr);
+    bool trailingOnly =
+        returns == 0 ||
+        (returns == 1 && !callee.body->stmts.empty() &&
+         callee.body->stmts.back()->kind == Stmt::Kind::Return);
+
+    VarDecl *doneVar = nullptr;
+    if (!trailingOnly) {
+      auto done = std::make_unique<VarDecl>();
+      done->name = "done$" + std::to_string(nextId_ + 1);
+      done->type = types_.boolType();
+      done->loc = call.loc;
+      done->id = ++nextId_;
+      auto init = std::make_unique<BoolLiteralExpr>(call.loc, false);
+      init->type = types_.boolType();
+      done->init = std::move(init);
+      doneVar = done.get();
+      block->stmts.push_back(
+          std::make_unique<DeclStmt>(call.loc, std::move(done)));
+    }
+
+    // Clone and transform the body.
+    auto body = clones.cloneStmt(*callee.body);
+    guardReturns(body, retVar, doneVar, /*loopDepth=*/0);
+    block->stmts.push_back(std::move(body));
+    return block;
+  }
+
+  // Rewrite `return e` into result assignment + completion guard.
+  // Returns true when the subtree contains a return.
+  bool guardReturns(StmtPtr &stmt, VarDecl *retVar, VarDecl *doneVar,
+                    unsigned loopDepth) {
+    switch (stmt->kind) {
+    case Stmt::Kind::Return: {
+      auto &r = static_cast<ReturnStmt &>(*stmt);
+      auto repl = std::make_unique<BlockStmt>(stmt->loc);
+      if (retVar && r.value) {
+        auto assign = std::make_unique<AssignExpr>(
+            stmt->loc, ExprPtr(makeRef(retVar, stmt->loc)),
+            std::move(r.value));
+        assign->type = retVar->type;
+        repl->stmts.push_back(
+            std::make_unique<ExprStmt>(stmt->loc, std::move(assign)));
+      }
+      if (doneVar) {
+        auto lit = std::make_unique<BoolLiteralExpr>(stmt->loc, true);
+        lit->type = types_.boolType();
+        auto assign = std::make_unique<AssignExpr>(
+            stmt->loc, ExprPtr(makeRef(doneVar, stmt->loc)), std::move(lit));
+        assign->type = types_.boolType();
+        repl->stmts.push_back(
+            std::make_unique<ExprStmt>(stmt->loc, std::move(assign)));
+        if (loopDepth > 0)
+          repl->stmts.push_back(std::make_unique<BreakStmt>(stmt->loc));
+      }
+      stmt = std::move(repl);
+      return true;
+    }
+    case Stmt::Kind::Block: {
+      auto &b = static_cast<BlockStmt &>(*stmt);
+      bool any = false;
+      for (std::size_t i = 0; i < b.stmts.size(); ++i) {
+        bool mayFinish = guardReturns(b.stmts[i], retVar, doneVar, loopDepth);
+        if (!mayFinish || !doneVar)
+          continue;
+        any = true;
+        bool lastStmt = i + 1 == b.stmts.size();
+        if (loopDepth > 0) {
+          // Propagate the completion out of enclosing loops.
+          auto breakIf = std::make_unique<IfStmt>(
+              b.loc, ExprPtr(makeRef(doneVar, b.loc)),
+              std::make_unique<BreakStmt>(b.loc), nullptr);
+          b.stmts.insert(b.stmts.begin() + static_cast<long>(i) + 1,
+                         std::move(breakIf));
+          ++i;
+        } else if (!lastStmt) {
+          // Skip the remainder of the block once done.
+          auto rest = std::make_unique<BlockStmt>(b.loc);
+          for (std::size_t j = i + 1; j < b.stmts.size(); ++j)
+            rest->stmts.push_back(std::move(b.stmts[j]));
+          b.stmts.resize(i + 1);
+          auto notDone = std::make_unique<UnaryExpr>(
+              b.loc, UnaryOp::Not, ExprPtr(makeRef(doneVar, b.loc)));
+          notDone->type = types_.boolType();
+          b.stmts.push_back(std::make_unique<IfStmt>(
+              b.loc, std::move(notDone), std::move(rest), nullptr));
+          // The moved remainder has not been visited yet: process it inside
+          // its new wrapper.
+          guardReturns(b.stmts.back(), retVar, doneVar, loopDepth);
+          break;
+        }
+      }
+      return any;
+    }
+    case Stmt::Kind::If: {
+      auto &i = static_cast<IfStmt &>(*stmt);
+      bool a = guardReturns(i.thenStmt, retVar, doneVar, loopDepth);
+      bool b = i.elseStmt &&
+               guardReturns(i.elseStmt, retVar, doneVar, loopDepth);
+      return a || b;
+    }
+    case Stmt::Kind::While:
+      return guardReturns(static_cast<WhileStmt &>(*stmt).body, retVar,
+                          doneVar, loopDepth + 1);
+    case Stmt::Kind::DoWhile:
+      return guardReturns(static_cast<DoWhileStmt &>(*stmt).body, retVar,
+                          doneVar, loopDepth + 1);
+    case Stmt::Kind::For:
+      return guardReturns(static_cast<ForStmt &>(*stmt).body, retVar,
+                          doneVar, loopDepth + 1);
+    case Stmt::Kind::Par: {
+      auto &p = static_cast<ParStmt &>(*stmt);
+      for (auto &branch : p.branches)
+        if (guardReturns(branch, retVar, doneVar, loopDepth))
+          diags_.error(branch->loc,
+                       "cannot inline a return inside a par branch");
+      return false;
+    }
+    case Stmt::Kind::Constraint:
+      return guardReturns(static_cast<ConstraintStmt &>(*stmt).body, retVar,
+                          doneVar, loopDepth);
+    default:
+      return false;
+    }
+  }
+
+  Program &program_;
+  TypeContext &types_;
+  DiagnosticEngine &diags_;
+  unsigned nextId_;
+  bool changed_ = false;
+  std::vector<ExprPtr> keepAlive_;
+};
+
+} // namespace
+
+bool inlineFunctions(ast::Program &program, TypeContext &types,
+                     DiagnosticEngine &diags, const InlineOptions &options) {
+  Inliner inliner(program, types, diags);
+  bool any = false;
+  for (unsigned pass = 0; pass < options.maxPasses; ++pass) {
+    if (!inliner.runPass())
+      break;
+    any = true;
+    if (diags.hasErrors())
+      break;
+  }
+  return any;
+}
+
+void removeUnusedFunctions(ast::Program &program, const std::string &top) {
+  std::set<std::string> live;
+  std::vector<const FuncDecl *> queue;
+  if (const FuncDecl *root = program.findFunction(top)) {
+    live.insert(top);
+    queue.push_back(root);
+  }
+  while (!queue.empty()) {
+    const FuncDecl *fn = queue.back();
+    queue.pop_back();
+    if (!fn->body)
+      continue;
+    walk(*fn->body, nullptr, [&](ast::Expr &e) {
+      if (e.kind == ast::Expr::Kind::Call) {
+        auto &call = static_cast<ast::CallExpr &>(e);
+        if (call.decl && live.insert(call.callee).second)
+          queue.push_back(call.decl);
+      }
+    });
+  }
+  auto &fns = program.functions;
+  fns.erase(std::remove_if(fns.begin(), fns.end(),
+                           [&](const std::unique_ptr<FuncDecl> &fn) {
+                             return live.count(fn->name) == 0;
+                           }),
+            fns.end());
+}
+
+} // namespace c2h::opt

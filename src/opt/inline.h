@@ -1,0 +1,48 @@
+// Function inlining on the checked AST.
+//
+// Hardware synthesis flows flatten the call graph: a non-recursive call
+// becomes a copy of the callee's body wired into the call site (this is
+// what Cones, Transmogrifier C, Handel-C, and classic behavioral synthesis
+// all do — only C2Verilog kept real calls, via a stack).  Inlining is also
+// what makes array- and channel-typed parameters synthesizable: they bind
+// by reference to the caller's objects at compile time.
+//
+// Mechanics:
+//  * Calls are hoisted out of expressions (innermost-first, evaluation
+//    order) into `T tmp$ = f(...)` statements, then each such call is
+//    replaced by the callee's cloned body.  Calls in conditionally
+//    evaluated positions (&&/|| right side, ternary arms, loop conditions
+//    and steps) are left alone — they stay as IR-level calls or trigger a
+//    downstream diagnostic in flows that demand full flattening.
+//  * Scalar parameters become initialized locals; array/channel parameters
+//    are substituted by-reference (the argument must be a pure lvalue).
+//  * Early returns are handled with a `done$` guard variable and loop
+//    breaks — fully general, no gotos needed.
+//  * Recursive functions are never inlined.
+#ifndef C2H_OPT_INLINE_H
+#define C2H_OPT_INLINE_H
+
+#include "frontend/ast.h"
+#include "frontend/type.h"
+#include "support/diagnostics.h"
+
+#include <string>
+
+namespace c2h::opt {
+
+struct InlineOptions {
+  unsigned maxPasses = 32;
+};
+
+// Inline every inlinable call in `program`.  Returns true if anything
+// changed.  Errors (e.g. array argument too complex) are reported to
+// `diags`.
+bool inlineFunctions(ast::Program &program, TypeContext &types,
+                     DiagnosticEngine &diags, const InlineOptions &options = {});
+
+// Drop functions unreachable from `top` through remaining calls.
+void removeUnusedFunctions(ast::Program &program, const std::string &top);
+
+} // namespace c2h::opt
+
+#endif // C2H_OPT_INLINE_H

@@ -1,0 +1,46 @@
+// IR-level optimization passes.
+//
+// These run between lowering and scheduling.  Better IR means fewer
+// operations to schedule and bind, which is how a C-to-RTL compiler earns
+// its area/latency numbers — the paper's point that "efficient
+// implementations demand careful coding" is softened (but not removed) by
+// exactly these cleanups.
+//
+//  * localValueNumbering — per-block CSE + constant folding + copy/constant
+//    propagation + algebraic simplification + strength reduction (mul/div
+//    by powers of two) + store-to-load forwarding.
+//  * deadCodeElimination — liveness-driven removal of pure instructions.
+//  * simplifyCFG — fold constant branches, drop unreachable blocks, merge
+//    straight-line chains, thread trivial jump blocks.
+//  * optimizeModule — runs the above to a fixpoint.
+#ifndef C2H_OPT_IRPASSES_H
+#define C2H_OPT_IRPASSES_H
+
+#include "ir/ir.h"
+
+namespace c2h::opt {
+
+struct IrOptOptions {
+  bool valueNumbering = true;
+  bool deadCode = true;
+  bool cfg = true;
+  unsigned maxIterations = 8;
+};
+
+// Each pass returns true when it changed something.
+bool localValueNumbering(ir::Function &fn);
+bool deadCodeElimination(ir::Function &fn);
+bool simplifyCFG(ir::Function &fn);
+
+// Run all enabled passes to a fixpoint over every function in the module.
+// Returns true if anything changed.
+bool optimizeModule(ir::Module &module, const IrOptOptions &options = {});
+
+// Count instructions in a function / module (excluding Nops), a convenient
+// metric for tests and benches.
+std::size_t instructionCount(const ir::Function &fn);
+std::size_t instructionCount(const ir::Module &module);
+
+} // namespace c2h::opt
+
+#endif // C2H_OPT_IRPASSES_H

@@ -1,0 +1,41 @@
+// Stackify: compile self-recursive functions into iterative FSMs with an
+// explicit stack memory.
+//
+// A hardware FSM is not reentrant, so real C-to-RTL compilers that accept
+// recursion (C2Verilog, per its patent) spill the live state into a stack
+// RAM and re-enter their own entry state.  The transformation:
+//
+//   f(args):                          f(args):
+//     ... r = f(e) ...  k sites          sp = 0
+//     return v              =>           entry: ...
+//                                        site i:  push(live regs, i);
+//                                                 params = args; goto entry
+//                                        return v: retval = v
+//                                                 if (sp == 0) return retval
+//                                                 pop site id; restore regs
+//                                                 r_i = retval; goto cont_i
+//
+// Only direct self-recursion is transformed; mutual recursion keeps IR
+// calls (the simulator still executes those via nested FSM activations,
+// with the cost model caveat documented in EXPERIMENTS.md).
+#ifndef C2H_OPT_STACKIFY_H
+#define C2H_OPT_STACKIFY_H
+
+#include "ir/ir.h"
+
+namespace c2h::opt {
+
+struct StackifyOptions {
+  // Frames are variable-sized; the stack memory is sized for this many
+  // words total.  Deeper recursion overflows (caught by the simulator's
+  // bounds check).
+  std::uint64_t stackWords = 4096;
+};
+
+// Transform every directly self-recursive function in `module`.
+// Returns true if anything changed.
+bool stackifyRecursion(ir::Module &module, const StackifyOptions &options = {});
+
+} // namespace c2h::opt
+
+#endif // C2H_OPT_STACKIFY_H

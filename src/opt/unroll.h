@@ -1,0 +1,45 @@
+// Loop unrolling on the checked AST.
+//
+// This is the transformation at the heart of two of the paper's timing
+// observations: Cones can only synthesize programs whose loops unroll away
+// completely, and Transmogrifier C "loops may need to be unrolled" to meet
+// timing because each iteration costs a clock cycle.
+//
+// A loop is unrollable when it has the canonical induction form
+//   for (i = C0; i <rel> C1; i = i + C2) body   (or i += / i++ / decls)
+// with constant bounds, a pure condition and step, and no break/continue
+// that targets this loop.  Trip counts are computed by bit-exact simulation
+// of the induction variable, so narrow/wrapping counters behave correctly.
+#ifndef C2H_OPT_UNROLL_H
+#define C2H_OPT_UNROLL_H
+
+#include "frontend/ast.h"
+#include "support/diagnostics.h"
+
+#include <optional>
+
+namespace c2h::opt {
+
+struct UnrollOptions {
+  // Unroll every unrollable loop completely, regardless of annotations
+  // (Cones-style flattening; also used by the dataflow ILP analyzer).
+  bool unrollAll = false;
+  // Refuse to unroll beyond this many copies of the body.
+  unsigned maxTripCount = 65536;
+};
+
+// Statically computed trip count of a for-loop, if it has the canonical
+// form.  Exposed for flows that must *know* bounds (Transmogrifier's
+// cycle-per-iteration accounting) without rewriting the loop.
+std::optional<std::uint64_t> staticTripCount(const ast::ForStmt &loop,
+                                             std::uint64_t limit = 1u << 20);
+
+// Apply `unroll` / `unroll(k)` annotations (and, with unrollAll, every
+// unrollable loop).  Returns true if anything changed.  Annotated loops
+// that cannot be unrolled produce diagnostics.
+bool unrollLoops(ast::Program &program, DiagnosticEngine &diags,
+                 const UnrollOptions &options = {});
+
+} // namespace c2h::opt
+
+#endif // C2H_OPT_UNROLL_H

@@ -1,0 +1,228 @@
+#include "opt/widthinfer.h"
+
+#include <algorithm>
+#include <map>
+
+namespace c2h::opt {
+
+using ir::Opcode;
+
+namespace {
+
+unsigned capped(std::uint64_t bits, unsigned declared) {
+  return bits >= declared ? declared : static_cast<unsigned>(bits);
+}
+
+} // namespace
+
+WidthInference inferWidths(const ir::Module &module, const ir::Function &fn) {
+  WidthInference out;
+
+  // Declared widths.
+  std::map<unsigned, unsigned> declared;
+  for (const auto &p : fn.params())
+    declared[p.id] = p.width;
+  for (const auto &block : fn.blocks())
+    for (const auto &instr : block->instrs())
+      if (instr->dst)
+        declared[instr->dst->id] = instr->dst->width;
+
+  // Start optimistic (0 bits) except unknown sources (params, channel
+  // receives, calls), which are full width from the start.
+  std::map<unsigned, unsigned> bits;
+  for (const auto &[reg, w] : declared)
+    bits[reg] = 0;
+  for (const auto &p : fn.params())
+    bits[p.id] = p.width;
+
+  // Memory content bounds: init data plus everything stored in this
+  // function (stores elsewhere in the module conservatively widen to the
+  // memory's full width, since we do not analyze other functions here).
+  std::vector<unsigned> memBase(module.mems().size(), 0);
+  std::vector<bool> memForeignStores(module.mems().size(), false);
+  for (std::size_t m = 0; m < module.mems().size(); ++m) {
+    const auto &mem = module.mems()[m];
+    for (const auto &init : mem.init)
+      memBase[m] = std::max(memBase[m], init.activeBits());
+    // Zero-initialized remainder contributes 0.
+  }
+  for (const auto &other : module.functions()) {
+    if (other.get() == &fn)
+      continue;
+    for (const auto &block : other->blocks())
+      for (const auto &instr : block->instrs())
+        if (instr->op == Opcode::Store)
+          memForeignStores[instr->memId] = true;
+  }
+
+  auto operandBits = [&](const ir::Operand &op) -> unsigned {
+    if (op.isImm())
+      return op.imm().activeBits();
+    auto it = bits.find(op.reg().id);
+    return it == bits.end() ? op.reg().width : it->second;
+  };
+
+  bool changed = true;
+  unsigned iterations = 0;
+  std::vector<unsigned> memBits = memBase;
+  while (changed && iterations < 1000) {
+    changed = false;
+    ++iterations;
+
+    // Memory bounds from this function's stores.
+    std::vector<unsigned> newMemBits = memBase;
+    for (std::size_t m = 0; m < module.mems().size(); ++m)
+      if (memForeignStores[m])
+        newMemBits[m] = module.mems()[m].width;
+    for (const auto &block : fn.blocks())
+      for (const auto &instr : block->instrs())
+        if (instr->op == Opcode::Store) {
+          unsigned w = module.mems()[instr->memId].width;
+          newMemBits[instr->memId] =
+              std::max(newMemBits[instr->memId],
+                       std::min(w, operandBits(instr->operands[1])));
+        }
+    if (newMemBits != memBits) {
+      memBits = newMemBits;
+      changed = true;
+    }
+
+    for (const auto &block : fn.blocks()) {
+      for (const auto &instr : block->instrs()) {
+        if (!instr->dst)
+          continue;
+        unsigned W = instr->dst->width;
+        auto b = [&](std::size_t i) { return operandBits(instr->operands[i]); };
+        unsigned result = W;
+        switch (instr->op) {
+        case Opcode::Const:
+          result = instr->constValue.activeBits();
+          break;
+        case Opcode::Copy:
+          result = std::min(W, b(0));
+          break;
+        case Opcode::And:
+          result = std::min(b(0), b(1));
+          break;
+        case Opcode::Or:
+        case Opcode::Xor:
+          result = std::max(b(0), b(1));
+          break;
+        case Opcode::Add:
+          result = capped(std::max(b(0), b(1)) + 1ull, W);
+          break;
+        case Opcode::Mul:
+          result = capped(static_cast<std::uint64_t>(b(0)) + b(1), W);
+          break;
+        case Opcode::Shl: {
+          const ir::Operand &amt = instr->operands[1];
+          if (amt.isImm())
+            result = capped(b(0) + amt.imm().toUint64(), W);
+          else if (b(1) < 12)
+            result = capped(b(0) + ((1ull << b(1)) - 1), W);
+          else
+            result = W;
+          if (b(0) == 0)
+            result = 0;
+          break;
+        }
+        case Opcode::ShrL: {
+          const ir::Operand &amt = instr->operands[1];
+          if (amt.isImm()) {
+            std::uint64_t k = amt.imm().toUint64();
+            result = b(0) > k ? static_cast<unsigned>(b(0) - k) : 0;
+          } else {
+            result = b(0);
+          }
+          break;
+        }
+        case Opcode::ShrA:
+          // Behaves like a logical shift when the value cannot be
+          // negative (its bound is below the sign bit).
+          if (b(0) < instr->operands[0].width()) {
+            const ir::Operand &amt = instr->operands[1];
+            if (amt.isImm()) {
+              std::uint64_t k = amt.imm().toUint64();
+              result = b(0) > k ? static_cast<unsigned>(b(0) - k) : 0;
+            } else {
+              result = b(0);
+            }
+          } else {
+            result = W;
+          }
+          break;
+        case Opcode::DivU:
+          result = std::min(W, b(0));
+          break;
+        case Opcode::RemU:
+          result = std::min(b(0), b(1));
+          break;
+        case Opcode::DivS:
+        case Opcode::RemS:
+          // Equal to the unsigned forms when both operands are provably
+          // non-negative.
+          if (b(0) < instr->operands[0].width() &&
+              b(1) < instr->operands[1].width())
+            result = instr->op == Opcode::DivS ? std::min(W, b(0))
+                                               : std::min(b(0), b(1));
+          else
+            result = W;
+          break;
+        case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLtS:
+        case Opcode::CmpLtU: case Opcode::CmpLeS: case Opcode::CmpLeU:
+          result = 1;
+          break;
+        case Opcode::Mux:
+          result = std::max(b(1), b(2));
+          break;
+        case Opcode::Trunc:
+          result = std::min(b(0), W);
+          break;
+        case Opcode::ZExt:
+          result = b(0);
+          break;
+        case Opcode::SExt:
+          // Sign extension of a provably non-negative value adds zeros.
+          result = b(0) < instr->operands[0].width() ? b(0) : W;
+          break;
+        case Opcode::Load:
+          result = std::min(W, memBits[instr->memId]);
+          break;
+        case Opcode::ChanRecv:
+        case Opcode::Call:
+        case Opcode::Sub:
+        case Opcode::Neg:
+        case Opcode::Not:
+        default:
+          result = W; // unknown or possibly-negative patterns
+          break;
+        }
+        result = std::min(result, W);
+        unsigned &cur = bits[instr->dst->id];
+        if (result > cur) {
+          cur = result;
+          changed = true;
+        }
+      }
+    }
+  }
+  if (iterations >= 1000) {
+    // Did not converge (should not happen): saturate for soundness.
+    for (auto &[reg, w] : bits)
+      w = declared[reg];
+  }
+
+  for (const auto &[reg, w] : bits) {
+    // A width of zero means "provably always zero": one wire.
+    out.effective[reg] = std::max(1u, w);
+  }
+  for (const auto &block : fn.blocks())
+    for (const auto &instr : block->instrs())
+      if (instr->dst) {
+        out.declaredBits += instr->dst->width;
+        out.effectiveBits += out.widthOf(instr->dst->id, instr->dst->width);
+      }
+  return out;
+}
+
+} // namespace c2h::opt

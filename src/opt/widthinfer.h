@@ -1,0 +1,47 @@
+// Bit-width inference: how many bits does each value actually need?
+//
+// The paper's opening complaint is that "C has types that match what the
+// processor directly manipulates" — everything is 32 bits even when the
+// data is 4 bits wide.  This analysis computes, per virtual register, a
+// sound upper bound on the value's magnitude (forward dataflow over the
+// CFG with widening at joins), from which the *effective* width follows:
+// the bits a synthesized datapath would really have to implement.
+//
+// The bound tracking is unsigned-magnitude based: operations that can
+// produce two's-complement "negative" patterns (sub, neg, arithmetic
+// shifts of unknowns, sign extension of possibly-negative values)
+// conservatively saturate to the declared width.  Soundness is tested by
+// executing instrumented programs and checking every dynamic value fits
+// its inferred width.
+#ifndef C2H_OPT_WIDTHINFER_H
+#define C2H_OPT_WIDTHINFER_H
+
+#include "ir/ir.h"
+
+#include <map>
+
+namespace c2h::opt {
+
+struct WidthInference {
+  // vreg id -> effective width (<= declared width).
+  std::map<unsigned, unsigned> effective;
+
+  unsigned widthOf(unsigned vreg, unsigned declared) const {
+    auto it = effective.find(vreg);
+    return it == effective.end() ? declared : it->second;
+  }
+  // Total declared vs. effective datapath bits over all instructions'
+  // destinations — the recoverable width.
+  std::uint64_t declaredBits = 0;
+  std::uint64_t effectiveBits = 0;
+};
+
+// Analyze `fn` within `module` (memory widths bound loads; stores into a
+// memory widen its content bound).  Parameters are assumed full-width
+// (their inputs are unknown).  The result is a sound over-approximation:
+// every dynamic value of vreg r has activeBits <= effective[r].
+WidthInference inferWidths(const ir::Module &module, const ir::Function &fn);
+
+} // namespace c2h::opt
+
+#endif // C2H_OPT_WIDTHINFER_H

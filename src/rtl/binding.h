@@ -1,0 +1,51 @@
+// Register binding: merge virtual registers whose live ranges do not
+// interfere into shared physical registers (the datapath-synthesis
+// counterpart of register allocation; classically solved with the
+// left-edge algorithm).
+//
+// Only values that survive a control-step or block boundary need storage;
+// everything else is wiring.  Two storage values may share a register when
+// no block's boundary liveness contains both.  Sharing trades register
+// area for steering muxes — the ablation bench measures the balance.
+#ifndef C2H_RTL_BINDING_H
+#define C2H_RTL_BINDING_H
+
+#include "ir/ir.h"
+#include "sched/techlib.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace c2h::rtl {
+
+struct RegisterBinding {
+  // vreg id -> physical register index.
+  std::map<unsigned, unsigned> assignment;
+  // Width of each physical register.
+  std::vector<unsigned> registers;
+  unsigned storageValues = 0; // vregs that needed storage (before sharing)
+
+  unsigned registerCount() const {
+    return static_cast<unsigned>(registers.size());
+  }
+  // Register area before/after sharing, plus the mux overhead sharing
+  // introduces (each extra writer of a shared register steers through a
+  // mux).
+  double areaBefore(const sched::TechLibrary &lib) const;
+  double areaAfter(const sched::TechLibrary &lib) const;
+  std::string str() const;
+
+  // internal: widths of the original storage values
+  std::vector<unsigned> originalWidths;
+};
+
+// Bind the storage values of `fn` using boundary-liveness interference and
+// greedy (left-edge flavored) merging.  Width-heterogeneous values may
+// share (the register takes the max width).
+RegisterBinding bindRegisters(const ir::Function &fn,
+                              const sched::TechLibrary &lib);
+
+} // namespace c2h::rtl
+
+#endif // C2H_RTL_BINDING_H

@@ -1,0 +1,50 @@
+#include "rtl/fsmd.h"
+
+#include "sched/dfg.h"
+
+namespace c2h::rtl {
+
+unsigned Design::totalStates() const {
+  unsigned n = 0;
+  for (const auto &[fn, proc] : processes)
+    n += proc.stateCount;
+  return n;
+}
+
+Design buildDesign(const ir::Module &module, const std::string &top,
+                   const sched::TechLibrary &lib,
+                   const sched::SchedOptions &options) {
+  Design design;
+  design.module = &module;
+  design.top = top;
+  design.options = options;
+
+  for (const auto &fn : module.functions()) {
+    sched::FunctionSchedule schedule =
+        sched::scheduleFunction(*fn, lib, options);
+    for (auto &v : schedule.violations)
+      design.violations.push_back(v);
+
+    FsmdProcess proc;
+    proc.fn = fn.get();
+    for (const auto &block : fn->blocks()) {
+      const sched::BlockSchedule &bs = schedule.blocks.at(block.get());
+      FsmdBlock fb;
+      fb.block = block.get();
+      fb.length = bs.length;
+      for (std::size_t i = 0; i < block->instrs().size(); ++i) {
+        OpSlot slot;
+        slot.instr = block->instrs()[i].get();
+        slot.start = i < bs.start.size() ? bs.start[i] : 0;
+        slot.done = i < bs.done.size() ? bs.done[i] : slot.start;
+        fb.ops.push_back(slot);
+      }
+      proc.stateCount += fb.length;
+      proc.blocks.emplace(block.get(), std::move(fb));
+    }
+    design.processes.emplace(fn.get(), std::move(proc));
+  }
+  return design;
+}
+
+} // namespace c2h::rtl

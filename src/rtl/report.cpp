@@ -1,0 +1,165 @@
+#include "rtl/report.h"
+
+#include "sched/dfg.h"
+#include "support/text.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace c2h::rtl {
+
+using sched::FuClass;
+
+std::string AreaReport::str() const {
+  return "area{fu=" + formatDouble(functionalUnits, 1) +
+         " reg=" + formatDouble(registers, 1) +
+         " mem=" + formatDouble(memories, 1) +
+         " mux=" + formatDouble(multiplexers, 1) +
+         " fsm=" + formatDouble(fsm, 1) +
+         " total=" + formatDouble(total(), 1) + "}";
+}
+
+std::string TimingReport::str() const {
+  return "timing{cp=" + formatDouble(criticalPathNs, 2) +
+         "ns fmax=" + formatDouble(fmaxMHz, 1) +
+         "MHz states=" + std::to_string(states) + "}";
+}
+
+AreaReport estimateArea(const Design &design, const sched::TechLibrary &lib) {
+  AreaReport report;
+
+  for (const auto &[fn, proc] : design.processes) {
+    // Per-class concurrent usage and per-class op inventory.
+    std::map<int, unsigned> peak;
+    std::map<int, std::vector<double>> opAreas;
+    std::map<int, unsigned> opCount;
+
+    for (const auto &[block, fb] : proc.blocks) {
+      std::map<std::pair<int, unsigned>, unsigned> busy;
+      for (const auto &slot : fb.ops) {
+        FuClass cls = sched::fuClassOf(slot.instr->op);
+        if (cls == FuClass::Other)
+          continue;
+        unsigned width = slot.instr->dst
+                             ? slot.instr->dst->width
+                             : (slot.instr->operands.empty()
+                                    ? 1
+                                    : slot.instr->operands[0].width());
+        sched::OpTiming t =
+            lib.lookup(slot.instr->op, width, design.options.clockNs);
+        opAreas[static_cast<int>(cls)].push_back(t.area);
+        ++opCount[static_cast<int>(cls)];
+        unsigned span = std::max(1u, slot.done - slot.start);
+        for (unsigned c = slot.start; c < slot.start + span; ++c) {
+          unsigned &b = busy[{static_cast<int>(cls), c}];
+          ++b;
+          peak[static_cast<int>(cls)] =
+              std::max(peak[static_cast<int>(cls)], b);
+        }
+      }
+    }
+
+    for (auto &[cls, areas] : opAreas) {
+      unsigned units = std::max(1u, peak[cls]);
+      std::sort(areas.begin(), areas.end(), std::greater<double>());
+      // One physical unit per concurrent demand; each sized for the
+      // biggest ops it may host.
+      for (unsigned i = 0; i < units && i < areas.size(); ++i)
+        report.functionalUnits += areas[i];
+      // Sharing cost: each op beyond the unit count steers through a mux.
+      if (opCount[cls] > units)
+        report.multiplexers +=
+            (opCount[cls] - units) * lib.muxArea(32) * 0.5;
+    }
+
+    // Registers: values that cross a control-step or block boundary.
+    // Map: (block, vreg) -> needs storage.
+    std::map<unsigned, bool> needsReg;
+    for (const auto &[block, fb] : proc.blocks) {
+      // Producer slots by vreg (last definition position wins).
+      std::map<unsigned, const OpSlot *> producer;
+      for (const auto &slot : fb.ops)
+        if (slot.instr->dst)
+          producer[slot.instr->dst->id] = &slot;
+      for (const auto &slot : fb.ops) {
+        for (const auto &op : slot.instr->operands) {
+          if (!op.isReg())
+            continue;
+          auto it = producer.find(op.reg().id);
+          if (it == producer.end()) {
+            // Defined in another block: definitely registered.
+            needsReg[op.reg().id] = true;
+          } else if (slot.start != it->second->done ||
+                     it->second->done != it->second->start) {
+            // Consumed in a later step than produced, or multi-cycle.
+            needsReg[op.reg().id] = true;
+          }
+        }
+      }
+    }
+    std::map<unsigned, unsigned> widths;
+    for (const auto &[block, fb] : proc.blocks)
+      for (const auto &slot : fb.ops)
+        if (slot.instr->dst)
+          widths[slot.instr->dst->id] = slot.instr->dst->width;
+    for (const auto &p : fn->params())
+      needsReg[p.id] = true, widths[p.id] = p.width;
+    for (const auto &[reg, needed] : needsReg)
+      if (needed)
+        report.registers += lib.registerArea(widths.count(reg) ? widths[reg]
+                                                               : 32);
+
+    // FSM: one-hot-ish state register plus next-state logic.
+    unsigned states = std::max(1u, proc.stateCount);
+    report.fsm += 0.6 * std::ceil(std::log2(static_cast<double>(states) + 1)) +
+                  0.8 * states;
+  }
+
+  for (const auto &mem : design.module->mems())
+    report.memories += lib.memoryArea(mem.width, mem.depth, mem.readOnly);
+  for (const auto &chan : design.module->chans())
+    report.registers += lib.registerArea(chan.width) + 2.0; // data + handshake
+
+  return report;
+}
+
+TimingReport estimateTiming(const Design &design,
+                            const sched::TechLibrary &lib) {
+  TimingReport report;
+  constexpr double kRegisterOverheadNs = 0.25; // clk->q + setup + mux
+
+  for (const auto &[fn, proc] : design.processes) {
+    report.states += proc.stateCount;
+    for (const auto &block : fn->blocks()) {
+      sched::Dfg dfg(*block, lib, design.options.clockNs);
+      const FsmdBlock &fb = proc.blockInfo(block.get());
+      // Longest combinational chain inside any single control step.
+      std::vector<double> arrive(dfg.size(), 0.0);
+      for (unsigned i = 0; i < dfg.size(); ++i) {
+        double in = 0.0;
+        for (unsigned p : dfg.nodes()[i].preds) {
+          // Same-step chained producer contributes its arrival time.
+          if (fb.ops[p].start == fb.ops[i].start &&
+              fb.ops[p].done == fb.ops[p].start)
+            in = std::max(in, arrive[p]);
+        }
+        double d = dfg.nodes()[i].timing.latency >= 1 &&
+                           !dfg.nodes()[i].timing.chainable
+                       ? std::min(dfg.nodes()[i].timing.delayNs,
+                                  design.options.clockNs)
+                       : dfg.nodes()[i].timing.delayNs;
+        arrive[i] = in + d;
+        report.criticalPathNs =
+            std::max(report.criticalPathNs, arrive[i] + kRegisterOverheadNs);
+      }
+    }
+  }
+  if (report.criticalPathNs <= 0)
+    report.criticalPathNs = kRegisterOverheadNs;
+  report.fmaxMHz = 1000.0 / report.criticalPathNs;
+  return report;
+}
+
+} // namespace c2h::rtl

@@ -1,0 +1,45 @@
+// Area and timing estimation for a synthesized Design.
+//
+// Binding model: within each functional-unit class the datapath
+// instantiates as many units as the schedule's peak per-cycle demand
+// (maximal sharing); shared units grow input multiplexers.  Registers are
+// allocated for every value that crosses a control-step boundary; values
+// consumed in the cycle they are produced are wires.  Absolute units are
+// arbitrary but consistent — experiments compare areas across flows and
+// parameter sweeps, not against silicon.
+#ifndef C2H_RTL_REPORT_H
+#define C2H_RTL_REPORT_H
+
+#include "rtl/fsmd.h"
+#include "sched/techlib.h"
+
+#include <string>
+
+namespace c2h::rtl {
+
+struct AreaReport {
+  double functionalUnits = 0;
+  double registers = 0;
+  double memories = 0;
+  double multiplexers = 0;
+  double fsm = 0;
+  double total() const {
+    return functionalUnits + registers + memories + multiplexers + fsm;
+  }
+  std::string str() const;
+};
+
+struct TimingReport {
+  double criticalPathNs = 0;
+  double fmaxMHz = 0;
+  unsigned states = 0;
+  std::string str() const;
+};
+
+AreaReport estimateArea(const Design &design, const sched::TechLibrary &lib);
+TimingReport estimateTiming(const Design &design,
+                            const sched::TechLibrary &lib);
+
+} // namespace c2h::rtl
+
+#endif // C2H_RTL_REPORT_H

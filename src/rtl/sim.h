@@ -1,0 +1,66 @@
+// Cycle-accurate simulation of a synthesized Design.
+//
+// This is the harness's "logic simulator": it executes the FSMDs exactly as
+// the generated RTL would —
+//  * one FSM state per cycle per process, register transfers applied in
+//    dependence (program) order with operator chaining inside the state,
+//  * multi-cycle operators commit their results `done - start` cycles
+//    after issue,
+//  * channels implement the Handel-C/OCCAM rendezvous: a send and a receive
+//    on the same channel complete together in the first cycle both sides
+//    are waiting,
+//  * Fork starts child process FSMs and joins on their done signals,
+//  * Call activates the callee's FSM and stalls until done (the hardware
+//    start/done handshake),
+//  * memories are word-addressed synchronous RAMs initialized from the IR.
+//
+// Cycle counts reported by the simulator are the numbers every timing
+// experiment in EXPERIMENTS.md quotes.
+#ifndef C2H_RTL_SIM_H
+#define C2H_RTL_SIM_H
+
+#include "rtl/fsmd.h"
+#include "support/bitvector.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c2h::rtl {
+
+struct SimOptions {
+  std::uint64_t maxCycles = 20'000'000;
+  // Declare deadlock after this many cycles without any process advancing.
+  std::uint64_t stallLimit = 10'000;
+};
+
+struct SimResult {
+  bool ok = false;
+  std::string error;
+  BitVector returnValue{1};
+  std::uint64_t cycles = 0;
+};
+
+class Simulator {
+public:
+  explicit Simulator(const Design &design, SimOptions options = {});
+
+  // Reset memories to their initial images and run `top(args...)`.
+  SimResult run(const std::vector<BitVector> &args = {});
+
+  // Global access (between or after runs) through the module's global map.
+  std::vector<BitVector> readGlobal(const std::string &name) const;
+  void writeGlobal(const std::string &name,
+                   const std::vector<BitVector> &cells);
+  // Re-initialize memories from the IR images (run() does NOT do this, so
+  // writeGlobal-seeded inputs survive).
+  void resetMemories();
+
+private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+} // namespace c2h::rtl
+
+#endif // C2H_RTL_SIM_H

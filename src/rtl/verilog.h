@@ -1,0 +1,32 @@
+// Verilog-2001 emission for a synthesized Design.
+//
+// The generated text is a faithful, human-readable rendering of the FSMDs
+// the simulator executes: one flat top module containing the memories, the
+// channel handshake registers, and one FSM always-block per process, with
+// start/done handshakes wiring calls, forks, and the top-level interface.
+// (The repository's correctness claims rest on the built-in cycle-accurate
+// simulator; the Verilog is the artifact a downstream user would hand to a
+// synthesis tool.)
+#ifndef C2H_RTL_VERILOG_H
+#define C2H_RTL_VERILOG_H
+
+#include "rtl/fsmd.h"
+
+#include <string>
+
+namespace c2h::rtl {
+
+// Render the whole design as a single Verilog module named `c2h_<top>`.
+std::string emitVerilog(const Design &design);
+
+// Render a self-checking testbench for the design: clock/reset generation,
+// a start pulse, the given arguments, and a pass/fail $display comparing
+// the DUT's retval against `expected` (from the golden-model interpreter).
+std::string emitTestbench(const Design &design,
+                          const std::vector<BitVector> &args,
+                          const BitVector &expected,
+                          std::uint64_t maxCycles = 1'000'000);
+
+} // namespace c2h::rtl
+
+#endif // C2H_RTL_VERILOG_H

@@ -1,0 +1,149 @@
+#include "sched/dfg.h"
+
+#include <algorithm>
+#include <map>
+
+namespace c2h::sched {
+
+using ir::Opcode;
+
+static bool isBarrier(Opcode op) {
+  switch (op) {
+  case Opcode::Call:
+  case Opcode::Fork:
+  case Opcode::ChanSend:
+  case Opcode::ChanRecv:
+  case Opcode::Delay:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void Dfg::addEdge(unsigned from, unsigned to) {
+  if (from == to)
+    return;
+  auto &succs = nodes_[from].succs;
+  if (std::find(succs.begin(), succs.end(), to) != succs.end())
+    return;
+  succs.push_back(to);
+  nodes_[to].preds.push_back(from);
+}
+
+Dfg::Dfg(const ir::BasicBlock &block, const TechLibrary &lib,
+         double clockNs) {
+  nodes_.reserve(block.instrs().size());
+  for (std::size_t i = 0; i < block.instrs().size(); ++i) {
+    DfgNode node;
+    node.instr = block.instrs()[i].get();
+    node.index = static_cast<unsigned>(i);
+    node.cls = fuClassOf(node.instr->op);
+    unsigned width = node.instr->dst ? node.instr->dst->width
+                     : node.instr->operands.empty()
+                         ? 1
+                         : node.instr->operands[0].width();
+    node.timing = lib.lookup(node.instr->op, width, clockNs);
+    // Synchronizing operations occupy whole cycles by definition.
+    switch (node.instr->op) {
+    case Opcode::Delay:
+      node.timing.latency = std::max(1u, node.instr->delayCycles);
+      node.timing.chainable = false;
+      break;
+    case Opcode::Call:
+    case Opcode::Fork:
+      node.timing.latency = 1; // the simulator stalls for the real duration
+      node.timing.chainable = false;
+      break;
+    default:
+      break;
+    }
+    nodes_.push_back(std::move(node));
+  }
+
+  std::map<unsigned, unsigned> lastWrite;              // vreg -> node
+  std::map<unsigned, std::vector<unsigned>> readers;   // vreg -> nodes since
+  std::map<unsigned, unsigned> lastStore;              // mem -> node
+  std::map<unsigned, std::vector<unsigned>> loadsSince; // mem -> loads
+  int lastBarrier = -1;
+
+  for (unsigned i = 0; i < nodes_.size(); ++i) {
+    const ir::Instr &instr = *nodes_[i].instr;
+
+    // Register dependences.
+    for (const auto &op : instr.operands) {
+      if (!op.isReg())
+        continue;
+      auto w = lastWrite.find(op.reg().id);
+      if (w != lastWrite.end())
+        addEdge(w->second, i); // RAW
+      readers[op.reg().id].push_back(i);
+    }
+    if (instr.dst) {
+      auto w = lastWrite.find(instr.dst->id);
+      if (w != lastWrite.end())
+        addEdge(w->second, i); // WAW
+      for (unsigned r : readers[instr.dst->id])
+        addEdge(r, i); // WAR
+      readers[instr.dst->id].clear();
+      lastWrite[instr.dst->id] = i;
+    }
+
+    // Memory dependences.
+    if (instr.op == Opcode::Load) {
+      auto s = lastStore.find(instr.memId);
+      if (s != lastStore.end())
+        addEdge(s->second, i);
+      loadsSince[instr.memId].push_back(i);
+    } else if (instr.op == Opcode::Store) {
+      auto s = lastStore.find(instr.memId);
+      if (s != lastStore.end())
+        addEdge(s->second, i);
+      for (unsigned l : loadsSince[instr.memId])
+        addEdge(l, i);
+      loadsSince[instr.memId].clear();
+      lastStore[instr.memId] = i;
+    }
+
+    // Barriers order against everything before them, and everything after
+    // orders against the barrier.
+    if (isBarrier(instr.op)) {
+      for (unsigned j = 0; j < i; ++j)
+        addEdge(j, i);
+      lastBarrier = static_cast<int>(i);
+      // Reset memory state: after the barrier all prior accesses are
+      // already ordered through it.
+      lastStore.clear();
+      loadsSince.clear();
+    } else if (lastBarrier >= 0) {
+      addEdge(static_cast<unsigned>(lastBarrier), i);
+    }
+
+    // Terminator: after all side effects.
+    if (instr.isTerminator()) {
+      for (unsigned j = 0; j < i; ++j) {
+        Opcode op = nodes_[j].instr->op;
+        if (op == Opcode::Store || isBarrier(op) || op == Opcode::Load)
+          addEdge(j, i);
+      }
+    }
+  }
+}
+
+unsigned Dfg::criticalPathCycles() const {
+  // Longest path where each node contributes max(1, latency) cycles and
+  // chainable zero/one-latency chains may share (approximated by counting
+  // latency-0 nodes as 0).
+  std::vector<unsigned> depth(nodes_.size(), 0);
+  unsigned best = 1;
+  for (unsigned i = 0; i < nodes_.size(); ++i) { // nodes are in topo order
+    unsigned in = 0;
+    for (unsigned p : nodes_[i].preds)
+      in = std::max(in, depth[p]);
+    unsigned cost = nodes_[i].timing.latency;
+    depth[i] = in + cost;
+    best = std::max(best, depth[i]);
+  }
+  return best;
+}
+
+} // namespace c2h::sched

@@ -1,0 +1,53 @@
+// Per-basic-block operation dependence graphs.
+//
+// Scheduling operates block-by-block (each block becomes a run of FSM
+// control steps).  Edges capture:
+//  * register RAW / WAR / WAW (the IR is not SSA — registers are real),
+//  * memory ordering per memory object (loads may reorder freely between
+//    stores; stores serialize against everything touching that memory),
+//  * full barriers for synchronizing operations (calls, forks, channel
+//    operations, explicit delays) — another process may observe or mutate
+//    shared state at those points,
+//  * the terminator, which additionally depends on every side-effecting
+//    node so a state never exits before its effects commit.
+#ifndef C2H_SCHED_DFG_H
+#define C2H_SCHED_DFG_H
+
+#include "ir/ir.h"
+#include "sched/techlib.h"
+
+#include <vector>
+
+namespace c2h::sched {
+
+struct DfgNode {
+  const ir::Instr *instr = nullptr;
+  unsigned index = 0; // position in the block
+  FuClass cls = FuClass::Other;
+  OpTiming timing;
+  std::vector<unsigned> preds;
+  std::vector<unsigned> succs;
+};
+
+class Dfg {
+public:
+  // Build the dependence graph of `block` with timings from `lib` at
+  // `clockNs`.
+  Dfg(const ir::BasicBlock &block, const TechLibrary &lib, double clockNs);
+
+  const std::vector<DfgNode> &nodes() const { return nodes_; }
+  std::vector<DfgNode> &nodes() { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+
+  // Longest path length in *cycles* ignoring resources (dependence-limited
+  // lower bound, with unit latencies floored at the op latency).
+  unsigned criticalPathCycles() const;
+
+private:
+  void addEdge(unsigned from, unsigned to);
+  std::vector<DfgNode> nodes_;
+};
+
+} // namespace c2h::sched
+
+#endif // C2H_SCHED_DFG_H

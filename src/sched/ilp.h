@@ -1,0 +1,49 @@
+// Dynamic instruction-level-parallelism limit analysis, after Wall
+// ("Limits of instruction-level parallelism", ASPLOS 1991 — the paper's
+// citation for "ILP beyond about five simultaneous instructions is
+// unlikely").
+//
+// The analyzer executes a program's *dynamic trace* over the IR and
+// replays it on an idealized dataflow machine: every register is renamed
+// (no WAR/WAW), memory dependences are value-based per cell, and the
+// machine issues up to `issueWidth` operations per cycle.  Two branch
+// models bracket reality:
+//   * perfect  — control transfers are free (Wall's "perfect" oracle),
+//   * realistic — instructions cannot issue before the most recent branch
+//     has resolved (no speculation).
+// ILP = dynamic operations / cycles.
+#ifndef C2H_SCHED_ILP_H
+#define C2H_SCHED_ILP_H
+
+#include "ir/ir.h"
+#include "support/bitvector.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace c2h::sched {
+
+struct IlpOptions {
+  unsigned issueWidth = 0; // 0 = unbounded
+  bool perfectBranches = false;
+  std::uint64_t maxInstructions = 20'000'000;
+};
+
+struct IlpResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t operations = 0; // dynamic datapath operations
+  std::uint64_t cycles = 0;     // dataflow makespan
+  double ilp = 0.0;
+};
+
+// Execute `fn(args)` and measure achievable ILP under `options`.
+// Sequential programs only (no fork/channels).
+IlpResult measureIlp(const ir::Module &module, const std::string &fn,
+                     const std::vector<BitVector> &args,
+                     const IlpOptions &options);
+
+} // namespace c2h::sched
+
+#endif // C2H_SCHED_ILP_H

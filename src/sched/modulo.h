@@ -1,0 +1,80 @@
+// Iterative modulo scheduling — loop pipelining (software-pipelining style,
+// Rau's IMS adapted to hardware datapaths).
+//
+// Reproduces the paper's claim that "pipelining works well on regular
+// loops, e.g., in scientific computation, but is less effective in
+// general": regular loops (FIR, vector sums) reach II=1..2, while loops
+// with loop-carried recurrences through long-latency operators (GCD's
+// modulo) or with internal control flow pipeline poorly or not at all —
+// and the result says *why*.
+#ifndef C2H_SCHED_MODULO_H
+#define C2H_SCHED_MODULO_H
+
+#include "ir/ir.h"
+#include "sched/schedule.h"
+#include "sched/techlib.h"
+
+#include <string>
+
+namespace c2h::sched {
+
+struct PipelineResult {
+  bool pipelined = false;
+  std::string reason; // why not, when !pipelined
+
+  unsigned ii = 0;      // initiation interval achieved
+  unsigned depth = 0;   // schedule length of one iteration
+  unsigned resMII = 0;  // resource-limited lower bound
+  unsigned recMII = 0;  // recurrence-limited lower bound
+  unsigned sequentialCyclesPerIteration = 0; // unpipelined baseline
+
+  // The kernel schedule, for overlapped execution/validation: the loop's
+  // condition+latch instructions (terminators excluded) with their start
+  // cycles within an iteration.
+  std::vector<const ir::Instr *> kernelOps;
+  std::vector<unsigned> kernelTimes;
+  const ir::BasicBlock *condBlock = nullptr;
+  const ir::BasicBlock *latchBlock = nullptr;
+
+  // Total cycles for `n` iterations, pipelined vs. sequential.
+  double pipelinedCycles(std::uint64_t n) const {
+    return n == 0 ? 0.0 : static_cast<double>(depth) +
+                              static_cast<double>(n - 1) * ii;
+  }
+  double sequentialCycles(std::uint64_t n) const {
+    return static_cast<double>(n) * sequentialCyclesPerIteration;
+  }
+  double speedup(std::uint64_t n) const {
+    double p = pipelinedCycles(n);
+    return p == 0.0 ? 1.0 : sequentialCycles(n) / p;
+  }
+};
+
+// Pipeline the innermost loop of `fn` (the first simple loop found: a
+// condition block plus a single straight-line latch block).  Control flow
+// inside the body, or synchronizing operations, make the loop
+// non-pipelinable and are reported in `reason`.
+PipelineResult pipelineInnermostLoop(const ir::Function &fn,
+                                     const TechLibrary &lib,
+                                     const SchedOptions &options);
+
+// Execute the pipelined kernel with genuinely overlapped iterations:
+// at global cycle c, iteration i performs the ops scheduled at
+// c - i*II, reading registers through modulo-variable-expanded copies.
+// This *proves* the initiation interval sound: if the dependence model
+// missed a recurrence, the outputs diverge from sequential execution.
+struct OverlapResult {
+  bool ok = false;
+  std::string error;
+  std::uint64_t cycles = 0;     // depth + (n-1)*II, as executed
+  std::uint64_t iterations = 0; // trip count actually run
+};
+OverlapResult executePipelined(const ir::Module &module,
+                               const ir::Function &fn,
+                               const PipelineResult &pipeline,
+                               std::vector<std::vector<BitVector>> &mems,
+                               std::uint64_t maxIterations = 1u << 20);
+
+} // namespace c2h::sched
+
+#endif // C2H_SCHED_MODULO_H

@@ -1,0 +1,520 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace c2h::sched {
+
+using ir::Opcode;
+
+std::string ConstraintViolation::str() const {
+  return function + ": constraint " + std::to_string(constraintId) +
+         " spans " + std::to_string(spanCycles) + " cycles (required [" +
+         std::to_string(minCycles) + ", " +
+         (maxCycles == 0 ? std::string("inf") : std::to_string(maxCycles)) +
+         "])";
+}
+
+unsigned FunctionSchedule::totalStates() const {
+  unsigned n = 0;
+  for (const auto &[block, sched] : blocks)
+    n += sched.length;
+  return n;
+}
+
+namespace {
+
+// True for instructions the Handel-C rule counts as an "assignment".
+bool isWrite(Opcode op) {
+  switch (op) {
+  case Opcode::Copy:
+  case Opcode::Store:
+  case Opcode::Load:
+  case Opcode::ChanSend:
+  case Opcode::ChanRecv:
+  case Opcode::Call:
+  case Opcode::Fork:
+  case Opcode::Delay:
+    return true;
+  default:
+    return false;
+  }
+}
+
+struct Placement {
+  unsigned start = 0;
+  unsigned done = 0;    // first cycle in which the result may be consumed
+                        // by a *later* cycle (registered); equal to start
+                        // for chained consumption
+  double offset = 0.0;  // combinational offset of the result within `done`
+  bool placed = false;
+};
+
+class BlockScheduler {
+public:
+  BlockScheduler(const ir::Function &fn, const ir::BasicBlock &block,
+                 const TechLibrary &lib, const SchedOptions &options)
+      : fn_(fn), options_(options), dfg_(block, lib, options.clockNs) {
+    if (options_.asyncMemory) {
+      for (auto &node : dfg_.nodes()) {
+        if (node.cls == FuClass::MemPort) {
+          node.timing.latency = 0;
+          node.timing.chainable = true;
+          node.timing.delayNs = std::min(node.timing.delayNs,
+                                         options_.clockNs * 0.25);
+        }
+      }
+    }
+    if (options_.serializeWrites) {
+      // Program-order chain over writes: one assignment per cycle.
+      int prev = -1;
+      for (unsigned i = 0; i < dfg_.size(); ++i) {
+        if (!isWrite(dfg_.nodes()[i].instr->op))
+          continue;
+        if (prev >= 0)
+          serialEdges_.emplace_back(static_cast<unsigned>(prev), i);
+        prev = static_cast<int>(i);
+      }
+    }
+  }
+
+  BlockSchedule run(std::vector<ConstraintViolation> &violations) {
+    switch (options_.algorithm) {
+    case Algorithm::Asap:
+    case Algorithm::List:
+      return listSchedule(violations);
+    case Algorithm::ForceDirected:
+      return forceDirected(violations);
+    }
+    return listSchedule(violations);
+  }
+
+  const Dfg &dfg() const { return dfg_; }
+
+private:
+  // Longest path to any sink, in latency cycles — list priority.
+  std::vector<unsigned> computePriorities() const {
+    std::vector<unsigned> prio(dfg_.size(), 0);
+    for (unsigned i = static_cast<unsigned>(dfg_.size()); i-- > 0;) {
+      unsigned best = 0;
+      for (unsigned s : dfg_.nodes()[i].succs)
+        best = std::max(best, prio[s]);
+      prio[i] = best + std::max(1u, dfg_.nodes()[i].timing.latency);
+    }
+    return prio;
+  }
+
+  // Earliest (cycle, offset) at which `node` may begin, from placed preds
+  // and serialization edges.
+  void earliestFromDeps(unsigned node, const std::vector<Placement> &place,
+                        unsigned &cycle, double &offset) const {
+    cycle = 0;
+    offset = 0.0;
+    auto consider = [&](unsigned p) {
+      const Placement &pp = place[p];
+      const DfgNode &pn = dfg_.nodes()[p];
+      unsigned readyCycle = pp.done;
+      double readyOffset = pp.offset;
+      bool chainOk = options_.chaining && pn.timing.chainable;
+      if (pn.timing.latency == 0)
+        chainOk = options_.chaining; // wiring always chains
+      if (!chainOk) {
+        // Result is registered: available at the start of the next cycle.
+        readyCycle = pp.done + (pn.timing.latency == 0 ? 0 : 0);
+        // For non-chainable ops `done` already points past the operation.
+        readyOffset = 0.0;
+      }
+      if (readyCycle > cycle) {
+        cycle = readyCycle;
+        offset = readyOffset;
+      } else if (readyCycle == cycle) {
+        offset = std::max(offset, readyOffset);
+      }
+    };
+    for (unsigned p : dfg_.nodes()[node].preds)
+      consider(p);
+    for (const auto &[a, b] : serialEdges_)
+      if (b == node && place[a].placed) {
+        // One write per cycle: strictly after the previous write's cycle.
+        unsigned after = place[a].start + 1;
+        if (after > cycle) {
+          cycle = after;
+          offset = 0.0;
+        }
+      }
+  }
+
+  // Decide the placement of `node` beginning no earlier than
+  // (cycle, offset); ignores resources.
+  Placement timePlacement(unsigned node, unsigned cycle,
+                          double offset) const {
+    const OpTiming &t = dfg_.nodes()[node].timing;
+    Placement p;
+    p.placed = true;
+    double clock = options_.clockNs;
+    if (t.latency == 0) {
+      // Pure wiring: result appears later in the same cycle.
+      if (offset + t.delayNs > clock && options_.chaining) {
+        p.start = cycle + 1;
+        p.done = cycle + 1;
+        p.offset = t.delayNs;
+      } else if (!options_.chaining && offset > 0.0) {
+        p.start = cycle;
+        p.done = cycle;
+        p.offset = offset + t.delayNs;
+      } else {
+        p.start = cycle;
+        p.done = cycle;
+        p.offset = offset + t.delayNs;
+      }
+      return p;
+    }
+    if (t.chainable && t.latency == 1 && options_.chaining) {
+      if (offset + t.delayNs <= clock) {
+        p.start = cycle;
+        p.done = cycle; // same-cycle consumers chain; later ones read the reg
+        p.offset = offset + t.delayNs;
+      } else {
+        p.start = cycle + 1;
+        p.done = cycle + 1;
+        p.offset = t.delayNs;
+      }
+      return p;
+    }
+    // Non-chainable / multi-cycle: inputs must settle within the start
+    // cycle; the result is registered `latency` cycles later.
+    unsigned s = cycle;
+    double inputSetup = std::min(t.delayNs, clock * 0.5);
+    if (offset + inputSetup > clock)
+      s = cycle + 1;
+    p.start = s;
+    p.done = s + t.latency;
+    p.offset = 0.1;
+    return p;
+  }
+
+  struct ResourceTable {
+    std::map<std::pair<int, unsigned>, unsigned> busy; // (class, cycle)
+    std::map<std::pair<unsigned, unsigned>, unsigned> memBusy; // (mem,cycle)
+  };
+
+  bool resourcesFree(const ResourceTable &table, const DfgNode &node,
+                     unsigned start) const {
+    unsigned limit = options_.resources.limitFor(node.cls);
+    unsigned span = std::max(1u, node.timing.latency);
+    if (node.cls == FuClass::MemPort && !options_.asyncMemory) {
+      unsigned ports = options_.resources.memPortsPerMem;
+      if (ports == 0)
+        return true;
+      for (unsigned c = start; c < start + span; ++c) {
+        auto it = table.memBusy.find({node.instr->memId, c});
+        if (it != table.memBusy.end() && it->second >= ports)
+          return false;
+      }
+      return true;
+    }
+    if (limit == 0 || node.cls == FuClass::Other)
+      return true;
+    for (unsigned c = start; c < start + span; ++c) {
+      auto it = table.busy.find({static_cast<int>(node.cls), c});
+      if (it != table.busy.end() && it->second >= limit)
+        return false;
+    }
+    return true;
+  }
+
+  void occupy(ResourceTable &table, const DfgNode &node, unsigned start) {
+    unsigned span = std::max(1u, node.timing.latency);
+    if (node.cls == FuClass::MemPort && !options_.asyncMemory) {
+      for (unsigned c = start; c < start + span; ++c)
+        ++table.memBusy[{node.instr->memId, c}];
+      return;
+    }
+    if (node.cls == FuClass::Other)
+      return;
+    for (unsigned c = start; c < start + span; ++c)
+      ++table.busy[{static_cast<int>(node.cls), c}];
+  }
+
+  BlockSchedule finalize(const std::vector<Placement> &place,
+                         std::vector<ConstraintViolation> &violations) {
+    BlockSchedule out;
+    out.start.resize(dfg_.size(), 0);
+    out.done.resize(dfg_.size(), 0);
+    unsigned length = 1;
+    for (unsigned i = 0; i < dfg_.size(); ++i) {
+      out.start[i] = place[i].start;
+      out.done[i] = place[i].done;
+      unsigned occupiedEnd =
+          place[i].start + std::max(1u, dfg_.nodes()[i].timing.latency);
+      length = std::max(length, occupiedEnd);
+      length = std::max(length, place[i].done);
+    }
+    out.length = length;
+
+    // Constraint windows.
+    std::map<unsigned, std::pair<unsigned, unsigned>> span; // id->(first,last)
+    for (unsigned i = 0; i < dfg_.size(); ++i) {
+      unsigned id = dfg_.nodes()[i].instr->constraintId;
+      if (id == 0)
+        continue;
+      unsigned s = place[i].start;
+      unsigned e = std::max(place[i].done,
+                            place[i].start +
+                                std::max(1u, dfg_.nodes()[i].timing.latency) -
+                                1);
+      auto it = span.find(id);
+      if (it == span.end())
+        span[id] = {s, e};
+      else {
+        it->second.first = std::min(it->second.first, s);
+        it->second.second = std::max(it->second.second, e);
+      }
+    }
+    for (const auto &[id, se] : span) {
+      const ir::TimingConstraint *tc = nullptr;
+      for (const auto &c : fn_.constraints())
+        if (c.id == id)
+          tc = &c;
+      if (!tc)
+        continue;
+      unsigned actual = se.second - se.first + 1;
+      if (tc->maxCycles != 0 && actual > tc->maxCycles && options_.enforceConstraints)
+        violations.push_back(
+            {fn_.name(), id, actual, tc->minCycles, tc->maxCycles});
+      if (actual < tc->minCycles) {
+        // "At least N cycles": stretch the block so successors of the
+        // group observe the mandated duration.
+        out.length += tc->minCycles - actual;
+      }
+    }
+    return out;
+  }
+
+  BlockSchedule listSchedule(std::vector<ConstraintViolation> &violations) {
+    std::vector<unsigned> prio = computePriorities();
+    std::vector<Placement> place(dfg_.size());
+    ResourceTable table;
+    std::map<unsigned, unsigned> groupFirst; // constraintId -> first cycle
+
+    // Repeatedly place the highest-priority ready node at its earliest
+    // resource-feasible cycle.
+    std::vector<unsigned> order(dfg_.size());
+    for (unsigned i = 0; i < order.size(); ++i)
+      order[i] = i;
+
+    std::set<unsigned> unplaced(order.begin(), order.end());
+    while (!unplaced.empty()) {
+      // Gather ready nodes.
+      std::vector<unsigned> ready;
+      for (unsigned i : unplaced) {
+        bool ok = true;
+        for (unsigned p : dfg_.nodes()[i].preds)
+          if (!place[p].placed)
+            ok = false;
+        for (const auto &[a, b] : serialEdges_)
+          if (b == i && !place[a].placed)
+            ok = false;
+        if (ok)
+          ready.push_back(i);
+      }
+      assert(!ready.empty() && "dependence cycle in block DFG");
+      std::sort(ready.begin(), ready.end(), [&](unsigned a, unsigned b) {
+        if (prio[a] != prio[b])
+          return prio[a] > prio[b];
+        return a < b;
+      });
+
+      for (unsigned node : ready) {
+        unsigned cycle;
+        double offset;
+        earliestFromDeps(node, place, cycle, offset);
+        Placement p = timePlacement(node, cycle, offset);
+        bool unlimited = options_.algorithm == Algorithm::Asap;
+        if (!unlimited) {
+          // Advance until resources are free.
+          unsigned guard = 0;
+          while (!resourcesFree(table, dfg_.nodes()[node], p.start)) {
+            p = timePlacement(node, p.start + 1, 0.0);
+            if (++guard > 1u << 20)
+              break;
+          }
+          occupy(table, dfg_.nodes()[node], p.start);
+        }
+        place[node] = p;
+        unsigned id = dfg_.nodes()[node].instr->constraintId;
+        if (id != 0) {
+          auto it = groupFirst.find(id);
+          if (it == groupFirst.end())
+            groupFirst[id] = p.start;
+        }
+      }
+      for (unsigned i : ready)
+        unplaced.erase(i);
+    }
+    return finalize(place, violations);
+  }
+
+  // Force-directed scheduling (Paulin & Knight): latency-constrained,
+  // minimizes the peak of per-class distribution graphs.  Classic cycle
+  // granularity: no chaining, every node costs max(1, latency).
+  BlockSchedule forceDirected(std::vector<ConstraintViolation> &violations) {
+    unsigned n = static_cast<unsigned>(dfg_.size());
+    std::vector<unsigned> lat(n);
+    for (unsigned i = 0; i < n; ++i)
+      lat[i] = std::max(1u, dfg_.nodes()[i].timing.latency);
+
+    auto computeAsap = [&](const std::vector<int> &fixed) {
+      std::vector<unsigned> asap(n, 0);
+      for (unsigned i = 0; i < n; ++i) {
+        unsigned t = 0;
+        for (unsigned p : dfg_.nodes()[i].preds)
+          t = std::max(t, asap[p] + lat[p]);
+        for (const auto &[a, b] : serialEdges_)
+          if (b == i)
+            t = std::max(t, asap[a] + 1);
+        if (fixed[i] >= 0)
+          t = static_cast<unsigned>(fixed[i]);
+        asap[i] = t;
+      }
+      return asap;
+    };
+
+    std::vector<int> fixed(n, -1);
+    std::vector<unsigned> asap = computeAsap(fixed);
+    unsigned minLatency = 1;
+    for (unsigned i = 0; i < n; ++i)
+      minLatency = std::max(minLatency, asap[i] + lat[i]);
+    unsigned target = std::max(options_.targetLatency, minLatency);
+
+    auto computeAlap = [&](const std::vector<int> &fx) {
+      std::vector<unsigned> alap(n, 0);
+      for (unsigned i = n; i-- > 0;) {
+        unsigned t = target - lat[i];
+        for (unsigned s : dfg_.nodes()[i].succs)
+          t = std::min(t, alap[s] >= lat[i] ? alap[s] - lat[i] : 0u);
+        for (const auto &[a, b] : serialEdges_)
+          if (a == i)
+            t = std::min(t, alap[b] >= 1 ? alap[b] - 1 : 0u);
+        if (fx[i] >= 0)
+          t = static_cast<unsigned>(fx[i]);
+        alap[i] = t;
+      }
+      return alap;
+    };
+
+    for (unsigned step = 0; step < n; ++step) {
+      std::vector<unsigned> curAsap = computeAsap(fixed);
+      std::vector<unsigned> curAlap = computeAlap(fixed);
+      // Distribution graphs per class.
+      std::map<int, std::vector<double>> dg;
+      for (unsigned i = 0; i < n; ++i) {
+        if (dfg_.nodes()[i].cls == FuClass::Other)
+          continue;
+        unsigned lo = curAsap[i], hi = std::max(curAsap[i], curAlap[i]);
+        double p = 1.0 / static_cast<double>(hi - lo + 1);
+        auto &vec = dg[static_cast<int>(dfg_.nodes()[i].cls)];
+        if (vec.size() < target + 2)
+          vec.resize(target + 2, 0.0);
+        for (unsigned c = lo; c <= hi; ++c)
+          vec[c] += p;
+      }
+      // Pick the unfixed node/cycle with minimum self-force.
+      int bestNode = -1;
+      unsigned bestCycle = 0;
+      double bestForce = 1e100;
+      for (unsigned i = 0; i < n; ++i) {
+        if (fixed[i] >= 0 || dfg_.nodes()[i].cls == FuClass::Other)
+          continue;
+        unsigned lo = curAsap[i], hi = std::max(curAsap[i], curAlap[i]);
+        if (lo == hi) {
+          // No freedom; fix immediately.
+          bestNode = static_cast<int>(i);
+          bestCycle = lo;
+          bestForce = -1e100;
+          break;
+        }
+        auto &vec = dg[static_cast<int>(dfg_.nodes()[i].cls)];
+        double avg = 0.0;
+        for (unsigned c = lo; c <= hi; ++c)
+          avg += vec[c];
+        avg /= static_cast<double>(hi - lo + 1);
+        for (unsigned c = lo; c <= hi; ++c) {
+          double force = vec[c] - avg;
+          if (force < bestForce) {
+            bestForce = force;
+            bestNode = static_cast<int>(i);
+            bestCycle = c;
+          }
+        }
+      }
+      if (bestNode < 0)
+        break;
+      fixed[bestNode] = static_cast<int>(bestCycle);
+    }
+
+    // Fix the free (Other) nodes at their ASAP positions.
+    std::vector<unsigned> finalAsap = computeAsap(fixed);
+    std::vector<Placement> place(n);
+    for (unsigned i = 0; i < n; ++i) {
+      place[i].placed = true;
+      place[i].start = fixed[i] >= 0 ? static_cast<unsigned>(fixed[i])
+                                     : finalAsap[i];
+      place[i].done = place[i].start + lat[i] - (lat[i] > 0 ? 0 : 0);
+      place[i].done = place[i].start + (lat[i] > 1 ? lat[i] : 0);
+      if (dfg_.nodes()[i].timing.latency <= 1)
+        place[i].done = place[i].start;
+      place[i].offset = 0.5;
+    }
+    return finalize(place, violations);
+  }
+
+  const ir::Function &fn_;
+  SchedOptions options_;
+  Dfg dfg_;
+  std::vector<std::pair<unsigned, unsigned>> serialEdges_;
+};
+
+} // namespace
+
+FunctionSchedule scheduleFunction(const ir::Function &fn,
+                                  const TechLibrary &lib,
+                                  const SchedOptions &options) {
+  FunctionSchedule out;
+  for (const auto &block : fn.blocks()) {
+    BlockScheduler scheduler(fn, *block, lib, options);
+    out.blocks[block.get()] = scheduler.run(out.violations);
+  }
+  return out;
+}
+
+std::map<FuClass, unsigned> fuUsage(const ir::Function &fn,
+                                    const TechLibrary &lib,
+                                    const SchedOptions &options,
+                                    const FunctionSchedule &schedule) {
+  std::map<FuClass, unsigned> peak;
+  for (const auto &block : fn.blocks()) {
+    auto it = schedule.blocks.find(block.get());
+    if (it == schedule.blocks.end())
+      continue;
+    const BlockSchedule &bs = it->second;
+    Dfg dfg(*block, lib, options.clockNs);
+    std::map<std::pair<int, unsigned>, unsigned> busy;
+    for (unsigned i = 0; i < dfg.size(); ++i) {
+      FuClass cls = dfg.nodes()[i].cls;
+      if (cls == FuClass::Other)
+        continue;
+      unsigned span = std::max(1u, dfg.nodes()[i].timing.latency);
+      for (unsigned c = bs.start[i]; c < bs.start[i] + span; ++c) {
+        unsigned &b = busy[{static_cast<int>(cls), c}];
+        ++b;
+        peak[cls] = std::max(peak[cls], b);
+      }
+    }
+  }
+  return peak;
+}
+
+} // namespace c2h::sched

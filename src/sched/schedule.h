@@ -1,0 +1,97 @@
+// Operation scheduling: mapping each instruction of each basic block to a
+// control step.
+//
+// This module is where the surveyed languages' *timing models* become
+// executable policy (the paper's central theme):
+//
+//  * List scheduling with resource constraints and operator chaining — the
+//    "compiler decides" model of Bach C / HardwareC / behavioral synthesis.
+//  * Per-assignment serialization — Handel-C's "every assignment statement
+//    takes exactly one clock cycle" rule (expressions chain for free).
+//  * Single-cycle blocks with asynchronous memories — Transmogrifier C's
+//    "only loop iterations and function calls take a cycle" rule, and the
+//    fully combinational Cones model (one block after full flattening).
+//  * Force-directed scheduling (Paulin & Knight) — the classic
+//    latency-constrained, resource-minimizing HLS algorithm, used for
+//    design-space exploration ablations.
+//  * HardwareC min/max timing-constraint windows ("these three statements
+//    must execute in two cycles"), enforced during scheduling with
+//    violations reported for infeasible demands.
+#ifndef C2H_SCHED_SCHEDULE_H
+#define C2H_SCHED_SCHEDULE_H
+
+#include "ir/ir.h"
+#include "sched/dfg.h"
+#include "sched/techlib.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace c2h::sched {
+
+enum class Algorithm {
+  Asap,          // unconstrained, chaining-aware
+  List,          // resource-constrained priority list scheduling
+  ForceDirected, // latency-constrained resource minimization
+};
+
+struct SchedOptions {
+  double clockNs = 2.0;
+  ResourceSet resources = ResourceSet::unlimited();
+  Algorithm algorithm = Algorithm::List;
+  // Allow dependent operations to share a cycle when combinational delays
+  // fit in the clock period.
+  bool chaining = true;
+  // Handel-C rule: consecutive writes (register copies, stores, channel
+  // operations) are serialized one per cycle in program order.
+  bool serializeWrites = false;
+  // Treat memories as asynchronous (combinational read/write) — the
+  // Transmogrifier/Cones model where arrays become wired ROM/latch banks.
+  bool asyncMemory = false;
+  // Enforce HardwareC constraint windows (report violations otherwise).
+  bool enforceConstraints = true;
+  // ForceDirected: target latency (0 = use the ASAP length).
+  unsigned targetLatency = 0;
+};
+
+struct BlockSchedule {
+  // Per DFG node: first control step and the step after which the result
+  // is available.
+  std::vector<unsigned> start;
+  std::vector<unsigned> done;
+  unsigned length = 1; // control steps occupied by this block
+};
+
+struct ConstraintViolation {
+  std::string function;
+  unsigned constraintId = 0;
+  unsigned spanCycles = 0;
+  unsigned minCycles = 0;
+  unsigned maxCycles = 0;
+  std::string str() const;
+};
+
+struct FunctionSchedule {
+  std::map<const ir::BasicBlock *, BlockSchedule> blocks;
+  std::vector<ConstraintViolation> violations;
+
+  // Total FSM states this schedule needs (sum of block lengths).
+  unsigned totalStates() const;
+};
+
+// Schedule every block of `fn`.
+FunctionSchedule scheduleFunction(const ir::Function &fn,
+                                  const TechLibrary &lib,
+                                  const SchedOptions &options);
+
+// Maximum number of simultaneously busy units per FU class across the
+// schedule — the functional units the datapath must instantiate.
+std::map<FuClass, unsigned> fuUsage(const ir::Function &fn,
+                                    const TechLibrary &lib,
+                                    const SchedOptions &options,
+                                    const FunctionSchedule &schedule);
+
+} // namespace c2h::sched
+
+#endif // C2H_SCHED_SCHEDULE_H

@@ -1,0 +1,139 @@
+#include "sched/techlib.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace c2h::sched {
+
+using ir::Opcode;
+
+const char *fuClassName(FuClass cls) {
+  switch (cls) {
+  case FuClass::Alu: return "alu";
+  case FuClass::Logic: return "logic";
+  case FuClass::Shifter: return "shift";
+  case FuClass::Mult: return "mult";
+  case FuClass::Divider: return "div";
+  case FuClass::MemPort: return "memport";
+  case FuClass::Chan: return "chan";
+  case FuClass::Other: return "other";
+  }
+  return "?";
+}
+
+FuClass fuClassOf(Opcode op) {
+  switch (op) {
+  case Opcode::Add: case Opcode::Sub: case Opcode::Neg:
+  case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLtS:
+  case Opcode::CmpLtU: case Opcode::CmpLeS: case Opcode::CmpLeU:
+    return FuClass::Alu;
+  case Opcode::And: case Opcode::Or: case Opcode::Xor: case Opcode::Not:
+  case Opcode::Mux:
+    return FuClass::Logic;
+  case Opcode::Shl: case Opcode::ShrL: case Opcode::ShrA:
+    return FuClass::Shifter;
+  case Opcode::Mul:
+    return FuClass::Mult;
+  case Opcode::DivS: case Opcode::DivU: case Opcode::RemS: case Opcode::RemU:
+    return FuClass::Divider;
+  case Opcode::Load: case Opcode::Store:
+    return FuClass::MemPort;
+  case Opcode::ChanSend: case Opcode::ChanRecv:
+    return FuClass::Chan;
+  default:
+    return FuClass::Other;
+  }
+}
+
+static double log2Ceil(unsigned v) {
+  double l = std::log2(static_cast<double>(std::max(2u, v)));
+  return l;
+}
+
+OpTiming TechLibrary::lookup(Opcode op, unsigned width,
+                             double clockNs) const {
+  OpTiming t;
+  double w = static_cast<double>(std::max(1u, width));
+  switch (fuClassOf(op)) {
+  case FuClass::Alu:
+    // Carry-lookahead-ish: log depth plus per-bit cost.
+    t.delayNs = 0.15 + 0.08 * log2Ceil(width);
+    t.area = 1.2 * w;
+    break;
+  case FuClass::Logic:
+    t.delayNs = op == Opcode::Mux ? 0.15 : 0.08;
+    t.area = (op == Opcode::Mux ? 0.8 : 0.4) * w;
+    break;
+  case FuClass::Shifter:
+    t.delayNs = 0.12 * log2Ceil(width) + 0.1;
+    t.area = 0.9 * w * log2Ceil(width);
+    break;
+  case FuClass::Mult:
+    t.delayNs = 0.5 + 0.16 * log2Ceil(width) * log2Ceil(width);
+    t.area = 0.6 * w * w / 8.0 + 2.0 * w;
+    break;
+  case FuClass::Divider:
+    // Sequential radix-2 divider: one cycle per bit-ish, small area.
+    t.delayNs = 0.6; // per-step delay
+    t.area = 3.0 * w;
+    t.latency = std::max(2u, width / 2);
+    t.chainable = false;
+    break;
+  case FuClass::MemPort:
+    t.delayNs = 0.8 + 0.05 * log2Ceil(width);
+    t.area = 0.0; // the memory itself is costed via memoryArea
+    t.latency = 1;
+    t.chainable = false; // synchronous RAM: address sampled at the edge
+    break;
+  case FuClass::Chan:
+    t.delayNs = 0.3;
+    t.area = 0.5 * w;
+    t.latency = 1;
+    t.chainable = false;
+    break;
+  case FuClass::Other:
+    // Const/copy/extension/control: wiring.
+    t.delayNs = 0.02;
+    t.area = 0.0;
+    t.latency = 0;
+    break;
+  }
+  if (t.latency >= 1 && t.delayNs > clockNs && clockNs > 0.0) {
+    // Operator slower than the clock: pipeline it across cycles.
+    t.latency = std::max<unsigned>(
+        t.latency, static_cast<unsigned>(std::ceil(t.delayNs / clockNs)));
+    t.chainable = false;
+  }
+  return t;
+}
+
+double TechLibrary::registerArea(unsigned width) const {
+  return 0.6 * static_cast<double>(width);
+}
+
+double TechLibrary::memoryArea(unsigned width, std::uint64_t depth,
+                               bool rom) const {
+  double bits = static_cast<double>(width) * static_cast<double>(depth);
+  return (rom ? 0.05 : 0.15) * bits + 2.0;
+}
+
+double TechLibrary::muxArea(unsigned width) const {
+  return 0.8 * static_cast<double>(width);
+}
+
+std::string ResourceSet::str() const {
+  std::string out;
+  if (limits.empty())
+    out = "unlimited";
+  for (const auto &[cls, n] : limits) {
+    if (!out.empty() && out != "unlimited")
+      out += ",";
+    if (out == "unlimited")
+      out.clear();
+    out += std::string(fuClassName(cls)) + "=" + std::to_string(n);
+  }
+  out += " memports=" + std::to_string(memPortsPerMem);
+  return out;
+}
+
+} // namespace c2h::sched

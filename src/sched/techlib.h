@@ -1,0 +1,76 @@
+// Technology model: per-operation delay/area as a function of bit width,
+// functional-unit classes, and resource budgets.
+//
+// The numbers are a generic standard-cell-flavored model (roughly: a ripple
+// of ~40 ps/bit for carries, quadratic-ish multipliers, log-depth barrel
+// shifters).  Absolute values are unimportant — experiments compare *shapes*
+// (who is bigger/faster, where crossovers fall), as the paper's discussion
+// does — but the model is consistent across every flow so comparisons are
+// fair.
+#ifndef C2H_SCHED_TECHLIB_H
+#define C2H_SCHED_TECHLIB_H
+
+#include "ir/ir.h"
+
+#include <map>
+#include <string>
+
+namespace c2h::sched {
+
+// Functional-unit classes for resource-constrained scheduling.
+enum class FuClass {
+  Alu,     // add/sub/compare/neg
+  Logic,   // and/or/xor/not (also mux)
+  Shifter, // barrel shifts
+  Mult,
+  Divider,
+  MemPort, // one load/store per port per cycle (per memory)
+  Chan,    // channel interface
+  Other,   // const/copy/ext/control — free
+};
+
+const char *fuClassName(FuClass cls);
+
+// Which class an opcode occupies.
+FuClass fuClassOf(ir::Opcode op);
+
+struct OpTiming {
+  double delayNs = 0.0;  // combinational delay through the operator
+  double area = 0.0;     // area units of one operator instance
+  unsigned latency = 1;  // cycles the operation occupies its FU (>=1 for
+                         // sequenced ops; pure wiring ops may be 0-cycle)
+  bool chainable = true; // may share a cycle with dependent ops
+};
+
+class TechLibrary {
+public:
+  // Delay/area/latency of `op` at `width` bits under clock `clockNs`.
+  // Latency is derived from delay vs. the clock: an operator slower than
+  // one period becomes multi-cycle.
+  OpTiming lookup(ir::Opcode op, unsigned width, double clockNs) const;
+
+  // Area of the registers needed to hold `width` bits.
+  double registerArea(unsigned width) const;
+  // Area of a memory of `depth` x `width` bits (per extra port multiply).
+  double memoryArea(unsigned width, std::uint64_t depth, bool rom) const;
+  // Area of a 2:1 mux of `width` bits (binding/steering cost).
+  double muxArea(unsigned width) const;
+};
+
+// A resource budget: how many units of each class may be busy in one cycle.
+// Zero means unlimited.  Memory ports are per-memory (set via memPorts).
+struct ResourceSet {
+  std::map<FuClass, unsigned> limits;
+  unsigned memPortsPerMem = 1; // realistic default: single-ported RAMs
+
+  static ResourceSet unlimited() { return ResourceSet{{}, 0}; }
+  unsigned limitFor(FuClass cls) const {
+    auto it = limits.find(cls);
+    return it == limits.end() ? 0 : it->second;
+  }
+  std::string str() const;
+};
+
+} // namespace c2h::sched
+
+#endif // C2H_SCHED_TECHLIB_H

@@ -1,0 +1,407 @@
+#include "support/bitvector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace c2h {
+
+BitVector::BitVector(unsigned width) : width_(width) {
+  assert(width >= 1 && width <= kMaxWidth && "BitVector width out of range");
+  words_.assign(wordsFor(width), 0);
+}
+
+BitVector::BitVector(unsigned width, std::uint64_t value) : BitVector(width) {
+  words_[0] = value;
+  clearUnusedBits();
+}
+
+BitVector BitVector::fromInt(unsigned width, std::int64_t value) {
+  BitVector v(width);
+  std::uint64_t bits = static_cast<std::uint64_t>(value);
+  for (auto &w : v.words_) {
+    w = bits;
+    bits = value < 0 ? ~0ull : 0ull; // sign-extend into higher words
+  }
+  v.clearUnusedBits();
+  return v;
+}
+
+BitVector BitVector::allOnes(unsigned width) {
+  BitVector v(width);
+  for (auto &w : v.words_)
+    w = ~0ull;
+  v.clearUnusedBits();
+  return v;
+}
+
+BitVector BitVector::fromString(unsigned width, const std::string &text,
+                                bool *ok) {
+  auto fail = [&] {
+    if (ok)
+      *ok = false;
+    return BitVector(width);
+  };
+  if (ok)
+    *ok = true;
+  std::size_t i = 0;
+  bool negative = false;
+  if (i < text.size() && (text[i] == '-' || text[i] == '+')) {
+    negative = text[i] == '-';
+    ++i;
+  }
+  if (i >= text.size())
+    return fail();
+
+  BitVector result(width);
+  if (text.size() - i > 2 && text[i] == '0' &&
+      (text[i + 1] == 'x' || text[i + 1] == 'X')) {
+    for (i += 2; i < text.size(); ++i) {
+      char c = text[i];
+      unsigned digit;
+      if (c >= '0' && c <= '9')
+        digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        digit = static_cast<unsigned>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F')
+        digit = static_cast<unsigned>(c - 'A') + 10;
+      else
+        return fail();
+      result = result.shl(4).bitOr(BitVector(width, digit));
+    }
+  } else {
+    BitVector ten(width, 10);
+    for (; i < text.size(); ++i) {
+      char c = text[i];
+      if (c < '0' || c > '9')
+        return fail();
+      result = result.mul(ten).add(
+          BitVector(width, static_cast<unsigned>(c - '0')));
+    }
+  }
+  return negative ? result.neg() : result;
+}
+
+void BitVector::clearUnusedBits() {
+  unsigned rem = width_ % 64;
+  if (rem != 0)
+    words_.back() &= (~0ull >> (64 - rem));
+}
+
+bool BitVector::isZero() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+bool BitVector::isAllOnes() const { return eq(allOnes(width_)); }
+
+bool BitVector::bit(unsigned i) const {
+  assert(i < width_);
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+std::uint64_t BitVector::toUint64() const { return words_[0]; }
+
+std::int64_t BitVector::toInt64() const {
+  if (width_ >= 64)
+    return static_cast<std::int64_t>(words_[0]);
+  std::uint64_t v = words_[0];
+  if (signBit())
+    v |= ~0ull << width_;
+  return static_cast<std::int64_t>(v);
+}
+
+unsigned BitVector::activeBits() const {
+  for (unsigned i = static_cast<unsigned>(words_.size()); i-- > 0;) {
+    if (words_[i] != 0)
+      return i * 64 + (64 - static_cast<unsigned>(__builtin_clzll(words_[i])));
+  }
+  return 0;
+}
+
+unsigned BitVector::popcount() const {
+  unsigned n = 0;
+  for (auto w : words_)
+    n += static_cast<unsigned>(__builtin_popcountll(w));
+  return n;
+}
+
+BitVector BitVector::trunc(unsigned newWidth) const {
+  assert(newWidth <= width_);
+  BitVector v(newWidth);
+  std::copy_n(words_.begin(), v.words_.size(), v.words_.begin());
+  v.clearUnusedBits();
+  return v;
+}
+
+BitVector BitVector::zext(unsigned newWidth) const {
+  assert(newWidth >= width_);
+  BitVector v(newWidth);
+  std::copy(words_.begin(), words_.end(), v.words_.begin());
+  return v;
+}
+
+BitVector BitVector::sext(unsigned newWidth) const {
+  assert(newWidth >= width_);
+  if (!signBit())
+    return zext(newWidth);
+  BitVector v = allOnes(newWidth);
+  std::copy(words_.begin(), words_.end(), v.words_.begin());
+  unsigned rem = width_ % 64;
+  if (rem != 0)
+    v.words_[words_.size() - 1] |= ~0ull << rem;
+  v.clearUnusedBits();
+  return v;
+}
+
+BitVector BitVector::resize(unsigned newWidth, bool isSigned) const {
+  if (newWidth == width_)
+    return *this;
+  if (newWidth < width_)
+    return trunc(newWidth);
+  return isSigned ? sext(newWidth) : zext(newWidth);
+}
+
+BitVector BitVector::add(const BitVector &rhs) const {
+  assert(width_ == rhs.width_);
+  BitVector v(width_);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    unsigned __int128 s = static_cast<unsigned __int128>(words_[i]) +
+                          rhs.words_[i] + carry;
+    v.words_[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  v.clearUnusedBits();
+  return v;
+}
+
+BitVector BitVector::sub(const BitVector &rhs) const {
+  return add(rhs.neg());
+}
+
+BitVector BitVector::neg() const { return bitNot().add(BitVector(width_, 1)); }
+
+BitVector BitVector::mul(const BitVector &rhs) const {
+  assert(width_ == rhs.width_);
+  BitVector v(width_);
+  std::size_t n = words_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (words_[i] == 0)
+      continue;
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; i + j < n; ++j) {
+      unsigned __int128 cur =
+          static_cast<unsigned __int128>(words_[i]) * rhs.words_[j] +
+          v.words_[i + j] + carry;
+      v.words_[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+  }
+  v.clearUnusedBits();
+  return v;
+}
+
+// Schoolbook long division on bits; adequate for simulator widths.
+static void udivrem(const BitVector &num, const BitVector &den,
+                    BitVector &quot, BitVector &rem) {
+  unsigned w = num.width();
+  quot = BitVector(w);
+  rem = BitVector(w);
+  if (den.isZero()) {
+    quot = BitVector::allOnes(w); // divide-by-zero convention
+    rem = num;
+    return;
+  }
+  for (unsigned i = w; i-- > 0;) {
+    rem = rem.shl(1);
+    if (num.bit(i))
+      rem = rem.bitOr(BitVector(w, 1));
+    if (!rem.ult(den)) {
+      rem = rem.sub(den);
+      quot = quot.bitOr(BitVector(w, 1).shl(i));
+    }
+  }
+}
+
+BitVector BitVector::udiv(const BitVector &rhs) const {
+  assert(width_ == rhs.width_);
+  BitVector q(width_), r(width_);
+  udivrem(*this, rhs, q, r);
+  return q;
+}
+
+BitVector BitVector::urem(const BitVector &rhs) const {
+  assert(width_ == rhs.width_);
+  BitVector q(width_), r(width_);
+  udivrem(*this, rhs, q, r);
+  return r;
+}
+
+BitVector BitVector::sdiv(const BitVector &rhs) const {
+  assert(width_ == rhs.width_);
+  bool negLhs = signBit(), negRhs = rhs.signBit();
+  BitVector a = negLhs ? neg() : *this;
+  BitVector b = negRhs ? rhs.neg() : rhs;
+  BitVector q = a.udiv(b);
+  return (negLhs != negRhs) ? q.neg() : q;
+}
+
+BitVector BitVector::srem(const BitVector &rhs) const {
+  assert(width_ == rhs.width_);
+  bool negLhs = signBit();
+  BitVector a = negLhs ? neg() : *this;
+  BitVector b = rhs.signBit() ? rhs.neg() : rhs;
+  BitVector r = a.urem(b);
+  return negLhs ? r.neg() : r; // sign of remainder follows dividend, like C
+}
+
+BitVector BitVector::bitAnd(const BitVector &rhs) const {
+  assert(width_ == rhs.width_);
+  BitVector v(width_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    v.words_[i] = words_[i] & rhs.words_[i];
+  return v;
+}
+
+BitVector BitVector::bitOr(const BitVector &rhs) const {
+  assert(width_ == rhs.width_);
+  BitVector v(width_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    v.words_[i] = words_[i] | rhs.words_[i];
+  return v;
+}
+
+BitVector BitVector::bitXor(const BitVector &rhs) const {
+  assert(width_ == rhs.width_);
+  BitVector v(width_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    v.words_[i] = words_[i] ^ rhs.words_[i];
+  return v;
+}
+
+BitVector BitVector::bitNot() const {
+  BitVector v(width_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    v.words_[i] = ~words_[i];
+  v.clearUnusedBits();
+  return v;
+}
+
+BitVector BitVector::shl(unsigned amount) const {
+  BitVector v(width_);
+  if (amount >= width_)
+    return v;
+  unsigned wordShift = amount / 64, bitShift = amount % 64;
+  for (std::size_t i = words_.size(); i-- > wordShift;) {
+    std::uint64_t w = words_[i - wordShift] << bitShift;
+    if (bitShift != 0 && i > wordShift)
+      w |= words_[i - wordShift - 1] >> (64 - bitShift);
+    v.words_[i] = w;
+  }
+  v.clearUnusedBits();
+  return v;
+}
+
+BitVector BitVector::lshr(unsigned amount) const {
+  BitVector v(width_);
+  if (amount >= width_)
+    return v;
+  unsigned wordShift = amount / 64, bitShift = amount % 64;
+  for (std::size_t i = 0; i + wordShift < words_.size(); ++i) {
+    std::uint64_t w = words_[i + wordShift] >> bitShift;
+    if (bitShift != 0 && i + wordShift + 1 < words_.size())
+      w |= words_[i + wordShift + 1] << (64 - bitShift);
+    v.words_[i] = w;
+  }
+  return v;
+}
+
+BitVector BitVector::ashr(unsigned amount) const {
+  if (!signBit())
+    return lshr(amount);
+  if (amount >= width_)
+    return allOnes(width_);
+  // lshr, then set the vacated high bits.
+  BitVector v = lshr(amount);
+  BitVector mask = allOnes(width_).shl(width_ - amount);
+  return v.bitOr(mask);
+}
+
+bool BitVector::eq(const BitVector &rhs) const {
+  return width_ == rhs.width_ && words_ == rhs.words_;
+}
+
+bool BitVector::ult(const BitVector &rhs) const {
+  assert(width_ == rhs.width_);
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != rhs.words_[i])
+      return words_[i] < rhs.words_[i];
+  }
+  return false;
+}
+
+bool BitVector::ule(const BitVector &rhs) const { return !rhs.ult(*this); }
+
+bool BitVector::slt(const BitVector &rhs) const {
+  assert(width_ == rhs.width_);
+  bool ls = signBit(), rs = rhs.signBit();
+  if (ls != rs)
+    return ls; // negative < non-negative
+  return ult(rhs);
+}
+
+bool BitVector::sle(const BitVector &rhs) const { return !rhs.slt(*this); }
+
+BitVector BitVector::concat(const BitVector &low) const {
+  unsigned newWidth = width_ + low.width_;
+  assert(newWidth <= kMaxWidth);
+  return zext(newWidth).shl(low.width_).bitOr(low.zext(newWidth));
+}
+
+BitVector BitVector::extract(unsigned lo, unsigned len) const {
+  assert(lo + len <= width_ && len >= 1);
+  return lshr(lo).trunc(len);
+}
+
+std::string BitVector::toStringUnsigned() const {
+  if (isZero())
+    return "0";
+  BitVector v = *this;
+  BitVector ten(width_, 10);
+  std::string s;
+  while (!v.isZero()) {
+    BitVector digit = v.urem(ten);
+    s.push_back(static_cast<char>('0' + digit.toUint64()));
+    v = v.udiv(ten);
+  }
+  std::reverse(s.begin(), s.end());
+  return s;
+}
+
+std::string BitVector::toStringSigned() const {
+  if (signBit())
+    return "-" + neg().toStringUnsigned();
+  return toStringUnsigned();
+}
+
+std::string BitVector::toStringHex() const {
+  unsigned nibbles = std::max(1u, (activeBits() + 3) / 4);
+  std::string s = "0x";
+  static const char digits[] = "0123456789abcdef";
+  for (unsigned i = nibbles; i-- > 0;) {
+    unsigned lo = i * 4;
+    unsigned len = std::min(4u, width_ - lo);
+    s.push_back(digits[extract(lo, len).toUint64()]);
+  }
+  return s;
+}
+
+std::size_t BitVector::hash() const {
+  std::size_t h = width_ * 0x9e3779b97f4a7c15ull;
+  for (auto w : words_)
+    h = (h ^ w) * 0x100000001b3ull;
+  return h;
+}
+
+} // namespace c2h

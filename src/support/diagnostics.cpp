@@ -1,0 +1,46 @@
+#include "support/diagnostics.h"
+
+namespace c2h {
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<no-loc>";
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+std::string Diagnostic::str() const {
+  const char *tag = severity == Severity::Error     ? "error"
+                    : severity == Severity::Warning ? "warning"
+                                                    : "note";
+  return loc.str() + ": " + tag + ": " + message;
+}
+
+void DiagnosticEngine::report(Severity severity, SourceLoc loc,
+                              std::string message) {
+  if (severity == Severity::Error)
+    ++errorCount_;
+  diagnostics_.push_back({severity, loc, std::move(message)});
+}
+
+void DiagnosticEngine::clear() {
+  diagnostics_.clear();
+  errorCount_ = 0;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string out;
+  for (const auto &d : diagnostics_) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+bool DiagnosticEngine::contains(const std::string &needle) const {
+  for (const auto &d : diagnostics_)
+    if (d.message.find(needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace c2h

@@ -1,0 +1,69 @@
+// Source locations and the diagnostic engine shared by all compiler phases.
+//
+// Each surveyed language style is a different *restriction* of uC, so flows
+// report "this construct is not expressible in language X" through the same
+// machinery the parser uses for syntax errors.  Diagnostics carry a severity,
+// a location, and a message; the engine collects them so tests can assert on
+// exactly which constructs a flow rejected.
+#ifndef C2H_SUPPORT_DIAGNOSTICS_H
+#define C2H_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace c2h {
+
+// 1-based line/column position in a uC source buffer.  line==0 means
+// "no location" (e.g. a whole-program restriction).
+struct SourceLoc {
+  unsigned line = 0;
+  unsigned column = 0;
+
+  bool isValid() const { return line != 0; }
+  std::string str() const;
+  bool operator==(const SourceLoc &) const = default;
+};
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  std::string str() const;
+};
+
+// Accumulates diagnostics for one compilation.  Phases append; callers check
+// hasErrors() before using phase results.
+class DiagnosticEngine {
+public:
+  void report(Severity severity, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+  void note(SourceLoc loc, std::string message) {
+    report(Severity::Note, loc, std::move(message));
+  }
+
+  bool hasErrors() const { return errorCount_ != 0; }
+  unsigned errorCount() const { return errorCount_; }
+  const std::vector<Diagnostic> &all() const { return diagnostics_; }
+  void clear();
+
+  // All diagnostics joined with newlines — for test assertions and logs.
+  std::string str() const;
+  // True if any diagnostic message contains `needle`.
+  bool contains(const std::string &needle) const;
+
+private:
+  std::vector<Diagnostic> diagnostics_;
+  unsigned errorCount_ = 0;
+};
+
+} // namespace c2h
+
+#endif // C2H_SUPPORT_DIAGNOSTICS_H

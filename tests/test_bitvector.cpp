@@ -1,0 +1,228 @@
+// Unit and property tests for BitVector, the numeric backbone shared by the
+// interpreter, constant folder, and both circuit simulators.
+#include "support/bitvector.h"
+#include "support/text.h"
+
+#include <gtest/gtest.h>
+
+namespace c2h {
+namespace {
+
+TEST(BitVector, DefaultIsZeroWidthOne) {
+  BitVector v;
+  EXPECT_EQ(v.width(), 1u);
+  EXPECT_TRUE(v.isZero());
+}
+
+TEST(BitVector, ConstructionTruncatesToWidth) {
+  BitVector v(4, 0x1f);
+  EXPECT_EQ(v.toUint64(), 0xfu);
+}
+
+TEST(BitVector, FromIntSignExtends) {
+  BitVector v = BitVector::fromInt(70, -1);
+  EXPECT_TRUE(v.isAllOnes());
+  EXPECT_EQ(v.toInt64(), -1);
+}
+
+TEST(BitVector, AddWraps) {
+  BitVector a(8, 200), b(8, 100);
+  EXPECT_EQ(a.add(b).toUint64(), 44u); // 300 mod 256
+}
+
+TEST(BitVector, SubBorrowsAcrossWords) {
+  BitVector a(100, 0), b(100, 1);
+  BitVector d = a.sub(b);
+  EXPECT_TRUE(d.isAllOnes());
+}
+
+TEST(BitVector, MulWideExact) {
+  // 2^40 * 2^40 = 2^80, representable in 100 bits.
+  BitVector a = BitVector(100, 1).shl(40);
+  BitVector p = a.mul(a);
+  EXPECT_TRUE(p.bit(80));
+  EXPECT_EQ(p.popcount(), 1u);
+}
+
+TEST(BitVector, UdivUremBasics) {
+  BitVector a(16, 1000), b(16, 33);
+  EXPECT_EQ(a.udiv(b).toUint64(), 30u);
+  EXPECT_EQ(a.urem(b).toUint64(), 10u);
+}
+
+TEST(BitVector, DivideByZeroConventions) {
+  BitVector a(8, 7), z(8, 0);
+  EXPECT_TRUE(a.udiv(z).isAllOnes());
+  EXPECT_EQ(a.urem(z).toUint64(), 7u);
+}
+
+TEST(BitVector, SdivTruncatesLikeC) {
+  BitVector a = BitVector::fromInt(16, -7);
+  BitVector b = BitVector::fromInt(16, 2);
+  EXPECT_EQ(a.sdiv(b).toInt64(), -3); // C: -7/2 == -3
+  EXPECT_EQ(a.srem(b).toInt64(), -1); // sign follows dividend
+}
+
+TEST(BitVector, ShiftsBeyondWidth) {
+  BitVector a(8, 0xff);
+  EXPECT_TRUE(a.shl(8).isZero());
+  EXPECT_TRUE(a.lshr(9).isZero());
+  BitVector neg = BitVector::fromInt(8, -1);
+  EXPECT_TRUE(neg.ashr(20).isAllOnes());
+}
+
+TEST(BitVector, AshrKeepsSign) {
+  BitVector v = BitVector::fromInt(8, -8);
+  EXPECT_EQ(v.ashr(2).toInt64(), -2);
+}
+
+TEST(BitVector, ComparisonSignedVsUnsigned) {
+  BitVector minusOne = BitVector::fromInt(8, -1);
+  BitVector one(8, 1);
+  EXPECT_TRUE(minusOne.slt(one));
+  EXPECT_FALSE(minusOne.ult(one)); // 255 > 1 unsigned
+  EXPECT_TRUE(one.ule(one));
+  EXPECT_TRUE(one.sle(one));
+}
+
+TEST(BitVector, ExtensionAndTruncation) {
+  BitVector v = BitVector::fromInt(8, -2);
+  EXPECT_EQ(v.sext(32).toInt64(), -2);
+  EXPECT_EQ(v.zext(32).toUint64(), 254u);
+  EXPECT_EQ(v.trunc(4).toUint64(), 14u);
+  EXPECT_EQ(v.resize(16, true).toInt64(), -2);
+  EXPECT_EQ(v.resize(16, false).toUint64(), 254u);
+}
+
+TEST(BitVector, ConcatAndExtractRoundTrip) {
+  BitVector high(4, 0xA), low(8, 0x5C);
+  BitVector joined = high.concat(low);
+  EXPECT_EQ(joined.width(), 12u);
+  EXPECT_EQ(joined.extract(8, 4).toUint64(), 0xAu);
+  EXPECT_EQ(joined.extract(0, 8).toUint64(), 0x5Cu);
+}
+
+TEST(BitVector, DecimalStringRoundTrip) {
+  BitVector v(64, 1234567890123456789ull);
+  EXPECT_EQ(v.toStringUnsigned(), "1234567890123456789");
+  bool ok = false;
+  BitVector parsed = BitVector::fromString(64, "1234567890123456789", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parsed, v);
+}
+
+TEST(BitVector, NegativeDecimalParse) {
+  bool ok = false;
+  BitVector v = BitVector::fromString(16, "-5", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(v.toInt64(), -5);
+}
+
+TEST(BitVector, HexParseAndPrint) {
+  bool ok = false;
+  BitVector v = BitVector::fromString(32, "0xDEADbeef", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(v.toUint64(), 0xdeadbeefu);
+  EXPECT_EQ(v.toStringHex(), "0xdeadbeef");
+}
+
+TEST(BitVector, MalformedStringsRejected) {
+  bool ok = true;
+  BitVector::fromString(8, "12x", &ok);
+  EXPECT_FALSE(ok);
+  ok = true;
+  BitVector::fromString(8, "", &ok);
+  EXPECT_FALSE(ok);
+  ok = true;
+  BitVector::fromString(8, "0xZ", &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(BitVector, SignedDecimalPrinting) {
+  EXPECT_EQ(BitVector::fromInt(8, -128).toStringSigned(), "-128");
+  EXPECT_EQ(BitVector::fromInt(8, 127).toStringSigned(), "127");
+}
+
+TEST(BitVector, ActiveBitsAndPopcount) {
+  EXPECT_EQ(BitVector(16, 0).activeBits(), 0u);
+  EXPECT_EQ(BitVector(16, 1).activeBits(), 1u);
+  EXPECT_EQ(BitVector(16, 0x8000).activeBits(), 16u);
+  EXPECT_EQ(BitVector(16, 0xF0F0).popcount(), 8u);
+}
+
+TEST(BitVector, HashDiffersForDifferentValues) {
+  EXPECT_NE(BitVector(8, 1).hash(), BitVector(8, 2).hash());
+  EXPECT_NE(BitVector(8, 1).hash(), BitVector(9, 1).hash());
+  EXPECT_EQ(BitVector(8, 1).hash(), BitVector(8, 1).hash());
+}
+
+// -- Property tests: random operations vs. 64-bit host arithmetic ----------
+
+class BitVectorProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVectorProperty, MatchesHostArithmeticAtWidth64) {
+  SplitMix64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t x = rng.next(), y = rng.next();
+    BitVector a(64, x), b(64, y);
+    EXPECT_EQ(a.add(b).toUint64(), x + y);
+    EXPECT_EQ(a.sub(b).toUint64(), x - y);
+    EXPECT_EQ(a.mul(b).toUint64(), x * y);
+    if (y != 0) {
+      EXPECT_EQ(a.udiv(b).toUint64(), x / y);
+      EXPECT_EQ(a.urem(b).toUint64(), x % y);
+    }
+    EXPECT_EQ(a.bitAnd(b).toUint64(), x & y);
+    EXPECT_EQ(a.bitOr(b).toUint64(), x | y);
+    EXPECT_EQ(a.bitXor(b).toUint64(), x ^ y);
+    EXPECT_EQ(a.ult(b), x < y);
+    EXPECT_EQ(a.slt(b), static_cast<std::int64_t>(x) <
+                            static_cast<std::int64_t>(y));
+    unsigned s = static_cast<unsigned>(rng.nextBelow(63)) + 1;
+    EXPECT_EQ(a.shl(s).toUint64(), x << s);
+    EXPECT_EQ(a.lshr(s).toUint64(), x >> s);
+    EXPECT_EQ(a.ashr(s).toInt64(),
+              static_cast<std::int64_t>(x) >> s);
+  }
+}
+
+TEST_P(BitVectorProperty, NarrowWidthsWrapConsistently) {
+  SplitMix64 rng(GetParam() * 77 + 1);
+  for (int i = 0; i < 200; ++i) {
+    unsigned w = static_cast<unsigned>(rng.nextBelow(31)) + 2;
+    std::uint64_t mask = (1ull << w) - 1;
+    std::uint64_t x = rng.next() & mask, y = rng.next() & mask;
+    BitVector a(w, x), b(w, y);
+    EXPECT_EQ(a.add(b).toUint64(), (x + y) & mask);
+    EXPECT_EQ(a.mul(b).toUint64(), (x * y) & mask);
+    EXPECT_EQ(a.neg().toUint64(), (~x + 1) & mask);
+    EXPECT_EQ(a.bitNot().toUint64(), ~x & mask);
+  }
+}
+
+TEST_P(BitVectorProperty, WideArithmeticAlgebra) {
+  SplitMix64 rng(GetParam() * 1337 + 5);
+  for (int i = 0; i < 50; ++i) {
+    unsigned w = 65 + static_cast<unsigned>(rng.nextBelow(200));
+    BitVector a(w, rng.next()), b(w, rng.next());
+    a = a.shl(static_cast<unsigned>(rng.nextBelow(w)));
+    b = b.shl(static_cast<unsigned>(rng.nextBelow(w)));
+    // a + b - b == a
+    EXPECT_EQ(a.add(b).sub(b), a);
+    // a * (b + 1) == a * b + a
+    BitVector one(w, 1);
+    EXPECT_EQ(a.mul(b.add(one)), a.mul(b).add(a));
+    // division identity: a = (a/b)*b + a%b  (b != 0)
+    if (!b.isZero()) {
+      EXPECT_EQ(a.udiv(b).mul(b).add(a.urem(b)), a);
+    }
+    // De Morgan
+    EXPECT_EQ(a.bitAnd(b).bitNot(), a.bitNot().bitOr(b.bitNot()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 99u));
+
+} // namespace
+} // namespace c2h

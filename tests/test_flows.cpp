@@ -1,0 +1,238 @@
+// Flow tests: the Table 1 registry, per-language restriction checking,
+// timing-policy behavior, and full verification of every flow against the
+// golden model on the standard workload suite.
+#include "core/c2h.h"
+
+#include <gtest/gtest.h>
+
+namespace c2h {
+namespace {
+
+using flows::FlowSpec;
+using flows::runFlow;
+
+// ---------------------------------------------------------------------------
+// Registry / Table 1
+// ---------------------------------------------------------------------------
+
+TEST(FlowRegistry, ElevenSurveyedLanguages) {
+  EXPECT_EQ(flows::allFlows().size(), 11u);
+  for (const char *id :
+       {"cones", "hardwarec", "transmogrifier", "systemc", "ocapi",
+        "c2verilog", "cyber", "handelc", "specc", "bachc", "cash"})
+    EXPECT_NE(flows::findFlow(id), nullptr) << id;
+  EXPECT_EQ(flows::findFlow("nonesuch"), nullptr);
+}
+
+TEST(FlowRegistry, ChronologicalOrderMatchesTable1) {
+  const auto &all = flows::allFlows();
+  for (std::size_t i = 1; i < all.size(); ++i)
+    EXPECT_LE(all[i - 1].info.year, all[i].info.year)
+        << all[i - 1].info.id << " vs " << all[i].info.id;
+  EXPECT_EQ(all.front().info.id, "cones"); // Table 1 starts at Cones
+  EXPECT_EQ(all.back().info.id, "cash");   // ... and ends at CASH
+}
+
+TEST(FlowRegistry, PaperQuotedRestrictions) {
+  // Direct claims from the paper's text.
+  EXPECT_FALSE(flowAccepts(*flows::findFlow("cyber"), Feature::Pointers));
+  EXPECT_FALSE(flowAccepts(*flows::findFlow("cyber"), Feature::Recursion));
+  EXPECT_FALSE(flowAccepts(*flows::findFlow("bachc"), Feature::Pointers));
+  EXPECT_TRUE(flowAccepts(*flows::findFlow("bachc"), Feature::Arrays));
+  EXPECT_TRUE(flowAccepts(*flows::findFlow("c2verilog"), Feature::Pointers));
+  EXPECT_TRUE(flowAccepts(*flows::findFlow("c2verilog"), Feature::Recursion));
+  EXPECT_TRUE(flowAccepts(*flows::findFlow("handelc"), Feature::ParBlocks));
+  EXPECT_TRUE(flowAccepts(*flows::findFlow("handelc"), Feature::Channels));
+  EXPECT_FALSE(flowAccepts(*flows::findFlow("cones"), Feature::WhileLoops));
+}
+
+// ---------------------------------------------------------------------------
+// Restriction enforcement
+// ---------------------------------------------------------------------------
+
+TEST(FlowRestrictions, HandelCRejectsDivision) {
+  auto r = runFlow(*flows::findFlow("handelc"),
+                   "int main(int a, int b) { return a / b; }", "main");
+  EXPECT_FALSE(r.accepted);
+  ASSERT_FALSE(r.rejections.empty());
+  EXPECT_NE(r.rejections[0].find("division"), std::string::npos);
+}
+
+TEST(FlowRestrictions, CyberRejectsRecursionWithLocation) {
+  auto r = runFlow(*flows::findFlow("cyber"),
+                   "int f(int n) { if (n < 1) { return 0; } "
+                   "return f(n - 1) + 1; }\nint main(int n) { return f(n); }",
+                   "main");
+  EXPECT_FALSE(r.accepted);
+  ASSERT_FALSE(r.rejections.empty());
+  EXPECT_NE(r.rejections[0].find("recursi"), std::string::npos);
+  EXPECT_NE(r.rejections[0].find("1:"), std::string::npos); // a location
+}
+
+TEST(FlowRestrictions, C2VerilogTakesPointersAndRecursion) {
+  auto r = runFlow(*flows::findFlow("c2verilog"), R"(
+    int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+    int main(int n) {
+      int x = fib(n);
+      int *p = &x;
+      return *p + 1;
+    })",
+                   "main");
+  EXPECT_TRUE(r.accepted) << (r.rejections.empty() ? r.error
+                                                   : r.rejections[0]);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(FlowRestrictions, ConesRejectsWhileAndState) {
+  auto whileLoop = runFlow(*flows::findFlow("cones"),
+                           "int main(int n) { int s = 0; while (n > 0) "
+                           "{ s = s + n; n = n - 1; } return s; }",
+                           "main");
+  EXPECT_FALSE(whileLoop.accepted);
+  auto global = runFlow(*flows::findFlow("cones"),
+                        "int g;\nint main(int a) { g = a; return g; }",
+                        "main");
+  EXPECT_FALSE(global.accepted);
+}
+
+TEST(FlowRestrictions, SequentialFlowsRejectPar) {
+  const char *src = "int x;\nint main(int a) { par { x = a; x = a + 1; } "
+                    "return x; }";
+  for (const char *id : {"c2verilog", "cash", "transmogrifier", "cones"}) {
+    auto r = runFlow(*flows::findFlow(id), src, "main");
+    EXPECT_FALSE(r.accepted) << id;
+  }
+  for (const char *id : {"handelc", "bachc", "specc", "hardwarec"}) {
+    auto r = runFlow(*flows::findFlow(id), src, "main");
+    EXPECT_TRUE(r.accepted) << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timing policies produce the paper's qualitative ordering
+// ---------------------------------------------------------------------------
+
+std::uint64_t cyclesOf(const char *flowId, const core::Workload &w) {
+  auto r = runFlow(*flows::findFlow(flowId), w.source, w.top);
+  EXPECT_TRUE(r.ok) << flowId << ": "
+                    << (r.rejections.empty() ? r.error : r.rejections[0]);
+  if (!r.ok)
+    return 0;
+  auto v = core::verifyAgainstGoldenModel(w, r);
+  EXPECT_TRUE(v.ok) << flowId << ": " << v.detail;
+  return v.cycles;
+}
+
+TEST(FlowTiming, HandelCPaysPerAssignment) {
+  const core::Workload &fir = core::findWorkload("fir");
+  std::uint64_t handel = cyclesOf("handelc", fir);
+  std::uint64_t bach = cyclesOf("bachc", fir);
+  // Bach C's scheduler packs multiple operations per cycle; Handel-C's
+  // one-cycle-per-assignment rule cannot.
+  EXPECT_GT(handel, bach);
+}
+
+TEST(FlowTiming, TransmogrifierChargesPerIterationOnly) {
+  const core::Workload &dot = core::findWorkload("dotprod");
+  std::uint64_t tmog = cyclesOf("transmogrifier", dot);
+  std::uint64_t bach = cyclesOf("bachc", dot);
+  // One cycle per iteration beats a multi-state FSM in cycle count...
+  EXPECT_LT(tmog, bach);
+  // ...but pays with a catastrophic critical path (the paper's point that
+  // such rules push the real optimization burden onto the coder).
+  auto rt = runFlow(*flows::findFlow("transmogrifier"), dot.source, dot.top);
+  auto rb = runFlow(*flows::findFlow("bachc"), dot.source, dot.top);
+  EXPECT_LT(rt.timing.fmaxMHz, rb.timing.fmaxMHz);
+}
+
+TEST(FlowTiming, ConesIsCombinational) {
+  const core::Workload &crc = core::findWorkload("crc8small");
+  auto r = runFlow(*flows::findFlow("cones"), crc.source, crc.top);
+  ASSERT_TRUE(r.ok) << (r.rejections.empty() ? r.error : r.rejections[0]);
+  // One block, scheduled into a single state.
+  EXPECT_EQ(r.design->totalStates(), 1u);
+  auto v = core::verifyAgainstGoldenModel(crc, r);
+  EXPECT_TRUE(v.ok) << v.detail;
+  EXPECT_EQ(v.cycles, 1u);
+}
+
+TEST(FlowTiming, CashReportsAsyncCompletion) {
+  const core::Workload &dot = core::findWorkload("dotprod");
+  auto r = runFlow(*flows::findFlow("cash"), dot.source, dot.top);
+  ASSERT_TRUE(r.ok) << (r.rejections.empty() ? r.error : r.rejections[0]);
+  ASSERT_TRUE(r.asyncInfo.has_value());
+  auto v = core::verifyAgainstGoldenModel(dot, r);
+  EXPECT_TRUE(v.ok) << v.detail;
+  EXPECT_GT(v.asyncNs, 0.0);
+  EXPECT_EQ(v.cycles, 0u);
+}
+
+TEST(FlowTiming, HardwareCConstraintInfeasibilityReported) {
+  const char *src = R"(
+    int main(int a) {
+      int r;
+      constraint(0, 1) { r = ((a * a) * a) * a; }
+      return r;
+    })";
+  flows::FlowTuning tuning;
+  tuning.clockNs = 0.6;
+  auto r = runFlow(*flows::findFlow("hardwarec"), src, "main", tuning);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.constraintsMet());
+}
+
+// ---------------------------------------------------------------------------
+// Full verification sweep: every flow x every workload it accepts
+// ---------------------------------------------------------------------------
+
+class FlowWorkloadSweep
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(FlowWorkloadSweep, AcceptedDesignsMatchGoldenModel) {
+  const core::Workload &w = core::findWorkload(GetParam());
+  auto rows = core::compareFlows(w);
+  ASSERT_EQ(rows.size(), flows::allFlows().size());
+  unsigned accepted = 0;
+  for (const auto &row : rows) {
+    if (!row.accepted)
+      continue;
+    ++accepted;
+    EXPECT_TRUE(row.verified) << row.flowId << " on " << w.name << ": "
+                              << row.note;
+  }
+  EXPECT_GE(accepted, 1u) << "no flow accepted " << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, FlowWorkloadSweep,
+    ::testing::Values("fir", "gcd", "crc32", "matmul", "bubblesort",
+                      "collatz", "dotprod", "histogram", "fib", "pointersum",
+                      "prodcons", "parsplit", "idct", "parity", "crc8small"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+      return std::string(info.param);
+    });
+
+TEST(FlowMatrix, EveryFlowAcceptsPlainArithmetic) {
+  const char *src = "int main(int a, int b) { return a + b * 2 - (a ^ b); }";
+  for (const auto &spec : flows::allFlows()) {
+    auto r = runFlow(spec, src, "main");
+    EXPECT_TRUE(r.accepted) << spec.info.id;
+    EXPECT_TRUE(r.ok) << spec.info.id << ": " << r.error;
+  }
+}
+
+TEST(FlowMatrix, AcceptanceCountsDifferAcrossFlows) {
+  // The expressiveness matrix must not be trivial: C2Verilog accepts more
+  // of the suite than Cones.
+  unsigned conesCount = 0, c2vCount = 0;
+  for (const auto &w : core::standardWorkloads()) {
+    if (runFlow(*flows::findFlow("cones"), w.source, w.top).accepted)
+      ++conesCount;
+    if (runFlow(*flows::findFlow("c2verilog"), w.source, w.top).accepted)
+      ++c2vCount;
+  }
+  EXPECT_LT(conesCount, c2vCount);
+}
+
+} // namespace
+} // namespace c2h

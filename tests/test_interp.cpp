@@ -1,0 +1,383 @@
+// Tests for the reference interpreter (the golden model).
+#include "frontend/sema.h"
+#include "interp/interp.h"
+
+#include <gtest/gtest.h>
+
+namespace c2h {
+namespace {
+
+struct Fixture {
+  TypeContext types;
+  DiagnosticEngine diags;
+  std::unique_ptr<ast::Program> program;
+  std::unique_ptr<Interpreter> interp;
+};
+
+std::unique_ptr<Fixture> load(const std::string &src,
+                              InterpOptions options = {}) {
+  auto f = std::make_unique<Fixture>();
+  f->program = frontend(src, f->types, f->diags);
+  EXPECT_NE(f->program, nullptr) << f->diags.str();
+  if (f->program)
+    f->interp = std::make_unique<Interpreter>(*f->program, options);
+  return f;
+}
+
+std::int64_t run(Fixture &f, const std::string &fn,
+                 std::vector<std::int64_t> args = {}) {
+  std::vector<BitVector> bvArgs;
+  for (auto a : args)
+    bvArgs.push_back(BitVector::fromInt(64, a));
+  InterpResult r = f.interp->call(fn, bvArgs);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.ok ? r.returnValue.toInt64() : -999999;
+}
+
+TEST(Interp, ArithmeticAndPrecedence) {
+  auto f = load("int f(int a, int b, int c) { return a + b * c - a / c; }");
+  EXPECT_EQ(run(*f, "f", {10, 3, 4}), 10 + 3 * 4 - 10 / 4);
+}
+
+TEST(Interp, BitPreciseWraparound) {
+  auto f = load("uint<4> f(uint<4> a) { return a + 1; }");
+  EXPECT_EQ(run(*f, "f", {15}), 0);
+}
+
+TEST(Interp, SignedNarrowArithmetic) {
+  auto f = load("int<5> f(int<5> a) { return a - 1; }");
+  EXPECT_EQ(run(*f, "f", {-16}), 15); // wraps at 5 bits
+}
+
+TEST(Interp, DivisionSemanticsMatchC) {
+  auto f = load("int f(int a, int b) { return a / b; }"
+                "int g(int a, int b) { return a % b; }");
+  EXPECT_EQ(run(*f, "f", {-7, 2}), -3);
+  EXPECT_EQ(run(*f, "g", {-7, 2}), -1);
+  EXPECT_EQ(run(*f, "f", {7, -2}), -3);
+}
+
+TEST(Interp, ShiftSemantics) {
+  auto f = load("int f(int a, int b) { return a >> b; }"
+                "uint g(uint a, uint b) { return a >> b; }");
+  EXPECT_EQ(run(*f, "f", {-8, 1}), -4);  // arithmetic
+  EXPECT_EQ(run(*f, "g", {0x80000000, 1}), 0x40000000); // logical
+}
+
+TEST(Interp, ControlFlow) {
+  auto f = load(R"(
+    int collatz(int n) {
+      int steps = 0;
+      while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        steps = steps + 1;
+      }
+      return steps;
+    })");
+  EXPECT_EQ(run(*f, "collatz", {6}), 8);
+  EXPECT_EQ(run(*f, "collatz", {27}), 111);
+}
+
+TEST(Interp, ForLoopBreakContinue) {
+  auto f = load(R"(
+    int f() {
+      int sum = 0;
+      for (int i = 0; i < 100; i = i + 1) {
+        if (i % 2 == 0) { continue; }
+        if (i > 10) { break; }
+        sum = sum + i;
+      }
+      return sum;
+    })");
+  EXPECT_EQ(run(*f, "f"), 1 + 3 + 5 + 7 + 9);
+}
+
+TEST(Interp, DoWhileRunsBodyOnce) {
+  auto f = load("int f() { int n = 0; do { n = n + 1; } while (false); return n; }");
+  EXPECT_EQ(run(*f, "f"), 1);
+}
+
+TEST(Interp, ArraysAndGlobals) {
+  auto f = load(R"(
+    int table[8];
+    void fill(int seed) {
+      for (int i = 0; i < 8; i = i + 1) { table[i] = seed * i; }
+    })");
+  InterpResult r = f->interp->call("fill", {BitVector(32, 3)});
+  ASSERT_TRUE(r.ok) << r.error;
+  auto cells = f->interp->readGlobal("table");
+  ASSERT_EQ(cells.size(), 8u);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(cells[i].toInt64(), 3 * i);
+}
+
+TEST(Interp, WriteGlobalSeedsInputs) {
+  auto f = load(R"(
+    int data[4];
+    int sum() {
+      int s = 0;
+      for (int i = 0; i < 4; i = i + 1) { s = s + data[i]; }
+      return s;
+    })");
+  f->interp->writeGlobal("data", {BitVector(32, 10), BitVector(32, 20),
+                                  BitVector(32, 30), BitVector(32, 40)});
+  EXPECT_EQ(run(*f, "sum"), 100);
+}
+
+TEST(Interp, MultiDimensionalArrays) {
+  auto f = load(R"(
+    int f() {
+      int m[2][3];
+      for (int i = 0; i < 2; i = i + 1)
+        for (int j = 0; j < 3; j = j + 1)
+          m[i][j] = i * 10 + j;
+      return m[1][2];
+    })");
+  EXPECT_EQ(run(*f, "f"), 12);
+}
+
+TEST(Interp, ArrayPassedByReference) {
+  auto f = load(R"(
+    void clear(int a[4]) { for (int i = 0; i < 4; i = i + 1) { a[i] = 7; } }
+    int f() { int buf[4]; clear(buf); return buf[3]; }
+  )");
+  EXPECT_EQ(run(*f, "f"), 7);
+}
+
+TEST(Interp, Recursion) {
+  auto f = load("int fib(int n) { if (n < 2) { return n; }"
+                " return fib(n - 1) + fib(n - 2); }");
+  EXPECT_EQ(run(*f, "fib", {10}), 55);
+}
+
+TEST(Interp, MutualRecursion) {
+  auto f = load(
+      "int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }"
+      "int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }");
+  EXPECT_EQ(run(*f, "even", {10}), 1);
+  EXPECT_EQ(run(*f, "even", {7}), 0);
+}
+
+TEST(Interp, PointersToScalars) {
+  auto f = load(R"(
+    int f() {
+      int x = 5;
+      int *p = &x;
+      *p = *p + 1;
+      return x;
+    })");
+  EXPECT_EQ(run(*f, "f"), 6);
+}
+
+TEST(Interp, PointerArithmeticOverArray) {
+  auto f = load(R"(
+    int f() {
+      int a[4] = {1, 2, 3, 4};
+      int *p = &a[0];
+      p = p + 2;
+      return *p + p[1];
+    })");
+  EXPECT_EQ(run(*f, "f"), 3 + 4);
+}
+
+TEST(Interp, PointerIncrement) {
+  auto f = load(R"(
+    int f() {
+      int a[3] = {10, 20, 30};
+      int *p = &a[0];
+      p++;
+      return *p;
+    })");
+  EXPECT_EQ(run(*f, "f"), 20);
+}
+
+TEST(Interp, TernaryAndLogicalShortCircuit) {
+  auto f = load(R"(
+    int g(int x) { return x * 2; }
+    int f(int a) { return (a > 0 && g(a) > 4) ? 1 : 0; }
+  )");
+  EXPECT_EQ(run(*f, "f", {3}), 1);
+  EXPECT_EQ(run(*f, "f", {-1}), 0);
+  EXPECT_EQ(run(*f, "f", {1}), 0);
+}
+
+TEST(Interp, CompoundAssignmentAndIncrements) {
+  auto f = load(R"(
+    int f() {
+      int a = 10;
+      a += 5; a -= 2; a *= 3; a /= 2; a <<= 1; a >>= 2; a |= 8; a &= 12; a ^= 5;
+      int b = a++;
+      int c = ++a;
+      return a * 1000 + b * 10 + c;
+    })");
+  int a = 10;
+  a += 5; a -= 2; a *= 3; a /= 2; a <<= 1; a >>= 2; a |= 8; a &= 12; a ^= 5;
+  int b = a++;
+  int c = ++a;
+  EXPECT_EQ(run(*f, "f"), a * 1000 + b * 10 + c);
+}
+
+TEST(Interp, CastsResizeWithSourceSignedness) {
+  auto f = load(R"(
+    int f() {
+      int<8> a = -1;
+      uint<8> b = 255;
+      return (int<16>)a * 1000 + (int<16>)b;
+    })");
+  EXPECT_EQ(run(*f, "f"), -1 * 1000 + 255);
+}
+
+TEST(Interp, ParBranchesBothExecute) {
+  auto f = load(R"(
+    int x; int y;
+    int f() {
+      par { x = 10; y = 20; }
+      return x + y;
+    })");
+  EXPECT_EQ(run(*f, "f"), 30);
+}
+
+TEST(Interp, ChannelRendezvousTransfersData) {
+  auto f = load(R"(
+    chan<int> c;
+    int f() {
+      int got = 0;
+      par {
+        c ! 41;
+        { int t; c ? t; got = t + 1; }
+      }
+      return got;
+    })");
+  EXPECT_EQ(run(*f, "f"), 42);
+}
+
+TEST(Interp, ProducerConsumerPipeline) {
+  auto f = load(R"(
+    chan<int> c;
+    int out[4];
+    void producer() {
+      for (int i = 0; i < 4; i = i + 1) { c ! i * i; }
+    }
+    void consumer() {
+      for (int i = 0; i < 4; i = i + 1) { int v; c ? v; out[i] = v; }
+    }
+    void f() { par { producer(); consumer(); } }
+  )");
+  InterpResult r = f->interp->call("f");
+  ASSERT_TRUE(r.ok) << r.error;
+  auto cells = f->interp->readGlobal("out");
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(cells[i].toInt64(), i * i);
+}
+
+TEST(Interp, ChannelDeadlockDetected) {
+  InterpOptions opts;
+  opts.deadlockTimeoutMs = 100;
+  auto f = load("chan<int> c;\nint f() { c ! 1; return 0; }", opts);
+  InterpResult r = f->interp->call("f");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("deadlock"), std::string::npos);
+}
+
+TEST(Interp, StepBudgetCatchesInfiniteLoop) {
+  InterpOptions opts;
+  opts.maxSteps = 10000;
+  auto f = load("int f() { while (true) { } return 0; }", opts);
+  InterpResult r = f->interp->call("f");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("step budget"), std::string::npos);
+}
+
+TEST(Interp, OutOfBoundsIndexFails) {
+  auto f = load("int f(int i) { int a[4]; return a[i]; }");
+  InterpResult r = f->interp->call("f", {BitVector(32, 9)});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interp, MissingReturnFails) {
+  auto f = load("int f(int a) { if (a > 0) { return 1; } }");
+  InterpResult r = f->interp->call("f", {BitVector(32, 0)});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("without return"), std::string::npos);
+}
+
+TEST(Interp, GlobalInitializersRun) {
+  auto f = load("const int K = 6;\nint g = K * 7;\nint f() { return g; }");
+  EXPECT_EQ(run(*f, "f"), 42);
+}
+
+TEST(Interp, GlobalArrayInitializer) {
+  auto f = load("int t[4] = {9, 8, 7};\nint f() { return t[0]*100 + t[2]*10 + t[3]; }");
+  EXPECT_EQ(run(*f, "f"), 9 * 100 + 7 * 10 + 0);
+}
+
+TEST(Interp, DelayAndConstraintAreFunctionallyInert) {
+  auto f = load(R"(
+    int f(int a) {
+      delay;
+      constraint(0, 4) { a = a + 1; a = a * 2; }
+      delay(3);
+      return a;
+    })");
+  EXPECT_EQ(run(*f, "f", {5}), 12);
+}
+
+TEST(Interp, BoolConversions) {
+  auto f = load("int f(int a) { bool b = a; return b ? 5 : 6; }");
+  EXPECT_EQ(run(*f, "f", {42}), 5);
+  EXPECT_EQ(run(*f, "f", {0}), 6);
+}
+
+TEST(Interp, WideArithmetic128Bit) {
+  auto f = load(R"(
+    uint<128> f(uint<64> a, uint<64> b) {
+      return (uint<128>)a * (uint<128>)b;
+    })");
+  // 2^63 * 2 = 2^64: overflows 64 bits, exact in 128.
+  InterpResult r = f->interp->call(
+      "f", {BitVector(64, 1ull << 63), BitVector(64, 2)});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.returnValue.activeBits(), 65u);
+  EXPECT_EQ(r.returnValue.popcount(), 1u);
+}
+
+TEST(Interp, GcdKernel) {
+  auto f = load(R"(
+    int gcd(int a, int b) {
+      while (b != 0) { int t = b; b = a % b; a = t; }
+      return a;
+    })");
+  EXPECT_EQ(run(*f, "gcd", {48, 36}), 12);
+  EXPECT_EQ(run(*f, "gcd", {17, 5}), 1);
+}
+
+TEST(Interp, FirFilterKernel) {
+  auto f = load(R"(
+    int coeff[4] = {1, 2, 3, 4};
+    int x[8] = {1, 0, 0, 1, 1, 0, 1, 0};
+    int y[8];
+    void fir() {
+      for (int n = 0; n < 8; n = n + 1) {
+        int acc = 0;
+        for (int k = 0; k < 4; k = k + 1) {
+          if (n - k >= 0) { acc = acc + coeff[k] * x[n - k]; }
+        }
+        y[n] = acc;
+      }
+    })");
+  InterpResult r = f->interp->call("fir");
+  ASSERT_TRUE(r.ok) << r.error;
+  auto y = f->interp->readGlobal("y");
+  int coeff[4] = {1, 2, 3, 4}, x[8] = {1, 0, 0, 1, 1, 0, 1, 0};
+  for (int n = 0; n < 8; ++n) {
+    int acc = 0;
+    for (int k = 0; k < 4; ++k)
+      if (n - k >= 0)
+        acc += coeff[k] * x[n - k];
+    EXPECT_EQ(y[n].toInt64(), acc) << "n=" << n;
+  }
+}
+
+} // namespace
+} // namespace c2h

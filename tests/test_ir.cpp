@@ -1,0 +1,462 @@
+// IR construction, verification, lowering, and the interpreter/IR-executor
+// parity chain.
+#include "frontend/sema.h"
+#include "interp/interp.h"
+#include "ir/builder.h"
+#include "ir/exec.h"
+#include "ir/lower.h"
+
+#include <gtest/gtest.h>
+
+namespace c2h {
+namespace {
+
+struct LoweredProgram {
+  TypeContext types;
+  DiagnosticEngine diags;
+  std::unique_ptr<ast::Program> ast;
+  std::unique_ptr<ir::Module> module;
+};
+
+std::unique_ptr<LoweredProgram> lower(const std::string &src,
+                                      ir::LowerOptions options = {}) {
+  auto r = std::make_unique<LoweredProgram>();
+  r->ast = frontend(src, r->types, r->diags);
+  EXPECT_NE(r->ast, nullptr) << r->diags.str();
+  if (r->ast)
+    r->module = ir::lowerToIR(*r->ast, r->diags, options);
+  return r;
+}
+
+
+// ---------------------------------------------------------------------------
+// Builder / verifier
+// ---------------------------------------------------------------------------
+
+TEST(IrVerifier, AcceptsWellFormedFunction) {
+  ir::Module m;
+  ir::Function *f = m.addFunction("f", 32);
+  ir::VReg a = f->newVReg(32);
+  f->params().push_back(a);
+  ir::Builder b(*f);
+  b.setInsertPoint(f->newBlock("entry"));
+  ir::VReg sum = b.emitBinary(ir::Opcode::Add, a, a);
+  b.emitRet(sum);
+  EXPECT_TRUE(ir::verify(m).empty());
+}
+
+TEST(IrVerifier, RejectsWidthMismatch) {
+  ir::Module m;
+  ir::Function *f = m.addFunction("f", 32);
+  ir::Builder b(*f);
+  b.setInsertPoint(f->newBlock("entry"));
+  // Hand-build a bad add: 8-bit + 16-bit.
+  auto instr = std::make_unique<ir::Instr>();
+  instr->op = ir::Opcode::Add;
+  instr->dst = f->newVReg(8);
+  instr->operands = {ir::Operand(BitVector(8, 1)),
+                     ir::Operand(BitVector(16, 2))};
+  b.emit(std::move(instr));
+  b.emitRet(ir::Operand(BitVector(32)));
+  auto problems = ir::verify(m);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("width mismatch"), std::string::npos);
+}
+
+TEST(IrVerifier, RejectsMissingTerminator) {
+  ir::Module m;
+  ir::Function *f = m.addFunction("f", 0);
+  ir::Builder b(*f);
+  b.setInsertPoint(f->newBlock("entry"));
+  b.emitConst(BitVector(8, 1));
+  auto problems = ir::verify(m);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(IrVerifier, RejectsStoreToRom) {
+  ir::Module m;
+  auto &mem = m.addMem("rom", 8, 4);
+  mem.readOnly = true;
+  ir::Function *f = m.addFunction("f", 0);
+  ir::Builder b(*f);
+  b.setInsertPoint(f->newBlock("entry"));
+  b.emitStore(mem.id, ir::Operand(BitVector(32, 0)),
+              ir::Operand(BitVector(8, 1)));
+  b.emitRet();
+  auto problems = ir::verify(m);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("read-only"), std::string::npos);
+}
+
+TEST(IrStructure, ReversePostOrderStartsAtEntry) {
+  ir::Module m;
+  ir::Function *f = m.addFunction("f", 0);
+  ir::Builder b(*f);
+  auto *entry = f->newBlock("entry");
+  auto *body = f->newBlock("body");
+  auto *exit = f->newBlock("exit");
+  b.setInsertPoint(entry);
+  b.emitBr(body);
+  b.setInsertPoint(body);
+  b.emitCondBr(ir::Operand(BitVector(1, 1)), body, exit);
+  b.setInsertPoint(exit);
+  b.emitRet();
+  auto rpo = f->reversePostOrder();
+  ASSERT_EQ(rpo.size(), 3u);
+  EXPECT_EQ(rpo.front()->name(), "entry");
+}
+
+// ---------------------------------------------------------------------------
+// Lowering structure
+// ---------------------------------------------------------------------------
+
+TEST(Lower, SimpleFunctionVerifies) {
+  auto p = lower("int f(int a, int b) { return a + b * 2; }");
+  ASSERT_NE(p->module, nullptr) << p->diags.str();
+  EXPECT_TRUE(ir::verify(*p->module).empty());
+}
+
+TEST(Lower, GlobalsGetOwnMemories) {
+  auto p = lower("int x;\nint tab[4];\nvoid f() { x = tab[1]; }");
+  ASSERT_NE(p->module, nullptr) << p->diags.str();
+  EXPECT_NE(p->module->findMem("x"), nullptr);
+  EXPECT_NE(p->module->findMem("tab"), nullptr);
+  EXPECT_EQ(p->module->findMem("tab")->depth, 4u);
+}
+
+TEST(Lower, ConstGlobalBecomesRom) {
+  auto p = lower("const int k[2] = {3, 4};\nint f() { return k[0]; }");
+  ASSERT_NE(p->module, nullptr) << p->diags.str();
+  const ir::MemObject *mem = p->module->findMem("k");
+  ASSERT_NE(mem, nullptr);
+  EXPECT_TRUE(mem->readOnly);
+  ASSERT_EQ(mem->init.size(), 2u);
+  EXPECT_EQ(mem->init[0].toUint64(), 3u);
+}
+
+TEST(Lower, PointerProgramUsesUnifiedMemory) {
+  auto p = lower("int f() { int x = 1; int *q = &x; return *q; }");
+  ASSERT_NE(p->module, nullptr) << p->diags.str();
+  EXPECT_NE(p->module->findMem("umem"), nullptr);
+}
+
+TEST(Lower, PointerFreeProgramHasNoUnifiedMemory) {
+  auto p = lower("int t[4];\nint f() { return t[0]; }");
+  ASSERT_NE(p->module, nullptr) << p->diags.str();
+  EXPECT_EQ(p->module->findMem("umem"), nullptr);
+}
+
+TEST(Lower, ForceUnifiedOptionRespected) {
+  ir::LowerOptions options;
+  options.forceUnifiedMemory = true;
+  auto p = lower("int t[4];\nint f() { return t[0]; }", options);
+  ASSERT_NE(p->module, nullptr) << p->diags.str();
+  EXPECT_NE(p->module->findMem("umem"), nullptr);
+}
+
+TEST(Lower, ParBranchesBecomeProcesses) {
+  auto p = lower(R"(
+    int a; int b;
+    void f() { par { a = 1; b = 2; } }
+  )");
+  ASSERT_NE(p->module, nullptr) << p->diags.str();
+  unsigned processes = 0;
+  bool sawFork = false;
+  for (const auto &fn : p->module->functions()) {
+    if (fn->isProcess)
+      ++processes;
+    for (const auto &bb : fn->blocks())
+      for (const auto &i : bb->instrs())
+        if (i->op == ir::Opcode::Fork) {
+          sawFork = true;
+          EXPECT_EQ(i->processes.size(), 2u);
+        }
+  }
+  EXPECT_EQ(processes, 2u);
+  EXPECT_TRUE(sawFork);
+  EXPECT_TRUE(ir::verify(*p->module).empty());
+}
+
+TEST(Lower, SharedLocalsAreMemPlaced) {
+  auto p = lower(R"(
+    void f() {
+      int shared = 0;
+      par { shared = 1; shared = 2; }
+    }
+  )");
+  ASSERT_NE(p->module, nullptr) << p->diags.str();
+  bool found = false;
+  for (const auto &mem : p->module->mems())
+    if (mem.name.find("shared") != std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Lower, ChannelsBecomeModuleChannels) {
+  auto p = lower(R"(
+    chan<int<8>> c;
+    void f() { par { c ! 1; { int<8> x; c ? x; } } }
+  )");
+  ASSERT_NE(p->module, nullptr) << p->diags.str();
+  ASSERT_EQ(p->module->chans().size(), 1u);
+  EXPECT_EQ(p->module->chans()[0].width, 8u);
+}
+
+TEST(Lower, ConstraintsTagInstructions) {
+  auto p = lower(
+      "int f(int a) { constraint(1, 2) { a = a + 1; a = a * 2; } return a; }");
+  ASSERT_NE(p->module, nullptr) << p->diags.str();
+  const ir::Function *f = p->module->findFunction("f");
+  ASSERT_EQ(f->constraints().size(), 1u);
+  EXPECT_EQ(f->constraints()[0].minCycles, 1u);
+  EXPECT_EQ(f->constraints()[0].maxCycles, 2u);
+  unsigned tagged = 0;
+  for (const auto &bb : f->blocks())
+    for (const auto &i : bb->instrs())
+      if (i->constraintId == 1)
+        ++tagged;
+  EXPECT_GE(tagged, 2u);
+}
+
+TEST(Lower, DelayLowersToDelayInstr) {
+  auto p = lower("void f() { delay(3); }");
+  ASSERT_NE(p->module, nullptr) << p->diags.str();
+  bool found = false;
+  for (const auto &bb : p->module->findFunction("f")->blocks())
+    for (const auto &i : bb->instrs())
+      if (i->op == ir::Opcode::Delay && i->delayCycles == 3)
+        found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Lower, ReturnInsideParRejected) {
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto ast = frontend("int f() { par { return 1; } return 0; }", types, diags);
+  ASSERT_NE(ast, nullptr);
+  auto module = ir::lowerToIR(*ast, diags);
+  EXPECT_EQ(module, nullptr);
+  EXPECT_TRUE(diags.contains("par branch"));
+}
+
+TEST(Lower, ArrayArgumentRequiresInliner) {
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto ast = frontend("int g(int a[2]) { return a[0]; }"
+                      "int f() { int b[2]; return g(b); }",
+                      types, diags);
+  ASSERT_NE(ast, nullptr);
+  auto module = ir::lowerToIR(*ast, diags);
+  EXPECT_EQ(module, nullptr);
+  EXPECT_TRUE(diags.contains("inliner"));
+}
+
+// ---------------------------------------------------------------------------
+// Parity: AST interpreter == IR executor
+// ---------------------------------------------------------------------------
+
+struct ParityCase {
+  const char *name;
+  const char *source;
+  const char *fn;
+  std::vector<std::vector<std::int64_t>> argSets;
+};
+
+class IrParity : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(IrParity, InterpreterAndExecutorAgree) {
+  const ParityCase &tc = GetParam();
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto ast = frontend(tc.source, types, diags);
+  ASSERT_NE(ast, nullptr) << diags.str();
+  auto module = ir::lowerToIR(*ast, diags);
+  ASSERT_NE(module, nullptr) << diags.str();
+  ASSERT_TRUE(ir::verify(*module).empty());
+
+  for (const auto &args : tc.argSets) {
+    Interpreter interp(*ast);
+    ir::IRExecutor exec(*module);
+    std::vector<BitVector> bvArgs;
+    const ast::FuncDecl *fd = ast->findFunction(tc.fn);
+    ASSERT_NE(fd, nullptr);
+    for (std::size_t i = 0; i < args.size(); ++i)
+      bvArgs.push_back(BitVector::fromInt(
+          fd->params[i]->type->bitWidth(), args[i]));
+    auto ri = interp.call(tc.fn, bvArgs);
+    auto re = exec.call(tc.fn, bvArgs);
+    ASSERT_TRUE(ri.ok) << ri.error;
+    ASSERT_TRUE(re.ok) << re.error;
+    if (!fd->returnType->isVoid()) {
+      EXPECT_EQ(ri.returnValue.toStringSigned(),
+                re.returnValue.resize(ri.returnValue.width(), true)
+                    .toStringSigned())
+          << tc.name;
+    }
+    // Compare every global, cell by cell.
+    for (const auto &g : ast->globals) {
+      if (g->type->isChan())
+        continue;
+      auto gi = interp.readGlobal(g->name);
+      auto ge = exec.readGlobal(g->name);
+      ASSERT_EQ(gi.size(), ge.size()) << g->name;
+      for (std::size_t i = 0; i < gi.size(); ++i)
+        EXPECT_EQ(gi[i].toStringHex(), ge[i].toStringHex())
+            << tc.name << " global " << g->name << "[" << i << "]";
+    }
+  }
+}
+
+const ParityCase kParityCases[] = {
+    {"arith",
+     "int f(int a, int b) { return (a + b) * (a - b) / (b + 1) % 17; }", "f",
+     {{10, 3}, {-5, 2}, {100, 99}, {0, 0}}},
+    {"bitops",
+     "uint f(uint a, uint b) { return (a & b) | (a ^ 0xff) | (~b >> 3) | (a << 2); }",
+     "f",
+     {{0x1234, 0x00ff}, {0xffffffff, 1}, {0, 0}}},
+    {"narrowWrap", "uint<4> f(uint<4> a) { return a * 3 + 7; }", "f",
+     {{0}, {5}, {15}}},
+    {"signedNarrow", "int<5> f(int<5> a) { return a - 3; }", "f",
+     {{-16}, {-1}, {15}}},
+    {"compare",
+     "int f(int a, int b) { int n = 0; if (a < b) { n = n + 1; } "
+     "if (a <= b) { n = n + 2; } if (a == b) { n = n + 4; } "
+     "if (a >= b) { n = n + 8; } return n; }",
+     "f", {{1, 2}, {2, 2}, {3, 2}, {-1, 1}}},
+    {"unsignedCompare",
+     "int f(uint a, uint b) { return a < b ? 1 : 0; }", "f",
+     {{-1 /*0xffffffff*/, 1}, {1, 2}}},
+    {"loops",
+     "int f(int n) { int s = 0; for (int i = 0; i < n; i = i + 1) { "
+     "if (i % 3 == 0) { continue; } if (i > 20) { break; } s = s + i; } "
+     "return s; }",
+     "f", {{0}, {10}, {50}}},
+    {"whileGcd",
+     "int f(int a, int b) { while (b != 0) { int t = b; b = a % b; a = t; } "
+     "return a; }",
+     "f", {{48, 36}, {17, 5}, {0, 9}}},
+    {"doWhile",
+     "int f(int n) { int c = 0; do { n = n / 2; c = c + 1; } while (n > 0); "
+     "return c; }",
+     "f", {{1}, {100}, {0}}},
+    {"ternaryMux", "int f(int a, int b) { return a > b ? a * 2 : b + 1; }",
+     "f", {{5, 3}, {2, 9}}},
+    {"logical",
+     "int f(int a, int b) { return (a > 0 && b > 0) || (a < 0 && b < 0) ? 7 "
+     ": 8; }",
+     "f", {{1, 1}, {-1, -2}, {1, -1}, {0, 0}}},
+    {"globalsArrays",
+     "int acc;\nint hist[8];\nvoid f(int x) { hist[x % 8] = hist[x % 8] + 1; "
+     "acc = acc + x; }",
+     "f", {{3}, {11}, {200}}},
+    {"multiDim",
+     "int m[3][4];\nvoid f(int s) { for (int i = 0; i < 3; i = i + 1) "
+     "for (int j = 0; j < 4; j = j + 1) m[i][j] = s + i * 4 + j; }",
+     "f", {{100}}},
+    {"romLookup",
+     "const int sq[8] = {0, 1, 4, 9, 16, 25, 36, 49};\n"
+     "int f(int i) { return sq[i & 7]; }",
+     "f", {{0}, {3}, {7}, {12}}},
+    {"calls",
+     "int sq(int x) { return x * x; }\n"
+     "int f(int a, int b) { return sq(a) + sq(b) + sq(a + b); }",
+     "f", {{2, 3}, {-4, 4}}},
+    {"recursion",
+     "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - "
+     "2); }",
+     "fib", {{0}, {1}, {10}, {15}}},
+    {"mutualRecursion",
+     "int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }\n"
+     "int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }\n"
+     "int f(int n) { return even(n) * 10 + odd(n); }",
+     "f", {{0}, {5}, {8}}},
+    {"pointers",
+     "int f(int a) { int x = a; int *p = &x; *p = *p + 5; return x + *p; }",
+     "f", {{1}, {-3}}},
+    {"pointerArray",
+     "int f(int k) { int buf[6] = {5, 4, 3, 2, 1, 0}; int *p = &buf[1]; "
+     "p = p + k; return *p + p[1]; }",
+     "f", {{0}, {2}, {3}}},
+    {"casts",
+     "int f(int a) { int<8> b = (int<8>)a; uint<8> c = (uint<8>)a; "
+     "return (int)b * 1000 + (int)c; }",
+     "f", {{-1}, {127}, {255}, {300}}},
+    {"boolCast", "int f(int a) { bool b = a; return b ? 5 : 6; }", "f",
+     {{0}, {42}, {-1}}},
+    {"shifts",
+     "int f(int a, int b) { return (a << (b & 31)) + (a >> ((b + 1) & 31)); }",
+     "f", {{-64, 2}, {1, 31}, {12345, 7}}},
+    {"compoundOps",
+     "int f(int a) { a += 3; a *= 2; a -= 1; a /= 3; a %= 100; a <<= 2; "
+     "a >>= 1; a |= 5; a &= 127; a ^= 33; return a; }",
+     "f", {{10}, {-7}, {0}}},
+    {"incDec",
+     "int f(int a) { int b = a++; int c = ++a; int d = a--; int e = --a; "
+     "return a * 10000 + b * 1000 + c * 100 + d * 10 + e; }",
+     "f", {{3}}},
+    {"fir",
+     "const int coeff[4] = {1, 2, 3, 4};\n"
+     "int x[8] = {1, 0, 0, 1, 1, 0, 1, 0};\n"
+     "int y[8];\n"
+     "void f() { for (int n = 0; n < 8; n = n + 1) { int acc = 0; "
+     "for (int k = 0; k < 4; k = k + 1) { if (n - k >= 0) "
+     "{ acc = acc + coeff[k] * x[n - k]; } } y[n] = acc; } }",
+     "f", {{}}},
+    {"sideEffectTernary",
+     "int g;\nint bump() { g = g + 1; return g; }\n"
+     "int f(int a) { int r = a > 0 ? bump() : 7; return r * 100 + g; }",
+     "f", {{1}, {0}}},
+    {"sideEffectLogical",
+     "int g;\nint bump() { g = g + 1; return g; }\n"
+     "int f(int a) { int r = (a > 0 && bump() > 0) ? 1 : 0; return r * 100 + "
+     "g; }",
+     "f", {{1}, {0}}},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, IrParity, ::testing::ValuesIn(kParityCases),
+    [](const ::testing::TestParamInfo<ParityCase> &info) {
+      return std::string(info.param.name);
+    });
+
+TEST(IrExec, InstructionBudget) {
+  auto p = lower("int f() { while (true) { } return 0; }");
+  ASSERT_NE(p->module, nullptr);
+  ir::IRExecutor exec(*p->module, 10000);
+  auto r = exec.call("f");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("budget"), std::string::npos);
+}
+
+TEST(IrExec, OutOfBoundsDetected) {
+  auto p = lower("int t[4];\nint f(int i) { return t[i]; }");
+  ASSERT_NE(p->module, nullptr);
+  ir::IRExecutor exec(*p->module);
+  auto r = exec.call("f", {BitVector(32, 99)});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of bounds"), std::string::npos);
+}
+
+TEST(IrExec, WriteGlobalRoundTrip) {
+  auto p = lower("int d[3];\nint f() { return d[0] + d[1] + d[2]; }");
+  ASSERT_NE(p->module, nullptr);
+  ir::IRExecutor exec(*p->module);
+  exec.writeGlobal("d", {BitVector(32, 1), BitVector(32, 2), BitVector(32, 3)});
+  auto r = exec.call("f");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.returnValue.toUint64(), 6u);
+}
+
+TEST(IrPrinter, ProducesReadableListing) {
+  auto p = lower("int f(int a) { return a + 1; }");
+  ASSERT_NE(p->module, nullptr);
+  std::string s = p->module->str();
+  EXPECT_NE(s.find("func f"), std::string::npos);
+  EXPECT_NE(s.find("add"), std::string::npos);
+  EXPECT_NE(s.find("ret"), std::string::npos);
+}
+
+} // namespace
+} // namespace c2h

@@ -1,0 +1,107 @@
+#include "frontend/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace c2h {
+namespace {
+
+std::vector<Token> lex(const std::string &src, DiagnosticEngine &diags) {
+  Lexer lexer(src, diags);
+  return lexer.lexAll();
+}
+
+std::vector<TokenKind> kinds(const std::string &src) {
+  DiagnosticEngine diags;
+  std::vector<TokenKind> out;
+  for (auto &t : lex(src, diags))
+    out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  EXPECT_EQ(kinds(""), std::vector<TokenKind>{TokenKind::Eof});
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto k = kinds("int par chan foo _bar delay");
+  std::vector<TokenKind> expected = {
+      TokenKind::KwInt,   TokenKind::KwPar,        TokenKind::KwChan,
+      TokenKind::Identifier, TokenKind::Identifier, TokenKind::KwDelay,
+      TokenKind::Eof};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, NumbersDecimalHexAndSuffix) {
+  DiagnosticEngine diags;
+  auto toks = lex("42 0x1F 7u", diags);
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "42");
+  EXPECT_EQ(toks[1].text, "0x1F");
+  EXPECT_EQ(toks[2].text, "7u");
+  EXPECT_FALSE(diags.hasErrors());
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto k = kinds("<<= >>= << >> <= >= == != && || ++ -- += -=");
+  std::vector<TokenKind> expected = {
+      TokenKind::ShlAssign, TokenKind::ShrAssign, TokenKind::Shl,
+      TokenKind::Shr,       TokenKind::Le,        TokenKind::Ge,
+      TokenKind::Eq,        TokenKind::Ne,        TokenKind::AmpAmp,
+      TokenKind::PipePipe,  TokenKind::PlusPlus,  TokenKind::MinusMinus,
+      TokenKind::PlusAssign, TokenKind::MinusAssign, TokenKind::Eof};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, ChannelOperatorsLexSeparately) {
+  // `c ! x` and `c ? x` must not merge; `!=` must.
+  auto k = kinds("c ! x != y ? z");
+  std::vector<TokenKind> expected = {
+      TokenKind::Identifier, TokenKind::Bang,       TokenKind::Identifier,
+      TokenKind::Ne,         TokenKind::Identifier, TokenKind::Question,
+      TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, LineAndBlockComments) {
+  auto k = kinds("a // comment\n b /* block\n comment */ c");
+  std::vector<TokenKind> expected = {TokenKind::Identifier,
+                                     TokenKind::Identifier,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, UnterminatedBlockCommentReported) {
+  DiagnosticEngine diags;
+  lex("a /* never closed", diags);
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_TRUE(diags.contains("unterminated"));
+}
+
+TEST(Lexer, StrayCharacterReportedAndSkipped) {
+  DiagnosticEngine diags;
+  auto toks = lex("a @ b", diags);
+  EXPECT_TRUE(diags.hasErrors());
+  ASSERT_EQ(toks.size(), 3u); // a, b, eof
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  DiagnosticEngine diags;
+  auto toks = lex("a\n  b", diags);
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.column, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+}
+
+TEST(Lexer, BitWidthTypeTokens) {
+  auto k = kinds("int<12> uint<5>");
+  std::vector<TokenKind> expected = {
+      TokenKind::KwInt, TokenKind::Lt, TokenKind::IntLiteral, TokenKind::Gt,
+      TokenKind::KwUint, TokenKind::Lt, TokenKind::IntLiteral, TokenKind::Gt,
+      TokenKind::Eof};
+  EXPECT_EQ(k, expected);
+}
+
+} // namespace
+} // namespace c2h

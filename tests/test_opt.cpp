@@ -1,0 +1,521 @@
+// Tests for the AST transforms (inlining, unrolling) and IR passes
+// (value numbering, DCE, CFG simplification) — including end-to-end parity:
+// the transformed + optimized program must compute exactly what the
+// original program computes.
+#include "frontend/sema.h"
+#include "interp/interp.h"
+#include "ir/exec.h"
+#include "ir/lower.h"
+#include "opt/astconst.h"
+#include "opt/inline.h"
+#include "opt/irpasses.h"
+#include "opt/unroll.h"
+
+#include <gtest/gtest.h>
+
+namespace c2h {
+namespace {
+
+using namespace ast;
+
+struct World {
+  TypeContext types;
+  DiagnosticEngine diags;
+  std::unique_ptr<Program> program;
+};
+
+std::unique_ptr<World> load(const std::string &src) {
+  auto w = std::make_unique<World>();
+  w->program = frontend(src, w->types, w->diags);
+  EXPECT_NE(w->program, nullptr) << w->diags.str();
+  return w;
+}
+
+unsigned countCalls(const Program &p) {
+  unsigned n = 0;
+  for (const auto &fn : p.functions)
+    walk(*fn->body, nullptr, [&](Expr &e) {
+      if (e.kind == Expr::Kind::Call)
+        ++n;
+    });
+  return n;
+}
+
+unsigned countLoops(const Program &p) {
+  unsigned n = 0;
+  for (const auto &fn : p.functions)
+    walk(*fn->body, [&](Stmt &s) {
+      if (s.kind == Stmt::Kind::For || s.kind == Stmt::Kind::While ||
+          s.kind == Stmt::Kind::DoWhile)
+        ++n;
+    }, nullptr);
+  return n;
+}
+
+// Run `fn(args)` through: interp(original), interp(transformed),
+// IRExecutor(optimized IR) — all three must agree.
+void expectParity(const std::string &src, const std::string &fn,
+                  const std::vector<std::vector<std::int64_t>> &argSets,
+                  bool doInline, bool doUnroll,
+                  const std::vector<std::string> &checkGlobals = {}) {
+  auto original = load(src);
+  ASSERT_NE(original->program, nullptr);
+  auto transformed = load(src);
+  if (doInline) {
+    opt::inlineFunctions(*transformed->program, transformed->types,
+                         transformed->diags);
+    ASSERT_FALSE(transformed->diags.hasErrors()) << transformed->diags.str();
+    opt::removeUnusedFunctions(*transformed->program, fn);
+  }
+  if (doUnroll) {
+    opt::UnrollOptions uo;
+    uo.unrollAll = true;
+    opt::unrollLoops(*transformed->program, transformed->diags, uo);
+    ASSERT_FALSE(transformed->diags.hasErrors()) << transformed->diags.str();
+  }
+  auto module = ir::lowerToIR(*transformed->program, transformed->diags);
+  ASSERT_NE(module, nullptr) << transformed->diags.str();
+  ASSERT_TRUE(ir::verify(*module).empty());
+  opt::optimizeModule(*module);
+  auto problems = ir::verify(*module);
+  ASSERT_TRUE(problems.empty()) << problems.front();
+
+  const FuncDecl *fd = original->program->findFunction(fn);
+  ASSERT_NE(fd, nullptr);
+  for (const auto &args : argSets) {
+    std::vector<BitVector> bvArgs;
+    for (std::size_t i = 0; i < args.size(); ++i)
+      bvArgs.push_back(
+          BitVector::fromInt(fd->params[i]->type->bitWidth(), args[i]));
+
+    Interpreter interpOrig(*original->program);
+    Interpreter interpXform(*transformed->program);
+    ir::IRExecutor exec(*module);
+
+    auto r0 = interpOrig.call(fn, bvArgs);
+    auto r1 = interpXform.call(fn, bvArgs);
+    auto r2 = exec.call(fn, bvArgs);
+    ASSERT_TRUE(r0.ok) << r0.error;
+    ASSERT_TRUE(r1.ok) << r1.error;
+    ASSERT_TRUE(r2.ok) << r2.error;
+    if (!fd->returnType->isVoid()) {
+      EXPECT_EQ(r0.returnValue.toStringHex(), r1.returnValue.toStringHex());
+      EXPECT_EQ(r0.returnValue.toStringHex(),
+                r2.returnValue.resize(r0.returnValue.width(), false)
+                    .toStringHex());
+    }
+    for (const auto &g : checkGlobals) {
+      auto g0 = interpOrig.readGlobal(g);
+      auto g1 = interpXform.readGlobal(g);
+      auto g2 = exec.readGlobal(g);
+      ASSERT_EQ(g0.size(), g1.size());
+      ASSERT_EQ(g0.size(), g2.size());
+      for (std::size_t i = 0; i < g0.size(); ++i) {
+        EXPECT_EQ(g0[i].toStringHex(), g1[i].toStringHex()) << g << i;
+        EXPECT_EQ(g0[i].toStringHex(), g2[i].toStringHex()) << g << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Constant evaluation
+// ---------------------------------------------------------------------------
+
+TEST(AstConst, EvaluatesThroughConstGlobals) {
+  auto w = load("const int K = 6;\nint f() { return K * 7; }");
+  const auto &ret = static_cast<ReturnStmt &>(
+      *w->program->functions[0]->body->stmts[0]);
+  auto v = opt::tryEvalConst(*ret.value);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->toInt64(), 42);
+}
+
+TEST(AstConst, DynamicExpressionsRejected) {
+  auto w = load("int f(int a) { return a + 1; }");
+  const auto &ret = static_cast<ReturnStmt &>(
+      *w->program->functions[0]->body->stmts[0]);
+  EXPECT_FALSE(opt::tryEvalConst(*ret.value).has_value());
+}
+
+TEST(AstConst, PurityDetection) {
+  auto w = load("int g;\nint bump() { g = g + 1; return g; }\n"
+                "int f(int a) { return a + bump(); }");
+  const auto &ret = static_cast<ReturnStmt &>(
+      *w->program->findFunction("f")->body->stmts[0]);
+  EXPECT_FALSE(opt::isPureExpr(*ret.value));
+  const auto &binary = static_cast<BinaryExpr &>(*ret.value);
+  EXPECT_TRUE(opt::isPureExpr(*binary.lhs));
+}
+
+// ---------------------------------------------------------------------------
+// Inlining
+// ---------------------------------------------------------------------------
+
+TEST(Inline, SimpleCallDisappears) {
+  auto w = load("int sq(int x) { return x * x; }\n"
+                "int f(int a) { return sq(a) + sq(a + 1); }");
+  EXPECT_TRUE(opt::inlineFunctions(*w->program, w->types, w->diags));
+  EXPECT_FALSE(w->diags.hasErrors()) << w->diags.str();
+  EXPECT_EQ(countCalls(*w->program), 0u);
+}
+
+TEST(Inline, RecursiveCallStays) {
+  auto w = load("int fib(int n) { if (n < 2) { return n; } "
+                "return fib(n - 1) + fib(n - 2); }");
+  opt::inlineFunctions(*w->program, w->types, w->diags);
+  EXPECT_GE(countCalls(*w->program), 2u);
+}
+
+TEST(Inline, ParityScalar) {
+  expectParity("int sq(int x) { return x * x; }\n"
+               "int f(int a, int b) { return sq(a) + sq(b) * sq(a - b); }",
+               "f", {{3, 4}, {-2, 7}, {0, 0}}, true, false);
+}
+
+TEST(Inline, ParityEarlyReturn) {
+  expectParity(R"(
+    int clamp(int x) {
+      if (x < 0) { return 0; }
+      if (x > 100) { return 100; }
+      return x;
+    }
+    int f(int a) { return clamp(a) + clamp(a * 2); }
+  )",
+               "f", {{-5}, {30}, {80}, {200}}, true, false);
+}
+
+TEST(Inline, ParityReturnInsideLoop) {
+  expectParity(R"(
+    int firstFactor(int n) {
+      for (int d = 2; d < 100; d = d + 1) {
+        if (n % d == 0) { return d; }
+      }
+      return n;
+    }
+    int f(int a) { return firstFactor(a) * 10 + firstFactor(a + 1); }
+  )",
+               "f", {{15}, {17}, {91}}, true, false);
+}
+
+TEST(Inline, ParityReturnInNestedLoop) {
+  expectParity(R"(
+    int find(int target) {
+      for (int i = 0; i < 10; i = i + 1) {
+        for (int j = 0; j < 10; j = j + 1) {
+          if (i * 10 + j == target) { return i * 100 + j; }
+        }
+      }
+      return -1;
+    }
+    int f(int t) { return find(t); }
+  )",
+               "f", {{0}, {37}, {99}, {200}}, true, false);
+}
+
+TEST(Inline, ArrayParameterByReference) {
+  expectParity(R"(
+    int data[6];
+    void fill(int a[6], int seed) {
+      for (int i = 0; i < 6; i = i + 1) { a[i] = seed * i; }
+    }
+    int sum(int a[6]) {
+      int s = 0;
+      for (int i = 0; i < 6; i = i + 1) { s = s + a[i]; }
+      return s;
+    }
+    int f(int seed) { fill(data, seed); return sum(data); }
+  )",
+               "f", {{1}, {3}, {-2}}, true, false, {"data"});
+}
+
+TEST(Inline, NestedCallsInlineInPasses) {
+  auto w = load("int a1(int x) { return x + 1; }\n"
+                "int a2(int x) { return a1(x) * 2; }\n"
+                "int a3(int x) { return a2(x) + a1(x); }\n"
+                "int f(int x) { return a3(x); }");
+  opt::inlineFunctions(*w->program, w->types, w->diags);
+  EXPECT_EQ(countCalls(*w->program), 0u);
+  expectParity("int a1(int x) { return x + 1; }\n"
+               "int a2(int x) { return a1(x) * 2; }\n"
+               "int a3(int x) { return a2(x) + a1(x); }\n"
+               "int f(int x) { return a3(x); }",
+               "f", {{0}, {10}, {-4}}, true, false);
+}
+
+TEST(Inline, VoidCallStatement) {
+  expectParity(R"(
+    int acc;
+    void add(int v) { acc = acc + v; }
+    int f(int a) { add(a); add(a * 2); return acc; }
+  )",
+               "f", {{5}, {-1}}, true, false, {"acc"});
+}
+
+TEST(Inline, RemoveUnusedFunctions) {
+  auto w = load("int sq(int x) { return x * x; }\n"
+                "int dead(int x) { return x; }\n"
+                "int f(int a) { return sq(a); }");
+  opt::inlineFunctions(*w->program, w->types, w->diags);
+  opt::removeUnusedFunctions(*w->program, "f");
+  EXPECT_EQ(w->program->functions.size(), 1u);
+  EXPECT_EQ(w->program->functions[0]->name, "f");
+}
+
+TEST(Inline, ConditionalCallPositionLeftAlone) {
+  auto w = load("int g(int x) { return x + 1; }\n"
+                "int f(int a) { return a > 0 ? g(a) : 0; }");
+  opt::inlineFunctions(*w->program, w->types, w->diags);
+  EXPECT_FALSE(w->diags.hasErrors());
+  EXPECT_EQ(countCalls(*w->program), 1u); // stays as an IR-level call
+}
+
+// ---------------------------------------------------------------------------
+// Unrolling
+// ---------------------------------------------------------------------------
+
+TEST(Unroll, StaticTripCountCanonicalForms) {
+  auto w = load(R"(
+    const int N = 5;
+    void f() {
+      for (int i = 0; i < 8; i = i + 1) { }
+      for (int j = 10; j > 0; j = j - 2) { }
+      for (int k = 0; k <= N; k = k + 1) { }
+      for (uint<4> m = 0; m != 12; m = m + 1) { }
+    }
+  )");
+  std::vector<std::uint64_t> counts;
+  walk(*w->program->functions[0]->body, [&](Stmt &s) {
+    if (s.kind == Stmt::Kind::For) {
+      auto c = opt::staticTripCount(static_cast<ForStmt &>(s));
+      counts.push_back(c.value_or(9999));
+    }
+  }, nullptr);
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 8u);
+  EXPECT_EQ(counts[1], 5u);
+  EXPECT_EQ(counts[2], 6u);
+  EXPECT_EQ(counts[3], 12u);
+}
+
+TEST(Unroll, NonCanonicalRejected) {
+  auto w = load(R"(
+    void f(int n) {
+      for (int i = 0; i < n; i = i + 1) { }
+      for (int j = 0; j < 10; j = j * 2 + 1) { }
+    }
+  )");
+  std::vector<bool> known;
+  walk(*w->program->functions[0]->body, [&](Stmt &s) {
+    if (s.kind == Stmt::Kind::For)
+      known.push_back(
+          opt::staticTripCount(static_cast<ForStmt &>(s)).has_value());
+  }, nullptr);
+  ASSERT_EQ(known.size(), 2u);
+  EXPECT_FALSE(known[0]); // dynamic bound
+  EXPECT_FALSE(known[1]); // non-affine step
+}
+
+TEST(Unroll, FullUnrollRemovesLoop) {
+  auto w = load("int f() { int s = 0; unroll for (int i = 0; i < 4; i = i + 1) "
+                "{ s = s + i; } return s; }");
+  EXPECT_TRUE(opt::unrollLoops(*w->program, w->diags));
+  EXPECT_FALSE(w->diags.hasErrors()) << w->diags.str();
+  EXPECT_EQ(countLoops(*w->program), 0u);
+}
+
+TEST(Unroll, AnnotatedButNotUnrollableReportsError) {
+  auto w = load("int f(int n) { int s = 0; unroll for (int i = 0; i < n; "
+                "i = i + 1) { s = s + i; } return s; }");
+  opt::unrollLoops(*w->program, w->diags);
+  EXPECT_TRUE(w->diags.hasErrors());
+  EXPECT_TRUE(w->diags.contains("cannot unroll"));
+}
+
+TEST(Unroll, BreakPreventsUnrolling) {
+  auto w = load("int f() { int s = 0; unroll for (int i = 0; i < 4; i = i + 1)"
+                " { if (s > 2) { break; } s = s + 1; } return s; }");
+  opt::unrollLoops(*w->program, w->diags);
+  EXPECT_TRUE(w->diags.hasErrors());
+  EXPECT_TRUE(w->diags.contains("break/continue"));
+}
+
+TEST(Unroll, ParityFullUnroll) {
+  expectParity(R"(
+    int y[8];
+    const int c[4] = {1, -2, 3, -4};
+    void f(int seed) {
+      unroll for (int n = 0; n < 8; n = n + 1) {
+        int acc = seed;
+        unroll for (int k = 0; k < 4; k = k + 1) {
+          acc = acc + c[k] * (n - k);
+        }
+        y[n] = acc;
+      }
+    }
+  )",
+               "f", {{0}, {5}}, false, true, {"y"});
+}
+
+TEST(Unroll, ParityPartialUnroll) {
+  expectParity(R"(
+    int out[10];
+    void f(int seed) {
+      unroll(3) for (int i = 0; i < 10; i = i + 1) {
+        out[i] = seed * i + (seed >> 1);
+      }
+    }
+  )",
+               "f", {{2}, {-7}}, false, true, {"out"});
+}
+
+TEST(Unroll, ParityUnrollAllWithDownCounting) {
+  expectParity(R"(
+    int s;
+    void f(int seed) {
+      s = seed;
+      for (int i = 12; i > 0; i = i - 3) { s = s * 2 + i; }
+    }
+  )",
+               "f", {{1}, {0}}, false, true, {"s"});
+}
+
+// ---------------------------------------------------------------------------
+// IR passes
+// ---------------------------------------------------------------------------
+
+struct IrWorld {
+  TypeContext types;
+  DiagnosticEngine diags;
+  std::unique_ptr<Program> ast;
+  std::unique_ptr<ir::Module> module;
+};
+
+std::unique_ptr<IrWorld> lowered(const std::string &src) {
+  auto w = std::make_unique<IrWorld>();
+  w->ast = frontend(src, w->types, w->diags);
+  EXPECT_NE(w->ast, nullptr) << w->diags.str();
+  w->module = ir::lowerToIR(*w->ast, w->diags);
+  EXPECT_NE(w->module, nullptr) << w->diags.str();
+  return w;
+}
+
+TEST(IrOpt, ConstantFoldingCollapsesArithmetic) {
+  auto w = lowered("int f() { return (3 + 4) * (10 - 2); }");
+  opt::optimizeModule(*w->module);
+  ir::IRExecutor exec(*w->module);
+  auto r = exec.call("f");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.returnValue.toInt64(), 56);
+  // Everything folds to a single constant + return.
+  EXPECT_LE(opt::instructionCount(*w->module->findFunction("f")), 2u);
+}
+
+TEST(IrOpt, CseRemovesRedundantWork) {
+  auto w = lowered(
+      "int f(int a, int b) { return (a * b + 1) + (a * b + 1); }");
+  std::size_t before = opt::instructionCount(*w->module->findFunction("f"));
+  opt::localValueNumbering(*w->module->functions()[0]);
+  opt::deadCodeElimination(*w->module->functions()[0]);
+  std::size_t after = opt::instructionCount(*w->module->findFunction("f"));
+  EXPECT_LT(after, before);
+  // Only one multiply must remain.
+  unsigned muls = 0;
+  for (const auto &bb : w->module->findFunction("f")->blocks())
+    for (const auto &i : bb->instrs())
+      if (i->op == ir::Opcode::Mul)
+        ++muls;
+  EXPECT_EQ(muls, 1u);
+}
+
+TEST(IrOpt, StrengthReductionMulByPow2) {
+  auto w = lowered("int f(int a) { return a * 8; }");
+  opt::optimizeModule(*w->module);
+  bool sawMul = false, sawShl = false;
+  for (const auto &bb : w->module->findFunction("f")->blocks())
+    for (const auto &i : bb->instrs()) {
+      if (i->op == ir::Opcode::Mul)
+        sawMul = true;
+      if (i->op == ir::Opcode::Shl)
+        sawShl = true;
+    }
+  EXPECT_FALSE(sawMul);
+  EXPECT_TRUE(sawShl);
+}
+
+TEST(IrOpt, DivRemByPow2Reduced) {
+  auto w = lowered("uint f(uint a) { return a / 16 + a % 16; }");
+  opt::optimizeModule(*w->module);
+  for (const auto &bb : w->module->findFunction("f")->blocks())
+    for (const auto &i : bb->instrs()) {
+      EXPECT_NE(i->op, ir::Opcode::DivU);
+      EXPECT_NE(i->op, ir::Opcode::RemU);
+    }
+}
+
+TEST(IrOpt, StoreToLoadForwarding) {
+  auto w = lowered("int g;\nint f(int a) { g = a * 3; return g; }");
+  opt::optimizeModule(*w->module);
+  // The load of g after the store must be forwarded away.
+  unsigned loads = 0;
+  for (const auto &bb : w->module->findFunction("f")->blocks())
+    for (const auto &i : bb->instrs())
+      if (i->op == ir::Opcode::Load)
+        ++loads;
+  EXPECT_EQ(loads, 0u);
+}
+
+TEST(IrOpt, DeadBranchFolded) {
+  auto w = lowered("int f(int a) { if (1 < 0) { a = a + 100; } return a; }");
+  opt::optimizeModule(*w->module);
+  const ir::Function *f = w->module->findFunction("f");
+  EXPECT_EQ(f->blocks().size(), 1u); // everything merged into entry
+}
+
+TEST(IrOpt, ParityAfterOptimization) {
+  const char *src = R"(
+    int hist[8];
+    int f(int a, int b) {
+      int t = (a * b + 1) + (a * b + 1);
+      t = t * 8 + t % 4;
+      hist[(a & 7)] = t;
+      if (t > 0 && b != 0) { t = t / b; }
+      for (int i = 0; i < 5; i = i + 1) { t = t + i * i; }
+      return t;
+    })";
+  auto w0 = lowered(src);
+  auto w1 = lowered(src);
+  opt::optimizeModule(*w1->module);
+  ASSERT_TRUE(ir::verify(*w1->module).empty());
+  for (auto args : std::vector<std::vector<std::int64_t>>{
+           {3, 4}, {-2, 5}, {0, 0}, {100, -7}}) {
+    ir::IRExecutor e0(*w0->module), e1(*w1->module);
+    std::vector<BitVector> bv{BitVector::fromInt(32, args[0]),
+                              BitVector::fromInt(32, args[1])};
+    auto r0 = e0.call("f", bv);
+    auto r1 = e1.call("f", bv);
+    ASSERT_TRUE(r0.ok && r1.ok) << r0.error << r1.error;
+    EXPECT_EQ(r0.returnValue.toStringHex(), r1.returnValue.toStringHex());
+    EXPECT_LE(r1.instructions, r0.instructions);
+    auto g0 = e0.readGlobal("hist"), g1 = e1.readGlobal("hist");
+    for (std::size_t i = 0; i < g0.size(); ++i)
+      EXPECT_EQ(g0[i].toStringHex(), g1[i].toStringHex());
+  }
+}
+
+TEST(IrOpt, OptimizedIrStillVerifies) {
+  auto w = lowered(R"(
+    int f(int a) {
+      int x = a * 2;
+      int y = a * 2;
+      int dead = a * 77;
+      if (x == y) { return x + 0; }
+      return y * 1;
+    })");
+  opt::optimizeModule(*w->module);
+  auto problems = ir::verify(*w->module);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+} // namespace
+} // namespace c2h

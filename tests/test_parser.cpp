@@ -1,0 +1,237 @@
+#include "frontend/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace c2h {
+namespace {
+
+using namespace ast;
+
+struct ParseResult {
+  TypeContext types;
+  DiagnosticEngine diags;
+  std::unique_ptr<Program> program;
+};
+
+std::unique_ptr<ParseResult> parse(const std::string &src) {
+  auto r = std::make_unique<ParseResult>();
+  r->program = parseString(src, r->types, r->diags);
+  return r;
+}
+
+TEST(Parser, EmptyProgram) {
+  auto r = parse("");
+  EXPECT_FALSE(r->diags.hasErrors());
+  EXPECT_TRUE(r->program->functions.empty());
+}
+
+TEST(Parser, SimpleFunction) {
+  auto r = parse("int add(int a, int b) { return a + b; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  ASSERT_EQ(r->program->functions.size(), 1u);
+  auto &fn = *r->program->functions[0];
+  EXPECT_EQ(fn.name, "add");
+  EXPECT_EQ(fn.params.size(), 2u);
+  EXPECT_EQ(fn.returnType->str(), "int<32>");
+  ASSERT_EQ(fn.body->stmts.size(), 1u);
+  EXPECT_EQ(fn.body->stmts[0]->kind, Stmt::Kind::Return);
+}
+
+TEST(Parser, BitPreciseTypes) {
+  auto r = parse("int<12> f(uint<5> x) { return (int<12>)x; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  auto &fn = *r->program->functions[0];
+  EXPECT_EQ(fn.returnType->str(), "int<12>");
+  EXPECT_EQ(fn.params[0]->type->str(), "uint<5>");
+}
+
+TEST(Parser, WidthFromConstGlobal) {
+  auto r = parse("const int W = 8;\nuint<W> f() { return 0; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  EXPECT_EQ(r->program->functions[0]->returnType->str(), "uint<8>");
+}
+
+TEST(Parser, WidthExpressionArithmetic) {
+  auto r = parse("const int W = 8;\nuint<W*2+1> f() { return 0; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  EXPECT_EQ(r->program->functions[0]->returnType->str(), "uint<17>");
+}
+
+TEST(Parser, CTypeAliases) {
+  auto r = parse("void f() { char c; short s; long l; unsigned int u; "
+                 "unsigned char uc; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  auto &body = *r->program->functions[0]->body;
+  auto typeOf = [&](int i) {
+    return static_cast<DeclStmt &>(*body.stmts[i]).decl->type->str();
+  };
+  EXPECT_EQ(typeOf(0), "int<8>");
+  EXPECT_EQ(typeOf(1), "int<16>");
+  EXPECT_EQ(typeOf(2), "int<64>");
+  EXPECT_EQ(typeOf(3), "uint<32>");
+  EXPECT_EQ(typeOf(4), "uint<8>");
+}
+
+TEST(Parser, ArraysAndInitializers) {
+  auto r = parse("int coeff[4] = {1, 2, 3, 4};\n"
+                 "void f() { int m[2][3]; m[1][2] = coeff[0]; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  EXPECT_EQ(r->program->globals[0]->type->str(), "int<32>[4]");
+  EXPECT_EQ(r->program->globals[0]->arrayInit.size(), 4u);
+  auto &decl = static_cast<DeclStmt &>(*r->program->functions[0]->body->stmts[0]);
+  EXPECT_EQ(decl.decl->type->str(), "int<32>[2][3]");
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto r = parse("int f(int a, int b, int c) { return a + b * c; }");
+  ASSERT_FALSE(r->diags.hasErrors());
+  auto &ret = static_cast<ReturnStmt &>(*r->program->functions[0]->body->stmts[0]);
+  auto &add = static_cast<BinaryExpr &>(*ret.value);
+  EXPECT_EQ(add.op, BinaryOp::Add);
+  EXPECT_EQ(static_cast<BinaryExpr &>(*add.rhs).op, BinaryOp::Mul);
+}
+
+TEST(Parser, UnaryBindsTighterThanBinaryButAfterPostfix) {
+  auto r = parse("int f(int a[4]) { return -a[2]; }");
+  ASSERT_FALSE(r->diags.hasErrors());
+  auto &ret = static_cast<ReturnStmt &>(*r->program->functions[0]->body->stmts[0]);
+  auto &neg = static_cast<UnaryExpr &>(*ret.value);
+  EXPECT_EQ(neg.op, UnaryOp::Neg);
+  EXPECT_EQ(neg.operand->kind, Expr::Kind::Index);
+}
+
+TEST(Parser, TernaryRightAssociative) {
+  auto r = parse("int f(int a) { return a ? 1 : a ? 2 : 3; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  auto &ret = static_cast<ReturnStmt &>(*r->program->functions[0]->body->stmts[0]);
+  auto &t = static_cast<TernaryExpr &>(*ret.value);
+  EXPECT_EQ(t.elseExpr->kind, Expr::Kind::Ternary);
+}
+
+TEST(Parser, ParBlockBranches) {
+  auto r = parse("void f() { par { { int a; } { int b; } int c; } }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  auto &par = static_cast<ParStmt &>(*r->program->functions[0]->body->stmts[0]);
+  EXPECT_EQ(par.branches.size(), 3u);
+}
+
+TEST(Parser, ChannelSendStatement) {
+  auto r = parse("chan<int> c;\nvoid f() { c ! 42; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  EXPECT_EQ(r->program->functions[0]->body->stmts[0]->kind, Stmt::Kind::Send);
+}
+
+TEST(Parser, ChannelRecvStatement) {
+  auto r = parse("chan<int> c;\nvoid f() { int x; c ? x; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  EXPECT_EQ(r->program->functions[0]->body->stmts[1]->kind, Stmt::Kind::Recv);
+}
+
+TEST(Parser, RecvIntoArrayElement) {
+  auto r = parse("chan<int> c;\nvoid f() { int buf[4]; int i = 0; c ? buf[i]; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  EXPECT_EQ(r->program->functions[0]->body->stmts[2]->kind, Stmt::Kind::Recv);
+}
+
+TEST(Parser, TernaryStatementNotMistakenForRecv) {
+  auto r = parse("int f(int c, int x, int y) { int r; r = c ? x : y; return r; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  EXPECT_EQ(r->program->functions[0]->body->stmts[1]->kind, Stmt::Kind::Expr);
+}
+
+TEST(Parser, DelayStatementForms) {
+  auto r = parse("void f() { delay; delay(3); }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  auto &d0 = static_cast<DelayStmt &>(*r->program->functions[0]->body->stmts[0]);
+  auto &d1 = static_cast<DelayStmt &>(*r->program->functions[0]->body->stmts[1]);
+  EXPECT_EQ(d0.cycles, 1u);
+  EXPECT_EQ(d1.cycles, 3u);
+}
+
+TEST(Parser, ConstraintBlock) {
+  auto r = parse("void f(int a) { constraint(1, 2) { a = a + 1; a = a * 2; } }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  auto &c = static_cast<ConstraintStmt &>(*r->program->functions[0]->body->stmts[0]);
+  EXPECT_EQ(c.minCycles, 1u);
+  EXPECT_EQ(c.maxCycles, 2u);
+}
+
+TEST(Parser, ConstraintBoundsValidated) {
+  auto r = parse("void f() { constraint(3, 2) { } }");
+  EXPECT_TRUE(r->diags.hasErrors());
+}
+
+TEST(Parser, UnrollAnnotations) {
+  auto r = parse("void f() { unroll for (int i = 0; i < 4; i = i + 1) { } "
+                 "unroll(2) for (int j = 0; j < 4; j = j + 1) { } }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  auto &full = static_cast<ForStmt &>(*r->program->functions[0]->body->stmts[0]);
+  auto &partial = static_cast<ForStmt &>(*r->program->functions[0]->body->stmts[1]);
+  EXPECT_EQ(full.unrollFactor, ForStmt::kFullUnroll);
+  EXPECT_EQ(partial.unrollFactor, 2u);
+}
+
+TEST(Parser, PointersAndAddressOf) {
+  auto r = parse("int f(int x) { int *p; p = &x; return *p; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+}
+
+TEST(Parser, CompoundAssignmentsParse) {
+  auto r = parse("void f(int a) { a += 1; a <<= 2; a ^= 3; a %= 4; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  auto &s = static_cast<ExprStmt &>(*r->program->functions[0]->body->stmts[1]);
+  auto &assign = static_cast<AssignExpr &>(*s.expr);
+  EXPECT_TRUE(assign.isCompound);
+  EXPECT_EQ(assign.compoundOp, BinaryOp::Shl);
+}
+
+TEST(Parser, ForLoopAllClausesOptional) {
+  auto r = parse("void f() { for (;;) { break; } }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  auto &loop = static_cast<ForStmt &>(*r->program->functions[0]->body->stmts[0]);
+  EXPECT_EQ(loop.init, nullptr);
+  EXPECT_EQ(loop.cond, nullptr);
+  EXPECT_EQ(loop.step, nullptr);
+}
+
+TEST(Parser, DoWhileParses) {
+  auto r = parse("void f(int a) { do { a = a - 1; } while (a > 0); }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  EXPECT_EQ(r->program->functions[0]->body->stmts[0]->kind,
+            Stmt::Kind::DoWhile);
+}
+
+TEST(Parser, SyntaxErrorRecoversAndContinues) {
+  auto r = parse("void f() { int x = ; }\nint g() { return 1; }");
+  EXPECT_TRUE(r->diags.hasErrors());
+  // g must still have been parsed despite the error in f.
+  EXPECT_NE(r->program->findFunction("g"), nullptr);
+}
+
+TEST(Parser, MissingSemicolonReported) {
+  auto r = parse("void f() { int x = 1 }");
+  EXPECT_TRUE(r->diags.hasErrors());
+  EXPECT_TRUE(r->diags.contains("expected ';'"));
+}
+
+TEST(Parser, CastExpressions) {
+  auto r = parse("int f(uint<8> x) { return (int)(int<16>)x; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  auto &ret = static_cast<ReturnStmt &>(*r->program->functions[0]->body->stmts[0]);
+  EXPECT_EQ(ret.value->kind, Expr::Kind::Cast);
+}
+
+TEST(Parser, ParenthesizedExprNotACast) {
+  auto r = parse("int f(int x, int y) { return (x) + y; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+}
+
+TEST(Parser, ChanParameters) {
+  auto r = parse("void producer(chan<uint<8>> out) { out ! 1; }");
+  ASSERT_FALSE(r->diags.hasErrors()) << r->diags.str();
+  EXPECT_EQ(r->program->functions[0]->params[0]->type->str(),
+            "chan<uint<8>>");
+}
+
+} // namespace
+} // namespace c2h

@@ -1,0 +1,179 @@
+// Overlapped execution of modulo-scheduled loops: proves the computed
+// initiation interval is *semantically* sound by running iterations
+// genuinely overlapped (per-iteration register copies, cycle-ordered
+// memory traffic) and comparing the final memory image with sequential
+// execution.
+#include "frontend/sema.h"
+#include "ir/exec.h"
+#include "ir/lower.h"
+#include "opt/irpasses.h"
+#include "sched/modulo.h"
+#include "support/text.h"
+
+#include <gtest/gtest.h>
+
+namespace c2h {
+namespace {
+
+struct World {
+  TypeContext types;
+  DiagnosticEngine diags;
+  std::unique_ptr<ast::Program> ast;
+  std::unique_ptr<ir::Module> module;
+};
+
+std::unique_ptr<World> lowered(const std::string &src) {
+  auto w = std::make_unique<World>();
+  w->ast = frontend(src, w->types, w->diags);
+  EXPECT_NE(w->ast, nullptr) << w->diags.str();
+  w->module = ir::lowerToIR(*w->ast, w->diags);
+  EXPECT_NE(w->module, nullptr) << w->diags.str();
+  opt::optimizeModule(*w->module);
+  return w;
+}
+
+std::vector<std::vector<BitVector>> initialMems(const ir::Module &m) {
+  std::vector<std::vector<BitVector>> mems;
+  for (const auto &mem : m.mems()) {
+    std::vector<BitVector> cells(mem.depth, BitVector(std::max(1u, mem.width)));
+    for (std::size_t i = 0; i < mem.init.size() && i < cells.size(); ++i)
+      cells[i] = mem.init[i];
+    mems.push_back(std::move(cells));
+  }
+  return mems;
+}
+
+// Run the workload sequentially (IRExecutor) and pipelined
+// (executePipelined) with identically seeded inputs; memory images must
+// match and the pipelined cycle count must equal depth + (n-1)*II.
+void expectOverlapParity(const std::string &src, const std::string &fn,
+                         const std::string &seedMem,
+                         std::uint64_t expectIters) {
+  auto w = lowered(src);
+  sched::TechLibrary lib;
+  sched::SchedOptions options;
+  options.clockNs = 2.0;
+  const ir::Function *f = w->module->findFunction(fn);
+  ASSERT_NE(f, nullptr);
+  auto pipe = sched::pipelineInnermostLoop(*f, lib, options);
+  ASSERT_TRUE(pipe.pipelined) << pipe.reason;
+  ASSERT_FALSE(pipe.kernelOps.empty());
+
+  // Seed the named input memory with deterministic values.
+  auto seeded = initialMems(*w->module);
+  const ir::MemObject *seedObj = w->module->findMem(seedMem);
+  ASSERT_NE(seedObj, nullptr);
+  SplitMix64 rng(2024);
+  for (auto &cell : seeded[seedObj->id])
+    cell = BitVector(cell.width(), rng.next() & 0x7ff);
+
+  // Sequential reference.
+  ir::IRExecutor exec(*w->module);
+  {
+    std::vector<BitVector> cells = seeded[seedObj->id];
+    // writeGlobal uses the global map; seed directly via name.
+    exec.writeGlobal(seedMem, cells);
+  }
+  auto seq = exec.call(fn, {});
+  ASSERT_TRUE(seq.ok) << seq.error;
+
+  // Pipelined, overlapped.
+  auto mems = seeded;
+  auto overlap = sched::executePipelined(*w->module, *f, pipe, mems);
+  ASSERT_TRUE(overlap.ok) << overlap.error;
+  EXPECT_EQ(overlap.iterations, expectIters);
+  EXPECT_EQ(overlap.cycles,
+            pipe.depth + (overlap.iterations - 1) * pipe.ii);
+
+  // Compare every memory image (outputs included).
+  for (const auto &memObj : w->module->mems()) {
+    const auto &pipelinedCells = mems[memObj.id];
+    const auto &seqCells = exec.mem(memObj.id);
+    ASSERT_EQ(pipelinedCells.size(), seqCells.size()) << memObj.name;
+    for (std::size_t i = 0; i < seqCells.size(); ++i)
+      EXPECT_EQ(seqCells[i].toStringHex(), pipelinedCells[i].toStringHex())
+          << memObj.name << "[" << i << "]";
+  }
+  // And the overlapped schedule is genuinely faster than sequential
+  // iteration when II < sequential cycles per iteration.
+  if (pipe.ii < pipe.sequentialCyclesPerIteration) {
+    EXPECT_LT(overlap.cycles,
+              static_cast<std::uint64_t>(pipe.sequentialCyclesPerIteration) *
+                  overlap.iterations);
+  }
+}
+
+TEST(PipelineExec, VecScale) {
+  expectOverlapParity(R"(
+    int x[64]; int y[64];
+    void f() { for (int i = 0; i < 64; i = i + 1) { y[i] = x[i] * 5 + 3; } }
+  )",
+                      "f", "x", 64);
+}
+
+TEST(PipelineExec, SaxpyThreeArrays) {
+  expectOverlapParity(R"(
+    int a[48]; int b[48]; int c[48];
+    void f() {
+      for (int i = 0; i < 48; i = i + 1) { c[i] = 7 * a[i] + b[i]; }
+    }
+  )",
+                      "f", "a", 48);
+}
+
+TEST(PipelineExec, Stencil3WithOverlapReads) {
+  expectOverlapParity(R"(
+    int x[66]; int y[64];
+    void f() {
+      for (int i = 0; i < 64; i = i + 1) {
+        y[i] = x[i] + x[i + 1] + x[i + 2];
+      }
+    }
+  )",
+                      "f", "x", 64);
+}
+
+TEST(PipelineExec, AccumulatorRecurrence) {
+  // Loop-carried accumulator: the recurrence constraint must hold in the
+  // overlapped execution (acc of iteration i reads iteration i-1's).
+  expectOverlapParity(R"(
+    int u[32]; int out[1];
+    void f() {
+      int acc = 0;
+      for (int i = 0; i < 32; i = i + 1) { acc = acc + u[i] * 3; }
+      out[0] = acc;
+    }
+  )",
+                      "f", "u", 32);
+}
+
+TEST(PipelineExec, InPlaceUpdateConservativeMemoryDeps) {
+  // b[i] read and written in the same iteration: the conservative memory
+  // recurrence must still produce sequential-equal results.
+  expectOverlapParity(R"(
+    int b[40];
+    void f() {
+      for (int i = 0; i < 40; i = i + 1) { b[i] = b[i] * 2 + 1; }
+    }
+  )",
+                      "f", "b", 40);
+}
+
+TEST(PipelineExec, ZeroTripLoop) {
+  auto w = lowered(R"(
+    int x[4]; int y[4];
+    void f() { for (int i = 0; i < 0; i = i + 1) { y[i] = x[i]; } }
+  )");
+  sched::TechLibrary lib;
+  const ir::Function *f = w->module->findFunction("f");
+  auto pipe = sched::pipelineInnermostLoop(*f, lib, {});
+  if (!pipe.pipelined)
+    GTEST_SKIP() << pipe.reason; // constant-folded away is fine too
+  auto mems = initialMems(*w->module);
+  auto overlap = sched::executePipelined(*w->module, *f, pipe, mems);
+  ASSERT_TRUE(overlap.ok) << overlap.error;
+  EXPECT_EQ(overlap.iterations, 0u);
+}
+
+} // namespace
+} // namespace c2h

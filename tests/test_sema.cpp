@@ -1,0 +1,289 @@
+#include "frontend/sema.h"
+#include "frontend/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace c2h {
+namespace {
+
+using namespace ast;
+
+struct SemaResult {
+  TypeContext types;
+  DiagnosticEngine diags;
+  std::unique_ptr<Program> program;
+  bool ok = false;
+};
+
+std::unique_ptr<SemaResult> check(const std::string &src) {
+  auto r = std::make_unique<SemaResult>();
+  r->program = parseString(src, r->types, r->diags);
+  if (!r->diags.hasErrors()) {
+    Sema sema(r->types, r->diags);
+    r->ok = sema.run(*r->program);
+  }
+  return r;
+}
+
+const Expr &returnedExpr(const SemaResult &r, const char *fn = nullptr) {
+  const FuncDecl *f =
+      fn ? r.program->findFunction(fn) : r.program->functions[0].get();
+  for (const auto &s : f->body->stmts)
+    if (s->kind == Stmt::Kind::Return)
+      return *static_cast<ReturnStmt &>(*s).value;
+  throw std::runtime_error("no return");
+}
+
+TEST(Sema, BindsVariablesAndTypes) {
+  auto r = check("int f(int a) { int b = a; return b; }");
+  ASSERT_TRUE(r->ok) << r->diags.str();
+  const auto &ret = returnedExpr(*r);
+  EXPECT_EQ(ret.type->str(), "int<32>");
+  EXPECT_NE(static_cast<const VarRefExpr &>(ret).decl, nullptr);
+}
+
+TEST(Sema, UndeclaredVariableRejected) {
+  auto r = check("int f() { return nope; }");
+  EXPECT_FALSE(r->ok);
+  EXPECT_TRUE(r->diags.contains("undeclared identifier"));
+}
+
+TEST(Sema, RedeclarationInSameScopeRejected) {
+  auto r = check("void f() { int a; int a; }");
+  EXPECT_FALSE(r->ok);
+  EXPECT_TRUE(r->diags.contains("redeclaration"));
+}
+
+TEST(Sema, ShadowingInNestedScopeAllowed) {
+  auto r = check("int f() { int a = 1; { int a = 2; } return a; }");
+  EXPECT_TRUE(r->ok) << r->diags.str();
+}
+
+TEST(Sema, UsualConversionsWidenToCommonWidth) {
+  auto r = check("int<40> f(int<8> a, int<40> b) { return a + b; }");
+  ASSERT_TRUE(r->ok) << r->diags.str();
+  EXPECT_EQ(returnedExpr(*r).type->str(), "int<40>");
+}
+
+TEST(Sema, MixedSignednessFollowsGeneralizedCRule) {
+  // Signed strictly wider than unsigned -> signed result.
+  auto r = check("int<40> f(uint<8> a, int<40> b) { return a + b; }");
+  ASSERT_TRUE(r->ok) << r->diags.str();
+  EXPECT_EQ(returnedExpr(*r).type->str(), "int<40>");
+  // Same width -> unsigned wins.
+  auto r2 = check("uint<32> g(uint<32> a, int<32> b) { return a + b; }");
+  ASSERT_TRUE(r2->ok) << r2->diags.str();
+  EXPECT_EQ(returnedExpr(*r2).type->str(), "uint<32>");
+}
+
+TEST(Sema, ImplicitCastsMaterialized) {
+  auto r = check("int<16> f(int<8> a) { return a; }");
+  ASSERT_TRUE(r->ok) << r->diags.str();
+  const Expr &ret = returnedExpr(*r);
+  ASSERT_EQ(ret.kind, Expr::Kind::Cast);
+  EXPECT_TRUE(static_cast<const CastExpr &>(ret).isImplicit);
+}
+
+TEST(Sema, ComparisonYieldsBool) {
+  auto r = check("bool f(int a, int b) { return a < b; }");
+  ASSERT_TRUE(r->ok) << r->diags.str();
+  EXPECT_TRUE(returnedExpr(*r).type->isBool());
+}
+
+TEST(Sema, ShiftKeepsLhsType) {
+  auto r = check("int<8> f(int<8> a, int b) { return a << b; }");
+  ASSERT_TRUE(r->ok) << r->diags.str();
+  EXPECT_EQ(returnedExpr(*r).type->str(), "int<8>");
+}
+
+TEST(Sema, ConditionConvertedToBool) {
+  auto r = check("int f(int a) { if (a) { return 1; } return 0; }");
+  ASSERT_TRUE(r->ok) << r->diags.str();
+  const auto *fn = r->program->functions[0].get();
+  const auto &ifStmt = static_cast<IfStmt &>(*fn->body->stmts[0]);
+  EXPECT_TRUE(ifStmt.cond->type->isBool());
+}
+
+TEST(Sema, AssignToConstRejected) {
+  auto r = check("void f() { const int a = 1; a = 2; }");
+  EXPECT_FALSE(r->ok);
+  EXPECT_TRUE(r->diags.contains("const"));
+}
+
+TEST(Sema, AssignToRValueRejected) {
+  auto r = check("void f(int a) { (a + 1) = 2; }");
+  EXPECT_FALSE(r->ok);
+  EXPECT_TRUE(r->diags.contains("lvalue"));
+}
+
+TEST(Sema, BreakOutsideLoopRejected) {
+  auto r = check("void f() { break; }");
+  EXPECT_FALSE(r->ok);
+  EXPECT_TRUE(r->diags.contains("break"));
+}
+
+TEST(Sema, ReturnTypeChecked) {
+  auto r = check("void f() { return 1; }");
+  EXPECT_FALSE(r->ok);
+  auto r2 = check("int f() { return; }");
+  EXPECT_FALSE(r2->ok);
+}
+
+TEST(Sema, CallArityChecked) {
+  auto r = check("int g(int a) { return a; } int f() { return g(1, 2); }");
+  EXPECT_FALSE(r->ok);
+  EXPECT_TRUE(r->diags.contains("argument"));
+}
+
+TEST(Sema, UndeclaredFunctionRejected) {
+  auto r = check("int f() { return nosuch(1); }");
+  EXPECT_FALSE(r->ok);
+  EXPECT_TRUE(r->diags.contains("undeclared function"));
+}
+
+TEST(Sema, ArrayParameterByReferenceChecked) {
+  auto ok = check("int sum(int a[4]) { return a[0]; }"
+                  "int f() { int buf[8]; return sum(buf); }");
+  EXPECT_TRUE(ok->ok) << ok->diags.str();
+  auto tooShort = check("int sum(int a[4]) { return a[0]; }"
+                        "int f() { int buf[2]; return sum(buf); }");
+  EXPECT_FALSE(tooShort->ok);
+}
+
+TEST(Sema, DirectRecursionDetected) {
+  auto r = check("int fib(int n) { if (n < 2) { return n; } "
+                 "return fib(n-1) + fib(n-2); }");
+  ASSERT_TRUE(r->ok) << r->diags.str();
+  EXPECT_TRUE(r->program->findFunction("fib")->isRecursive);
+}
+
+TEST(Sema, MutualRecursionDetected) {
+  // Functions may be called before their definition (two-pass binding).
+  auto r = check(
+      "int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }"
+      "int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }");
+  ASSERT_TRUE(r->ok) << r->diags.str();
+  EXPECT_TRUE(r->program->findFunction("even")->isRecursive);
+  EXPECT_TRUE(r->program->findFunction("odd")->isRecursive);
+}
+
+TEST(Sema, NonRecursiveNotFlagged) {
+  auto r = check("int g(int a) { return a; } int f(int a) { return g(a); }");
+  ASSERT_TRUE(r->ok) << r->diags.str();
+  EXPECT_FALSE(r->program->findFunction("f")->isRecursive);
+  EXPECT_FALSE(r->program->findFunction("g")->isRecursive);
+}
+
+TEST(Sema, AddressTakenMarked) {
+  auto r = check("int f() { int x = 1; int *p = &x; return *p; }");
+  ASSERT_TRUE(r->ok) << r->diags.str();
+  bool found = false;
+  ast::walk(*r->program, [&](Stmt &s) {
+    if (s.kind == Stmt::Kind::Decl) {
+      auto &d = static_cast<DeclStmt &>(s);
+      if (d.decl->name == "x") {
+        EXPECT_TRUE(d.decl->addressTaken);
+        found = true;
+      }
+    }
+  }, nullptr);
+  EXPECT_TRUE(found);
+}
+
+TEST(Sema, ChannelMisuseRejected) {
+  auto r = check("int c;\nvoid f() { c ! 1; }");
+  EXPECT_FALSE(r->ok);
+  EXPECT_TRUE(r->diags.contains("not a channel"));
+  auto r2 = check("chan<int> c;\nvoid f() { int x = c; }");
+  EXPECT_FALSE(r2->ok);
+}
+
+TEST(Sema, ChannelsCannotBeAssigned) {
+  auto r = check("chan<int> c;\nchan<int> d;\nvoid f() { c = d; }");
+  EXPECT_FALSE(r->ok);
+}
+
+TEST(Sema, SendValueCoercedToElementType) {
+  auto r = check("chan<int<8>> c;\nvoid f(int x) { c ! x; }");
+  EXPECT_TRUE(r->ok) << r->diags.str();
+}
+
+TEST(Sema, DerefOfNonPointerRejected) {
+  auto r = check("int f(int a) { return *a; }");
+  EXPECT_FALSE(r->ok);
+  EXPECT_TRUE(r->diags.contains("dereference"));
+}
+
+TEST(Sema, AddressOfRValueRejected) {
+  auto r = check("void f(int a) { int *p = &(a + 1); }");
+  EXPECT_FALSE(r->ok);
+}
+
+TEST(Sema, DuplicateFunctionsRejected) {
+  auto r = check("void f() { } void f() { }");
+  EXPECT_FALSE(r->ok);
+  EXPECT_TRUE(r->diags.contains("redefinition"));
+}
+
+TEST(Sema, VoidVariableRejected) {
+  auto r = check("void f() { void v; }");
+  EXPECT_FALSE(r->ok);
+}
+
+TEST(FeatureAnalysis, DetectsAllSurveyedFeatures) {
+  auto r = check(R"(
+    chan<int> c;
+    int state = 0;
+    int twice(int a) { return a * 2; }
+    int f(int n) {
+      int arr[4];
+      int *p = &arr[0];
+      while (n > 0) { n = n - 1; }
+      for (int i = 0; i < 4; i = i + 1) { arr[i] = i; }
+      par { c ! 1; c ? state; }
+      delay;
+      constraint(0, 2) { state = state / 2; }
+      return twice(*p);
+    }
+  )");
+  ASSERT_TRUE(r->ok) << r->diags.str();
+  FeatureSet fs = analyzeFeatures(*r->program);
+  EXPECT_TRUE(fs.has(Feature::Pointers));
+  EXPECT_TRUE(fs.has(Feature::WhileLoops));
+  EXPECT_TRUE(fs.has(Feature::BoundedLoops));
+  EXPECT_TRUE(fs.has(Feature::Multiply));
+  EXPECT_TRUE(fs.has(Feature::DivideModulo));
+  EXPECT_TRUE(fs.has(Feature::Arrays));
+  EXPECT_TRUE(fs.has(Feature::ParBlocks));
+  EXPECT_TRUE(fs.has(Feature::Channels));
+  EXPECT_TRUE(fs.has(Feature::DelayStatements));
+  EXPECT_TRUE(fs.has(Feature::TimingConstraints));
+  EXPECT_TRUE(fs.has(Feature::GlobalState));
+  EXPECT_TRUE(fs.has(Feature::MultipleFunctions));
+  EXPECT_FALSE(fs.has(Feature::Recursion));
+}
+
+TEST(FeatureAnalysis, SimpleProgramHasFewFeatures) {
+  auto r = check("int f(int a, int b) { return a + b; }");
+  ASSERT_TRUE(r->ok);
+  FeatureSet fs = analyzeFeatures(*r->program);
+  EXPECT_TRUE(fs.all().empty());
+}
+
+TEST(FeatureAnalysis, RecordsFirstLocation) {
+  auto r = check("void f() { int a = 1 * 2; int b = 3 * 4; }");
+  ASSERT_TRUE(r->ok);
+  FeatureSet fs = analyzeFeatures(*r->program);
+  ASSERT_TRUE(fs.has(Feature::Multiply));
+  EXPECT_EQ(fs.where(Feature::Multiply).line, 1u);
+}
+
+TEST(Frontend, PipelineHelperReturnsNullOnError) {
+  TypeContext types;
+  DiagnosticEngine diags;
+  EXPECT_EQ(frontend("int f() { return nope; }", types, diags), nullptr);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+} // namespace
+} // namespace c2h

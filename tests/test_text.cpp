@@ -1,0 +1,97 @@
+#include "support/diagnostics.h"
+#include "support/text.h"
+
+#include <gtest/gtest.h>
+
+namespace c2h {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"flow", "cycles"});
+  t.addRow({"handelc", "12"});
+  t.addRow({"bachc", "7"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("flow     cycles"), std::string::npos);
+  EXPECT_NE(s.find("handelc  12"), std::string::npos);
+  EXPECT_NE(s.find("bachc    7"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.addRow({"x"});
+  EXPECT_EQ(t.rowCount(), 1u);
+  EXPECT_NE(t.str().find('x'), std::string::npos);
+}
+
+TEST(TextTable, RuleRendersDashes) {
+  TextTable t({"col"});
+  t.addRow({"v1"});
+  t.addRule();
+  t.addRow({"v2"});
+  std::string s = t.str();
+  // Header rule plus the explicit rule.
+  EXPECT_GE(std::count(s.begin(), s.end(), '-'), 6);
+}
+
+TEST(FormatDouble, RespectsDigits) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+  EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(SplitMix64, DeterministicAcrossInstances) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, NextBelowInRange) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine diags;
+  diags.warning({1, 1}, "w");
+  diags.note({1, 2}, "n");
+  EXPECT_FALSE(diags.hasErrors());
+  diags.error({2, 1}, "e");
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_EQ(diags.errorCount(), 1u);
+  EXPECT_EQ(diags.all().size(), 3u);
+}
+
+TEST(Diagnostics, StrFormatsLocations) {
+  DiagnosticEngine diags;
+  diags.error({3, 7}, "bad thing");
+  EXPECT_NE(diags.str().find("3:7: error: bad thing"), std::string::npos);
+}
+
+TEST(Diagnostics, ContainsSearchesMessages) {
+  DiagnosticEngine diags;
+  diags.error({1, 1}, "pointers are not supported");
+  EXPECT_TRUE(diags.contains("pointers"));
+  EXPECT_FALSE(diags.contains("recursion"));
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine diags;
+  diags.error({1, 1}, "x");
+  diags.clear();
+  EXPECT_FALSE(diags.hasErrors());
+  EXPECT_TRUE(diags.all().empty());
+}
+
+TEST(SourceLoc, InvalidPrintsPlaceholder) {
+  EXPECT_EQ(SourceLoc{}.str(), "<no-loc>");
+  EXPECT_EQ((SourceLoc{4, 2}).str(), "4:2");
+}
+
+} // namespace
+} // namespace c2h

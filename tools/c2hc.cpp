@@ -1,0 +1,205 @@
+// c2hc — the command-line driver for the c2h synthesis framework.
+//
+//   c2hc <file.uc> [options]
+//
+//   --flow=<id>        synthesis flow (default: bachc; 'all' = every flow)
+//   --top=<name>       entry function (default: main)
+//   --args=a,b,...     integer arguments for simulation
+//   --clock=<ns>       clock period for tunable flows
+//   --verilog=<file>   write generated Verilog ('-' = stdout)
+//   --ir               print the optimized IR listing
+//   --no-sim           synthesize only, skip simulation/verification
+//
+// Examples:
+//   c2hc fir.uc --flow=handelc --args=0
+//   c2hc gcd.uc --flow=all --args=3528,3780
+//   c2hc crc.uc --verilog=- --no-sim
+#include "core/c2h.h"
+#include "support/text.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace c2h;
+
+namespace {
+
+struct Options {
+  std::string file;
+  std::string flow = "bachc";
+  std::string top = "main";
+  std::vector<std::int64_t> args;
+  std::optional<double> clockNs;
+  std::optional<std::string> verilogOut;
+  std::optional<std::string> testbenchOut;
+  bool printIr = false;
+  bool simulate = true;
+};
+
+bool parseArgs(int argc, char **argv, Options &options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto valueOf = [&](const std::string &prefix) -> std::optional<std::string> {
+      if (arg.rfind(prefix, 0) == 0)
+        return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = valueOf("--flow=")) {
+      options.flow = *v;
+    } else if (auto v = valueOf("--top=")) {
+      options.top = *v;
+    } else if (auto v = valueOf("--args=")) {
+      std::stringstream ss(*v);
+      std::string item;
+      while (std::getline(ss, item, ','))
+        options.args.push_back(std::stoll(item, nullptr, 0));
+    } else if (auto v = valueOf("--clock=")) {
+      options.clockNs = std::stod(*v);
+    } else if (auto v = valueOf("--verilog=")) {
+      options.verilogOut = *v;
+    } else if (auto v = valueOf("--tb=")) {
+      options.testbenchOut = *v;
+    } else if (arg == "--ir") {
+      options.printIr = true;
+    } else if (arg == "--no-sim") {
+      options.simulate = false;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option: " << arg << "\n";
+      return false;
+    } else if (options.file.empty()) {
+      options.file = arg;
+    } else {
+      std::cerr << "unexpected argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return !options.file.empty();
+}
+
+int runOne(const flows::FlowSpec &spec, const std::string &source,
+           const Options &options) {
+  flows::FlowTuning tuning;
+  tuning.clockNs = options.clockNs;
+  flows::FlowResult result =
+      flows::runFlow(spec, source, options.top, tuning);
+
+  std::cout << "== " << spec.info.displayName << " ("
+            << spec.info.timingModel << ")\n";
+  if (!result.accepted) {
+    for (const auto &r : result.rejections)
+      std::cout << "   rejected: " << r << "\n";
+    return 2;
+  }
+  if (!result.ok) {
+    std::cout << "   failed: " << result.error << "\n";
+    return 1;
+  }
+  for (const auto &v : result.violations)
+    std::cout << "   TIMING CONSTRAINT VIOLATED: " << v.str() << "\n";
+
+  if (result.asyncInfo) {
+    std::cout << "   circuit : " << result.asyncInfo->str() << "\n";
+  } else {
+    std::cout << "   states  : " << result.design->totalStates() << "\n";
+    std::cout << "   area    : " << result.area.str() << "\n";
+    std::cout << "   timing  : " << result.timing.str() << "\n";
+  }
+
+  if (options.printIr)
+    std::cout << result.module->str();
+
+  if (options.simulate) {
+    core::Workload w;
+    w.name = options.file;
+    w.source = source;
+    w.top = options.top;
+    w.args = options.args;
+    core::Verification v = core::verifyAgainstGoldenModel(w, result);
+    if (!v.ok) {
+      std::cout << "   VERIFY FAILED: " << v.detail << "\n";
+      return 1;
+    }
+    std::cout << "   result  : " << v.returnValue.toStringSigned()
+              << " (matches the reference interpreter)\n";
+    if (result.asyncInfo)
+      std::cout << "   async   : " << formatDouble(v.asyncNs, 1) << " ns\n";
+    else
+      std::cout << "   cycles  : " << v.cycles << "\n";
+  }
+
+  if (options.testbenchOut && result.design) {
+    // Expected value from the golden model.
+    TypeContext types;
+    DiagnosticEngine diags;
+    auto program = frontend(source, types, diags);
+    auto args = core::argBits(*program, options.top, options.args);
+    Interpreter interp(*program);
+    auto golden = interp.call(options.top, args);
+    if (!golden.ok) {
+      std::cerr << "cannot produce testbench: " << golden.error << "\n";
+      return 1;
+    }
+    std::string tb = rtl::emitTestbench(*result.design, args,
+                                        golden.returnValue);
+    if (*options.testbenchOut == "-") {
+      std::cout << tb;
+    } else {
+      std::ofstream out(*options.testbenchOut);
+      out << tb;
+      std::cout << "   tb      : wrote " << *options.testbenchOut << "\n";
+    }
+  }
+  if (options.verilogOut && result.design) {
+    std::string verilog = rtl::emitVerilog(*result.design);
+    if (*options.verilogOut == "-") {
+      std::cout << verilog;
+    } else {
+      std::ofstream out(*options.verilogOut);
+      if (!out) {
+        std::cerr << "cannot write " << *options.verilogOut << "\n";
+        return 1;
+      }
+      out << verilog;
+      std::cout << "   verilog : wrote " << *options.verilogOut << "\n";
+    }
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options options;
+  if (!parseArgs(argc, argv, options)) {
+    std::cerr << "usage: c2hc <file.uc> [--flow=<id>|all] [--top=<fn>] "
+                 "[--args=a,b] [--clock=ns] [--verilog=<file>|-] [--ir] "
+                 "[--no-sim]\n\nflows:";
+    for (const auto &spec : flows::allFlows())
+      std::cerr << " " << spec.info.id;
+    std::cerr << "\n";
+    return 64;
+  }
+
+  std::ifstream in(options.file);
+  if (!in) {
+    std::cerr << "cannot open " << options.file << "\n";
+    return 66;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string source = buffer.str();
+
+  if (options.flow == "all") {
+    int worst = 0;
+    for (const auto &spec : flows::allFlows())
+      worst = std::max(worst, runOne(spec, source, options));
+    return worst == 2 ? 0 : worst; // rejections are expected under 'all'
+  }
+  const flows::FlowSpec *spec = flows::findFlow(options.flow);
+  if (!spec) {
+    std::cerr << "unknown flow '" << options.flow << "'\n";
+    return 64;
+  }
+  return runOne(*spec, source, options);
+}
