@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_binding.dir/bench_binding.cpp.o"
+  "CMakeFiles/bench_binding.dir/bench_binding.cpp.o.d"
+  "bench_binding"
+  "bench_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bitwidth.dir/bench_bitwidth.cpp.o"
+  "CMakeFiles/bench_bitwidth.dir/bench_bitwidth.cpp.o.d"
+  "bench_bitwidth"
+  "bench_bitwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bitwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

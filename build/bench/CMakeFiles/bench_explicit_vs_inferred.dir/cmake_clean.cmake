@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_explicit_vs_inferred.dir/bench_explicit_vs_inferred.cpp.o"
+  "CMakeFiles/bench_explicit_vs_inferred.dir/bench_explicit_vs_inferred.cpp.o.d"
+  "bench_explicit_vs_inferred"
+  "bench_explicit_vs_inferred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_explicit_vs_inferred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flatten_vs_fsmd.dir/bench_flatten_vs_fsmd.cpp.o"
+  "CMakeFiles/bench_flatten_vs_fsmd.dir/bench_flatten_vs_fsmd.cpp.o.d"
+  "bench_flatten_vs_fsmd"
+  "bench_flatten_vs_fsmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flatten_vs_fsmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_flatten_vs_fsmd.
+# This may be replaced when dependencies are built.

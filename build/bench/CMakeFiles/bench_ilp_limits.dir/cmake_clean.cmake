@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ilp_limits.dir/bench_ilp_limits.cpp.o"
+  "CMakeFiles/bench_ilp_limits.dir/bench_ilp_limits.cpp.o.d"
+  "bench_ilp_limits"
+  "bench_ilp_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ilp_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timing_rules.dir/bench_timing_rules.cpp.o"
+  "CMakeFiles/bench_timing_rules.dir/bench_timing_rules.cpp.o.d"
+  "bench_timing_rules"
+  "bench_timing_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timing_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_partition.dir/codesign_partition.cpp.o"
+  "CMakeFiles/codesign_partition.dir/codesign_partition.cpp.o.d"
+  "codesign_partition"
+  "codesign_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

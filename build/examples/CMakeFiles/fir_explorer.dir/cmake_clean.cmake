@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_explorer.dir/fir_explorer.cpp.o"
+  "CMakeFiles/fir_explorer.dir/fir_explorer.cpp.o.d"
+  "fir_explorer"
+  "fir_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2h_async.dir/dataflow.cpp.o"
+  "CMakeFiles/c2h_async.dir/dataflow.cpp.o.d"
+  "libc2h_async.a"
+  "libc2h_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2h_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

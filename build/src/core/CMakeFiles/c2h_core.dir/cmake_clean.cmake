@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2h_core.dir/verify.cpp.o"
+  "CMakeFiles/c2h_core.dir/verify.cpp.o.d"
+  "CMakeFiles/c2h_core.dir/workloads.cpp.o"
+  "CMakeFiles/c2h_core.dir/workloads.cpp.o.d"
+  "libc2h_core.a"
+  "libc2h_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2h_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

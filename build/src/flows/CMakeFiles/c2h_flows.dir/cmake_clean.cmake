@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2h_flows.dir/flows.cpp.o"
+  "CMakeFiles/c2h_flows.dir/flows.cpp.o.d"
+  "libc2h_flows.a"
+  "libc2h_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2h_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2h_frontend.dir/ast.cpp.o"
+  "CMakeFiles/c2h_frontend.dir/ast.cpp.o.d"
+  "CMakeFiles/c2h_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/c2h_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/c2h_frontend.dir/parser.cpp.o"
+  "CMakeFiles/c2h_frontend.dir/parser.cpp.o.d"
+  "CMakeFiles/c2h_frontend.dir/sema.cpp.o"
+  "CMakeFiles/c2h_frontend.dir/sema.cpp.o.d"
+  "CMakeFiles/c2h_frontend.dir/type.cpp.o"
+  "CMakeFiles/c2h_frontend.dir/type.cpp.o.d"
+  "libc2h_frontend.a"
+  "libc2h_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2h_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2h_interp.dir/interp.cpp.o"
+  "CMakeFiles/c2h_interp.dir/interp.cpp.o.d"
+  "libc2h_interp.a"
+  "libc2h_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2h_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

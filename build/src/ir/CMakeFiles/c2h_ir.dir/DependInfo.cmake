@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/exec.cpp" "src/ir/CMakeFiles/c2h_ir.dir/exec.cpp.o" "gcc" "src/ir/CMakeFiles/c2h_ir.dir/exec.cpp.o.d"
+  "/root/repo/src/ir/ir.cpp" "src/ir/CMakeFiles/c2h_ir.dir/ir.cpp.o" "gcc" "src/ir/CMakeFiles/c2h_ir.dir/ir.cpp.o.d"
+  "/root/repo/src/ir/liveness.cpp" "src/ir/CMakeFiles/c2h_ir.dir/liveness.cpp.o" "gcc" "src/ir/CMakeFiles/c2h_ir.dir/liveness.cpp.o.d"
+  "/root/repo/src/ir/lower.cpp" "src/ir/CMakeFiles/c2h_ir.dir/lower.cpp.o" "gcc" "src/ir/CMakeFiles/c2h_ir.dir/lower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/c2h_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/c2h_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2h_ir.dir/exec.cpp.o"
+  "CMakeFiles/c2h_ir.dir/exec.cpp.o.d"
+  "CMakeFiles/c2h_ir.dir/ir.cpp.o"
+  "CMakeFiles/c2h_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/c2h_ir.dir/liveness.cpp.o"
+  "CMakeFiles/c2h_ir.dir/liveness.cpp.o.d"
+  "CMakeFiles/c2h_ir.dir/lower.cpp.o"
+  "CMakeFiles/c2h_ir.dir/lower.cpp.o.d"
+  "libc2h_ir.a"
+  "libc2h_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2h_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

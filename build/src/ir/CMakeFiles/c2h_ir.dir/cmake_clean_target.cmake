@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libc2h_ir.a"
+)

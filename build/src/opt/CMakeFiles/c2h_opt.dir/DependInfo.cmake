@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/astclone.cpp" "src/opt/CMakeFiles/c2h_opt.dir/astclone.cpp.o" "gcc" "src/opt/CMakeFiles/c2h_opt.dir/astclone.cpp.o.d"
+  "/root/repo/src/opt/astconst.cpp" "src/opt/CMakeFiles/c2h_opt.dir/astconst.cpp.o" "gcc" "src/opt/CMakeFiles/c2h_opt.dir/astconst.cpp.o.d"
+  "/root/repo/src/opt/ifconvert.cpp" "src/opt/CMakeFiles/c2h_opt.dir/ifconvert.cpp.o" "gcc" "src/opt/CMakeFiles/c2h_opt.dir/ifconvert.cpp.o.d"
+  "/root/repo/src/opt/inline.cpp" "src/opt/CMakeFiles/c2h_opt.dir/inline.cpp.o" "gcc" "src/opt/CMakeFiles/c2h_opt.dir/inline.cpp.o.d"
+  "/root/repo/src/opt/irpasses.cpp" "src/opt/CMakeFiles/c2h_opt.dir/irpasses.cpp.o" "gcc" "src/opt/CMakeFiles/c2h_opt.dir/irpasses.cpp.o.d"
+  "/root/repo/src/opt/stackify.cpp" "src/opt/CMakeFiles/c2h_opt.dir/stackify.cpp.o" "gcc" "src/opt/CMakeFiles/c2h_opt.dir/stackify.cpp.o.d"
+  "/root/repo/src/opt/unroll.cpp" "src/opt/CMakeFiles/c2h_opt.dir/unroll.cpp.o" "gcc" "src/opt/CMakeFiles/c2h_opt.dir/unroll.cpp.o.d"
+  "/root/repo/src/opt/widthinfer.cpp" "src/opt/CMakeFiles/c2h_opt.dir/widthinfer.cpp.o" "gcc" "src/opt/CMakeFiles/c2h_opt.dir/widthinfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/c2h_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/c2h_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/c2h_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2h_opt.dir/astclone.cpp.o"
+  "CMakeFiles/c2h_opt.dir/astclone.cpp.o.d"
+  "CMakeFiles/c2h_opt.dir/astconst.cpp.o"
+  "CMakeFiles/c2h_opt.dir/astconst.cpp.o.d"
+  "CMakeFiles/c2h_opt.dir/ifconvert.cpp.o"
+  "CMakeFiles/c2h_opt.dir/ifconvert.cpp.o.d"
+  "CMakeFiles/c2h_opt.dir/inline.cpp.o"
+  "CMakeFiles/c2h_opt.dir/inline.cpp.o.d"
+  "CMakeFiles/c2h_opt.dir/irpasses.cpp.o"
+  "CMakeFiles/c2h_opt.dir/irpasses.cpp.o.d"
+  "CMakeFiles/c2h_opt.dir/stackify.cpp.o"
+  "CMakeFiles/c2h_opt.dir/stackify.cpp.o.d"
+  "CMakeFiles/c2h_opt.dir/unroll.cpp.o"
+  "CMakeFiles/c2h_opt.dir/unroll.cpp.o.d"
+  "CMakeFiles/c2h_opt.dir/widthinfer.cpp.o"
+  "CMakeFiles/c2h_opt.dir/widthinfer.cpp.o.d"
+  "libc2h_opt.a"
+  "libc2h_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2h_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

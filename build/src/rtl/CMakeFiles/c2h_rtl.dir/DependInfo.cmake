@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/binding.cpp" "src/rtl/CMakeFiles/c2h_rtl.dir/binding.cpp.o" "gcc" "src/rtl/CMakeFiles/c2h_rtl.dir/binding.cpp.o.d"
+  "/root/repo/src/rtl/fsmd.cpp" "src/rtl/CMakeFiles/c2h_rtl.dir/fsmd.cpp.o" "gcc" "src/rtl/CMakeFiles/c2h_rtl.dir/fsmd.cpp.o.d"
+  "/root/repo/src/rtl/report.cpp" "src/rtl/CMakeFiles/c2h_rtl.dir/report.cpp.o" "gcc" "src/rtl/CMakeFiles/c2h_rtl.dir/report.cpp.o.d"
+  "/root/repo/src/rtl/sim.cpp" "src/rtl/CMakeFiles/c2h_rtl.dir/sim.cpp.o" "gcc" "src/rtl/CMakeFiles/c2h_rtl.dir/sim.cpp.o.d"
+  "/root/repo/src/rtl/verilog.cpp" "src/rtl/CMakeFiles/c2h_rtl.dir/verilog.cpp.o" "gcc" "src/rtl/CMakeFiles/c2h_rtl.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/c2h_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/c2h_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/c2h_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/c2h_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2h_rtl.dir/binding.cpp.o"
+  "CMakeFiles/c2h_rtl.dir/binding.cpp.o.d"
+  "CMakeFiles/c2h_rtl.dir/fsmd.cpp.o"
+  "CMakeFiles/c2h_rtl.dir/fsmd.cpp.o.d"
+  "CMakeFiles/c2h_rtl.dir/report.cpp.o"
+  "CMakeFiles/c2h_rtl.dir/report.cpp.o.d"
+  "CMakeFiles/c2h_rtl.dir/sim.cpp.o"
+  "CMakeFiles/c2h_rtl.dir/sim.cpp.o.d"
+  "CMakeFiles/c2h_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/c2h_rtl.dir/verilog.cpp.o.d"
+  "libc2h_rtl.a"
+  "libc2h_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2h_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/dfg.cpp" "src/sched/CMakeFiles/c2h_sched.dir/dfg.cpp.o" "gcc" "src/sched/CMakeFiles/c2h_sched.dir/dfg.cpp.o.d"
+  "/root/repo/src/sched/ilp.cpp" "src/sched/CMakeFiles/c2h_sched.dir/ilp.cpp.o" "gcc" "src/sched/CMakeFiles/c2h_sched.dir/ilp.cpp.o.d"
+  "/root/repo/src/sched/modulo.cpp" "src/sched/CMakeFiles/c2h_sched.dir/modulo.cpp.o" "gcc" "src/sched/CMakeFiles/c2h_sched.dir/modulo.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/c2h_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/c2h_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/techlib.cpp" "src/sched/CMakeFiles/c2h_sched.dir/techlib.cpp.o" "gcc" "src/sched/CMakeFiles/c2h_sched.dir/techlib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/c2h_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/c2h_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/c2h_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

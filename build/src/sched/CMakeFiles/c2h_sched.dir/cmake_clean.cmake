@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2h_sched.dir/dfg.cpp.o"
+  "CMakeFiles/c2h_sched.dir/dfg.cpp.o.d"
+  "CMakeFiles/c2h_sched.dir/ilp.cpp.o"
+  "CMakeFiles/c2h_sched.dir/ilp.cpp.o.d"
+  "CMakeFiles/c2h_sched.dir/modulo.cpp.o"
+  "CMakeFiles/c2h_sched.dir/modulo.cpp.o.d"
+  "CMakeFiles/c2h_sched.dir/schedule.cpp.o"
+  "CMakeFiles/c2h_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/c2h_sched.dir/techlib.cpp.o"
+  "CMakeFiles/c2h_sched.dir/techlib.cpp.o.d"
+  "libc2h_sched.a"
+  "libc2h_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2h_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2h_support.dir/bitvector.cpp.o"
+  "CMakeFiles/c2h_support.dir/bitvector.cpp.o.d"
+  "CMakeFiles/c2h_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/c2h_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/c2h_support.dir/text.cpp.o"
+  "CMakeFiles/c2h_support.dir/text.cpp.o.d"
+  "libc2h_support.a"
+  "libc2h_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2h_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_flows.cpp" "tests/CMakeFiles/test_flows.dir/test_flows.cpp.o" "gcc" "tests/CMakeFiles/test_flows.dir/test_flows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/c2h_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flows/CMakeFiles/c2h_flows.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/c2h_async.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/c2h_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/c2h_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/c2h_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/c2h_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/c2h_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/c2h_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/c2h_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irpasses_adversarial.dir/test_irpasses_adversarial.cpp.o"
+  "CMakeFiles/test_irpasses_adversarial.dir/test_irpasses_adversarial.cpp.o.d"
+  "test_irpasses_adversarial"
+  "test_irpasses_adversarial.pdb"
+  "test_irpasses_adversarial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irpasses_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

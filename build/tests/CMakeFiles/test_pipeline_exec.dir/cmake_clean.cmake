@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_exec.dir/test_pipeline_exec.cpp.o"
+  "CMakeFiles/test_pipeline_exec.dir/test_pipeline_exec.cpp.o.d"
+  "test_pipeline_exec"
+  "test_pipeline_exec.pdb"
+  "test_pipeline_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stackify.dir/test_stackify.cpp.o"
+  "CMakeFiles/test_stackify.dir/test_stackify.cpp.o.d"
+  "test_stackify"
+  "test_stackify.pdb"
+  "test_stackify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stackify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verilog_sweep.dir/test_verilog_sweep.cpp.o"
+  "CMakeFiles/test_verilog_sweep.dir/test_verilog_sweep.cpp.o.d"
+  "test_verilog_sweep"
+  "test_verilog_sweep.pdb"
+  "test_verilog_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verilog_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_widthinfer.dir/test_widthinfer.cpp.o"
+  "CMakeFiles/test_widthinfer.dir/test_widthinfer.cpp.o.d"
+  "test_widthinfer"
+  "test_widthinfer.pdb"
+  "test_widthinfer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_widthinfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitvector[1]_include.cmake")
+include("/root/repo/build/tests/test_text[1]_include.cmake")
+include("/root/repo/build/tests/test_lexer[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_sema[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build/tests/test_async[1]_include.cmake")
+include("/root/repo/build/tests/test_flows[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_binding[1]_include.cmake")
+include("/root/repo/build/tests/test_stackify[1]_include.cmake")
+include("/root/repo/build/tests/test_verilog_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_irpasses_adversarial[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_exec[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrency_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_widthinfer[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2hc.dir/c2hc.cpp.o"
+  "CMakeFiles/c2hc.dir/c2hc.cpp.o.d"
+  "c2hc"
+  "c2hc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2hc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for c2hc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(c2hc_smoke "/root/repo/build/tools/c2hc" "/root/repo/docs/examples/gcd.uc" "--flow=bachc" "--args=3528,3780")
+set_tests_properties(c2hc_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(c2hc_all_flows "/root/repo/build/tools/c2hc" "/root/repo/docs/examples/gcd.uc" "--flow=all" "--args=12,18")
+set_tests_properties(c2hc_all_flows PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
