@@ -6,6 +6,7 @@
 // artifact of the whole reproduction: one row set per workload, eleven
 // columns of policy.
 #include "core/c2h.h"
+#include "core/engine.h"
 #include "support/text.h"
 
 #include <benchmark/benchmark.h>
@@ -25,15 +26,22 @@ void printSurvey() {
   std::cout << "cells: verified cycle count | 'ns=' async completion | "
                "'.' = language rejects the program\n\n";
 
+  // One engine run covers the whole (flow x workload) matrix: the front
+  // end compiles each workload once, the cells run on a thread pool, and
+  // a misbehaving flow degrades to one "internal error:" row instead of
+  // killing the survey.
+  core::CompareEngine engine;
+  const auto &workloads = core::standardWorkloads();
+  auto matrix = engine.compareMatrix(workloads);
+
   std::vector<std::string> header{"workload"};
   for (const auto &spec : flows::allFlows())
     header.push_back(spec.info.id);
   TextTable table(header);
 
-  for (const auto &w : core::standardWorkloads()) {
-    std::vector<std::string> row{w.name};
-    auto rows = core::compareFlows(w);
-    for (const auto &r : rows) {
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    std::vector<std::string> row{workloads[i].name};
+    for (const auto &r : matrix[i]) {
       if (!r.accepted) {
         row.push_back(".");
       } else if (!r.verified) {
@@ -50,27 +58,27 @@ void printSurvey() {
 
   // Aggregate: how expressive is each flow over the suite, and at what
   // average cycle cost relative to the freely scheduled baseline (bachc)?
+  // Reuses the matrix rows — acceptance and cycles are both in there.
   std::cout << "Per-flow summary over the suite:\n\n";
   TextTable summary({"flow", "accepts", "verified", "geo-mean cycles vs "
                                                     "bachc"});
   std::map<std::string, std::map<std::string, std::uint64_t>> cyclesBy;
-  for (const auto &w : core::standardWorkloads()) {
-    auto rows = core::compareFlows(w);
-    for (const auto &r : rows)
+  for (std::size_t i = 0; i < workloads.size(); ++i)
+    for (const auto &r : matrix[i])
       if (r.verified && r.cycles)
-        cyclesBy[r.flowId][w.name] = r.cycles;
-  }
-  for (const auto &spec : flows::allFlows()) {
+        cyclesBy[r.flowId][workloads[i].name] = r.cycles;
+  const auto &specs = flows::allFlows();
+  for (std::size_t f = 0; f < specs.size(); ++f) {
+    const auto &spec = specs[f];
     unsigned accepts = 0, verified = 0;
     double logSum = 0;
     unsigned logCount = 0;
-    for (const auto &w : core::standardWorkloads()) {
-      auto r = flows::runFlow(spec, w.source, w.top);
-      if (!r.accepted)
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      if (!matrix[i][f].accepted)
         continue;
       ++accepts;
-      auto it = cyclesBy[spec.info.id].find(w.name);
-      auto base = cyclesBy["bachc"].find(w.name);
+      auto it = cyclesBy[spec.info.id].find(workloads[i].name);
+      auto base = cyclesBy["bachc"].find(workloads[i].name);
       if (it != cyclesBy[spec.info.id].end()) {
         ++verified;
         if (base != cyclesBy["bachc"].end() && base->second) {
@@ -93,11 +101,23 @@ void printSurvey() {
                "synthesis.)\n\n";
 }
 
-void BM_FullSurveyOneWorkload(benchmark::State &state) {
+void BM_FullSurveyOneWorkload(benchmark::State &state, unsigned jobs) {
   const core::Workload &w = core::findWorkload("crc8small");
+  flows::FlowTuning tuning;
+  tuning.jobs = jobs;
   for (auto _ : state) {
-    auto rows = core::compareFlows(w);
+    auto rows = core::compareFlows(w, tuning);
     benchmark::DoNotOptimize(rows.size());
+  }
+}
+
+void BM_FullMatrix(benchmark::State &state, unsigned jobs) {
+  flows::FlowTuning tuning;
+  tuning.jobs = jobs;
+  for (auto _ : state) {
+    core::CompareEngine engine; // fresh engine: includes front-end compiles
+    auto matrix = engine.compareMatrix(core::standardWorkloads(), tuning);
+    benchmark::DoNotOptimize(matrix.size());
   }
 }
 
@@ -105,7 +125,14 @@ void BM_FullSurveyOneWorkload(benchmark::State &state) {
 
 int main(int argc, char **argv) {
   printSurvey();
-  benchmark::RegisterBenchmark("survey/crc8small", BM_FullSurveyOneWorkload);
+  benchmark::RegisterBenchmark("survey/crc8small/serial",
+                               BM_FullSurveyOneWorkload, 1u);
+  benchmark::RegisterBenchmark("survey/crc8small/parallel",
+                               BM_FullSurveyOneWorkload, 0u);
+  benchmark::RegisterBenchmark("survey/matrix/serial", BM_FullMatrix, 1u)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("survey/matrix/parallel", BM_FullMatrix, 0u)
+      ->Unit(benchmark::kMillisecond);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,6 +8,7 @@
 // the standard workload suite: each ✓/✗ is enforced by a real restriction
 // check in the corresponding flow.
 #include "core/c2h.h"
+#include "core/engine.h"
 #include "support/text.h"
 
 #include <benchmark/benchmark.h>
@@ -55,10 +56,14 @@ void printTable1() {
   for (const auto &spec : flows::allFlows())
     header2.push_back(spec.info.id);
   TextTable sweep(header2);
-  for (const auto &w : core::standardWorkloads()) {
-    std::vector<std::string> row{w.name};
-    auto rows = core::compareFlows(w);
-    for (const auto &r : rows)
+  // One parallel engine pass over the whole matrix; the front end runs
+  // once per workload instead of once per (flow, workload).
+  core::CompareEngine engine;
+  const auto &workloads = core::standardWorkloads();
+  auto comparisons = engine.compareMatrix(workloads);
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    std::vector<std::string> row{workloads[i].name};
+    for (const auto &r : comparisons[i])
       row.push_back(!r.accepted ? "." : (r.verified ? "v" : "ERR"));
     sweep.addRow(row);
   }

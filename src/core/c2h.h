@@ -70,9 +70,18 @@ struct Verification {
 
 // Execute `workload` on the reference interpreter and on the synthesized
 // design inside `result` (FSMD simulation or asynchronous dataflow timing),
-// comparing return values and every checked global bit-for-bit.
+// comparing return values and every checked global bit-for-bit.  Narrower
+// RTL storage is extended to the declared width by the declared type's
+// signedness (a negative int<N> global must compare sign-extended).
 Verification verifyAgainstGoldenModel(const Workload &workload,
                                       const flows::FlowResult &result);
+
+// Same, but against an already-compiled golden program for `workload` (the
+// flow-comparison engine passes the front-end cache's AST, which this
+// function only reads — safe to share across concurrent verifications).
+Verification verifyAgainstGoldenModel(const Workload &workload,
+                                      const flows::FlowResult &result,
+                                      const ast::Program &goldenProgram);
 
 // Golden-model-only execution (reference outputs + a sanity baseline).
 Verification runGoldenModel(const Workload &workload);
@@ -90,7 +99,12 @@ struct FlowComparison {
 };
 
 // Run every registered flow over one workload, verifying each accepted
-// design against the golden model.
+// design against the golden model.  Backed by a process-wide CompareEngine
+// (core/engine.h): flows run on a thread pool (tuning.jobs; default
+// hardware concurrency), the front end is compiled once per workload and
+// cached, and a flow that throws yields a row whose note starts
+// "internal error:" instead of aborting the comparison.  Rows are in flow
+// registry order and identical for any jobs value.
 std::vector<FlowComparison> compareFlows(const Workload &workload,
                                          const flows::FlowTuning &tuning = {});
 

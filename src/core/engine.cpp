@@ -1,0 +1,193 @@
+#include "core/engine.h"
+
+#include "opt/astclone.h"
+#include "support/threadpool.h"
+
+#include <algorithm>
+
+namespace c2h::core {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string &s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t hashKey(const std::string &source, const std::string &top) {
+  std::uint64_t h = fnv1a(14695981039346656037ull, source);
+  h = fnv1a(h, "\x1f"); // separator: hash(source, top) != hash(source+top)
+  return fnv1a(h, top);
+}
+
+} // namespace
+
+std::unique_ptr<ast::Program> FrontendCache::Entry::cloneAst() const {
+  return program ? opt::cloneProgram(*program) : nullptr;
+}
+
+std::shared_ptr<FrontendCache::Entry>
+FrontendCache::get(const std::string &source, const std::string &top) {
+  std::uint64_t key = hashKey(source, top);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto &bucket = buckets_[key];
+  for (const auto &entry : bucket)
+    if (entry->source == source && entry->top == top) {
+      ++hits_;
+      return entry;
+    }
+  ++misses_;
+  auto entry = std::make_shared<Entry>();
+  entry->source = source;
+  entry->top = top;
+  DiagnosticEngine diags;
+  entry->program = frontend(source, entry->types, diags);
+  if (!entry->program)
+    entry->error = diags.str();
+  bucket.push_back(entry);
+  return entry;
+}
+
+std::uint64_t FrontendCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t FrontendCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+CompareEngine::CompareEngine(EngineOptions options)
+    : options_(options),
+      runner_([](const flows::FlowSpec &spec, ast::Program &program,
+                 TypeContext &types, const std::string &top,
+                 const flows::FlowTuning &tuning) {
+        return flows::runFlowChecked(spec, program, types, top, tuning);
+      }) {}
+
+void CompareEngine::setRunnerForTesting(FlowRunner runner) {
+  runner_ = std::move(runner);
+}
+
+unsigned CompareEngine::resolveJobs(const flows::FlowTuning &tuning) const {
+  if (tuning.jobs && *tuning.jobs)
+    return *tuning.jobs;
+  if (options_.jobs)
+    return options_.jobs;
+  return ThreadPool::hardwareThreads();
+}
+
+FlowComparison CompareEngine::runCell(const flows::FlowSpec &spec,
+                                      const Workload &workload,
+                                      FrontendCache::Entry &entry,
+                                      const flows::FlowTuning &tuning) {
+  FlowComparison row;
+  row.flowId = spec.info.id;
+  try {
+    if (!entry.ok()) {
+      row.note = "frontend: " + entry.error;
+      return row;
+    }
+    std::unique_ptr<ast::Program> program = entry.cloneAst();
+    flows::FlowResult result =
+        runner_(spec, *program, entry.types, workload.top, tuning);
+    row.accepted = result.accepted;
+    if (!result.accepted) {
+      row.note = result.rejections.empty() ? "rejected"
+                                           : result.rejections.front();
+      return row;
+    }
+    if (!result.ok) {
+      row.note = result.error;
+      return row;
+    }
+    Verification v = verifyAgainstGoldenModel(workload, result, *entry.program);
+    row.verified = v.ok;
+    if (!v.ok)
+      row.note = v.detail;
+    row.cycles = v.cycles;
+    row.asyncNs = v.asyncNs;
+    if (result.asyncInfo) {
+      row.areaTotal = result.asyncInfo->area;
+    } else {
+      row.areaTotal = result.area.total();
+      row.fmaxMHz = result.timing.fmaxMHz;
+    }
+    return row;
+  } catch (const std::exception &e) {
+    row = FlowComparison{};
+    row.flowId = spec.info.id;
+    row.note = std::string("internal error: ") + e.what();
+    return row;
+  } catch (...) {
+    row = FlowComparison{};
+    row.flowId = spec.info.id;
+    row.note = "internal error: non-standard exception";
+    return row;
+  }
+}
+
+std::vector<FlowComparison>
+CompareEngine::compareFlows(const Workload &workload,
+                            const flows::FlowTuning &tuning) {
+  return compareFlows(workload, flows::allFlows(), tuning);
+}
+
+std::vector<FlowComparison>
+CompareEngine::compareFlows(const Workload &workload,
+                            const std::vector<flows::FlowSpec> &specs,
+                            const flows::FlowTuning &tuning) {
+  std::shared_ptr<FrontendCache::Entry> entry =
+      cache_.get(workload.source, workload.top);
+  std::vector<FlowComparison> rows(specs.size());
+  unsigned jobs = resolveJobs(tuning);
+  if (jobs <= 1 || specs.size() <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      rows[i] = runCell(specs[i], workload, *entry, tuning);
+    return rows;
+  }
+  ThreadPool pool(std::min<std::size_t>(jobs, specs.size()));
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    pool.submit([this, &rows, &specs, &workload, &entry, &tuning, i] {
+      rows[i] = runCell(specs[i], workload, *entry, tuning);
+    });
+  pool.wait();
+  return rows;
+}
+
+std::vector<std::vector<FlowComparison>>
+CompareEngine::compareMatrix(const std::vector<Workload> &workloads,
+                             const flows::FlowTuning &tuning) {
+  const std::vector<flows::FlowSpec> &specs = flows::allFlows();
+  // Compile every workload up front: deterministic cache fill, and workers
+  // never contend on the compile lock.
+  std::vector<std::shared_ptr<FrontendCache::Entry>> entries;
+  entries.reserve(workloads.size());
+  for (const auto &w : workloads)
+    entries.push_back(cache_.get(w.source, w.top));
+
+  std::vector<std::vector<FlowComparison>> rows(workloads.size());
+  for (auto &r : rows)
+    r.resize(specs.size());
+  unsigned jobs = resolveJobs(tuning);
+  if (jobs <= 1) {
+    for (std::size_t w = 0; w < workloads.size(); ++w)
+      for (std::size_t f = 0; f < specs.size(); ++f)
+        rows[w][f] = runCell(specs[f], workloads[w], *entries[w], tuning);
+    return rows;
+  }
+  ThreadPool pool(jobs);
+  for (std::size_t w = 0; w < workloads.size(); ++w)
+    for (std::size_t f = 0; f < specs.size(); ++f)
+      pool.submit([this, &rows, &specs, &workloads, &entries, &tuning, w, f] {
+        rows[w][f] = runCell(specs[f], workloads[w], *entries[w], tuning);
+      });
+  pool.wait();
+  return rows;
+}
+
+} // namespace c2h::core

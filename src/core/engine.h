@@ -1,0 +1,114 @@
+// The fault-isolated, parallel flow-comparison engine.
+//
+// The paper's central exercise — and this repo's hottest path — is running
+// the same program through every surveyed language's synthesis policy and
+// comparing the results.  Three problems with doing that naively:
+//
+//  1. Robustness: one misbehaving flow (a throw anywhere in its pipeline
+//     or verification) used to abort the whole survey.  The engine wraps
+//     every (flow, workload) cell in per-flow exception isolation: a throw
+//     becomes a FlowComparison row with accepted=false and a note starting
+//     "internal error:", and every other row is produced normally.
+//  2. Redundant work: lex/parse/sema ran once per (flow, workload) on
+//     identical source.  The FrontendCache compiles each (source, top)
+//     once; every flow gets a private deep clone of the checked AST (via
+//     opt::cloneProgram) before its flow-specific mutations.
+//  3. Serialism: cells are independent, so the engine runs the
+//     (flow x workload) matrix on a fixed-size ThreadPool.  Results are
+//     written into pre-assigned slots, so row order — and content — is
+//     byte-identical whatever the thread count or completion order.
+#ifndef C2H_CORE_ENGINE_H
+#define C2H_CORE_ENGINE_H
+
+#include "core/c2h.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace c2h::core {
+
+// Compile-once cache for the front end, keyed by hash(source, top).
+// Entries are immutable after creation except for their TypeContext, whose
+// interning is internally synchronized (flows intern types while inlining).
+class FrontendCache {
+public:
+  struct Entry {
+    std::string source, top; // full key, checked against hash collisions
+    std::string error;       // frontend diagnostics when compilation failed
+    TypeContext types;       // owns every Type the cached AST points at
+    std::unique_ptr<ast::Program> program; // null when !ok()
+
+    bool ok() const { return program != nullptr; }
+    // A private, fully remapped deep clone (opt::cloneProgram).  The clone
+    // shares only interned Type pointers with the cached AST, so mutating
+    // it (inlining, unrolling) never leaks into other flows' clones.
+    std::unique_ptr<ast::Program> cloneAst() const;
+  };
+
+  // Lex/parse/sema `source` once; subsequent calls with the same
+  // (source, top) return the cached entry.  Thread-safe.
+  std::shared_ptr<Entry> get(const std::string &source, const std::string &top);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+private:
+  mutable std::mutex mutex_;
+  // 64-bit FNV-1a of (source, top) -> entries; the vector absorbs hash
+  // collisions (entries verify the full key).
+  std::map<std::uint64_t, std::vector<std::shared_ptr<Entry>>> buckets_;
+  std::uint64_t hits_ = 0, misses_ = 0;
+};
+
+struct EngineOptions {
+  // Default worker-thread count; 0 = hardware concurrency.  A per-call
+  // FlowTuning::jobs overrides this.
+  unsigned jobs = 0;
+};
+
+class CompareEngine {
+public:
+  explicit CompareEngine(EngineOptions options = {});
+
+  // Every registered flow over one workload; rows in registry order.
+  std::vector<FlowComparison> compareFlows(const Workload &workload,
+                                           const flows::FlowTuning &tuning = {});
+  // An explicit flow list over one workload (tests inject fakes here).
+  std::vector<FlowComparison>
+  compareFlows(const Workload &workload,
+               const std::vector<flows::FlowSpec> &specs,
+               const flows::FlowTuning &tuning = {});
+  // The full matrix: result[i] is workloads[i]'s rows in registry order.
+  // One thread pool spans all cells, so small workloads don't serialize.
+  std::vector<std::vector<FlowComparison>>
+  compareMatrix(const std::vector<Workload> &workloads,
+                const flows::FlowTuning &tuning = {});
+
+  FrontendCache &cache() { return cache_; }
+
+  // Test seam: replaces flows::runFlowChecked for every cell.  A runner
+  // that throws exercises the fault-isolation contract.
+  using FlowRunner = std::function<flows::FlowResult(
+      const flows::FlowSpec &, ast::Program &, TypeContext &,
+      const std::string &top, const flows::FlowTuning &)>;
+  void setRunnerForTesting(FlowRunner runner);
+
+private:
+  FlowComparison runCell(const flows::FlowSpec &spec, const Workload &workload,
+                         FrontendCache::Entry &entry,
+                         const flows::FlowTuning &tuning);
+  unsigned resolveJobs(const flows::FlowTuning &tuning) const;
+
+  EngineOptions options_;
+  FrontendCache cache_;
+  FlowRunner runner_;
+};
+
+} // namespace c2h::core
+
+#endif // C2H_CORE_ENGINE_H

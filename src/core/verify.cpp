@@ -1,6 +1,19 @@
 #include "core/c2h.h"
 
+#include "core/engine.h"
+
 namespace c2h::core {
+
+namespace {
+
+// The scalar type at the bottom of a (possibly nested) array type.
+const Type *scalarLeaf(const Type *type) {
+  while (type && type->isArray())
+    type = type->element();
+  return type && type->isScalar() ? type : nullptr;
+}
+
+} // namespace
 
 std::vector<BitVector> argBits(const ast::Program &program,
                                const std::string &fn,
@@ -39,6 +52,20 @@ Verification runGoldenModel(const Workload &workload) {
 
 Verification verifyAgainstGoldenModel(const Workload &workload,
                                       const flows::FlowResult &result) {
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto program = frontend(workload.source, types, diags);
+  if (!program) {
+    Verification v;
+    v.detail = "frontend: " + diags.str();
+    return v;
+  }
+  return verifyAgainstGoldenModel(workload, result, *program);
+}
+
+Verification verifyAgainstGoldenModel(const Workload &workload,
+                                      const flows::FlowResult &result,
+                                      const ast::Program &goldenProgram) {
   Verification v;
   if (!result.accepted) {
     v.detail = "flow rejected the program";
@@ -50,13 +77,7 @@ Verification verifyAgainstGoldenModel(const Workload &workload,
   }
 
   // Golden model.
-  TypeContext types;
-  DiagnosticEngine diags;
-  auto program = frontend(workload.source, types, diags);
-  if (!program) {
-    v.detail = "frontend: " + diags.str();
-    return v;
-  }
+  const ast::Program *program = &goldenProgram;
   std::vector<BitVector> args =
       argBits(*program, workload.top, workload.args);
   Interpreter interp(*program);
@@ -117,8 +138,14 @@ Verification verifyAgainstGoldenModel(const Workload &workload,
       v.detail = "global '" + name + "' size mismatch";
       return v;
     }
+    // Extend narrower RTL storage by the *declared* signedness: a negative
+    // int<N> value whose storage is narrower than the declared width must
+    // be sign-extended, not zero-extended, before the bit-level compare.
+    const ast::VarDecl *decl = program->findGlobal(name);
+    const Type *leaf = decl ? scalarLeaf(decl->type) : nullptr;
+    bool isSigned = leaf && leaf->isSigned();
     for (std::size_t i = 0; i < gi.size(); ++i) {
-      if (!(gi[i] == gr[i].resize(gi[i].width(), false))) {
+      if (!(gi[i] == gr[i].resize(gi[i].width(), isSigned))) {
         v.detail = "global '" + name + "[" + std::to_string(i) +
                    "]' mismatch: golden " + gi[i].toStringHex() + " vs rtl " +
                    gr[i].toStringHex();
@@ -134,39 +161,10 @@ Verification verifyAgainstGoldenModel(const Workload &workload,
 
 std::vector<FlowComparison> compareFlows(const Workload &workload,
                                          const flows::FlowTuning &tuning) {
-  std::vector<FlowComparison> rows;
-  for (const auto &spec : flows::allFlows()) {
-    FlowComparison row;
-    row.flowId = spec.info.id;
-    flows::FlowResult result =
-        flows::runFlow(spec, workload.source, workload.top, tuning);
-    row.accepted = result.accepted;
-    if (!result.accepted) {
-      row.note = result.rejections.empty() ? "rejected"
-                                           : result.rejections.front();
-      rows.push_back(std::move(row));
-      continue;
-    }
-    if (!result.ok) {
-      row.note = result.error;
-      rows.push_back(std::move(row));
-      continue;
-    }
-    Verification v = verifyAgainstGoldenModel(workload, result);
-    row.verified = v.ok;
-    if (!v.ok)
-      row.note = v.detail;
-    row.cycles = v.cycles;
-    row.asyncNs = v.asyncNs;
-    if (result.asyncInfo) {
-      row.areaTotal = result.asyncInfo->area;
-    } else {
-      row.areaTotal = result.area.total();
-      row.fmaxMHz = result.timing.fmaxMHz;
-    }
-    rows.push_back(std::move(row));
-  }
-  return rows;
+  // One process-wide engine so repeated comparisons (benchmark loops, the
+  // survey) share the front-end cache.  CompareEngine is thread-safe.
+  static CompareEngine engine;
+  return engine.compareFlows(workload, tuning);
 }
 
 } // namespace c2h::core

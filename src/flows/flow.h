@@ -72,6 +72,10 @@ struct FlowSpec {
 struct FlowTuning {
   std::optional<double> clockNs;
   std::optional<sched::ResourceSet> resources;
+  // Worker threads for cross-flow comparison (core::compareFlows and the
+  // CompareEngine): unset or 0 = hardware concurrency, 1 = serial.  Result
+  // rows are deterministic and identical regardless of this value.
+  std::optional<unsigned> jobs;
 };
 
 struct FlowResult {
@@ -98,6 +102,15 @@ const FlowSpec *findFlow(const std::string &id);
 // Run `source`'s function `top` through `spec`.
 FlowResult runFlow(const FlowSpec &spec, const std::string &source,
                    const std::string &top, const FlowTuning &tuning = {});
+
+// Same pipeline, starting from an already lexed/parsed/checked program —
+// the front-end cache hands each flow a private clone so the frontend runs
+// once per workload, not once per (flow, workload).  The flow MUTATES
+// `program` (inlining, unrolling), so never pass a shared AST; `types`
+// must be the context the program's Type pointers live in.
+FlowResult runFlowChecked(const FlowSpec &spec, ast::Program &program,
+                          TypeContext &types, const std::string &top,
+                          const FlowTuning &tuning = {});
 
 // The feature matrix behind Table 1: for every flow, which features it
 // accepts.  Columns are the Feature enum.

@@ -243,18 +243,26 @@ bool flowAccepts(const FlowSpec &spec, Feature feature) {
 
 FlowResult runFlow(const FlowSpec &spec, const std::string &source,
                    const std::string &top, const FlowTuning &tuning) {
-  FlowResult result;
   TypeContext types;
   DiagnosticEngine diags;
   auto program = frontend(source, types, diags);
   if (!program) {
+    FlowResult result;
     result.error = "frontend: " + diags.str();
     return result;
   }
+  return runFlowChecked(spec, *program, types, top, tuning);
+}
+
+FlowResult runFlowChecked(const FlowSpec &spec, ast::Program &program,
+                          TypeContext &types, const std::string &top,
+                          const FlowTuning &tuning) {
+  FlowResult result;
+  DiagnosticEngine diags;
 
   // 1. Expressiveness: intersect the program's features with the
   //    language's restrictions.
-  FeatureSet features = analyzeFeatures(*program);
+  FeatureSet features = analyzeFeatures(program);
   for (const auto &[feature, why] : spec.rejects) {
     if (features.has(feature))
       result.rejections.push_back(
@@ -268,13 +276,13 @@ FlowResult runFlow(const FlowSpec &spec, const std::string &source,
 
   // 2. Flatten the call graph (recursive functions survive and become
   //    FSM activations).
-  opt::inlineFunctions(*program, types, diags);
+  opt::inlineFunctions(program, types, diags);
   if (diags.hasErrors()) {
     result.error = "inliner: " + diags.str();
     return result;
   }
-  opt::removeUnusedFunctions(*program, top);
-  if (!program->findFunction(top)) {
+  opt::removeUnusedFunctions(program, top);
+  if (!program.findFunction(top)) {
     result.error = "no function named '" + top + "'";
     return result;
   }
@@ -282,7 +290,7 @@ FlowResult runFlow(const FlowSpec &spec, const std::string &source,
   // 3. Loop unrolling: annotations always; everything when flattening.
   opt::UnrollOptions unrollOptions;
   unrollOptions.unrollAll = spec.unrollAllLoops;
-  opt::unrollLoops(*program, diags, unrollOptions);
+  opt::unrollLoops(program, diags, unrollOptions);
   if (diags.hasErrors()) {
     result.error = "unroller: " + diags.str();
     return result;
@@ -291,7 +299,7 @@ FlowResult runFlow(const FlowSpec &spec, const std::string &source,
   // 4. Lower and optimize.
   ir::LowerOptions lowerOptions;
   lowerOptions.forceUnifiedMemory = spec.forceUnifiedMemory;
-  auto module = ir::lowerToIR(*program, diags, lowerOptions);
+  auto module = ir::lowerToIR(program, diags, lowerOptions);
   if (!module) {
     result.error = "lowering: " + diags.str();
     return result;

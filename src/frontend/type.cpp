@@ -64,6 +64,7 @@ TypeContext::TypeContext() {
 }
 
 const Type *TypeContext::intern(Type t) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto &existing : storage_) {
     if (existing->kind_ == t.kind_ && existing->width_ == t.width_ &&
         existing->signed_ == t.signed_ && existing->element_ == t.element_ &&

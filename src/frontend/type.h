@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -60,7 +61,10 @@ private:
   std::uint64_t arraySize_ = 0;
 };
 
-// Owns and interns all Types for one compilation.
+// Owns and interns all Types for one compilation.  Interning is
+// thread-safe: the flow-comparison engine shares one TypeContext (from the
+// front-end cache) across concurrent per-flow pipelines, and the inliner
+// interns types while it runs.  Type pointers stay stable forever.
 class TypeContext {
 public:
   TypeContext();
@@ -85,6 +89,7 @@ public:
 private:
   const Type *intern(Type t);
 
+  mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Type>> storage_;
   const Type *void_;
   const Type *bool_;

@@ -396,7 +396,8 @@ const VarPlace &Lowering::place(FnCtx &ctx, const VarDecl *decl,
   error(loc, "variable '" + decl->name +
                  "' is not reachable here (captured register in a par "
                  "branch?)");
-  static VarPlace dummy;
+  // thread_local: concurrent flows may hit this error path simultaneously.
+  thread_local VarPlace dummy;
   dummy.kind = VarPlace::Kind::Reg;
   dummy.reg = ctx.fn->newVReg(decl->type->isScalar() ? decl->type->bitWidth()
                                                      : Type::kPointerWidth);

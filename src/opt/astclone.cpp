@@ -22,6 +22,45 @@ unsigned maxVarDeclId(const Program &program) {
   return maxId;
 }
 
+std::unique_ptr<Program> cloneProgram(const Program &program) {
+  auto clone = std::make_unique<Program>();
+  unsigned nextId = 0; // fresh ids, assigned in deterministic walk order
+  CloneContext ctx(nextId);
+
+  // Globals first: function bodies reference them.
+  for (const auto &g : program.globals)
+    clone->globals.push_back(ctx.cloneDecl(*g));
+
+  std::map<const FuncDecl *, FuncDecl *> fnMap;
+  for (const auto &fn : program.functions) {
+    auto fnClone = std::make_unique<FuncDecl>();
+    fnClone->name = fn->name;
+    fnClone->returnType = fn->returnType;
+    fnClone->loc = fn->loc;
+    fnClone->isRecursive = fn->isRecursive;
+    for (const auto &p : fn->params) {
+      auto pClone = ctx.cloneDecl(*p);
+      pClone->isParam = true; // cloneDecl resets this for inlining's sake
+      fnClone->params.push_back(std::move(pClone));
+    }
+    StmtPtr body = ctx.cloneStmt(*fn->body);
+    fnClone->body.reset(static_cast<BlockStmt *>(body.release()));
+    fnMap[fn.get()] = fnClone.get();
+    clone->functions.push_back(std::move(fnClone));
+  }
+
+  // Calls still point at the original callees; remap them into the clone.
+  walk(*clone, nullptr, [&](Expr &e) {
+    if (e.kind != Expr::Kind::Call)
+      return;
+    auto &call = static_cast<CallExpr &>(e);
+    auto it = fnMap.find(call.decl);
+    if (it != fnMap.end())
+      call.decl = it->second;
+  });
+  return clone;
+}
+
 std::unique_ptr<VarDecl> CloneContext::cloneDecl(const VarDecl &decl) {
   auto clone = std::make_unique<VarDecl>();
   clone->name = decl.name;

@@ -45,6 +45,15 @@ private:
 // The largest VarDecl id in the program (globals, params, locals).
 unsigned maxVarDeclId(const ast::Program &program);
 
+// Deep-clone a whole checked program: globals, functions, parameters, and
+// bodies.  Every VarRef in the clone points at the cloned declaration and
+// every CallExpr at the cloned callee, so the clone shares no AST nodes
+// with the original — only interned Type pointers (which must stay alive,
+// i.e. the original's TypeContext outlives the clone).  The front-end cache
+// uses this to hand each synthesis flow a private, mutable copy of a
+// program that was lexed/parsed/checked once.
+std::unique_ptr<ast::Program> cloneProgram(const ast::Program &program);
+
 } // namespace c2h::opt
 
 #endif // C2H_OPT_ASTCLONE_H

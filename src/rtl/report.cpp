@@ -30,13 +30,22 @@ std::string TimingReport::str() const {
 AreaReport estimateArea(const Design &design, const sched::TechLibrary &lib) {
   AreaReport report;
 
-  for (const auto &[fn, proc] : design.processes) {
+  // Iterate in IR creation order, not process-map (pointer) order: the
+  // floating-point accumulations below are not associative, so a heap-layout
+  // dependent order would make the report differ between identical runs.
+  for (const auto &fnPtr : design.module->functions()) {
+    const ir::Function *fn = fnPtr.get();
+    const FsmdProcess *procPtr = design.processFor(fn);
+    if (!procPtr)
+      continue;
+    const FsmdProcess &proc = *procPtr;
     // Per-class concurrent usage and per-class op inventory.
     std::map<int, unsigned> peak;
     std::map<int, std::vector<double>> opAreas;
     std::map<int, unsigned> opCount;
 
-    for (const auto &[block, fb] : proc.blocks) {
+    for (const auto &blockPtr : fn->blocks()) {
+      const FsmdBlock &fb = proc.blockInfo(blockPtr.get());
       std::map<std::pair<int, unsigned>, unsigned> busy;
       for (const auto &slot : fb.ops) {
         FuClass cls = sched::fuClassOf(slot.instr->op);

@@ -1,0 +1,66 @@
+#include "support/threadpool.h"
+
+namespace c2h {
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0)
+    threads = hardwareThreads();
+  threads_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  workReady_.notify_all();
+  for (auto &t : threads_)
+    t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++inFlight_;
+  }
+  workReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      workReady_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty())
+        return; // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      // Backstop only: engine tasks catch their own exceptions.
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--inFlight_ == 0)
+        idle_.notify_all();
+    }
+  }
+}
+
+} // namespace c2h

@@ -1,0 +1,61 @@
+// A fixed-size worker pool for coarse-grained task parallelism.
+//
+// The flow-comparison engine runs every (flow, workload) synthesis job as
+// one task; tasks are independent, so a plain FIFO queue (no work stealing)
+// keeps the implementation small and the scheduling deterministic enough —
+// result ordering is the *submitter's* job: callers write each task's
+// result into a pre-assigned slot, so completion order never shows.
+//
+// Tasks must not let exceptions escape (the engine converts them to result
+// rows before they reach the pool); as a backstop the worker swallows any
+// escaping exception rather than terminating the process.
+#ifndef C2H_SUPPORT_THREADPOOL_H
+#define C2H_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace c2h {
+
+class ThreadPool {
+public:
+  // `threads` == 0 picks hardwareThreads().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  // Enqueue a task.  May be called from any thread, including from inside
+  // a running task.
+  void submit(std::function<void()> task);
+
+  // Block until every submitted task has finished.  The pool stays usable
+  // afterwards (submit/wait cycles are fine).
+  void wait();
+
+  unsigned threadCount() const { return static_cast<unsigned>(threads_.size()); }
+
+  // std::thread::hardware_concurrency(), clamped to at least 1.
+  static unsigned hardwareThreads();
+
+private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable workReady_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t inFlight_ = 0; // queued + currently running
+  bool stopping_ = false;
+};
+
+} // namespace c2h
+
+#endif // C2H_SUPPORT_THREADPOOL_H

@@ -85,6 +85,47 @@ TEST(Verify, DetectsMismatchedExpectations) {
   EXPECT_NE(v.detail.find("mismatch"), std::string::npos);
 }
 
+TEST(Verify, SignExtendsNarrowedSignedGlobals) {
+  // Regression: the global comparison used to zero-extend narrower RTL
+  // storage unconditionally.  For a negative-valued signed int<N> global
+  // (N < 64) whose storage is narrower than the declared width, the
+  // comparison must sign-extend — zero extension manufactures a mismatch
+  // out of a correct design.
+  core::Workload w;
+  w.name = "negglobal";
+  w.source = "int<12> g;\nint main() { g = -5; return 0; }\n";
+  w.top = "main";
+  w.checkGlobals = {"g"};
+  auto result = flows::runFlow(*flows::findFlow("bachc"), w.source, w.top);
+  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(core::verifyAgainstGoldenModel(w, result).ok);
+
+  // Narrow g's storage slot to 8 bits: readGlobal now yields 0xfb, which
+  // only matches the golden 12-bit 0xffb if extended by the declared
+  // (signed) type.
+  for (auto &slot : result.module->globalMap())
+    if (slot.name == "g")
+      slot.width = 8;
+  auto v = core::verifyAgainstGoldenModel(w, result);
+  EXPECT_TRUE(v.ok) << v.detail;
+}
+
+TEST(Verify, ZeroExtendsNarrowedUnsignedGlobals) {
+  // The unsigned counterpart must still zero-extend.
+  core::Workload w;
+  w.name = "posglobal";
+  w.source = "uint<12> g;\nint main() { g = 251; return 0; }\n";
+  w.top = "main";
+  w.checkGlobals = {"g"};
+  auto result = flows::runFlow(*flows::findFlow("bachc"), w.source, w.top);
+  ASSERT_TRUE(result.ok);
+  for (auto &slot : result.module->globalMap())
+    if (slot.name == "g")
+      slot.width = 8;
+  auto v = core::verifyAgainstGoldenModel(w, result);
+  EXPECT_TRUE(v.ok) << v.detail;
+}
+
 TEST(Verify, ArgBitsUsesParameterWidths) {
   TypeContext types;
   DiagnosticEngine diags;

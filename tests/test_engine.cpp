@@ -1,0 +1,261 @@
+// The flow-comparison engine's three contracts:
+//  1. Fault isolation — a flow that throws becomes one "internal error:"
+//     row; every other row is produced as if nothing happened.
+//  2. Determinism — parallel and serial comparisons produce identical rows
+//     (order and content) over the full standard workload suite.
+//  3. Front-end cache hygiene — one compile per (source, top), and every
+//     flow gets a private AST clone: mutating one clone never leaks into
+//     another or into the cached program.
+#include "core/engine.h"
+#include "opt/astclone.h"
+#include "support/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+namespace c2h {
+namespace {
+
+core::CompareEngine::FlowRunner throwingRunner(const std::string &victimId) {
+  return [victimId](const flows::FlowSpec &spec, ast::Program &program,
+                    TypeContext &types, const std::string &top,
+                    const flows::FlowTuning &tuning) {
+    if (spec.info.id == victimId)
+      throw std::runtime_error("deliberate test crash in " + victimId);
+    return flows::runFlowChecked(spec, program, types, top, tuning);
+  };
+}
+
+void expectRowsEqual(const std::vector<core::FlowComparison> &a,
+                     const std::vector<core::FlowComparison> &b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].flowId, b[i].flowId) << i;
+    EXPECT_EQ(a[i].accepted, b[i].accepted) << a[i].flowId;
+    EXPECT_EQ(a[i].verified, b[i].verified) << a[i].flowId;
+    EXPECT_EQ(a[i].note, b[i].note) << a[i].flowId;
+    EXPECT_EQ(a[i].cycles, b[i].cycles) << a[i].flowId;
+    EXPECT_EQ(a[i].areaTotal, b[i].areaTotal) << a[i].flowId;
+    EXPECT_EQ(a[i].fmaxMHz, b[i].fmaxMHz) << a[i].flowId;
+    EXPECT_EQ(a[i].asyncNs, b[i].asyncNs) << a[i].flowId;
+  }
+}
+
+TEST(Engine, ThrowingFlowLeavesOtherRowsIntact) {
+  const auto &w = core::findWorkload("crc8small");
+
+  core::CompareEngine clean;
+  auto expected = clean.compareFlows(w);
+
+  core::CompareEngine sabotaged;
+  sabotaged.setRunnerForTesting(throwingRunner("handelc"));
+  auto rows = sabotaged.compareFlows(w);
+
+  ASSERT_EQ(rows.size(), expected.size());
+  bool sawVictim = false;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].flowId == "handelc") {
+      sawVictim = true;
+      EXPECT_FALSE(rows[i].accepted);
+      EXPECT_FALSE(rows[i].verified);
+      EXPECT_EQ(rows[i].note.rfind("internal error:", 0), 0u)
+          << rows[i].note;
+      EXPECT_NE(rows[i].note.find("deliberate test crash"),
+                std::string::npos);
+    } else {
+      expectRowsEqual({rows[i]}, {expected[i]});
+    }
+  }
+  EXPECT_TRUE(sawVictim);
+}
+
+TEST(Engine, ThrowingFlowIsIsolatedInSerialModeToo) {
+  const auto &w = core::findWorkload("gcd");
+  core::CompareEngine engine;
+  engine.setRunnerForTesting(throwingRunner("bachc"));
+  flows::FlowTuning serial;
+  serial.jobs = 1;
+  auto rows = engine.compareFlows(w, serial);
+  for (const auto &r : rows)
+    if (r.flowId == "bachc")
+      EXPECT_EQ(r.note.rfind("internal error:", 0), 0u) << r.note;
+}
+
+TEST(Engine, ParallelMatchesSerialOnTheFullSuite) {
+  // The acceptance bar: jobs>1 output must be identical in order and
+  // content to jobs=1 over every standard workload.
+  core::CompareEngine engine;
+  flows::FlowTuning serial, parallel;
+  serial.jobs = 1;
+  parallel.jobs = 4;
+  auto serialRows = engine.compareMatrix(core::standardWorkloads(), serial);
+  auto parallelRows =
+      engine.compareMatrix(core::standardWorkloads(), parallel);
+  ASSERT_EQ(serialRows.size(), parallelRows.size());
+  for (std::size_t i = 0; i < serialRows.size(); ++i)
+    expectRowsEqual(serialRows[i], parallelRows[i]);
+}
+
+TEST(Engine, MatrixAgreesWithPerWorkloadComparisons) {
+  core::CompareEngine engine;
+  std::vector<core::Workload> suite = {core::findWorkload("gcd"),
+                                       core::findWorkload("crc8small")};
+  auto matrix = engine.compareMatrix(suite);
+  ASSERT_EQ(matrix.size(), 2u);
+  for (std::size_t i = 0; i < suite.size(); ++i)
+    expectRowsEqual(matrix[i], engine.compareFlows(suite[i]));
+}
+
+TEST(FrontendCache, CompilesOncePerSourceTopPair) {
+  core::FrontendCache cache;
+  const auto &w = core::findWorkload("gcd");
+  auto a = cache.get(w.source, w.top);
+  auto b = cache.get(w.source, w.top);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  // A different top is a different key even with identical source.
+  auto c = cache.get(w.source, "gcd");
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(FrontendCache, FrontendErrorsAreCachedNotThrown) {
+  core::FrontendCache cache;
+  auto entry = cache.get("int main() { return undeclared_name; }", "main");
+  ASSERT_FALSE(entry->ok());
+  EXPECT_FALSE(entry->error.empty());
+  EXPECT_EQ(entry->cloneAst(), nullptr);
+}
+
+TEST(FrontendCache, CloneIsDistinctAndMutationDoesNotLeak) {
+  core::FrontendCache cache;
+  auto entry = cache.get("int g;\n"
+                         "int helper(int x) { return x + g; }\n"
+                         "int main(int a) { g = 7; return helper(a); }\n",
+                         "main");
+  ASSERT_TRUE(entry->ok());
+
+  auto clone1 = entry->cloneAst();
+  auto clone2 = entry->cloneAst();
+  ASSERT_NE(clone1, nullptr);
+  ASSERT_NE(clone1.get(), clone2.get());
+
+  // No AST node of clone1 may point into the cached program or clone2:
+  // collect every VarDecl each program owns, then check every VarRef and
+  // call target stays within its own program.
+  auto ownedDecls = [](const ast::Program &p) {
+    std::set<const ast::VarDecl *> decls;
+    for (const auto &g : p.globals)
+      decls.insert(g.get());
+    for (const auto &fn : p.functions)
+      for (const auto &param : fn->params)
+        decls.insert(param.get());
+    ast::walk(const_cast<ast::Program &>(p), [&](ast::Stmt &s) {
+      if (s.kind == ast::Stmt::Kind::Decl)
+        decls.insert(static_cast<ast::DeclStmt &>(s).decl.get());
+    }, nullptr);
+    return decls;
+  };
+  auto own1 = ownedDecls(*clone1);
+  ast::walk(*clone1, nullptr, [&](ast::Expr &e) {
+    if (e.kind == ast::Expr::Kind::VarRef) {
+      auto &ref = static_cast<ast::VarRefExpr &>(e);
+      EXPECT_TRUE(own1.count(ref.decl)) << "ref to '" << ref.name
+                                        << "' escapes the clone";
+    } else if (e.kind == ast::Expr::Kind::Call) {
+      auto &call = static_cast<ast::CallExpr &>(e);
+      EXPECT_EQ(call.decl, clone1->findFunction(call.callee));
+    }
+  });
+
+  // Inline one clone (the heaviest AST mutation a flow performs) and make
+  // sure the sibling clone and the cached original still synthesize and
+  // verify bit-for-bit.
+  DiagnosticEngine diags;
+  opt::inlineFunctions(*clone1, entry->types, diags);
+  ASSERT_FALSE(diags.hasErrors()) << diags.str();
+  EXPECT_EQ(clone2->functions.size(), 2u);
+  EXPECT_NE(entry->program->findFunction("helper"), nullptr);
+
+  core::Workload w;
+  w.name = "cloned";
+  w.source = entry->source;
+  w.top = "main";
+  w.args = {5};
+  w.checkGlobals = {"g"};
+  flows::FlowTuning tuning;
+  auto result =
+      flows::runFlowChecked(*flows::findFlow("bachc"), *clone2,
+                            entry->types, "main", tuning);
+  ASSERT_TRUE(result.ok) << result.error;
+  auto v = core::verifyAgainstGoldenModel(w, result, *entry->program);
+  EXPECT_TRUE(v.ok) << v.detail;
+}
+
+TEST(FrontendCache, EngineCompilesEachWorkloadOnce) {
+  core::CompareEngine engine;
+  std::vector<core::Workload> suite = {core::findWorkload("gcd"),
+                                       core::findWorkload("crc8small")};
+  engine.compareMatrix(suite);
+  EXPECT_EQ(engine.cache().misses(), 2u);
+  EXPECT_EQ(engine.cache().hits(), 0u);
+  // Re-running the comparison hits the cache instead of recompiling.
+  engine.compareFlows(suite[0]);
+  EXPECT_EQ(engine.cache().misses(), 2u);
+  EXPECT_EQ(engine.cache().hits(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryTaskAcrossWaitCycles) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4u);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 100);
+  }
+}
+
+TEST(ThreadPool, TaskExceptionsDoNotKillWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i)
+    pool.submit([&counter, i] {
+      if (i % 2 == 0)
+        throw std::runtime_error("boom");
+      ++counter;
+    });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(CloneProgram, PreservesRecursionFlagAndParamMarkers) {
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto program = frontend("int fac(int n) { if (n < 2) { return 1; } "
+                          "return n * fac(n - 1); }\n"
+                          "int main(int n) { return fac(n); }\n",
+                          types, diags);
+  ASSERT_NE(program, nullptr) << diags.str();
+  auto clone = opt::cloneProgram(*program);
+  const ast::FuncDecl *fac = clone->findFunction("fac");
+  ASSERT_NE(fac, nullptr);
+  EXPECT_TRUE(fac->isRecursive);
+  ASSERT_EQ(fac->params.size(), 1u);
+  EXPECT_TRUE(fac->params[0]->isParam);
+  // Ids must stay program-unique in the clone (the inliner mints fresh ids
+  // starting above the maximum).
+  std::set<unsigned> ids;
+  for (const auto &fn : clone->functions)
+    for (const auto &p : fn->params)
+      EXPECT_TRUE(ids.insert(p->id).second);
+  EXPECT_GE(opt::maxVarDeclId(*clone), 2u);
+}
+
+} // namespace
+} // namespace c2h

@@ -1,20 +1,28 @@
 // c2hc — the command-line driver for the c2h synthesis framework.
 //
 //   c2hc <file.uc> [options]
+//   c2hc --workload=<name> [options]
 //
 //   --flow=<id>        synthesis flow (default: bachc; 'all' = every flow)
+//   --workload=<name>  use a registry workload instead of a source file
 //   --top=<name>       entry function (default: main)
 //   --args=a,b,...     integer arguments for simulation
 //   --clock=<ns>       clock period for tunable flows
+//   --jobs=<n>         worker threads for --flow=all (default: all cores)
 //   --verilog=<file>   write generated Verilog ('-' = stdout)
 //   --ir               print the optimized IR listing
 //   --no-sim           synthesize only, skip simulation/verification
 //
+// --flow=all runs the fault-isolated comparison engine: every flow over the
+// program, in parallel, each flow's crash contained to its own row.
+//
 // Examples:
 //   c2hc fir.uc --flow=handelc --args=0
-//   c2hc gcd.uc --flow=all --args=3528,3780
+//   c2hc gcd.uc --flow=all --args=3528,3780 --jobs=4
+//   c2hc --workload=crc32 --flow=all
 //   c2hc crc.uc --verilog=- --no-sim
 #include "core/c2h.h"
+#include "core/engine.h"
 #include "support/text.h"
 
 #include <fstream>
@@ -27,10 +35,14 @@ namespace {
 
 struct Options {
   std::string file;
+  std::string workload;
   std::string flow = "bachc";
   std::string top = "main";
+  bool topSet = false;
   std::vector<std::int64_t> args;
+  bool argsSet = false;
   std::optional<double> clockNs;
+  unsigned jobs = 0; // 0 = hardware concurrency
   std::optional<std::string> verilogOut;
   std::optional<std::string> testbenchOut;
   bool printIr = false;
@@ -45,17 +57,42 @@ bool parseArgs(int argc, char **argv, Options &options) {
         return arg.substr(prefix.size());
       return std::nullopt;
     };
+    // Numeric option values get a diagnostic, not an uncaught
+    // std::invalid_argument out of std::sto*.
+    auto badNumber = [&](const std::string &flag, const std::string &value) {
+      std::cerr << "invalid value for " << flag << ": '" << value << "'\n";
+      return false;
+    };
     if (auto v = valueOf("--flow=")) {
       options.flow = *v;
+    } else if (auto v = valueOf("--workload=")) {
+      options.workload = *v;
     } else if (auto v = valueOf("--top=")) {
       options.top = *v;
+      options.topSet = true;
     } else if (auto v = valueOf("--args=")) {
       std::stringstream ss(*v);
       std::string item;
-      while (std::getline(ss, item, ','))
-        options.args.push_back(std::stoll(item, nullptr, 0));
+      while (std::getline(ss, item, ',')) {
+        try {
+          options.args.push_back(std::stoll(item, nullptr, 0));
+        } catch (const std::exception &) {
+          return badNumber("--args", item);
+        }
+      }
+      options.argsSet = true;
     } else if (auto v = valueOf("--clock=")) {
-      options.clockNs = std::stod(*v);
+      try {
+        options.clockNs = std::stod(*v);
+      } catch (const std::exception &) {
+        return badNumber("--clock", *v);
+      }
+    } else if (auto v = valueOf("--jobs=")) {
+      try {
+        options.jobs = static_cast<unsigned>(std::stoul(*v));
+      } catch (const std::exception &) {
+        return badNumber("--jobs", *v);
+      }
     } else if (auto v = valueOf("--verilog=")) {
       options.verilogOut = *v;
     } else if (auto v = valueOf("--tb=")) {
@@ -74,15 +111,29 @@ bool parseArgs(int argc, char **argv, Options &options) {
       return false;
     }
   }
-  return !options.file.empty();
+  return !options.file.empty() || !options.workload.empty();
 }
 
-int runOne(const flows::FlowSpec &spec, const std::string &source,
+std::string availableFlows() {
+  std::string names;
+  for (const auto &spec : flows::allFlows())
+    names += (names.empty() ? "" : " ") + spec.info.id;
+  return names;
+}
+
+std::string availableWorkloads() {
+  std::string names;
+  for (const auto &w : core::standardWorkloads())
+    names += (names.empty() ? "" : " ") + w.name;
+  return names;
+}
+
+int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
            const Options &options) {
   flows::FlowTuning tuning;
   tuning.clockNs = options.clockNs;
   flows::FlowResult result =
-      flows::runFlow(spec, source, options.top, tuning);
+      flows::runFlow(spec, workload.source, workload.top, tuning);
 
   std::cout << "== " << spec.info.displayName << " ("
             << spec.info.timingModel << ")\n";
@@ -110,12 +161,7 @@ int runOne(const flows::FlowSpec &spec, const std::string &source,
     std::cout << result.module->str();
 
   if (options.simulate) {
-    core::Workload w;
-    w.name = options.file;
-    w.source = source;
-    w.top = options.top;
-    w.args = options.args;
-    core::Verification v = core::verifyAgainstGoldenModel(w, result);
+    core::Verification v = core::verifyAgainstGoldenModel(workload, result);
     if (!v.ok) {
       std::cout << "   VERIFY FAILED: " << v.detail << "\n";
       return 1;
@@ -132,10 +178,10 @@ int runOne(const flows::FlowSpec &spec, const std::string &source,
     // Expected value from the golden model.
     TypeContext types;
     DiagnosticEngine diags;
-    auto program = frontend(source, types, diags);
-    auto args = core::argBits(*program, options.top, options.args);
+    auto program = frontend(workload.source, types, diags);
+    auto args = core::argBits(*program, workload.top, workload.args);
     Interpreter interp(*program);
-    auto golden = interp.call(options.top, args);
+    auto golden = interp.call(workload.top, args);
     if (!golden.ok) {
       std::cerr << "cannot produce testbench: " << golden.error << "\n";
       return 1;
@@ -167,39 +213,87 @@ int runOne(const flows::FlowSpec &spec, const std::string &source,
   return 0;
 }
 
+// `--flow=all` batch mode: the comparison engine runs every flow over the
+// program on a thread pool, with per-flow fault isolation — one flow
+// crashing (note: "internal error: ...") leaves every other row intact.
+int runAll(const core::Workload &workload, const Options &options) {
+  core::EngineOptions engineOptions;
+  engineOptions.jobs = options.jobs;
+  core::CompareEngine engine(engineOptions);
+  flows::FlowTuning tuning;
+  tuning.clockNs = options.clockNs;
+  auto rows = engine.compareFlows(workload, tuning);
+
+  TextTable table({"flow", "accepted", "verified", "cycles", "area", "fmax",
+                   "note"});
+  int exitCode = 0;
+  for (const auto &r : rows) {
+    std::string cycles =
+        r.asyncNs > 0 ? formatDouble(r.asyncNs, 0) + "ns"
+                      : (r.cycles ? std::to_string(r.cycles) : "-");
+    table.addRow({r.flowId, r.accepted ? "yes" : "no",
+                  r.accepted ? (r.verified ? "yes" : "NO") : "-",
+                  r.verified ? cycles : "-",
+                  r.verified ? formatDouble(r.areaTotal, 0) : "-",
+                  r.fmaxMHz > 0 ? formatDouble(r.fmaxMHz, 0) : "-", r.note});
+    // Rejections are expected under 'all'; real failures are not.
+    if ((r.accepted && !r.verified) ||
+        r.note.rfind("internal error:", 0) == 0)
+      exitCode = 1;
+  }
+  std::cout << table.str();
+  return exitCode;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   Options options;
   if (!parseArgs(argc, argv, options)) {
     std::cerr << "usage: c2hc <file.uc> [--flow=<id>|all] [--top=<fn>] "
-                 "[--args=a,b] [--clock=ns] [--verilog=<file>|-] [--ir] "
-                 "[--no-sim]\n\nflows:";
-    for (const auto &spec : flows::allFlows())
-      std::cerr << " " << spec.info.id;
-    std::cerr << "\n";
+                 "[--args=a,b] [--clock=ns] [--jobs=n] [--verilog=<file>|-] "
+                 "[--ir] [--no-sim]\n"
+                 "       c2hc --workload=<name> [options]\n\nflows: "
+              << availableFlows() << "\nworkloads: " << availableWorkloads()
+              << "\n";
     return 64;
   }
 
-  std::ifstream in(options.file);
-  if (!in) {
-    std::cerr << "cannot open " << options.file << "\n";
-    return 66;
+  core::Workload workload;
+  if (!options.workload.empty()) {
+    try {
+      workload = core::findWorkload(options.workload);
+    } catch (const std::out_of_range &) {
+      std::cerr << "unknown workload '" << options.workload
+                << "', available: " << availableWorkloads() << "\n";
+      return 1;
+    }
+    if (options.topSet)
+      workload.top = options.top;
+    if (options.argsSet)
+      workload.args = options.args;
+  } else {
+    std::ifstream in(options.file);
+    if (!in) {
+      std::cerr << "cannot open " << options.file << "\n";
+      return 66;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    workload.name = options.file;
+    workload.source = buffer.str();
+    workload.top = options.top;
+    workload.args = options.args;
   }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  std::string source = buffer.str();
 
-  if (options.flow == "all") {
-    int worst = 0;
-    for (const auto &spec : flows::allFlows())
-      worst = std::max(worst, runOne(spec, source, options));
-    return worst == 2 ? 0 : worst; // rejections are expected under 'all'
-  }
+  if (options.flow == "all")
+    return runAll(workload, options);
+
   const flows::FlowSpec *spec = flows::findFlow(options.flow);
   if (!spec) {
-    std::cerr << "unknown flow '" << options.flow << "'\n";
-    return 64;
+    std::cerr << "unknown flow '" << options.flow
+              << "', available: " << availableFlows() << "\n";
+    return 1;
   }
-  return runOne(*spec, source, options);
+  return runOne(*spec, workload, options);
 }
