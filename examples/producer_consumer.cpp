@@ -3,7 +3,8 @@
 // Builds a two-stage pipeline connected by a rendezvous channel, runs it
 // through both explicit-concurrency flows, and shows how the same program
 // costs different cycle counts under the two timing models — and how an
-// incorrectly paired protocol deadlocks (and is caught).
+// incorrectly paired protocol deadlocks (and is caught statically by the
+// pre-flight channel checker, before any RTL exists).
 #include "core/c2h.h"
 #include "support/text.h"
 
@@ -77,7 +78,14 @@ int main() {
   std::cout << "Deliberately mismatched send/receive counts:\n";
   flows::FlowResult r = flows::runFlow(*flows::findFlow("handelc"), broken,
                                        "main");
-  if (r.ok) {
+  if (!r.accepted) {
+    // The pre-flight channel-protocol checker proves the deadlock
+    // statically — no simulation needed.
+    for (const auto &rej : r.rejections)
+      std::cout << "  rejected: " << rej << "\n";
+    if (!r.analysisFindings.empty())
+      std::cout << "\n" << r.analysisFindings.renderText();
+  } else if (r.ok) {
     rtl::SimOptions so;
     so.stallLimit = 2000;
     rtl::Simulator sim(*r.design, so);

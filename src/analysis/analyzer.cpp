@@ -1,0 +1,46 @@
+#include "analysis/analyzer.h"
+
+#include "analysis/channels.h"
+#include "analysis/effects.h"
+#include "analysis/lints.h"
+#include "analysis/race.h"
+
+namespace c2h::analysis {
+
+Report analyzeProgram(const ast::Program &program, const ir::Module *module,
+                      const AnalyzeOptions &options) {
+  Report report;
+  if (options.parRaces) {
+    EffectAnalysis effects(program);
+    report.append(checkParRaces(program, effects));
+  }
+  if (options.channelProtocol)
+    report.append(checkChannels(program, options.top));
+  if (options.loopBounds)
+    report.append(lintUnboundedLoops(program, options.loopSeverity));
+  if (options.widthTruncation)
+    report.append(lintWidthTruncation(program));
+  if (options.uninitReads && module)
+    report.append(lintUninitReads(*module));
+  report.sort();
+  return report;
+}
+
+Report preflightFlow(const ast::Program &program, const std::string &top,
+                     bool requireBoundedLoops) {
+  AnalyzeOptions options;
+  options.top = top;
+  options.loopBounds = requireBoundedLoops;
+  options.loopSeverity = Severity::Error;
+  options.widthTruncation = false;
+  options.uninitReads = false;
+  Report all = analyzeProgram(program, nullptr, options);
+  Report errors;
+  for (const Diagnostic &d : all.diagnostics())
+    if (d.severity == Severity::Error)
+      errors.add(d);
+  errors.sort();
+  return errors;
+}
+
+} // namespace c2h::analysis

@@ -1,0 +1,51 @@
+// The synthesizability analyzer: one entry point over all analyses.
+//
+// analyzeProgram() composes the par-race detector, the channel protocol
+// checker, and the pre-flight lints into a single sorted Report.  Flows call
+// preflightFlow() before synthesizing — its error findings become precise
+// rejections ("who guarantees the parallel program is correct" becomes a
+// mechanical answer instead of a runtime surprise).
+#ifndef C2H_ANALYSIS_ANALYZER_H
+#define C2H_ANALYSIS_ANALYZER_H
+
+#include "analysis/diagnostic.h"
+#include "frontend/ast.h"
+
+#include <string>
+
+namespace c2h::ir {
+class Module;
+}
+
+namespace c2h::analysis {
+
+struct AnalyzeOptions {
+  std::string top = "main";
+  bool parRaces = true;
+  bool channelProtocol = true;
+  bool loopBounds = true;
+  // Unbounded loops are fatal only for flows that must flatten every loop;
+  // the general analyzer reports them as notes.
+  Severity loopSeverity = Severity::Note;
+  bool widthTruncation = true;
+  // Uninitialized-read detection runs on the IR when a module is supplied.
+  bool uninitReads = true;
+};
+
+// Run the enabled analyses over `program` (and `module`, when non-null, for
+// the IR-level lints).  The returned report is sorted; rendering it is
+// byte-stable across runs.
+Report analyzeProgram(const ast::Program &program,
+                      const ir::Module *module = nullptr,
+                      const AnalyzeOptions &options = {});
+
+// The subset of analyses whose error findings make a program unsynthesizable
+// regardless of backend quality: par races and provable channel deadlocks,
+// plus unbounded loops when the flow must fully unroll
+// (`requireBoundedLoops`).  Returns error-severity findings only, sorted.
+Report preflightFlow(const ast::Program &program, const std::string &top,
+                     bool requireBoundedLoops);
+
+} // namespace c2h::analysis
+
+#endif // C2H_ANALYSIS_ANALYZER_H

@@ -1,0 +1,174 @@
+#include "analysis/astwalk.h"
+
+namespace c2h::analysis {
+
+using namespace ast;
+
+void forEachExpr(const Expr &expr,
+                 const std::function<void(const Expr &)> &fn) {
+  fn(expr);
+  switch (expr.kind) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::BoolLiteral:
+  case Expr::Kind::VarRef:
+    break;
+  case Expr::Kind::Unary:
+    forEachExpr(*static_cast<const UnaryExpr &>(expr).operand, fn);
+    break;
+  case Expr::Kind::Binary: {
+    const auto &b = static_cast<const BinaryExpr &>(expr);
+    forEachExpr(*b.lhs, fn);
+    forEachExpr(*b.rhs, fn);
+    break;
+  }
+  case Expr::Kind::Assign: {
+    const auto &a = static_cast<const AssignExpr &>(expr);
+    forEachExpr(*a.target, fn);
+    forEachExpr(*a.value, fn);
+    break;
+  }
+  case Expr::Kind::Ternary: {
+    const auto &t = static_cast<const TernaryExpr &>(expr);
+    forEachExpr(*t.cond, fn);
+    forEachExpr(*t.thenExpr, fn);
+    forEachExpr(*t.elseExpr, fn);
+    break;
+  }
+  case Expr::Kind::Call:
+    for (const auto &arg : static_cast<const CallExpr &>(expr).args)
+      forEachExpr(*arg, fn);
+    break;
+  case Expr::Kind::Index: {
+    const auto &i = static_cast<const IndexExpr &>(expr);
+    forEachExpr(*i.base, fn);
+    forEachExpr(*i.index, fn);
+    break;
+  }
+  case Expr::Kind::Cast:
+    forEachExpr(*static_cast<const CastExpr &>(expr).operand, fn);
+    break;
+  }
+}
+
+namespace {
+
+void walkStmt(const Stmt &stmt, const std::function<void(const Stmt &)> *onStmt,
+              const std::function<void(const Expr &)> *onExpr) {
+  if (onStmt)
+    (*onStmt)(stmt);
+  auto expr = [&](const Expr &e) {
+    if (onExpr)
+      forEachExpr(e, *onExpr);
+  };
+  switch (stmt.kind) {
+  case Stmt::Kind::Decl: {
+    const auto &d = static_cast<const DeclStmt &>(stmt);
+    if (d.decl->init)
+      expr(*d.decl->init);
+    for (const auto &e : d.decl->arrayInit)
+      expr(*e);
+    break;
+  }
+  case Stmt::Kind::Expr:
+    expr(*static_cast<const ExprStmt &>(stmt).expr);
+    break;
+  case Stmt::Kind::Block:
+    for (const auto &child : static_cast<const BlockStmt &>(stmt).stmts)
+      walkStmt(*child, onStmt, onExpr);
+    break;
+  case Stmt::Kind::If: {
+    const auto &i = static_cast<const IfStmt &>(stmt);
+    expr(*i.cond);
+    walkStmt(*i.thenStmt, onStmt, onExpr);
+    if (i.elseStmt)
+      walkStmt(*i.elseStmt, onStmt, onExpr);
+    break;
+  }
+  case Stmt::Kind::While: {
+    const auto &w = static_cast<const WhileStmt &>(stmt);
+    expr(*w.cond);
+    walkStmt(*w.body, onStmt, onExpr);
+    break;
+  }
+  case Stmt::Kind::DoWhile: {
+    const auto &w = static_cast<const DoWhileStmt &>(stmt);
+    walkStmt(*w.body, onStmt, onExpr);
+    expr(*w.cond);
+    break;
+  }
+  case Stmt::Kind::For: {
+    const auto &f = static_cast<const ForStmt &>(stmt);
+    if (f.init)
+      walkStmt(*f.init, onStmt, onExpr);
+    if (f.cond)
+      expr(*f.cond);
+    if (f.step)
+      expr(*f.step);
+    walkStmt(*f.body, onStmt, onExpr);
+    break;
+  }
+  case Stmt::Kind::Return: {
+    const auto &r = static_cast<const ReturnStmt &>(stmt);
+    if (r.value)
+      expr(*r.value);
+    break;
+  }
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+  case Stmt::Kind::Delay:
+    break;
+  case Stmt::Kind::Par:
+    for (const auto &branch : static_cast<const ParStmt &>(stmt).branches)
+      walkStmt(*branch, onStmt, onExpr);
+    break;
+  case Stmt::Kind::Send: {
+    const auto &s = static_cast<const SendStmt &>(stmt);
+    expr(*s.chan);
+    expr(*s.value);
+    break;
+  }
+  case Stmt::Kind::Recv: {
+    const auto &r = static_cast<const RecvStmt &>(stmt);
+    expr(*r.chan);
+    expr(*r.target);
+    break;
+  }
+  case Stmt::Kind::Constraint:
+    walkStmt(*static_cast<const ConstraintStmt &>(stmt).body, onStmt, onExpr);
+    break;
+  }
+}
+
+} // namespace
+
+void forEachStmt(const Stmt &stmt,
+                 const std::function<void(const Stmt &)> &fn) {
+  walkStmt(stmt, &fn, nullptr);
+}
+
+void forEachExpr(const Stmt &stmt,
+                 const std::function<void(const Expr &)> &fn) {
+  walkStmt(stmt, nullptr, &fn);
+}
+
+void forEachStmt(const Program &program,
+                 const std::function<void(const Stmt &)> &fn) {
+  for (const auto &func : program.functions)
+    if (func->body)
+      walkStmt(*func->body, &fn, nullptr);
+}
+
+void forEachExpr(const Program &program,
+                 const std::function<void(const Expr &)> &fn) {
+  for (const auto &g : program.globals) {
+    if (g->init)
+      forEachExpr(*g->init, fn);
+    for (const auto &e : g->arrayInit)
+      forEachExpr(*e, fn);
+  }
+  for (const auto &func : program.functions)
+    if (func->body)
+      walkStmt(*func->body, nullptr, &fn);
+}
+
+} // namespace c2h::analysis

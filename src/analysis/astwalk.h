@@ -1,0 +1,38 @@
+// Const pre-order AST traversal for analysis passes.
+//
+// ast::walk takes mutable references (the optimizer rewrites in place); the
+// analyzer only observes, so it gets its own const walkers here.
+#ifndef C2H_ANALYSIS_ASTWALK_H
+#define C2H_ANALYSIS_ASTWALK_H
+
+#include "frontend/ast.h"
+
+#include <functional>
+
+namespace c2h::analysis {
+
+// Visit every statement in the subtree (including `stmt` itself), pre-order.
+void forEachStmt(const ast::Stmt &stmt,
+                 const std::function<void(const ast::Stmt &)> &fn);
+
+// Visit every expression in the subtree, pre-order.
+void forEachExpr(const ast::Expr &expr,
+                 const std::function<void(const ast::Expr &)> &fn);
+
+// Visit every expression under a statement subtree (initializers, conditions,
+// channel operands, ...), pre-order.
+void forEachExpr(const ast::Stmt &stmt,
+                 const std::function<void(const ast::Expr &)> &fn);
+
+// Visit every statement in every function body, in program order.
+void forEachStmt(const ast::Program &program,
+                 const std::function<void(const ast::Stmt &)> &fn);
+
+// Visit every expression in the program: global initializers first, then
+// function bodies, in program order.
+void forEachExpr(const ast::Program &program,
+                 const std::function<void(const ast::Expr &)> &fn);
+
+} // namespace c2h::analysis
+
+#endif // C2H_ANALYSIS_ASTWALK_H

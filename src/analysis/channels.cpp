@@ -1,0 +1,975 @@
+#include "analysis/channels.h"
+
+#include "analysis/astwalk.h"
+#include "analysis/effects.h"
+#include "opt/unroll.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace c2h::analysis {
+
+using namespace ast;
+
+namespace {
+
+// Keep simulations and unrolled counts bounded.
+constexpr std::size_t kMaxLinearOps = 512;
+constexpr std::size_t kMaxSimStates = 20000;
+constexpr unsigned long long kMaxCount = 1ull << 40;
+
+const Expr *stripCasts(const Expr *e) {
+  while (e->kind == Expr::Kind::Cast)
+    e = static_cast<const CastExpr *>(e)->operand.get();
+  return e;
+}
+
+bool isChanObjectType(const Type *type) {
+  if (!type)
+    return false;
+  if (type->isChan())
+    return true;
+  return type->isArray() && type->element() && type->element()->isChan();
+}
+
+// ---------------------------------------------------------------------------
+// Call graph / reachability / "does this function touch channels at all"
+// ---------------------------------------------------------------------------
+
+struct CallInfo {
+  std::map<const FuncDecl *, std::set<const FuncDecl *>> callees;
+  std::set<const FuncDecl *> reachable; // from top (empty if no top)
+  std::set<const FuncDecl *> touchesChan;
+
+  explicit CallInfo(const Program &program, const FuncDecl *top) {
+    for (const auto &fn : program.functions) {
+      std::set<const FuncDecl *> &out = callees[fn.get()];
+      if (!fn->body)
+        continue;
+      forEachExpr(static_cast<const Stmt &>(*fn->body), [&](const Expr &e) {
+        if (e.kind == Expr::Kind::Call) {
+          const auto &c = static_cast<const CallExpr &>(e);
+          if (c.decl)
+            out.insert(c.decl);
+        }
+      });
+      bool direct = false;
+      forEachStmt(static_cast<const Stmt &>(*fn->body), [&](const Stmt &s) {
+        if (s.kind == Stmt::Kind::Send || s.kind == Stmt::Kind::Recv)
+          direct = true;
+      });
+      if (direct)
+        touchesChan.insert(fn.get());
+    }
+    // Propagate channel-touching through callers to a fixpoint.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto &fn : program.functions) {
+        if (touchesChan.count(fn.get()))
+          continue;
+        for (const FuncDecl *callee : callees[fn.get()]) {
+          if (touchesChan.count(callee)) {
+            touchesChan.insert(fn.get());
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    if (top) {
+      std::vector<const FuncDecl *> work{top};
+      reachable.insert(top);
+      while (!work.empty()) {
+        const FuncDecl *fn = work.back();
+        work.pop_back();
+        for (const FuncDecl *callee : callees[fn])
+          if (reachable.insert(callee).second)
+            work.push_back(callee);
+      }
+    }
+  }
+
+  bool touches(const FuncDecl *fn) const { return touchesChan.count(fn) != 0; }
+};
+
+bool subtreeHasEscape(const Stmt &stmt) {
+  bool found = false;
+  forEachStmt(stmt, [&](const Stmt &s) {
+    if (s.kind == Stmt::Kind::Break || s.kind == Stmt::Kind::Continue ||
+        s.kind == Stmt::Kind::Return)
+      found = true;
+  });
+  return found;
+}
+
+// A return anywhere except as the final top-level statement makes everything
+// after it conditionally unreachable, so counts become inexact.
+bool hasEarlyReturn(const FuncDecl &fn) {
+  if (!fn.body)
+    return false;
+  unsigned returns = 0;
+  forEachStmt(static_cast<const Stmt &>(*fn.body), [&](const Stmt &s) {
+    if (s.kind == Stmt::Kind::Return)
+      ++returns;
+  });
+  if (returns == 0)
+    return false;
+  if (returns == 1 && !fn.body->stmts.empty() &&
+      fn.body->stmts.back()->kind == Stmt::Kind::Return)
+    return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Static send/receive counting
+// ---------------------------------------------------------------------------
+
+struct ChanCount {
+  const VarDecl *chan = nullptr;
+  unsigned long long sends = 0, recvs = 0;
+  bool exact = true;
+  SourceLoc firstSend, firstRecv;
+};
+
+// Per-function operation counts keyed by channel declaration id.  Channels
+// named through a chan-typed parameter stay keyed by the parameter; call
+// sites rebind them onto the argument.
+using CountMap = std::map<unsigned, ChanCount>;
+
+class Counter {
+public:
+  Counter(const Program &program, const CallInfo &calls)
+      : program_(program), calls_(calls) {}
+
+  bool valid() const { return valid_; }
+
+  const CountMap &summaryOf(const FuncDecl *fn) {
+    auto it = summaries_.find(fn);
+    if (it != summaries_.end())
+      return it->second;
+    if (inProgress_.count(fn)) {
+      // Channel-touching recursion: multiplicities are unknowable.
+      valid_ = false;
+      static const CountMap empty;
+      return empty;
+    }
+    inProgress_.insert(fn);
+    CountMap out;
+    if (fn->body)
+      walk(*fn->body, out, 1, true);
+    if (hasEarlyReturn(*fn))
+      for (auto &[id, count] : out) {
+        (void)id;
+        count.exact = false;
+      }
+    inProgress_.erase(fn);
+    return summaries_.emplace(fn, std::move(out)).first->second;
+  }
+
+private:
+  void addOp(CountMap &out, const Expr &chanExpr, bool isSend, SourceLoc loc,
+             unsigned long long mult, bool exact) {
+    const VarDecl *root = EffectAnalysis::rootVar(chanExpr);
+    if (!root || !isChanObjectType(root->type)) {
+      valid_ = false;
+      return;
+    }
+    ChanCount &c = out[root->id];
+    c.chan = root;
+    if (isSend) {
+      c.sends = std::min(kMaxCount, c.sends + mult);
+      if (!c.firstSend.isValid())
+        c.firstSend = loc;
+    } else {
+      c.recvs = std::min(kMaxCount, c.recvs + mult);
+      if (!c.firstRecv.isValid())
+        c.firstRecv = loc;
+    }
+    if (!exact || c.sends >= kMaxCount || c.recvs >= kMaxCount)
+      c.exact = false;
+  }
+
+  void mergeScaled(CountMap &out, const ChanCount &entry, const VarDecl *chan,
+                   unsigned long long mult, bool exact) {
+    ChanCount &c = out[chan->id];
+    c.chan = chan;
+    c.sends = std::min(kMaxCount, c.sends + entry.sends * mult);
+    c.recvs = std::min(kMaxCount, c.recvs + entry.recvs * mult);
+    if (!c.firstSend.isValid())
+      c.firstSend = entry.firstSend;
+    if (!c.firstRecv.isValid())
+      c.firstRecv = entry.firstRecv;
+    if (!exact || !entry.exact || c.sends >= kMaxCount || c.recvs >= kMaxCount)
+      c.exact = false;
+  }
+
+  void expandCall(const CallExpr &call, CountMap &out, unsigned long long mult,
+                  bool exact) {
+    if (!call.decl || !calls_.touches(call.decl))
+      return;
+    const CountMap summary = summaryOf(call.decl); // copy: out may alias map
+    for (const auto &[id, entry] : summary) {
+      (void)id;
+      const VarDecl *target = entry.chan;
+      // Rebind chan-typed parameters onto the caller's argument.
+      for (std::size_t k = 0; k < call.decl->params.size(); ++k) {
+        if (call.decl->params[k].get() == entry.chan) {
+          target = k < call.args.size()
+                       ? EffectAnalysis::rootVar(*call.args[k])
+                       : nullptr;
+          break;
+        }
+      }
+      if (!target || !isChanObjectType(target->type)) {
+        valid_ = false;
+        continue;
+      }
+      mergeScaled(out, entry, target, mult, exact);
+    }
+  }
+
+  void exprCalls(const Expr &e, CountMap &out, unsigned long long mult,
+                 bool exact) {
+    forEachExpr(e, [&](const Expr &x) {
+      if (x.kind == Expr::Kind::Call)
+        expandCall(static_cast<const CallExpr &>(x), out, mult, exact);
+    });
+  }
+
+  void walk(const Stmt &s, CountMap &out, unsigned long long mult,
+            bool exact) {
+    switch (s.kind) {
+    case Stmt::Kind::Decl: {
+      const auto &d = static_cast<const DeclStmt &>(s);
+      if (d.decl->init)
+        exprCalls(*d.decl->init, out, mult, exact);
+      for (const auto &e : d.decl->arrayInit)
+        exprCalls(*e, out, mult, exact);
+      break;
+    }
+    case Stmt::Kind::Expr:
+      exprCalls(*static_cast<const ExprStmt &>(s).expr, out, mult, exact);
+      break;
+    case Stmt::Kind::Block:
+      for (const auto &child : static_cast<const BlockStmt &>(s).stmts)
+        walk(*child, out, mult, exact);
+      break;
+    case Stmt::Kind::If: {
+      const auto &i = static_cast<const IfStmt &>(s);
+      exprCalls(*i.cond, out, mult, exact);
+      walk(*i.thenStmt, out, mult, false);
+      if (i.elseStmt)
+        walk(*i.elseStmt, out, mult, false);
+      break;
+    }
+    case Stmt::Kind::While: {
+      const auto &w = static_cast<const WhileStmt &>(s);
+      exprCalls(*w.cond, out, mult, false);
+      walk(*w.body, out, mult, false);
+      break;
+    }
+    case Stmt::Kind::DoWhile: {
+      const auto &w = static_cast<const DoWhileStmt &>(s);
+      walk(*w.body, out, mult, false);
+      exprCalls(*w.cond, out, mult, false);
+      break;
+    }
+    case Stmt::Kind::For: {
+      const auto &f = static_cast<const ForStmt &>(s);
+      if (f.init)
+        walk(*f.init, out, mult, exact);
+      auto trip = opt::staticTripCount(f);
+      bool countable = trip && !subtreeHasEscape(*f.body) &&
+                       *trip < kMaxCount / (mult ? mult : 1);
+      if (f.cond)
+        exprCalls(*f.cond, out, mult, false);
+      if (f.step)
+        exprCalls(*f.step, out, mult, false);
+      if (countable) {
+        if (*trip > 0)
+          walk(*f.body, out, mult * *trip, exact);
+      } else {
+        walk(*f.body, out, mult, false);
+      }
+      break;
+    }
+    case Stmt::Kind::Return: {
+      const auto &r = static_cast<const ReturnStmt &>(s);
+      if (r.value)
+        exprCalls(*r.value, out, mult, exact);
+      break;
+    }
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+    case Stmt::Kind::Delay:
+      break;
+    case Stmt::Kind::Par:
+      for (const auto &branch : static_cast<const ParStmt &>(s).branches)
+        walk(*branch, out, mult, exact);
+      break;
+    case Stmt::Kind::Send: {
+      const auto &snd = static_cast<const SendStmt &>(s);
+      exprCalls(*snd.value, out, mult, exact);
+      addOp(out, *snd.chan, true, snd.loc, mult, exact);
+      break;
+    }
+    case Stmt::Kind::Recv: {
+      const auto &rcv = static_cast<const RecvStmt &>(s);
+      forEachExpr(*rcv.target, [&](const Expr &x) {
+        if (x.kind == Expr::Kind::Call)
+          expandCall(static_cast<const CallExpr &>(x), out, mult, exact);
+      });
+      addOp(out, *rcv.chan, false, rcv.loc, mult, exact);
+      break;
+    }
+    case Stmt::Kind::Constraint:
+      walk(*static_cast<const ConstraintStmt &>(s).body, out, mult, exact);
+      break;
+    }
+  }
+
+  const Program &program_;
+  const CallInfo &calls_;
+  std::map<const FuncDecl *, CountMap> summaries_;
+  std::set<const FuncDecl *> inProgress_;
+  bool valid_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Thread attribution: which sequential threads touch which channels
+// ---------------------------------------------------------------------------
+
+struct ThreadUse {
+  const VarDecl *chan = nullptr;
+  std::set<int> sendThreads, recvThreads;
+  SourceLoc firstSend, firstRecv;
+};
+
+class ThreadWalker {
+public:
+  ThreadWalker(const CallInfo &calls) : calls_(calls) {}
+
+  bool ok = true;
+  std::map<unsigned, ThreadUse> uses; // by channel decl id
+
+  void run(const FuncDecl &top) {
+    std::map<const VarDecl *, const VarDecl *> env;
+    std::set<const FuncDecl *> stack{&top};
+    if (top.body)
+      walk(*top.body, 0, env, stack);
+  }
+
+private:
+  using Env = std::map<const VarDecl *, const VarDecl *>;
+
+  const VarDecl *resolve(const Expr &chanExpr, const Env &env) {
+    const VarDecl *root = EffectAnalysis::rootVar(chanExpr);
+    while (root) {
+      auto it = env.find(root);
+      if (it == env.end())
+        break;
+      root = it->second;
+    }
+    if (!root || !isChanObjectType(root->type) || root->isParam)
+      return nullptr;
+    return root;
+  }
+
+  void record(const Expr &chanExpr, bool isSend, SourceLoc loc, int thread,
+              const Env &env) {
+    const VarDecl *chan = resolve(chanExpr, env);
+    if (!chan) {
+      ok = false;
+      return;
+    }
+    ThreadUse &u = uses[chan->id];
+    u.chan = chan;
+    if (isSend) {
+      u.sendThreads.insert(thread);
+      if (!u.firstSend.isValid())
+        u.firstSend = loc;
+    } else {
+      u.recvThreads.insert(thread);
+      if (!u.firstRecv.isValid())
+        u.firstRecv = loc;
+    }
+  }
+
+  void exprCalls(const Expr &e, int thread, const Env &env,
+                 std::set<const FuncDecl *> &stack) {
+    forEachExpr(e, [&](const Expr &x) {
+      if (x.kind == Expr::Kind::Call)
+        enter(static_cast<const CallExpr &>(x), thread, env, stack);
+    });
+  }
+
+  void enter(const CallExpr &call, int thread, const Env &env,
+             std::set<const FuncDecl *> &stack) {
+    if (!call.decl || !calls_.touches(call.decl))
+      return;
+    if (stack.count(call.decl)) { // recursion: attribution is unknowable
+      ok = false;
+      return;
+    }
+    Env callee;
+    for (std::size_t k = 0;
+         k < call.decl->params.size() && k < call.args.size(); ++k) {
+      const VarDecl *param = call.decl->params[k].get();
+      if (!param->type || !isChanObjectType(param->type))
+        continue;
+      const VarDecl *root = EffectAnalysis::rootVar(*call.args[k]);
+      while (root) {
+        auto it = env.find(root);
+        if (it == env.end())
+          break;
+        root = it->second;
+      }
+      if (!root) {
+        ok = false;
+        continue;
+      }
+      callee[param] = root;
+    }
+    stack.insert(call.decl);
+    if (call.decl->body)
+      walk(*call.decl->body, thread, callee, stack);
+    stack.erase(call.decl);
+  }
+
+  void walk(const Stmt &s, int thread, const Env &env,
+            std::set<const FuncDecl *> &stack) {
+    switch (s.kind) {
+    case Stmt::Kind::Decl: {
+      const auto &d = static_cast<const DeclStmt &>(s);
+      if (d.decl->init)
+        exprCalls(*d.decl->init, thread, env, stack);
+      for (const auto &e : d.decl->arrayInit)
+        exprCalls(*e, thread, env, stack);
+      break;
+    }
+    case Stmt::Kind::Expr:
+      exprCalls(*static_cast<const ExprStmt &>(s).expr, thread, env, stack);
+      break;
+    case Stmt::Kind::Block:
+      for (const auto &child : static_cast<const BlockStmt &>(s).stmts)
+        walk(*child, thread, env, stack);
+      break;
+    case Stmt::Kind::If: {
+      const auto &i = static_cast<const IfStmt &>(s);
+      exprCalls(*i.cond, thread, env, stack);
+      walk(*i.thenStmt, thread, env, stack);
+      if (i.elseStmt)
+        walk(*i.elseStmt, thread, env, stack);
+      break;
+    }
+    case Stmt::Kind::While: {
+      const auto &w = static_cast<const WhileStmt &>(s);
+      exprCalls(*w.cond, thread, env, stack);
+      walk(*w.body, thread, env, stack);
+      break;
+    }
+    case Stmt::Kind::DoWhile: {
+      const auto &w = static_cast<const DoWhileStmt &>(s);
+      walk(*w.body, thread, env, stack);
+      exprCalls(*w.cond, thread, env, stack);
+      break;
+    }
+    case Stmt::Kind::For: {
+      const auto &f = static_cast<const ForStmt &>(s);
+      if (f.init)
+        walk(*f.init, thread, env, stack);
+      if (f.cond)
+        exprCalls(*f.cond, thread, env, stack);
+      if (f.step)
+        exprCalls(*f.step, thread, env, stack);
+      walk(*f.body, thread, env, stack);
+      break;
+    }
+    case Stmt::Kind::Return: {
+      const auto &r = static_cast<const ReturnStmt &>(s);
+      if (r.value)
+        exprCalls(*r.value, thread, env, stack);
+      break;
+    }
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+    case Stmt::Kind::Delay:
+      break;
+    case Stmt::Kind::Par:
+      for (const auto &branch : static_cast<const ParStmt &>(s).branches)
+        walk(*branch, ++nextThread_, env, stack);
+      break;
+    case Stmt::Kind::Send: {
+      const auto &snd = static_cast<const SendStmt &>(s);
+      exprCalls(*snd.value, thread, env, stack);
+      record(*snd.chan, true, snd.loc, thread, env);
+      break;
+    }
+    case Stmt::Kind::Recv: {
+      const auto &rcv = static_cast<const RecvStmt &>(s);
+      record(*rcv.chan, false, rcv.loc, thread, env);
+      break;
+    }
+    case Stmt::Kind::Constraint:
+      walk(*static_cast<const ConstraintStmt &>(s).body, thread, env, stack);
+      break;
+    }
+  }
+
+  const CallInfo &calls_;
+  int nextThread_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Rendezvous simulation over one par statement
+// ---------------------------------------------------------------------------
+
+struct LinearOp {
+  const VarDecl *chan;
+  bool isSend;
+  SourceLoc loc;
+};
+
+bool containsChanCall(const Expr &e, const CallInfo &calls) {
+  bool found = false;
+  forEachExpr(e, [&](const Expr &x) {
+    if (x.kind == Expr::Kind::Call) {
+      const auto &c = static_cast<const CallExpr &>(x);
+      if (!c.decl || calls.touches(c.decl))
+        found = true;
+    }
+  });
+  return found;
+}
+
+bool subtreeTouchesChannels(const Stmt &stmt, const CallInfo &calls) {
+  bool found = false;
+  forEachStmt(stmt, [&](const Stmt &s) {
+    if (s.kind == Stmt::Kind::Send || s.kind == Stmt::Kind::Recv)
+      found = true;
+  });
+  if (found)
+    return true;
+  forEachExpr(stmt, [&](const Expr &e) {
+    if (e.kind == Expr::Kind::Call) {
+      const auto &c = static_cast<const CallExpr &>(e);
+      if (!c.decl || calls.touches(c.decl))
+        found = true;
+    }
+  });
+  return found;
+}
+
+// A branch is linearizable when its rendezvous operations form one fixed
+// sequence: straight-line code, channel-free control flow, and loops with
+// static trip counts.  Direct channel names only — channel-passing calls
+// make the sequence caller-dependent, so they fail linearization.
+bool linearize(const Stmt &s, const CallInfo &calls,
+               std::vector<LinearOp> &out) {
+  switch (s.kind) {
+  case Stmt::Kind::Decl:
+  case Stmt::Kind::Expr: {
+    bool bad = false;
+    forEachExpr(s, [&](const Expr &e) {
+      if (e.kind == Expr::Kind::Call) {
+        const auto &c = static_cast<const CallExpr &>(e);
+        if (!c.decl || calls.touches(c.decl))
+          bad = true;
+      }
+    });
+    return !bad;
+  }
+  case Stmt::Kind::Block:
+    for (const auto &child : static_cast<const BlockStmt &>(s).stmts)
+      if (!linearize(*child, calls, out))
+        return false;
+    return true;
+  case Stmt::Kind::If:
+  case Stmt::Kind::While:
+  case Stmt::Kind::DoWhile:
+    // Conditional communication has no fixed sequence; acceptable only when
+    // the subtree is channel-free.
+    return !subtreeTouchesChannels(s, calls);
+  case Stmt::Kind::For: {
+    const auto &f = static_cast<const ForStmt &>(s);
+    if (!subtreeTouchesChannels(*f.body, calls))
+      return !(f.cond && containsChanCall(*f.cond, calls)) &&
+             !(f.step && containsChanCall(*f.step, calls));
+    auto trip = opt::staticTripCount(f);
+    if (!trip || subtreeHasEscape(*f.body))
+      return false;
+    std::vector<LinearOp> body;
+    if (!linearize(*f.body, calls, body))
+      return false;
+    if (*trip * body.size() > kMaxLinearOps ||
+        out.size() + *trip * body.size() > kMaxLinearOps)
+      return false;
+    for (std::uint64_t i = 0; i < *trip; ++i)
+      out.insert(out.end(), body.begin(), body.end());
+    return true;
+  }
+  case Stmt::Kind::Return:
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+  case Stmt::Kind::Par:
+    return false;
+  case Stmt::Kind::Delay:
+    return true;
+  case Stmt::Kind::Send: {
+    const auto &snd = static_cast<const SendStmt &>(s);
+    if (containsChanCall(*snd.value, calls))
+      return false;
+    const Expr *chan = stripCasts(snd.chan.get());
+    if (chan->kind != Expr::Kind::VarRef)
+      return false;
+    const VarDecl *decl = static_cast<const VarRefExpr *>(chan)->decl;
+    if (!decl || decl->isParam || !isChanObjectType(decl->type))
+      return false;
+    if (out.size() >= kMaxLinearOps)
+      return false;
+    out.push_back({decl, true, snd.loc});
+    return true;
+  }
+  case Stmt::Kind::Recv: {
+    const auto &rcv = static_cast<const RecvStmt &>(s);
+    const Expr *chan = stripCasts(rcv.chan.get());
+    if (chan->kind != Expr::Kind::VarRef)
+      return false;
+    const VarDecl *decl = static_cast<const VarRefExpr *>(chan)->decl;
+    if (!decl || decl->isParam || !isChanObjectType(decl->type))
+      return false;
+    if (out.size() >= kMaxLinearOps)
+      return false;
+    out.push_back({decl, false, rcv.loc});
+    return true;
+  }
+  case Stmt::Kind::Constraint:
+    return linearize(*static_cast<const ConstraintStmt &>(s).body, calls,
+                     out);
+  }
+  return false;
+}
+
+// Exhaustive rendezvous-order search.  Reports the first reachable state in
+// which some branch is unfinished and no rendezvous can fire.
+void simulatePar(const ParStmt &par,
+                 const std::vector<std::vector<LinearOp>> &seqs,
+                 Report &report) {
+  std::vector<std::size_t> initial(seqs.size(), 0);
+  std::set<std::vector<std::size_t>> visited;
+  std::vector<std::vector<std::size_t>> stack{initial};
+  visited.insert(initial);
+  while (!stack.empty()) {
+    std::vector<std::size_t> state = stack.back();
+    stack.pop_back();
+    bool allDone = true;
+    bool anyStep = false;
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      if (state[i] >= seqs[i].size())
+        continue;
+      allDone = false;
+      const LinearOp &a = seqs[i][state[i]];
+      for (std::size_t j = 0; j < seqs.size(); ++j) {
+        if (j == i || state[j] >= seqs[j].size())
+          continue;
+        const LinearOp &b = seqs[j][state[j]];
+        if (a.isSend && !b.isSend && a.chan == b.chan) {
+          anyStep = true;
+          std::vector<std::size_t> next = state;
+          ++next[i];
+          ++next[j];
+          if (visited.insert(next).second) {
+            if (visited.size() > kMaxSimStates)
+              return; // too big to decide; stay silent
+            stack.push_back(std::move(next));
+          }
+        }
+      }
+    }
+    if (!allDone && !anyStep) {
+      Diagnostic d;
+      d.severity = Severity::Error;
+      d.code = "C2H-CHAN-005";
+      d.message =
+          "par branches can deadlock: a rendezvous order exists in which "
+          "every unfinished branch is blocked";
+      d.spans.push_back({par.loc, "par statement here"});
+      for (std::size_t i = 0; i < seqs.size(); ++i) {
+        if (state[i] >= seqs[i].size())
+          continue;
+        const LinearOp &op = seqs[i][state[i]];
+        d.spans.push_back({op.loc, "branch " + std::to_string(i + 1) +
+                                       " blocked on " +
+                                       (op.isSend ? "send" : "receive") +
+                                       " '" + op.chan->name + "'"});
+      }
+      d.hint = "reorder the communications so a matching send/receive pair "
+               "is always ready";
+      report.add(std::move(d));
+      return;
+    }
+  }
+}
+
+// Channel declarations that are objects (not parameter aliases), in id order.
+std::vector<const VarDecl *> channelObjects(const Program &program) {
+  std::map<unsigned, const VarDecl *> byId;
+  auto consider = [&](const VarDecl *decl) {
+    if (!decl->isParam && isChanObjectType(decl->type))
+      byId[decl->id] = decl;
+  };
+  for (const auto &g : program.globals)
+    consider(g.get());
+  forEachStmt(program, [&](const Stmt &s) {
+    if (s.kind == Stmt::Kind::Decl)
+      consider(static_cast<const DeclStmt &>(s).decl.get());
+  });
+  std::vector<const VarDecl *> out;
+  out.reserve(byId.size());
+  for (const auto &[id, decl] : byId) {
+    (void)id;
+    out.push_back(decl);
+  }
+  return out;
+}
+
+} // namespace
+
+Report checkChannels(const Program &program, const std::string &topName) {
+  Report report;
+  const FuncDecl *top = program.findFunction(topName);
+  CallInfo calls(program, top);
+
+  // --- C2H-CHAN-004: declared but never referenced -------------------------
+  std::set<unsigned> referenced;
+  forEachExpr(program, [&](const Expr &e) {
+    if (e.kind == Expr::Kind::VarRef) {
+      const auto &v = static_cast<const VarRefExpr &>(e);
+      if (v.decl)
+        referenced.insert(v.decl->id);
+    }
+  });
+  std::vector<const VarDecl *> channels = channelObjects(program);
+  for (const VarDecl *chan : channels) {
+    if (referenced.count(chan->id))
+      continue;
+    Diagnostic d;
+    d.severity = Severity::Warning;
+    d.code = "C2H-CHAN-004";
+    d.message = "channel '" + chan->name + "' is declared but never used";
+    d.spans.push_back({chan->loc, "declared here"});
+    d.hint = "connect it with '" + chan->name + " ! value' / '" + chan->name +
+             " ? target', or remove the declaration";
+    report.add(std::move(d));
+  }
+  if (!top)
+    return report;
+
+  // Channel-touching recursion makes every execution-based check
+  // unknowable; stop at the syntactic warning above.
+  for (const FuncDecl *fn : calls.reachable)
+    if (fn->isRecursive && calls.touches(fn))
+      return report;
+
+  std::set<const VarDecl *> flagged;
+
+  // --- C2H-CHAN-002/003/006: statically exact count mismatches -------------
+  Counter counter(program, calls);
+  const CountMap &totals = counter.summaryOf(top);
+  if (counter.valid()) {
+    for (const auto &[id, c] : totals) {
+      (void)id;
+      if (!c.exact || c.chan->isParam)
+        continue;
+      if (c.sends > 0 && c.recvs == 0) {
+        Diagnostic d;
+        d.severity = Severity::Error;
+        d.code = "C2H-CHAN-002";
+        d.message = "channel '" + c.chan->name +
+                    "' is sent to but never received from; the send blocks "
+                    "forever";
+        d.spans.push_back({c.firstSend, "send here"});
+        d.spans.push_back({c.chan->loc, "channel declared here"});
+        d.hint = "add a matching '" + c.chan->name +
+                 " ? target' in a concurrent branch";
+        report.add(std::move(d));
+        flagged.insert(c.chan);
+      } else if (c.recvs > 0 && c.sends == 0) {
+        Diagnostic d;
+        d.severity = Severity::Error;
+        d.code = "C2H-CHAN-003";
+        d.message = "channel '" + c.chan->name +
+                    "' is received from but never sent to; the receive "
+                    "blocks forever";
+        d.spans.push_back({c.firstRecv, "receive here"});
+        d.spans.push_back({c.chan->loc, "channel declared here"});
+        d.hint = "add a matching '" + c.chan->name +
+                 " ! value' in a concurrent branch";
+        report.add(std::move(d));
+        flagged.insert(c.chan);
+      } else if (c.sends > 0 && c.recvs > 0 && c.sends != c.recvs) {
+        Diagnostic d;
+        d.severity = Severity::Error;
+        d.code = "C2H-CHAN-006";
+        d.message = "channel '" + c.chan->name +
+                    "' rendezvous counts differ: " +
+                    std::to_string(c.sends) + " send(s) vs " +
+                    std::to_string(c.recvs) + " receive(s)";
+        d.spans.push_back({c.firstSend, "first send"});
+        d.spans.push_back({c.firstRecv, "first receive"});
+        d.hint = "balance the protocol; the surplus operations block "
+                 "forever at the rendezvous";
+        report.add(std::move(d));
+        flagged.insert(c.chan);
+      }
+    }
+  }
+
+  // --- C2H-CHAN-001: both directions confined to one sequential thread -----
+  ThreadWalker threads(calls);
+  threads.run(*top);
+  if (threads.ok) {
+    for (const auto &[id, u] : threads.uses) {
+      (void)id;
+      if (u.sendThreads.empty() || u.recvThreads.empty())
+        continue;
+      std::set<int> all(u.sendThreads);
+      all.insert(u.recvThreads.begin(), u.recvThreads.end());
+      if (all.size() != 1 || flagged.count(u.chan))
+        continue;
+      Diagnostic d;
+      d.severity = Severity::Error;
+      d.code = "C2H-CHAN-001";
+      d.message = "channel '" + u.chan->name +
+                  "' is sent and received by the same sequential thread; "
+                  "the rendezvous can never pair";
+      d.spans.push_back({u.firstSend, "send blocks here"});
+      d.spans.push_back({u.firstRecv, "receive never reached"});
+      d.hint = "move one side of the communication into a separate par "
+               "branch";
+      report.add(std::move(d));
+      flagged.insert(u.chan);
+    }
+  }
+
+  // --- C2H-CHAN-005: cyclic rendezvous wait, by exhaustive simulation ------
+  // Candidates: par statements in the top function itself, not nested inside
+  // another par (one live instance, so the simulation is faithful).
+  if (!top->body)
+    return report;
+  std::vector<const ParStmt *> candidates;
+  std::function<void(const Stmt &, bool)> collect = [&](const Stmt &s,
+                                                        bool inPar) {
+    switch (s.kind) {
+    case Stmt::Kind::Par: {
+      const auto &par = static_cast<const ParStmt &>(s);
+      if (!inPar)
+        candidates.push_back(&par);
+      for (const auto &branch : par.branches)
+        collect(*branch, true);
+      break;
+    }
+    case Stmt::Kind::Block:
+      for (const auto &child : static_cast<const BlockStmt &>(s).stmts)
+        collect(*child, inPar);
+      break;
+    case Stmt::Kind::If: {
+      const auto &i = static_cast<const IfStmt &>(s);
+      collect(*i.thenStmt, inPar);
+      if (i.elseStmt)
+        collect(*i.elseStmt, inPar);
+      break;
+    }
+    case Stmt::Kind::While:
+      collect(*static_cast<const WhileStmt &>(s).body, inPar);
+      break;
+    case Stmt::Kind::DoWhile:
+      collect(*static_cast<const DoWhileStmt &>(s).body, inPar);
+      break;
+    case Stmt::Kind::For:
+      collect(*static_cast<const ForStmt &>(s).body, inPar);
+      break;
+    case Stmt::Kind::Constraint:
+      collect(*static_cast<const ConstraintStmt &>(s).body, inPar);
+      break;
+    default:
+      break;
+    }
+  };
+  collect(*top->body, false);
+
+  // All reachable operation sites per channel, to prove a par's channels are
+  // confined to it.  Unresolvable sites disable the closure proof entirely.
+  bool sitesOk = true;
+  std::map<unsigned, std::vector<const Stmt *>> allSites;
+  for (const auto &fn : program.functions) {
+    if (!calls.reachable.count(fn.get()) || !fn->body)
+      continue;
+    forEachStmt(static_cast<const Stmt &>(*fn->body), [&](const Stmt &s) {
+      const Expr *chanExpr = nullptr;
+      if (s.kind == Stmt::Kind::Send)
+        chanExpr = static_cast<const SendStmt &>(s).chan.get();
+      else if (s.kind == Stmt::Kind::Recv)
+        chanExpr = static_cast<const RecvStmt &>(s).chan.get();
+      if (!chanExpr)
+        return;
+      const VarDecl *root = EffectAnalysis::rootVar(*chanExpr);
+      if (!root || root->isParam || !isChanObjectType(root->type)) {
+        sitesOk = false;
+        return;
+      }
+      allSites[root->id].push_back(&s);
+    });
+  }
+  if (!sitesOk)
+    return report;
+
+  for (const ParStmt *par : candidates) {
+    std::vector<std::vector<LinearOp>> seqs;
+    bool linear = true;
+    for (const auto &branch : par->branches) {
+      std::vector<LinearOp> seq;
+      if (!linearize(*branch, calls, seq)) {
+        linear = false;
+        break;
+      }
+      seqs.push_back(std::move(seq));
+    }
+    if (!linear)
+      continue;
+    // Closure: every reachable op on the involved channels lies inside this
+    // par, and none of them is already explained by another finding.
+    std::set<const Stmt *> inside;
+    forEachStmt(static_cast<const Stmt &>(*par), [&](const Stmt &s) {
+      inside.insert(&s);
+    });
+    bool closed = true;
+    for (const auto &seq : seqs) {
+      for (const LinearOp &op : seq) {
+        if (flagged.count(op.chan)) {
+          closed = false;
+          break;
+        }
+        for (const Stmt *site : allSites[op.chan->id])
+          if (!inside.count(site)) {
+            closed = false;
+            break;
+          }
+        if (!closed)
+          break;
+      }
+      if (!closed)
+        break;
+    }
+    if (!closed)
+      continue;
+    simulatePar(*par, seqs, report);
+  }
+  return report;
+}
+
+} // namespace c2h::analysis

@@ -1,0 +1,43 @@
+// Static channel-protocol checking.
+//
+// uC channels are unbuffered rendezvous points (Handel-C / Bach C): every
+// send must meet a receive in another thread of control.  This pass builds a
+// static picture of all `!`/`?` operations reachable from the top function
+// and reports communication errors that are provable without running the
+// program:
+//
+//   C2H-CHAN-001 (error)   send and receive on a channel confined to one
+//                          sequential thread — the rendezvous can never pair
+//   C2H-CHAN-002 (error)   channel is sent to but never received from
+//   C2H-CHAN-003 (error)   channel is received from but never sent to
+//   C2H-CHAN-004 (warning) channel declared but never referenced
+//   C2H-CHAN-005 (error)   par branches reach a state where every unfinished
+//                          branch is blocked (cyclic rendezvous wait), found
+//                          by exhaustive simulation of the rendezvous order
+//   C2H-CHAN-006 (error)   statically-exact send/receive counts differ, so
+//                          one side must block forever
+//
+// Every check is gated on what is statically certain: operation counts are
+// only compared when all multiplicities are exact (straight-line code, loops
+// with static trip counts); the rendezvous simulation only runs over par
+// statements whose channels are entirely confined to that par.  Anything
+// uncertain produces no finding — the pass must report zero errors on every
+// program the flows accept and verify.
+#ifndef C2H_ANALYSIS_CHANNELS_H
+#define C2H_ANALYSIS_CHANNELS_H
+
+#include "analysis/diagnostic.h"
+#include "frontend/ast.h"
+
+#include <string>
+
+namespace c2h::analysis {
+
+// Check channel protocols for the program as entered at `topName`.  If the
+// top function does not exist, only the unused-channel check runs (there is
+// no execution to reason about).
+Report checkChannels(const ast::Program &program, const std::string &topName);
+
+} // namespace c2h::analysis
+
+#endif // C2H_ANALYSIS_CHANNELS_H

@@ -1,0 +1,139 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace c2h::analysis {
+
+const char *severityName(Severity severity) {
+  switch (severity) {
+  case Severity::Note: return "note";
+  case Severity::Warning: return "warning";
+  case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream out;
+  out << code << " " << severityName(severity) << ": " << message;
+  for (const auto &span : spans) {
+    out << "\n  at " << (span.loc.isValid() ? span.loc.str() : "<program>");
+    if (!span.label.empty())
+      out << ": " << span.label;
+  }
+  if (!hint.empty())
+    out << "\n  hint: " << hint;
+  return out.str();
+}
+
+std::string Diagnostic::oneLine() const {
+  std::string line = code + ": " + message;
+  if (!spans.empty() && spans.front().loc.isValid()) {
+    line += " (at " + spans.front().loc.str();
+    for (std::size_t i = 1; i < spans.size(); ++i)
+      if (spans[i].loc.isValid())
+        line += ", " + spans[i].loc.str();
+    line += ")";
+  }
+  return line;
+}
+
+void Report::add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void Report::append(const Report &other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(),
+                      other.diagnostics_.end());
+}
+
+unsigned Report::errorCount() const {
+  unsigned n = 0;
+  for (const auto &d : diagnostics_)
+    n += d.severity == Severity::Error;
+  return n;
+}
+
+unsigned Report::warningCount() const {
+  unsigned n = 0;
+  for (const auto &d : diagnostics_)
+    n += d.severity == Severity::Warning;
+  return n;
+}
+
+void Report::sort() {
+  auto spanKey = [](const Diagnostic &d) {
+    std::vector<std::tuple<unsigned, unsigned, std::string>> key;
+    key.reserve(d.spans.size());
+    for (const auto &s : d.spans)
+      key.emplace_back(s.loc.line, s.loc.column, s.label);
+    return key;
+  };
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [&](const Diagnostic &a, const Diagnostic &b) {
+                     SourceLoc la = a.primaryLoc(), lb = b.primaryLoc();
+                     return std::make_tuple(la.line, la.column, a.code,
+                                            a.message, spanKey(a)) <
+                            std::make_tuple(lb.line, lb.column, b.code,
+                                            b.message, spanKey(b));
+                   });
+}
+
+std::string Report::renderText() const {
+  std::ostringstream out;
+  for (const auto &d : diagnostics_)
+    out << d.str() << "\n";
+  out << errorCount() << " error(s), " << warningCount() << " warning(s)\n";
+  return out.str();
+}
+
+std::string jsonEscape(const std::string &text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Report::renderJson() const {
+  std::ostringstream out;
+  out << "{\"findings\":[";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic &d = diagnostics_[i];
+    if (i)
+      out << ",";
+    out << "{\"severity\":\"" << severityName(d.severity) << "\",\"code\":\""
+        << jsonEscape(d.code) << "\",\"message\":\"" << jsonEscape(d.message)
+        << "\",\"spans\":[";
+    for (std::size_t j = 0; j < d.spans.size(); ++j) {
+      const Span &s = d.spans[j];
+      if (j)
+        out << ",";
+      out << "{\"line\":" << s.loc.line << ",\"column\":" << s.loc.column
+          << ",\"label\":\"" << jsonEscape(s.label) << "\"}";
+    }
+    out << "],\"hint\":\"" << jsonEscape(d.hint) << "\"}";
+  }
+  out << "],\"errors\":" << errorCount() << ",\"warnings\":" << warningCount()
+      << "}\n";
+  return out.str();
+}
+
+} // namespace c2h::analysis

@@ -1,0 +1,79 @@
+// Structured diagnostics for the synthesizability analyzer.
+//
+// Unlike the frontend's free-form Diagnostic (one location, one string),
+// analysis findings are machine-consumable: every finding carries a stable
+// code (C2H-RACE-001, C2H-CHAN-005, ...), an *ordered* list of source spans
+// (a race needs both conflicting sites, a deadlock every blocked operation),
+// and a fix hint.  Reports order their findings deterministically, so the
+// rendered output — text or JSON — is byte-identical across repeated and
+// parallel runs; CI diffs it and scripts parse it.
+#ifndef C2H_ANALYSIS_DIAGNOSTIC_H
+#define C2H_ANALYSIS_DIAGNOSTIC_H
+
+#include "support/diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace c2h::analysis {
+
+enum class Severity { Note, Warning, Error };
+
+const char *severityName(Severity severity);
+
+// One source position contributing to a finding, with its role ("branch 1
+// writes 'x' here", "blocked sending on 'c'").  The first span is the
+// primary site.
+struct Span {
+  SourceLoc loc;
+  std::string label;
+};
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string code;    // stable, e.g. "C2H-RACE-001"
+  std::string message; // one-line summary
+  std::vector<Span> spans;
+  std::string hint;    // how to fix; may be empty
+
+  SourceLoc primaryLoc() const {
+    return spans.empty() ? SourceLoc{} : spans.front().loc;
+  }
+  // Multi-line text rendering: summary line plus one indented line per span.
+  std::string str() const;
+  // One-line rendering for flow rejection messages.
+  std::string oneLine() const;
+};
+
+// The outcome of running one or more analyses over a program.
+class Report {
+public:
+  void add(Diagnostic diagnostic);
+  void append(const Report &other);
+
+  const std::vector<Diagnostic> &diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  unsigned errorCount() const;
+  unsigned warningCount() const;
+  bool hasErrors() const { return errorCount() != 0; }
+
+  // Order findings by (primary location, code, message, remaining spans).
+  // Every renderer calls this, so output never depends on analysis order.
+  void sort();
+
+  std::string renderText() const;
+  // Stable JSON: {"findings":[...],"errors":N,"warnings":N}.  Keys and
+  // array orders are fixed; no floats, no timestamps.
+  std::string renderJson() const;
+
+private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+// Minimal JSON string escaping for renderJson (quotes, backslashes,
+// control characters).
+std::string jsonEscape(const std::string &text);
+
+} // namespace c2h::analysis
+
+#endif // C2H_ANALYSIS_DIAGNOSTIC_H

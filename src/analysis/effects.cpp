@@ -1,0 +1,582 @@
+#include "analysis/effects.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace c2h::analysis {
+
+using namespace ast;
+
+// ---------------------------------------------------------------------------
+// EffectSet
+// ---------------------------------------------------------------------------
+
+void EffectSet::noteRead(const VarDecl *var, SourceLoc loc) {
+  if (!var)
+    return;
+  VarAccess &a = accesses_[var->id];
+  a.var = var;
+  if (!a.read) {
+    a.read = true;
+    a.firstRead = loc;
+  }
+}
+
+void EffectSet::noteWrite(const VarDecl *var, SourceLoc loc) {
+  if (!var)
+    return;
+  VarAccess &a = accesses_[var->id];
+  a.var = var;
+  if (!a.write) {
+    a.write = true;
+    a.firstWrite = loc;
+  }
+}
+
+void EffectSet::merge(const EffectSet &other) {
+  for (const auto &[id, access] : other.accesses_) {
+    (void)id;
+    if (access.read)
+      noteRead(access.var, access.firstRead);
+    if (access.write)
+      noteWrite(access.var, access.firstWrite);
+  }
+}
+
+const VarAccess *EffectSet::find(const VarDecl *var) const {
+  auto it = accesses_.find(var->id);
+  return it == accesses_.end() ? nullptr : &it->second;
+}
+
+std::string EffectSet::str() const {
+  std::vector<const VarAccess *> order;
+  order.reserve(accesses_.size());
+  for (const auto &[id, access] : accesses_) {
+    (void)id;
+    order.push_back(&access);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const VarAccess *a, const VarAccess *b) {
+              return std::make_tuple(a->var->name, a->var->loc.line,
+                                     a->var->loc.column) <
+                     std::make_tuple(b->var->name, b->var->loc.line,
+                                     b->var->loc.column);
+            });
+  std::ostringstream out;
+  for (const VarAccess *a : order) {
+    out << a->var->name << "@" << a->var->loc.str() << ":";
+    if (a->read)
+      out << " read " << a->firstRead.str();
+    if (a->write)
+      out << " write " << a->firstWrite.str();
+    out << "\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// The walker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool isByRefType(const Type *type) {
+  return type && (type->isArray() || type->isPointer() || type->isChan());
+}
+
+bool isByRefParamOf(const FuncDecl &fn, const VarDecl *var) {
+  if (!var->isParam || !isByRefType(var->type))
+    return false;
+  for (const auto &p : fn.params)
+    if (p.get() == var)
+      return true;
+  return false;
+}
+
+int paramIndexOf(const FuncDecl &fn, const VarDecl *var) {
+  for (std::size_t i = 0; i < fn.params.size(); ++i)
+    if (fn.params[i].get() == var)
+      return static_cast<int>(i);
+  return -1;
+}
+
+} // namespace
+
+const VarDecl *EffectAnalysis::rootVar(const Expr &expr) {
+  switch (expr.kind) {
+  case Expr::Kind::VarRef:
+    return static_cast<const VarRefExpr &>(expr).decl;
+  case Expr::Kind::Index:
+    return rootVar(*static_cast<const IndexExpr &>(expr).base);
+  case Expr::Kind::Cast:
+    return rootVar(*static_cast<const CastExpr &>(expr).operand);
+  default:
+    return nullptr;
+  }
+}
+
+// Accumulates the effects of one statement/expression subtree into `out`,
+// expanding calls through the summary table.  `filter`, when set, drops
+// accesses (summary construction keeps only externally visible storage).
+class EffectWalker {
+public:
+  EffectWalker(const EffectAnalysis &analysis,
+               const std::map<const FuncDecl *, EffectSet> &summaries,
+               EffectSet &out, const FuncDecl *summaryOf)
+      : analysis_(analysis), summaries_(summaries), out_(out),
+        summaryOf_(summaryOf) {}
+
+  void stmt(const Stmt &s) {
+    switch (s.kind) {
+    case Stmt::Kind::Decl: {
+      const auto &d = static_cast<const DeclStmt &>(s);
+      if (d.decl->init) {
+        rvalue(*d.decl->init);
+        write(d.decl.get(), d.decl->loc);
+      }
+      if (!d.decl->arrayInit.empty()) {
+        for (const auto &e : d.decl->arrayInit)
+          rvalue(*e);
+        write(d.decl.get(), d.decl->loc);
+      }
+      break;
+    }
+    case Stmt::Kind::Expr:
+      rvalue(*static_cast<const ExprStmt &>(s).expr);
+      break;
+    case Stmt::Kind::Block:
+      for (const auto &child : static_cast<const BlockStmt &>(s).stmts)
+        stmt(*child);
+      break;
+    case Stmt::Kind::If: {
+      const auto &i = static_cast<const IfStmt &>(s);
+      rvalue(*i.cond);
+      stmt(*i.thenStmt);
+      if (i.elseStmt)
+        stmt(*i.elseStmt);
+      break;
+    }
+    case Stmt::Kind::While: {
+      const auto &w = static_cast<const WhileStmt &>(s);
+      rvalue(*w.cond);
+      stmt(*w.body);
+      break;
+    }
+    case Stmt::Kind::DoWhile: {
+      const auto &w = static_cast<const DoWhileStmt &>(s);
+      stmt(*w.body);
+      rvalue(*w.cond);
+      break;
+    }
+    case Stmt::Kind::For: {
+      const auto &f = static_cast<const ForStmt &>(s);
+      if (f.init)
+        stmt(*f.init);
+      if (f.cond)
+        rvalue(*f.cond);
+      if (f.step)
+        rvalue(*f.step);
+      stmt(*f.body);
+      break;
+    }
+    case Stmt::Kind::Return: {
+      const auto &r = static_cast<const ReturnStmt &>(s);
+      if (r.value)
+        rvalue(*r.value);
+      break;
+    }
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+    case Stmt::Kind::Delay:
+      break;
+    case Stmt::Kind::Par:
+      for (const auto &branch : static_cast<const ParStmt &>(s).branches)
+        stmt(*branch);
+      break;
+    case Stmt::Kind::Send: {
+      // The channel itself is synchronization, not shared data — only the
+      // payload expression contributes effects.
+      rvalue(*static_cast<const SendStmt &>(s).value);
+      break;
+    }
+    case Stmt::Kind::Recv:
+      lvalueWrite(*static_cast<const RecvStmt &>(s).target);
+      break;
+    case Stmt::Kind::Constraint:
+      stmt(*static_cast<const ConstraintStmt &>(s).body);
+      break;
+    }
+  }
+
+  void rvalue(const Expr &e) {
+    switch (e.kind) {
+    case Expr::Kind::IntLiteral:
+    case Expr::Kind::BoolLiteral:
+      break;
+    case Expr::Kind::VarRef: {
+      const auto &v = static_cast<const VarRefExpr &>(e);
+      read(v.decl, v.loc);
+      break;
+    }
+    case Expr::Kind::Unary: {
+      const auto &u = static_cast<const UnaryExpr &>(e);
+      switch (u.op) {
+      case UnaryOp::Deref:
+        rvalue(*u.operand); // the pointer value
+        for (const VarDecl *target : analysis_.aliasUniverse())
+          read(target, u.loc);
+        break;
+      case UnaryOp::AddrOf:
+        address(*u.operand);
+        break;
+      case UnaryOp::PreInc:
+      case UnaryOp::PreDec:
+      case UnaryOp::PostInc:
+      case UnaryOp::PostDec:
+        lvalueRead(*u.operand);
+        lvalueWrite(*u.operand);
+        break;
+      default:
+        rvalue(*u.operand);
+      }
+      break;
+    }
+    case Expr::Kind::Binary: {
+      const auto &b = static_cast<const BinaryExpr &>(e);
+      rvalue(*b.lhs);
+      rvalue(*b.rhs);
+      break;
+    }
+    case Expr::Kind::Assign: {
+      const auto &a = static_cast<const AssignExpr &>(e);
+      if (a.isCompound)
+        lvalueRead(*a.target);
+      rvalue(*a.value);
+      lvalueWrite(*a.target);
+      break;
+    }
+    case Expr::Kind::Ternary: {
+      const auto &t = static_cast<const TernaryExpr &>(e);
+      rvalue(*t.cond);
+      rvalue(*t.thenExpr);
+      rvalue(*t.elseExpr);
+      break;
+    }
+    case Expr::Kind::Call:
+      call(static_cast<const CallExpr &>(e));
+      break;
+    case Expr::Kind::Index: {
+      const auto &i = static_cast<const IndexExpr &>(e);
+      lvalueRead(e);
+      (void)i;
+      break;
+    }
+    case Expr::Kind::Cast:
+      rvalue(*static_cast<const CastExpr &>(e).operand);
+      break;
+    }
+  }
+
+private:
+  // Reading through an lvalue chain: the root object plus every index
+  // expression along the way.
+  void lvalueRead(const Expr &e) {
+    switch (e.kind) {
+    case Expr::Kind::VarRef: {
+      const auto &v = static_cast<const VarRefExpr &>(e);
+      read(v.decl, v.loc);
+      break;
+    }
+    case Expr::Kind::Index: {
+      const auto &i = static_cast<const IndexExpr &>(e);
+      rvalue(*i.index);
+      lvalueRead(*i.base);
+      break;
+    }
+    case Expr::Kind::Unary: {
+      const auto &u = static_cast<const UnaryExpr &>(e);
+      if (u.op == UnaryOp::Deref) {
+        rvalue(*u.operand);
+        for (const VarDecl *target : analysis_.aliasUniverse())
+          read(target, u.loc);
+        return;
+      }
+      rvalue(e);
+      break;
+    }
+    case Expr::Kind::Cast:
+      lvalueRead(*static_cast<const CastExpr &>(e).operand);
+      break;
+    default:
+      rvalue(e);
+    }
+  }
+
+  void lvalueWrite(const Expr &e) {
+    switch (e.kind) {
+    case Expr::Kind::VarRef: {
+      const auto &v = static_cast<const VarRefExpr &>(e);
+      write(v.decl, v.loc);
+      break;
+    }
+    case Expr::Kind::Index: {
+      const auto &i = static_cast<const IndexExpr &>(e);
+      rvalue(*i.index);
+      // Writing one element is a (may-)write of the whole object.
+      const VarDecl *root = EffectAnalysis::rootVar(*i.base);
+      if (root) {
+        write(root, i.loc);
+        innerIndexReads(*i.base);
+      } else {
+        lvalueWrite(*i.base);
+      }
+      break;
+    }
+    case Expr::Kind::Unary: {
+      const auto &u = static_cast<const UnaryExpr &>(e);
+      if (u.op == UnaryOp::Deref) {
+        rvalue(*u.operand);
+        for (const VarDecl *target : analysis_.aliasUniverse())
+          write(target, u.loc);
+        return;
+      }
+      rvalue(e);
+      break;
+    }
+    case Expr::Kind::Cast:
+      lvalueWrite(*static_cast<const CastExpr &>(e).operand);
+      break;
+    default:
+      rvalue(e);
+    }
+  }
+
+  // Index expressions below a multi-dimensional write target are reads.
+  void innerIndexReads(const Expr &e) {
+    if (e.kind == Expr::Kind::Index) {
+      const auto &i = static_cast<const IndexExpr &>(e);
+      rvalue(*i.index);
+      innerIndexReads(*i.base);
+    } else if (e.kind == Expr::Kind::Cast) {
+      innerIndexReads(*static_cast<const CastExpr &>(e).operand);
+    }
+  }
+
+  // Taking an address evaluates index expressions but touches no storage.
+  void address(const Expr &e) {
+    switch (e.kind) {
+    case Expr::Kind::VarRef:
+      break;
+    case Expr::Kind::Index: {
+      const auto &i = static_cast<const IndexExpr &>(e);
+      rvalue(*i.index);
+      address(*i.base);
+      break;
+    }
+    case Expr::Kind::Unary: {
+      const auto &u = static_cast<const UnaryExpr &>(e);
+      if (u.op == UnaryOp::Deref) {
+        rvalue(*u.operand);
+        return;
+      }
+      rvalue(e);
+      break;
+    }
+    case Expr::Kind::Cast:
+      address(*static_cast<const CastExpr &>(e).operand);
+      break;
+    default:
+      rvalue(e);
+    }
+  }
+
+  void call(const CallExpr &c) {
+    for (const auto &arg : c.args) {
+      // A bare array/pointer/chan argument passes identity, not data; its
+      // effects come from the callee summary remap below.
+      const Expr *stripped = arg.get();
+      while (stripped->kind == Expr::Kind::Cast)
+        stripped = static_cast<const CastExpr *>(stripped)->operand.get();
+      if (stripped->kind == Expr::Kind::VarRef &&
+          isByRefType(stripped->type))
+        continue;
+      rvalue(*arg);
+    }
+    if (!c.decl)
+      return;
+    auto it = summaries_.find(c.decl);
+    if (it == summaries_.end())
+      return;
+    for (const auto &[id, access] : it->second.accesses()) {
+      (void)id;
+      const VarDecl *var = access.var;
+      int paramIndex = paramIndexOf(*c.decl, var);
+      if (paramIndex >= 0 &&
+          static_cast<std::size_t>(paramIndex) < c.args.size()) {
+        // By-reference parameter: rebind onto the caller's argument.
+        const VarDecl *root = EffectAnalysis::rootVar(*c.args[paramIndex]);
+        if (root) {
+          if (access.read)
+            read(root, access.firstRead);
+          if (access.write)
+            write(root, access.firstWrite);
+        } else {
+          for (const VarDecl *target : analysis_.aliasUniverse()) {
+            if (access.read)
+              read(target, access.firstRead);
+            if (access.write)
+              write(target, access.firstWrite);
+          }
+        }
+      } else {
+        if (access.read)
+          read(var, access.firstRead);
+        if (access.write)
+          write(var, access.firstWrite);
+      }
+    }
+  }
+
+  bool keep(const VarDecl *var) const {
+    if (!summaryOf_)
+      return true;
+    // Summaries expose only storage visible outside one activation:
+    // globals, by-reference parameters, and address-taken locals (which
+    // lower to shared memories).
+    return var->isGlobal || var->addressTaken ||
+           isByRefParamOf(*summaryOf_, var);
+  }
+
+  void read(const VarDecl *var, SourceLoc loc) {
+    if (var && keep(var))
+      out_.noteRead(var, loc);
+  }
+  void write(const VarDecl *var, SourceLoc loc) {
+    if (var && keep(var))
+      out_.noteWrite(var, loc);
+  }
+
+  const EffectAnalysis &analysis_;
+  const std::map<const FuncDecl *, EffectSet> &summaries_;
+  EffectSet &out_;
+  const FuncDecl *summaryOf_; // null: keep every access
+};
+
+// ---------------------------------------------------------------------------
+// EffectAnalysis
+// ---------------------------------------------------------------------------
+
+EffectAnalysis::EffectAnalysis(const Program &program) : program_(program) {
+  // Alias universe: anything a dereference may reach — address-taken
+  // declarations and arrays (uC pointers are formed from &x / array decay).
+  std::map<unsigned, const VarDecl *> universe;
+  auto consider = [&](const VarDecl *decl) {
+    if (decl->addressTaken || (decl->type && decl->type->isArray()))
+      universe[decl->id] = decl;
+  };
+  std::function<void(const Stmt &)> collectDecls = [&](const Stmt &s) {
+    switch (s.kind) {
+    case Stmt::Kind::Decl:
+      consider(static_cast<const DeclStmt &>(s).decl.get());
+      break;
+    case Stmt::Kind::Block:
+      for (const auto &child : static_cast<const BlockStmt &>(s).stmts)
+        collectDecls(*child);
+      break;
+    case Stmt::Kind::If: {
+      const auto &i = static_cast<const IfStmt &>(s);
+      collectDecls(*i.thenStmt);
+      if (i.elseStmt)
+        collectDecls(*i.elseStmt);
+      break;
+    }
+    case Stmt::Kind::While:
+      collectDecls(*static_cast<const WhileStmt &>(s).body);
+      break;
+    case Stmt::Kind::DoWhile:
+      collectDecls(*static_cast<const DoWhileStmt &>(s).body);
+      break;
+    case Stmt::Kind::For: {
+      const auto &f = static_cast<const ForStmt &>(s);
+      if (f.init)
+        collectDecls(*f.init);
+      collectDecls(*f.body);
+      break;
+    }
+    case Stmt::Kind::Par:
+      for (const auto &branch : static_cast<const ParStmt &>(s).branches)
+        collectDecls(*branch);
+      break;
+    case Stmt::Kind::Constraint:
+      collectDecls(*static_cast<const ConstraintStmt &>(s).body);
+      break;
+    default:
+      break;
+    }
+  };
+  for (const auto &g : program.globals)
+    consider(g.get());
+  for (const auto &fn : program.functions) {
+    for (const auto &p : fn->params)
+      consider(p.get());
+    if (fn->body)
+      collectDecls(*fn->body);
+  }
+  for (const auto &[id, decl] : universe) {
+    (void)id;
+    aliasUniverse_.push_back(decl);
+  }
+
+  // Function-summary fixpoint: effects only grow, the domain is finite,
+  // and locations are pinned on first sighting, so iteration converges to
+  // a deterministic result (recursion included).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto &fn : program.functions) {
+      if (!fn->body)
+        continue;
+      EffectSet next;
+      EffectWalker walker(*this, summaries_, next, fn.get());
+      walker.stmt(*fn->body);
+      EffectSet &current = summaries_[fn.get()];
+      bool grew = false;
+      for (const auto &[id, access] : next.accesses()) {
+        auto it = current.accesses().find(id);
+        const VarAccess *have = it == current.accesses().end() ? nullptr
+                                                              : &it->second;
+        if (!have || have->read != access.read ||
+            have->write != access.write) {
+          grew = true;
+          break;
+        }
+      }
+      if (grew) {
+        current.merge(next);
+        changed = true;
+      }
+    }
+  }
+}
+
+EffectSet EffectAnalysis::ofStmt(const Stmt &stmt) const {
+  EffectSet out;
+  EffectWalker walker(*this, summaries_, out, nullptr);
+  walker.stmt(stmt);
+  return out;
+}
+
+EffectSet EffectAnalysis::ofExpr(const Expr &expr) const {
+  EffectSet out;
+  EffectWalker walker(*this, summaries_, out, nullptr);
+  walker.rvalue(expr);
+  return out;
+}
+
+const EffectSet &EffectAnalysis::summary(const FuncDecl &fn) const {
+  static const EffectSet empty;
+  auto it = summaries_.find(&fn);
+  return it == summaries_.end() ? empty : it->second;
+}
+
+} // namespace c2h::analysis

@@ -1,0 +1,89 @@
+// Interprocedural read/write effect sets over the checked AST.
+//
+// The par-race detector asks one question per parallel branch: which
+// storage may this branch touch, and where?  Effects are computed per
+// variable declaration (scalars and whole arrays — element-level disjointness
+// is not proved), flow through calls via fixpoint function summaries (so
+// recursion converges), and treat pointer dereferences conservatively as
+// touching every address-taken or array object in the program.  Every access
+// remembers the first source location that caused it, so conflicts are
+// reported with both sites.
+#ifndef C2H_ANALYSIS_EFFECTS_H
+#define C2H_ANALYSIS_EFFECTS_H
+
+#include "frontend/ast.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace c2h::analysis {
+
+// How one declaration is touched by a statement subtree.
+struct VarAccess {
+  const ast::VarDecl *var = nullptr;
+  bool read = false;
+  bool write = false;
+  SourceLoc firstRead;  // invalid unless read
+  SourceLoc firstWrite; // invalid unless write
+};
+
+class EffectSet {
+public:
+  void noteRead(const ast::VarDecl *var, SourceLoc loc);
+  void noteWrite(const ast::VarDecl *var, SourceLoc loc);
+  void merge(const EffectSet &other);
+
+  // Accesses keyed by VarDecl id — deterministic iteration within one
+  // program instance.
+  const std::map<unsigned, VarAccess> &accesses() const { return accesses_; }
+  const VarAccess *find(const ast::VarDecl *var) const;
+  bool empty() const { return accesses_.empty(); }
+
+  // Rendering keyed by (variable name, declaration location) rather than id,
+  // so the effect sets of a program and its opt::cloneProgram copy (which
+  // re-numbers declarations) print identically.
+  std::string str() const;
+
+private:
+  std::map<unsigned, VarAccess> accesses_;
+};
+
+// Effect computation over one checked program.  Construction builds the
+// alias universe and runs the function-summary fixpoint; queries afterwards
+// are pure.
+class EffectAnalysis {
+public:
+  explicit EffectAnalysis(const ast::Program &program);
+
+  // Effects of a statement subtree with calls expanded through summaries.
+  // Includes branch-local declarations; race detection relies on scoping —
+  // a declaration visible to two par branches is shared by construction.
+  EffectSet ofStmt(const ast::Stmt &stmt) const;
+  EffectSet ofExpr(const ast::Expr &expr) const;
+
+  // External effects of calling `fn`: globals, address-taken storage, and
+  // by-reference (array/pointer/chan-typed) parameters.  Per-activation
+  // scalars are excluded.
+  const EffectSet &summary(const ast::FuncDecl &fn) const;
+
+  // Every declaration a pointer dereference may touch, ordered by id.
+  const std::vector<const ast::VarDecl *> &aliasUniverse() const {
+    return aliasUniverse_;
+  }
+
+  // The innermost declaration an lvalue/array expression resolves to, or
+  // nullptr for computed addresses (dereferences).
+  static const ast::VarDecl *rootVar(const ast::Expr &expr);
+
+private:
+  friend class EffectWalker;
+
+  const ast::Program &program_;
+  std::vector<const ast::VarDecl *> aliasUniverse_;
+  std::map<const ast::FuncDecl *, EffectSet> summaries_;
+};
+
+} // namespace c2h::analysis
+
+#endif // C2H_ANALYSIS_EFFECTS_H

@@ -1,0 +1,93 @@
+#include "analysis/race.h"
+
+#include "analysis/astwalk.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace c2h::analysis {
+
+using namespace ast;
+
+namespace {
+
+bool raceRelevant(const VarDecl *var) {
+  // Channels synchronize; const storage cannot be written (reads of it never
+  // conflict).  Everything else — scalars, arrays, pointers — can race.
+  if (var->type && var->type->isChan())
+    return false;
+  return true;
+}
+
+void checkPar(const ParStmt &par, const EffectAnalysis &effects,
+              Report &report) {
+  std::vector<EffectSet> branchEffects;
+  branchEffects.reserve(par.branches.size());
+  for (const auto &branch : par.branches)
+    branchEffects.push_back(effects.ofStmt(*branch));
+
+  for (std::size_t i = 0; i < branchEffects.size(); ++i) {
+    for (std::size_t j = i + 1; j < branchEffects.size(); ++j) {
+      for (const auto &[id, a] : branchEffects[i].accesses()) {
+        (void)id;
+        if (!raceRelevant(a.var))
+          continue;
+        const VarAccess *b = branchEffects[j].find(a.var);
+        if (!b)
+          continue;
+        auto branchLabel = [&](std::size_t branch, const VarAccess &access,
+                               bool asWrite) {
+          return Span{asWrite ? access.firstWrite : access.firstRead,
+                      "par branch " + std::to_string(branch + 1) + " " +
+                          (asWrite ? "writes" : "reads") + " '" +
+                          access.var->name + "' here"};
+        };
+        if (a.write && b->write) {
+          Diagnostic d;
+          d.severity = Severity::Error;
+          d.code = "C2H-RACE-001";
+          d.message = "write-write race on '" + a.var->name +
+                      "' between par branches " + std::to_string(i + 1) +
+                      " and " + std::to_string(j + 1);
+          d.spans.push_back(branchLabel(i, a, true));
+          d.spans.push_back(branchLabel(j, *b, true));
+          d.hint = "serialize the writes outside the par, or give each "
+                   "branch its own variable";
+          report.add(std::move(d));
+        } else if (a.write || b->write) {
+          // One side writes, the other (at least) reads: the reader may
+          // observe either the old or the new value.
+          const VarAccess &writer = a.write ? a : *b;
+          const VarAccess &reader = a.write ? *b : a;
+          std::size_t writerBranch = a.write ? i : j;
+          std::size_t readerBranch = a.write ? j : i;
+          Diagnostic d;
+          d.severity = Severity::Error;
+          d.code = "C2H-RACE-002";
+          d.message = "read-write race on '" + a.var->name +
+                      "': par branch " + std::to_string(writerBranch + 1) +
+                      " writes while branch " +
+                      std::to_string(readerBranch + 1) + " reads";
+          d.spans.push_back(branchLabel(writerBranch, writer, true));
+          d.spans.push_back(branchLabel(readerBranch, reader, false));
+          d.hint = "pass the value over a channel, or move the read before "
+                   "or after the par";
+          report.add(std::move(d));
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+Report checkParRaces(const Program &program, const EffectAnalysis &effects) {
+  Report report;
+  forEachStmt(program, [&](const Stmt &stmt) {
+    if (stmt.kind == Stmt::Kind::Par)
+      checkPar(static_cast<const ParStmt &>(stmt), effects, report);
+  });
+  return report;
+}
+
+} // namespace c2h::analysis

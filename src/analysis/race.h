@@ -1,0 +1,29 @@
+// Par-branch race detection.
+//
+// For every `par` statement, each branch's read/write effect set is computed
+// interprocedurally (EffectAnalysis) and branches are compared pairwise.  Two
+// branches touching the same declaration where at least one writes is a race
+// under the rendezvous-only synchronization model: uC's `par` has no locks,
+// and the paper's concurrency section is exactly about compilers accepting
+// such programs silently.  Channels themselves are excluded — they ARE the
+// synchronization.  Conflicts are reported with one source span per branch.
+//
+//   C2H-RACE-001 (error)   write-write conflict between two par branches
+//   C2H-RACE-002 (error)   read-write conflict between two par branches
+#ifndef C2H_ANALYSIS_RACE_H
+#define C2H_ANALYSIS_RACE_H
+
+#include "analysis/diagnostic.h"
+#include "analysis/effects.h"
+#include "frontend/ast.h"
+
+namespace c2h::analysis {
+
+// Check every par statement in the program.  Findings are appended in
+// deterministic (program) order; the caller sorts the final report.
+Report checkParRaces(const ast::Program &program,
+                     const EffectAnalysis &effects);
+
+} // namespace c2h::analysis
+
+#endif // C2H_ANALYSIS_RACE_H

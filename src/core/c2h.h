@@ -35,6 +35,7 @@
 #include "sched/schedule.h"
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -96,6 +97,10 @@ struct FlowComparison {
   double areaTotal = 0.0;
   double fmaxMHz = 0.0;
   double asyncNs = 0.0;
+  // Workload-level analyzer findings (shared across this workload's rows;
+  // computed once per cached frontend compile).  May be null when the
+  // frontend failed or the row came from a path without the engine cache.
+  std::shared_ptr<const analysis::Report> analysis;
 };
 
 // Run every registered flow over one workload, verifying each accepted

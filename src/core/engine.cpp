@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include "analysis/analyzer.h"
 #include "opt/astclone.h"
 #include "support/threadpool.h"
 
@@ -45,8 +46,27 @@ FrontendCache::get(const std::string &source, const std::string &top) {
   entry->top = top;
   DiagnosticEngine diags;
   entry->program = frontend(source, entry->types, diags);
-  if (!entry->program)
+  if (!entry->program) {
     entry->error = diags.str();
+  } else {
+    // Analyze once per compile, not once per (flow, workload) cell.  The
+    // IR-level lints need a lowered module; lower a private clone so the
+    // cached AST stays pristine for the flows.
+    analysis::AnalyzeOptions opts;
+    opts.top = top;
+    std::unique_ptr<ir::Module> module;
+    DiagnosticEngine lowerDiags;
+    std::unique_ptr<ast::Program> clone = opt::cloneProgram(*entry->program);
+    opt::inlineFunctions(*clone, entry->types, lowerDiags);
+    if (!lowerDiags.hasErrors()) {
+      opt::removeUnusedFunctions(*clone, top);
+      module = ir::lowerToIR(*clone, lowerDiags);
+      if (lowerDiags.hasErrors())
+        module.reset();
+    }
+    entry->analysis = std::make_shared<const analysis::Report>(
+        analysis::analyzeProgram(*entry->program, module.get(), opts));
+  }
   bucket.push_back(entry);
   return entry;
 }
@@ -95,6 +115,7 @@ FlowComparison CompareEngine::runCell(const flows::FlowSpec &spec,
     std::unique_ptr<ast::Program> program = entry.cloneAst();
     flows::FlowResult result =
         runner_(spec, *program, entry.types, workload.top, tuning);
+    row.analysis = entry.analysis;
     row.accepted = result.accepted;
     if (!result.accepted) {
       row.note = result.rejections.empty() ? "rejected"

@@ -42,6 +42,10 @@ public:
     std::string error;       // frontend diagnostics when compilation failed
     TypeContext types;       // owns every Type the cached AST points at
     std::unique_ptr<ast::Program> program; // null when !ok()
+    // The synthesizability analyzer's findings, computed once per cached
+    // compile (not once per flow) and shared by every result row.  Null
+    // when the frontend failed.
+    std::shared_ptr<const analysis::Report> analysis;
 
     bool ok() const { return program != nullptr; }
     // A private, fully remapped deep clone (opt::cloneProgram).  The clone

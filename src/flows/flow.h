@@ -19,6 +19,7 @@
 #ifndef C2H_FLOWS_FLOW_H
 #define C2H_FLOWS_FLOW_H
 
+#include "analysis/diagnostic.h"
 #include "async/dataflow.h"
 #include "frontend/sema.h"
 #include "ir/ir.h"
@@ -83,6 +84,10 @@ struct FlowResult {
   bool ok = false;                 // synthesis completed
   std::vector<std::string> rejections; // restriction diagnostics
   std::string error;               // non-restriction failure
+  // Structured findings from the pre-flight analyzer (provable races,
+  // channel deadlocks, un-flattenable loops) that caused a rejection or
+  // failure; empty when the program passed pre-flight.
+  analysis::Report analysisFindings;
 
   std::shared_ptr<ir::Module> module;
   std::optional<rtl::Design> design;              // synchronous flows

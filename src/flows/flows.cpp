@@ -1,5 +1,7 @@
 #include "flows/flow.h"
 
+#include "analysis/analyzer.h"
+#include "analysis/lints.h"
 #include "frontend/parser.h"
 #include "ir/lower.h"
 #include "opt/ifconvert.h"
@@ -264,14 +266,35 @@ FlowResult runFlowChecked(const FlowSpec &spec, ast::Program &program,
   //    language's restrictions.
   FeatureSet features = analyzeFeatures(program);
   for (const auto &[feature, why] : spec.rejects) {
-    if (features.has(feature))
-      result.rejections.push_back(
-          std::string(spec.info.displayName) + " rejects " +
-          featureName(feature) + " (" + why + "; first used at " +
-          features.where(feature).str() + ")");
+    if (!features.has(feature))
+      continue;
+    // Cite every offending site (capped), not just the first.
+    const std::vector<SourceLoc> &sites = features.sites(feature);
+    constexpr std::size_t kMaxSites = 4;
+    std::string where;
+    for (std::size_t i = 0; i < sites.size() && i < kMaxSites; ++i)
+      where += (i ? ", " : "") + sites[i].str();
+    if (sites.size() > kMaxSites)
+      where += " and " + std::to_string(sites.size() - kMaxSites) + " more";
+    result.rejections.push_back(std::string(spec.info.displayName) +
+                                " rejects " + featureName(feature) + " (" +
+                                why + "; used at " + where + ")");
   }
   if (!result.rejections.empty())
     return result;
+
+  // 1b. Pre-flight synthesizability analysis: a provable par race or channel
+  //     deadlock means the program is wrong in any language that accepts the
+  //     constructs — reject with the precise sites instead of synthesizing a
+  //     broken circuit.
+  analysis::Report preflight = analysis::preflightFlow(program, top, false);
+  if (preflight.hasErrors()) {
+    for (const auto &d : preflight.diagnostics())
+      result.rejections.push_back(std::string(spec.info.displayName) +
+                                  " rejects the program: " + d.oneLine());
+    result.analysisFindings = std::move(preflight);
+    return result;
+  }
   result.accepted = true;
 
   // 2. Flatten the call graph (recursive functions survive and become
@@ -294,6 +317,22 @@ FlowResult runFlowChecked(const FlowSpec &spec, ast::Program &program,
   if (diags.hasErrors()) {
     result.error = "unroller: " + diags.str();
     return result;
+  }
+
+  // 3b. Flows that must flatten every loop away: any loop still standing
+  //     after inlining and full unrolling can never meet the combinational
+  //     model — fail now, pointing at the loop, instead of at the opaque
+  //     "control flow remains" check after lowering.
+  if (spec.unrollAllLoops || spec.requireCombinational) {
+    analysis::Report loops =
+        analysis::lintUnboundedLoops(program, analysis::Severity::Error);
+    if (loops.hasErrors()) {
+      loops.sort();
+      result.error = spec.info.displayName + ": " +
+                     loops.diagnostics().front().oneLine();
+      result.analysisFindings = std::move(loops);
+      return result;
+    }
   }
 
   // 4. Lower and optimize.

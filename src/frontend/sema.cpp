@@ -30,12 +30,19 @@ const char *featureName(Feature feature) {
 }
 
 void FeatureSet::add(Feature feature, SourceLoc loc) {
-  present_.emplace(feature, loc); // keeps first location
+  present_[feature].push_back(loc);
 }
 
 SourceLoc FeatureSet::where(Feature feature) const {
   auto it = present_.find(feature);
-  return it == present_.end() ? SourceLoc{} : it->second;
+  return it == present_.end() || it->second.empty() ? SourceLoc{}
+                                                    : it->second.front();
+}
+
+const std::vector<SourceLoc> &FeatureSet::sites(Feature feature) const {
+  static const std::vector<SourceLoc> empty;
+  auto it = present_.find(feature);
+  return it == present_.end() ? empty : it->second;
 }
 
 Sema::Sema(TypeContext &types, DiagnosticEngine &diags)

@@ -43,17 +43,23 @@ enum class Feature {
 
 const char *featureName(Feature feature);
 
-// The set of features a program uses, with the first source location that
-// exercised each (for flow rejection diagnostics).
+// The set of features a program uses, with every source location that
+// exercised each (for flow rejection diagnostics and the analyzer, which
+// cite all offending sites, not just the first).
 class FeatureSet {
 public:
   void add(Feature feature, SourceLoc loc);
   bool has(Feature feature) const { return present_.count(feature) != 0; }
+  // First location that exercised the feature (invalid if absent).
   SourceLoc where(Feature feature) const;
-  const std::map<Feature, SourceLoc> &all() const { return present_; }
+  // All locations, in the order analyzeFeatures visited them.
+  const std::vector<SourceLoc> &sites(Feature feature) const;
+  const std::map<Feature, std::vector<SourceLoc>> &all() const {
+    return present_;
+  }
 
 private:
-  std::map<Feature, SourceLoc> present_;
+  std::map<Feature, std::vector<SourceLoc>> present_;
 };
 
 class Sema {

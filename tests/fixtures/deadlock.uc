@@ -1,0 +1,12 @@
+// Seeded rendezvous deadlock: 4 sends paired with only 3 receives.  The
+// channel-protocol checker must flag the mismatch (C2H-CHAN-006) — the
+// fourth send blocks forever.
+chan<int> c;
+int main() {
+  int last = 0;
+  par {
+    { for (int i = 0; i < 4; i = i + 1) { c ! i; } }
+    { for (int i = 0; i < 3; i = i + 1) { int v; c ? v; last = v; } }
+  }
+  return last;
+}

@@ -1,0 +1,7 @@
+// Clean fixture: no races, bounded loops, initialized reads.  The analyzer
+// must report nothing, and every lint-gated CLI path must exit 0.
+int main(int a) {
+  int s = 0;
+  for (int i = 0; i < 8; i = i + 1) { s = s + a + i; }
+  return s;
+}

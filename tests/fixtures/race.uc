@@ -1,0 +1,10 @@
+// Seeded write-write race: both par branches store to the same global.
+// The analyzer must flag C2H-RACE-001 with both write sites.
+int x;
+int main(int a) {
+  par {
+    x = a;
+    x = a + 1;
+  }
+  return x;
+}

@@ -1,0 +1,8 @@
+// Data-dependent loop bound: fine for sequential flows, un-flattenable for
+// the full-unroll/combinational flow (Cones), whose run must fail with
+// C2H-LOOP-001 rather than loop forever in the unroller.
+int main(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) { s = s + i; }
+  return s;
+}

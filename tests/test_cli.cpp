@@ -1,0 +1,145 @@
+// End-to-end exit-code and diagnostic-format contract for the c2hc driver.
+//
+//   0  success / no error-severity findings
+//   1  rejection, synthesis or verification failure, analyzer errors
+//   2  usage error
+//   3  internal error
+//
+// Run as:  test_cli <path-to-c2hc> <fixtures-dir>
+//
+// Deliberately not a gtest binary: it exercises the real executable through
+// the shell, so it takes the c2hc path on its own command line (CMake passes
+// $<TARGET_FILE:c2hc>).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
+namespace {
+
+int failures = 0;
+
+std::string tempFile(int n) {
+  return "test_cli_out_" + std::to_string(n) + ".txt";
+}
+
+// Run `cmd`, capturing stdout+stderr; returns the exit status (not the raw
+// wait status).
+int run(const std::string &cmd, std::string &output, int n) {
+  std::string path = tempFile(n);
+  std::string full = cmd + " > " + path + " 2>&1";
+  int status = std::system(full.c_str());
+#ifndef _WIN32
+  if (WIFEXITED(status))
+    status = WEXITSTATUS(status);
+#endif
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  output = ss.str();
+  std::remove(path.c_str());
+  return status;
+}
+
+void expectExit(const std::string &name, const std::string &cmd, int want,
+                int n, const std::string &mustContain = "") {
+  std::string output;
+  int got = run(cmd, output, n);
+  if (got != want) {
+    std::cerr << "FAIL " << name << ": exit " << got << ", want " << want
+              << "\n  cmd: " << cmd << "\n  output:\n" << output << "\n";
+    ++failures;
+    return;
+  }
+  if (!mustContain.empty() && output.find(mustContain) == std::string::npos) {
+    std::cerr << "FAIL " << name << ": output missing '" << mustContain
+              << "'\n  cmd: " << cmd << "\n  output:\n" << output << "\n";
+    ++failures;
+    return;
+  }
+  std::cout << "ok   " << name << "\n";
+}
+
+void expectSameOutput(const std::string &name, const std::string &cmdA,
+                      const std::string &cmdB, int n) {
+  std::string a, b;
+  run(cmdA, a, n);
+  run(cmdB, b, n + 1);
+  if (a != b) {
+    std::cerr << "FAIL " << name << ": outputs differ\n--- A (" << cmdA
+              << ")\n" << a << "--- B (" << cmdB << ")\n" << b << "\n";
+    ++failures;
+    return;
+  }
+  std::cout << "ok   " << name << "\n";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc != 3) {
+    std::cerr << "usage: test_cli <c2hc> <fixtures-dir>\n";
+    return 2;
+  }
+  const std::string c2hc = argv[1];
+  const std::string fx = argv[2];
+  int n = 0;
+
+  // --- usage errors: exit 2 -----------------------------------------------
+  expectExit("no_arguments", c2hc, 2, ++n, "usage:");
+  expectExit("unknown_option", c2hc + " --frobnicate", 2, ++n,
+             "unknown option");
+  expectExit("bad_diag_format",
+             c2hc + " " + fx + "/good.uc --analyze --diag-format=xml", 2, ++n,
+             "--diag-format");
+  expectExit("unknown_flow", c2hc + " " + fx + "/good.uc --flow=vhdl", 2, ++n,
+             "unknown flow");
+  expectExit("unknown_workload", c2hc + " --workload=nonexistent", 2, ++n,
+             "unknown workload");
+  expectExit("missing_file", c2hc + " " + fx + "/no_such_file.uc", 2, ++n,
+             "cannot open");
+
+  // --- success: exit 0 ----------------------------------------------------
+  expectExit("list_workloads", c2hc + " --list-workloads", 0, ++n, "gcd");
+  expectExit("clean_analyze", c2hc + " " + fx + "/good.uc --analyze", 0, ++n,
+             "0 error(s)");
+  expectExit("clean_synthesis",
+             c2hc + " " + fx + "/good.uc --flow=bachc --args=3", 0, ++n,
+             "matches the reference interpreter");
+
+  // --- program errors: exit 1 ---------------------------------------------
+  expectExit("race_analyze", c2hc + " " + fx + "/race.uc --analyze", 1, ++n,
+             "C2H-RACE-001");
+  expectExit("race_json",
+             c2hc + " " + fx + "/race.uc --analyze --diag-format=json", 1,
+             ++n, "\"code\":\"C2H-RACE-001\"");
+  expectExit("race_rejected_by_flow",
+             c2hc + " " + fx + "/race.uc --flow=handelc", 1, ++n,
+             "C2H-RACE-001");
+  expectExit("deadlock_analyze", c2hc + " " + fx + "/deadlock.uc --analyze",
+             1, ++n, "C2H-CHAN-006");
+  expectExit("unbounded_loop_under_cones",
+             c2hc + " " + fx + "/unbounded.uc --flow=cones", 1, ++n);
+
+  // --- determinism --------------------------------------------------------
+  std::string analyzeCmd =
+      c2hc + " " + fx + "/race.uc --analyze --diag-format=json";
+  expectSameOutput("analyze_repeatable", analyzeCmd, analyzeCmd, n += 2);
+  expectSameOutput("all_flows_jobs_invariant",
+                   c2hc + " " + fx + "/good.uc --flow=all --args=3 --jobs=1",
+                   c2hc + " " + fx + "/good.uc --flow=all --args=3 --jobs=4",
+                   n += 2);
+
+  if (failures) {
+    std::cerr << failures << " failure(s)\n";
+    return 1;
+  }
+  std::cout << "all CLI exit-code checks passed\n";
+  return 0;
+}

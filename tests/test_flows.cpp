@@ -96,8 +96,9 @@ TEST(FlowRestrictions, ConesRejectsWhileAndState) {
 }
 
 TEST(FlowRestrictions, SequentialFlowsRejectPar) {
-  const char *src = "int x;\nint main(int a) { par { x = a; x = a + 1; } "
-                    "return x; }";
+  // Race-free par: the two branches write disjoint globals.
+  const char *src = "int x;\nint y;\nint main(int a) { par { x = a; "
+                    "y = a + 1; } return x + y; }";
   for (const char *id : {"c2verilog", "cash", "transmogrifier", "cones"}) {
     auto r = runFlow(*flows::findFlow(id), src, "main");
     EXPECT_FALSE(r.accepted) << id;
@@ -105,6 +106,21 @@ TEST(FlowRestrictions, SequentialFlowsRejectPar) {
   for (const char *id : {"handelc", "bachc", "specc", "hardwarec"}) {
     auto r = runFlow(*flows::findFlow(id), src, "main");
     EXPECT_TRUE(r.accepted) << id;
+  }
+}
+
+TEST(FlowRestrictions, ParAcceptingFlowsRejectProvableRaces) {
+  // Both branches write the same global: a provable write-write race, so
+  // even the par-accepting languages reject it in pre-flight analysis.
+  const char *src = "int x;\nint main(int a) { par { x = a; x = a + 1; } "
+                    "return x; }";
+  for (const char *id : {"handelc", "bachc", "specc", "hardwarec"}) {
+    auto r = runFlow(*flows::findFlow(id), src, "main");
+    EXPECT_FALSE(r.accepted) << id;
+    ASSERT_FALSE(r.rejections.empty()) << id;
+    EXPECT_NE(r.rejections[0].find("C2H-RACE-001"), std::string::npos)
+        << id << ": " << r.rejections[0];
+    EXPECT_TRUE(r.analysisFindings.hasErrors()) << id;
   }
 }
 

@@ -278,6 +278,24 @@ TEST(FeatureAnalysis, RecordsFirstLocation) {
   EXPECT_EQ(fs.where(Feature::Multiply).line, 1u);
 }
 
+TEST(FeatureAnalysis, RecordsEverySite) {
+  auto r = check("void f() {\n"
+                 "  int a = 1 * 2;\n"
+                 "  int b = 3 * 4;\n"
+                 "  int c = 5 * 6;\n"
+                 "}");
+  ASSERT_TRUE(r->ok);
+  FeatureSet fs = analyzeFeatures(*r->program);
+  const std::vector<SourceLoc> &sites = fs.sites(Feature::Multiply);
+  ASSERT_EQ(sites.size(), 3u);
+  EXPECT_EQ(sites[0].line, 2u);
+  EXPECT_EQ(sites[1].line, 3u);
+  EXPECT_EQ(sites[2].line, 4u);
+  // where() stays the first site; unknown features yield no sites.
+  EXPECT_EQ(fs.where(Feature::Multiply), sites[0]);
+  EXPECT_TRUE(fs.sites(Feature::Recursion).empty());
+}
+
 TEST(Frontend, PipelineHelperReturnsNullOnError) {
   TypeContext types;
   DiagnosticEngine diags;

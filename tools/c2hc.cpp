@@ -2,6 +2,7 @@
 //
 //   c2hc <file.uc> [options]
 //   c2hc --workload=<name> [options]
+//   c2hc --list-workloads
 //
 //   --flow=<id>        synthesis flow (default: bachc; 'all' = every flow)
 //   --workload=<name>  use a registry workload instead of a source file
@@ -12,15 +13,30 @@
 //   --verilog=<file>   write generated Verilog ('-' = stdout)
 //   --ir               print the optimized IR listing
 //   --no-sim           synthesize only, skip simulation/verification
+//   --analyze          run the synthesizability analyzer only (no synthesis)
+//   --diag-format=<f>  analyzer diagnostic format: text (default) or json
+//   --list-workloads   print the registry workload names and exit
 //
 // --flow=all runs the fault-isolated comparison engine: every flow over the
 // program, in parallel, each flow's crash contained to its own row.
+//
+// --analyze runs the static synthesizability analyzer (par-race detection,
+// channel-protocol checking, loop/width/initialization lints) and prints the
+// findings without synthesizing anything.
+//
+// Exit codes:
+//   0  success (and, under --analyze, no error-severity findings)
+//   1  the program was rejected, failed synthesis/verification, or --analyze
+//      reported at least one error-severity finding
+//   2  usage error (bad option, unknown flow/workload, unreadable file)
+//   3  internal error (uncaught exception)
 //
 // Examples:
 //   c2hc fir.uc --flow=handelc --args=0
 //   c2hc gcd.uc --flow=all --args=3528,3780 --jobs=4
 //   c2hc --workload=crc32 --flow=all
 //   c2hc crc.uc --verilog=- --no-sim
+//   c2hc pipeline.uc --analyze --diag-format=json
 #include "core/c2h.h"
 #include "core/engine.h"
 #include "support/text.h"
@@ -32,6 +48,13 @@
 using namespace c2h;
 
 namespace {
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitRejected = 1,
+  kExitUsage = 2,
+  kExitInternal = 3,
+};
 
 struct Options {
   std::string file;
@@ -47,6 +70,9 @@ struct Options {
   std::optional<std::string> testbenchOut;
   bool printIr = false;
   bool simulate = true;
+  bool analyzeOnly = false;
+  bool jsonDiags = false;
+  bool listWorkloads = false;
 };
 
 bool parseArgs(int argc, char **argv, Options &options) {
@@ -97,10 +123,24 @@ bool parseArgs(int argc, char **argv, Options &options) {
       options.verilogOut = *v;
     } else if (auto v = valueOf("--tb=")) {
       options.testbenchOut = *v;
+    } else if (auto v = valueOf("--diag-format=")) {
+      if (*v == "json") {
+        options.jsonDiags = true;
+      } else if (*v == "text") {
+        options.jsonDiags = false;
+      } else {
+        std::cerr << "invalid value for --diag-format: '" << *v
+                  << "' (expected text or json)\n";
+        return false;
+      }
     } else if (arg == "--ir") {
       options.printIr = true;
     } else if (arg == "--no-sim") {
       options.simulate = false;
+    } else if (arg == "--analyze") {
+      options.analyzeOnly = true;
+    } else if (arg == "--list-workloads") {
+      options.listWorkloads = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown option: " << arg << "\n";
       return false;
@@ -111,7 +151,8 @@ bool parseArgs(int argc, char **argv, Options &options) {
       return false;
     }
   }
-  return !options.file.empty() || !options.workload.empty();
+  return options.listWorkloads || !options.file.empty() ||
+         !options.workload.empty();
 }
 
 std::string availableFlows() {
@@ -128,6 +169,29 @@ std::string availableWorkloads() {
   return names;
 }
 
+void printReport(const analysis::Report &report, const Options &options) {
+  if (options.jsonDiags)
+    std::cout << report.renderJson() << "\n";
+  else
+    std::cout << report.renderText();
+}
+
+// `--analyze`: run the synthesizability analyzer — par races, channel
+// protocol, loop/width/initialization lints — and print the findings
+// without synthesizing.  Uses the engine's front-end cache, so the report
+// is byte-identical to what `--flow=all` attaches to each row.
+int runAnalyze(const core::Workload &workload, const Options &options) {
+  core::FrontendCache cache;
+  auto entry = cache.get(workload.source, workload.top);
+  if (!entry->ok()) {
+    std::cerr << entry->error;
+    return kExitRejected;
+  }
+  const analysis::Report &report = *entry->analysis;
+  printReport(report, options);
+  return report.hasErrors() ? kExitRejected : kExitOk;
+}
+
 int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
            const Options &options) {
   flows::FlowTuning tuning;
@@ -140,11 +204,19 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
   if (!result.accepted) {
     for (const auto &r : result.rejections)
       std::cout << "   rejected: " << r << "\n";
-    return 2;
+    if (!result.analysisFindings.empty()) {
+      std::cout << "\n";
+      printReport(result.analysisFindings, options);
+    }
+    return kExitRejected;
   }
   if (!result.ok) {
     std::cout << "   failed: " << result.error << "\n";
-    return 1;
+    if (!result.analysisFindings.empty()) {
+      std::cout << "\n";
+      printReport(result.analysisFindings, options);
+    }
+    return kExitRejected;
   }
   for (const auto &v : result.violations)
     std::cout << "   TIMING CONSTRAINT VIOLATED: " << v.str() << "\n";
@@ -164,7 +236,7 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
     core::Verification v = core::verifyAgainstGoldenModel(workload, result);
     if (!v.ok) {
       std::cout << "   VERIFY FAILED: " << v.detail << "\n";
-      return 1;
+      return kExitRejected;
     }
     std::cout << "   result  : " << v.returnValue.toStringSigned()
               << " (matches the reference interpreter)\n";
@@ -184,7 +256,7 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
     auto golden = interp.call(workload.top, args);
     if (!golden.ok) {
       std::cerr << "cannot produce testbench: " << golden.error << "\n";
-      return 1;
+      return kExitRejected;
     }
     std::string tb = rtl::emitTestbench(*result.design, args,
                                         golden.returnValue);
@@ -204,13 +276,13 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
       std::ofstream out(*options.verilogOut);
       if (!out) {
         std::cerr << "cannot write " << *options.verilogOut << "\n";
-        return 1;
+        return kExitRejected;
       }
       out << verilog;
       std::cout << "   verilog : wrote " << *options.verilogOut << "\n";
     }
   }
-  return 0;
+  return kExitOk;
 }
 
 // `--flow=all` batch mode: the comparison engine runs every flow over the
@@ -226,7 +298,7 @@ int runAll(const core::Workload &workload, const Options &options) {
 
   TextTable table({"flow", "accepted", "verified", "cycles", "area", "fmax",
                    "note"});
-  int exitCode = 0;
+  int exitCode = kExitOk;
   for (const auto &r : rows) {
     std::string cycles =
         r.asyncNs > 0 ? formatDouble(r.asyncNs, 0) + "ns"
@@ -239,24 +311,36 @@ int runAll(const core::Workload &workload, const Options &options) {
     // Rejections are expected under 'all'; real failures are not.
     if ((r.accepted && !r.verified) ||
         r.note.rfind("internal error:", 0) == 0)
-      exitCode = 1;
+      exitCode = kExitRejected;
   }
   std::cout << table.str();
+  // The analyzer ran once on the cached compile; its findings are shared
+  // by every row, so summarize them once under the table.
+  if (!rows.empty() && rows.front().analysis &&
+      !rows.front().analysis->empty()) {
+    std::cout << "\nanalyzer findings:\n";
+    printReport(*rows.front().analysis, options);
+  }
   return exitCode;
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
+int run(int argc, char **argv) {
   Options options;
   if (!parseArgs(argc, argv, options)) {
     std::cerr << "usage: c2hc <file.uc> [--flow=<id>|all] [--top=<fn>] "
                  "[--args=a,b] [--clock=ns] [--jobs=n] [--verilog=<file>|-] "
-                 "[--ir] [--no-sim]\n"
-                 "       c2hc --workload=<name> [options]\n\nflows: "
+                 "[--ir] [--no-sim] [--analyze] [--diag-format=text|json]\n"
+                 "       c2hc --workload=<name> [options]\n"
+                 "       c2hc --list-workloads\n\nflows: "
               << availableFlows() << "\nworkloads: " << availableWorkloads()
               << "\n";
-    return 64;
+    return kExitUsage;
+  }
+
+  if (options.listWorkloads) {
+    for (const auto &w : core::standardWorkloads())
+      std::cout << w.name << "\n";
+    return kExitOk;
   }
 
   core::Workload workload;
@@ -266,7 +350,7 @@ int main(int argc, char **argv) {
     } catch (const std::out_of_range &) {
       std::cerr << "unknown workload '" << options.workload
                 << "', available: " << availableWorkloads() << "\n";
-      return 1;
+      return kExitUsage;
     }
     if (options.topSet)
       workload.top = options.top;
@@ -276,7 +360,7 @@ int main(int argc, char **argv) {
     std::ifstream in(options.file);
     if (!in) {
       std::cerr << "cannot open " << options.file << "\n";
-      return 66;
+      return kExitUsage;
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
@@ -286,6 +370,9 @@ int main(int argc, char **argv) {
     workload.args = options.args;
   }
 
+  if (options.analyzeOnly)
+    return runAnalyze(workload, options);
+
   if (options.flow == "all")
     return runAll(workload, options);
 
@@ -293,7 +380,21 @@ int main(int argc, char **argv) {
   if (!spec) {
     std::cerr << "unknown flow '" << options.flow
               << "', available: " << availableFlows() << "\n";
-    return 1;
+    return kExitUsage;
   }
   return runOne(*spec, workload, options);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception &e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return kExitInternal;
+  } catch (...) {
+    std::cerr << "internal error: non-standard exception\n";
+    return kExitInternal;
+  }
 }
