@@ -1,0 +1,165 @@
+// E11 — three-model equivalence: interpreter == FSMD == vsim.
+//
+// For every accepted synchronous (flow, workload) pair the comparison
+// engine re-executes the *emitted Verilog text* through vsim (parse ->
+// elaborate -> two-phase event simulation) and demands agreement with the
+// reference interpreter on values and with the FSMD simulator on the
+// exact cycle count.  The table below is the regenerated E11 summary:
+// designs co-simulated, cycle counts matched, and vsim's simulation
+// throughput (DUT clock cycles per wall-clock second).
+#include "core/c2h.h"
+#include "core/engine.h"
+#include "support/text.h"
+#include "vsim/cosim.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+using namespace c2h;
+
+namespace {
+
+// Cycles/second of the full vsim event loop on one design, measured over
+// enough runs to amortize the poke/reset preamble.
+double measureThroughput(const rtl::Design &design,
+                         const std::vector<BitVector> &args) {
+  vsim::Cosimulation cosim(design);
+  if (!cosim.valid())
+    return 0.0;
+  std::uint64_t cycles = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  int runs = 0;
+  double elapsed = 0.0;
+  do {
+    auto r = cosim.run(args);
+    if (!r.ok)
+      return 0.0;
+    cycles += r.cycles;
+    ++runs;
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  } while (runs < 200 && elapsed < 0.05);
+  return elapsed > 0 ? static_cast<double>(cycles) / elapsed : 0.0;
+}
+
+void printE11() {
+  std::cout << "==================================================\n";
+  std::cout << "E11: three-model equivalence "
+               "(interpreter == FSMD == vsim)\n";
+  std::cout << "==================================================\n\n";
+
+  core::EngineOptions opts;
+  opts.cosim = true;
+  core::CompareEngine engine(opts);
+  const auto &workloads = core::standardWorkloads();
+  auto matrix = engine.compareMatrix(workloads);
+
+  TextTable table({"workload", "accepted", "cosimulated", "cycles matched",
+                   "vsim Mcycles/s", "mismatches"});
+  unsigned totalCosim = 0, totalMatched = 0, totalMismatch = 0;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const core::Workload &w = workloads[i];
+    unsigned accepted = 0, cosimmed = 0, matched = 0, mismatched = 0;
+    for (const auto &r : matrix[i]) {
+      if (r.accepted)
+        ++accepted;
+      if (!r.cosimRan)
+        continue;
+      ++cosimmed;
+      if (r.cosimOk)
+        ++matched;
+      else
+        ++mismatched;
+    }
+    totalCosim += cosimmed;
+    totalMatched += matched;
+    totalMismatch += mismatched;
+
+    // Throughput on one representative accepted design (first flow that
+    // synthesized this workload synchronously).
+    double throughput = 0.0;
+    for (const auto &spec : flows::allFlows()) {
+      if (spec.asyncDataflow)
+        continue;
+      auto r = flows::runFlow(spec, w.source, w.top);
+      if (!r.ok || !r.design)
+        continue;
+      TypeContext types;
+      DiagnosticEngine diags;
+      auto program = frontend(w.source, types, diags);
+      auto args = core::argBits(*program, w.top, w.args);
+      throughput = measureThroughput(*r.design, args);
+      break;
+    }
+    table.addRow({w.name, std::to_string(accepted), std::to_string(cosimmed),
+                  std::to_string(matched),
+                  throughput > 0 ? formatDouble(throughput / 1e6, 2) : "-",
+                  std::to_string(mismatched)});
+  }
+  std::cout << table.str() << "\n";
+  std::cout << "totals: " << totalCosim << " designs co-simulated, "
+            << totalMatched << " matched on values AND exact cycle count, "
+            << totalMismatch << " mismatches\n\n";
+}
+
+// Steady-state co-simulation speed: emit+elaborate once, then the event
+// loop over the whole handshake per iteration.
+void BM_Cosim(benchmark::State &state, const char *flowId,
+              const char *workload) {
+  const core::Workload &w = core::findWorkload(workload);
+  auto r = flows::runFlow(*flows::findFlow(flowId), w.source, w.top);
+  if (!r.ok || !r.design) {
+    state.SkipWithError("flow did not produce a design");
+    return;
+  }
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto program = frontend(w.source, types, diags);
+  auto args = core::argBits(*program, w.top, w.args);
+  vsim::Cosimulation cosim(*r.design);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    auto res = cosim.run(args);
+    if (!res.ok) {
+      state.SkipWithError(res.error.c_str());
+      return;
+    }
+    cycles += res.cycles;
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+// The parse+elaborate front half on its own (amortized away by
+// Cosimulation reuse, but it bounds --emit-verilog + external tools).
+void BM_ParseElaborate(benchmark::State &state, const char *flowId,
+                       const char *workload) {
+  const core::Workload &w = core::findWorkload(workload);
+  auto r = flows::runFlow(*flows::findFlow(flowId), w.source, w.top);
+  if (!r.ok || !r.design) {
+    state.SkipWithError("flow did not produce a design");
+    return;
+  }
+  for (auto _ : state) {
+    vsim::Cosimulation cosim(*r.design);
+    benchmark::DoNotOptimize(cosim.valid());
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printE11();
+  benchmark::RegisterBenchmark("cosim/bachc/gcd", BM_Cosim, "bachc", "gcd");
+  benchmark::RegisterBenchmark("cosim/bachc/fir", BM_Cosim, "bachc", "fir");
+  benchmark::RegisterBenchmark("cosim/c2verilog/bubblesort", BM_Cosim,
+                               "c2verilog", "bubblesort");
+  benchmark::RegisterBenchmark("parse+elab/bachc/fir", BM_ParseElaborate,
+                               "bachc", "fir");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -87,6 +87,28 @@ Verification verifyAgainstGoldenModel(const Workload &workload,
 // Golden-model-only execution (reference outputs + a sanity baseline).
 Verification runGoldenModel(const Workload &workload);
 
+// Result of the third witness: re-executing the *emitted Verilog text*
+// through vsim (src/vsim) and comparing it against both the interpreter
+// (return value, checked globals) and the FSMD simulator (exact cycle
+// count).  `ran` is false for designs with no synchronous RTL to
+// co-simulate (asynchronous/CASH flows) and when the flow failed.
+struct CosimVerification {
+  bool ran = false;
+  bool ok = false;
+  std::string detail;        // first mismatch or failure reason
+  std::uint64_t cycles = 0;  // vsim's cycle count (== FSMD when ok)
+};
+
+// The three-model differential check for one accepted design:
+//   interpreter == FSMD Simulator == vsim   on the return value, and
+//   FSMD Simulator == vsim                  on the exact cycle count,
+// plus every checked global bit-for-bit between interpreter and vsim.
+CosimVerification cosimAgainstGoldenModel(const Workload &workload,
+                                          const flows::FlowResult &result);
+CosimVerification cosimAgainstGoldenModel(const Workload &workload,
+                                          const flows::FlowResult &result,
+                                          const ast::Program &goldenProgram);
+
 // One row of a cross-flow comparison.
 struct FlowComparison {
   std::string flowId;
@@ -97,6 +119,13 @@ struct FlowComparison {
   double areaTotal = 0.0;
   double fmaxMHz = 0.0;
   double asyncNs = 0.0;
+  // Three-model co-simulation (EngineOptions::cosim): whether the emitted
+  // Verilog was re-executed under vsim, and whether it agreed with the
+  // interpreter and the FSMD simulator.  cosimNote carries the mismatch.
+  bool cosimRan = false;
+  bool cosimOk = false;
+  std::uint64_t cosimCycles = 0;
+  std::string cosimNote;
   // Workload-level analyzer findings (shared across this workload's rows;
   // computed once per cached frontend compile).  May be null when the
   // frontend failed or the row came from a path without the engine cache.

@@ -132,6 +132,15 @@ FlowComparison CompareEngine::runCell(const flows::FlowSpec &spec,
       row.note = v.detail;
     row.cycles = v.cycles;
     row.asyncNs = v.asyncNs;
+    if (options_.cosim && v.ok && result.design && !result.asyncInfo) {
+      CosimVerification cv =
+          cosimAgainstGoldenModel(workload, result, *entry.program);
+      row.cosimRan = cv.ran;
+      row.cosimOk = cv.ok;
+      row.cosimCycles = cv.cycles;
+      if (cv.ran && !cv.ok)
+        row.cosimNote = cv.detail;
+    }
     if (result.asyncInfo) {
       row.areaTotal = result.asyncInfo->area;
     } else {

@@ -73,6 +73,12 @@ struct EngineOptions {
   // Default worker-thread count; 0 = hardware concurrency.  A per-call
   // FlowTuning::jobs overrides this.
   unsigned jobs = 0;
+  // Three-model differential mode: after a cell verifies, re-execute the
+  // emitted Verilog under vsim and require agreement with the interpreter
+  // (return value, checked globals) and the FSMD simulator (exact cycle
+  // count).  Fills FlowComparison::cosim* fields; a mismatch is a
+  // structured row note, not an exception.
+  bool cosim = false;
 };
 
 class CompareEngine {

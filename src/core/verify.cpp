@@ -1,6 +1,7 @@
 #include "core/c2h.h"
 
 #include "core/engine.h"
+#include "vsim/cosim.h"
 
 namespace c2h::core {
 
@@ -157,6 +158,109 @@ Verification verifyAgainstGoldenModel(const Workload &workload,
   v.cycles = r.cycles;
   v.returnValue = golden.returnValue;
   return v;
+}
+
+CosimVerification cosimAgainstGoldenModel(const Workload &workload,
+                                          const flows::FlowResult &result) {
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto program = frontend(workload.source, types, diags);
+  if (!program) {
+    CosimVerification c;
+    c.detail = "frontend: " + diags.str();
+    return c;
+  }
+  return cosimAgainstGoldenModel(workload, result, *program);
+}
+
+CosimVerification cosimAgainstGoldenModel(const Workload &workload,
+                                          const flows::FlowResult &result,
+                                          const ast::Program &goldenProgram) {
+  CosimVerification c;
+  if (!result.accepted || !result.ok) {
+    c.detail = "flow produced no design";
+    return c;
+  }
+  if (result.asyncInfo) {
+    c.detail = "asynchronous design (no synchronous RTL to co-simulate)";
+    return c;
+  }
+  if (!result.design) {
+    c.detail = "flow produced no design";
+    return c;
+  }
+  c.ran = true;
+
+  // Witness 1: the reference interpreter.
+  std::vector<BitVector> args =
+      argBits(goldenProgram, workload.top, workload.args);
+  Interpreter interp(goldenProgram);
+  auto golden = interp.call(workload.top, args);
+  if (!golden.ok) {
+    c.detail = "interpreter: " + golden.error;
+    return c;
+  }
+
+  // Witness 2: the FSMD simulator (return value and the cycle count the
+  // experiments quote).
+  rtl::Simulator sim(*result.design);
+  auto fsmd = sim.run(args);
+  if (!fsmd.ok) {
+    c.detail = "rtl simulation: " + fsmd.error;
+    return c;
+  }
+
+  // Witness 3: the emitted Verilog text, re-executed by vsim.
+  vsim::Cosimulation cosim(*result.design);
+  if (!cosim.valid()) {
+    c.detail = cosim.error();
+    return c;
+  }
+  vsim::CosimResult r = cosim.run(args);
+  c.cycles = r.cycles;
+  if (!r.ok) {
+    c.detail = r.error;
+    return c;
+  }
+
+  const ast::FuncDecl *fn = goldenProgram.findFunction(workload.top);
+  bool hasReturn = fn && !fn->returnType->isVoid();
+  unsigned retWidth = hasReturn ? fn->returnType->bitWidth() : 1;
+  if (hasReturn &&
+      !(r.returnValue.resize(retWidth, false) ==
+        golden.returnValue.resize(retWidth, false))) {
+    c.detail = "vsim return value mismatch: golden " +
+               golden.returnValue.toStringHex() + " vs vsim " +
+               r.returnValue.toStringHex();
+    return c;
+  }
+  if (r.cycles != fsmd.cycles) {
+    c.detail = "cycle count mismatch: fsmd " +
+               std::to_string(fsmd.cycles) + " vs vsim " +
+               std::to_string(r.cycles);
+    return c;
+  }
+  for (const auto &name : workload.checkGlobals) {
+    auto gi = interp.readGlobal(name);
+    auto gv = cosim.readGlobal(name);
+    if (gi.size() != gv.size()) {
+      c.detail = "global '" + name + "' size mismatch under vsim";
+      return c;
+    }
+    const ast::VarDecl *decl = goldenProgram.findGlobal(name);
+    const Type *leaf = decl ? scalarLeaf(decl->type) : nullptr;
+    bool isSigned = leaf && leaf->isSigned();
+    for (std::size_t i = 0; i < gi.size(); ++i) {
+      if (!(gi[i] == gv[i].resize(gi[i].width(), isSigned))) {
+        c.detail = "global '" + name + "[" + std::to_string(i) +
+                   "]' mismatch: golden " + gi[i].toStringHex() +
+                   " vs vsim " + gv[i].toStringHex();
+        return c;
+      }
+    }
+  }
+  c.ok = true;
+  return c;
 }
 
 std::vector<FlowComparison> compareFlows(const Workload &workload,

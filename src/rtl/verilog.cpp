@@ -1,6 +1,8 @@
 #include "rtl/verilog.h"
 
+#include <functional>
 #include <map>
+#include <set>
 #include <sstream>
 
 namespace c2h::rtl {
@@ -28,91 +30,244 @@ std::string literal(const BitVector &v) {
   return std::to_string(v.width()) + "'h" + v.toStringHex().substr(2);
 }
 
+bool isBarrierOp(Opcode op) {
+  switch (op) {
+  case Opcode::Call:
+  case Opcode::Fork:
+  case Opcode::ChanSend:
+  case Opcode::ChanRecv:
+  case Opcode::Delay:
+    return true;
+  default:
+    return false;
+  }
+}
+
+// Ops whose results chain combinationally within a control step (the only
+// defs the mirror-wire machinery may inline).
+bool isPureDatapath(Opcode op) {
+  switch (op) {
+  case Opcode::Store:
+  case Opcode::Nop:
+    return false;
+  default:
+    return !isBarrierOp(op) && op != Opcode::Br && op != Opcode::CondBr &&
+           op != Opcode::Ret;
+  }
+}
+
+// Resolves an operand to Verilog text: a literal, a register name, or a
+// mirror wire for a same-step chained definition.
+using RefFn = std::function<std::string(const ir::Operand &)>;
+
 class Emitter {
 public:
   explicit Emitter(const Design &design) : design_(design) {}
 
   std::string run() {
-    out_ << "// Generated by c2h — flow output for top function '"
-         << design_.top << "'\n";
-    out_ << "// One FSM always-block per process; memories as register "
-            "arrays;\n// channels as valid/ready handshakes.\n\n";
-    out_ << "module c2h_" << vname(design_.top) << " (\n";
-    out_ << "  input  wire clk,\n  input  wire rst,\n  input  wire start";
-    const ir::Function *top = design_.module->findFunction(design_.top);
-    if (top) {
-      for (std::size_t i = 0; i < top->params().size(); ++i)
-        out_ << ",\n  input  wire [" << top->params()[i].width - 1
-             << ":0] arg" << i;
-      out_ << ",\n  output reg  done";
-      if (top->returnWidth() != 0)
-        out_ << ",\n  output reg  [" << top->returnWidth() - 1
-             << ":0] retval";
-    } else {
-      out_ << ",\n  output reg  done";
-    }
-    out_ << "\n);\n\n";
-
-    emitMemories();
-    emitChannels();
-    // Emit in IR creation order so the text is stable across runs (the
-    // process map is keyed by pointer, whose order follows the heap).
+    layout();
+    collectSites();
+    emitHandshakeWires();
     for (const auto &fn : design_.module->functions())
-      if (const FsmdProcess *proc = design_.processFor(fn.get()))
-        emitProcess(*fn, *proc);
-    out_ << "endmodule\n";
-    return out_.str();
+      if (layoutOf_.count(fn.get()))
+        emitProcess(*layoutOf_[fn.get()]);
+    return assemble();
   }
 
 private:
-  void emitMemories() {
-    for (const auto &mem : design_.module->mems()) {
-      out_ << "  // memory " << mem.name << (mem.readOnly ? " (ROM)" : "")
-           << "\n";
-      out_ << "  reg [" << mem.width - 1 << ":0] mem_" << vname(mem.name)
-           << " [0:" << (mem.depth ? mem.depth - 1 : 0) << "];\n";
-    }
-    bool anyInit = false;
-    for (const auto &mem : design_.module->mems())
-      if (!mem.init.empty())
-        anyInit = true;
-    if (anyInit) {
-      out_ << "  integer i_;\n  initial begin\n";
-      for (const auto &mem : design_.module->mems()) {
-        for (std::size_t i = 0; i < mem.init.size(); ++i)
-          if (!mem.init[i].isZero())
-            out_ << "    mem_" << vname(mem.name) << "[" << i
-                 << "] = " << literal(mem.init[i]) << ";\n";
+  // -------- layout --------
+  struct Layout {
+    const ir::Function *fn = nullptr;
+    const FsmdProcess *proc = nullptr;
+    unsigned pid = 0;
+    bool isTop = false;
+    // (block, step) -> FSM state id; call/fork sites get extra wait states.
+    std::map<std::pair<const ir::BasicBlock *, unsigned>, unsigned> stateId;
+    std::map<const ir::Instr *, unsigned> waitState;
+    unsigned stateCount = 0; // body + wait states; idle == stateCount
+    bool hasStall = false;   // channel/delay states need the stall flag
+    bool hasDelay = false;
+    std::map<unsigned, unsigned> regWidths;
+    std::set<unsigned> shadowRegs; // multi-cycle (latency >= 2) results
+  };
+
+  // A state in some process that issues a call/fork/send/recv.
+  struct Site {
+    Layout *layout = nullptr;
+    const FsmdBlock *fb = nullptr;
+    unsigned step = 0;
+    std::size_t opIndex = 0;
+    const ir::Instr *instr = nullptr;
+    unsigned state = 0;
+  };
+
+  void layout() {
+    for (const auto &fn : design_.module->functions()) {
+      const FsmdProcess *proc = design_.processFor(fn.get());
+      if (!proc)
+        continue;
+      auto l = std::make_unique<Layout>();
+      l->fn = fn.get();
+      l->proc = proc;
+      l->pid = design_.module->indexOf(fn.get());
+      l->isTop = fn->name() == design_.top;
+      for (const auto &block : fn->blocks()) {
+        const FsmdBlock &fb = proc->blockInfo(block.get());
+        for (unsigned s = 0; s < fb.length; ++s)
+          l->stateId[{block.get(), s}] = l->stateCount++;
       }
-      out_ << "  end\n";
+      for (const auto &block : fn->blocks()) {
+        const FsmdBlock &fb = proc->blockInfo(block.get());
+        for (const auto &slot : fb.ops) {
+          const ir::Instr &instr = *slot.instr;
+          switch (instr.op) {
+          case Opcode::Call:
+          case Opcode::Fork:
+            l->waitState[&instr] = l->stateCount++;
+            break;
+          case Opcode::ChanSend:
+          case Opcode::ChanRecv:
+            l->hasStall = true;
+            break;
+          case Opcode::Delay:
+            l->hasStall = true;
+            l->hasDelay = true;
+            break;
+          default:
+            break;
+          }
+          if (instr.dst) {
+            l->regWidths[instr.dst->id] = instr.dst->width;
+            if (slot.done > slot.start + 1)
+              l->shadowRegs.insert(instr.dst->id);
+          }
+        }
+      }
+      for (const auto &p : fn->params())
+        l->regWidths[p.id] = p.width;
+      layoutOf_[fn.get()] = l.get();
+      layouts_.push_back(std::move(l));
     }
-    out_ << "\n";
   }
 
-  void emitChannels() {
-    for (const auto &chan : design_.module->chans()) {
-      std::string n = "chan_" + std::to_string(chan.id);
-      out_ << "  // channel " << chan.name << "\n";
-      out_ << "  reg [" << chan.width - 1 << ":0] " << n << "_data;\n";
-      out_ << "  reg " << n << "_valid;\n  reg " << n << "_ready;\n";
+  void collectSites() {
+    for (const auto &lp : layouts_) {
+      Layout &l = *lp;
+      for (const auto &block : l.fn->blocks()) {
+        const FsmdBlock &fb = l.proc->blockInfo(block.get());
+        for (std::size_t i = 0; i < fb.ops.size(); ++i) {
+          const OpSlot &slot = fb.ops[i];
+          const ir::Instr &instr = *slot.instr;
+          Site site{&l, &fb, slot.start, i, &instr,
+                    l.stateId[{block.get(), slot.start}]};
+          switch (instr.op) {
+          case Opcode::Call: {
+            const ir::Function *callee =
+                design_.module->findFunction(instr.callee);
+            if (callee && layoutOf_.count(callee))
+              startSites_[layoutOf_[callee]->pid].push_back(site);
+            break;
+          }
+          case Opcode::Fork:
+            for (unsigned fnIndex : instr.processes) {
+              const ir::Function *child =
+                  design_.module->functions()[fnIndex].get();
+              if (layoutOf_.count(child))
+                startSites_[layoutOf_[child]->pid].push_back(site);
+            }
+            break;
+          case Opcode::ChanSend:
+            sendSites_[instr.chanId].push_back(site);
+            break;
+          case Opcode::ChanRecv:
+            recvSites_[instr.chanId].push_back(site);
+            break;
+          default:
+            break;
+          }
+        }
+      }
     }
-    if (!design_.module->chans().empty())
-      out_ << "\n";
   }
 
-  std::string regName(const ir::Function &fn, unsigned vreg) const {
-    return "p" + std::to_string(design_.module->indexOf(&fn)) + "_r" +
-           std::to_string(vreg);
+  // -------- naming --------
+  std::string regName(const Layout &l, unsigned vreg) const {
+    return "p" + std::to_string(l.pid) + "_r" + std::to_string(vreg);
+  }
+  std::string shadowName(const Layout &l, unsigned vreg) const {
+    return regName(l, vreg) + "_s";
+  }
+  std::string stateReg(const Layout &l) const {
+    return "p" + std::to_string(l.pid) + "_state";
+  }
+  std::string memName(unsigned memId) const {
+    return "mem_" + vname(design_.module->mems()[memId].name);
+  }
+  std::string stateCond(const Layout &l, unsigned state) const {
+    return "(" + stateReg(l) + " == " + std::to_string(state) + ")";
   }
 
-  std::string operand(const ir::Function &fn, const ir::Operand &op) const {
+  // Zero-extend / truncate an identifier to `want` bits (matches the
+  // simulator's resize(want, false)).
+  static std::string resizeIdent(const std::string &id, unsigned have,
+                                 unsigned want) {
+    if (have == want)
+      return id;
+    if (have > want)
+      return id + "[" + std::to_string(want - 1) + ":0]";
+    return "{{" + std::to_string(want - have) + "{1'b0}}, " + id + "}";
+  }
+
+  // -------- mirror wires --------
+  // A barrier state's register transfers must be readable by *other*
+  // always blocks in the same clock edge (channel data, call arguments),
+  // so same-step chained values are mirrored as continuous-assign wires
+  // whose leaves are registers that are stable across the whole edge.
+  std::string mirrorWire(const Layout &l, const FsmdBlock &fb, unsigned step,
+                         std::size_t defIndex) {
+    const ir::Instr &instr = *fb.ops[defIndex].instr;
+    auto it = mirror_.find(&instr);
+    if (it != mirror_.end())
+      return it->second;
+    std::string name =
+        "p" + std::to_string(l.pid) + "_x" + std::to_string(mirrorCount_++);
+    mirror_[&instr] = name; // memoize first: guards against self-reference
+    std::string expr = rtlExpr(instr, [&](const ir::Operand &op) {
+      return chainRef(l, fb, step, defIndex, op);
+    });
+    wires_ << "  wire [" << instr.dst->width - 1 << ":0] " << name << " = "
+           << expr << ";\n";
+    return name;
+  }
+
+  // The value of `op` as seen by the op at fb.ops[limit] in `step`:
+  // same-step chained defs resolve to their mirror wire, everything else
+  // to the (stable) register.
+  std::string chainRef(const Layout &l, const FsmdBlock &fb, unsigned step,
+                       std::size_t limit, const ir::Operand &op) {
     if (op.isImm())
       return literal(op.imm());
-    return regName(fn, op.reg().id);
+    unsigned reg = op.reg().id;
+    for (std::size_t i = limit; i-- > 0;) {
+      const OpSlot &slot = fb.ops[i];
+      if (!slot.instr->dst || slot.instr->dst->id != reg)
+        continue;
+      if (slot.start == step && slot.done == step &&
+          isPureDatapath(slot.instr->op))
+        return mirrorWire(l, fb, step, i);
+      break; // latest def is stable (earlier step or pending multi-cycle)
+    }
+    return regName(l, reg);
   }
 
-  std::string rtlExpr(const ir::Function &fn, const ir::Instr &instr) const {
-    auto o = [&](unsigned i) { return operand(fn, instr.operands[i]); };
+  // -------- expressions --------
+  std::string rtlExpr(const ir::Instr &instr, const RefFn &refIn) const {
+    auto ref = [&](const ir::Operand &op) {
+      if (op.isImm())
+        return literal(op.imm());
+      return refIn(op);
+    };
+    auto o = [&](unsigned i) { return ref(instr.operands[i]); };
     auto so = [&](unsigned i) { return "$signed(" + o(i) + ")"; };
     switch (instr.op) {
     case Opcode::Const: return literal(instr.constValue);
@@ -139,188 +294,531 @@ private:
     case Opcode::CmpLeS: return so(0) + " <= " + so(1);
     case Opcode::CmpLeU: return o(0) + " <= " + o(1);
     case Opcode::Mux: return o(0) + " ? " + o(1) + " : " + o(2);
-    case Opcode::Trunc:
-      return o(0) + "[" + std::to_string(instr.dst->width - 1) + ":0]";
-    case Opcode::ZExt: return "{{" +
-          std::to_string(instr.dst->width - instr.operands[0].width()) +
-          "{1'b0}}, " + o(0) + "}";
-    case Opcode::SExt: return "{{" +
-          std::to_string(instr.dst->width - instr.operands[0].width()) +
-          "{" + o(0) + "[" + std::to_string(instr.operands[0].width() - 1) +
-          "]}}, " + o(0) + "}";
+    case Opcode::Trunc: {
+      unsigned w = instr.dst->width;
+      if (instr.operands[0].isImm())
+        return literal(instr.operands[0].imm().trunc(w));
+      if (instr.operands[0].width() == w)
+        return o(0);
+      return o(0) + "[" + std::to_string(w - 1) + ":0]";
+    }
+    case Opcode::ZExt: {
+      unsigned w = instr.dst->width, ow = instr.operands[0].width();
+      if (instr.operands[0].isImm())
+        return literal(instr.operands[0].imm().zext(w));
+      if (ow >= w)
+        return o(0);
+      return "{{" + std::to_string(w - ow) + "{1'b0}}, " + o(0) + "}";
+    }
+    case Opcode::SExt: {
+      unsigned w = instr.dst->width, ow = instr.operands[0].width();
+      if (instr.operands[0].isImm())
+        return literal(instr.operands[0].imm().sext(w));
+      if (ow >= w)
+        return o(0);
+      return "{{" + std::to_string(w - ow) + "{" + o(0) + "[" +
+             std::to_string(ow - 1) + "]}}, " + o(0) + "}";
+    }
     case Opcode::Load:
-      return "mem_" +
-             vname(design_.module->mems()[instr.memId].name) + "[" + o(0) +
-             "]";
+      return memName(instr.memId) + "[" + o(0) + "]";
     default:
       return "/* " + std::string(ir::opcodeName(instr.op)) + " */ 0";
     }
   }
 
-  void emitProcess(const ir::Function &fn, const FsmdProcess &proc) {
-    unsigned pid = design_.module->indexOf(&fn);
-    std::string prefix = "p" + std::to_string(pid);
-    bool isTop = fn.name() == design_.top;
-
-    out_ << "  // ------- process " << fn.name()
-         << (fn.isProcess ? " (par branch)" : "") << " -------\n";
-
-    // State ids: (block, step) -> index.
-    std::map<std::pair<const ir::BasicBlock *, unsigned>, unsigned> stateId;
-    unsigned states = 0;
-    for (const auto &block : fn.blocks()) {
-      const FsmdBlock &fb = proc.blockInfo(block.get());
-      for (unsigned s = 0; s < fb.length; ++s)
-        stateId[{block.get(), s}] = states++;
-    }
-    unsigned idle = states; // idle/start state
-    unsigned doneState = states + 1;
-
-    // Registers.
-    std::map<unsigned, unsigned> widths;
-    for (const auto &block : fn.blocks())
-      for (const auto &instr : block->instrs())
-        if (instr->dst)
-          widths[instr->dst->id] = instr->dst->width;
-    for (const auto &p : fn.params())
-      widths[p.id] = p.width;
-    for (const auto &[reg, width] : widths)
-      out_ << "  reg [" << width - 1 << ":0] " << prefix << "_r" << reg
-           << ";\n";
-    out_ << "  reg [15:0] " << prefix << "_state;\n";
-    if (!isTop) {
-      out_ << "  reg " << prefix << "_start;\n";
-      out_ << "  reg " << prefix << "_done;\n";
-      if (fn.returnWidth() != 0)
-        out_ << "  reg [" << fn.returnWidth() - 1 << ":0] " << prefix
-             << "_ret;\n";
-    }
-
-    out_ << "  always @(posedge clk) begin\n";
-    out_ << "    if (rst) begin\n      " << prefix << "_state <= " << idle
-         << ";\n";
-    if (!isTop)
-      out_ << "      " << prefix << "_done <= 1'b0;\n";
-    else
-      out_ << "      done <= 1'b0;\n";
-    out_ << "    end else begin\n";
-    out_ << "      case (" << prefix << "_state)\n";
-
-    // Idle: wait for start.
-    out_ << "        " << idle << ": begin // idle\n";
-    out_ << "          if (" << (isTop ? "start" : prefix + "_start")
-         << ") begin\n";
-    if (isTop) {
-      for (std::size_t i = 0; i < fn.params().size(); ++i)
-        out_ << "            " << prefix << "_r" << fn.params()[i].id
-             << " <= arg" << i << ";\n";
-    }
-    const ir::BasicBlock *entry = fn.entry();
-    out_ << "            " << prefix
-         << "_state <= " << (entry ? stateId[{entry, 0u}] : doneState)
-         << ";\n          end\n        end\n";
-
-    for (const auto &block : fn.blocks()) {
-      const FsmdBlock &fb = proc.blockInfo(block.get());
-      for (unsigned s = 0; s < fb.length; ++s) {
-        out_ << "        " << stateId[{block.get(), s}] << ": begin // "
-             << block->name() << "." << s << "\n";
-        for (const auto &slot : fb.ops) {
-          const ir::Instr &instr = *slot.instr;
-          if (slot.start != s || instr.isTerminator())
+  // -------- handshake wires --------
+  void emitHandshakeWires() {
+    // start/argument wires for called and forked processes.
+    for (const auto &lp : layouts_) {
+      Layout &l = *lp;
+      if (l.isTop)
+        continue;
+      std::string prefix = "p" + std::to_string(l.pid);
+      auto it = startSites_.find(l.pid);
+      if (it == startSites_.end() || it->second.empty()) {
+        wires_ << "  wire " << prefix << "_start = 1'b0;\n";
+        continue;
+      }
+      const std::vector<Site> &sites = it->second;
+      wires_ << "  wire " << prefix << "_start = ";
+      for (std::size_t i = 0; i < sites.size(); ++i)
+        wires_ << (i ? " || " : "")
+               << stateCond(*sites[i].layout, sites[i].state);
+      wires_ << ";\n";
+      // Argument wires (calls only; forked processes take no arguments).
+      for (std::size_t a = 0; a < l.fn->params().size(); ++a) {
+        unsigned w = l.fn->params()[a].width;
+        std::string tail = "{" + std::to_string(w) + "{1'b0}}";
+        std::string expr = tail;
+        // Build the mux before opening the declaration: chainRef may emit
+        // mirror wires into wires_, which must land *before* this line.
+        for (std::size_t i = sites.size(); i-- > 0;) {
+          const Site &site = sites[i];
+          if (site.instr->op != Opcode::Call ||
+              a >= site.instr->operands.size())
             continue;
-          switch (instr.op) {
-          case Opcode::Store:
-            out_ << "          mem_"
-                 << vname(design_.module->mems()[instr.memId].name) << "["
-                 << operand(fn, instr.operands[0])
-                 << "] <= " << operand(fn, instr.operands[1]) << ";\n";
-            break;
-          case Opcode::ChanSend: {
-            std::string c = "chan_" + std::to_string(instr.chanId);
-            out_ << "          // rendezvous send\n";
-            out_ << "          " << c << "_data <= "
-                 << operand(fn, instr.operands[0]) << ";\n";
-            out_ << "          " << c << "_valid <= 1'b1;\n";
-            out_ << "          if (!" << c
-                 << "_ready) " << prefix << "_state <= " << prefix
-                 << "_state; // stall\n";
-            break;
-          }
-          case Opcode::ChanRecv: {
-            std::string c = "chan_" + std::to_string(instr.chanId);
-            out_ << "          // rendezvous receive\n";
-            out_ << "          " << c << "_ready <= 1'b1;\n";
-            out_ << "          if (" << c << "_valid) " << prefix << "_r"
-                 << instr.dst->id << " <= " << c << "_data;\n";
-            break;
-          }
-          case Opcode::Call: {
-            unsigned callee = design_.module->indexOf(
-                design_.module->findFunction(instr.callee));
-            out_ << "          p" << callee << "_start <= 1'b1; // call "
-                 << instr.callee << "\n";
-            break;
-          }
-          case Opcode::Fork:
-            for (unsigned p : instr.processes)
-              out_ << "          p" << p << "_start <= 1'b1; // fork\n";
-            break;
-          case Opcode::Delay:
-            out_ << "          // delay " << instr.delayCycles << "\n";
-            break;
-          case Opcode::Nop:
-            break;
-          default:
-            if (instr.dst)
-              out_ << "          " << prefix << "_r" << instr.dst->id
-                   << " <= " << rtlExpr(fn, instr) << ";\n";
-            break;
-          }
+          std::string ref = chainRef(*site.layout, *site.fb, site.step,
+                                     site.opIndex, site.instr->operands[a]);
+          expr = stateCond(*site.layout, site.state) + " ? " + ref + " : " +
+                 expr;
         }
-        // Transition.
-        if (s + 1 < fb.length) {
-          out_ << "          " << prefix
-               << "_state <= " << stateId[{block.get(), s + 1}] << ";\n";
-        } else {
-          const ir::Instr *term = block->terminator();
-          if (term && term->op == Opcode::Br) {
-            out_ << "          " << prefix
-                 << "_state <= " << stateId[{term->target0, 0u}] << ";\n";
-          } else if (term && term->op == Opcode::CondBr) {
-            out_ << "          " << prefix << "_state <= ("
-                 << operand(fn, term->operands[0]) << ") ? "
-                 << stateId[{term->target0, 0u}] << " : "
-                 << stateId[{term->target1, 0u}] << ";\n";
-          } else if (term && term->op == Opcode::Ret) {
-            if (!term->operands.empty()) {
-              if (isTop)
-                out_ << "          retval <= "
-                     << operand(fn, term->operands[0]) << ";\n";
-              else
-                out_ << "          " << prefix << "_ret <= "
-                     << operand(fn, term->operands[0]) << ";\n";
-            }
-            out_ << "          " << prefix << "_state <= " << doneState
-                 << ";\n";
-          }
+        wires_ << "  wire [" << w - 1 << ":0] " << prefix << "_arg" << a
+               << " = " << expr << ";\n";
+      }
+    }
+    // Channel rendezvous wires.
+    for (const auto &chan : design_.module->chans()) {
+      std::string n = "chan_" + std::to_string(chan.id);
+      wires_ << "  // channel " << chan.name << "\n";
+      const auto sendIt = sendSites_.find(chan.id);
+      const auto recvIt = recvSites_.find(chan.id);
+      wires_ << "  wire " << n << "_valid = ";
+      if (sendIt == sendSites_.end() || sendIt->second.empty()) {
+        wires_ << "1'b0;\n";
+      } else {
+        for (std::size_t i = 0; i < sendIt->second.size(); ++i)
+          wires_ << (i ? " || " : "")
+                 << stateCond(*sendIt->second[i].layout,
+                              sendIt->second[i].state);
+        wires_ << ";\n";
+      }
+      wires_ << "  wire " << n << "_ready = ";
+      if (recvIt == recvSites_.end() || recvIt->second.empty()) {
+        wires_ << "1'b0;\n";
+      } else {
+        for (std::size_t i = 0; i < recvIt->second.size(); ++i)
+          wires_ << (i ? " || " : "")
+                 << stateCond(*recvIt->second[i].layout,
+                              recvIt->second[i].state);
+        wires_ << ";\n";
+      }
+      // Data mux: wide enough for every producer (the receiver resizes).
+      unsigned w = std::max(1u, chan.width);
+      if (sendIt != sendSites_.end())
+        for (const Site &site : sendIt->second)
+          w = std::max(w, site.instr->operands[0].width());
+      chanDataWidth_[chan.id] = w;
+      std::string expr = "{" + std::to_string(w) + "{1'b0}}";
+      // Build before opening the declaration: chainRef may emit mirror
+      // wires into wires_, which must land *before* this line.
+      if (sendIt != sendSites_.end())
+        for (std::size_t i = sendIt->second.size(); i-- > 0;) {
+          const Site &site = sendIt->second[i];
+          std::string ref = chainRef(*site.layout, *site.fb, site.step,
+                                     site.opIndex, site.instr->operands[0]);
+          expr = stateCond(*site.layout, site.state) + " ? " + ref + " : " +
+                 expr;
         }
-        out_ << "        end\n";
+      wires_ << "  wire [" << w - 1 << ":0] " << n << "_data = " << expr
+             << ";\n";
+    }
+  }
+
+  // -------- process FSMs --------
+  // Emit a state's non-barrier register transfers.  In ordinary states
+  // blocking assignments model the simulator's intra-step chaining; in
+  // barrier states (call/fork/channel/delay) everything is non-blocking
+  // with mirror-wire operands so concurrently evaluated always blocks see
+  // a consistent pre-edge view.
+  void emitStateOps(const Layout &l, const FsmdBlock &fb, unsigned s,
+                    bool nba, std::size_t stopIndex, std::ostream &os,
+                    const std::string &ind) {
+    for (std::size_t i = 0; i < fb.ops.size() && i < stopIndex; ++i) {
+      const OpSlot &slot = fb.ops[i];
+      const ir::Instr &instr = *slot.instr;
+      if (slot.start != s || instr.isTerminator() || isBarrierOp(instr.op) ||
+          instr.op == Opcode::Nop)
+        continue;
+      RefFn ref = nba ? RefFn([&, i](const ir::Operand &op) {
+        return chainRef(l, fb, s, i, op);
+      })
+                      : RefFn([&](const ir::Operand &op) {
+                          return op.isImm() ? literal(op.imm())
+                                            : regName(l, op.reg().id);
+                        });
+      if (instr.op == Opcode::Store) {
+        os << ind << memName(instr.memId) << "[" << ref(instr.operands[0])
+           << "] " << (nba ? "<= " : "= ") << ref(instr.operands[1])
+           << ";\n";
+        continue;
+      }
+      if (!instr.dst)
+        continue;
+      unsigned lat = slot.done - slot.start;
+      std::string expr = rtlExpr(instr, ref);
+      if (lat == 0)
+        os << ind << regName(l, instr.dst->id) << (nba ? " <= " : " = ")
+           << expr << ";\n";
+      else if (lat == 1)
+        // Commits one cycle after issue, like the simulator's pending
+        // write: non-blocking with the issue-time operand values.
+        os << ind << regName(l, instr.dst->id) << " <= " << expr << ";\n";
+      else
+        os << ind << shadowName(l, instr.dst->id) << (nba ? " <= " : " = ")
+           << expr << ";\n";
+    }
+  }
+
+  // Multi-cycle results become visible at step `done`: the shadow commits
+  // on the edge that ends step done-1.
+  void emitCommits(const Layout &l, const FsmdBlock &fb, unsigned s,
+                   std::ostream &os, const std::string &ind) {
+    for (const auto &slot : fb.ops) {
+      if (!slot.instr->dst || slot.done <= slot.start + 1)
+        continue;
+      if (slot.done - 1 == s)
+        os << ind << regName(l, slot.instr->dst->id) << " <= "
+           << shadowName(l, slot.instr->dst->id) << ";\n";
+    }
+  }
+
+  // Advance out of (block, step s): next step, or the block terminator.
+  void emitAdvance(const Layout &l, const ir::BasicBlock *block, unsigned s,
+                   const RefFn &ref, std::ostream &os,
+                   const std::string &ind) {
+    auto &layout = const_cast<Layout &>(l);
+    const FsmdBlock &fb = l.proc->blockInfo(block);
+    std::string st = stateReg(l);
+    if (s + 1 < fb.length) {
+      os << ind << st << " <= " << layout.stateId[{block, s + 1}] << ";\n";
+      return;
+    }
+    const ir::Instr *term = block->terminator();
+    if (!term) {
+      os << ind << st << " <= " << l.stateCount << ";\n";
+      return;
+    }
+    auto r = [&](const ir::Operand &op) {
+      return op.isImm() ? literal(op.imm()) : ref(op);
+    };
+    switch (term->op) {
+    case Opcode::Br:
+      os << ind << st << " <= " << layout.stateId[{term->target0, 0u}]
+         << ";\n";
+      break;
+    case Opcode::CondBr:
+      os << ind << st << " <= (" << r(term->operands[0]) << ") ? "
+         << layout.stateId[{term->target0, 0u}] << " : "
+         << layout.stateId[{term->target1, 0u}] << ";\n";
+      break;
+    case Opcode::Ret:
+      if (!term->operands.empty()) {
+        if (l.isTop)
+          os << ind << "retval <= " << r(term->operands[0]) << ";\n";
+        else
+          os << ind << "p" << l.pid << "_ret <= " << r(term->operands[0])
+             << ";\n";
+      }
+      os << ind << (l.isTop ? "done" : "p" + std::to_string(l.pid) + "_done")
+         << " <= 1'b1;\n";
+      os << ind << st << " <= " << l.stateCount << ";\n";
+      break;
+    default:
+      os << ind << st << " <= " << l.stateCount << ";\n";
+      break;
+    }
+  }
+
+  void emitProcess(Layout &l) {
+    const ir::Function &fn = *l.fn;
+    std::string prefix = "p" + std::to_string(l.pid);
+    unsigned idle = l.stateCount;
+    std::string doneReg = l.isTop ? "done" : prefix + "_done";
+
+    // Declarations.
+    for (const auto &[reg, width] : l.regWidths)
+      decls_ << "  reg [" << width - 1 << ":0] " << prefix << "_r" << reg
+             << ";\n";
+    for (unsigned reg : l.shadowRegs)
+      decls_ << "  reg [" << l.regWidths[reg] - 1 << ":0] " << prefix << "_r"
+             << reg << "_s;\n";
+    decls_ << "  reg [15:0] " << prefix << "_state;\n";
+    if (l.hasStall)
+      decls_ << "  reg " << prefix << "_stall;\n";
+    if (l.hasDelay)
+      decls_ << "  reg [31:0] " << prefix << "_dly;\n";
+    if (!l.isTop) {
+      decls_ << "  reg " << prefix << "_done;\n";
+      if (fn.returnWidth() != 0)
+        decls_ << "  reg [" << fn.returnWidth() - 1 << ":0] " << prefix
+               << "_ret;\n";
+    }
+
+    std::ostream &os = body_;
+    os << "  // ------- process " << fn.name()
+       << (fn.isProcess ? " (par branch)" : "") << " -------\n";
+    os << "  always @(posedge clk) begin\n";
+    os << "    if (rst) begin\n";
+    os << "      " << prefix << "_state <= " << idle << ";\n";
+    os << "      " << doneReg << " <= 1'b0;\n";
+    if (l.hasStall)
+      os << "      " << prefix << "_stall <= 1'b0;\n";
+    os << "    end else begin\n";
+    os << "      case (" << prefix << "_state)\n";
+
+    // Idle: accept a start pulse, latch the arguments, clear done.
+    os << "        " << idle << ": begin // idle\n";
+    os << "          if (" << (l.isTop ? "start" : prefix + "_start")
+       << ") begin\n";
+    const ir::BasicBlock *entry = fn.entry();
+    if (entry) {
+      os << "            " << doneReg << " <= 1'b0;\n";
+      for (std::size_t i = 0; i < fn.params().size(); ++i)
+        os << "            " << prefix << "_r" << fn.params()[i].id << " <= "
+           << (l.isTop ? "arg" + std::to_string(i)
+                       : prefix + "_arg" + std::to_string(i))
+           << ";\n";
+      os << "            " << prefix
+         << "_state <= " << l.stateId[{entry, 0u}] << ";\n";
+    } else {
+      os << "            " << doneReg << " <= 1'b1;\n";
+    }
+    os << "          end\n        end\n";
+
+    RefFn plainRef = [&](const ir::Operand &op) {
+      return op.isImm() ? literal(op.imm()) : regName(l, op.reg().id);
+    };
+
+    for (const auto &block : fn.blocks()) {
+      const FsmdBlock &fb = l.proc->blockInfo(block.get());
+      for (unsigned s = 0; s < fb.length; ++s) {
+        os << "        " << l.stateId[{block.get(), s}] << ": begin // "
+           << block->name() << "." << s << "\n";
+        // Find this step's barrier, if any (always its last operation).
+        const OpSlot *barrier = nullptr;
+        std::size_t barrierIndex = fb.ops.size();
+        for (std::size_t i = 0; i < fb.ops.size(); ++i)
+          if (fb.ops[i].start == s && isBarrierOp(fb.ops[i].instr->op)) {
+            barrier = &fb.ops[i];
+            barrierIndex = i;
+            break;
+          }
+        emitCommits(l, fb, s, os, "          ");
+        RefFn chainedRef = [&, s](const ir::Operand &op) {
+          return chainRef(l, fb, s, fb.ops.size(), op);
+        };
+        if (!barrier) {
+          emitStateOps(l, fb, s, /*nba=*/false, fb.ops.size(), os,
+                       "          ");
+          emitAdvance(l, block.get(), s, plainRef, os, "          ");
+          os << "        end\n";
+          continue;
+        }
+        const ir::Instr &bi = *barrier->instr;
+        switch (bi.op) {
+        case Opcode::Call: {
+          emitStateOps(l, fb, s, /*nba=*/true, barrierIndex, os,
+                       "          ");
+          os << "          " << prefix
+             << "_state <= " << l.waitState[&bi] << "; // call "
+             << bi.callee << "\n";
+          break;
+        }
+        case Opcode::Fork: {
+          emitStateOps(l, fb, s, /*nba=*/true, barrierIndex, os,
+                       "          ");
+          os << "          " << prefix
+             << "_state <= " << l.waitState[&bi] << "; // fork\n";
+          break;
+        }
+        case Opcode::ChanSend: {
+          std::string c = "chan_" + std::to_string(bi.chanId);
+          os << "          // rendezvous send\n";
+          if (barrierIndex > 0) {
+            os << "          if (!" << prefix << "_stall) begin\n";
+            emitStateOps(l, fb, s, /*nba=*/true, barrierIndex, os,
+                         "            ");
+            os << "          end\n";
+          }
+          os << "          if (" << c << "_ready) begin\n";
+          os << "            " << prefix << "_stall <= 1'b0;\n";
+          emitAdvance(l, block.get(), s, chainedRef, os, "            ");
+          os << "          end else begin\n";
+          os << "            " << prefix << "_stall <= 1'b1;\n";
+          os << "          end\n";
+          break;
+        }
+        case Opcode::ChanRecv: {
+          std::string c = "chan_" + std::to_string(bi.chanId);
+          os << "          // rendezvous receive\n";
+          if (barrierIndex > 0) {
+            os << "          if (!" << prefix << "_stall) begin\n";
+            emitStateOps(l, fb, s, /*nba=*/true, barrierIndex, os,
+                         "            ");
+            os << "          end\n";
+          }
+          std::string data = resizeIdent(c + "_data",
+                                         chanDataWidth_[bi.chanId],
+                                         bi.dst->width);
+          os << "          if (" << c << "_valid) begin\n";
+          os << "            " << prefix << "_stall <= 1'b0;\n";
+          os << "            " << prefix << "_r" << bi.dst->id << " <= "
+             << data << ";\n";
+          unsigned dstId = bi.dst->id;
+          RefFn subst = [&, dstId, data](const ir::Operand &op) {
+            if (!op.isImm() && op.reg().id == dstId)
+              return data;
+            return chainedRef(op);
+          };
+          emitAdvance(l, block.get(), s, subst, os, "            ");
+          os << "          end else begin\n";
+          os << "            " << prefix << "_stall <= 1'b1;\n";
+          os << "          end\n";
+          break;
+        }
+        case Opcode::Delay: {
+          unsigned d = std::max(1u, bi.delayCycles);
+          os << "          // delay " << bi.delayCycles << "\n";
+          os << "          if (!" << prefix << "_stall) begin\n";
+          emitStateOps(l, fb, s, /*nba=*/true, barrierIndex, os,
+                       "            ");
+          os << "            " << prefix << "_stall <= 1'b1;\n";
+          os << "            " << prefix << "_dly <= " << d - 1 << ";\n";
+          os << "          end else if (" << prefix << "_dly == 0) begin\n";
+          os << "            " << prefix << "_stall <= 1'b0;\n";
+          emitAdvance(l, block.get(), s, chainedRef, os, "            ");
+          os << "          end else begin\n";
+          os << "            " << prefix << "_dly <= " << prefix
+             << "_dly - 1;\n";
+          os << "          end\n";
+          break;
+        }
+        default:
+          break;
+        }
+        os << "        end\n";
       }
     }
 
-    out_ << "        " << doneState << ": begin // done\n          "
-         << (isTop ? "done" : prefix + "_done") << " <= 1'b1;\n"
-         << "        end\n";
-    out_ << "        default: " << prefix << "_state <= " << idle << ";\n";
-    out_ << "      endcase\n    end\n  end\n\n";
+    // Wait states: poll the callee/children done flags, latch the result.
+    for (const auto &block : fn.blocks()) {
+      const FsmdBlock &fb = l.proc->blockInfo(block.get());
+      for (const auto &slot : fb.ops) {
+        const ir::Instr &instr = *slot.instr;
+        auto it = l.waitState.find(&instr);
+        if (it == l.waitState.end())
+          continue;
+        os << "        " << it->second << ": begin // wait "
+           << (instr.op == Opcode::Call ? instr.callee : "fork") << "\n";
+        if (instr.op == Opcode::Call) {
+          const ir::Function *callee =
+              design_.module->findFunction(instr.callee);
+          Layout *cl = callee && layoutOf_.count(callee) ? layoutOf_[callee]
+                                                         : nullptr;
+          if (!cl) {
+            os << "          // call target was not synthesized\n";
+            os << "          " << prefix << "_state <= " << idle << ";\n";
+            os << "        end\n";
+            continue;
+          }
+          std::string cp = "p" + std::to_string(cl->pid);
+          os << "          if (" << cp << "_done) begin\n";
+          std::string retRef;
+          if (instr.dst) {
+            retRef = resizeIdent(cp + "_ret", callee->returnWidth(),
+                                 instr.dst->width);
+            os << "            " << prefix << "_r" << instr.dst->id
+               << " <= " << retRef << ";\n";
+          }
+          RefFn ref = [&](const ir::Operand &op) {
+            if (instr.dst && !op.isImm() && op.reg().id == instr.dst->id)
+              return retRef;
+            return plainRef(op);
+          };
+          emitAdvance(l, block.get(), slot.start, ref, os, "            ");
+          os << "          end\n";
+        } else { // Fork
+          os << "          if (";
+          bool first = true;
+          for (unsigned fnIndex : instr.processes) {
+            const ir::Function *child =
+                design_.module->functions()[fnIndex].get();
+            if (!layoutOf_.count(child))
+              continue;
+            os << (first ? "" : " && ") << "p"
+               << layoutOf_[child]->pid << "_done";
+            first = false;
+          }
+          if (first)
+            os << "1'b1";
+          os << ") begin\n";
+          emitAdvance(l, block.get(), slot.start, plainRef, os,
+                      "            ");
+          os << "          end\n";
+        }
+        os << "        end\n";
+      }
+    }
+
+    os << "        default: " << prefix << "_state <= " << idle << ";\n";
+    os << "      endcase\n    end\n  end\n\n";
+  }
+
+  // -------- assembly --------
+  std::string assemble() {
+    std::ostringstream out;
+    out << "// Generated by c2h — flow output for top function '"
+        << design_.top << "'\n";
+    out << "// One FSM always-block per process; memories as register "
+           "arrays;\n// channels as rendezvous valid/ready handshakes.\n"
+        << "// Register transfers are cycle-exact against the FSMD "
+           "simulator.\n\n";
+    out << "module c2h_" << vname(design_.top) << " (\n";
+    out << "  input  wire clk,\n  input  wire rst,\n  input  wire start";
+    const ir::Function *top = design_.module->findFunction(design_.top);
+    if (top) {
+      for (std::size_t i = 0; i < top->params().size(); ++i)
+        out << ",\n  input  wire [" << top->params()[i].width - 1
+            << ":0] arg" << i;
+      out << ",\n  output reg  done";
+      if (top->returnWidth() != 0)
+        out << ",\n  output reg  [" << top->returnWidth() - 1
+            << ":0] retval";
+    } else {
+      out << ",\n  output reg  done";
+    }
+    out << "\n);\n\n";
+
+    // Memories.
+    for (const auto &mem : design_.module->mems()) {
+      out << "  // memory " << mem.name << (mem.readOnly ? " (ROM)" : "")
+          << "\n";
+      out << "  reg [" << mem.width - 1 << ":0] mem_" << vname(mem.name)
+          << " [0:" << (mem.depth ? mem.depth - 1 : 0) << "];\n";
+    }
+    bool anyInit = false;
+    for (const auto &mem : design_.module->mems())
+      if (!mem.init.empty())
+        anyInit = true;
+    if (anyInit) {
+      out << "  initial begin\n";
+      for (const auto &mem : design_.module->mems())
+        for (std::size_t i = 0; i < mem.init.size(); ++i)
+          if (!mem.init[i].isZero())
+            out << "    mem_" << vname(mem.name) << "[" << i
+                << "] = " << literal(mem.init[i]) << ";\n";
+      out << "  end\n";
+    }
+    out << "\n" << decls_.str() << "\n" << wires_.str() << "\n"
+        << body_.str() << "endmodule\n";
+    return out.str();
   }
 
   const Design &design_;
-  std::ostringstream out_;
+  std::vector<std::unique_ptr<Layout>> layouts_;
+  std::map<const ir::Function *, Layout *> layoutOf_;
+  std::map<unsigned, std::vector<Site>> startSites_; // pid -> issuing sites
+  std::map<unsigned, std::vector<Site>> sendSites_;  // chanId -> senders
+  std::map<unsigned, std::vector<Site>> recvSites_;  // chanId -> receivers
+  std::map<unsigned, unsigned> chanDataWidth_;
+  std::map<const ir::Instr *, std::string> mirror_;
+  unsigned mirrorCount_ = 0;
+  std::ostringstream decls_, wires_, body_;
 };
 
 } // namespace
+
+std::string verilogIdent(const std::string &name) { return vname(name); }
 
 std::string emitVerilog(const Design &design) {
   return Emitter(design).run();
@@ -379,8 +877,7 @@ std::string emitTestbench(const Design &design,
   out << "    #" << maxCycles * 2 << ";\n";
   out << "    $display(\"FAIL: timeout\");\n";
   out << "    $finish;\n";
-  out << "  end\n";
-  out << "endmodule\n";
+  out << "  end\nendmodule\n";
   return out.str();
 }
 

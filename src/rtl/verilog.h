@@ -4,9 +4,9 @@
 // the simulator executes: one flat top module containing the memories, the
 // channel handshake registers, and one FSM always-block per process, with
 // start/done handshakes wiring calls, forks, and the top-level interface.
-// (The repository's correctness claims rest on the built-in cycle-accurate
-// simulator; the Verilog is the artifact a downstream user would hand to a
-// synthesis tool.)
+// The register transfers are cycle-exact against the FSMD simulator —
+// vsim (src/vsim) re-executes the emitted text and the three-model harness
+// asserts identical return values and identical cycle counts.
 #ifndef C2H_RTL_VERILOG_H
 #define C2H_RTL_VERILOG_H
 
@@ -18,6 +18,11 @@ namespace c2h::rtl {
 
 // Render the whole design as a single Verilog module named `c2h_<top>`.
 std::string emitVerilog(const Design &design);
+
+// The Verilog identifier an IR name is sanitized to (memories are emitted
+// as `mem_<ident>`; the top module as `c2h_<ident>`).  Exposed so the
+// co-simulation harness can locate nets by construction, not by guessing.
+std::string verilogIdent(const std::string &name);
 
 // Render a self-checking testbench for the design: clock/reset generation,
 // a start pulse, the given arguments, and a pass/fail $display comparing

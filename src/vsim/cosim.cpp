@@ -1,0 +1,155 @@
+#include "vsim/cosim.h"
+
+#include "rtl/verilog.h"
+#include "vsim/parser.h"
+
+namespace c2h::vsim {
+
+namespace {
+
+std::string memNetName(const ir::Module &module, unsigned memId) {
+  return "mem_" + rtl::verilogIdent(module.mems()[memId].name);
+}
+
+// Reset + start/done handshake over an elaborated model.  `cycles` counts
+// post-accept ticks, matching rtl::SimResult::cycles exactly.
+CosimResult runHandshake(Simulation &sim,
+                         const std::vector<BitVector> &args,
+                         std::uint64_t maxCycles) {
+  CosimResult result;
+  auto failed = [&]() {
+    if (sim.ok())
+      return false;
+    result.error = "vsim: " + sim.error();
+    return true;
+  };
+  sim.poke("rst", BitVector(1, 1));
+  sim.poke("start", BitVector(1, 0));
+  for (std::size_t i = 0; i < args.size(); ++i)
+    sim.poke("arg" + std::to_string(i), args[i]);
+  sim.tick();
+  sim.tick();
+  sim.poke("rst", BitVector(1, 0));
+  sim.poke("start", BitVector(1, 1));
+  sim.tick(); // accept edge: idle latches args and enters the entry state
+  sim.poke("start", BitVector(1, 0));
+  if (failed())
+    return result;
+  std::uint64_t cycles = 0;
+  for (;;) {
+    if (cycles >= maxCycles) {
+      result.error = "vsim: cycle budget exceeded (" +
+                     std::to_string(maxCycles) + " cycles without done)";
+      return result;
+    }
+    sim.tick();
+    ++cycles;
+    if (failed())
+      return result;
+    if (!sim.peek("done").isZero())
+      break;
+  }
+  result.ok = true;
+  result.cycles = cycles;
+  result.returnValue = sim.peek("retval"); // 1-bit zero when no retval net
+  return result;
+}
+
+} // namespace
+
+Cosimulation::Cosimulation(const rtl::Design &design) : design_(&design) {
+  verilog_ = rtl::emitVerilog(design);
+  topModule_ = "c2h_" + rtl::verilogIdent(design.top);
+  ParseDiagnostic diag;
+  std::shared_ptr<SourceUnit> unit = parseVerilog(verilog_, diag);
+  if (!unit) {
+    error_ = "vsim parse: " + diag.str();
+    return;
+  }
+  std::string elabError;
+  model_ = elaborate(std::move(unit), topModule_, elabError);
+  if (!model_)
+    error_ = "vsim elaborate: " + elabError;
+}
+
+void Cosimulation::seedGlobal(const std::string &name,
+                              const std::vector<BitVector> &cells) {
+  seeds_[name] = cells;
+}
+
+CosimResult Cosimulation::run(const std::vector<BitVector> &args,
+                              const CosimOptions &options) {
+  CosimResult result;
+  if (!valid()) {
+    result.error = error_;
+    return result;
+  }
+  sim_ = std::make_unique<Simulation>(model_);
+  sim_->settle(); // initial blocks load the ROM/global images
+  for (const auto &[name, cells] : seeds_) {
+    const ir::GlobalSlot *slot = design_->module->findGlobal(name);
+    if (!slot)
+      continue;
+    unsigned cellWidth = design_->module->mems()[slot->memId].width;
+    std::string net = memNetName(*design_->module, slot->memId);
+    for (std::uint64_t i = 0; i < cells.size() && i < slot->words; ++i)
+      sim_->pokeMemory(net, slot->base + i,
+                       cells[i].resize(slot->width, false)
+                           .resize(cellWidth, false));
+  }
+  // Resize arguments like Simulator::run: to the declared parameter width.
+  std::vector<BitVector> sized = args;
+  if (const ir::Function *top = design_->module->findFunction(design_->top))
+    for (std::size_t i = 0;
+         i < sized.size() && i < top->params().size(); ++i)
+      sized[i] = sized[i].resize(top->params()[i].width, false);
+  return runHandshake(*sim_, sized, options.maxCycles);
+}
+
+std::vector<BitVector>
+Cosimulation::readGlobal(const std::string &name) const {
+  if (!sim_ || !design_)
+    return {};
+  const ir::GlobalSlot *slot = design_->module->findGlobal(name);
+  if (!slot)
+    return {};
+  std::vector<BitVector> cells =
+      sim_->memoryContents(memNetName(*design_->module, slot->memId));
+  std::vector<BitVector> out;
+  for (std::uint64_t i = 0; i < slot->words && slot->base + i < cells.size();
+       ++i)
+    out.push_back(cells[slot->base + i].trunc(slot->width));
+  return out;
+}
+
+CosimResult cosimulate(const rtl::Design &design,
+                       const std::vector<BitVector> &args,
+                       const CosimOptions &options) {
+  Cosimulation cosim(design);
+  return cosim.run(args, options);
+}
+
+CosimResult cosimulateSource(const std::string &verilogText,
+                             const std::string &topModule,
+                             const std::vector<BitVector> &args,
+                             const CosimOptions &options) {
+  CosimResult result;
+  ParseDiagnostic diag;
+  std::shared_ptr<SourceUnit> unit = parseVerilog(verilogText, diag);
+  if (!unit) {
+    result.error = "vsim parse: " + diag.str();
+    return result;
+  }
+  std::string elabError;
+  std::shared_ptr<Model> model = elaborate(std::move(unit), topModule,
+                                           elabError);
+  if (!model) {
+    result.error = "vsim elaborate: " + elabError;
+    return result;
+  }
+  Simulation sim(std::move(model));
+  sim.settle();
+  return runHandshake(sim, args, options.maxCycles);
+}
+
+} // namespace c2h::vsim

@@ -1,0 +1,80 @@
+// Co-simulation harness: run a synthesized rtl::Design through the whole
+// textual round trip — emitVerilog -> vsim parse -> elaborate -> simulate —
+// driving the start/done handshake exactly like the FSMD simulator's run()
+// protocol, so the reported cycle count is directly comparable (and must be
+// equal) to rtl::SimResult::cycles.
+//
+// Handshake protocol (one tick = clk 0->1->0):
+//   reset high for 2 ticks -> args poked -> start=1, one tick (the accept
+//   edge: the idle state latches arguments and enters the entry state)
+//   -> start=0 -> tick until done; the number of post-accept ticks is the
+//   cycle count.
+#ifndef C2H_VSIM_COSIM_H
+#define C2H_VSIM_COSIM_H
+
+#include "rtl/fsmd.h"
+#include "vsim/sim.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c2h::vsim {
+
+struct CosimOptions {
+  std::uint64_t maxCycles = 2'000'000;
+};
+
+struct CosimResult {
+  bool ok = false;
+  std::string error; // parse/elaborate/runtime failure or budget overrun
+  BitVector returnValue{1};
+  std::uint64_t cycles = 0;
+};
+
+// Emits and elaborates once; run() starts a fresh Simulation each time, so
+// one Cosimulation can execute many argument sets (fuzzing, sweeps).
+class Cosimulation {
+public:
+  explicit Cosimulation(const rtl::Design &design);
+
+  bool valid() const { return error_.empty(); }
+  const std::string &error() const { return error_; }
+  const std::string &verilog() const { return verilog_; }
+
+  // Seed a source-level global (through the module's GlobalSlot map)
+  // before the next run — the vsim analogue of Simulator::writeGlobal.
+  void seedGlobal(const std::string &name,
+                  const std::vector<BitVector> &cells);
+  CosimResult run(const std::vector<BitVector> &args,
+                  const CosimOptions &options = {});
+  // Final contents of a checked global after run() (Simulator::readGlobal
+  // analogue: `words` cells truncated to the slot width).
+  std::vector<BitVector> readGlobal(const std::string &name) const;
+
+private:
+  const rtl::Design *design_ = nullptr;
+  std::string verilog_, topModule_, error_;
+  std::shared_ptr<Model> model_;
+  std::unique_ptr<Simulation> sim_; // last run's state, for readGlobal
+  std::map<std::string, std::vector<BitVector>> seeds_;
+};
+
+// One-shot convenience wrapper.
+CosimResult cosimulate(const rtl::Design &design,
+                       const std::vector<BitVector> &args,
+                       const CosimOptions &options = {});
+
+// Drive the handshake against arbitrary Verilog text (the module must
+// expose the clk/rst/start/done protocol).  This is how the intentional-
+// mismatch tests corrupt an emitted design and prove the differential
+// harness actually fails.
+CosimResult cosimulateSource(const std::string &verilogText,
+                             const std::string &topModule,
+                             const std::vector<BitVector> &args,
+                             const CosimOptions &options = {});
+
+} // namespace c2h::vsim
+
+#endif // C2H_VSIM_COSIM_H

@@ -1,0 +1,355 @@
+#include "vsim/elab.h"
+
+#include <algorithm>
+#include <set>
+
+namespace c2h::vsim {
+
+namespace {
+
+struct ElabError {
+  unsigned line, col;
+  std::string message;
+};
+
+// Per-instance name resolution.
+struct Scope {
+  std::map<std::string, int> nets;
+  std::map<std::string, int> mems;
+};
+
+class Elaborator {
+public:
+  Elaborator(std::shared_ptr<SourceUnit> unit, std::string top)
+      : unit_(std::move(unit)), top_(std::move(top)) {}
+
+  std::shared_ptr<Model> run() {
+    const ModuleDecl *top = unit_->findModule(top_);
+    if (!top)
+      throw ElabError{0, 0, "top module '" + top_ + "' not found"};
+    model_ = std::make_shared<Model>();
+    model_->unit = unit_;
+    model_->top = top_;
+    Scope scope = instantiate(*top, /*prefix=*/"", {});
+    model_->netByName = scope.nets;
+    model_->memByName = scope.mems;
+    return model_;
+  }
+
+private:
+  [[noreturn]] void fail(unsigned line, unsigned col,
+                         const std::string &msg) const {
+    throw ElabError{line, col, msg};
+  }
+
+  int newNet(const NetDecl &decl, const std::string &prefix) {
+    Net net;
+    net.name = prefix + decl.name;
+    net.width = decl.width;
+    net.sign = decl.isInteger;
+    net.isReg = decl.isReg;
+    int id = static_cast<int>(model_->nets.size());
+    model_->nets.push_back(std::move(net));
+    return id;
+  }
+
+  Scope instantiate(const ModuleDecl &mod, const std::string &prefix,
+                    const std::map<std::string, int> &portBindings) {
+    if (!instantiated_.insert(&mod).second)
+      fail(mod.line, mod.col,
+           "module '" + mod.name +
+               "' instantiated more than once (unsupported: the AST is "
+               "annotated in place)");
+    Scope scope;
+
+    // Pass 1: declare every net and memory so initializers, drivers, and
+    // process bodies can reference them regardless of order.
+    for (const NetDecl &decl : mod.nets) {
+      if (scope.nets.count(decl.name) || scope.mems.count(decl.name))
+        fail(decl.line, decl.col, "duplicate declaration '" + decl.name + "'");
+      if (decl.isMemory) {
+        Memory mem;
+        mem.name = prefix + decl.name;
+        mem.width = decl.width;
+        mem.depth = decl.depth;
+        scope.mems[decl.name] = static_cast<int>(model_->mems.size());
+        model_->mems.push_back(std::move(mem));
+        continue;
+      }
+      auto bound = portBindings.find(decl.name);
+      if (bound != portBindings.end()) {
+        // Alias: the child's port net is the parent's net.
+        Net &net = model_->nets[bound->second];
+        if (net.width != decl.width)
+          fail(decl.line, decl.col,
+               "port '" + decl.name + "' width mismatch: " +
+                   std::to_string(decl.width) + " vs " +
+                   std::to_string(net.width));
+        net.isReg = net.isReg || decl.isReg;
+        scope.nets[decl.name] = bound->second;
+        continue;
+      }
+      scope.nets[decl.name] = newNet(decl, prefix);
+    }
+
+    // Pass 2: initializers and wire drivers.
+    for (const NetDecl &decl : mod.nets) {
+      if (decl.isMemory)
+        continue;
+      Net &net = model_->nets[scope.nets[decl.name]];
+      if (decl.init) {
+        annotateExpr(*decl.init, scope);
+        net.init = constValue(*decl.init, net.width);
+        net.hasInit = true;
+      }
+      if (decl.wireExpr) {
+        annotateExpr(*decl.wireExpr, scope);
+        if (net.driver)
+          fail(decl.line, decl.col, "net '" + decl.name + "' driven twice");
+        net.driver = decl.wireExpr.get();
+      }
+    }
+    for (const AssignItem &item : mod.assigns) {
+      annotateExpr(*item.lhs, scope);
+      annotateExpr(*item.rhs, scope);
+      if (item.lhs->kind != ExprKind::Ident || item.lhs->netId < 0)
+        fail(item.line, item.col, "assign target must be a plain net");
+      Net &net = model_->nets[item.lhs->netId];
+      if (net.isReg)
+        fail(item.line, item.col, "assign target must be a wire");
+      if (net.driver)
+        fail(item.line, item.col, "net '" + item.lhs->name + "' driven twice");
+      net.driver = item.rhs.get();
+    }
+
+    // Pass 3: processes.
+    for (const AlwaysItem &item : mod.always) {
+      Process proc;
+      proc.body = item.body.get();
+      if (item.delayLoop) {
+        proc.kind = Process::Kind::DelayLoop;
+        if (item.period == 0)
+          fail(item.line, item.col, "always #0 would not advance time");
+        proc.period = item.period;
+      } else {
+        proc.kind = Process::Kind::Clocked;
+        auto it = scope.nets.find(item.clock);
+        if (it == scope.nets.end())
+          fail(item.line, item.col, "unknown clock '" + item.clock + "'");
+        proc.clockNet = it->second;
+      }
+      annotateStmt(*item.body, scope);
+      model_->procs.push_back(proc);
+    }
+    for (const InitialItem &item : mod.initials) {
+      Process proc;
+      proc.kind = Process::Kind::Initial;
+      proc.body = item.body.get();
+      annotateStmt(*item.body, scope);
+      model_->procs.push_back(proc);
+    }
+
+    // Pass 4: child instances (ports bind to this scope's nets).
+    for (const InstanceItem &inst : mod.instances) {
+      const ModuleDecl *child = unit_->findModule(inst.moduleName);
+      if (!child)
+        fail(inst.line, inst.col,
+             "unknown module '" + inst.moduleName + "'");
+      std::map<std::string, int> bindings;
+      for (const PortConn &conn : inst.conns) {
+        annotateExpr(*conn.expr, scope);
+        if (conn.expr->kind != ExprKind::Ident || conn.expr->netId < 0)
+          fail(inst.line, inst.col,
+               "port connection '." + conn.port +
+                   "' must be a plain net (emitted designs connect "
+                   "identifiers only)");
+        bindings[conn.port] = conn.expr->netId;
+      }
+      instantiate(*child, prefix + inst.instanceName + ".", bindings);
+    }
+    return scope;
+  }
+
+  // Constant-fold a declaration initializer (`reg clk = 0;`).
+  BitVector constValue(const Expr &e, unsigned width) const {
+    if (e.kind == ExprKind::Number)
+      return e.number.resize(width, e.numberSigned);
+    if (e.kind == ExprKind::Unary && e.un == UnOp::Minus &&
+        e.args[0]->kind == ExprKind::Number)
+      return e.args[0]->number.resize(width, e.args[0]->numberSigned).neg();
+    fail(e.line, e.col, "initializer must be a constant");
+  }
+
+  // ---- in-place annotation: resolve names, compute self width/sign ----
+  void annotateExpr(Expr &e, const Scope &scope) {
+    switch (e.kind) {
+    case ExprKind::Number:
+      e.width = e.number.width();
+      e.sign = e.numberSigned;
+      return;
+    case ExprKind::Ident: {
+      auto it = scope.nets.find(e.name);
+      if (it == scope.nets.end())
+        fail(e.line, e.col, "unknown identifier '" + e.name + "'");
+      e.netId = it->second;
+      e.width = model_->nets[e.netId].width;
+      e.sign = model_->nets[e.netId].sign;
+      return;
+    }
+    case ExprKind::Select: {
+      for (auto &arg : e.args)
+        annotateExpr(*arg, scope);
+      auto mem = scope.mems.find(e.name);
+      if (mem != scope.mems.end()) {
+        if (e.isPart)
+          fail(e.line, e.col, "part-select of a memory is unsupported");
+        e.memId = mem->second;
+        e.width = model_->mems[e.memId].width;
+        e.sign = false;
+        return;
+      }
+      auto net = scope.nets.find(e.name);
+      if (net == scope.nets.end())
+        fail(e.line, e.col, "unknown identifier '" + e.name + "'");
+      e.netId = net->second;
+      unsigned netWidth = model_->nets[e.netId].width;
+      if (e.isPart) {
+        std::uint64_t msb = e.args[0]->number.toUint64();
+        std::uint64_t lsb = e.args[1]->number.toUint64();
+        if (msb < lsb || msb >= netWidth)
+          fail(e.line, e.col,
+               "part-select [" + std::to_string(msb) + ":" +
+                   std::to_string(lsb) + "] out of range for '" + e.name +
+                   "' (" + std::to_string(netWidth) + " bits)");
+        e.width = static_cast<unsigned>(msb - lsb + 1);
+      } else {
+        e.width = 1;
+      }
+      e.sign = false;
+      return;
+    }
+    case ExprKind::Unary:
+      annotateExpr(*e.args[0], scope);
+      if (e.un == UnOp::LogNot) {
+        e.width = 1;
+        e.sign = false;
+      } else {
+        e.width = e.args[0]->width;
+        e.sign = e.args[0]->sign;
+      }
+      return;
+    case ExprKind::Binary: {
+      annotateExpr(*e.args[0], scope);
+      annotateExpr(*e.args[1], scope);
+      const Expr &a = *e.args[0], &b = *e.args[1];
+      switch (e.bin) {
+      case BinOp::Add: case BinOp::Sub: case BinOp::Mul: case BinOp::Div:
+      case BinOp::Mod: case BinOp::BitAnd: case BinOp::BitOr:
+      case BinOp::BitXor:
+        e.width = std::max(a.width, b.width);
+        e.sign = a.sign && b.sign;
+        return;
+      case BinOp::Shl: case BinOp::Shr: case BinOp::AShr:
+        e.width = a.width; // shift amount is self-determined
+        e.sign = a.sign;
+        return;
+      case BinOp::Lt: case BinOp::Le: case BinOp::Gt: case BinOp::Ge:
+      case BinOp::Eq: case BinOp::Ne: case BinOp::LAnd: case BinOp::LOr:
+        e.width = 1;
+        e.sign = false;
+        return;
+      }
+      return;
+    }
+    case ExprKind::Ternary:
+      annotateExpr(*e.args[0], scope);
+      annotateExpr(*e.args[1], scope);
+      annotateExpr(*e.args[2], scope);
+      e.width = std::max(e.args[1]->width, e.args[2]->width);
+      e.sign = e.args[1]->sign && e.args[2]->sign;
+      return;
+    case ExprKind::Concat: {
+      unsigned total = 0;
+      for (auto &arg : e.args) {
+        annotateExpr(*arg, scope);
+        total += arg->width;
+      }
+      if (total == 0 || total > BitVector::kMaxWidth)
+        fail(e.line, e.col, "concatenation width out of range");
+      e.width = total;
+      e.sign = false;
+      return;
+    }
+    case ExprKind::Repl: {
+      annotateExpr(*e.args[0], scope);
+      if (e.replCount == 0 ||
+          e.replCount * e.args[0]->width > BitVector::kMaxWidth)
+        fail(e.line, e.col, "replication width out of range");
+      e.width = static_cast<unsigned>(e.replCount * e.args[0]->width);
+      e.sign = false;
+      return;
+    }
+    case ExprKind::Cast:
+      annotateExpr(*e.args[0], scope);
+      e.width = e.args[0]->width;
+      e.sign = e.castSigned;
+      return;
+    }
+  }
+
+  void annotateStmt(Stmt &s, const Scope &scope) {
+    if (s.lhs) {
+      annotateExpr(*s.lhs, scope);
+      if (s.kind == StmtKind::Assign || s.kind == StmtKind::NbAssign) {
+        if (s.lhs->kind == ExprKind::Select && s.lhs->memId < 0)
+          fail(s.line, s.col, "bit-select assignment targets are unsupported");
+        if (s.lhs->kind == ExprKind::Ident &&
+            !model_->nets[s.lhs->netId].isReg)
+          fail(s.line, s.col,
+               "procedural assignment to wire '" + s.lhs->name + "'");
+      }
+    }
+    if (s.rhs)
+      annotateExpr(*s.rhs, scope);
+    if (s.cond)
+      annotateExpr(*s.cond, scope);
+    for (auto &arg : s.args)
+      annotateExpr(*arg, scope);
+    if (s.kind == StmtKind::EventWait) {
+      auto it = scope.nets.find(s.event);
+      if (it == scope.nets.end())
+        fail(s.line, s.col, "unknown event net '" + s.event + "'");
+      s.eventNet = it->second;
+    }
+    for (auto &child : s.stmts)
+      annotateStmt(*child, scope);
+    for (auto &item : s.caseItems) {
+      for (auto &label : item.labels)
+        annotateExpr(*label, scope);
+      annotateStmt(*item.body, scope);
+    }
+    if (s.body)
+      annotateStmt(*s.body, scope);
+  }
+
+  std::shared_ptr<SourceUnit> unit_;
+  std::string top_;
+  std::shared_ptr<Model> model_;
+  std::set<const ModuleDecl *> instantiated_;
+};
+
+} // namespace
+
+std::shared_ptr<Model> elaborate(std::shared_ptr<SourceUnit> unit,
+                                 const std::string &top, std::string &error) {
+  error.clear();
+  try {
+    return Elaborator(std::move(unit), top).run();
+  } catch (const ElabError &e) {
+    error = "line " + std::to_string(e.line) + ":" + std::to_string(e.col) +
+            ": " + e.message;
+    return nullptr;
+  }
+}
+
+} // namespace c2h::vsim

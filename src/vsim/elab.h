@@ -1,0 +1,78 @@
+// Elaboration: flatten a parsed SourceUnit into a Model — the netlist-ish
+// IR the evaluator runs.  Instances are flattened by net aliasing: a named
+// port connection `.p(n)` makes the child's port net and the parent's net
+// the same storage, so the testbench's `done` IS the DUT's `done` register
+// and edge/wait wake-ups need no cross-boundary plumbing.
+//
+// Elaboration also annotates the AST in place: identifier nodes get their
+// resolved net/memory ids, and every expression gets its self-determined
+// width and signedness (Verilog-2001 sizing rules restricted to the
+// emitted subset).  Because the annotations live in the shared AST, a
+// module may be instantiated at most once per SourceUnit, and a SourceUnit
+// must not be elaborated concurrently from two threads — both are
+// non-restrictions for generated designs (one DUT, one testbench).
+#ifndef C2H_VSIM_ELAB_H
+#define C2H_VSIM_ELAB_H
+
+#include "vsim/vast.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c2h::vsim {
+
+struct Net {
+  std::string name; // hierarchical (instance-prefixed below the top)
+  unsigned width = 1;
+  bool sign = false;  // `integer` nets compare/extend signed
+  bool isReg = false;
+  bool hasInit = false;
+  BitVector init{1};
+  const Expr *driver = nullptr; // continuous assign (wire)
+};
+
+struct Memory {
+  std::string name;
+  unsigned width = 1;
+  std::uint64_t depth = 0;
+};
+
+struct Process {
+  enum class Kind { Clocked, DelayLoop, Initial };
+  Kind kind = Kind::Initial;
+  int clockNet = -1;      // Clocked
+  std::uint64_t period = 0; // DelayLoop
+  const Stmt *body = nullptr;
+};
+
+// The flattened design.  Keeps the (annotated) SourceUnit alive; nets and
+// memories of the top instance are reachable by their source names.
+struct Model {
+  std::shared_ptr<SourceUnit> unit;
+  std::string top;
+  std::vector<Net> nets;
+  std::vector<Memory> mems;
+  std::vector<Process> procs; // parent items first, then instances'
+  std::map<std::string, int> netByName; // top-instance scope only
+  std::map<std::string, int> memByName;
+
+  int findNet(const std::string &name) const {
+    auto it = netByName.find(name);
+    return it == netByName.end() ? -1 : it->second;
+  }
+  int findMem(const std::string &name) const {
+    auto it = memByName.find(name);
+    return it == memByName.end() ? -1 : it->second;
+  }
+};
+
+// Flatten `top` (and everything it instantiates).  Returns null and fills
+// `error` ("line L:C: ...") on failure.
+std::shared_ptr<Model> elaborate(std::shared_ptr<SourceUnit> unit,
+                                 const std::string &top, std::string &error);
+
+} // namespace c2h::vsim
+
+#endif // C2H_VSIM_ELAB_H

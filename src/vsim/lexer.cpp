@@ -1,0 +1,351 @@
+#include "vsim/lexer.h"
+
+namespace c2h::vsim {
+
+namespace {
+
+bool isIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool isIdentChar(char c) {
+  return isIdentStart(c) || (c >= '0' && c <= '9');
+}
+bool isDigit(char c) { return c >= '0' && c <= '9'; }
+
+int digitValue(char c) {
+  if (c >= '0' && c <= '9')
+    return c - '0';
+  if (c >= 'a' && c <= 'f')
+    return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F')
+    return c - 'A' + 10;
+  return -1;
+}
+
+class Lexer {
+public:
+  Lexer(const std::string &src, std::vector<Token> &out)
+      : src_(src), out_(out) {}
+
+  bool run(unsigned &errLine, unsigned &errCol, std::string &errMessage) {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r') {
+        advance();
+        continue;
+      }
+      if (c == '\n') {
+        advance();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n')
+          advance();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        unsigned l = line_, co = col_;
+        advance();
+        advance();
+        while (pos_ < src_.size() &&
+               !(src_[pos_] == '*' && peek(1) == '/'))
+          advance();
+        if (pos_ >= src_.size())
+          return fail(l, co, "unterminated block comment", errLine, errCol,
+                      errMessage);
+        advance();
+        advance();
+        continue;
+      }
+      if (c == '`') { // compiler directive (e.g. `timescale): skip the line
+        while (pos_ < src_.size() && src_[pos_] != '\n')
+          advance();
+        continue;
+      }
+      if (isIdentStart(c)) {
+        lexIdent(TokKind::Ident);
+        continue;
+      }
+      if (c == '$') {
+        unsigned l = line_, co = col_;
+        advance();
+        if (pos_ >= src_.size() || !isIdentStart(src_[pos_]))
+          return fail(l, co, "expected system task name after '$'", errLine,
+                      errCol, errMessage);
+        lexIdent(TokKind::SysId);
+        out_.back().text = "$" + out_.back().text;
+        out_.back().line = l;
+        out_.back().col = co;
+        continue;
+      }
+      if (isDigit(c)) {
+        if (!lexNumber(errLine, errCol, errMessage))
+          return false;
+        continue;
+      }
+      if (c == '\'') { // base without a size prefix: 'h... (not emitted,
+                       // but cheap to accept as a 32-bit literal)
+        if (!lexBasedValue(32, line_, col_, errLine, errCol, errMessage))
+          return false;
+        continue;
+      }
+      if (c == '"') {
+        if (!lexString(errLine, errCol, errMessage))
+          return false;
+        continue;
+      }
+      if (!lexSymbol(errLine, errCol, errMessage))
+        return false;
+    }
+    Token eof;
+    eof.kind = TokKind::Eof;
+    eof.line = line_;
+    eof.col = col_;
+    out_.push_back(eof);
+    return true;
+  }
+
+private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  bool fail(unsigned l, unsigned c, const std::string &msg, unsigned &errLine,
+            unsigned &errCol, std::string &errMessage) {
+    errLine = l;
+    errCol = c;
+    errMessage = msg;
+    return false;
+  }
+
+  void lexIdent(TokKind kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.col = col_;
+    while (pos_ < src_.size() && isIdentChar(src_[pos_])) {
+      t.text.push_back(src_[pos_]);
+      advance();
+    }
+    out_.push_back(std::move(t));
+  }
+
+  // value digits after a base char, accumulated into a BitVector of `width`.
+  bool lexBasedValue(unsigned width, unsigned l, unsigned co,
+                     unsigned &errLine, unsigned &errCol,
+                     std::string &errMessage) {
+    advance(); // '
+    if (pos_ >= src_.size())
+      return fail(l, co, "unterminated based literal", errLine, errCol,
+                  errMessage);
+    char baseChar = src_[pos_];
+    unsigned base = 0;
+    switch (baseChar) {
+    case 'h': case 'H': base = 16; break;
+    case 'd': case 'D': base = 10; break;
+    case 'o': case 'O': base = 8; break;
+    case 'b': case 'B': base = 2; break;
+    case 's': case 'S':
+      return fail(l, co, "signed based literals are unsupported", errLine,
+                  errCol, errMessage);
+    default:
+      return fail(l, co, std::string("unknown literal base '") + baseChar +
+                             "'",
+                  errLine, errCol, errMessage);
+    }
+    advance();
+    // Accumulate into a wide vector, then truncate to the declared width
+    // (Verilog semantics: excess high bits of the literal are dropped).
+    unsigned accWidth =
+        width + 64 < BitVector::kMaxWidth ? width + 64 : BitVector::kMaxWidth;
+    BitVector acc(accWidth);
+    BitVector baseBv(accWidth, base);
+    bool any = false;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '_') {
+        advance();
+        continue;
+      }
+      if (c == 'x' || c == 'X' || c == 'z' || c == 'Z' || c == '?')
+        return fail(l, co, "x/z literals are unsupported (2-state values)",
+                    errLine, errCol, errMessage);
+      int d = digitValue(c);
+      if (d < 0 || static_cast<unsigned>(d) >= base)
+        break;
+      acc = acc.mul(baseBv).add(BitVector(accWidth, d));
+      any = true;
+      advance();
+    }
+    if (!any)
+      return fail(l, co, "based literal has no digits", errLine, errCol,
+                  errMessage);
+    Token t;
+    t.kind = TokKind::Number;
+    t.line = l;
+    t.col = co;
+    t.value = acc.trunc(width);
+    t.sized = true;
+    out_.push_back(std::move(t));
+    return true;
+  }
+
+  bool lexNumber(unsigned &errLine, unsigned &errCol,
+                 std::string &errMessage) {
+    unsigned l = line_, co = col_;
+    std::uint64_t dec = 0;
+    bool overflow = false;
+    while (pos_ < src_.size() && (isDigit(src_[pos_]) || src_[pos_] == '_')) {
+      if (src_[pos_] != '_') {
+        std::uint64_t next = dec * 10 + (src_[pos_] - '0');
+        if (next / 10 != dec)
+          overflow = true;
+        dec = next;
+      }
+      advance();
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') {
+      if (overflow || dec == 0 || dec > BitVector::kMaxWidth)
+        return fail(l, co, "bad literal width", errLine, errCol, errMessage);
+      return lexBasedValue(static_cast<unsigned>(dec), l, co, errLine, errCol,
+                           errMessage);
+    }
+    Token t;
+    t.kind = TokKind::Number;
+    t.line = l;
+    t.col = co;
+    t.value = BitVector(32, dec); // unsized decimal: signed 32-bit
+    t.sized = false;
+    t.isSigned = true;
+    out_.push_back(std::move(t));
+    return true;
+  }
+
+  bool lexString(unsigned &errLine, unsigned &errCol,
+                 std::string &errMessage) {
+    unsigned l = line_, co = col_;
+    advance(); // opening quote
+    Token t;
+    t.kind = TokKind::String;
+    t.line = l;
+    t.col = co;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      char c = src_[pos_];
+      if (c == '\n')
+        return fail(l, co, "unterminated string", errLine, errCol,
+                    errMessage);
+      if (c == '\\') {
+        advance();
+        if (pos_ >= src_.size())
+          return fail(l, co, "unterminated string escape", errLine, errCol,
+                      errMessage);
+        char e = src_[pos_];
+        switch (e) {
+        case 'n': t.text.push_back('\n'); break;
+        case 't': t.text.push_back('\t'); break;
+        case '\\': t.text.push_back('\\'); break;
+        case '"': t.text.push_back('"'); break;
+        default: t.text.push_back(e); break;
+        }
+        advance();
+        continue;
+      }
+      t.text.push_back(c);
+      advance();
+    }
+    if (pos_ >= src_.size())
+      return fail(l, co, "unterminated string", errLine, errCol, errMessage);
+    advance(); // closing quote
+    out_.push_back(std::move(t));
+    return true;
+  }
+
+  bool lexSymbol(unsigned &errLine, unsigned &errCol,
+                 std::string &errMessage) {
+    unsigned l = line_, co = col_;
+    char c = src_[pos_];
+    auto emit = [&](const std::string &text, unsigned len) {
+      Token t;
+      t.kind = TokKind::Symbol;
+      t.text = text;
+      t.line = l;
+      t.col = co;
+      out_.push_back(std::move(t));
+      for (unsigned i = 0; i < len; ++i)
+        advance();
+      return true;
+    };
+    char c1 = peek(1), c2 = peek(2);
+    switch (c) {
+    case '=':
+      if (c1 == '=' && c2 == '=')
+        return emit("===", 3);
+      if (c1 == '=')
+        return emit("==", 2);
+      return emit("=", 1);
+    case '!':
+      if (c1 == '=' && c2 == '=')
+        return emit("!==", 3);
+      if (c1 == '=')
+        return emit("!=", 2);
+      return emit("!", 1);
+    case '<':
+      if (c1 == '<')
+        return emit("<<", 2);
+      if (c1 == '=')
+        return emit("<=", 2);
+      return emit("<", 1);
+    case '>':
+      if (c1 == '>' && c2 == '>')
+        return emit(">>>", 3);
+      if (c1 == '>')
+        return emit(">>", 2);
+      if (c1 == '=')
+        return emit(">=", 2);
+      return emit(">", 1);
+    case '&':
+      if (c1 == '&')
+        return emit("&&", 2);
+      return emit("&", 1);
+    case '|':
+      if (c1 == '|')
+        return emit("||", 2);
+      return emit("|", 1);
+    case '(': case ')': case '[': case ']': case '{': case '}':
+    case ';': case ':': case ',': case '.': case '#': case '@':
+    case '?': case '+': case '-': case '*': case '/': case '%':
+    case '^': case '~':
+      return emit(std::string(1, c), 1);
+    default:
+      return fail(l, co, std::string("unexpected character '") + c + "'",
+                  errLine, errCol, errMessage);
+    }
+  }
+
+  const std::string &src_;
+  std::vector<Token> &out_;
+  std::size_t pos_ = 0;
+  unsigned line_ = 1, col_ = 1;
+};
+
+} // namespace
+
+bool lexVerilog(const std::string &source, std::vector<Token> &tokens,
+                unsigned &errLine, unsigned &errCol,
+                std::string &errMessage) {
+  tokens.clear();
+  Lexer lexer(source, tokens);
+  return lexer.run(errLine, errCol, errMessage);
+}
+
+} // namespace c2h::vsim

@@ -1,0 +1,41 @@
+// Tokenizer for the emitted Verilog subset.  Every token carries its
+// 1-based line/column so parse diagnostics point at the offending spot in
+// the generated text.
+#ifndef C2H_VSIM_LEXER_H
+#define C2H_VSIM_LEXER_H
+
+#include "support/bitvector.h"
+
+#include <string>
+#include <vector>
+
+namespace c2h::vsim {
+
+enum class TokKind {
+  Eof,
+  Ident,  // identifiers and keywords (the parser matches on text)
+  SysId,  // $display, $finish, $signed, $unsigned
+  Number, // sized (13'h1a2) or unsized (42) literal
+  String, // "..." with escapes already processed
+  Symbol, // punctuation / operators, multi-char ones pre-merged
+};
+
+struct Token {
+  TokKind kind = TokKind::Eof;
+  std::string text;
+  unsigned line = 1, col = 1;
+  // Number payload.
+  BitVector value{1};
+  bool sized = false;
+  bool isSigned = false; // unsized decimals are signed 32-bit
+};
+
+// Tokenize the whole source.  On a lexical error returns false and fills
+// (errLine, errCol, errMessage); tokens always ends with an Eof token on
+// success.  Comments (// and /* */) and `-directives are skipped.
+bool lexVerilog(const std::string &source, std::vector<Token> &tokens,
+                unsigned &errLine, unsigned &errCol, std::string &errMessage);
+
+} // namespace c2h::vsim
+
+#endif // C2H_VSIM_LEXER_H

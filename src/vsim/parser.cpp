@@ -1,0 +1,581 @@
+#include "vsim/parser.h"
+
+#include "vsim/lexer.h"
+
+namespace c2h::vsim {
+
+namespace {
+
+struct ParseError {
+  unsigned line, col;
+  std::string message;
+};
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  std::shared_ptr<SourceUnit> run() {
+    auto unit = std::make_shared<SourceUnit>();
+    while (!atEof()) {
+      expectKeyword("module");
+      unit->modules.push_back(parseModule());
+    }
+    return unit;
+  }
+
+private:
+  // ---- token helpers ----
+  const Token &cur() const { return toks_[pos_]; }
+  const Token &peek(std::size_t ahead = 1) const {
+    std::size_t i = pos_ + ahead;
+    return toks_[i < toks_.size() ? i : toks_.size() - 1];
+  }
+  bool atEof() const { return cur().kind == TokKind::Eof; }
+
+  [[noreturn]] void fail(const std::string &msg) const {
+    throw ParseError{cur().line, cur().col, msg};
+  }
+  [[noreturn]] void failAt(const Token &t, const std::string &msg) const {
+    throw ParseError{t.line, t.col, msg};
+  }
+
+  Token take() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+
+  bool isSymbol(const std::string &text) const {
+    return cur().kind == TokKind::Symbol && cur().text == text;
+  }
+  bool isKeyword(const std::string &text) const {
+    return cur().kind == TokKind::Ident && cur().text == text;
+  }
+  bool acceptSymbol(const std::string &text) {
+    if (!isSymbol(text))
+      return false;
+    take();
+    return true;
+  }
+  bool acceptKeyword(const std::string &text) {
+    if (!isKeyword(text))
+      return false;
+    take();
+    return true;
+  }
+  void expectSymbol(const std::string &text) {
+    if (!acceptSymbol(text))
+      fail("expected '" + text + "'");
+  }
+  void expectKeyword(const std::string &text) {
+    if (!acceptKeyword(text))
+      fail("expected '" + text + "'");
+  }
+  std::string expectIdent(const std::string &what) {
+    if (cur().kind != TokKind::Ident)
+      fail("expected " + what);
+    return take().text;
+  }
+  std::uint64_t expectConstNumber(const std::string &what) {
+    if (cur().kind != TokKind::Number)
+      fail("expected " + what);
+    return take().value.toUint64();
+  }
+
+  // ---- declarations ----
+  // [msb:lsb] after reg/wire; returns width (msb-lsb+1), default 1.
+  unsigned parseRange() {
+    if (!acceptSymbol("["))
+      return 1;
+    std::uint64_t msb = expectConstNumber("range msb");
+    expectSymbol(":");
+    std::uint64_t lsb = expectConstNumber("range lsb");
+    expectSymbol("]");
+    if (lsb != 0 || msb < lsb || msb - lsb + 1 > BitVector::kMaxWidth)
+      fail("unsupported range [" + std::to_string(msb) + ":" +
+           std::to_string(lsb) + "]");
+    return static_cast<unsigned>(msb + 1);
+  }
+
+  ModuleDecl parseModule() {
+    ModuleDecl mod;
+    mod.line = cur().line;
+    mod.col = cur().col;
+    mod.name = expectIdent("module name");
+    if (acceptSymbol("(")) {
+      if (!isSymbol(")")) {
+        do {
+          NetDecl port;
+          port.line = cur().line;
+          port.col = cur().col;
+          if (acceptKeyword("input"))
+            port.dir = Dir::Input;
+          else if (acceptKeyword("output"))
+            port.dir = Dir::Output;
+          else
+            fail("expected port direction");
+          if (acceptKeyword("reg"))
+            port.isReg = true;
+          else
+            acceptKeyword("wire");
+          port.width = parseRange();
+          port.name = expectIdent("port name");
+          mod.nets.push_back(std::move(port));
+        } while (acceptSymbol(","));
+      }
+      expectSymbol(")");
+    }
+    expectSymbol(";");
+    while (!acceptKeyword("endmodule")) {
+      if (atEof())
+        fail("unexpected end of file inside module '" + mod.name + "'");
+      parseModuleItem(mod);
+    }
+    return mod;
+  }
+
+  void parseModuleItem(ModuleDecl &mod) {
+    if (isKeyword("reg") || isKeyword("wire") || isKeyword("integer")) {
+      parseNetDecl(mod);
+      return;
+    }
+    if (acceptKeyword("assign")) {
+      AssignItem item;
+      item.line = cur().line;
+      item.col = cur().col;
+      item.lhs = parseLValue();
+      expectSymbol("=");
+      item.rhs = parseExpr();
+      expectSymbol(";");
+      mod.assigns.push_back(std::move(item));
+      return;
+    }
+    if (acceptKeyword("initial")) {
+      InitialItem item;
+      item.line = cur().line;
+      item.col = cur().col;
+      item.body = parseStmt();
+      mod.initials.push_back(std::move(item));
+      return;
+    }
+    if (acceptKeyword("always")) {
+      AlwaysItem item;
+      item.line = cur().line;
+      item.col = cur().col;
+      if (acceptSymbol("#")) {
+        item.delayLoop = true;
+        item.period = expectConstNumber("delay period");
+      } else {
+        expectSymbol("@");
+        expectSymbol("(");
+        expectKeyword("posedge");
+        item.clock = expectIdent("clock name");
+        expectSymbol(")");
+      }
+      item.body = parseStmt();
+      mod.always.push_back(std::move(item));
+      return;
+    }
+    if (cur().kind == TokKind::Ident && peek().kind == TokKind::Ident) {
+      parseInstance(mod);
+      return;
+    }
+    fail("expected a module item");
+  }
+
+  void parseNetDecl(ModuleDecl &mod) {
+    NetDecl decl;
+    decl.line = cur().line;
+    decl.col = cur().col;
+    if (acceptKeyword("reg")) {
+      decl.isReg = true;
+    } else if (acceptKeyword("integer")) {
+      decl.isReg = true;
+      decl.isInteger = true;
+      decl.width = 32;
+    } else {
+      expectKeyword("wire");
+    }
+    if (!decl.isInteger)
+      decl.width = parseRange();
+    decl.name = expectIdent("net name");
+    if (acceptSymbol("[")) { // memory: name [0:depth-1];
+      if (!decl.isReg)
+        fail("memories must be declared 'reg'");
+      std::uint64_t lo = expectConstNumber("memory bound");
+      expectSymbol(":");
+      std::uint64_t hi = expectConstNumber("memory bound");
+      expectSymbol("]");
+      if (lo != 0 || hi < lo)
+        fail("unsupported memory bounds");
+      decl.isMemory = true;
+      decl.depth = hi + 1;
+    } else if (acceptSymbol("=")) {
+      ExprPtr value = parseExpr();
+      if (decl.isReg)
+        decl.init = std::move(value);
+      else
+        decl.wireExpr = std::move(value);
+    }
+    expectSymbol(";");
+    mod.nets.push_back(std::move(decl));
+  }
+
+  void parseInstance(ModuleDecl &mod) {
+    InstanceItem inst;
+    inst.line = cur().line;
+    inst.col = cur().col;
+    inst.moduleName = expectIdent("module name");
+    inst.instanceName = expectIdent("instance name");
+    expectSymbol("(");
+    if (!isSymbol(")")) {
+      do {
+        expectSymbol(".");
+        PortConn conn;
+        conn.port = expectIdent("port name");
+        expectSymbol("(");
+        conn.expr = parseExpr();
+        expectSymbol(")");
+        inst.conns.push_back(std::move(conn));
+      } while (acceptSymbol(","));
+    }
+    expectSymbol(")");
+    expectSymbol(";");
+    mod.instances.push_back(std::move(inst));
+  }
+
+  // ---- statements ----
+  StmtPtr makeStmt(StmtKind kind) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->line = cur().line;
+    s->col = cur().col;
+    return s;
+  }
+
+  StmtPtr parseStmt() {
+    if (acceptKeyword("begin")) {
+      auto s = makeStmt(StmtKind::Block);
+      while (!acceptKeyword("end")) {
+        if (atEof())
+          fail("unexpected end of file inside begin/end");
+        s->stmts.push_back(parseStmt());
+      }
+      return s;
+    }
+    if (isKeyword("if")) {
+      auto s = makeStmt(StmtKind::If);
+      take();
+      expectSymbol("(");
+      s->cond = parseExpr();
+      expectSymbol(")");
+      s->stmts.push_back(parseStmt());
+      if (acceptKeyword("else"))
+        s->stmts.push_back(parseStmt());
+      return s;
+    }
+    if (isKeyword("case")) {
+      auto s = makeStmt(StmtKind::Case);
+      take();
+      expectSymbol("(");
+      s->cond = parseExpr();
+      expectSymbol(")");
+      while (!acceptKeyword("endcase")) {
+        if (atEof())
+          fail("unexpected end of file inside case");
+        CaseItem item;
+        if (acceptKeyword("default")) {
+          expectSymbol(":");
+        } else {
+          do
+            item.labels.push_back(parseExpr());
+          while (acceptSymbol(","));
+          expectSymbol(":");
+        }
+        item.body = parseStmt();
+        s->caseItems.push_back(std::move(item));
+      }
+      return s;
+    }
+    if (isKeyword("repeat")) {
+      auto s = makeStmt(StmtKind::Repeat);
+      take();
+      expectSymbol("(");
+      s->cond = parseExpr();
+      expectSymbol(")");
+      s->body = parseStmt();
+      return s;
+    }
+    if (isKeyword("wait")) {
+      auto s = makeStmt(StmtKind::WaitExpr);
+      take();
+      expectSymbol("(");
+      s->cond = parseExpr();
+      expectSymbol(")");
+      expectSymbol(";");
+      return s;
+    }
+    if (isSymbol("@")) {
+      auto s = makeStmt(StmtKind::EventWait);
+      take();
+      expectSymbol("(");
+      expectKeyword("posedge");
+      s->event = expectIdent("event net");
+      expectSymbol(")");
+      if (!acceptSymbol(";"))
+        s->body = parseStmt();
+      return s;
+    }
+    if (isSymbol("#")) {
+      auto s = makeStmt(StmtKind::DelayStmt);
+      take();
+      s->delay = expectConstNumber("delay");
+      if (!acceptSymbol(";"))
+        s->body = parseStmt();
+      return s;
+    }
+    if (cur().kind == TokKind::SysId) {
+      Token sys = take();
+      if (sys.text == "$finish") {
+        auto s = makeStmt(StmtKind::Finish);
+        if (acceptSymbol("(")) // $finish(0);
+          expectSymbol(")");
+        expectSymbol(";");
+        return s;
+      }
+      if (sys.text == "$display") {
+        auto s = makeStmt(StmtKind::Display);
+        expectSymbol("(");
+        if (cur().kind != TokKind::String)
+          fail("$display expects a format string");
+        s->text = take().text;
+        while (acceptSymbol(","))
+          s->args.push_back(parseExpr());
+        expectSymbol(")");
+        expectSymbol(";");
+        return s;
+      }
+      failAt(sys, "unsupported system task '" + sys.text + "'");
+    }
+    if (acceptSymbol(";"))
+      return makeStmt(StmtKind::Null);
+    // Assignment: lvalue (= | <=) expr ;
+    auto s = makeStmt(StmtKind::Assign);
+    s->lhs = parseLValue();
+    if (acceptSymbol("<="))
+      s->kind = StmtKind::NbAssign;
+    else
+      expectSymbol("=");
+    s->rhs = parseExpr();
+    expectSymbol(";");
+    return s;
+  }
+
+  // ---- expressions ----
+  ExprPtr makeExpr(ExprKind kind, const Token &at) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = at.line;
+    e->col = at.col;
+    return e;
+  }
+
+  ExprPtr parseLValue() {
+    if (cur().kind != TokKind::Ident)
+      fail("expected an assignment target");
+    ExprPtr e = parsePrimary();
+    if (e->kind != ExprKind::Ident &&
+        !(e->kind == ExprKind::Select && !e->isPart))
+      failAt(toks_[pos_ - 1], "unsupported assignment target");
+    return e;
+  }
+
+  ExprPtr parseExpr() { return parseTernary(); }
+
+  ExprPtr parseTernary() {
+    ExprPtr cond = parseLOr();
+    if (!isSymbol("?"))
+      return cond;
+    Token t = take();
+    auto e = makeExpr(ExprKind::Ternary, t);
+    e->args.push_back(std::move(cond));
+    e->args.push_back(parseExpr());
+    expectSymbol(":");
+    e->args.push_back(parseTernary());
+    return e;
+  }
+
+  ExprPtr parseBinaryLevel(int level) {
+    // Levels from loosest to tightest.
+    if (level == 7)
+      return parseUnary();
+    ExprPtr lhs = parseBinaryLevel(level + 1);
+    for (;;) {
+      BinOp op;
+      if (!matchBinOp(level, op))
+        return lhs;
+      Token t = take();
+      auto e = makeExpr(ExprKind::Binary, t);
+      e->bin = op;
+      e->args.push_back(std::move(lhs));
+      e->args.push_back(parseBinaryLevel(level + 1));
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr parseLOr() { return parseBinaryLevel(0); }
+
+  bool matchBinOp(int level, BinOp &op) const {
+    if (cur().kind != TokKind::Symbol)
+      return false;
+    const std::string &s = cur().text;
+    switch (level) {
+    case 0:
+      if (s == "||") { op = BinOp::LOr; return true; }
+      return false;
+    case 1:
+      if (s == "&&") { op = BinOp::LAnd; return true; }
+      return false;
+    case 2:
+      if (s == "|") { op = BinOp::BitOr; return true; }
+      if (s == "^") { op = BinOp::BitXor; return true; }
+      if (s == "&") { op = BinOp::BitAnd; return true; }
+      return false;
+    case 3:
+      if (s == "==" || s == "===") { op = BinOp::Eq; return true; }
+      if (s == "!=" || s == "!==") { op = BinOp::Ne; return true; }
+      return false;
+    case 4:
+      if (s == "<") { op = BinOp::Lt; return true; }
+      if (s == "<=") { op = BinOp::Le; return true; }
+      if (s == ">") { op = BinOp::Gt; return true; }
+      if (s == ">=") { op = BinOp::Ge; return true; }
+      return false;
+    case 5:
+      if (s == "<<") { op = BinOp::Shl; return true; }
+      if (s == ">>") { op = BinOp::Shr; return true; }
+      if (s == ">>>") { op = BinOp::AShr; return true; }
+      return false;
+    case 6:
+      if (s == "+") { op = BinOp::Add; return true; }
+      if (s == "-") { op = BinOp::Sub; return true; }
+      if (s == "*") { op = BinOp::Mul; return true; }
+      if (s == "/") { op = BinOp::Div; return true; }
+      if (s == "%") { op = BinOp::Mod; return true; }
+      return false;
+    default:
+      return false;
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (cur().kind == TokKind::Symbol) {
+      UnOp op;
+      if (cur().text == "-")
+        op = UnOp::Minus;
+      else if (cur().text == "+")
+        op = UnOp::Plus;
+      else if (cur().text == "~")
+        op = UnOp::BitNot;
+      else if (cur().text == "!")
+        op = UnOp::LogNot;
+      else
+        return parsePrimary();
+      Token t = take();
+      auto e = makeExpr(ExprKind::Unary, t);
+      e->un = op;
+      e->args.push_back(parseUnary());
+      return e;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    if (cur().kind == TokKind::Number) {
+      Token t = take();
+      auto e = makeExpr(ExprKind::Number, t);
+      e->number = t.value;
+      e->numberSigned = t.isSigned;
+      return e;
+    }
+    if (cur().kind == TokKind::SysId) {
+      Token t = take();
+      if (t.text != "$signed" && t.text != "$unsigned")
+        failAt(t, "unsupported system function '" + t.text + "'");
+      auto e = makeExpr(ExprKind::Cast, t);
+      e->castSigned = t.text == "$signed";
+      expectSymbol("(");
+      e->args.push_back(parseExpr());
+      expectSymbol(")");
+      return e;
+    }
+    if (acceptSymbol("(")) {
+      ExprPtr e = parseExpr();
+      expectSymbol(")");
+      return e;
+    }
+    if (isSymbol("{")) {
+      Token open = take();
+      ExprPtr first = parseExpr();
+      if (isSymbol("{")) { // {N{value}} replication
+        if (first->kind != ExprKind::Number)
+          failAt(open, "replication count must be a constant");
+        take();
+        auto e = makeExpr(ExprKind::Repl, open);
+        e->replCount = first->number.toUint64();
+        e->args.push_back(parseExpr());
+        expectSymbol("}");
+        expectSymbol("}");
+        return e;
+      }
+      auto e = makeExpr(ExprKind::Concat, open);
+      e->args.push_back(std::move(first));
+      while (acceptSymbol(","))
+        e->args.push_back(parseExpr());
+      expectSymbol("}");
+      return e;
+    }
+    if (cur().kind == TokKind::Ident) {
+      Token t = take();
+      if (!isSymbol("[")) {
+        auto e = makeExpr(ExprKind::Ident, t);
+        e->name = t.text;
+        return e;
+      }
+      take(); // [
+      auto e = makeExpr(ExprKind::Select, t);
+      e->name = t.text;
+      e->args.push_back(parseExpr());
+      if (acceptSymbol(":")) {
+        e->isPart = true;
+        e->args.push_back(parseExpr());
+        if (e->args[0]->kind != ExprKind::Number ||
+            e->args[1]->kind != ExprKind::Number)
+          failAt(t, "part-select bounds must be constants");
+      }
+      expectSymbol("]");
+      return e;
+    }
+    fail("expected an expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::shared_ptr<SourceUnit> parseVerilog(const std::string &source,
+                                         ParseDiagnostic &diag) {
+  diag = ParseDiagnostic{};
+  std::vector<Token> tokens;
+  if (!lexVerilog(source, tokens, diag.line, diag.col, diag.message))
+    return nullptr;
+  try {
+    return Parser(std::move(tokens)).run();
+  } catch (const ParseError &e) {
+    diag.line = e.line;
+    diag.col = e.col;
+    diag.message = e.message;
+    return nullptr;
+  }
+}
+
+} // namespace c2h::vsim

@@ -1,0 +1,33 @@
+// Recursive-descent parser for the emitted Verilog subset (see vast.h).
+#ifndef C2H_VSIM_PARSER_H
+#define C2H_VSIM_PARSER_H
+
+#include "vsim/vast.h"
+
+#include <memory>
+#include <string>
+
+namespace c2h::vsim {
+
+// A parse (or lex) failure with its position in the source text.
+struct ParseDiagnostic {
+  unsigned line = 0, col = 0;
+  std::string message;
+
+  bool ok() const { return message.empty(); }
+  std::string str() const {
+    if (ok())
+      return "";
+    return "line " + std::to_string(line) + ":" + std::to_string(col) + ": " +
+           message;
+  }
+};
+
+// Parse Verilog text into a SourceUnit.  Returns null and fills `diag` on
+// the first error (the position points into `source`).
+std::shared_ptr<SourceUnit> parseVerilog(const std::string &source,
+                                         ParseDiagnostic &diag);
+
+} // namespace c2h::vsim
+
+#endif // C2H_VSIM_PARSER_H

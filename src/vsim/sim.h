@@ -1,0 +1,135 @@
+// Two-phase event-driven simulation of an elaborated Model.
+//
+// Scheduling follows the Verilog-2001 stratified event queue restricted to
+// what the emitted subset needs:
+//  * active phase: every runnable process executes to its next blocking
+//    point; blocking assignments take effect immediately and may wake
+//    @(posedge) / wait() sleepers in the same delta,
+//  * NBA phase: when no process is runnable, queued non-blocking
+//    assignments commit in program order; the resulting edges start a new
+//    delta,
+//  * time advances to the earliest pending #delay only when the current
+//    time step is quiescent.
+// All arithmetic is BitVector arithmetic with Verilog-2001 sizing rules
+// (context-determined widths, self-determined shift amounts / concats /
+// comparisons at the wider operand), so a 13-bit multiply behaves exactly
+// as it does in the interpreter and the FSMD simulator.
+//
+// Two public entry points:
+//  * Simulation — poke/peek/tick for DUT-level co-simulation (no
+//    testbench; the harness drives clk/rst/start itself),
+//  * runTestbench — full behavioral run of an emitTestbench module
+//    ($display output captured, $finish honored, time-limited).
+#ifndef C2H_VSIM_SIM_H
+#define C2H_VSIM_SIM_H
+
+#include "vsim/elab.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c2h::vsim {
+
+class Simulation {
+public:
+  explicit Simulation(std::shared_ptr<const Model> model);
+
+  // Drive / observe top-instance nets by source name.  peek on a wire
+  // evaluates its continuous assign.  Unknown names (or internal errors)
+  // set error() and return zeros.
+  void poke(const std::string &name, const BitVector &value);
+  BitVector peek(const std::string &name) const;
+  std::vector<BitVector> memoryContents(const std::string &name) const;
+  void pokeMemory(const std::string &name, std::size_t index,
+                  const BitVector &value);
+
+  // Run all activity at the current simulation time (delta cycles) to
+  // quiescence.  poke() settles implicitly.
+  void settle();
+  // One full clock: clk 0->1 (settle) -> 0 (settle).
+  void tick(const std::string &clk = "clk");
+  // Event loop until $finish, no pending events, or `maxTime` time units.
+  void runToFinish(std::uint64_t maxTime);
+
+  bool finished() const { return finished_; }
+  std::uint64_t now() const { return time_; }
+  const std::vector<std::string> &displayed() const { return output_; }
+  bool ok() const { return error_.empty(); }
+  const std::string &error() const { return error_; }
+
+private:
+  struct Frame {
+    const Stmt *stmt = nullptr;
+    std::size_t idx = 0;       // Block child cursor
+    std::uint64_t count = 0;   // Repeat remaining
+    bool entered = false;
+  };
+  enum class ThreadState { Ready, AtEdge, AtWait, AtTime, Done };
+  struct Thread {
+    Process::Kind kind = Process::Kind::Initial;
+    int clockNet = -1;
+    std::uint64_t period = 0;
+    const Stmt *body = nullptr;
+    std::vector<Frame> stack;
+    ThreadState state = ThreadState::Ready;
+    int edgeNet = -1;
+    const Expr *waitExpr = nullptr;
+    std::uint64_t wakeTime = 0;
+  };
+  struct Nba {
+    bool isMem = false;
+    int id = -1;
+    std::uint64_t addr = 0;
+    BitVector value{1};
+  };
+
+  BitVector evalCtx(const Expr *e, unsigned width) const;
+  BitVector evalSelf(const Expr *e) const { return evalCtx(e, e->width); }
+  BitVector readNet(int id) const;
+  void writeNet(int id, const BitVector &value);
+  void writeMem(int id, std::uint64_t addr, const BitVector &value);
+  void execAssign(const Stmt *s, bool nonBlocking);
+  void runThread(Thread &t);
+  bool wakeOnEvents();
+  void applyNba();
+  void runDelta();
+  bool advanceTime();
+  std::string formatDisplay(const Stmt *s) const;
+
+  std::shared_ptr<const Model> model_;
+  std::vector<BitVector> values_;
+  std::vector<std::vector<BitVector>> mems_;
+  std::vector<Thread> threads_;
+  std::vector<Nba> nba_;
+  std::vector<int> posedges_; // nets whose LSB rose since the last drain
+  std::vector<std::string> output_;
+  std::uint64_t time_ = 0;
+  bool finished_ = false;
+  // Mutable: peek() is const but must still surface evaluation failures
+  // (combinational loops) instead of silently returning zeros.
+  mutable std::string error_;
+
+  // Wire memoization: a wire's value is cached until any state changes.
+  mutable std::vector<BitVector> wireCache_;
+  mutable std::vector<std::uint64_t> wireCacheGen_;
+  mutable std::uint64_t generation_ = 1;
+  mutable unsigned evalDepth_ = 0;
+};
+
+struct TestbenchResult {
+  bool finished = false;  // reached $finish
+  std::string error;      // lex/parse/elab/runtime failure
+  std::vector<std::string> output; // $display lines in order
+  std::uint64_t timeUnits = 0;
+};
+
+// Parse + elaborate + run `topModule` (a zero-port testbench) from source.
+TestbenchResult runTestbench(const std::string &source,
+                             const std::string &topModule,
+                             std::uint64_t maxTime = 20'000'000);
+
+} // namespace c2h::vsim
+
+#endif // C2H_VSIM_SIM_H

@@ -1,0 +1,188 @@
+// AST for the synthesizable Verilog-2001 subset that rtl::emitVerilog and
+// rtl::emitTestbench produce.
+//
+// This is deliberately not a general Verilog front end: it covers exactly
+// the constructs the emitter uses — ANSI module headers, reg/wire/integer
+// declarations (with optional initializers), memories, continuous assigns,
+// `always @(posedge clk)` FSM blocks, the testbench's behavioral layer
+// (`always #N`, `initial`, `@(posedge)`, `wait`, `repeat`, `#delay`,
+// `$display`, `$finish`), named-port instantiation, and the expression
+// grammar of the generated datapath.  Parsing our own emitted text turns
+// emission bugs into structured parse/elaboration errors instead of silent
+// artifact rot.
+//
+// Expression nodes carry elaboration annotations (resolved net/memory ids,
+// self-determined width and signedness) filled in by vsim::elaborate; the
+// evaluator in vsim/sim.cpp reads them directly.
+#ifndef C2H_VSIM_VAST_H
+#define C2H_VSIM_VAST_H
+
+#include "support/bitvector.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c2h::vsim {
+
+// ---------------------------------------------------------------- exprs --
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  Number, // sized or unsized literal
+  Ident,  // net reference
+  Select, // name[i] (memory word or net bit) / name[msb:lsb] (part select)
+  Unary,
+  Binary,
+  Ternary,
+  Concat, // {a, b, ...}
+  Repl,   // {N{expr}}
+  Cast,   // $signed(expr) / $unsigned(expr)
+};
+
+enum class UnOp { Plus, Minus, BitNot, LogNot };
+
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod,
+  BitAnd, BitOr, BitXor,
+  Shl, Shr, AShr,
+  Lt, Le, Gt, Ge, Eq, Ne, // === / !== fold to Eq / Ne (2-state values)
+  LAnd, LOr,
+};
+
+struct Expr {
+  ExprKind kind;
+  unsigned line = 0, col = 0;
+
+  // Number
+  BitVector number{1};
+  bool numberSigned = false; // unsized decimals are signed 32-bit
+
+  // Ident / Select base name
+  std::string name;
+  bool isPart = false; // Select: args = {msb, lsb}, both constants
+
+  UnOp un = UnOp::Plus;
+  BinOp bin = BinOp::Add;
+  bool castSigned = false;       // Cast: $signed vs $unsigned
+  std::uint64_t replCount = 0;   // Repl
+  std::vector<ExprPtr> args;     // operands / concat elements / indices
+
+  // ---- elaboration annotations (vsim::elaborate) ----
+  int netId = -1; // Ident, or Select over a net
+  int memId = -1; // Select over a memory (word read)
+  unsigned width = 1; // self-determined width
+  bool sign = false;  // self-determined signedness
+};
+
+// ----------------------------------------------------------- statements --
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+  Block,     // begin ... end
+  If,        // cond, thenStmt (stmts[0]), optional elseStmt (stmts[1])
+  Case,      // cond, caseItems
+  Assign,    // lhs = rhs  (blocking)
+  NbAssign,  // lhs <= rhs (non-blocking)
+  Repeat,    // repeat (cond) body
+  EventWait, // @(posedge event) [body]
+  WaitExpr,  // wait (cond);
+  DelayStmt, // #delay [body]
+  Display,   // $display(text, args...)
+  Finish,    // $finish;
+  Null,      // ;
+};
+
+struct CaseItem {
+  std::vector<ExprPtr> labels; // empty => default
+  StmtPtr body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  unsigned line = 0, col = 0;
+  ExprPtr lhs, rhs, cond;
+  std::vector<StmtPtr> stmts;      // Block children; If then/else
+  std::vector<CaseItem> caseItems; // Case
+  std::string text;                // Display format string
+  std::vector<ExprPtr> args;       // Display value args
+  std::uint64_t delay = 0;         // DelayStmt
+  std::string event;               // EventWait: posedge net name
+  StmtPtr body;                    // Repeat / EventWait / DelayStmt
+
+  // ---- elaboration annotations ----
+  int eventNet = -1; // EventWait: resolved net
+};
+
+// --------------------------------------------------------- module items --
+enum class Dir { None, Input, Output };
+
+struct NetDecl {
+  std::string name;
+  bool isReg = false;
+  bool isInteger = false; // `integer` => 32-bit signed reg
+  unsigned width = 1;
+  bool isMemory = false;
+  std::uint64_t depth = 0;
+  Dir dir = Dir::None;
+  ExprPtr init;     // reg clk = 0;
+  ExprPtr wireExpr; // wire x = expr;  (continuous assign in the decl)
+  unsigned line = 0, col = 0;
+};
+
+struct AssignItem {
+  ExprPtr lhs, rhs; // assign lhs = rhs;
+  unsigned line = 0, col = 0;
+};
+
+struct AlwaysItem {
+  bool delayLoop = false;    // always #period body  (clock generator)
+  std::uint64_t period = 0;
+  std::string clock;         // always @(posedge clock) body
+  StmtPtr body;
+  unsigned line = 0, col = 0;
+};
+
+struct InitialItem {
+  StmtPtr body;
+  unsigned line = 0, col = 0;
+};
+
+struct PortConn {
+  std::string port;
+  ExprPtr expr; // must elaborate to a plain net reference
+};
+
+struct InstanceItem {
+  std::string moduleName, instanceName;
+  std::vector<PortConn> conns;
+  unsigned line = 0, col = 0;
+};
+
+struct ModuleDecl {
+  std::string name;
+  std::vector<NetDecl> nets;
+  std::vector<AssignItem> assigns;
+  std::vector<AlwaysItem> always;
+  std::vector<InitialItem> initials;
+  std::vector<InstanceItem> instances;
+  unsigned line = 0, col = 0;
+};
+
+struct SourceUnit {
+  std::vector<ModuleDecl> modules;
+
+  const ModuleDecl *findModule(const std::string &name) const {
+    for (const auto &m : modules)
+      if (m.name == name)
+        return &m;
+    return nullptr;
+  }
+};
+
+} // namespace c2h::vsim
+
+#endif // C2H_VSIM_VAST_H

@@ -112,6 +112,18 @@ int main(int argc, char **argv) {
   expectExit("clean_synthesis",
              c2hc + " " + fx + "/good.uc --flow=bachc --args=3", 0, ++n,
              "matches the reference interpreter");
+  expectExit("cosim_single_flow",
+             c2hc + " " + fx + "/good.uc --flow=bachc --args=3 --cosim", 0,
+             ++n, "cosim   : PASS");
+  expectExit("cosim_all_flows", c2hc + " --workload=gcd --flow=all --cosim",
+             0, ++n, "cosim");
+  expectExit("emit_verilog_dir",
+             c2hc + " " + fx + "/good.uc --flow=bachc --args=3"
+                    " --emit-verilog=test_cli_emit_out",
+             0, ++n, "_tb.v");
+  std::remove("test_cli_emit_out/bachc_good.v");
+  std::remove("test_cli_emit_out/bachc_good_tb.v");
+  std::remove("test_cli_emit_out");
 
   // --- program errors: exit 1 ---------------------------------------------
   expectExit("race_analyze", c2hc + " " + fx + "/race.uc --analyze", 1, ++n,

@@ -3,10 +3,11 @@
 // A seeded generator emits random type-correct uC programs (nested
 // control flow, mixed-width arithmetic, arrays, compound assignments);
 // each program is executed by the reference interpreter, the IR executor
-// (optimized and unoptimized), and the cycle-accurate RTL simulator under
-// two scheduling policies.  All five executions must agree on the return
-// value and on every global — any divergence is a compiler bug by
-// construction.
+// (optimized and unoptimized), the cycle-accurate RTL simulator under two
+// scheduling policies, and — through the emitted Verilog text — the vsim
+// event-driven simulator.  All executions must agree on the return value
+// and on every global, and vsim must match the FSMD simulator's exact
+// cycle count — any divergence is a compiler bug by construction.
 #include "frontend/sema.h"
 #include "interp/interp.h"
 #include "ir/exec.h"
@@ -15,6 +16,7 @@
 #include "opt/irpasses.h"
 #include "rtl/sim.h"
 #include "support/text.h"
+#include "vsim/cosim.h"
 
 #include <gtest/gtest.h>
 
@@ -217,6 +219,13 @@ TEST_P(FuzzParity, FiveWayAgreement) {
   rtl::Design designA = rtl::buildDesign(*optModule, "main", lib, relaxed);
   rtl::Design designB = rtl::buildDesign(*optModule, "main", lib, tight);
 
+  // Third witness: the emitted Verilog text, re-executed by vsim.  Emit
+  // and elaborate once per design; each run() is a fresh simulation.
+  vsim::Cosimulation cosimA(designA);
+  vsim::Cosimulation cosimB(designB);
+  ASSERT_TRUE(cosimA.valid()) << cosimA.error();
+  ASSERT_TRUE(cosimB.valid()) << cosimB.error();
+
   SplitMix64 argRng(GetParam() * 31 + 7);
   for (int round = 0; round < 3; ++round) {
     std::vector<BitVector> args{
@@ -241,7 +250,8 @@ TEST_P(FuzzParity, FiveWayAgreement) {
               opt.returnValue.toStringHex())
         << "optimized IR divergence";
 
-    for (rtl::Design *design : {&designA, &designB}) {
+    for (auto [design, cosim] : {std::pair(&designA, &cosimA),
+                                 std::pair(&designB, &cosimB)}) {
       rtl::Simulator sim(*design);
       auto r = sim.run(args);
       ASSERT_TRUE(r.ok) << r.error;
@@ -254,6 +264,18 @@ TEST_P(FuzzParity, FiveWayAgreement) {
       for (std::size_t i = 0; i < gm.size(); ++i)
         EXPECT_EQ(gm[i].toStringHex(), rm[i].toStringHex())
             << "mem[" << i << "] divergence";
+      // vsim against both: the interpreter's values, the FSMD's cycles.
+      auto v = cosim->run(args);
+      ASSERT_TRUE(v.ok) << v.error;
+      EXPECT_EQ(golden.returnValue.resize(32, false).toStringHex(),
+                v.returnValue.resize(32, false).toStringHex())
+          << "vsim divergence";
+      EXPECT_EQ(r.cycles, v.cycles) << "vsim cycle divergence";
+      auto vm = cosim->readGlobal("mem");
+      ASSERT_EQ(gm.size(), vm.size());
+      for (std::size_t i = 0; i < gm.size(); ++i)
+        EXPECT_EQ(gm[i].toStringHex(), vm[i].toStringHex())
+            << "vsim mem[" << i << "] divergence";
     }
   }
 }
@@ -336,6 +358,8 @@ TEST_P(ConcurrentFuzz, InterpreterAndRtlAgree) {
 
   sched::TechLibrary lib;
   rtl::Design design = rtl::buildDesign(*module, "main", lib, {});
+  vsim::Cosimulation cosim(design);
+  ASSERT_TRUE(cosim.valid()) << cosim.error();
 
   SplitMix64 argRng(GetParam());
   for (int round = 0; round < 2; ++round) {
@@ -348,13 +372,24 @@ TEST_P(ConcurrentFuzz, InterpreterAndRtlAgree) {
     ASSERT_TRUE(r0.ok) << r0.error;
     ASSERT_TRUE(r1.ok) << r1.error;
     EXPECT_EQ(r0.returnValue.toStringHex(), r1.returnValue.toStringHex());
+    auto r2 = cosim.run(args);
+    ASSERT_TRUE(r2.ok) << r2.error;
+    EXPECT_EQ(r0.returnValue.resize(32, false).toStringHex(),
+              r2.returnValue.resize(32, false).toStringHex())
+        << "vsim divergence";
+    EXPECT_EQ(r1.cycles, r2.cycles) << "vsim cycle divergence";
     for (const auto &g : gen.globals()) {
       auto gi = interp.readGlobal(g);
       auto gr = sim.readGlobal(g);
+      auto gv = cosim.readGlobal(g);
       ASSERT_EQ(gi.size(), gr.size()) << g;
-      for (std::size_t i = 0; i < gi.size(); ++i)
+      ASSERT_EQ(gi.size(), gv.size()) << g;
+      for (std::size_t i = 0; i < gi.size(); ++i) {
         EXPECT_EQ(gi[i].toStringHex(), gr[i].toStringHex())
             << g << "[" << i << "]";
+        EXPECT_EQ(gi[i].toStringHex(), gv[i].toStringHex())
+            << "vsim " << g << "[" << i << "]";
+      }
     }
   }
 }

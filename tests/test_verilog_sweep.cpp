@@ -1,23 +1,18 @@
 // Verilog emission sweep: every (flow, workload) design the framework can
 // build must render to structurally sane Verilog — balanced module/case
-// structure, no unhandled-opcode placeholders — and the self-checking
-// testbench must reference the DUT consistently.
+// structure, no unhandled-opcode placeholders, accepted by the vsim
+// parser — and the self-checking testbench must reference the DUT
+// consistently.
 #include "core/c2h.h"
+#include "testutil.h"
+#include "vsim/parser.h"
 
 #include <gtest/gtest.h>
 
 namespace c2h {
 namespace {
 
-unsigned countOf(const std::string &text, const std::string &needle) {
-  unsigned n = 0;
-  std::size_t pos = 0;
-  while ((pos = text.find(needle, pos)) != std::string::npos) {
-    ++n;
-    pos += needle.size();
-  }
-  return n;
-}
+using testutil::countOf;
 
 TEST(VerilogSweep, EveryAcceptedDesignRendersCleanly) {
   unsigned rendered = 0;
@@ -40,6 +35,11 @@ TEST(VerilogSweep, EveryAcceptedDesignRendersCleanly) {
       // Every process contributed an FSM.
       EXPECT_GE(countOf(v, "always @(posedge clk)"),
                 r.design->processes.size());
+      // The emitted text is not just structurally sane — the vsim parser
+      // must accept it outright (parse errors carry line:column).
+      vsim::ParseDiagnostic diag;
+      auto unit = vsim::parseVerilog(v, diag);
+      EXPECT_NE(unit, nullptr) << "vsim parse: " << diag.str();
     }
   }
   EXPECT_GT(rendered, 80u); // the sweep really covered the matrix

@@ -1,0 +1,26 @@
+// Shared helpers for string-scanning emitted artifacts in tests.
+#ifndef C2H_TESTS_TESTUTIL_H
+#define C2H_TESTS_TESTUTIL_H
+
+#include <string>
+
+namespace c2h::testutil {
+
+// Number of (non-overlapping) occurrences of `needle` in `text`.
+inline unsigned countOf(const std::string &text, const std::string &needle) {
+  unsigned n = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+inline bool contains(const std::string &text, const std::string &needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+} // namespace c2h::testutil
+
+#endif // C2H_TESTS_TESTUTIL_H

@@ -11,6 +11,11 @@
 //   --clock=<ns>       clock period for tunable flows
 //   --jobs=<n>         worker threads for --flow=all (default: all cores)
 //   --verilog=<file>   write generated Verilog ('-' = stdout)
+//   --emit-verilog=<dir>  write <flow>_<workload>.v and a self-checking
+//                      <flow>_<workload>_tb.v per synthesized design
+//   --cosim            re-execute the emitted Verilog under vsim and print
+//                      the three-model verdict (interpreter == FSMD ==
+//                      vsim on values; FSMD == vsim on exact cycles)
 //   --ir               print the optimized IR listing
 //   --no-sim           synthesize only, skip simulation/verification
 //   --analyze          run the synthesizability analyzer only (no synthesis)
@@ -18,7 +23,9 @@
 //   --list-workloads   print the registry workload names and exit
 //
 // --flow=all runs the fault-isolated comparison engine: every flow over the
-// program, in parallel, each flow's crash contained to its own row.
+// program, in parallel, each flow's crash contained to its own row.  With
+// --cosim the engine adds the vsim witness to every verified synchronous
+// row (a `cosim` column; mismatches are per-row notes, never aborts).
 //
 // --analyze runs the static synthesizability analyzer (par-race detection,
 // channel-protocol checking, loop/width/initialization lints) and prints the
@@ -26,8 +33,9 @@
 //
 // Exit codes:
 //   0  success (and, under --analyze, no error-severity findings)
-//   1  the program was rejected, failed synthesis/verification, or --analyze
-//      reported at least one error-severity finding
+//   1  the program was rejected, failed synthesis/verification or the
+//      --cosim three-model check, or --analyze reported at least one
+//      error-severity finding
 //   2  usage error (bad option, unknown flow/workload, unreadable file)
 //   3  internal error (uncaught exception)
 //
@@ -37,10 +45,13 @@
 //   c2hc --workload=crc32 --flow=all
 //   c2hc crc.uc --verilog=- --no-sim
 //   c2hc pipeline.uc --analyze --diag-format=json
+//   c2hc --workload=gcd --flow=all --cosim
+//   c2hc --workload=fir --emit-verilog=out/
 #include "core/c2h.h"
 #include "core/engine.h"
 #include "support/text.h"
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -68,6 +79,8 @@ struct Options {
   unsigned jobs = 0; // 0 = hardware concurrency
   std::optional<std::string> verilogOut;
   std::optional<std::string> testbenchOut;
+  std::optional<std::string> emitVerilogDir;
+  bool cosim = false;
   bool printIr = false;
   bool simulate = true;
   bool analyzeOnly = false;
@@ -119,6 +132,8 @@ bool parseArgs(int argc, char **argv, Options &options) {
       } catch (const std::exception &) {
         return badNumber("--jobs", *v);
       }
+    } else if (auto v = valueOf("--emit-verilog=")) {
+      options.emitVerilogDir = *v;
     } else if (auto v = valueOf("--verilog=")) {
       options.verilogOut = *v;
     } else if (auto v = valueOf("--tb=")) {
@@ -133,6 +148,8 @@ bool parseArgs(int argc, char **argv, Options &options) {
                   << "' (expected text or json)\n";
         return false;
       }
+    } else if (arg == "--cosim") {
+      options.cosim = true;
     } else if (arg == "--ir") {
       options.printIr = true;
     } else if (arg == "--no-sim") {
@@ -192,6 +209,61 @@ int runAnalyze(const core::Workload &workload, const Options &options) {
   return report.hasErrors() ? kExitRejected : kExitOk;
 }
 
+// A filesystem-friendly stem for the workload: the registry name, or the
+// source file's basename without extension.
+std::string workloadStem(const core::Workload &workload) {
+  std::string stem = std::filesystem::path(workload.name).stem().string();
+  return stem.empty() ? "program" : stem;
+}
+
+// `--emit-verilog=<dir>`: write `<flow>_<workload>.v` plus a self-checking
+// `<flow>_<workload>_tb.v` whose expected value comes from the golden-model
+// interpreter.
+int emitDesignFiles(const std::string &dir, const flows::FlowSpec &spec,
+                    const core::Workload &workload,
+                    const flows::FlowResult &result) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "cannot create " << dir << ": " << ec.message() << "\n";
+    return kExitRejected;
+  }
+  std::string stem = spec.info.id + "_" + workloadStem(workload);
+  std::filesystem::path vPath = std::filesystem::path(dir) / (stem + ".v");
+  std::ofstream vOut(vPath);
+  if (!vOut) {
+    std::cerr << "cannot write " << vPath.string() << "\n";
+    return kExitRejected;
+  }
+  vOut << rtl::emitVerilog(*result.design);
+  std::cout << "   verilog : wrote " << vPath.string() << "\n";
+
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto program = frontend(workload.source, types, diags);
+  if (!program) {
+    std::cerr << "cannot produce testbench: " << diags.str() << "\n";
+    return kExitRejected;
+  }
+  auto args = core::argBits(*program, workload.top, workload.args);
+  Interpreter interp(*program);
+  auto golden = interp.call(workload.top, args);
+  if (!golden.ok) {
+    std::cerr << "cannot produce testbench: " << golden.error << "\n";
+    return kExitRejected;
+  }
+  std::filesystem::path tbPath =
+      std::filesystem::path(dir) / (stem + "_tb.v");
+  std::ofstream tbOut(tbPath);
+  if (!tbOut) {
+    std::cerr << "cannot write " << tbPath.string() << "\n";
+    return kExitRejected;
+  }
+  tbOut << rtl::emitTestbench(*result.design, args, golden.returnValue);
+  std::cout << "   tb      : wrote " << tbPath.string() << "\n";
+  return kExitOk;
+}
+
 int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
            const Options &options) {
   flows::FlowTuning tuning;
@@ -246,6 +318,25 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
       std::cout << "   cycles  : " << v.cycles << "\n";
   }
 
+  if (options.cosim) {
+    core::CosimVerification cv = core::cosimAgainstGoldenModel(workload, result);
+    if (!cv.ran) {
+      std::cout << "   cosim   : not run (" << cv.detail << ")\n";
+    } else if (!cv.ok) {
+      std::cout << "   COSIM FAILED: " << cv.detail << "\n";
+      return kExitRejected;
+    } else {
+      std::cout << "   cosim   : PASS (interpreter == fsmd == vsim, "
+                << cv.cycles << " cycles)\n";
+    }
+  }
+
+  if (options.emitVerilogDir && result.design) {
+    int rc = emitDesignFiles(*options.emitVerilogDir, spec, workload, result);
+    if (rc != kExitOk)
+      return rc;
+  }
+
   if (options.testbenchOut && result.design) {
     // Expected value from the golden model.
     TypeContext types;
@@ -291,29 +382,57 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
 int runAll(const core::Workload &workload, const Options &options) {
   core::EngineOptions engineOptions;
   engineOptions.jobs = options.jobs;
+  engineOptions.cosim = options.cosim;
   core::CompareEngine engine(engineOptions);
   flows::FlowTuning tuning;
   tuning.clockNs = options.clockNs;
   auto rows = engine.compareFlows(workload, tuning);
 
-  TextTable table({"flow", "accepted", "verified", "cycles", "area", "fmax",
-                   "note"});
+  std::vector<std::string> headers{"flow",   "accepted", "verified", "cycles",
+                                   "area",   "fmax",     "note"};
+  if (options.cosim)
+    headers.insert(headers.begin() + 3, "cosim");
+  TextTable table(headers);
   int exitCode = kExitOk;
   for (const auto &r : rows) {
     std::string cycles =
         r.asyncNs > 0 ? formatDouble(r.asyncNs, 0) + "ns"
                       : (r.cycles ? std::to_string(r.cycles) : "-");
-    table.addRow({r.flowId, r.accepted ? "yes" : "no",
-                  r.accepted ? (r.verified ? "yes" : "NO") : "-",
-                  r.verified ? cycles : "-",
-                  r.verified ? formatDouble(r.areaTotal, 0) : "-",
-                  r.fmaxMHz > 0 ? formatDouble(r.fmaxMHz, 0) : "-", r.note});
+    std::vector<std::string> cells{
+        r.flowId, r.accepted ? "yes" : "no",
+        r.accepted ? (r.verified ? "yes" : "NO") : "-",
+        r.verified ? cycles : "-",
+        r.verified ? formatDouble(r.areaTotal, 0) : "-",
+        r.fmaxMHz > 0 ? formatDouble(r.fmaxMHz, 0) : "-",
+        !r.cosimNote.empty() ? r.cosimNote : r.note};
+    if (options.cosim)
+      cells.insert(cells.begin() + 3,
+                   r.cosimRan ? (r.cosimOk ? "yes" : "NO") : "-");
+    table.addRow(cells);
     // Rejections are expected under 'all'; real failures are not.
-    if ((r.accepted && !r.verified) ||
+    if ((r.accepted && !r.verified) || (r.cosimRan && !r.cosimOk) ||
         r.note.rfind("internal error:", 0) == 0)
       exitCode = kExitRejected;
   }
   std::cout << table.str();
+
+  // `--emit-verilog` under 'all': one (design, testbench) pair per
+  // accepted synchronous flow.
+  if (options.emitVerilogDir) {
+    for (const auto &spec : flows::allFlows()) {
+      if (spec.asyncDataflow)
+        continue;
+      auto result =
+          flows::runFlow(spec, workload.source, workload.top, tuning);
+      if (!result.ok || !result.design)
+        continue;
+      std::cout << "== " << spec.info.id << "\n";
+      int rc =
+          emitDesignFiles(*options.emitVerilogDir, spec, workload, result);
+      if (rc != kExitOk)
+        exitCode = rc;
+    }
+  }
   // The analyzer ran once on the cached compile; its findings are shared
   // by every row, so summarize them once under the table.
   if (!rows.empty() && rows.front().analysis &&
@@ -329,7 +448,8 @@ int run(int argc, char **argv) {
   if (!parseArgs(argc, argv, options)) {
     std::cerr << "usage: c2hc <file.uc> [--flow=<id>|all] [--top=<fn>] "
                  "[--args=a,b] [--clock=ns] [--jobs=n] [--verilog=<file>|-] "
-                 "[--ir] [--no-sim] [--analyze] [--diag-format=text|json]\n"
+                 "[--emit-verilog=<dir>] [--cosim] [--ir] [--no-sim] "
+                 "[--analyze] [--diag-format=text|json]\n"
                  "       c2hc --workload=<name> [options]\n"
                  "       c2hc --list-workloads\n\nflows: "
               << availableFlows() << "\nworkloads: " << availableWorkloads()
