@@ -2,11 +2,16 @@
 //
 // For every accepted synchronous (flow, workload) pair the comparison
 // engine re-executes the *emitted Verilog text* through vsim (parse ->
-// elaborate -> two-phase event simulation) and demands agreement with the
-// reference interpreter on values and with the FSMD simulator on the
-// exact cycle count.  The table below is the regenerated E11 summary:
-// designs co-simulated, cycle counts matched, and vsim's simulation
-// throughput (DUT clock cycles per wall-clock second).
+// elaborate -> simulate) and demands agreement with the reference
+// interpreter on values and with the FSMD simulator on the exact cycle
+// count.  The table below is the regenerated E11 summary: designs
+// co-simulated, cycle counts matched, and per-engine simulation
+// throughput (DUT clock cycles per wall-clock second) for the
+// event-driven evaluator and the cycle-compiled bytecode VM.
+//
+// Exit status doubles as the CI perf gate: nonzero when any mismatch
+// appears or when the compiled engine's median speedup over the event
+// engine drops below the floor.
 #include "core/c2h.h"
 #include "core/engine.h"
 #include "support/text.h"
@@ -14,6 +19,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 
@@ -21,19 +27,28 @@ using namespace c2h;
 
 namespace {
 
-// Cycles/second of the full vsim event loop on one design, measured over
-// enough runs to amortize the poke/reset preamble.
+// CI floor: the compiled engine must stay at least this much faster than
+// the event engine (median across workloads).  The observed speedup is
+// well above 5x; 2x leaves headroom for noisy shared runners while still
+// catching a real regression to event-engine speeds.
+constexpr double kMinMedianSpeedup = 2.0;
+
+// Cycles/second of the full handshake loop on one design with the given
+// engine, measured over enough runs to amortize the poke/reset preamble.
 double measureThroughput(const rtl::Design &design,
-                         const std::vector<BitVector> &args) {
+                         const std::vector<BitVector> &args,
+                         vsim::SimEngine engine) {
   vsim::Cosimulation cosim(design);
   if (!cosim.valid())
     return 0.0;
+  vsim::CosimOptions opts;
+  opts.engine = engine;
   std::uint64_t cycles = 0;
   auto t0 = std::chrono::steady_clock::now();
   int runs = 0;
   double elapsed = 0.0;
   do {
-    auto r = cosim.run(args);
+    auto r = cosim.run(args, opts);
     if (!r.ok)
       return 0.0;
     cycles += r.cycles;
@@ -45,7 +60,9 @@ double measureThroughput(const rtl::Design &design,
   return elapsed > 0 ? static_cast<double>(cycles) / elapsed : 0.0;
 }
 
-void printE11() {
+// Returns false when the run must fail CI (mismatches or compiled-engine
+// throughput below the floor).
+bool printE11() {
   std::cout << "==================================================\n";
   std::cout << "E11: three-model equivalence "
                "(interpreter == FSMD == vsim)\n";
@@ -58,8 +75,10 @@ void printE11() {
   auto matrix = engine.compareMatrix(workloads);
 
   TextTable table({"workload", "accepted", "cosimulated", "cycles matched",
-                   "vsim Mcycles/s", "mismatches"});
+                   "event Mcyc/s", "compiled Mcyc/s", "speedup",
+                   "mismatches"});
   unsigned totalCosim = 0, totalMatched = 0, totalMismatch = 0;
+  std::vector<double> speedups;
   for (std::size_t i = 0; i < workloads.size(); ++i) {
     const core::Workload &w = workloads[i];
     unsigned accepted = 0, cosimmed = 0, matched = 0, mismatched = 0;
@@ -79,8 +98,9 @@ void printE11() {
     totalMismatch += mismatched;
 
     // Throughput on one representative accepted design (first flow that
-    // synthesized this workload synchronously).
-    double throughput = 0.0;
+    // synthesized this workload synchronously), both engines on the same
+    // design so the ratio is apples-to-apples.
+    double eventTp = 0.0, compiledTp = 0.0;
     for (const auto &spec : flows::allFlows()) {
       if (spec.asyncDataflow)
         continue;
@@ -91,24 +111,54 @@ void printE11() {
       DiagnosticEngine diags;
       auto program = frontend(w.source, types, diags);
       auto args = core::argBits(*program, w.top, w.args);
-      throughput = measureThroughput(*r.design, args);
+      eventTp = measureThroughput(*r.design, args, vsim::SimEngine::Event);
+      compiledTp =
+          measureThroughput(*r.design, args, vsim::SimEngine::Compiled);
       break;
     }
+    double speedup = eventTp > 0 ? compiledTp / eventTp : 0.0;
+    if (speedup > 0)
+      speedups.push_back(speedup);
     table.addRow({w.name, std::to_string(accepted), std::to_string(cosimmed),
                   std::to_string(matched),
-                  throughput > 0 ? formatDouble(throughput / 1e6, 2) : "-",
+                  eventTp > 0 ? formatDouble(eventTp / 1e6, 2) : "-",
+                  compiledTp > 0 ? formatDouble(compiledTp / 1e6, 2) : "-",
+                  speedup > 0 ? formatDouble(speedup, 1) + "x" : "-",
                   std::to_string(mismatched)});
   }
   std::cout << table.str() << "\n";
   std::cout << "totals: " << totalCosim << " designs co-simulated, "
             << totalMatched << " matched on values AND exact cycle count, "
-            << totalMismatch << " mismatches\n\n";
+            << totalMismatch << " mismatches\n";
+
+  double median = 0.0;
+  if (!speedups.empty()) {
+    std::sort(speedups.begin(), speedups.end());
+    median = speedups[speedups.size() / 2];
+    std::cout << "compiled-engine speedup over event-driven: median "
+              << formatDouble(median, 1) << "x, min "
+              << formatDouble(speedups.front(), 1) << "x, max "
+              << formatDouble(speedups.back(), 1) << "x\n";
+  }
+  std::cout << "\n";
+  bool ok = true;
+  if (totalMismatch > 0) {
+    std::cout << "FAIL: " << totalMismatch << " cosim mismatches\n";
+    ok = false;
+  }
+  if (median < kMinMedianSpeedup) {
+    std::cout << "FAIL: compiled-engine median speedup "
+              << formatDouble(median, 1) << "x below the "
+              << formatDouble(kMinMedianSpeedup, 1) << "x floor\n";
+    ok = false;
+  }
+  return ok;
 }
 
-// Steady-state co-simulation speed: emit+elaborate once, then the event
-// loop over the whole handshake per iteration.
+// Steady-state co-simulation speed: emit+elaborate (and, for the compiled
+// engine, levelize+compile) once, then the full handshake per iteration.
 void BM_Cosim(benchmark::State &state, const char *flowId,
-              const char *workload) {
+              const char *workload, vsim::SimEngine engineKind) {
   const core::Workload &w = core::findWorkload(workload);
   auto r = flows::runFlow(*flows::findFlow(flowId), w.source, w.top);
   if (!r.ok || !r.design) {
@@ -120,9 +170,11 @@ void BM_Cosim(benchmark::State &state, const char *flowId,
   auto program = frontend(w.source, types, diags);
   auto args = core::argBits(*program, w.top, w.args);
   vsim::Cosimulation cosim(*r.design);
+  vsim::CosimOptions opts;
+  opts.engine = engineKind;
   std::uint64_t cycles = 0;
   for (auto _ : state) {
-    auto res = cosim.run(args);
+    auto res = cosim.run(args, opts);
     if (!res.ok) {
       state.SkipWithError(res.error.c_str());
       return;
@@ -152,14 +204,24 @@ void BM_ParseElaborate(benchmark::State &state, const char *flowId,
 } // namespace
 
 int main(int argc, char **argv) {
-  printE11();
-  benchmark::RegisterBenchmark("cosim/bachc/gcd", BM_Cosim, "bachc", "gcd");
-  benchmark::RegisterBenchmark("cosim/bachc/fir", BM_Cosim, "bachc", "fir");
-  benchmark::RegisterBenchmark("cosim/c2verilog/bubblesort", BM_Cosim,
-                               "c2verilog", "bubblesort");
+  bool ok = printE11();
+  struct Pair {
+    const char *flow, *workload;
+  };
+  const Pair pairs[] = {{"bachc", "gcd"},
+                        {"bachc", "fir"},
+                        {"c2verilog", "bubblesort"}};
+  for (const auto &p : pairs) {
+    benchmark::RegisterBenchmark(
+        (std::string("cosim-event/") + p.flow + "/" + p.workload).c_str(),
+        BM_Cosim, p.flow, p.workload, vsim::SimEngine::Event);
+    benchmark::RegisterBenchmark(
+        (std::string("cosim-compiled/") + p.flow + "/" + p.workload).c_str(),
+        BM_Cosim, p.flow, p.workload, vsim::SimEngine::Compiled);
+  }
   benchmark::RegisterBenchmark("parse+elab/bachc/fir", BM_ParseElaborate,
                                "bachc", "fir");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ok ? 0 : 1;
 }

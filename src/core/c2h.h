@@ -33,6 +33,7 @@
 #include "sched/ilp.h"
 #include "sched/modulo.h"
 #include "sched/schedule.h"
+#include "vsim/engine.h"
 
 #include <cstdint>
 #include <memory>
@@ -103,11 +104,18 @@ struct CosimVerification {
 //   interpreter == FSMD Simulator == vsim   on the return value, and
 //   FSMD Simulator == vsim                  on the exact cycle count,
 // plus every checked global bit-for-bit between interpreter and vsim.
-CosimVerification cosimAgainstGoldenModel(const Workload &workload,
-                                          const flows::FlowResult &result);
-CosimVerification cosimAgainstGoldenModel(const Workload &workload,
-                                          const flows::FlowResult &result,
-                                          const ast::Program &goldenProgram);
+// `engine` selects the vsim backend: the cycle-compiled bytecode VM
+// (default; silently falls back to the event engine for models outside
+// its subset) or the event-driven reference evaluator.
+CosimVerification
+cosimAgainstGoldenModel(const Workload &workload,
+                        const flows::FlowResult &result,
+                        vsim::SimEngine engine = vsim::SimEngine::Compiled);
+CosimVerification
+cosimAgainstGoldenModel(const Workload &workload,
+                        const flows::FlowResult &result,
+                        const ast::Program &goldenProgram,
+                        vsim::SimEngine engine = vsim::SimEngine::Compiled);
 
 // One row of a cross-flow comparison.
 struct FlowComparison {

@@ -133,8 +133,8 @@ FlowComparison CompareEngine::runCell(const flows::FlowSpec &spec,
     row.cycles = v.cycles;
     row.asyncNs = v.asyncNs;
     if (options_.cosim && v.ok && result.design && !result.asyncInfo) {
-      CosimVerification cv =
-          cosimAgainstGoldenModel(workload, result, *entry.program);
+      CosimVerification cv = cosimAgainstGoldenModel(
+          workload, result, *entry.program, options_.vsimEngine);
       row.cosimRan = cv.ran;
       row.cosimOk = cv.ok;
       row.cosimCycles = cv.cycles;

@@ -79,6 +79,10 @@ struct EngineOptions {
   // count).  Fills FlowComparison::cosim* fields; a mismatch is a
   // structured row note, not an exception.
   bool cosim = false;
+  // vsim backend for cosim mode: the cycle-compiled bytecode VM (default,
+  // with silent fallback to the event engine outside its subset) or the
+  // event-driven reference evaluator.
+  vsim::SimEngine vsimEngine = vsim::SimEngine::Compiled;
 };
 
 class CompareEngine {

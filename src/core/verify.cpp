@@ -161,7 +161,8 @@ Verification verifyAgainstGoldenModel(const Workload &workload,
 }
 
 CosimVerification cosimAgainstGoldenModel(const Workload &workload,
-                                          const flows::FlowResult &result) {
+                                          const flows::FlowResult &result,
+                                          vsim::SimEngine engine) {
   TypeContext types;
   DiagnosticEngine diags;
   auto program = frontend(workload.source, types, diags);
@@ -170,12 +171,13 @@ CosimVerification cosimAgainstGoldenModel(const Workload &workload,
     c.detail = "frontend: " + diags.str();
     return c;
   }
-  return cosimAgainstGoldenModel(workload, result, *program);
+  return cosimAgainstGoldenModel(workload, result, *program, engine);
 }
 
 CosimVerification cosimAgainstGoldenModel(const Workload &workload,
                                           const flows::FlowResult &result,
-                                          const ast::Program &goldenProgram) {
+                                          const ast::Program &goldenProgram,
+                                          vsim::SimEngine engine) {
   CosimVerification c;
   if (!result.accepted || !result.ok) {
     c.detail = "flow produced no design";
@@ -216,7 +218,9 @@ CosimVerification cosimAgainstGoldenModel(const Workload &workload,
     c.detail = cosim.error();
     return c;
   }
-  vsim::CosimResult r = cosim.run(args);
+  vsim::CosimOptions copts;
+  copts.engine = engine;
+  vsim::CosimResult r = cosim.run(args, copts);
   c.cycles = r.cycles;
   if (!r.ok) {
     c.detail = r.error;

@@ -2,25 +2,90 @@
 
 #include <algorithm>
 #include <cassert>
-#include <stdexcept>
+#include <cstring>
 
 namespace c2h {
 
 BitVector::BitVector(unsigned width) : width_(width) {
   assert(width >= 1 && width <= kMaxWidth && "BitVector width out of range");
-  words_.assign(wordsFor(width), 0);
+  if (isInline())
+    inline_ = 0;
+  else
+    heap_ = new std::uint64_t[numWords()](); // value-init: zeroed
 }
 
 BitVector::BitVector(unsigned width, std::uint64_t value) : BitVector(width) {
-  words_[0] = value;
+  words()[0] = value;
   clearUnusedBits();
+}
+
+BitVector::BitVector(const BitVector &rhs) : width_(rhs.width_) {
+  if (isInline()) {
+    inline_ = rhs.inline_;
+  } else {
+    heap_ = new std::uint64_t[numWords()];
+    std::memcpy(heap_, rhs.heap_, numWords() * sizeof(std::uint64_t));
+  }
+}
+
+BitVector::BitVector(BitVector &&rhs) noexcept : width_(rhs.width_) {
+  if (isInline()) {
+    inline_ = rhs.inline_;
+  } else {
+    heap_ = rhs.heap_;
+    rhs.width_ = 1; // leave rhs as a valid inline zero
+    rhs.inline_ = 0;
+  }
+}
+
+BitVector &BitVector::operator=(const BitVector &rhs) {
+  if (this == &rhs)
+    return *this;
+  if (!isInline() && !rhs.isInline() && numWords() == rhs.numWords()) {
+    width_ = rhs.width_; // reuse the existing allocation
+    std::memcpy(heap_, rhs.heap_, numWords() * sizeof(std::uint64_t));
+    clearUnusedBits();
+    return *this;
+  }
+  if (!isInline())
+    delete[] heap_;
+  width_ = rhs.width_;
+  if (isInline()) {
+    inline_ = rhs.inline_;
+  } else {
+    heap_ = new std::uint64_t[numWords()];
+    std::memcpy(heap_, rhs.heap_, numWords() * sizeof(std::uint64_t));
+  }
+  return *this;
+}
+
+BitVector &BitVector::operator=(BitVector &&rhs) noexcept {
+  if (this == &rhs)
+    return *this;
+  if (!isInline())
+    delete[] heap_;
+  width_ = rhs.width_;
+  if (isInline()) {
+    inline_ = rhs.inline_;
+  } else {
+    heap_ = rhs.heap_;
+    rhs.width_ = 1;
+    rhs.inline_ = 0;
+  }
+  return *this;
+}
+
+BitVector::~BitVector() {
+  if (!isInline())
+    delete[] heap_;
 }
 
 BitVector BitVector::fromInt(unsigned width, std::int64_t value) {
   BitVector v(width);
   std::uint64_t bits = static_cast<std::uint64_t>(value);
-  for (auto &w : v.words_) {
-    w = bits;
+  std::uint64_t *w = v.words();
+  for (unsigned i = 0, n = v.numWords(); i < n; ++i) {
+    w[i] = bits;
     bits = value < 0 ? ~0ull : 0ull; // sign-extend into higher words
   }
   v.clearUnusedBits();
@@ -29,8 +94,9 @@ BitVector BitVector::fromInt(unsigned width, std::int64_t value) {
 
 BitVector BitVector::allOnes(unsigned width) {
   BitVector v(width);
-  for (auto &w : v.words_)
-    w = ~0ull;
+  std::uint64_t *w = v.words();
+  for (unsigned i = 0, n = v.numWords(); i < n; ++i)
+    w[i] = ~0ull;
   v.clearUnusedBits();
   return v;
 }
@@ -85,51 +151,54 @@ BitVector BitVector::fromString(unsigned width, const std::string &text,
 void BitVector::clearUnusedBits() {
   unsigned rem = width_ % 64;
   if (rem != 0)
-    words_.back() &= (~0ull >> (64 - rem));
+    words()[numWords() - 1] &= (~0ull >> (64 - rem));
 }
 
 bool BitVector::isZero() const {
-  return std::all_of(words_.begin(), words_.end(),
-                     [](std::uint64_t w) { return w == 0; });
+  const std::uint64_t *w = words();
+  for (unsigned i = 0, n = numWords(); i < n; ++i)
+    if (w[i] != 0)
+      return false;
+  return true;
 }
 
 bool BitVector::isAllOnes() const { return eq(allOnes(width_)); }
 
 bool BitVector::bit(unsigned i) const {
   assert(i < width_);
-  return (words_[i / 64] >> (i % 64)) & 1;
+  return (words()[i / 64] >> (i % 64)) & 1;
 }
-
-std::uint64_t BitVector::toUint64() const { return words_[0]; }
 
 std::int64_t BitVector::toInt64() const {
   if (width_ >= 64)
-    return static_cast<std::int64_t>(words_[0]);
-  std::uint64_t v = words_[0];
+    return static_cast<std::int64_t>(word());
+  std::uint64_t v = word();
   if (signBit())
     v |= ~0ull << width_;
   return static_cast<std::int64_t>(v);
 }
 
 unsigned BitVector::activeBits() const {
-  for (unsigned i = static_cast<unsigned>(words_.size()); i-- > 0;) {
-    if (words_[i] != 0)
-      return i * 64 + (64 - static_cast<unsigned>(__builtin_clzll(words_[i])));
+  const std::uint64_t *w = words();
+  for (unsigned i = numWords(); i-- > 0;) {
+    if (w[i] != 0)
+      return i * 64 + (64 - static_cast<unsigned>(__builtin_clzll(w[i])));
   }
   return 0;
 }
 
 unsigned BitVector::popcount() const {
+  const std::uint64_t *w = words();
   unsigned n = 0;
-  for (auto w : words_)
-    n += static_cast<unsigned>(__builtin_popcountll(w));
+  for (unsigned i = 0, e = numWords(); i < e; ++i)
+    n += static_cast<unsigned>(__builtin_popcountll(w[i]));
   return n;
 }
 
 BitVector BitVector::trunc(unsigned newWidth) const {
   assert(newWidth <= width_);
   BitVector v(newWidth);
-  std::copy_n(words_.begin(), v.words_.size(), v.words_.begin());
+  std::copy_n(words(), v.numWords(), v.words());
   v.clearUnusedBits();
   return v;
 }
@@ -137,7 +206,7 @@ BitVector BitVector::trunc(unsigned newWidth) const {
 BitVector BitVector::zext(unsigned newWidth) const {
   assert(newWidth >= width_);
   BitVector v(newWidth);
-  std::copy(words_.begin(), words_.end(), v.words_.begin());
+  std::copy_n(words(), numWords(), v.words());
   return v;
 }
 
@@ -146,10 +215,10 @@ BitVector BitVector::sext(unsigned newWidth) const {
   if (!signBit())
     return zext(newWidth);
   BitVector v = allOnes(newWidth);
-  std::copy(words_.begin(), words_.end(), v.words_.begin());
+  std::copy_n(words(), numWords(), v.words());
   unsigned rem = width_ % 64;
   if (rem != 0)
-    v.words_[words_.size() - 1] |= ~0ull << rem;
+    v.words()[numWords() - 1] |= ~0ull << rem;
   v.clearUnusedBits();
   return v;
 }
@@ -165,11 +234,16 @@ BitVector BitVector::resize(unsigned newWidth, bool isSigned) const {
 BitVector BitVector::add(const BitVector &rhs) const {
   assert(width_ == rhs.width_);
   BitVector v(width_);
+  if (isInline()) {
+    v.inline_ = (inline_ + rhs.inline_) & wordMask(width_);
+    return v;
+  }
   unsigned __int128 carry = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    unsigned __int128 s = static_cast<unsigned __int128>(words_[i]) +
-                          rhs.words_[i] + carry;
-    v.words_[i] = static_cast<std::uint64_t>(s);
+  const std::uint64_t *a = words(), *b = rhs.words();
+  std::uint64_t *out = v.words();
+  for (unsigned i = 0, n = numWords(); i < n; ++i) {
+    unsigned __int128 s = static_cast<unsigned __int128>(a[i]) + b[i] + carry;
+    out[i] = static_cast<std::uint64_t>(s);
     carry = s >> 64;
   }
   v.clearUnusedBits();
@@ -177,24 +251,42 @@ BitVector BitVector::add(const BitVector &rhs) const {
 }
 
 BitVector BitVector::sub(const BitVector &rhs) const {
+  assert(width_ == rhs.width_);
+  if (isInline()) {
+    BitVector v(width_);
+    v.inline_ = (inline_ - rhs.inline_) & wordMask(width_);
+    return v;
+  }
   return add(rhs.neg());
 }
 
-BitVector BitVector::neg() const { return bitNot().add(BitVector(width_, 1)); }
+BitVector BitVector::neg() const {
+  if (isInline()) {
+    BitVector v(width_);
+    v.inline_ = (~inline_ + 1) & wordMask(width_);
+    return v;
+  }
+  return bitNot().add(BitVector(width_, 1));
+}
 
 BitVector BitVector::mul(const BitVector &rhs) const {
   assert(width_ == rhs.width_);
   BitVector v(width_);
-  std::size_t n = words_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (words_[i] == 0)
+  if (isInline()) {
+    v.inline_ = (inline_ * rhs.inline_) & wordMask(width_);
+    return v;
+  }
+  const std::uint64_t *a = words(), *b = rhs.words();
+  std::uint64_t *out = v.words();
+  unsigned n = numWords();
+  for (unsigned i = 0; i < n; ++i) {
+    if (a[i] == 0)
       continue;
     std::uint64_t carry = 0;
-    for (std::size_t j = 0; i + j < n; ++j) {
+    for (unsigned j = 0; i + j < n; ++j) {
       unsigned __int128 cur =
-          static_cast<unsigned __int128>(words_[i]) * rhs.words_[j] +
-          v.words_[i + j] + carry;
-      v.words_[i + j] = static_cast<std::uint64_t>(cur);
+          static_cast<unsigned __int128>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<std::uint64_t>(cur);
       carry = static_cast<std::uint64_t>(cur >> 64);
     }
   }
@@ -211,6 +303,11 @@ static void udivrem(const BitVector &num, const BitVector &den,
   if (den.isZero()) {
     quot = BitVector::allOnes(w); // divide-by-zero convention
     rem = num;
+    return;
+  }
+  if (num.isInline()) {
+    quot.setWord(num.word() / den.word());
+    rem.setWord(num.word() % den.word());
     return;
   }
   for (unsigned i = w; i-- > 0;) {
@@ -259,31 +356,39 @@ BitVector BitVector::srem(const BitVector &rhs) const {
 BitVector BitVector::bitAnd(const BitVector &rhs) const {
   assert(width_ == rhs.width_);
   BitVector v(width_);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    v.words_[i] = words_[i] & rhs.words_[i];
+  const std::uint64_t *a = words(), *b = rhs.words();
+  std::uint64_t *out = v.words();
+  for (unsigned i = 0, n = numWords(); i < n; ++i)
+    out[i] = a[i] & b[i];
   return v;
 }
 
 BitVector BitVector::bitOr(const BitVector &rhs) const {
   assert(width_ == rhs.width_);
   BitVector v(width_);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    v.words_[i] = words_[i] | rhs.words_[i];
+  const std::uint64_t *a = words(), *b = rhs.words();
+  std::uint64_t *out = v.words();
+  for (unsigned i = 0, n = numWords(); i < n; ++i)
+    out[i] = a[i] | b[i];
   return v;
 }
 
 BitVector BitVector::bitXor(const BitVector &rhs) const {
   assert(width_ == rhs.width_);
   BitVector v(width_);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    v.words_[i] = words_[i] ^ rhs.words_[i];
+  const std::uint64_t *a = words(), *b = rhs.words();
+  std::uint64_t *out = v.words();
+  for (unsigned i = 0, n = numWords(); i < n; ++i)
+    out[i] = a[i] ^ b[i];
   return v;
 }
 
 BitVector BitVector::bitNot() const {
   BitVector v(width_);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    v.words_[i] = ~words_[i];
+  const std::uint64_t *a = words();
+  std::uint64_t *out = v.words();
+  for (unsigned i = 0, n = numWords(); i < n; ++i)
+    out[i] = ~a[i];
   v.clearUnusedBits();
   return v;
 }
@@ -292,12 +397,18 @@ BitVector BitVector::shl(unsigned amount) const {
   BitVector v(width_);
   if (amount >= width_)
     return v;
+  if (isInline()) {
+    v.inline_ = (inline_ << amount) & wordMask(width_);
+    return v;
+  }
   unsigned wordShift = amount / 64, bitShift = amount % 64;
-  for (std::size_t i = words_.size(); i-- > wordShift;) {
-    std::uint64_t w = words_[i - wordShift] << bitShift;
+  const std::uint64_t *a = words();
+  std::uint64_t *out = v.words();
+  for (unsigned i = numWords(); i-- > wordShift;) {
+    std::uint64_t w = a[i - wordShift] << bitShift;
     if (bitShift != 0 && i > wordShift)
-      w |= words_[i - wordShift - 1] >> (64 - bitShift);
-    v.words_[i] = w;
+      w |= a[i - wordShift - 1] >> (64 - bitShift);
+    out[i] = w;
   }
   v.clearUnusedBits();
   return v;
@@ -307,12 +418,19 @@ BitVector BitVector::lshr(unsigned amount) const {
   BitVector v(width_);
   if (amount >= width_)
     return v;
+  if (isInline()) {
+    v.inline_ = inline_ >> amount;
+    return v;
+  }
   unsigned wordShift = amount / 64, bitShift = amount % 64;
-  for (std::size_t i = 0; i + wordShift < words_.size(); ++i) {
-    std::uint64_t w = words_[i + wordShift] >> bitShift;
-    if (bitShift != 0 && i + wordShift + 1 < words_.size())
-      w |= words_[i + wordShift + 1] << (64 - bitShift);
-    v.words_[i] = w;
+  const std::uint64_t *a = words();
+  std::uint64_t *out = v.words();
+  unsigned n = numWords();
+  for (unsigned i = 0; i + wordShift < n; ++i) {
+    std::uint64_t w = a[i + wordShift] >> bitShift;
+    if (bitShift != 0 && i + wordShift + 1 < n)
+      w |= a[i + wordShift + 1] << (64 - bitShift);
+    out[i] = w;
   }
   return v;
 }
@@ -329,14 +447,21 @@ BitVector BitVector::ashr(unsigned amount) const {
 }
 
 bool BitVector::eq(const BitVector &rhs) const {
-  return width_ == rhs.width_ && words_ == rhs.words_;
+  if (width_ != rhs.width_)
+    return false;
+  const std::uint64_t *a = words(), *b = rhs.words();
+  for (unsigned i = 0, n = numWords(); i < n; ++i)
+    if (a[i] != b[i])
+      return false;
+  return true;
 }
 
 bool BitVector::ult(const BitVector &rhs) const {
   assert(width_ == rhs.width_);
-  for (std::size_t i = words_.size(); i-- > 0;) {
-    if (words_[i] != rhs.words_[i])
-      return words_[i] < rhs.words_[i];
+  const std::uint64_t *a = words(), *b = rhs.words();
+  for (unsigned i = numWords(); i-- > 0;) {
+    if (a[i] != b[i])
+      return a[i] < b[i];
   }
   return false;
 }
@@ -356,17 +481,29 @@ bool BitVector::sle(const BitVector &rhs) const { return !rhs.slt(*this); }
 BitVector BitVector::concat(const BitVector &low) const {
   unsigned newWidth = width_ + low.width_;
   assert(newWidth <= kMaxWidth);
+  if (newWidth <= 64) {
+    BitVector v(newWidth);
+    v.inline_ = (inline_ << low.width_) | low.inline_;
+    return v;
+  }
   return zext(newWidth).shl(low.width_).bitOr(low.zext(newWidth));
 }
 
 BitVector BitVector::extract(unsigned lo, unsigned len) const {
   assert(lo + len <= width_ && len >= 1);
+  if (isInline()) {
+    BitVector v(len);
+    v.inline_ = (inline_ >> lo) & wordMask(len);
+    return v;
+  }
   return lshr(lo).trunc(len);
 }
 
 std::string BitVector::toStringUnsigned() const {
   if (isZero())
     return "0";
+  if (isInline())
+    return std::to_string(inline_);
   BitVector v = *this;
   BitVector ten(width_, 10);
   std::string s;
@@ -399,8 +536,9 @@ std::string BitVector::toStringHex() const {
 
 std::size_t BitVector::hash() const {
   std::size_t h = width_ * 0x9e3779b97f4a7c15ull;
-  for (auto w : words_)
-    h = (h ^ w) * 0x100000001b3ull;
+  const std::uint64_t *w = words();
+  for (unsigned i = 0, n = numWords(); i < n; ++i)
+    h = (h ^ w[i]) * 0x100000001b3ull;
   return h;
 }
 

@@ -10,12 +10,16 @@
 // A BitVector has a fixed width (1..kMaxWidth bits); signedness is not a
 // property of the value but of the operation (sdiv vs udiv, slt vs ult),
 // mirroring two's-complement hardware.
+//
+// Values of width <= 64 are stored inline (no heap allocation); wider values
+// use a heap word array.  Simulators hot-loop over narrow values, so the
+// inline representation plus the word()/setWord() accessors form the
+// word-level fast path used by the compiled vsim backend.
 #ifndef C2H_SUPPORT_BITVECTOR_H
 #define C2H_SUPPORT_BITVECTOR_H
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 namespace c2h {
 
@@ -27,6 +31,11 @@ public:
   explicit BitVector(unsigned width = 1);
   // Value from a host integer, truncated/zero-extended to `width`.
   BitVector(unsigned width, std::uint64_t value);
+  BitVector(const BitVector &rhs);
+  BitVector(BitVector &&rhs) noexcept;
+  BitVector &operator=(const BitVector &rhs);
+  BitVector &operator=(BitVector &&rhs) noexcept;
+  ~BitVector();
   // Signed construction: sign-extends `value` into `width` bits.
   static BitVector fromInt(unsigned width, std::int64_t value);
   // Parse a decimal (optionally signed) or 0x-hex literal into `width` bits.
@@ -38,6 +47,20 @@ public:
 
   unsigned width() const { return width_; }
 
+  // -- Word-level fast path ---------------------------------------------
+  // True when the whole value lives in one machine word (width <= 64);
+  // such values are stored inline with no heap allocation.
+  bool isInline() const { return width_ <= 64; }
+  // Mask selecting the valid bits of a width-`w` value (w in [1, 64]).
+  static std::uint64_t wordMask(unsigned w) {
+    return w >= 64 ? ~0ull : (1ull << w) - 1;
+  }
+  // Low word of the value (the entire value when isInline()).
+  std::uint64_t word() const { return isInline() ? inline_ : heap_[0]; }
+  // Overwrite an inline value in place, masking `v` to width().  Only
+  // valid when isInline(); this is the VM's zero-allocation store.
+  void setWord(std::uint64_t v) { inline_ = v & wordMask(width_); }
+
   // -- Observers --------------------------------------------------------
   bool isZero() const;
   bool isAllOnes() const;
@@ -45,7 +68,7 @@ public:
   bool bit(unsigned i) const;
   bool signBit() const { return bit(width_ - 1); }
   // Low 64 bits, zero-extended.
-  std::uint64_t toUint64() const;
+  std::uint64_t toUint64() const { return word(); }
   // Value interpreted as signed, truncated to 64 bits (sign-extended when
   // width < 64).
   std::int64_t toInt64() const;
@@ -106,9 +129,15 @@ public:
 private:
   void clearUnusedBits();
   static unsigned wordsFor(unsigned width) { return (width + 63) / 64; }
+  unsigned numWords() const { return wordsFor(width_); }
+  std::uint64_t *words() { return isInline() ? &inline_ : heap_; }
+  const std::uint64_t *words() const { return isInline() ? &inline_ : heap_; }
 
   unsigned width_;
-  std::vector<std::uint64_t> words_; // little-endian word order
+  union {
+    std::uint64_t inline_; // the value, when width_ <= 64
+    std::uint64_t *heap_;  // wordsFor(width_) little-endian words otherwise
+  };
 };
 
 struct BitVectorHash {

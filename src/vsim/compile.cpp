@@ -1,0 +1,732 @@
+#include "vsim/compile.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace c2h::vsim {
+
+namespace {
+
+struct NotCompilable : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Statements a compiled (or snapshot-able initial) body may contain:
+// straight-line control flow that always runs to completion.
+bool plainStmt(const Stmt *s, bool allowNb) {
+  switch (s->kind) {
+  case StmtKind::Block:
+  case StmtKind::If:
+    for (const auto &c : s->stmts)
+      if (!plainStmt(c.get(), allowNb))
+        return false;
+    return true;
+  case StmtKind::Case:
+    for (const auto &item : s->caseItems)
+      if (item.body && !plainStmt(item.body.get(), allowNb))
+        return false;
+    return true;
+  case StmtKind::Assign:
+  case StmtKind::Null:
+    return true;
+  case StmtKind::NbAssign:
+    return allowNb;
+  default:
+    return false; // repeat/waits/delays/$display/$finish
+  }
+}
+
+void collectAssignedNets(const Stmt *s, std::set<int> &nets) {
+  switch (s->kind) {
+  case StmtKind::Block:
+  case StmtKind::If:
+    for (const auto &c : s->stmts)
+      collectAssignedNets(c.get(), nets);
+    break;
+  case StmtKind::Case:
+    for (const auto &item : s->caseItems)
+      if (item.body)
+        collectAssignedNets(item.body.get(), nets);
+    break;
+  case StmtKind::Assign:
+  case StmtKind::NbAssign:
+    if (s->lhs->memId < 0)
+      nets.insert(s->lhs->netId);
+    break;
+  default:
+    break;
+  }
+}
+
+void collectDeps(const Expr *e, std::set<int> &nets, std::set<int> &mems) {
+  if (e->kind == ExprKind::Ident)
+    nets.insert(e->netId);
+  else if (e->kind == ExprKind::Select) {
+    if (e->memId >= 0)
+      mems.insert(e->memId);
+    else
+      nets.insert(e->netId);
+  }
+  for (const auto &a : e->args)
+    collectDeps(a.get(), nets, mems);
+}
+
+// ------------------------------------------------------------ compiler --
+
+struct Compiler {
+  const Model &m;
+  CompiledModel &cm;
+  Program *prog = nullptr;
+  bool inProcess = false; // wire reads must flush dirty comb logic
+
+  std::uint32_t newTemp(unsigned width) {
+    cm.tempWidth.push_back(width);
+    return static_cast<std::uint32_t>(cm.tempWidth.size() - 1);
+  }
+
+  std::size_t here() const { return prog->insns.size(); }
+
+  Insn &emit(Op op) {
+    prog->insns.push_back(Insn{});
+    Insn &I = prog->insns.back();
+    I.op = op;
+    return I;
+  }
+
+  void patch(std::size_t at, std::size_t target) {
+    prog->insns[at].aux = static_cast<std::uint32_t>(target);
+  }
+
+  std::uint32_t constant(const BitVector &v) {
+    std::uint32_t t = newTemp(v.width());
+    if (v.width() <= 64) {
+      Insn &I = emit(Op::ConstW);
+      I.dst = t;
+      I.width = v.width();
+      I.imm = v.word();
+    } else {
+      std::uint32_t pool = static_cast<std::uint32_t>(cm.constPool.size());
+      cm.constPool.push_back(v);
+      Insn &I = emit(Op::ConstV);
+      I.dst = t;
+      I.width = v.width();
+      I.aux = pool;
+      I.wide = true;
+    }
+    return t;
+  }
+
+  // readNet + resize folded into one load.
+  std::uint32_t loadNet(int netId, unsigned width, bool sign) {
+    const Net &net = m.nets[static_cast<std::size_t>(netId)];
+    std::uint32_t t = newTemp(width);
+    Insn &I = emit(net.driver && inProcess ? Op::LoadWire : Op::LoadNet);
+    I.dst = t;
+    I.aux = static_cast<std::uint32_t>(netId);
+    I.b = net.width;
+    I.width = width;
+    I.sign = sign;
+    I.wide = width > 64;
+    return t;
+  }
+
+  std::uint32_t extend(std::uint32_t t, unsigned to, bool sign) {
+    unsigned from = cm.tempWidth[t];
+    if (from == to)
+      return t;
+    std::uint32_t d = newTemp(to);
+    Insn &I = emit(Op::Ext);
+    I.dst = d;
+    I.a = t;
+    I.b = from;
+    I.width = to;
+    I.sign = sign;
+    I.wide = to > 64;
+    return d;
+  }
+
+  std::uint32_t binOp(Op op, std::uint32_t a, std::uint32_t b, unsigned width,
+                      bool sign, bool wide) {
+    std::uint32_t t = newTemp(width);
+    Insn &I = emit(op);
+    I.dst = t;
+    I.a = a;
+    I.b = b;
+    I.width = width;
+    I.sign = sign;
+    I.wide = wide;
+    return t;
+  }
+
+  // Mirrors Simulation::evalCtx: the returned temp holds the node's value
+  // at exactly `width` (the statically-known context width).
+  std::uint32_t compileExpr(const Expr *e, unsigned width) {
+    switch (e->kind) {
+    case ExprKind::Number:
+      return constant(e->number.resize(width, e->numberSigned));
+    case ExprKind::Ident:
+      return loadNet(e->netId, width, e->sign);
+    case ExprKind::Select: {
+      if (e->memId >= 0) {
+        const Memory &mem = m.mems[static_cast<std::size_t>(e->memId)];
+        std::uint32_t addr =
+            compileExpr(e->args[0].get(), e->args[0]->width);
+        std::uint32_t t = newTemp(width);
+        Insn &I = emit(Op::LoadMem);
+        I.dst = t;
+        I.a = addr;
+        I.aux = static_cast<std::uint32_t>(e->memId);
+        I.b = mem.width;
+        I.width = width;
+        I.wide = width > 64;
+        return t;
+      }
+      const Net &net = m.nets[static_cast<std::size_t>(e->netId)];
+      std::uint32_t base = loadNet(e->netId, net.width, false);
+      if (e->isPart) {
+        unsigned lsb =
+            static_cast<unsigned>(e->args[1]->number.toUint64());
+        std::uint32_t t = newTemp(width);
+        Insn &I = emit(Op::Extract);
+        I.dst = t;
+        I.a = base;
+        I.aux = lsb;
+        I.b = e->width; // part-select length
+        I.width = width;
+        I.wide = width > 64 || net.width > 64;
+        return t;
+      }
+      std::uint32_t idx = compileExpr(e->args[0].get(), e->args[0]->width);
+      std::uint32_t t = newTemp(width);
+      Insn &I = emit(Op::BitSel);
+      I.dst = t;
+      I.a = base;
+      I.b = idx;
+      I.width = width;
+      I.wide = width > 64 || net.width > 64;
+      return t;
+    }
+    case ExprKind::Unary: {
+      switch (e->un) {
+      case UnOp::Plus:
+        return compileExpr(e->args[0].get(), width);
+      case UnOp::Minus: {
+        std::uint32_t a = compileExpr(e->args[0].get(), width);
+        std::uint32_t t = newTemp(width);
+        Insn &I = emit(Op::Neg);
+        I.dst = t;
+        I.a = a;
+        I.width = width;
+        I.wide = width > 64;
+        return t;
+      }
+      case UnOp::BitNot: {
+        std::uint32_t a = compileExpr(e->args[0].get(), width);
+        std::uint32_t t = newTemp(width);
+        Insn &I = emit(Op::BitNot);
+        I.dst = t;
+        I.a = a;
+        I.width = width;
+        I.wide = width > 64;
+        return t;
+      }
+      case UnOp::LogNot: {
+        std::uint32_t a =
+            compileExpr(e->args[0].get(), e->args[0]->width);
+        std::uint32_t t = newTemp(width);
+        Insn &I = emit(Op::LogNot);
+        I.dst = t;
+        I.a = a;
+        I.width = width;
+        I.wide = width > 64;
+        return t;
+      }
+      }
+      throw NotCompilable("unknown unary operator");
+    }
+    case ExprKind::Binary: {
+      const Expr *l = e->args[0].get(), *r = e->args[1].get();
+      switch (e->bin) {
+      case BinOp::Add:
+      case BinOp::Sub:
+      case BinOp::Mul:
+      case BinOp::BitAnd:
+      case BinOp::BitOr:
+      case BinOp::BitXor: {
+        std::uint32_t a = compileExpr(l, width);
+        std::uint32_t b = compileExpr(r, width);
+        Op op = e->bin == BinOp::Add      ? Op::Add
+                : e->bin == BinOp::Sub    ? Op::Sub
+                : e->bin == BinOp::Mul    ? Op::Mul
+                : e->bin == BinOp::BitAnd ? Op::And
+                : e->bin == BinOp::BitOr  ? Op::Or
+                                          : Op::Xor;
+        return binOp(op, a, b, width, false, width > 64);
+      }
+      case BinOp::Div:
+      case BinOp::Mod: {
+        std::uint32_t a = compileExpr(l, width);
+        std::uint32_t b = compileExpr(r, width);
+        return binOp(e->bin == BinOp::Div ? Op::Div : Op::Mod, a, b, width,
+                     e->sign, width > 64);
+      }
+      case BinOp::Shl:
+      case BinOp::Shr:
+      case BinOp::AShr: {
+        std::uint32_t a = compileExpr(l, width);
+        std::uint32_t amt = compileExpr(r, r->width); // self-determined
+        Op op = e->bin == BinOp::Shl   ? Op::Shl
+                : e->bin == BinOp::Shr ? Op::Shr
+                                       : Op::AShr;
+        return binOp(op, a, amt, width, e->sign, width > 64);
+      }
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+      case BinOp::Eq:
+      case BinOp::Ne: {
+        unsigned w = std::max(l->width, r->width);
+        std::uint32_t a = compileExpr(l, w);
+        std::uint32_t b = compileExpr(r, w);
+        bool sgn = l->sign && r->sign;
+        bool swap = e->bin == BinOp::Gt || e->bin == BinOp::Ge;
+        Op op = (e->bin == BinOp::Lt || e->bin == BinOp::Gt) ? Op::CmpLt
+                : (e->bin == BinOp::Le || e->bin == BinOp::Ge)
+                    ? Op::CmpLe
+                : e->bin == BinOp::Eq ? Op::CmpEq
+                                      : Op::CmpNe;
+        return binOp(op, swap ? b : a, swap ? a : b, width, sgn,
+                     w > 64 || width > 64);
+      }
+      case BinOp::LAnd:
+      case BinOp::LOr: {
+        std::uint32_t a = compileExpr(l, l->width);
+        std::uint32_t b = compileExpr(r, r->width);
+        return binOp(e->bin == BinOp::LAnd ? Op::LAnd : Op::LOr, a, b,
+                     width, false, width > 64);
+      }
+      }
+      throw NotCompilable("unknown binary operator");
+    }
+    case ExprKind::Ternary: {
+      std::uint32_t c = compileExpr(e->args[0].get(), e->args[0]->width);
+      std::uint32_t a = compileExpr(e->args[1].get(), width);
+      std::uint32_t b = compileExpr(e->args[2].get(), width);
+      std::uint32_t t = newTemp(width);
+      Insn &I = emit(Op::Select);
+      I.dst = t;
+      I.a = c;
+      I.b = a;
+      I.aux = b;
+      I.width = width;
+      I.wide = width > 64;
+      return t;
+    }
+    case ExprKind::Concat: {
+      std::uint32_t acc =
+          compileExpr(e->args[0].get(), e->args[0]->width);
+      for (std::size_t i = 1; i < e->args.size(); ++i) {
+        std::uint32_t lo =
+            compileExpr(e->args[i].get(), e->args[i]->width);
+        acc = concat2(acc, lo);
+      }
+      return extend(acc, width, false);
+    }
+    case ExprKind::Repl: {
+      std::uint32_t unit =
+          compileExpr(e->args[0].get(), e->args[0]->width);
+      std::uint32_t acc = unit;
+      for (std::uint64_t i = 1; i < e->replCount; ++i)
+        acc = concat2(acc, unit);
+      return extend(acc, width, false);
+    }
+    case ExprKind::Cast: {
+      std::uint32_t a = compileExpr(e->args[0].get(), e->args[0]->width);
+      return extend(a, width, e->sign);
+    }
+    }
+    throw NotCompilable("unknown expression kind");
+  }
+
+  std::uint32_t concat2(std::uint32_t hi, std::uint32_t lo) {
+    unsigned nw = cm.tempWidth[hi] + cm.tempWidth[lo];
+    if (nw > BitVector::kMaxWidth)
+      throw NotCompilable("concatenation exceeds the maximum width");
+    std::uint32_t t = newTemp(nw);
+    Insn &I = emit(Op::Concat2);
+    I.dst = t;
+    I.a = hi;
+    I.b = lo;
+    I.aux = cm.tempWidth[lo];
+    I.width = nw;
+    I.wide = nw > 64;
+    return t;
+  }
+
+  // Mirrors Simulation::execAssign.
+  void compileAssign(const Stmt *s, bool nonBlocking) {
+    const Expr *lhs = s->lhs.get();
+    if (lhs->memId >= 0) {
+      const Memory &mem = m.mems[static_cast<std::size_t>(lhs->memId)];
+      std::uint32_t addr =
+          compileExpr(lhs->args[0].get(), lhs->args[0]->width);
+      unsigned w = std::max(mem.width, s->rhs->width);
+      std::uint32_t v =
+          extend(compileExpr(s->rhs.get(), w), mem.width, false);
+      Insn &I = emit(nonBlocking ? Op::NbMem : Op::StoreMem);
+      I.a = addr;
+      I.b = v;
+      I.aux = static_cast<std::uint32_t>(lhs->memId);
+      I.width = mem.width;
+      I.wide = mem.width > 64;
+      return;
+    }
+    const Net &net = m.nets[static_cast<std::size_t>(lhs->netId)];
+    unsigned w = std::max(net.width, s->rhs->width);
+    std::uint32_t v =
+        extend(compileExpr(s->rhs.get(), w), net.width, false);
+    Insn &I = emit(nonBlocking ? Op::NbNet : Op::StoreNet);
+    I.a = v;
+    I.aux = static_cast<std::uint32_t>(lhs->netId);
+    I.width = net.width;
+    I.wide = net.width > 64;
+  }
+
+  // Case as one CaseJump through a value-indexed table.  Applicable when
+  // the compare width fits a word and every label is a numeric constant
+  // whose values are dense enough; duplicate labels keep first-match-wins
+  // and the (last) default arm catches everything outside the table, so
+  // the observable semantics equal the compare chain's.
+  bool tryCompileCaseTable(const Stmt *s, unsigned w, std::uint32_t cv) {
+    if (w > 64)
+      return false;
+    const Stmt *defaultBody = nullptr;
+    std::vector<const Stmt *> armBodies;
+    std::vector<std::pair<std::size_t, std::uint64_t>> labels; // arm, value
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (const CaseItem &item : s->caseItems) {
+      if (item.labels.empty()) {
+        defaultBody = item.body.get();
+        continue;
+      }
+      for (const auto &label : item.labels) {
+        if (label->kind != ExprKind::Number)
+          return false;
+        std::uint64_t v = label->number.resize(w, label->numberSigned).word();
+        labels.emplace_back(armBodies.size(), v);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      armBodies.push_back(item.body.get());
+    }
+    if (labels.size() < 4)
+      return false; // a short chain beats the table indirection
+    std::uint64_t span = hi - lo + 1;
+    if (span > 4 * labels.size() + 64 || span > 65536)
+      return false; // too sparse / too large to tabulate
+    std::uint32_t tableIdx = static_cast<std::uint32_t>(cm.jumpTables.size());
+    cm.jumpTables.emplace_back();
+    std::size_t cj = here();
+    {
+      Insn &I = emit(Op::CaseJump);
+      I.a = cv;
+      I.aux = tableIdx;
+      I.imm = lo;
+      I.width = w;
+    }
+    std::vector<std::size_t> armStart(armBodies.size());
+    std::vector<std::size_t> ends;
+    for (std::size_t i = 0; i < armBodies.size(); ++i) {
+      armStart[i] = here();
+      if (armBodies[i])
+        compileStmt(armBodies[i]);
+      ends.push_back(here());
+      emit(Op::Jump);
+    }
+    std::size_t defStart = here();
+    if (defaultBody)
+      compileStmt(defaultBody);
+    for (std::size_t j : ends)
+      patch(j, here());
+    prog->insns[cj].b = static_cast<std::uint32_t>(defStart);
+    auto &table = cm.jumpTables[tableIdx]; // re-index: arms may have nested
+    table.assign(span, static_cast<std::uint32_t>(defStart)); // case tables
+    std::vector<bool> taken(span, false);
+    for (const auto &[arm, v] : labels) {
+      std::size_t slot = static_cast<std::size_t>(v - lo);
+      if (!taken[slot]) {
+        taken[slot] = true;
+        table[slot] = static_cast<std::uint32_t>(armStart[arm]);
+      }
+    }
+    return true;
+  }
+
+  void compileStmt(const Stmt *s) {
+    switch (s->kind) {
+    case StmtKind::Block:
+      for (const auto &c : s->stmts)
+        compileStmt(c.get());
+      return;
+    case StmtKind::Null:
+      return;
+    case StmtKind::Assign:
+      compileAssign(s, false);
+      return;
+    case StmtKind::NbAssign:
+      compileAssign(s, true);
+      return;
+    case StmtKind::If: {
+      std::uint32_t c = compileExpr(s->cond.get(), s->cond->width);
+      std::size_t jz = here();
+      Insn &I = emit(Op::JumpIfZero);
+      I.a = c;
+      compileStmt(s->stmts[0].get());
+      if (s->stmts.size() > 1) {
+        std::size_t jend = here();
+        emit(Op::Jump);
+        patch(jz, here());
+        compileStmt(s->stmts[1].get());
+        patch(jend, here());
+      } else {
+        patch(jz, here());
+      }
+      return;
+    }
+    case StmtKind::Case: {
+      // Same label-width and item-order rules as the event engine.
+      unsigned w = s->cond->width;
+      for (const CaseItem &item : s->caseItems)
+        for (const auto &label : item.labels)
+          w = std::max(w, label->width);
+      std::uint32_t cv = compileExpr(s->cond.get(), w);
+      // Dense constant labels (the FSM state case is the per-cycle hot
+      // path) dispatch through one table jump instead of a linear
+      // compare chain.
+      if (tryCompileCaseTable(s, w, cv))
+        return;
+      const Stmt *defaultBody = nullptr;
+      std::vector<std::pair<const Stmt *, std::vector<std::size_t>>> arms;
+      for (const CaseItem &item : s->caseItems) {
+        if (item.labels.empty()) {
+          defaultBody = item.body.get();
+          continue;
+        }
+        std::vector<std::size_t> jumps;
+        for (const auto &label : item.labels) {
+          std::uint32_t lv = compileExpr(label.get(), w);
+          std::uint32_t eq = binOp(Op::CmpEq, cv, lv, 1, false, w > 64);
+          jumps.push_back(here());
+          Insn &I = emit(Op::JumpIfTrue);
+          I.a = eq;
+        }
+        arms.emplace_back(item.body.get(), std::move(jumps));
+      }
+      std::size_t toDefault = here();
+      emit(Op::Jump);
+      std::vector<std::size_t> ends;
+      for (const auto &[body, jumps] : arms) {
+        for (std::size_t j : jumps)
+          patch(j, here());
+        if (body)
+          compileStmt(body);
+        ends.push_back(here());
+        emit(Op::Jump);
+      }
+      patch(toDefault, here());
+      if (defaultBody)
+        compileStmt(defaultBody);
+      for (std::size_t j : ends)
+        patch(j, here());
+      return;
+    }
+    default:
+      throw NotCompilable("unsupported statement in compiled process");
+    }
+  }
+
+  Program compileWire(int netId) {
+    const Net &net = m.nets[static_cast<std::size_t>(netId)];
+    Program p;
+    prog = &p;
+    inProcess = false;
+    unsigned w = std::max(net.width, net.driver->width);
+    std::uint32_t v = extend(compileExpr(net.driver, w), net.width, false);
+    Insn &I = emit(Op::StoreNet);
+    I.a = v;
+    I.aux = static_cast<std::uint32_t>(netId);
+    I.width = net.width;
+    I.wide = net.width > 64;
+    return p;
+  }
+
+  Program compileProcess(const Stmt *body) {
+    Program p;
+    prog = &p;
+    inProcess = true;
+    compileStmt(body);
+    return p;
+  }
+};
+
+} // namespace
+
+bool hasPlainInit(const Model &model) {
+  for (const Process &p : model.procs) {
+    if (p.kind == Process::Kind::DelayLoop)
+      return false;
+    if (p.kind == Process::Kind::Initial && p.body &&
+        !plainStmt(p.body, true))
+      return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const CompiledModel>
+compileModel(std::shared_ptr<const Model> model, std::string &whyNot) {
+  const Model &m = *model;
+
+  // --- subset checks -----------------------------------------------------
+  std::set<int> procAssigned;
+  for (const Process &p : m.procs) {
+    switch (p.kind) {
+    case Process::Kind::DelayLoop:
+      whyNot = "delay-loop process (always #N clock generator)";
+      return nullptr;
+    case Process::Kind::Initial:
+      if (p.body && !plainStmt(p.body, true)) {
+        whyNot = "initial block suspends or does I/O";
+        return nullptr;
+      }
+      break;
+    case Process::Kind::Clocked:
+      if (!p.body || !plainStmt(p.body, true)) {
+        whyNot = "clocked process uses behavioral statements";
+        return nullptr;
+      }
+      collectAssignedNets(p.body, procAssigned);
+      break;
+    }
+  }
+  for (const Process &p : m.procs) {
+    if (p.kind != Process::Kind::Clocked)
+      continue;
+    const Net &clk = m.nets[static_cast<std::size_t>(p.clockNet)];
+    if (clk.driver) {
+      whyNot = "clock net '" + clk.name + "' has a continuous driver";
+      return nullptr;
+    }
+    if (procAssigned.count(p.clockNet)) {
+      whyNot = "clock net '" + clk.name + "' is written by a process";
+      return nullptr;
+    }
+  }
+  for (int n : procAssigned)
+    if (m.nets[static_cast<std::size_t>(n)].driver) {
+      whyNot = "procedural assignment to wire '" +
+               m.nets[static_cast<std::size_t>(n)].name + "'";
+      return nullptr;
+    }
+
+  // --- levelize the combinational nets -----------------------------------
+  std::vector<int> wireIds;
+  for (std::size_t i = 0; i < m.nets.size(); ++i)
+    if (m.nets[i].driver)
+      wireIds.push_back(static_cast<int>(i));
+
+  std::map<int, std::set<int>> netDeps, memDeps; // wire net -> supports
+  for (int w : wireIds)
+    collectDeps(m.nets[static_cast<std::size_t>(w)].driver, netDeps[w],
+                memDeps[w]);
+
+  std::map<int, int> indeg; // wire -> unmet wire dependencies
+  std::map<int, std::vector<int>> dependents;
+  for (int w : wireIds) {
+    indeg[w] = 0;
+    for (int d : netDeps[w])
+      if (m.nets[static_cast<std::size_t>(d)].driver) {
+        ++indeg[w];
+        dependents[d].push_back(w);
+      }
+  }
+  std::vector<int> topo;
+  std::set<int> ready;
+  for (int w : wireIds)
+    if (indeg[w] == 0)
+      ready.insert(w);
+  while (!ready.empty()) {
+    int w = *ready.begin();
+    ready.erase(ready.begin());
+    topo.push_back(w);
+    for (int d : dependents[w])
+      if (--indeg[d] == 0)
+        ready.insert(d);
+  }
+  if (topo.size() != wireIds.size()) {
+    for (int w : wireIds)
+      if (indeg[w] > 0) {
+        whyNot = "combinational cycle through wire '" +
+                 m.nets[static_cast<std::size_t>(w)].name + "'";
+        return nullptr;
+      }
+    whyNot = "combinational cycle";
+    return nullptr;
+  }
+
+  // --- capture the post-initial image via the reference engine -----------
+  auto cm = std::make_shared<CompiledModel>();
+  cm->model = model;
+  {
+    Simulation ref(model);
+    ref.settle();
+    if (!ref.ok()) {
+      whyNot = "initial execution failed: " + ref.error();
+      return nullptr;
+    }
+    cm->init = ref.snapshot();
+  }
+
+  // --- compile programs ---------------------------------------------------
+  Compiler c{m, *cm};
+  cm->netFanout.assign(m.nets.size(), {});
+  cm->memFanout.assign(m.mems.size(), {});
+  cm->domainOfClock.assign(m.nets.size(), -1);
+  try {
+    for (std::size_t rank = 0; rank < topo.size(); ++rank) {
+      int w = topo[rank];
+      WireUpdate wu;
+      wu.netId = w;
+      wu.prog = c.compileWire(w);
+      cm->wires.push_back(std::move(wu));
+      for (int d : netDeps[w])
+        cm->netFanout[static_cast<std::size_t>(d)].push_back(
+            static_cast<std::uint32_t>(rank));
+      for (int d : memDeps[w])
+        cm->memFanout[static_cast<std::size_t>(d)].push_back(
+            static_cast<std::uint32_t>(rank));
+    }
+    for (const Process &p : m.procs) {
+      if (p.kind != Process::Kind::Clocked)
+        continue;
+      int d = cm->domainOfClock[static_cast<std::size_t>(p.clockNet)];
+      if (d < 0) {
+        d = static_cast<int>(cm->domains.size());
+        ClockDomain dom;
+        dom.clockNet = p.clockNet;
+        cm->domains.push_back(std::move(dom));
+        cm->domainOfClock[static_cast<std::size_t>(p.clockNet)] = d;
+      }
+      cm->domains[static_cast<std::size_t>(d)].bodies.push_back(
+          c.compileProcess(p.body));
+    }
+  } catch (const NotCompilable &e) {
+    whyNot = e.what();
+    return nullptr;
+  }
+  return cm;
+}
+
+} // namespace c2h::vsim

@@ -1,6 +1,8 @@
 #include "vsim/cosim.h"
 
 #include "rtl/verilog.h"
+#include "vsim/compile.h"
+#include "vsim/cvm.h"
 #include "vsim/parser.h"
 
 namespace c2h::vsim {
@@ -11,10 +13,11 @@ std::string memNetName(const ir::Module &module, unsigned memId) {
   return "mem_" + rtl::verilogIdent(module.mems()[memId].name);
 }
 
-// Reset + start/done handshake over an elaborated model.  `cycles` counts
-// post-accept ticks, matching rtl::SimResult::cycles exactly.
-CosimResult runHandshake(Simulation &sim,
-                         const std::vector<BitVector> &args,
+// Reset + start/done handshake, templated over the engine (Simulation or
+// CompiledSimulation expose the same poke/peek/tick surface).  `cycles`
+// counts post-accept ticks, matching rtl::SimResult::cycles exactly.
+template <class Sim>
+CosimResult runHandshake(Sim &sim, const std::vector<BitVector> &args,
                          std::uint64_t maxCycles) {
   CosimResult result;
   auto failed = [&]() {
@@ -23,15 +26,23 @@ CosimResult runHandshake(Simulation &sim,
     result.error = "vsim: " + sim.error();
     return true;
   };
+  // Resolve the handshake nets once; the cycle loop then runs without any
+  // name lookups (by-id pokes and a word-level done probe).
+  const int clkId = sim.findNetId("clk");
+  const int doneId = sim.findNetId("done");
+  if (clkId < 0) {
+    result.error = "vsim: poke: unknown net 'clk'";
+    return result;
+  }
   sim.poke("rst", BitVector(1, 1));
   sim.poke("start", BitVector(1, 0));
   for (std::size_t i = 0; i < args.size(); ++i)
     sim.poke("arg" + std::to_string(i), args[i]);
-  sim.tick();
-  sim.tick();
+  sim.tickId(clkId);
+  sim.tickId(clkId);
   sim.poke("rst", BitVector(1, 0));
   sim.poke("start", BitVector(1, 1));
-  sim.tick(); // accept edge: idle latches args and enters the entry state
+  sim.tickId(clkId); // accept edge: idle latches args, enters entry state
   sim.poke("start", BitVector(1, 0));
   if (failed())
     return result;
@@ -42,13 +53,15 @@ CosimResult runHandshake(Simulation &sim,
                      std::to_string(maxCycles) + " cycles without done)";
       return result;
     }
-    sim.tick();
+    sim.tickId(clkId);
     ++cycles;
+    if (sim.peekWord(doneId) & 1)
+      break;
     if (failed())
       return result;
-    if (!sim.peek("done").isZero())
-      break;
   }
+  if (failed())
+    return result;
   result.ok = true;
   result.cycles = cycles;
   result.returnValue = sim.peek("retval"); // 1-bit zero when no retval net
@@ -72,9 +85,25 @@ Cosimulation::Cosimulation(const rtl::Design &design) : design_(&design) {
     error_ = "vsim elaborate: " + elabError;
 }
 
+Cosimulation::~Cosimulation() = default;
+
 void Cosimulation::seedGlobal(const std::string &name,
                               const std::vector<BitVector> &cells) {
   seeds_[name] = cells;
+}
+
+template <class Sim> void Cosimulation::seedInto(Sim &sim) {
+  for (const auto &[name, cells] : seeds_) {
+    const ir::GlobalSlot *slot = design_->module->findGlobal(name);
+    if (!slot)
+      continue;
+    unsigned cellWidth = design_->module->mems()[slot->memId].width;
+    std::string net = memNetName(*design_->module, slot->memId);
+    for (std::uint64_t i = 0; i < cells.size() && i < slot->words; ++i)
+      sim.pokeMemory(net, slot->base + i,
+                     cells[i].resize(slot->width, false)
+                         .resize(cellWidth, false));
+  }
 }
 
 CosimResult Cosimulation::run(const std::vector<BitVector> &args,
@@ -84,37 +113,59 @@ CosimResult Cosimulation::run(const std::vector<BitVector> &args,
     result.error = error_;
     return result;
   }
-  sim_ = std::make_unique<Simulation>(model_);
-  sim_->settle(); // initial blocks load the ROM/global images
-  for (const auto &[name, cells] : seeds_) {
-    const ir::GlobalSlot *slot = design_->module->findGlobal(name);
-    if (!slot)
-      continue;
-    unsigned cellWidth = design_->module->mems()[slot->memId].width;
-    std::string net = memNetName(*design_->module, slot->memId);
-    for (std::uint64_t i = 0; i < cells.size() && i < slot->words; ++i)
-      sim_->pokeMemory(net, slot->base + i,
-                       cells[i].resize(slot->width, false)
-                           .resize(cellWidth, false));
-  }
   // Resize arguments like Simulator::run: to the declared parameter width.
   std::vector<BitVector> sized = args;
   if (const ir::Function *top = design_->module->findFunction(design_->top))
     for (std::size_t i = 0;
          i < sized.size() && i < top->params().size(); ++i)
       sized[i] = sized[i].resize(top->params()[i].width, false);
+
+  bool useCompiled = false;
+  if (options.engine == SimEngine::Compiled) {
+    if (!triedCompile_) {
+      triedCompile_ = true;
+      std::string why;
+      compiled_ = compileModel(model_, why);
+      if (!compiled_)
+        compileNote_ = why;
+    }
+    useCompiled = compiled_ != nullptr;
+  }
+  engineUsed_ = useCompiled ? SimEngine::Compiled : SimEngine::Event;
+  if (useCompiled) {
+    sim_.reset();
+    // The CompiledModel carries the post-`initial` image, so no settle is
+    // needed before seeding; later runs restore it in place.
+    if (csim_)
+      csim_->reset();
+    else
+      csim_ = std::make_unique<CompiledSimulation>(compiled_);
+    seedInto(*csim_);
+    return runHandshake(*csim_, sized, options.maxCycles);
+  }
+  csim_.reset();
+  if (eventImage_) {
+    sim_ = std::make_unique<Simulation>(model_, *eventImage_);
+  } else {
+    sim_ = std::make_unique<Simulation>(model_);
+    sim_->settle(); // initial blocks load the ROM/global images
+    if (sim_->ok() && hasPlainInit(*model_))
+      eventImage_ = std::make_unique<InitImage>(sim_->snapshot());
+  }
+  seedInto(*sim_);
   return runHandshake(*sim_, sized, options.maxCycles);
 }
 
 std::vector<BitVector>
 Cosimulation::readGlobal(const std::string &name) const {
-  if (!sim_ || !design_)
+  if ((!sim_ && !csim_) || !design_)
     return {};
   const ir::GlobalSlot *slot = design_->module->findGlobal(name);
   if (!slot)
     return {};
+  std::string net = memNetName(*design_->module, slot->memId);
   std::vector<BitVector> cells =
-      sim_->memoryContents(memNetName(*design_->module, slot->memId));
+      csim_ ? csim_->memoryContents(net) : sim_->memoryContents(net);
   std::vector<BitVector> out;
   for (std::uint64_t i = 0; i < slot->words && slot->base + i < cells.size();
        ++i)
@@ -146,6 +197,13 @@ CosimResult cosimulateSource(const std::string &verilogText,
   if (!model) {
     result.error = "vsim elaborate: " + elabError;
     return result;
+  }
+  if (options.engine == SimEngine::Compiled) {
+    std::string why;
+    if (auto compiled = compileModel(model, why)) {
+      CompiledSimulation sim(compiled);
+      return runHandshake(sim, args, options.maxCycles);
+    }
   }
   Simulation sim(std::move(model));
   sim.settle();

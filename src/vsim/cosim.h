@@ -13,6 +13,7 @@
 #define C2H_VSIM_COSIM_H
 
 #include "rtl/fsmd.h"
+#include "vsim/engine.h"
 #include "vsim/sim.h"
 
 #include <map>
@@ -22,8 +23,15 @@
 
 namespace c2h::vsim {
 
+struct CompiledModel;
+class CompiledSimulation;
+
 struct CosimOptions {
   std::uint64_t maxCycles = 2'000'000;
+  // Which backend executes the elaborated model.  Compiled is the default
+  // and falls back to Event when the model is outside the compilable
+  // subset (engineUsed() reports the actual choice).
+  SimEngine engine = SimEngine::Compiled;
 };
 
 struct CosimResult {
@@ -38,10 +46,15 @@ struct CosimResult {
 class Cosimulation {
 public:
   explicit Cosimulation(const rtl::Design &design);
+  ~Cosimulation();
 
   bool valid() const { return error_.empty(); }
   const std::string &error() const { return error_; }
   const std::string &verilog() const { return verilog_; }
+  // Backend that actually executed the last run() (Compiled may fall back
+  // to Event; compileNote() then says why).
+  SimEngine engineUsed() const { return engineUsed_; }
+  const std::string &compileNote() const { return compileNote_; }
 
   // Seed a source-level global (through the module's GlobalSlot map)
   // before the next run — the vsim analogue of Simulator::writeGlobal.
@@ -54,11 +67,22 @@ public:
   std::vector<BitVector> readGlobal(const std::string &name) const;
 
 private:
+  template <class Sim> void seedInto(Sim &sim);
+
   const rtl::Design *design_ = nullptr;
   std::string verilog_, topModule_, error_;
   std::shared_ptr<Model> model_;
-  std::unique_ptr<Simulation> sim_; // last run's state, for readGlobal
+  std::unique_ptr<Simulation> sim_; // last event run's state, for readGlobal
+  std::unique_ptr<CompiledSimulation> csim_; // last compiled run's state
   std::map<std::string, std::vector<BitVector>> seeds_;
+  // Compile once per model (lazily, on the first Compiled-engine run).
+  std::shared_ptr<const CompiledModel> compiled_;
+  bool triedCompile_ = false;
+  std::string compileNote_;
+  SimEngine engineUsed_ = SimEngine::Event;
+  // Post-`initial` snapshot for the event engine, so repeated runs don't
+  // re-execute ROM init blocks (the crc8small outlier fix).
+  std::unique_ptr<InitImage> eventImage_;
 };
 
 // One-shot convenience wrapper.

@@ -1,0 +1,575 @@
+#include "vsim/cvm.h"
+
+#include <algorithm>
+
+namespace c2h::vsim {
+
+namespace {
+
+// Zero/sign-extend (or truncate) a word-path value from `from` bits to
+// `to` bits (to <= 64).  `from` may exceed 64 — then `v` is the low word
+// and the operation is a truncation.
+inline std::uint64_t extWord(std::uint64_t v, unsigned from, unsigned to,
+                             bool sgn) {
+  if (to <= from)
+    return v & BitVector::wordMask(to);
+  if (sgn && ((v >> (from - 1)) & 1))
+    return v | (BitVector::wordMask(to) & ~BitVector::wordMask(from));
+  return v;
+}
+
+inline bool truthy(const BitVector &v) {
+  return v.isInline() ? v.word() != 0 : !v.isZero();
+}
+
+// Verilog shift-amount rule, identical to the event engine: amounts with
+// more than 31 active bits saturate to the operand width (shift all out).
+inline unsigned shiftAmount(const BitVector &amt, unsigned width) {
+  if (amt.isInline()) {
+    std::uint64_t v = amt.word();
+    return v >= (1ull << 31) ? width : static_cast<unsigned>(v);
+  }
+  return amt.activeBits() > 31 ? width
+                               : static_cast<unsigned>(amt.toUint64());
+}
+
+} // namespace
+
+CompiledSimulation::CompiledSimulation(
+    std::shared_ptr<const CompiledModel> cm)
+    : cm_(std::move(cm)) {
+  nets_ = cm_->init.nets;
+  mems_ = cm_->init.mems;
+  regs_.reserve(cm_->tempWidth.size());
+  for (unsigned w : cm_->tempWidth)
+    regs_.emplace_back(w);
+  // The image stores committed register state; wire slots are lazily
+  // evaluated in the event engine and may be stale in the snapshot, so
+  // every wire must be recomputed by the first sweep.
+  dirty_.assign(cm_->wires.size(), 1);
+  minDirty_ = 0;
+}
+
+void CompiledSimulation::reset() {
+  error_.clear();
+  nba_.clear();
+  // Element-wise copies reuse existing storage (no reallocation); VM
+  // registers are def-before-use scratch, so stale values never leak.
+  for (std::size_t i = 0; i < nets_.size(); ++i)
+    nets_[i] = cm_->init.nets[i];
+  for (std::size_t i = 0; i < mems_.size(); ++i)
+    for (std::size_t j = 0; j < mems_[i].size(); ++j)
+      mems_[i][j] = cm_->init.mems[i][j];
+  std::fill(dirty_.begin(), dirty_.end(), static_cast<std::uint8_t>(1));
+  minDirty_ = 0;
+}
+
+void CompiledSimulation::markNetFanout(int netId) {
+  for (std::uint32_t r : cm_->netFanout[static_cast<std::size_t>(netId)]) {
+    dirty_[r] = 1;
+    if (r < minDirty_)
+      minDirty_ = r;
+  }
+}
+
+void CompiledSimulation::markMemFanout(int memId) {
+  for (std::uint32_t r : cm_->memFanout[static_cast<std::size_t>(memId)]) {
+    dirty_[r] = 1;
+    if (r < minDirty_)
+      minDirty_ = r;
+  }
+}
+
+void CompiledSimulation::flushComb() {
+  const auto &wires = cm_->wires;
+  const std::uint32_t n = static_cast<std::uint32_t>(wires.size());
+  // Forward sweep in levelized order: by the time rank r runs, every
+  // lower-ranked support is clean, so one pass suffices.  A wire that
+  // changes marks only higher ranks dirty.
+  while (minDirty_ < n) {
+    std::uint32_t r = minDirty_++;
+    if (dirty_[r]) {
+      dirty_[r] = 0;
+      execProgram(wires[r].prog);
+    }
+  }
+}
+
+void CompiledSimulation::commitNba() {
+  for (const NbWrite &w : nba_) {
+    if (w.isMem) {
+      auto &cells = mems_[static_cast<std::size_t>(w.id)];
+      if (w.addr < cells.size() && !cells[w.addr].eq(w.value)) {
+        cells[w.addr] = w.value;
+        markMemFanout(w.id);
+      }
+    } else {
+      BitVector &slot = nets_[static_cast<std::size_t>(w.id)];
+      if (!slot.eq(w.value)) {
+        slot = w.value;
+        markNetFanout(w.id);
+      }
+    }
+  }
+  nba_.clear();
+}
+
+void CompiledSimulation::runDomain(int domain) {
+  const ClockDomain &dom = cm_->domains[static_cast<std::size_t>(domain)];
+  for (const Program &p : dom.bodies)
+    execProgram(p);
+  commitNba();
+  flushComb();
+}
+
+void CompiledSimulation::execProgram(const Program &p) {
+  const Insn *ins = p.insns.data();
+  const std::size_t n = p.insns.size();
+  BitVector *regs = regs_.data();
+  std::size_t pc = 0;
+  while (pc < n) {
+    const Insn &I = ins[pc];
+    switch (I.op) {
+    case Op::ConstW:
+      regs[I.dst].setWord(I.imm);
+      break;
+    case Op::ConstV:
+      regs[I.dst] = cm_->constPool[I.aux];
+      break;
+    case Op::LoadWire:
+      flushComb(); // O(1) when clean
+      [[fallthrough]];
+    case Op::LoadNet: {
+      const BitVector &s = nets_[I.aux];
+      if (!I.wide)
+        regs[I.dst].setWord(extWord(s.word(), I.b, I.width, I.sign));
+      else
+        regs[I.dst] = s.resize(I.width, I.sign);
+      break;
+    }
+    case Op::LoadMem: {
+      const auto &cells = mems_[I.aux];
+      std::uint64_t addr = regs[I.a].word(); // low 64 bits, like toUint64
+      if (!I.wide) {
+        std::uint64_t v = addr < cells.size() ? cells[addr].word() : 0;
+        regs[I.dst].setWord(extWord(v, I.b, I.width, false));
+      } else {
+        regs[I.dst] = (addr < cells.size() ? cells[addr] : BitVector(I.b))
+                          .resize(I.width, false);
+      }
+      break;
+    }
+    case Op::BitSel: {
+      const BitVector &base = regs[I.a];
+      std::uint64_t idx = regs[I.b].word();
+      bool bit;
+      if (!I.wide) {
+        bit = idx < base.width() && ((base.word() >> idx) & 1);
+        regs[I.dst].setWord(bit ? 1 : 0);
+      } else {
+        bit = idx < base.width() && base.bit(static_cast<unsigned>(idx));
+        regs[I.dst] = BitVector(I.width, bit ? 1 : 0);
+      }
+      break;
+    }
+    case Op::Ext:
+      if (!I.wide)
+        regs[I.dst].setWord(extWord(regs[I.a].word(), I.b, I.width, I.sign));
+      else
+        regs[I.dst] = regs[I.a].resize(I.width, I.sign);
+      break;
+    case Op::Neg:
+      if (!I.wide)
+        regs[I.dst].setWord(0 - regs[I.a].word());
+      else
+        regs[I.dst] = regs[I.a].neg();
+      break;
+    case Op::BitNot:
+      if (!I.wide)
+        regs[I.dst].setWord(~regs[I.a].word());
+      else
+        regs[I.dst] = regs[I.a].bitNot();
+      break;
+    case Op::LogNot: {
+      bool z = !truthy(regs[I.a]);
+      if (!I.wide)
+        regs[I.dst].setWord(z ? 1 : 0);
+      else
+        regs[I.dst] = BitVector(I.width, z ? 1 : 0);
+      break;
+    }
+    case Op::Add:
+      if (!I.wide)
+        regs[I.dst].setWord(regs[I.a].word() + regs[I.b].word());
+      else
+        regs[I.dst] = regs[I.a].add(regs[I.b]);
+      break;
+    case Op::Sub:
+      if (!I.wide)
+        regs[I.dst].setWord(regs[I.a].word() - regs[I.b].word());
+      else
+        regs[I.dst] = regs[I.a].sub(regs[I.b]);
+      break;
+    case Op::Mul:
+      if (!I.wide)
+        regs[I.dst].setWord(regs[I.a].word() * regs[I.b].word());
+      else
+        regs[I.dst] = regs[I.a].mul(regs[I.b]);
+      break;
+    case Op::Div: {
+      if (!I.wide) {
+        std::uint64_t x = regs[I.a].word(), y = regs[I.b].word();
+        std::uint64_t mask = BitVector::wordMask(I.width);
+        std::uint64_t q;
+        if (!I.sign) {
+          q = y == 0 ? mask : x / y; // divide-by-zero yields all-ones
+        } else {
+          std::uint64_t sbit = 1ull << (I.width - 1);
+          bool negX = x & sbit, negY = y & sbit;
+          std::uint64_t mx = negX ? (0 - x) & mask : x;
+          std::uint64_t my = negY ? (0 - y) & mask : y;
+          q = my == 0 ? mask : mx / my;
+          if (negX != negY)
+            q = 0 - q;
+        }
+        regs[I.dst].setWord(q);
+      } else {
+        regs[I.dst] = I.sign ? regs[I.a].sdiv(regs[I.b])
+                             : regs[I.a].udiv(regs[I.b]);
+      }
+      break;
+    }
+    case Op::Mod: {
+      if (!I.wide) {
+        std::uint64_t x = regs[I.a].word(), y = regs[I.b].word();
+        std::uint64_t mask = BitVector::wordMask(I.width);
+        std::uint64_t r;
+        if (!I.sign) {
+          r = y == 0 ? x : x % y; // x % 0 yields x
+        } else {
+          std::uint64_t sbit = 1ull << (I.width - 1);
+          bool negX = x & sbit, negY = y & sbit;
+          std::uint64_t mx = negX ? (0 - x) & mask : x;
+          std::uint64_t my = negY ? (0 - y) & mask : y;
+          r = my == 0 ? mx : mx % my;
+          if (negX)
+            r = 0 - r; // remainder follows the dividend, like C
+        }
+        regs[I.dst].setWord(r);
+      } else {
+        regs[I.dst] = I.sign ? regs[I.a].srem(regs[I.b])
+                             : regs[I.a].urem(regs[I.b]);
+      }
+      break;
+    }
+    case Op::And:
+      if (!I.wide)
+        regs[I.dst].setWord(regs[I.a].word() & regs[I.b].word());
+      else
+        regs[I.dst] = regs[I.a].bitAnd(regs[I.b]);
+      break;
+    case Op::Or:
+      if (!I.wide)
+        regs[I.dst].setWord(regs[I.a].word() | regs[I.b].word());
+      else
+        regs[I.dst] = regs[I.a].bitOr(regs[I.b]);
+      break;
+    case Op::Xor:
+      if (!I.wide)
+        regs[I.dst].setWord(regs[I.a].word() ^ regs[I.b].word());
+      else
+        regs[I.dst] = regs[I.a].bitXor(regs[I.b]);
+      break;
+    case Op::Shl: {
+      unsigned amt = shiftAmount(regs[I.b], I.width);
+      if (!I.wide)
+        regs[I.dst].setWord(amt >= I.width ? 0 : regs[I.a].word() << amt);
+      else
+        regs[I.dst] = regs[I.a].shl(amt);
+      break;
+    }
+    case Op::Shr: {
+      unsigned amt = shiftAmount(regs[I.b], I.width);
+      if (!I.wide)
+        regs[I.dst].setWord(amt >= I.width ? 0 : regs[I.a].word() >> amt);
+      else
+        regs[I.dst] = regs[I.a].lshr(amt);
+      break;
+    }
+    case Op::AShr: {
+      unsigned amt = shiftAmount(regs[I.b], I.width);
+      if (!I.sign) { // unsigned >>> is a logical shift
+        if (!I.wide)
+          regs[I.dst].setWord(amt >= I.width ? 0
+                                             : regs[I.a].word() >> amt);
+        else
+          regs[I.dst] = regs[I.a].lshr(amt);
+      } else if (!I.wide) {
+        std::int64_t x = static_cast<std::int64_t>(
+            extWord(regs[I.a].word(), I.width, 64, true));
+        unsigned sh = amt > 63 ? 63 : amt;
+        regs[I.dst].setWord(static_cast<std::uint64_t>(x >> sh));
+      } else {
+        regs[I.dst] = regs[I.a].ashr(amt);
+      }
+      break;
+    }
+    case Op::CmpLt:
+    case Op::CmpLe:
+    case Op::CmpEq:
+    case Op::CmpNe: {
+      bool res;
+      if (!I.wide) {
+        const unsigned cw = regs[I.a].width();
+        std::uint64_t x = regs[I.a].word(), y = regs[I.b].word();
+        if (I.sign && (I.op == Op::CmpLt || I.op == Op::CmpLe)) {
+          std::int64_t sx =
+              static_cast<std::int64_t>(extWord(x, cw, 64, true));
+          std::int64_t sy =
+              static_cast<std::int64_t>(extWord(y, cw, 64, true));
+          res = I.op == Op::CmpLt ? sx < sy : sx <= sy;
+        } else {
+          switch (I.op) {
+          case Op::CmpLt: res = x < y; break;
+          case Op::CmpLe: res = x <= y; break;
+          case Op::CmpEq: res = x == y; break;
+          default:        res = x != y; break;
+          }
+        }
+        regs[I.dst].setWord(res ? 1 : 0);
+      } else {
+        const BitVector &a = regs[I.a], &b = regs[I.b];
+        switch (I.op) {
+        case Op::CmpLt: res = I.sign ? a.slt(b) : a.ult(b); break;
+        case Op::CmpLe: res = I.sign ? a.sle(b) : a.ule(b); break;
+        case Op::CmpEq: res = a.eq(b); break;
+        default:        res = !a.eq(b); break;
+        }
+        regs[I.dst] = BitVector(I.width, res ? 1 : 0);
+      }
+      break;
+    }
+    case Op::LAnd:
+    case Op::LOr: {
+      bool res = I.op == Op::LAnd
+                     ? (truthy(regs[I.a]) && truthy(regs[I.b]))
+                     : (truthy(regs[I.a]) || truthy(regs[I.b]));
+      if (!I.wide)
+        regs[I.dst].setWord(res ? 1 : 0);
+      else
+        regs[I.dst] = BitVector(I.width, res ? 1 : 0);
+      break;
+    }
+    case Op::Select: {
+      const BitVector &v = truthy(regs[I.a]) ? regs[I.b] : regs[I.aux];
+      if (!I.wide)
+        regs[I.dst].setWord(v.word());
+      else
+        regs[I.dst] = v;
+      break;
+    }
+    case Op::Concat2:
+      if (!I.wide)
+        regs[I.dst].setWord((regs[I.a].word() << I.aux) |
+                            regs[I.b].word());
+      else
+        regs[I.dst] = regs[I.a].concat(regs[I.b]);
+      break;
+    case Op::Extract:
+      if (!I.wide)
+        regs[I.dst].setWord((regs[I.a].word() >> I.aux) &
+                            BitVector::wordMask(I.b));
+      else
+        regs[I.dst] =
+            regs[I.a].extract(I.aux, I.b).resize(I.width, false);
+      break;
+    case Op::Jump:
+      pc = I.aux;
+      continue;
+    case Op::JumpIfZero:
+      if (!truthy(regs[I.a])) {
+        pc = I.aux;
+        continue;
+      }
+      break;
+    case Op::JumpIfTrue:
+      if (truthy(regs[I.a])) {
+        pc = I.aux;
+        continue;
+      }
+      break;
+    case Op::CaseJump: {
+      // Selector width <= 64 guaranteed by the compiler; values outside
+      // [imm, imm + table size) fall through to the default target in b.
+      std::uint64_t idx = regs[I.a].word() - I.imm;
+      const auto &table = cm_->jumpTables[I.aux];
+      pc = idx < table.size() ? table[idx] : I.b;
+      continue;
+    }
+    case Op::StoreNet: {
+      BitVector &slot = nets_[I.aux];
+      const BitVector &v = regs[I.a];
+      if (!I.wide) {
+        if (slot.word() != v.word()) {
+          slot.setWord(v.word());
+          markNetFanout(static_cast<int>(I.aux));
+        }
+      } else if (!slot.eq(v)) {
+        slot = v;
+        markNetFanout(static_cast<int>(I.aux));
+      }
+      break;
+    }
+    case Op::StoreMem: {
+      auto &cells = mems_[I.aux];
+      std::uint64_t addr = regs[I.a].word();
+      if (addr < cells.size()) { // out-of-range stores address no cell
+        BitVector &cell = cells[addr];
+        const BitVector &v = regs[I.b];
+        if (!I.wide) {
+          if (cell.word() != v.word()) {
+            cell.setWord(v.word());
+            markMemFanout(static_cast<int>(I.aux));
+          }
+        } else if (!cell.eq(v)) {
+          cell = v;
+          markMemFanout(static_cast<int>(I.aux));
+        }
+      }
+      break;
+    }
+    case Op::NbNet:
+      nba_.push_back(
+          NbWrite{false, static_cast<int>(I.aux), 0, regs[I.a]});
+      break;
+    case Op::NbMem:
+      nba_.push_back(NbWrite{true, static_cast<int>(I.aux),
+                             regs[I.a].word(), regs[I.b]});
+      break;
+    }
+    ++pc;
+  }
+}
+
+// ------------------------------------------------------------- driver --
+
+void CompiledSimulation::poke(const std::string &name,
+                              const BitVector &value) {
+  if (!error_.empty())
+    return;
+  int id = cm_->model->findNet(name);
+  if (id < 0) {
+    error_ = "poke: unknown net '" + name + "'";
+    return;
+  }
+  const Net &net = cm_->model->nets[static_cast<std::size_t>(id)];
+  if (net.driver) {
+    error_ = "poke: net '" + name + "' has a continuous driver";
+    return;
+  }
+  BitVector v = value.resize(net.width, false);
+  BitVector &slot = nets_[static_cast<std::size_t>(id)];
+  bool rose = !slot.bit(0) && v.bit(0);
+  if (!slot.eq(v)) {
+    slot = std::move(v);
+    markNetFanout(id);
+  }
+  int d = cm_->domainOfClock[static_cast<std::size_t>(id)];
+  if (rose && d >= 0)
+    runDomain(d); // the compiled analogue of the clock-edge delta
+  else
+    flushComb();
+}
+
+int CompiledSimulation::findNetId(const std::string &name) const {
+  return cm_->model->findNet(name);
+}
+
+void CompiledSimulation::pokeId(int id, const BitVector &value) {
+  if (!error_.empty() || id < 0)
+    return;
+  const Net &net = cm_->model->nets[static_cast<std::size_t>(id)];
+  BitVector &slot = nets_[static_cast<std::size_t>(id)];
+  bool rose, changed;
+  if (net.width <= 64) {
+    // Word path: no BitVector temporary on the per-cycle clock toggles.
+    std::uint64_t v = value.word() & BitVector::wordMask(net.width);
+    rose = !(slot.word() & 1) && (v & 1);
+    changed = slot.word() != v;
+    if (changed)
+      slot.setWord(v);
+  } else {
+    BitVector v = value.resize(net.width, false);
+    rose = !slot.bit(0) && v.bit(0);
+    changed = !slot.eq(v);
+    if (changed)
+      slot = std::move(v);
+  }
+  if (changed)
+    markNetFanout(id);
+  int d = cm_->domainOfClock[static_cast<std::size_t>(id)];
+  if (rose && d >= 0)
+    runDomain(d);
+  else
+    flushComb();
+}
+
+std::uint64_t CompiledSimulation::peekWord(int id) {
+  if (id < 0)
+    return 0;
+  flushComb();
+  return nets_[static_cast<std::size_t>(id)].word();
+}
+
+void CompiledSimulation::tickId(int clkId) {
+  pokeId(clkId, BitVector(1, 1));
+  pokeId(clkId, BitVector(1, 0));
+}
+
+BitVector CompiledSimulation::peek(const std::string &name) {
+  int id = cm_->model->findNet(name);
+  if (id < 0)
+    return BitVector(1);
+  flushComb();
+  return nets_[static_cast<std::size_t>(id)];
+}
+
+std::vector<BitVector>
+CompiledSimulation::memoryContents(const std::string &name) const {
+  int id = cm_->model->findMem(name);
+  if (id < 0)
+    return {};
+  return mems_[static_cast<std::size_t>(id)];
+}
+
+void CompiledSimulation::pokeMemory(const std::string &name,
+                                    std::size_t index,
+                                    const BitVector &value) {
+  if (!error_.empty())
+    return;
+  int id = cm_->model->findMem(name);
+  if (id < 0) {
+    error_ = "pokeMemory: unknown memory '" + name + "'";
+    return;
+  }
+  const Memory &mem = cm_->model->mems[static_cast<std::size_t>(id)];
+  if (index >= mem.depth) {
+    error_ = "pokeMemory: index out of range for '" + name + "'";
+    return;
+  }
+  BitVector v = value.resize(mem.width, false);
+  auto &cells = mems_[static_cast<std::size_t>(id)];
+  if (!cells[index].eq(v)) {
+    cells[index] = std::move(v);
+    markMemFanout(id);
+  }
+}
+
+void CompiledSimulation::settle() { flushComb(); }
+
+void CompiledSimulation::tick(const std::string &clk) {
+  poke(clk, BitVector(1, 1));
+  poke(clk, BitVector(1, 0));
+}
+
+} // namespace c2h::vsim

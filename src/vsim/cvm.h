@@ -1,0 +1,94 @@
+// The cycle-compiled simulation backend: a tight switch VM executing the
+// bytecode produced by vsim/compile.h.
+//
+// CompiledSimulation mirrors Simulation's poke/peek/tick/settle surface so
+// the co-simulation harness can drive either engine from the same code.
+// Execution model:
+//  * net values live in a flat array indexed by net id — registers hold
+//    committed state, wires hold their last levelized evaluation;
+//  * combinational logic settles by a single forward sweep over the
+//    levelized wire order, visiting only wires whose fan-in changed
+//    (dirty-set activation).  A quiescent design settles in O(1);
+//  * a rising edge on a clock input runs that clock domain's process
+//    bodies in order (blocking assigns commit immediately and dirty their
+//    fan-out), then commits queued non-blocking assigns in program order —
+//    the same observable semantics as the stratified event queue;
+//  * VM registers are width-fixed BitVectors.  Word-form instructions
+//    (widths <= 64) read regs[i].word() and write with setWord(), touching
+//    no heap; wide forms use full BitVector arithmetic.
+//
+// The engine is only constructed from a CompiledModel, so every run reuses
+// the compile-time levelization, bytecode, and post-`initial` image.
+#ifndef C2H_VSIM_CVM_H
+#define C2H_VSIM_CVM_H
+
+#include "vsim/compile.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c2h::vsim {
+
+class CompiledSimulation {
+public:
+  explicit CompiledSimulation(std::shared_ptr<const CompiledModel> cm);
+
+  // Restore the post-`initial` image in place (no reallocation), clearing
+  // any error and queued NBAs — equivalent to constructing a fresh
+  // instance, but cheap enough to call once per fuzz/sweep run.
+  void reset();
+
+  // Same contract as Simulation::poke/peek/...: top-instance nets by
+  // source name; unknown names set error() (peek returns zeros).  peek is
+  // non-const because observing a wire may flush dirty combinational
+  // logic.
+  void poke(const std::string &name, const BitVector &value);
+  BitVector peek(const std::string &name);
+  // By-id fast path for per-cycle harness driving (same contract as
+  // Simulation::findNetId/pokeId/peekWord/tickId).
+  int findNetId(const std::string &name) const;
+  void pokeId(int id, const BitVector &value);
+  std::uint64_t peekWord(int id); // flushes comb, reads the low 64 bits
+  void tickId(int clkId);
+  std::vector<BitVector> memoryContents(const std::string &name) const;
+  void pokeMemory(const std::string &name, std::size_t index,
+                  const BitVector &value);
+
+  // Settle combinational logic (poke settles implicitly).
+  void settle();
+  // One full clock: clk 0->1 (domain executes) -> 0.
+  void tick(const std::string &clk = "clk");
+
+  bool ok() const { return error_.empty(); }
+  const std::string &error() const { return error_; }
+
+private:
+  struct NbWrite {
+    bool isMem = false;
+    int id = -1;
+    std::uint64_t addr = 0;
+    BitVector value{1};
+  };
+
+  void execProgram(const Program &p);
+  void flushComb();
+  void commitNba();
+  void runDomain(int domain);
+  void markNetFanout(int netId);
+  void markMemFanout(int memId);
+
+  std::shared_ptr<const CompiledModel> cm_;
+  std::vector<BitVector> nets_; // committed state + levelized wire values
+  std::vector<std::vector<BitVector>> mems_;
+  std::vector<BitVector> regs_; // VM register file, widths fixed at compile
+  std::vector<NbWrite> nba_;
+  std::vector<std::uint8_t> dirty_; // per wire rank
+  std::uint32_t minDirty_ = 0;      // first possibly-dirty rank
+  std::string error_;
+};
+
+} // namespace c2h::vsim
+
+#endif // C2H_VSIM_CVM_H

@@ -1,0 +1,24 @@
+// Engine selection for vsim co-simulation.
+//
+// Two interchangeable backends execute an elaborated Model behind the same
+// poke/peek/tick/settle interface:
+//  * Event    — the reference two-phase event-driven evaluator (sim.h),
+//  * Compiled — the cycle-compiled levelized bytecode VM (compile.h/cvm.h),
+//    which must agree with Event on values, globals, and exact cycle
+//    counts for every accepted design.
+// Kept in its own header so core/engine.h can carry the choice in
+// EngineOptions without pulling in the simulator headers.
+#ifndef C2H_VSIM_ENGINE_H
+#define C2H_VSIM_ENGINE_H
+
+namespace c2h::vsim {
+
+enum class SimEngine {
+  Event,    // reference evaluator
+  Compiled, // levelized bytecode VM (falls back to Event when a model
+            // uses constructs outside the compilable subset)
+};
+
+} // namespace c2h::vsim
+
+#endif // C2H_VSIM_ENGINE_H

@@ -58,6 +58,19 @@ Simulation::Simulation(std::shared_ptr<const Model> model)
   }
 }
 
+Simulation::Simulation(std::shared_ptr<const Model> model,
+                       const InitImage &image)
+    : Simulation(std::move(model)) {
+  values_ = image.nets;
+  mems_ = image.mems;
+  for (Thread &t : threads_)
+    if (t.kind == Process::Kind::Initial) {
+      t.stack.clear();
+      t.state = ThreadState::Done;
+    }
+  ++generation_;
+}
+
 // ------------------------------------------------------------- values --
 
 BitVector Simulation::readNet(int id) const {
@@ -498,6 +511,35 @@ void Simulation::poke(const std::string &name, const BitVector &value) {
   }
   writeNet(id, value.resize(net.width, false));
   settle();
+}
+
+int Simulation::findNetId(const std::string &name) const {
+  return model_->findNet(name);
+}
+
+void Simulation::pokeId(int id, const BitVector &value) {
+  if (!error_.empty() || id < 0)
+    return;
+  const Net &net = model_->nets[static_cast<std::size_t>(id)];
+  writeNet(id, value.resize(net.width, false));
+  settle();
+}
+
+std::uint64_t Simulation::peekWord(int id) const {
+  if (id < 0)
+    return 0;
+  try {
+    return readNet(id).word();
+  } catch (const std::exception &e) {
+    if (error_.empty())
+      error_ = e.what();
+    return 0;
+  }
+}
+
+void Simulation::tickId(int clkId) {
+  pokeId(clkId, BitVector(1, 1));
+  pokeId(clkId, BitVector(1, 0));
 }
 
 BitVector Simulation::peek(const std::string &name) const {

@@ -32,15 +32,39 @@
 
 namespace c2h::vsim {
 
+// Post-`initial` state snapshot: every net value plus every memory image.
+// Capturing one after the first settle() and restoring it into later
+// Simulations skips re-executing `initial` blocks (a 256-entry ROM init
+// otherwise runs again on every construction — the crc8small outlier).
+// Only valid for models whose initial blocks run to completion without
+// suspending (hasPlainInit in vsim/compile.h).
+struct InitImage {
+  std::vector<BitVector> nets;
+  std::vector<std::vector<BitVector>> mems;
+};
+
 class Simulation {
 public:
   explicit Simulation(std::shared_ptr<const Model> model);
+  // Start from a captured image: net/memory state is restored and Initial
+  // processes are retired instead of re-run.
+  Simulation(std::shared_ptr<const Model> model, const InitImage &image);
+
+  // Capture current net/memory state (call after settle()).
+  InitImage snapshot() const { return InitImage{values_, mems_}; }
 
   // Drive / observe top-instance nets by source name.  peek on a wire
   // evaluates its continuous assign.  Unknown names (or internal errors)
   // set error() and return zeros.
   void poke(const std::string &name, const BitVector &value);
   BitVector peek(const std::string &name) const;
+  // By-id fast path for per-cycle harness driving (resolve the name once
+  // with findNetId, then poke/peek/tick without map lookups).  Negative
+  // ids are ignored (pokeId) or read as zero (peekWord).
+  int findNetId(const std::string &name) const;
+  void pokeId(int id, const BitVector &value);
+  std::uint64_t peekWord(int id) const; // low 64 bits of the net value
+  void tickId(int clkId);               // clk 0->1 (settle) -> 0 (settle)
   std::vector<BitVector> memoryContents(const std::string &name) const;
   void pokeMemory(const std::string &name, std::size_t index,
                   const BitVector &value);

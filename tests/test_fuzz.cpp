@@ -4,10 +4,11 @@
 // control flow, mixed-width arithmetic, arrays, compound assignments);
 // each program is executed by the reference interpreter, the IR executor
 // (optimized and unoptimized), the cycle-accurate RTL simulator under two
-// scheduling policies, and — through the emitted Verilog text — the vsim
-// event-driven simulator.  All executions must agree on the return value
-// and on every global, and vsim must match the FSMD simulator's exact
-// cycle count — any divergence is a compiler bug by construction.
+// scheduling policies, and — through the emitted Verilog text — *both*
+// vsim backends (the event-driven evaluator and the cycle-compiled
+// bytecode VM).  All executions must agree on the return value and on
+// every global, and both vsim engines must match the FSMD simulator's
+// exact cycle count — any divergence is a compiler bug by construction.
 #include "frontend/sema.h"
 #include "interp/interp.h"
 #include "ir/exec.h"
@@ -264,18 +265,28 @@ TEST_P(FuzzParity, FiveWayAgreement) {
       for (std::size_t i = 0; i < gm.size(); ++i)
         EXPECT_EQ(gm[i].toStringHex(), rm[i].toStringHex())
             << "mem[" << i << "] divergence";
-      // vsim against both: the interpreter's values, the FSMD's cycles.
-      auto v = cosim->run(args);
-      ASSERT_TRUE(v.ok) << v.error;
-      EXPECT_EQ(golden.returnValue.resize(32, false).toStringHex(),
-                v.returnValue.resize(32, false).toStringHex())
-          << "vsim divergence";
-      EXPECT_EQ(r.cycles, v.cycles) << "vsim cycle divergence";
-      auto vm = cosim->readGlobal("mem");
-      ASSERT_EQ(gm.size(), vm.size());
-      for (std::size_t i = 0; i < gm.size(); ++i)
-        EXPECT_EQ(gm[i].toStringHex(), vm[i].toStringHex())
-            << "vsim mem[" << i << "] divergence";
+      // vsim against both, once per engine — the four-way differential:
+      // interpreter == FSMD == vsim-event == vsim-compiled on values and
+      // exact cycle counts.
+      for (auto engine :
+           {vsim::SimEngine::Event, vsim::SimEngine::Compiled}) {
+        vsim::CosimOptions vopts;
+        vopts.engine = engine;
+        auto v = cosim->run(args, vopts);
+        ASSERT_TRUE(v.ok) << v.error;
+        if (engine == vsim::SimEngine::Compiled)
+          ASSERT_EQ(cosim->engineUsed(), vsim::SimEngine::Compiled)
+              << "compiled engine fell back: " << cosim->compileNote();
+        EXPECT_EQ(golden.returnValue.resize(32, false).toStringHex(),
+                  v.returnValue.resize(32, false).toStringHex())
+            << "vsim divergence";
+        EXPECT_EQ(r.cycles, v.cycles) << "vsim cycle divergence";
+        auto vm = cosim->readGlobal("mem");
+        ASSERT_EQ(gm.size(), vm.size());
+        for (std::size_t i = 0; i < gm.size(); ++i)
+          EXPECT_EQ(gm[i].toStringHex(), vm[i].toStringHex())
+              << "vsim mem[" << i << "] divergence";
+      }
     }
   }
 }
@@ -372,23 +383,32 @@ TEST_P(ConcurrentFuzz, InterpreterAndRtlAgree) {
     ASSERT_TRUE(r0.ok) << r0.error;
     ASSERT_TRUE(r1.ok) << r1.error;
     EXPECT_EQ(r0.returnValue.toStringHex(), r1.returnValue.toStringHex());
-    auto r2 = cosim.run(args);
-    ASSERT_TRUE(r2.ok) << r2.error;
-    EXPECT_EQ(r0.returnValue.resize(32, false).toStringHex(),
-              r2.returnValue.resize(32, false).toStringHex())
-        << "vsim divergence";
-    EXPECT_EQ(r1.cycles, r2.cycles) << "vsim cycle divergence";
-    for (const auto &g : gen.globals()) {
-      auto gi = interp.readGlobal(g);
-      auto gr = sim.readGlobal(g);
-      auto gv = cosim.readGlobal(g);
-      ASSERT_EQ(gi.size(), gr.size()) << g;
-      ASSERT_EQ(gi.size(), gv.size()) << g;
-      for (std::size_t i = 0; i < gi.size(); ++i) {
-        EXPECT_EQ(gi[i].toStringHex(), gr[i].toStringHex())
-            << g << "[" << i << "]";
-        EXPECT_EQ(gi[i].toStringHex(), gv[i].toStringHex())
-            << "vsim " << g << "[" << i << "]";
+    // Four-way: the par/channel designs run under both vsim engines too.
+    for (auto engine :
+         {vsim::SimEngine::Event, vsim::SimEngine::Compiled}) {
+      vsim::CosimOptions vopts;
+      vopts.engine = engine;
+      auto r2 = cosim.run(args, vopts);
+      ASSERT_TRUE(r2.ok) << r2.error;
+      if (engine == vsim::SimEngine::Compiled)
+        ASSERT_EQ(cosim.engineUsed(), vsim::SimEngine::Compiled)
+            << "compiled engine fell back: " << cosim.compileNote();
+      EXPECT_EQ(r0.returnValue.resize(32, false).toStringHex(),
+                r2.returnValue.resize(32, false).toStringHex())
+          << "vsim divergence";
+      EXPECT_EQ(r1.cycles, r2.cycles) << "vsim cycle divergence";
+      for (const auto &g : gen.globals()) {
+        auto gi = interp.readGlobal(g);
+        auto gr = sim.readGlobal(g);
+        auto gv = cosim.readGlobal(g);
+        ASSERT_EQ(gi.size(), gr.size()) << g;
+        ASSERT_EQ(gi.size(), gv.size()) << g;
+        for (std::size_t i = 0; i < gi.size(); ++i) {
+          EXPECT_EQ(gi[i].toStringHex(), gr[i].toStringHex())
+              << g << "[" << i << "]";
+          EXPECT_EQ(gi[i].toStringHex(), gv[i].toStringHex())
+              << "vsim " << g << "[" << i << "]";
+        }
       }
     }
   }

@@ -15,6 +15,7 @@
 #include "core/c2h.h"
 #include "core/engine.h"
 #include "testutil.h"
+#include "vsim/compile.h"
 #include "vsim/cosim.h"
 #include "vsim/parser.h"
 #include "vsim/sim.h"
@@ -438,6 +439,152 @@ TEST(VsimCosim, StolenCycleIsCaught) {
                              args, opts);
   EXPECT_FALSE(c.ok);
   EXPECT_TRUE(contains(c.error, "cycle")) << c.error;
+}
+
+// --------------------------------------------------------------------------
+// The cycle-compiled engine: agreement with the event engine, loud
+// failure on corruption, and cheap re-runs
+// --------------------------------------------------------------------------
+
+// Both engines on the same elaborated design must agree on the return
+// value and the exact cycle count — and the compiled engine must actually
+// engage (no silent fallback) for every registry design it claims.
+TEST(VsimCompiled, AgreesWithEventEngineAcrossRegistry) {
+  unsigned compiled = 0;
+  for (const auto &w : core::standardWorkloads()) {
+    auto r = flows::runFlow(*flows::findFlow("bachc"), w.source, w.top);
+    if (!r.ok || !r.design)
+      continue;
+    TypeContext types;
+    DiagnosticEngine diags;
+    auto program = frontend(w.source, types, diags);
+    auto args = core::argBits(*program, w.top, w.args);
+
+    vsim::Cosimulation cosim(*r.design);
+    ASSERT_TRUE(cosim.valid()) << w.name << ": " << cosim.error();
+    vsim::CosimOptions ev, cp;
+    ev.engine = vsim::SimEngine::Event;
+    cp.engine = vsim::SimEngine::Compiled;
+    auto re = cosim.run(args, ev);
+    ASSERT_TRUE(re.ok) << w.name << ": " << re.error;
+    EXPECT_EQ(cosim.engineUsed(), vsim::SimEngine::Event);
+    auto rc = cosim.run(args, cp);
+    ASSERT_TRUE(rc.ok) << w.name << ": " << rc.error;
+    ASSERT_EQ(cosim.engineUsed(), vsim::SimEngine::Compiled)
+        << w.name << " fell back: " << cosim.compileNote();
+    ++compiled;
+    EXPECT_EQ(re.returnValue.resize(32, false).toStringHex(),
+              rc.returnValue.resize(32, false).toStringHex())
+        << w.name << ": engine value divergence";
+    EXPECT_EQ(re.cycles, rc.cycles) << w.name
+                                    << ": engine cycle divergence";
+  }
+  EXPECT_GT(compiled, 10u); // the sweep really exercised the VM
+}
+
+// The compiled engine must fail as loudly as the event engine on a
+// corrupted datapath: a garbage retval is a value mismatch, not a crash
+// or a silent pass.
+TEST(VsimCompiled, CorruptedRetvalIsCaught) {
+  const core::Workload &w = core::findWorkload("gcd");
+  auto r = flows::runFlow(*flows::findFlow("bachc"), w.source, w.top);
+  ASSERT_TRUE(r.ok) << r.error;
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto program = frontend(w.source, types, diags);
+  auto args = core::argBits(*program, w.top, w.args);
+
+  rtl::Simulator fsmd(*r.design);
+  auto f = fsmd.run(args);
+  ASSERT_TRUE(f.ok) << f.error;
+
+  std::string text = rtl::emitVerilog(*r.design);
+  std::size_t pos = text.find("retval <= ");
+  ASSERT_NE(pos, std::string::npos);
+  std::size_t end = text.find(';', pos);
+  text.replace(pos, end - pos, "retval <= 32'hDEAD_BEEF");
+  vsim::CosimOptions opts;
+  opts.engine = vsim::SimEngine::Compiled;
+  vsim::CosimResult c = vsim::cosimulateSource(
+      text, "c2h_" + rtl::verilogIdent(r.design->top), args, opts);
+  ASSERT_TRUE(c.ok) << c.error;
+  EXPECT_NE(c.returnValue.resize(32, false).toStringHex(),
+            f.returnValue.resize(32, false).toStringHex())
+      << "corruption was not observable under the compiled engine";
+}
+
+// A stolen done assertion must hit the cycle budget under the compiled
+// engine exactly as it does under the event engine.
+TEST(VsimCompiled, StolenDoneIsCaught) {
+  const core::Workload &w = core::findWorkload("gcd");
+  auto r = flows::runFlow(*flows::findFlow("bachc"), w.source, w.top);
+  ASSERT_TRUE(r.ok) << r.error;
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto program = frontend(w.source, types, diags);
+  auto args = core::argBits(*program, w.top, w.args);
+
+  std::string text = rtl::emitVerilog(*r.design);
+  std::size_t pos = text.find("done <= 1'b1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("done <= 1'b1").size(), "done <= 1'b0");
+  vsim::CosimOptions opts;
+  opts.engine = vsim::SimEngine::Compiled;
+  opts.maxCycles = 10'000;
+  vsim::CosimResult c = vsim::cosimulateSource(
+      text, "c2h_" + rtl::verilogIdent(r.design->top), args, opts);
+  EXPECT_FALSE(c.ok);
+  EXPECT_TRUE(contains(c.error, "cycle")) << c.error;
+}
+
+// Repeated runs through one Cosimulation reuse the compiled model and
+// the post-`initial` image (the crc8small fix): every run must still
+// start from identical state and report identical results.
+TEST(VsimCompiled, RepeatedRunsAreDeterministic) {
+  const core::Workload &w = core::findWorkload("crc8small");
+  auto r = flows::runFlow(*flows::findFlow("bachc"), w.source, w.top);
+  ASSERT_TRUE(r.ok) << r.error;
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto program = frontend(w.source, types, diags);
+  auto args = core::argBits(*program, w.top, w.args);
+
+  for (auto engine : {vsim::SimEngine::Event, vsim::SimEngine::Compiled}) {
+    vsim::Cosimulation cosim(*r.design);
+    vsim::CosimOptions opts;
+    opts.engine = engine;
+    auto first = cosim.run(args, opts);
+    ASSERT_TRUE(first.ok) << first.error;
+    for (int i = 0; i < 3; ++i) {
+      auto again = cosim.run(args, opts);
+      ASSERT_TRUE(again.ok) << again.error;
+      EXPECT_EQ(first.returnValue.toStringHex(),
+                again.returnValue.toStringHex());
+      EXPECT_EQ(first.cycles, again.cycles);
+    }
+  }
+}
+
+// Models outside the compiled subset (here: a testbench-style delay
+// loop driving its own clock) must fall back to the event engine with a
+// reason, not fail.
+TEST(VsimCompiled, UncompilableModelFallsBack) {
+  std::string err;
+  vsim::ParseDiagnostic diag;
+  auto unit = vsim::parseVerilog("module m(input wire clk, input wire rst,"
+                                 " input wire start, output reg done);\n"
+                                 "  always @(posedge clk) done <= start;\n"
+                                 "  reg selfclk;\n"
+                                 "  always #5 selfclk = !selfclk;\n"
+                                 "endmodule\n",
+                                 diag);
+  ASSERT_TRUE(diag.ok()) << diag.str();
+  auto model = vsim::elaborate(unit, "m", err);
+  ASSERT_NE(model, nullptr) << err;
+  std::string why;
+  auto compiled = vsim::compileModel(model, why);
+  EXPECT_EQ(compiled, nullptr);
+  EXPECT_FALSE(why.empty());
 }
 
 TEST(VsimCosim, SeededGlobalsRoundTrip) {

@@ -16,6 +16,10 @@
 //   --cosim            re-execute the emitted Verilog under vsim and print
 //                      the three-model verdict (interpreter == FSMD ==
 //                      vsim on values; FSMD == vsim on exact cycles)
+//   --vsim-engine=<e>  vsim backend for --cosim: 'compiled' (default; the
+//                      cycle-compiled bytecode VM, falling back to the
+//                      event engine outside its subset) or 'event' (the
+//                      event-driven reference evaluator)
 //   --ir               print the optimized IR listing
 //   --no-sim           synthesize only, skip simulation/verification
 //   --analyze          run the synthesizability analyzer only (no synthesis)
@@ -81,6 +85,7 @@ struct Options {
   std::optional<std::string> testbenchOut;
   std::optional<std::string> emitVerilogDir;
   bool cosim = false;
+  vsim::SimEngine vsimEngine = vsim::SimEngine::Compiled;
   bool printIr = false;
   bool simulate = true;
   bool analyzeOnly = false;
@@ -146,6 +151,16 @@ bool parseArgs(int argc, char **argv, Options &options) {
       } else {
         std::cerr << "invalid value for --diag-format: '" << *v
                   << "' (expected text or json)\n";
+        return false;
+      }
+    } else if (auto v = valueOf("--vsim-engine=")) {
+      if (*v == "compiled") {
+        options.vsimEngine = vsim::SimEngine::Compiled;
+      } else if (*v == "event") {
+        options.vsimEngine = vsim::SimEngine::Event;
+      } else {
+        std::cerr << "invalid value for --vsim-engine: '" << *v
+                  << "' (expected event or compiled)\n";
         return false;
       }
     } else if (arg == "--cosim") {
@@ -319,7 +334,8 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
   }
 
   if (options.cosim) {
-    core::CosimVerification cv = core::cosimAgainstGoldenModel(workload, result);
+    core::CosimVerification cv =
+        core::cosimAgainstGoldenModel(workload, result, options.vsimEngine);
     if (!cv.ran) {
       std::cout << "   cosim   : not run (" << cv.detail << ")\n";
     } else if (!cv.ok) {
@@ -383,6 +399,7 @@ int runAll(const core::Workload &workload, const Options &options) {
   core::EngineOptions engineOptions;
   engineOptions.jobs = options.jobs;
   engineOptions.cosim = options.cosim;
+  engineOptions.vsimEngine = options.vsimEngine;
   core::CompareEngine engine(engineOptions);
   flows::FlowTuning tuning;
   tuning.clockNs = options.clockNs;
@@ -448,7 +465,8 @@ int run(int argc, char **argv) {
   if (!parseArgs(argc, argv, options)) {
     std::cerr << "usage: c2hc <file.uc> [--flow=<id>|all] [--top=<fn>] "
                  "[--args=a,b] [--clock=ns] [--jobs=n] [--verilog=<file>|-] "
-                 "[--emit-verilog=<dir>] [--cosim] [--ir] [--no-sim] "
+                 "[--emit-verilog=<dir>] [--cosim] "
+                 "[--vsim-engine=event|compiled] [--ir] [--no-sim] "
                  "[--analyze] [--diag-format=text|json]\n"
                  "       c2hc --workload=<name> [options]\n"
                  "       c2hc --list-workloads\n\nflows: "
