@@ -68,6 +68,10 @@ struct Verification {
   std::uint64_t cycles = 0;  // synchronous designs
   double asyncNs = 0.0;      // CASH designs
   BitVector returnValue{1};
+  // Structured cause when a resource limit or injected fault stopped one of
+  // the witnesses (interpreter step budget, simulator cycle budget, shared
+  // meter trip); kind None for ok runs and plain mismatches.
+  guard::Verdict verdict;
 };
 
 // Execute `workload` on the reference interpreter and on the synthesized
@@ -76,14 +80,16 @@ struct Verification {
 // RTL storage is extended to the declared width by the declared type's
 // signedness (a negative int<N> global must compare sign-extended).
 Verification verifyAgainstGoldenModel(const Workload &workload,
-                                      const flows::FlowResult &result);
+                                      const flows::FlowResult &result,
+                                      guard::ExecBudget *budget = nullptr);
 
 // Same, but against an already-compiled golden program for `workload` (the
 // flow-comparison engine passes the front-end cache's AST, which this
 // function only reads — safe to share across concurrent verifications).
 Verification verifyAgainstGoldenModel(const Workload &workload,
                                       const flows::FlowResult &result,
-                                      const ast::Program &goldenProgram);
+                                      const ast::Program &goldenProgram,
+                                      guard::ExecBudget *budget = nullptr);
 
 // Golden-model-only execution (reference outputs + a sanity baseline).
 Verification runGoldenModel(const Workload &workload);
@@ -98,6 +104,12 @@ struct CosimVerification {
   bool ok = false;
   std::string detail;        // first mismatch or failure reason
   std::uint64_t cycles = 0;  // vsim's cycle count (== FSMD when ok)
+  // Structured cause when a guard event (budget trip, comb loop, injected
+  // fault) stopped one of the witnesses; kind None otherwise.
+  guard::Verdict verdict;
+  // Set when the compiled vsim engine failed on a guard event and the run
+  // succeeded after one retry on the event engine (records that failure).
+  std::string degradation;
 };
 
 // The three-model differential check for one accepted design:
@@ -110,12 +122,14 @@ struct CosimVerification {
 CosimVerification
 cosimAgainstGoldenModel(const Workload &workload,
                         const flows::FlowResult &result,
-                        vsim::SimEngine engine = vsim::SimEngine::Compiled);
+                        vsim::SimEngine engine = vsim::SimEngine::Compiled,
+                        guard::ExecBudget *budget = nullptr);
 CosimVerification
 cosimAgainstGoldenModel(const Workload &workload,
                         const flows::FlowResult &result,
                         const ast::Program &goldenProgram,
-                        vsim::SimEngine engine = vsim::SimEngine::Compiled);
+                        vsim::SimEngine engine = vsim::SimEngine::Compiled,
+                        guard::ExecBudget *budget = nullptr);
 
 // One row of a cross-flow comparison.
 struct FlowComparison {
@@ -134,6 +148,14 @@ struct FlowComparison {
   bool cosimOk = false;
   std::uint64_t cosimCycles = 0;
   std::string cosimNote;
+  // Structured cause when this row failed on a resource limit or an
+  // injected fault (kind None for ok rows and plain mismatches).  A
+  // resource-limit verdict maps to the CLI's exit code 4.
+  guard::Verdict verdict;
+  // Graceful-degradation record: the compiled vsim engine hit a guard
+  // event, and the cell was re-run once on the event engine with the
+  // remaining budget (the row then reflects the retry's outcome).
+  std::string degradation;
   // Workload-level analyzer findings (shared across this workload's rows;
   // computed once per cached frontend compile).  May be null when the
   // frontend failed or the row came from a path without the engine cache.

@@ -24,6 +24,11 @@ std::uint64_t hashKey(const std::string &source, const std::string &top) {
   return fnv1a(h, top);
 }
 
+// Fires at the top of every (flow, workload) cell — the chaos suite's
+// probe that one poisoned cell leaves siblings and the shared front-end
+// cache untouched.
+guard::FaultSite siteCell("engine.cell");
+
 } // namespace
 
 std::unique_ptr<ast::Program> FrontendCache::Entry::cloneAst() const {
@@ -45,29 +50,54 @@ FrontendCache::get(const std::string &source, const std::string &top) {
   entry->source = source;
   entry->top = top;
   DiagnosticEngine diags;
-  entry->program = frontend(source, entry->types, diags);
+  // The compile is isolated like a flow cell: a guard event (injected
+  // frontend fault, deadline trip) or a throwing analysis pass becomes a
+  // failed entry — every dependent row reports it, siblings on other
+  // workloads are untouched, and the cache itself stays consistent.
+  try {
+    entry->program = frontend(source, entry->types, diags);
+  } catch (const guard::BudgetExceeded &e) {
+    entry->verdict = e.verdict;
+    entry->error = e.verdict.str();
+  } catch (const guard::InjectedFault &e) {
+    entry->verdict = e.verdict;
+    entry->error = e.verdict.str();
+  } catch (const std::exception &e) {
+    entry->error = std::string("internal error: ") + e.what();
+  }
   if (!entry->program) {
-    entry->error = diags.str();
+    if (entry->error.empty())
+      entry->error = diags.str();
   } else {
     // Analyze once per compile, not once per (flow, workload) cell.  The
     // IR-level lints need a lowered module; lower a private clone so the
     // cached AST stays pristine for the flows.
-    analysis::AnalyzeOptions opts;
-    opts.top = top;
-    std::unique_ptr<ir::Module> module;
-    DiagnosticEngine lowerDiags;
-    std::unique_ptr<ast::Program> clone = opt::cloneProgram(*entry->program);
-    opt::inlineFunctions(*clone, entry->types, lowerDiags);
-    if (!lowerDiags.hasErrors()) {
-      opt::removeUnusedFunctions(*clone, top);
-      module = ir::lowerToIR(*clone, lowerDiags);
-      if (lowerDiags.hasErrors())
-        module.reset();
+    try {
+      analysis::AnalyzeOptions opts;
+      opts.top = top;
+      std::unique_ptr<ir::Module> module;
+      DiagnosticEngine lowerDiags;
+      std::unique_ptr<ast::Program> clone = opt::cloneProgram(*entry->program);
+      opt::inlineFunctions(*clone, entry->types, lowerDiags);
+      if (!lowerDiags.hasErrors()) {
+        opt::removeUnusedFunctions(*clone, top);
+        module = ir::lowerToIR(*clone, lowerDiags);
+        if (lowerDiags.hasErrors())
+          module.reset();
+      }
+      entry->analysis = std::make_shared<const analysis::Report>(
+          analysis::analyzeProgram(*entry->program, module.get(), opts));
+    } catch (const std::exception &e) {
+      entry->program.reset();
+      entry->error = std::string("internal error: analysis: ") + e.what();
     }
-    entry->analysis = std::make_shared<const analysis::Report>(
-        analysis::analyzeProgram(*entry->program, module.get(), opts));
   }
-  bucket.push_back(entry);
+  // Guard-event failures (injected fault, budget trip) are transient: a
+  // later call may run disarmed or with a larger budget.  Return the failed
+  // entry to this caller but never cache it, so one faulted run can't
+  // poison the shared cache for clean runs that follow.
+  if (entry->verdict.ok())
+    bucket.push_back(entry);
   return entry;
 }
 
@@ -107,14 +137,23 @@ FlowComparison CompareEngine::runCell(const flows::FlowSpec &spec,
                                       const flows::FlowTuning &tuning) {
   FlowComparison row;
   row.flowId = spec.info.id;
+  // One meter per cell, shared by the pipeline, golden-model verification,
+  // and co-simulation — so a cell's budget is truly per-cell and a runaway
+  // flow can never starve a sibling.
+  guard::ExecBudget localMeter(tuning.budget);
+  flows::FlowTuning cellTuning = tuning;
+  guard::ExecBudget *meter = tuning.meter ? tuning.meter : &localMeter;
+  cellTuning.meter = meter;
   try {
+    siteCell.hit();
     if (!entry.ok()) {
       row.note = "frontend: " + entry.error;
+      row.verdict = entry.verdict;
       return row;
     }
     std::unique_ptr<ast::Program> program = entry.cloneAst();
     flows::FlowResult result =
-        runner_(spec, *program, entry.types, workload.top, tuning);
+        runner_(spec, *program, entry.types, workload.top, cellTuning);
     row.analysis = entry.analysis;
     row.accepted = result.accepted;
     if (!result.accepted) {
@@ -124,22 +163,29 @@ FlowComparison CompareEngine::runCell(const flows::FlowSpec &spec,
     }
     if (!result.ok) {
       row.note = result.error;
+      row.verdict = result.verdict;
       return row;
     }
-    Verification v = verifyAgainstGoldenModel(workload, result, *entry.program);
+    Verification v =
+        verifyAgainstGoldenModel(workload, result, *entry.program, meter);
     row.verified = v.ok;
-    if (!v.ok)
+    if (!v.ok) {
       row.note = v.detail;
+      row.verdict = v.verdict;
+    }
     row.cycles = v.cycles;
     row.asyncNs = v.asyncNs;
     if (options_.cosim && v.ok && result.design && !result.asyncInfo) {
       CosimVerification cv = cosimAgainstGoldenModel(
-          workload, result, *entry.program, options_.vsimEngine);
+          workload, result, *entry.program, options_.vsimEngine, meter);
       row.cosimRan = cv.ran;
       row.cosimOk = cv.ok;
       row.cosimCycles = cv.cycles;
-      if (cv.ran && !cv.ok)
+      row.degradation = cv.degradation;
+      if (cv.ran && !cv.ok) {
         row.cosimNote = cv.detail;
+        row.verdict = cv.verdict;
+      }
     }
     if (result.asyncInfo) {
       row.areaTotal = result.asyncInfo->area;
@@ -147,6 +193,18 @@ FlowComparison CompareEngine::runCell(const flows::FlowSpec &spec,
       row.areaTotal = result.area.total();
       row.fmaxMHz = result.timing.fmaxMHz;
     }
+    return row;
+  } catch (const guard::BudgetExceeded &e) {
+    row = FlowComparison{};
+    row.flowId = spec.info.id;
+    row.verdict = e.verdict;
+    row.note = e.verdict.str();
+    return row;
+  } catch (const guard::InjectedFault &e) {
+    row = FlowComparison{};
+    row.flowId = spec.info.id;
+    row.verdict = e.verdict;
+    row.note = e.verdict.str();
     return row;
   } catch (const std::exception &e) {
     row = FlowComparison{};

@@ -40,6 +40,10 @@ public:
   struct Entry {
     std::string source, top; // full key, checked against hash collisions
     std::string error;       // frontend diagnostics when compilation failed
+    // Structured cause when the frontend stopped on a guard event (budget
+    // trip or injected frontend.parse/frontend.sema fault); kind None for
+    // plain diagnostics.
+    guard::Verdict verdict;
     TypeContext types;       // owns every Type the cached AST points at
     std::unique_ptr<ast::Program> program; // null when !ok()
     // The synthesizability analyzer's findings, computed once per cached

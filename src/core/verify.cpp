@@ -52,7 +52,8 @@ Verification runGoldenModel(const Workload &workload) {
 }
 
 Verification verifyAgainstGoldenModel(const Workload &workload,
-                                      const flows::FlowResult &result) {
+                                      const flows::FlowResult &result,
+                                      guard::ExecBudget *budget) {
   TypeContext types;
   DiagnosticEngine diags;
   auto program = frontend(workload.source, types, diags);
@@ -61,12 +62,13 @@ Verification verifyAgainstGoldenModel(const Workload &workload,
     v.detail = "frontend: " + diags.str();
     return v;
   }
-  return verifyAgainstGoldenModel(workload, result, *program);
+  return verifyAgainstGoldenModel(workload, result, *program, budget);
 }
 
 Verification verifyAgainstGoldenModel(const Workload &workload,
                                       const flows::FlowResult &result,
-                                      const ast::Program &goldenProgram) {
+                                      const ast::Program &goldenProgram,
+                                      guard::ExecBudget *budget) {
   Verification v;
   if (!result.accepted) {
     v.detail = "flow rejected the program";
@@ -74,17 +76,23 @@ Verification verifyAgainstGoldenModel(const Workload &workload,
   }
   if (!result.ok) {
     v.detail = "flow failed: " + result.error;
+    v.verdict = result.verdict;
     return v;
   }
 
-  // Golden model.
+  // Golden model.  InterpOptions' default step budget is the real guard
+  // here: a non-terminating workload surfaces as a structured StepLimit
+  // verdict instead of hanging verification.
   const ast::Program *program = &goldenProgram;
   std::vector<BitVector> args =
       argBits(*program, workload.top, workload.args);
-  Interpreter interp(*program);
+  InterpOptions iopts;
+  iopts.budget = budget;
+  Interpreter interp(*program, iopts);
   auto golden = interp.call(workload.top, args);
   if (!golden.ok) {
     v.detail = "interpreter: " + golden.error;
+    v.verdict = golden.verdict;
     return v;
   }
   const ast::FuncDecl *fn = program->findFunction(workload.top);
@@ -118,10 +126,13 @@ Verification verifyAgainstGoldenModel(const Workload &workload,
     v.detail = "flow produced no design";
     return v;
   }
-  rtl::Simulator sim(*result.design);
+  rtl::SimOptions sopts;
+  sopts.budget = budget;
+  rtl::Simulator sim(*result.design, sopts);
   auto r = sim.run(args);
   if (!r.ok) {
     v.detail = "rtl simulation: " + r.error;
+    v.verdict = r.verdict;
     return v;
   }
   if (hasReturn &&
@@ -162,7 +173,8 @@ Verification verifyAgainstGoldenModel(const Workload &workload,
 
 CosimVerification cosimAgainstGoldenModel(const Workload &workload,
                                           const flows::FlowResult &result,
-                                          vsim::SimEngine engine) {
+                                          vsim::SimEngine engine,
+                                          guard::ExecBudget *budget) {
   TypeContext types;
   DiagnosticEngine diags;
   auto program = frontend(workload.source, types, diags);
@@ -171,13 +183,14 @@ CosimVerification cosimAgainstGoldenModel(const Workload &workload,
     c.detail = "frontend: " + diags.str();
     return c;
   }
-  return cosimAgainstGoldenModel(workload, result, *program, engine);
+  return cosimAgainstGoldenModel(workload, result, *program, engine, budget);
 }
 
 CosimVerification cosimAgainstGoldenModel(const Workload &workload,
                                           const flows::FlowResult &result,
                                           const ast::Program &goldenProgram,
-                                          vsim::SimEngine engine) {
+                                          vsim::SimEngine engine,
+                                          guard::ExecBudget *budget) {
   CosimVerification c;
   if (!result.accepted || !result.ok) {
     c.detail = "flow produced no design";
@@ -196,19 +209,25 @@ CosimVerification cosimAgainstGoldenModel(const Workload &workload,
   // Witness 1: the reference interpreter.
   std::vector<BitVector> args =
       argBits(goldenProgram, workload.top, workload.args);
-  Interpreter interp(goldenProgram);
+  InterpOptions iopts;
+  iopts.budget = budget;
+  Interpreter interp(goldenProgram, iopts);
   auto golden = interp.call(workload.top, args);
   if (!golden.ok) {
     c.detail = "interpreter: " + golden.error;
+    c.verdict = golden.verdict;
     return c;
   }
 
   // Witness 2: the FSMD simulator (return value and the cycle count the
   // experiments quote).
-  rtl::Simulator sim(*result.design);
+  rtl::SimOptions sopts;
+  sopts.budget = budget;
+  rtl::Simulator sim(*result.design, sopts);
   auto fsmd = sim.run(args);
   if (!fsmd.ok) {
     c.detail = "rtl simulation: " + fsmd.error;
+    c.verdict = fsmd.verdict;
     return c;
   }
 
@@ -216,14 +235,18 @@ CosimVerification cosimAgainstGoldenModel(const Workload &workload,
   vsim::Cosimulation cosim(*result.design);
   if (!cosim.valid()) {
     c.detail = cosim.error();
+    c.verdict = cosim.verdict();
     return c;
   }
   vsim::CosimOptions copts;
   copts.engine = engine;
+  copts.budget = budget;
   vsim::CosimResult r = cosim.run(args, copts);
   c.cycles = r.cycles;
+  c.degradation = r.degradation;
   if (!r.ok) {
     c.detail = r.error;
+    c.verdict = r.verdict;
     return c;
   }
 

@@ -26,6 +26,7 @@
 #include "rtl/fsmd.h"
 #include "rtl/report.h"
 #include "sched/schedule.h"
+#include "support/guard.h"
 
 #include <map>
 #include <memory>
@@ -77,6 +78,14 @@ struct FlowTuning {
   // CompareEngine): unset or 0 = hardware concurrency, 1 = serial.  Result
   // rows are deterministic and identical regardless of this value.
   std::optional<unsigned> jobs;
+  // Per-cell resource limits (all-zero = unlimited).  The CompareEngine
+  // instantiates one ExecBudget per (flow, workload) cell from this spec,
+  // so a runaway cell can never consume a sibling's budget.
+  guard::BudgetSpec budget;
+  // Already-instantiated meter to charge instead (non-owning; overrides
+  // `budget` when set).  The engine sets this so the pipeline, golden-model
+  // verification, and co-simulation of one cell share a single meter.
+  guard::ExecBudget *meter = nullptr;
 };
 
 struct FlowResult {
@@ -84,6 +93,9 @@ struct FlowResult {
   bool ok = false;                 // synthesis completed
   std::vector<std::string> rejections; // restriction diagnostics
   std::string error;               // non-restriction failure
+  // Structured cause when a resource limit or injected fault ended the
+  // pipeline (kind None for ok runs, rejections, and plain errors).
+  guard::Verdict verdict;
   // Structured findings from the pre-flight analyzer (provable races,
   // channel deadlocks, un-flattenable loops) that caused a rejection or
   // failure; empty when the program passed pre-flight.

@@ -14,6 +14,14 @@ namespace c2h::flows {
 
 namespace {
 
+// Stage-boundary fault sites: each fires just before its pipeline stage
+// runs, so an armed fault is observed exactly where a real stage failure
+// would surface.
+guard::FaultSite siteInline("flow.inline");
+guard::FaultSite siteUnroll("flow.unroll");
+guard::FaultSite siteLower("flow.lower");
+guard::FaultSite siteSchedule("flow.schedule");
+
 FlowSpec makeCones() {
   FlowSpec s;
   s.info = {"cones", "Cones", "AT&T Bell Labs", 1988,
@@ -261,6 +269,10 @@ FlowResult runFlowChecked(const FlowSpec &spec, ast::Program &program,
                           const FlowTuning &tuning) {
   FlowResult result;
   DiagnosticEngine diags;
+  // Per-call meter: use the caller's (the CompareEngine shares one across a
+  // cell's pipeline + verification), else instantiate from the tuning spec.
+  guard::ExecBudget localMeter(tuning.budget);
+  guard::ExecBudget *meter = tuning.meter ? tuning.meter : &localMeter;
 
   // 1. Expressiveness: intersect the program's features with the
   //    language's restrictions.
@@ -297,8 +309,15 @@ FlowResult runFlowChecked(const FlowSpec &spec, ast::Program &program,
   }
   result.accepted = true;
 
+  // Everything past acceptance runs under the meter: a budget trip or an
+  // injected fault inside any stage surfaces as a structured verdict on the
+  // result, never as an exception escaping the flow boundary.
+  try {
+
   // 2. Flatten the call graph (recursive functions survive and become
   //    FSM activations).
+  siteInline.hit();
+  meter->checkDeadline("flow.inline");
   opt::inlineFunctions(program, types, diags);
   if (diags.hasErrors()) {
     result.error = "inliner: " + diags.str();
@@ -311,8 +330,10 @@ FlowResult runFlowChecked(const FlowSpec &spec, ast::Program &program,
   }
 
   // 3. Loop unrolling: annotations always; everything when flattening.
+  siteUnroll.hit();
   opt::UnrollOptions unrollOptions;
   unrollOptions.unrollAll = spec.unrollAllLoops;
+  unrollOptions.budget = meter;
   opt::unrollLoops(program, diags, unrollOptions);
   if (diags.hasErrors()) {
     result.error = "unroller: " + diags.str();
@@ -336,6 +357,8 @@ FlowResult runFlowChecked(const FlowSpec &spec, ast::Program &program,
   }
 
   // 4. Lower and optimize.
+  siteLower.hit();
+  meter->checkDeadline("flow.lower");
   ir::LowerOptions lowerOptions;
   lowerOptions.forceUnifiedMemory = spec.forceUnifiedMemory;
   auto module = ir::lowerToIR(program, diags, lowerOptions);
@@ -376,6 +399,8 @@ FlowResult runFlowChecked(const FlowSpec &spec, ast::Program &program,
   }
 
   // 5b. Synchronous backend.
+  siteSchedule.hit();
+  meter->checkDeadline("flow.schedule");
   sched::SchedOptions options = spec.sched;
   if (spec.tunable) {
     if (tuning.clockNs)
@@ -391,6 +416,18 @@ FlowResult runFlowChecked(const FlowSpec &spec, ast::Program &program,
   result.design = std::move(design);
   result.ok = true;
   return result;
+
+  } catch (const guard::BudgetExceeded &e) {
+    result.ok = false;
+    result.verdict = e.verdict;
+    result.error = e.verdict.str();
+    return result;
+  } catch (const guard::InjectedFault &e) {
+    result.ok = false;
+    result.verdict = e.verdict;
+    result.error = e.verdict.str();
+    return result;
+  }
 }
 
 } // namespace c2h::flows

@@ -822,12 +822,24 @@ FeatureSet analyzeFeatures(const ast::Program &program) {
   return features;
 }
 
+namespace {
+guard::FaultSite siteParse("frontend.parse");
+guard::FaultSite siteSema("frontend.sema");
+} // namespace
+
 std::unique_ptr<ast::Program> frontend(const std::string &source,
                                        TypeContext &types,
-                                       DiagnosticEngine &diags) {
+                                       DiagnosticEngine &diags,
+                                       guard::ExecBudget *budget) {
+  siteParse.hit();
+  if (budget)
+    budget->checkDeadline("frontend.parse");
   auto program = parseString(source, types, diags);
   if (diags.hasErrors())
     return nullptr;
+  siteSema.hit();
+  if (budget)
+    budget->checkDeadline("frontend.sema");
   Sema sema(types, diags);
   if (!sema.run(*program))
     return nullptr;

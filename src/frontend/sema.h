@@ -16,6 +16,7 @@
 #include "frontend/ast.h"
 #include "frontend/type.h"
 #include "support/diagnostics.h"
+#include "support/guard.h"
 
 #include <map>
 #include <string>
@@ -125,10 +126,15 @@ private:
 // Compute the feature set of a checked program.
 FeatureSet analyzeFeatures(const ast::Program &program);
 
-// Lex + parse + sema in one call.  Returns nullptr on error.
+// Lex + parse + sema in one call.  Returns nullptr on error.  With a
+// budget, the wall-clock deadline is checked between phases; budget trips
+// and the frontend.parse / frontend.sema fault sites throw
+// (guard::BudgetExceeded / guard::InjectedFault) for the caller's stage
+// boundary to catch.
 std::unique_ptr<ast::Program> frontend(const std::string &source,
                                        TypeContext &types,
-                                       DiagnosticEngine &diags);
+                                       DiagnosticEngine &diags,
+                                       guard::ExecBudget *budget = nullptr);
 
 } // namespace c2h
 

@@ -117,14 +117,27 @@ struct Interpreter::Impl {
 
   void step(SourceLoc loc) {
     std::uint64_t n = ++steps;
-    if (options.maxSteps != 0 && n > options.maxSteps)
-      fail(loc, "interpreter step budget exceeded (possible infinite loop)");
+    if (options.maxSteps != 0 && n > options.maxSteps) {
+      guard::Verdict v;
+      v.kind = guard::Kind::StepLimit;
+      v.stage = "interp";
+      v.site = loc.str();
+      v.steps = n;
+      throw guard::BudgetExceeded(std::move(v));
+    }
+    // Charge the shared budget in 4k batches so the hot path stays one
+    // atomic increment; the deadline check rides the same cadence.
+    if (options.budget && (n & 4095) == 0) {
+      options.budget->chargeSteps(4096, "interp");
+      options.budget->checkDeadline("interp");
+    }
   }
 
   unsigned allocateObject(const Type *type) {
     auto storage = std::make_unique<Storage>();
     const Type *leaf = leafType(type);
     std::uint64_t count = countScalars(type);
+    guard::noteAlloc(options.budget, count * sizeof(Value), "interp");
     Value zero;
     if (leaf->isPointer())
       zero = Value::pointer(0, 0);
@@ -680,13 +693,16 @@ struct Interpreter::Impl {
     if (par.branches.empty())
       return;
     std::vector<std::optional<RuntimeError>> errors(par.branches.size());
+    // Guard events (budget trips, injected faults) raised on a branch
+    // thread; rethrown on the parent so they still unwind to call().
+    std::vector<std::optional<guard::Verdict>> guardErrors(par.branches.size());
     std::vector<std::thread> threads;
     threads.reserve(par.branches.size());
 
     // Release the GIL while the branches run.
     ctx.lock->unlock();
     for (std::size_t i = 0; i < par.branches.size(); ++i) {
-      threads.emplace_back([this, &ctx, &par, &errors, i] {
+      threads.emplace_back([this, &ctx, &par, &errors, &guardErrors, i] {
         std::unique_lock<std::mutex> lock(gil);
         Ctx branchCtx{this, ctx.frames, &lock};
         try {
@@ -696,12 +712,19 @@ struct Interpreter::Impl {
                  "control flow may not leave a par branch");
         } catch (RuntimeError &e) {
           errors[i] = std::move(e);
+        } catch (const guard::BudgetExceeded &e) {
+          guardErrors[i] = e.verdict;
+        } catch (const guard::InjectedFault &e) {
+          guardErrors[i] = e.verdict;
         }
       });
     }
     for (auto &t : threads)
       t.join();
     ctx.lock->lock();
+    for (auto &v : guardErrors)
+      if (v)
+        throw guard::BudgetExceeded(*v);
     for (auto &e : errors)
       if (e)
         throw RuntimeError(*e);
@@ -782,6 +805,16 @@ InterpResult Interpreter::call(const std::string &name,
       result.returnValue = frame.returnValue;
   } catch (const RuntimeError &e) {
     result.error = e.loc.str() + ": " + e.message;
+  } catch (const guard::BudgetExceeded &e) {
+    result.verdict = e.verdict;
+    result.error = e.verdict.kind == guard::Kind::StepLimit
+                       ? "interpreter step budget exceeded (possible "
+                         "infinite loop): " +
+                             e.verdict.str()
+                       : e.verdict.str();
+  } catch (const guard::InjectedFault &e) {
+    result.verdict = e.verdict;
+    result.error = e.verdict.str();
   }
   result.steps = impl_->steps.load();
   return result;

@@ -18,6 +18,7 @@
 #include "frontend/ast.h"
 #include "frontend/type.h"
 #include "support/bitvector.h"
+#include "support/guard.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -35,6 +36,10 @@ struct InterpOptions {
   std::uint64_t maxSteps = 50'000'000;
   // Channel operations that block longer than this are declared deadlocked.
   unsigned deadlockTimeoutMs = 5000;
+  // Shared resource meter (non-owning; may be null).  Steps, allocation,
+  // wall clock, and cancellation are charged against it; exhaustion becomes
+  // a structured InterpResult::verdict, never an escaping exception.
+  guard::ExecBudget *budget = nullptr;
 };
 
 struct InterpResult {
@@ -42,6 +47,8 @@ struct InterpResult {
   std::string error;        // set when !ok
   BitVector returnValue{1}; // valid when ok and function is non-void
   std::uint64_t steps = 0;  // evaluation steps consumed
+  // Structured cause when a resource limit or injected fault ended the run.
+  guard::Verdict verdict;
 };
 
 class Interpreter {

@@ -353,6 +353,11 @@ private:
 
   // Clone `(body; step)` once into `out`.
   void emitIteration(BlockStmt &out, const ForStmt &loop) {
+    if (options_.budget) {
+      options_.budget->chargeSteps(1, "flow.unroll");
+      if ((++emitted_ & 1023) == 0)
+        options_.budget->checkDeadline("flow.unroll");
+    }
     CloneContext clones(nextId_);
     out.stmts.push_back(clones.cloneStmt(*loop.body));
     CloneContext stepClones(nextId_);
@@ -394,6 +399,7 @@ private:
   DiagnosticEngine &diags_;
   UnrollOptions options_;
   unsigned nextId_;
+  std::uint64_t emitted_ = 0;
   bool changed_ = false;
 };
 

@@ -15,6 +15,7 @@
 
 #include "frontend/ast.h"
 #include "support/diagnostics.h"
+#include "support/guard.h"
 
 #include <optional>
 
@@ -26,6 +27,10 @@ struct UnrollOptions {
   bool unrollAll = false;
   // Refuse to unroll beyond this many copies of the body.
   unsigned maxTripCount = 65536;
+  // Shared resource meter (non-owning; may be null).  Each emitted body
+  // copy charges one step, so runaway expansion trips the budget; the
+  // caller (the flow boundary) converts the throw to a structured verdict.
+  guard::ExecBudget *budget = nullptr;
 };
 
 // Statically computed trip count of a for-loop, if it has the canonical

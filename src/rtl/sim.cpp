@@ -415,9 +415,24 @@ struct Simulator::Impl {
         return result;
       }
       if (cycle >= options.maxCycles) {
-        result.error = "cycle budget exceeded";
+        result.error = "cycle budget exceeded after " +
+                       std::to_string(cycle) + " cycles";
+        result.verdict.kind = guard::Kind::CycleLimit;
+        result.verdict.stage = "rtl.sim";
+        result.verdict.cycles = cycle;
         result.cycles = cycle;
         return result;
+      }
+      if (options.budget && (cycle & 1023) == 0) {
+        try {
+          options.budget->chargeCycles(1024, "rtl.sim");
+          options.budget->checkDeadline("rtl.sim");
+        } catch (const guard::BudgetExceeded &e) {
+          result.verdict = e.verdict;
+          result.error = e.verdict.str();
+          result.cycles = cycle;
+          return result;
+        }
       }
       std::size_t count = activations.size(); // children start next cycle
       for (std::size_t i = 0; i < count; ++i)
@@ -434,6 +449,9 @@ struct Simulator::Impl {
       if (stalled > options.stallLimit) {
         result.error = "deadlock: no process advanced for " +
                        std::to_string(options.stallLimit) + " cycles";
+        result.verdict.kind = guard::Kind::Deadlock;
+        result.verdict.stage = "rtl.sim";
+        result.verdict.cycles = cycle;
         result.cycles = cycle;
         return result;
       }

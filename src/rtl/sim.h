@@ -21,6 +21,7 @@
 
 #include "rtl/fsmd.h"
 #include "support/bitvector.h"
+#include "support/guard.h"
 
 #include <cstdint>
 #include <string>
@@ -32,6 +33,9 @@ struct SimOptions {
   std::uint64_t maxCycles = 20'000'000;
   // Declare deadlock after this many cycles without any process advancing.
   std::uint64_t stallLimit = 10'000;
+  // Shared resource meter (non-owning; may be null).  Cycles and wall clock
+  // are charged against it; exhaustion becomes SimResult::verdict.
+  guard::ExecBudget *budget = nullptr;
 };
 
 struct SimResult {
@@ -39,6 +43,9 @@ struct SimResult {
   std::string error;
   BitVector returnValue{1};
   std::uint64_t cycles = 0;
+  // Structured cause for resource-limit failures (cycle budget, deadlock,
+  // shared-budget exhaustion); kind None for ok runs and plain errors.
+  guard::Verdict verdict;
 };
 
 class Simulator {

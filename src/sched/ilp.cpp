@@ -100,8 +100,17 @@ IlpResult measureIlp(const ir::Module &module, const std::string &fnName,
       const ir::BasicBlock *next = nullptr;
       for (const auto &instrPtr : block->instrs()) {
         const ir::Instr &instr = *instrPtr;
-        if (++executed > options.maxInstructions)
-          fail("trace budget exceeded");
+        if (++executed > options.maxInstructions) {
+          guard::Verdict v;
+          v.kind = guard::Kind::StepLimit;
+          v.stage = "sched.ilp";
+          v.steps = executed;
+          throw guard::BudgetExceeded(std::move(v));
+        }
+        if (options.budget && (executed & 4095) == 0) {
+          options.budget->chargeSteps(4096, "sched.ilp");
+          options.budget->checkDeadline("sched.ilp");
+        }
         switch (instr.op) {
         case Opcode::Const:
           regs[instr.dst->id] = {instr.constValue, 0};
@@ -207,6 +216,12 @@ IlpResult measureIlp(const ir::Module &module, const std::string &fnName,
                  static_cast<double>(result.cycles);
   } catch (const TraceError &e) {
     result.error = e.message;
+  } catch (const guard::BudgetExceeded &e) {
+    result.verdict = e.verdict;
+    result.error = "trace budget exceeded: " + e.verdict.str();
+  } catch (const guard::InjectedFault &e) {
+    result.verdict = e.verdict;
+    result.error = e.verdict.str();
   }
   return result;
 }

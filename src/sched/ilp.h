@@ -17,6 +17,7 @@
 
 #include "ir/ir.h"
 #include "support/bitvector.h"
+#include "support/guard.h"
 
 #include <cstdint>
 #include <string>
@@ -28,11 +29,14 @@ struct IlpOptions {
   unsigned issueWidth = 0; // 0 = unbounded
   bool perfectBranches = false;
   std::uint64_t maxInstructions = 20'000'000;
+  // Shared resource meter (non-owning; may be null).
+  guard::ExecBudget *budget = nullptr;
 };
 
 struct IlpResult {
   bool ok = false;
   std::string error;
+  guard::Verdict verdict; // structured cause for budget-limit failures
   std::uint64_t operations = 0; // dynamic datapath operations
   std::uint64_t cycles = 0;     // dataflow makespan
   double ilp = 0.0;

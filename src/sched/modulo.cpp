@@ -363,7 +363,8 @@ OverlapResult executePipelined(const ir::Module &module,
                                const ir::Function &fn,
                                const PipelineResult &pipeline,
                                std::vector<std::vector<BitVector>> &mems,
-                               std::uint64_t maxIterations) {
+                               std::uint64_t maxIterations,
+                               guard::ExecBudget *budget) {
   OverlapResult out;
   if (!pipeline.pipelined || !pipeline.condBlock || !pipeline.latchBlock) {
     out.error = "loop was not pipelined";
@@ -477,7 +478,20 @@ OverlapResult executePipelined(const ir::Module &module,
     for (;;) {
       if (trips > maxIterations) {
         out.error = "trip count exceeds the iteration budget";
+        out.verdict.kind = guard::Kind::StepLimit;
+        out.verdict.stage = "sched.modulo";
+        out.verdict.steps = trips;
         return out;
+      }
+      if (budget && (trips & 1023) == 0) {
+        try {
+          budget->chargeSteps(1024, "sched.modulo");
+          budget->checkDeadline("sched.modulo");
+        } catch (const guard::BudgetExceeded &e) {
+          out.verdict = e.verdict;
+          out.error = e.verdict.str();
+          return out;
+        }
       }
       // Condition block (its terminator decides).
       bool taken = false;

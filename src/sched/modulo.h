@@ -13,6 +13,7 @@
 #include "ir/ir.h"
 #include "sched/schedule.h"
 #include "sched/techlib.h"
+#include "support/guard.h"
 
 #include <string>
 
@@ -68,12 +69,14 @@ struct OverlapResult {
   std::string error;
   std::uint64_t cycles = 0;     // depth + (n-1)*II, as executed
   std::uint64_t iterations = 0; // trip count actually run
+  guard::Verdict verdict; // structured cause for budget-limit failures
 };
 OverlapResult executePipelined(const ir::Module &module,
                                const ir::Function &fn,
                                const PipelineResult &pipeline,
                                std::vector<std::vector<BitVector>> &mems,
-                               std::uint64_t maxIterations = 1u << 20);
+                               std::uint64_t maxIterations = 1u << 20,
+                               guard::ExecBudget *budget = nullptr);
 
 } // namespace c2h::sched
 

@@ -1,5 +1,7 @@
 #include "vsim/compile.h"
 
+#include "support/guard.h"
+
 #include <algorithm>
 #include <map>
 #include <set>
@@ -8,6 +10,8 @@
 namespace c2h::vsim {
 
 namespace {
+
+guard::FaultSite siteCompile("vsim.compile");
 
 struct NotCompilable : std::runtime_error {
   using std::runtime_error::runtime_error;
@@ -587,6 +591,7 @@ bool hasPlainInit(const Model &model) {
 
 std::shared_ptr<const CompiledModel>
 compileModel(std::shared_ptr<const Model> model, std::string &whyNot) {
+  siteCompile.hit();
   const Model &m = *model;
 
   // --- subset checks -----------------------------------------------------

@@ -13,17 +13,25 @@ std::string memNetName(const ir::Module &module, unsigned memId) {
   return "mem_" + rtl::verilogIdent(module.mems()[memId].name);
 }
 
+guard::FaultSite siteCompiledRun("vsim.compiled.run");
+guard::FaultSite siteEventRun("vsim.event.run");
+guard::FaultSite siteEmit("cosim.emit");
+guard::FaultSite siteParse("cosim.parse");
+guard::FaultSite siteElab("cosim.elab");
+
 // Reset + start/done handshake, templated over the engine (Simulation or
 // CompiledSimulation expose the same poke/peek/tick surface).  `cycles`
 // counts post-accept ticks, matching rtl::SimResult::cycles exactly.
 template <class Sim>
 CosimResult runHandshake(Sim &sim, const std::vector<BitVector> &args,
-                         std::uint64_t maxCycles) {
+                         std::uint64_t maxCycles,
+                         guard::ExecBudget *budget) {
   CosimResult result;
   auto failed = [&]() {
     if (sim.ok())
       return false;
     result.error = "vsim: " + sim.error();
+    result.verdict = sim.verdict();
     return true;
   };
   // Resolve the handshake nets once; the cycle loop then runs without any
@@ -51,7 +59,20 @@ CosimResult runHandshake(Sim &sim, const std::vector<BitVector> &args,
     if (cycles >= maxCycles) {
       result.error = "vsim: cycle budget exceeded (" +
                      std::to_string(maxCycles) + " cycles without done)";
+      result.verdict.kind = guard::Kind::CycleLimit;
+      result.verdict.stage = "vsim.cosim";
+      result.verdict.cycles = cycles;
       return result;
+    }
+    if (budget && (cycles & 1023) == 0) {
+      try {
+        budget->chargeCycles(1024, "vsim.cosim");
+        budget->checkDeadline("vsim.cosim");
+      } catch (const guard::BudgetExceeded &e) {
+        result.verdict = e.verdict;
+        result.error = "vsim: " + e.verdict.str();
+        return result;
+      }
     }
     sim.tickId(clkId);
     ++cycles;
@@ -71,18 +92,26 @@ CosimResult runHandshake(Sim &sim, const std::vector<BitVector> &args,
 } // namespace
 
 Cosimulation::Cosimulation(const rtl::Design &design) : design_(&design) {
-  verilog_ = rtl::emitVerilog(design);
-  topModule_ = "c2h_" + rtl::verilogIdent(design.top);
-  ParseDiagnostic diag;
-  std::shared_ptr<SourceUnit> unit = parseVerilog(verilog_, diag);
-  if (!unit) {
-    error_ = "vsim parse: " + diag.str();
-    return;
+  try {
+    siteEmit.hit();
+    verilog_ = rtl::emitVerilog(design);
+    topModule_ = "c2h_" + rtl::verilogIdent(design.top);
+    siteParse.hit();
+    ParseDiagnostic diag;
+    std::shared_ptr<SourceUnit> unit = parseVerilog(verilog_, diag);
+    if (!unit) {
+      error_ = "vsim parse: " + diag.str();
+      return;
+    }
+    siteElab.hit();
+    std::string elabError;
+    model_ = elaborate(std::move(unit), topModule_, elabError);
+    if (!model_)
+      error_ = "vsim elaborate: " + elabError;
+  } catch (const guard::InjectedFault &e) {
+    verdict_ = e.verdict;
+    error_ = "vsim: " + e.verdict.str();
   }
-  std::string elabError;
-  model_ = elaborate(std::move(unit), topModule_, elabError);
-  if (!model_)
-    error_ = "vsim elaborate: " + elabError;
 }
 
 Cosimulation::~Cosimulation() = default;
@@ -125,24 +154,61 @@ CosimResult Cosimulation::run(const std::vector<BitVector> &args,
     if (!triedCompile_) {
       triedCompile_ = true;
       std::string why;
-      compiled_ = compileModel(model_, why);
+      try {
+        compiled_ = compileModel(model_, why);
+      } catch (const guard::InjectedFault &e) {
+        // An injected compile fault behaves like an out-of-subset model:
+        // silently fall back to the event engine (the degradation ladder's
+        // first rung).
+        compiled_ = nullptr;
+        why = e.verdict.str();
+      }
       if (!compiled_)
         compileNote_ = why;
     }
     useCompiled = compiled_ != nullptr;
   }
-  engineUsed_ = useCompiled ? SimEngine::Compiled : SimEngine::Event;
-  if (useCompiled) {
-    sim_.reset();
-    // The CompiledModel carries the post-`initial` image, so no settle is
-    // needed before seeding; later runs restore it in place.
-    if (csim_)
-      csim_->reset();
-    else
-      csim_ = std::make_unique<CompiledSimulation>(compiled_);
-    seedInto(*csim_);
-    return runHandshake(*csim_, sized, options.maxCycles);
+  if (!useCompiled)
+    return runEvent(sized, options);
+  result = runCompiled(sized, options);
+  if (!result.ok && !result.verdict.ok()) {
+    // Guard event (budget trip / injected fault) on the compiled engine:
+    // retry once on the event engine with whatever budget headroom remains.
+    std::string first = result.error;
+    CosimResult retry = runEvent(sized, options);
+    retry.degradation = "compiled engine: " + first +
+                        "; retried on event engine";
+    return retry;
   }
+  return result;
+}
+
+CosimResult Cosimulation::runCompiled(const std::vector<BitVector> &args,
+                                      const CosimOptions &options) {
+  engineUsed_ = SimEngine::Compiled;
+  sim_.reset();
+  // The CompiledModel carries the post-`initial` image, so no settle is
+  // needed before seeding; later runs restore it in place.
+  if (csim_)
+    csim_->reset();
+  else
+    csim_ = std::make_unique<CompiledSimulation>(compiled_);
+  csim_->setBudget(options.budget);
+  try {
+    siteCompiledRun.hit();
+  } catch (const guard::InjectedFault &e) {
+    CosimResult result;
+    result.verdict = e.verdict;
+    result.error = "vsim: " + e.verdict.str();
+    return result;
+  }
+  seedInto(*csim_);
+  return runHandshake(*csim_, args, options.maxCycles, options.budget);
+}
+
+CosimResult Cosimulation::runEvent(const std::vector<BitVector> &args,
+                                   const CosimOptions &options) {
+  engineUsed_ = SimEngine::Event;
   csim_.reset();
   if (eventImage_) {
     sim_ = std::make_unique<Simulation>(model_, *eventImage_);
@@ -152,8 +218,17 @@ CosimResult Cosimulation::run(const std::vector<BitVector> &args,
     if (sim_->ok() && hasPlainInit(*model_))
       eventImage_ = std::make_unique<InitImage>(sim_->snapshot());
   }
+  sim_->setBudget(options.budget);
+  try {
+    siteEventRun.hit();
+  } catch (const guard::InjectedFault &e) {
+    CosimResult result;
+    result.verdict = e.verdict;
+    result.error = "vsim: " + e.verdict.str();
+    return result;
+  }
   seedInto(*sim_);
-  return runHandshake(*sim_, sized, options.maxCycles);
+  return runHandshake(*sim_, args, options.maxCycles, options.budget);
 }
 
 std::vector<BitVector>
@@ -202,12 +277,14 @@ CosimResult cosimulateSource(const std::string &verilogText,
     std::string why;
     if (auto compiled = compileModel(model, why)) {
       CompiledSimulation sim(compiled);
-      return runHandshake(sim, args, options.maxCycles);
+      sim.setBudget(options.budget);
+      return runHandshake(sim, args, options.maxCycles, options.budget);
     }
   }
   Simulation sim(std::move(model));
   sim.settle();
-  return runHandshake(sim, args, options.maxCycles);
+  sim.setBudget(options.budget);
+  return runHandshake(sim, args, options.maxCycles, options.budget);
 }
 
 } // namespace c2h::vsim

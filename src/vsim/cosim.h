@@ -13,6 +13,7 @@
 #define C2H_VSIM_COSIM_H
 
 #include "rtl/fsmd.h"
+#include "support/guard.h"
 #include "vsim/engine.h"
 #include "vsim/sim.h"
 
@@ -32,6 +33,11 @@ struct CosimOptions {
   // and falls back to Event when the model is outside the compilable
   // subset (engineUsed() reports the actual choice).
   SimEngine engine = SimEngine::Compiled;
+  // Shared resource meter (non-owning; may be null).  Handshake cycles and
+  // VM instructions are charged against it; the degradation ladder hands
+  // the *same* budget to the event-engine retry, so a compiled-engine trip
+  // retries only with whatever headroom remains.
+  guard::ExecBudget *budget = nullptr;
 };
 
 struct CosimResult {
@@ -39,6 +45,12 @@ struct CosimResult {
   std::string error; // parse/elaborate/runtime failure or budget overrun
   BitVector returnValue{1};
   std::uint64_t cycles = 0;
+  // Structured cause for guard events (budget trips, comb loops, injected
+  // faults); kind None for ok runs and plain mismatches.
+  guard::Verdict verdict;
+  // Set when the compiled engine failed on a guard event and the run was
+  // retried once on the event engine (records the first failure).
+  std::string degradation;
 };
 
 // Emits and elaborates once; run() starts a fresh Simulation each time, so
@@ -50,6 +62,9 @@ public:
 
   bool valid() const { return error_.empty(); }
   const std::string &error() const { return error_; }
+  // Structured cause when construction failed on a guard event (an armed
+  // cosim.emit/parse/elab fault site); kind None otherwise.
+  const guard::Verdict &verdict() const { return verdict_; }
   const std::string &verilog() const { return verilog_; }
   // Backend that actually executed the last run() (Compiled may fall back
   // to Event; compileNote() then says why).
@@ -68,9 +83,14 @@ public:
 
 private:
   template <class Sim> void seedInto(Sim &sim);
+  CosimResult runCompiled(const std::vector<BitVector> &args,
+                          const CosimOptions &options);
+  CosimResult runEvent(const std::vector<BitVector> &args,
+                       const CosimOptions &options);
 
   const rtl::Design *design_ = nullptr;
   std::string verilog_, topModule_, error_;
+  guard::Verdict verdict_;
   std::shared_ptr<Model> model_;
   std::unique_ptr<Simulation> sim_; // last event run's state, for readGlobal
   std::unique_ptr<CompiledSimulation> csim_; // last compiled run's state

@@ -52,6 +52,8 @@ CompiledSimulation::CompiledSimulation(
 
 void CompiledSimulation::reset() {
   error_.clear();
+  verdict_ = guard::Verdict{};
+  pendingSteps_ = 0;
   nba_.clear();
   // Element-wise copies reuse existing storage (no reallocation); VM
   // registers are def-before-use scratch, so stale values never leak.
@@ -122,7 +124,29 @@ void CompiledSimulation::runDomain(int domain) {
   flushComb();
 }
 
+void CompiledSimulation::chargeBudget(std::uint64_t insns) {
+  // Cold path, entered only with a budget attached.  Steps accumulate
+  // locally and hit the shared atomic in 64k batches; a trip records the
+  // verdict instead of throwing out of the VM (the harness polls ok()
+  // every tick, so at most one tick of slack).
+  pendingSteps_ += insns;
+  if (pendingSteps_ < 65536)
+    return;
+  try {
+    budget_->chargeSteps(pendingSteps_, "vsim.compiled");
+    budget_->checkDeadline("vsim.compiled");
+  } catch (const guard::BudgetExceeded &e) {
+    if (error_.empty()) {
+      verdict_ = e.verdict;
+      error_ = e.verdict.str();
+    }
+  }
+  pendingSteps_ = 0;
+}
+
 void CompiledSimulation::execProgram(const Program &p) {
+  if (budget_ != nullptr)
+    chargeBudget(p.insns.size());
   const Insn *ins = p.insns.data();
   const std::size_t n = p.insns.size();
   BitVector *regs = regs_.data();

@@ -63,6 +63,14 @@ public:
 
   bool ok() const { return error_.empty(); }
   const std::string &error() const { return error_; }
+  // Structured cause when a shared-budget trip or injected fault stopped
+  // execution; kind None otherwise.  Same contract as Simulation::verdict.
+  const guard::Verdict &verdict() const { return verdict_; }
+  // Attach a shared resource meter (non-owning).  execProgram charges one
+  // step per executed instruction (batched, so the VM's dispatch loop pays
+  // nothing when no budget is attached); a trip sets error()/verdict()
+  // instead of throwing out of the VM.
+  void setBudget(guard::ExecBudget *budget) { budget_ = budget; }
 
 private:
   struct NbWrite {
@@ -73,6 +81,7 @@ private:
   };
 
   void execProgram(const Program &p);
+  void chargeBudget(std::uint64_t insns);
   void flushComb();
   void commitNba();
   void runDomain(int domain);
@@ -87,6 +96,9 @@ private:
   std::vector<std::uint8_t> dirty_; // per wire rank
   std::uint32_t minDirty_ = 0;      // first possibly-dirty rank
   std::string error_;
+  guard::Verdict verdict_;
+  guard::ExecBudget *budget_ = nullptr;
+  std::uint64_t pendingSteps_ = 0; // instructions not yet charged
 };
 
 } // namespace c2h::vsim

@@ -321,6 +321,13 @@ private:
         fail(s.line, s.col, "unknown event net '" + s.event + "'");
       s.eventNet = it->second;
     }
+    if (s.kind == StmtKind::ReadMem) {
+      auto it = scope.mems.find(s.mem);
+      if (it == scope.mems.end())
+        fail(s.line, s.col,
+             "$readmem: unknown memory '" + s.mem + "'");
+      s.memIdx = it->second;
+    }
     for (auto &child : s.stmts)
       annotateStmt(*child, scope);
     for (auto &item : s.caseItems) {

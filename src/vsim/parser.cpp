@@ -340,6 +340,19 @@ private:
         expectSymbol(";");
         return s;
       }
+      if (sys.text == "$readmemh" || sys.text == "$readmemb") {
+        auto s = makeStmt(StmtKind::ReadMem);
+        s->readHex = sys.text == "$readmemh";
+        expectSymbol("(");
+        if (cur().kind != TokKind::String)
+          failAt(sys, sys.text + " expects a file name string");
+        s->text = take().text;
+        expectSymbol(",");
+        s->mem = expectIdent("memory name");
+        expectSymbol(")");
+        expectSymbol(";");
+        return s;
+      }
       if (sys.text == "$display") {
         auto s = makeStmt(StmtKind::Display);
         expectSymbol("(");

@@ -3,6 +3,7 @@
 #include "vsim/parser.h"
 
 #include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
 namespace c2h::vsim {
@@ -13,13 +14,18 @@ struct VsimError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Depth/stack bookkeeping for wire evaluation; the overflow check runs in
+// readNet (before the push) so the loop's nets can be named.
 struct DepthGuard {
   unsigned &depth;
-  explicit DepthGuard(unsigned &d) : depth(d) {
-    if (++depth > 1000)
-      throw VsimError("combinational loop (wire evaluation depth exceeded)");
+  std::vector<int> &stack;
+  DepthGuard(unsigned &d, std::vector<int> &s) : depth(d), stack(s) {
+    ++depth;
   }
-  ~DepthGuard() { --depth; }
+  ~DepthGuard() {
+    --depth;
+    stack.pop_back();
+  }
 };
 
 } // namespace
@@ -73,13 +79,46 @@ Simulation::Simulation(std::shared_ptr<const Model> model,
 
 // ------------------------------------------------------------- values --
 
+void Simulation::throwCombLoop(int id) const {
+  // The evaluation stack holds every wire on the path here; the slice from
+  // the previous occurrence of `id` (if any) is the actual cycle.
+  std::size_t from = 0;
+  for (std::size_t i = evalStack_.size(); i-- > 0;)
+    if (evalStack_[i] == id) {
+      from = i;
+      break;
+    }
+  std::string nets;
+  for (std::size_t i = from; i < evalStack_.size(); ++i)
+    nets += model_->nets[static_cast<std::size_t>(evalStack_[i])].name +
+            " -> ";
+  nets += model_->nets[static_cast<std::size_t>(id)].name;
+  guard::Verdict v;
+  v.kind = guard::Kind::CombLoop;
+  v.stage = "vsim.event";
+  v.site = nets;
+  throw guard::BudgetExceeded(std::move(v));
+}
+
+void Simulation::recordGuardFailure(const guard::Verdict &v) const {
+  if (!error_.empty())
+    return;
+  verdict_ = v;
+  error_ = v.kind == guard::Kind::CombLoop
+               ? "combinational loop through nets: " + v.site
+               : v.str();
+}
+
 BitVector Simulation::readNet(int id) const {
   const Net &net = model_->nets[static_cast<std::size_t>(id)];
   if (!net.driver)
     return values_[static_cast<std::size_t>(id)];
   if (wireCacheGen_[static_cast<std::size_t>(id)] == generation_)
     return wireCache_[static_cast<std::size_t>(id)];
-  DepthGuard guard(evalDepth_);
+  if (evalDepth_ >= 1000)
+    throwCombLoop(id);
+  evalStack_.push_back(id);
+  DepthGuard guard(evalDepth_, evalStack_);
   unsigned w = std::max(net.width, net.driver->width);
   BitVector v = evalCtx(net.driver, w).resize(net.width, false);
   wireCache_[static_cast<std::size_t>(id)] = v;
@@ -267,6 +306,103 @@ void Simulation::execAssign(const Stmt *s, bool nonBlocking) {
     writeNet(lhs->netId, v);
 }
 
+// $readmemh/$readmemb: load whitespace-separated hex/binary words into a
+// memory.  Supports `//` and `/* */` comments, `@addr` (hex) address
+// records, and `_` digit separators; x/z digits load as 0 (2-state values).
+// File errors and malformed tokens surface as a structured IoError verdict
+// through the guarded-I/O path, never as an exception.
+void Simulation::execReadMem(const Stmt *s) {
+  std::string contents;
+  guard::Verdict v;
+  if (!guard::readFile(s->text, contents, v, "vsim.readmem")) {
+    recordGuardFailure(v);
+    return;
+  }
+  auto malformed = [&](const std::string &why) {
+    guard::Verdict bad;
+    bad.kind = guard::Kind::IoError;
+    bad.stage = "vsim.readmem";
+    bad.site = s->text + ": " + why;
+    recordGuardFailure(bad);
+  };
+  auto &cells = mems_[static_cast<std::size_t>(s->memIdx)];
+  unsigned width = model_->mems[static_cast<std::size_t>(s->memIdx)].width;
+  std::uint64_t addr = 0;
+  std::size_t i = 0, n = contents.size();
+  while (i < n) {
+    char c = contents[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
+      while (i < n && contents[i] != '\n')
+        ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
+      std::size_t end = contents.find("*/", i + 2);
+      if (end == std::string::npos)
+        return malformed("unterminated comment");
+      i = end + 2;
+      continue;
+    }
+    if (c == '@') {
+      std::size_t start = ++i;
+      std::uint64_t a = 0;
+      while (i < n && std::isxdigit(static_cast<unsigned char>(contents[i])))
+        a = a * 16 + static_cast<std::uint64_t>(
+                         std::stoi(std::string(1, contents[i++]), nullptr, 16));
+      if (i == start)
+        return malformed("expected hex address after '@'");
+      addr = a;
+      continue;
+    }
+    // A value token: hex or binary digits (plus x/z/_, 2-state folds to 0).
+    std::string hex;   // the token normalized to hex nibbles
+    std::string bits;  // binary accumulation for $readmemb
+    std::size_t start = i;
+    for (; i < n && !std::isspace(static_cast<unsigned char>(contents[i]));
+         ++i) {
+      char d = contents[i];
+      if (d == '_')
+        continue;
+      if (d == 'x' || d == 'X' || d == 'z' || d == 'Z')
+        d = '0';
+      if (s->readHex) {
+        if (!std::isxdigit(static_cast<unsigned char>(d)))
+          return malformed(std::string("bad hex digit '") + d + "'");
+        hex += d;
+      } else {
+        if (d != '0' && d != '1')
+          return malformed(std::string("bad binary digit '") + d + "'");
+        bits += d;
+      }
+    }
+    if (!s->readHex) {
+      // Fold binary to hex, LSB-aligned.
+      while (bits.size() % 4)
+        bits.insert(bits.begin(), '0');
+      for (std::size_t b = 0; b < bits.size(); b += 4) {
+        int nib = (bits[b] - '0') * 8 + (bits[b + 1] - '0') * 4 +
+                  (bits[b + 2] - '0') * 2 + (bits[b + 3] - '0');
+        hex += "0123456789abcdef"[nib];
+      }
+    }
+    if (hex.empty())
+      hex = "0";
+    bool ok = false;
+    BitVector value = BitVector::fromString(width, "0x" + hex, &ok);
+    if (!ok)
+      return malformed("bad value token '" +
+                       contents.substr(start, i - start) + "'");
+    if (addr < cells.size())
+      cells[addr] = std::move(value);
+    ++addr;
+  }
+  ++generation_;
+}
+
 void Simulation::runThread(Thread &t) {
   t.state = ThreadState::Ready;
   if (t.stack.empty() && t.body)
@@ -380,6 +516,15 @@ void Simulation::runThread(Thread &t) {
       output_.push_back(formatDisplay(s));
       t.stack.pop_back();
       break;
+    case StmtKind::ReadMem:
+      execReadMem(s);
+      if (!error_.empty()) {
+        t.stack.clear();
+        t.state = ThreadState::Done;
+        return;
+      }
+      t.stack.pop_back();
+      break;
     case StmtKind::Finish:
       finished_ = true;
       t.stack.clear();
@@ -442,6 +587,8 @@ void Simulation::runDelta() {
   for (std::uint64_t guard = 0;; ++guard) {
     if (guard > 1'000'000)
       throw VsimError("delta-cycle limit exceeded (oscillating design?)");
+    if (budget_ && guard != 0 && (guard & 4095) == 0)
+      budget_->checkDeadline("vsim.event");
     if (finished_)
       return;
     bool any = false;
@@ -491,6 +638,10 @@ void Simulation::settle() {
     return;
   try {
     runDelta();
+  } catch (const guard::BudgetExceeded &e) {
+    recordGuardFailure(e.verdict);
+  } catch (const guard::InjectedFault &e) {
+    recordGuardFailure(e.verdict);
   } catch (const std::exception &e) {
     error_ = e.what();
   }
@@ -530,6 +681,9 @@ std::uint64_t Simulation::peekWord(int id) const {
     return 0;
   try {
     return readNet(id).word();
+  } catch (const guard::BudgetExceeded &e) {
+    recordGuardFailure(e.verdict);
+    return 0;
   } catch (const std::exception &e) {
     if (error_.empty())
       error_ = e.what();
@@ -548,6 +702,9 @@ BitVector Simulation::peek(const std::string &name) const {
     return BitVector(1);
   try {
     return readNet(id);
+  } catch (const guard::BudgetExceeded &e) {
+    recordGuardFailure(e.verdict);
+    return BitVector(model_->nets[static_cast<std::size_t>(id)].width);
   } catch (const std::exception &e) {
     if (error_.empty())
       error_ = e.what();
@@ -598,6 +755,10 @@ void Simulation::runToFinish(std::uint64_t maxTime) {
                         " time units");
       runDelta();
     }
+  } catch (const guard::BudgetExceeded &e) {
+    recordGuardFailure(e.verdict);
+  } catch (const guard::InjectedFault &e) {
+    recordGuardFailure(e.verdict);
   } catch (const std::exception &e) {
     error_ = e.what();
   }

@@ -23,6 +23,7 @@
 #ifndef C2H_VSIM_SIM_H
 #define C2H_VSIM_SIM_H
 
+#include "support/guard.h"
 #include "vsim/elab.h"
 
 #include <cstdint>
@@ -82,6 +83,13 @@ public:
   const std::vector<std::string> &displayed() const { return output_; }
   bool ok() const { return error_.empty(); }
   const std::string &error() const { return error_; }
+  // Structured cause when the failure was a guard event: a combinational
+  // loop (the loop's nets, in evaluation order, land in verdict().site),
+  // a shared-budget trip, or an injected fault.  Kind None otherwise.
+  const guard::Verdict &verdict() const { return verdict_; }
+  // Attach a shared resource meter (non-owning); the event loop polls its
+  // deadline/cancellation and trips surface through error()/verdict().
+  void setBudget(guard::ExecBudget *budget) { budget_ = budget; }
 
 private:
   struct Frame {
@@ -115,12 +123,15 @@ private:
   void writeNet(int id, const BitVector &value);
   void writeMem(int id, std::uint64_t addr, const BitVector &value);
   void execAssign(const Stmt *s, bool nonBlocking);
+  void execReadMem(const Stmt *s);
   void runThread(Thread &t);
   bool wakeOnEvents();
   void applyNba();
   void runDelta();
   bool advanceTime();
   std::string formatDisplay(const Stmt *s) const;
+  [[noreturn]] void throwCombLoop(int id) const;
+  void recordGuardFailure(const guard::Verdict &v) const;
 
   std::shared_ptr<const Model> model_;
   std::vector<BitVector> values_;
@@ -134,12 +145,17 @@ private:
   // Mutable: peek() is const but must still surface evaluation failures
   // (combinational loops) instead of silently returning zeros.
   mutable std::string error_;
+  mutable guard::Verdict verdict_;
+  guard::ExecBudget *budget_ = nullptr;
 
   // Wire memoization: a wire's value is cached until any state changes.
   mutable std::vector<BitVector> wireCache_;
   mutable std::vector<std::uint64_t> wireCacheGen_;
   mutable std::uint64_t generation_ = 1;
   mutable unsigned evalDepth_ = 0;
+  // Wires currently being evaluated, outermost first; on depth overflow
+  // the repeated suffix names the combinational loop.
+  mutable std::vector<int> evalStack_;
 };
 
 struct TestbenchResult {

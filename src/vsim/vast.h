@@ -93,6 +93,7 @@ enum class StmtKind {
   DelayStmt, // #delay [body]
   Display,   // $display(text, args...)
   Finish,    // $finish;
+  ReadMem,   // $readmemh("file", mem); / $readmemb("file", mem);
   Null,      // ;
 };
 
@@ -107,14 +108,17 @@ struct Stmt {
   ExprPtr lhs, rhs, cond;
   std::vector<StmtPtr> stmts;      // Block children; If then/else
   std::vector<CaseItem> caseItems; // Case
-  std::string text;                // Display format string
+  std::string text;                // Display format string / ReadMem path
   std::vector<ExprPtr> args;       // Display value args
   std::uint64_t delay = 0;         // DelayStmt
   std::string event;               // EventWait: posedge net name
+  std::string mem;                 // ReadMem: target memory name
+  bool readHex = true;             // ReadMem: $readmemh vs $readmemb
   StmtPtr body;                    // Repeat / EventWait / DelayStmt
 
   // ---- elaboration annotations ----
   int eventNet = -1; // EventWait: resolved net
+  int memIdx = -1;   // ReadMem: resolved memory
 };
 
 // --------------------------------------------------------- module items --

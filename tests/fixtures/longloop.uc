@@ -1,0 +1,15 @@
+// Resource-limit fixture: a bounded but very long counted loop (1M
+// iterations, ~4M interpreter steps).  Used by the CLI tests to prove that
+// --budget-steps trips with exit code 4 and a structured STEP_LIMIT
+// verdict instead of an open-ended run.
+int main(int n) {
+  int i;
+  int acc;
+  acc = 0;
+  i = 0;
+  while (i < 1000000) {
+    acc = acc + i;
+    i = i + 1;
+  }
+  return acc;
+}

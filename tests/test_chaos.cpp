@@ -1,0 +1,232 @@
+// Chaos suite for the resource-guarded execution layer (support/guard).
+//
+// Every registered fault site is armed in turn against a representative
+// workload run with three-model co-simulation enabled, asserting the
+// engine-level robustness contract:
+//  * the comparison finishes — an injected fault never escapes a stage
+//    boundary as an exception,
+//  * exactly the targeted cell reports the failure (structured
+//    InjectedFault verdict), or, for the graceful-degradation sites, the
+//    run self-heals and every row still passes,
+//  * sibling rows are byte-identical to a fault-free baseline,
+//  * rerunning the same armed configuration reproduces identical rows
+//    (deterministic chaos), and
+//  * a faulted run never poisons the shared front-end cache.
+//
+// Also home to the verify-budget regression (satellite of the same PR):
+// the default interpreter budget is finite, and a shared meter turns a
+// long-running golden-model run into a structured STEP_LIMIT verdict.
+#include "core/engine.h"
+#include "interp/interp.h"
+#include "support/guard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace c2h {
+namespace {
+
+// Each armed run uses a fresh engine: frontend sites only fire on a cache
+// miss, and a fresh cache also keeps runs order-independent.
+std::vector<core::FlowComparison> runGcd(bool cosim) {
+  core::EngineOptions opts;
+  opts.cosim = cosim;
+  core::CompareEngine engine(opts);
+  flows::FlowTuning serial;
+  serial.jobs = 1; // deterministic: first hit of an armed site is fixed
+  return engine.compareFlows(core::findWorkload("gcd"), serial);
+}
+
+struct ArmedGuard {
+  explicit ArmedGuard(const std::string &site) { guard::armFault(site); }
+  ~ArmedGuard() { guard::disarmFaults(); }
+};
+
+void expectRowEqual(const core::FlowComparison &a,
+                    const core::FlowComparison &b, const char *what) {
+  EXPECT_EQ(a.flowId, b.flowId) << what;
+  EXPECT_EQ(a.accepted, b.accepted) << what << " " << a.flowId;
+  EXPECT_EQ(a.verified, b.verified) << what << " " << a.flowId;
+  EXPECT_EQ(a.note, b.note) << what << " " << a.flowId;
+  EXPECT_EQ(a.cycles, b.cycles) << what << " " << a.flowId;
+  EXPECT_EQ(a.cosimRan, b.cosimRan) << what << " " << a.flowId;
+  EXPECT_EQ(a.cosimOk, b.cosimOk) << what << " " << a.flowId;
+  EXPECT_EQ(a.cosimCycles, b.cosimCycles) << what << " " << a.flowId;
+  EXPECT_EQ(a.cosimNote, b.cosimNote) << what << " " << a.flowId;
+  EXPECT_EQ(static_cast<int>(a.verdict.kind),
+            static_cast<int>(b.verdict.kind))
+      << what << " " << a.flowId;
+  EXPECT_EQ(a.degradation, b.degradation) << what << " " << a.flowId;
+}
+
+std::size_t countInjected(const std::vector<core::FlowComparison> &rows) {
+  std::size_t n = 0;
+  for (const auto &r : rows)
+    if (r.verdict.kind == guard::Kind::InjectedFault)
+      ++n;
+  return n;
+}
+
+TEST(Chaos, RegistryEnumeratesEveryStageBoundary) {
+  auto sites = guard::allFaultSites();
+  std::set<std::string> have(sites.begin(), sites.end());
+  for (const char *required :
+       {"frontend.parse", "frontend.sema", "engine.cell", "flow.inline",
+        "flow.unroll", "flow.lower", "flow.schedule", "cosim.emit",
+        "cosim.parse", "cosim.elab", "vsim.compile", "vsim.compiled.run",
+        "vsim.event.run", "guard.alloc", "guard.io.read"})
+    EXPECT_TRUE(have.count(required)) << required;
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+}
+
+TEST(Chaos, ArmingAnUnknownSiteIsAnError) {
+  EXPECT_THROW(guard::armFault("bogus.site"), std::invalid_argument);
+}
+
+TEST(Chaos, EverySiteIsolatedDeterministicAndSelfHealing) {
+  guard::disarmFaults();
+  const auto baseline = runGcd(true);
+  ASSERT_FALSE(baseline.empty());
+  for (const auto &r : baseline)
+    ASSERT_EQ(static_cast<int>(r.verdict.kind),
+              static_cast<int>(guard::Kind::None))
+        << r.flowId << ": " << r.note;
+
+  // vsim.compile: injected compile failure degrades silently to the event
+  // engine (exactly like an out-of-subset model).  vsim.compiled.run: the
+  // degradation ladder retries the cell once on the event engine and
+  // records it.  Both must leave every row passing.
+  const std::set<std::string> degradeSilent = {"vsim.compile"};
+  const std::set<std::string> degradeRetry = {"vsim.compiled.run"};
+  // The whole workload shares one frontend compile, so a frontend fault
+  // fails every row of this workload (and only this workload).
+  const std::set<std::string> frontendSites = {"frontend.parse",
+                                               "frontend.sema"};
+  // Sites a healthy gcd run never reaches: no $readmem in the emitted RTL
+  // and the compiled engine handles the model, so the event engine only
+  // runs when some *other* site already fired.
+  const std::set<std::string> mayNotFire = {"guard.io.read",
+                                            "vsim.event.run"};
+
+  for (const std::string &site : guard::allFaultSites()) {
+    SCOPED_TRACE("site=" + site);
+    std::vector<core::FlowComparison> armed, rerun;
+    {
+      ArmedGuard arm(site);
+      armed = runGcd(true);
+    }
+    {
+      ArmedGuard arm(site);
+      rerun = runGcd(true);
+    }
+    ASSERT_EQ(armed.size(), baseline.size());
+
+    // Deterministic chaos: identical rows (including verdicts) on rerun.
+    ASSERT_EQ(rerun.size(), armed.size());
+    for (std::size_t i = 0; i < armed.size(); ++i)
+      expectRowEqual(armed[i], rerun[i], "rerun");
+
+    std::size_t injected = countInjected(armed);
+    std::size_t degraded = 0;
+    for (const auto &r : armed)
+      if (!r.degradation.empty())
+        ++degraded;
+
+    if (degradeSilent.count(site) || degradeRetry.count(site)) {
+      EXPECT_EQ(injected, 0u);
+      EXPECT_EQ(degraded, degradeRetry.count(site) ? 1u : 0u);
+      for (std::size_t i = 0; i < armed.size(); ++i) {
+        EXPECT_EQ(armed[i].verified, baseline[i].verified) << armed[i].flowId;
+        EXPECT_EQ(armed[i].cosimOk, baseline[i].cosimOk) << armed[i].flowId;
+      }
+    } else if (frontendSites.count(site)) {
+      EXPECT_EQ(injected, armed.size());
+      for (const auto &r : armed) {
+        EXPECT_FALSE(r.accepted) << r.flowId;
+        EXPECT_EQ(r.verdict.site, site) << r.flowId;
+      }
+    } else {
+      // Stage sites: the first cell to reach the boundary takes the fault;
+      // every sibling row must match the fault-free baseline exactly.
+      if (mayNotFire.count(site))
+        EXPECT_LE(injected, 1u);
+      else
+        EXPECT_EQ(injected, 1u) << "site never fired";
+      for (std::size_t i = 0; i < armed.size(); ++i) {
+        if (armed[i].verdict.kind == guard::Kind::InjectedFault) {
+          EXPECT_EQ(armed[i].verdict.site, site);
+          continue;
+        }
+        expectRowEqual(armed[i], baseline[i], "sibling");
+      }
+    }
+  }
+}
+
+TEST(Chaos, FaultedRunDoesNotPoisonTheFrontendCache) {
+  // Arm a frontend fault, run, then run the SAME engine disarmed: the
+  // faulted compile must not have been cached, so the clean rerun
+  // recompiles and every row matches a never-faulted engine.
+  guard::disarmFaults();
+  core::EngineOptions opts;
+  core::CompareEngine engine(opts);
+  flows::FlowTuning serial;
+  serial.jobs = 1;
+  const auto &w = core::findWorkload("gcd");
+  {
+    ArmedGuard arm("frontend.parse");
+    auto rows = engine.compareFlows(w, serial);
+    ASSERT_FALSE(rows.empty());
+    EXPECT_EQ(countInjected(rows), rows.size());
+  }
+  auto clean = engine.compareFlows(w, serial);
+  core::CompareEngine fresh(opts);
+  auto expected = fresh.compareFlows(w, serial);
+  ASSERT_EQ(clean.size(), expected.size());
+  for (std::size_t i = 0; i < clean.size(); ++i)
+    expectRowEqual(clean[i], expected[i], "post-fault");
+}
+
+// ------------------------------------------------------ verify budgets --
+
+TEST(VerifyBudget, DefaultInterpreterBudgetIsFinite) {
+  // core/verify's golden-model runs use InterpOptions' defaults: a
+  // non-terminating workload must hit a real step budget, not hang.
+  InterpOptions defaults;
+  EXPECT_GT(defaults.maxSteps, 0u);
+}
+
+TEST(VerifyBudget, LongRunningGoldenModelTripsSharedMeter) {
+  core::Workload w;
+  w.name = "longloop";
+  w.source = "int main(int n) {\n"
+             "  int i; int acc;\n"
+             "  acc = 0; i = 0;\n"
+             "  while (i < 1000000) { acc = acc + i; i = i + 1; }\n"
+             "  return acc;\n"
+             "}\n";
+  w.top = "main";
+  w.args = {1};
+
+  const flows::FlowSpec *flow = flows::findFlow("c2verilog");
+  ASSERT_NE(flow, nullptr);
+  flows::FlowResult r = flows::runFlow(*flow, w.source, w.top);
+  ASSERT_TRUE(r.ok) << r.error;
+
+  guard::BudgetSpec spec;
+  spec.maxSteps = 10'000;
+  guard::ExecBudget meter(spec);
+  core::Verification v = core::verifyAgainstGoldenModel(w, r, &meter);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(static_cast<int>(v.verdict.kind),
+            static_cast<int>(guard::Kind::StepLimit))
+      << v.detail;
+  EXPECT_NE(v.detail.find("step budget"), std::string::npos) << v.detail;
+}
+
+} // namespace
+} // namespace c2h

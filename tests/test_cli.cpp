@@ -4,6 +4,7 @@
 //   1  rejection, synthesis or verification failure, analyzer errors
 //   2  usage error
 //   3  internal error
+//   4  resource limit (budget trip, comb loop, simulator overrun)
 //
 // Run as:  test_cli <path-to-c2hc> <fixtures-dir>
 //
@@ -138,6 +139,30 @@ int main(int argc, char **argv) {
              1, ++n, "C2H-CHAN-006");
   expectExit("unbounded_loop_under_cones",
              c2hc + " " + fx + "/unbounded.uc --flow=cones", 1, ++n);
+
+  // --- resource limits and fault injection --------------------------------
+  expectExit("list_fault_sites", c2hc + " --list-fault-sites", 0, ++n,
+             "flow.lower");
+  expectExit("negative_budget_value",
+             c2hc + " " + fx + "/good.uc --flow=bachc --args=3"
+                    " --budget-ms=-3",
+             2, ++n, "invalid value for --budget-ms");
+  expectExit("unknown_fault_site",
+             c2hc + " " + fx + "/good.uc --flow=bachc --args=3"
+                    " --inject-fault=bogus.site",
+             2, ++n, "unknown fault site");
+  expectExit("injected_fault_exit_1",
+             c2hc + " " + fx + "/good.uc --flow=bachc --args=3"
+                    " --inject-fault=flow.lower",
+             1, ++n, "INJECTED_FAULT");
+  expectExit("step_budget_exit_4",
+             c2hc + " " + fx + "/longloop.uc --flow=bachc --args=1"
+                    " --budget-steps=10000",
+             4, ++n, "STEP_LIMIT");
+  expectExit("generous_budget_still_passes",
+             c2hc + " " + fx + "/good.uc --flow=bachc --args=3"
+                    " --budget-steps=100000000 --budget-ms=60000",
+             0, ++n, "matches the reference interpreter");
 
   // --- determinism --------------------------------------------------------
   std::string analyzeCmd =

@@ -8,6 +8,7 @@
 //     another or into the cached program.
 #include "core/engine.h"
 #include "opt/astclone.h"
+#include "support/guard.h"
 #include "support/threadpool.h"
 
 #include <gtest/gtest.h>
@@ -107,6 +108,42 @@ TEST(Engine, MatrixAgreesWithPerWorkloadComparisons) {
   ASSERT_EQ(matrix.size(), 2u);
   for (std::size_t i = 0; i < suite.size(); ++i)
     expectRowsEqual(matrix[i], engine.compareFlows(suite[i]));
+}
+
+TEST(Engine, InjectedFaultUnderParallelJobsStaysIsolated) {
+  // Satellite of the chaos PR: with jobs=N and an armed stage fault,
+  // exactly one cell takes the fault (which one is scheduling-dependent,
+  // but the count is not), siblings are untouched, and the engine's shared
+  // state — including the front-end cache — stays clean for later runs.
+  guard::disarmFaults();
+  const auto &w = core::findWorkload("gcd");
+  core::CompareEngine engine;
+  flows::FlowTuning parallel;
+  parallel.jobs = 4;
+
+  guard::armFault("flow.lower");
+  auto armed = engine.compareFlows(w, parallel);
+  guard::disarmFaults();
+
+  std::size_t injected = 0;
+  for (const auto &r : armed)
+    if (r.verdict.kind == guard::Kind::InjectedFault) {
+      ++injected;
+      EXPECT_FALSE(r.verified) << r.flowId;
+      EXPECT_EQ(r.verdict.site, "flow.lower") << r.flowId;
+      EXPECT_NE(r.note.find("INJECTED_FAULT"), std::string::npos) << r.note;
+    }
+  EXPECT_EQ(injected, 1u);
+
+  // The same engine, disarmed, must now be indistinguishable from one that
+  // never saw a fault.
+  auto clean = engine.compareFlows(w, parallel);
+  core::CompareEngine fresh;
+  expectRowsEqual(clean, fresh.compareFlows(w, parallel));
+  for (const auto &r : clean)
+    EXPECT_EQ(static_cast<int>(r.verdict.kind),
+              static_cast<int>(guard::Kind::None))
+        << r.flowId << ": " << r.note;
 }
 
 TEST(FrontendCache, CompilesOncePerSourceTopPair) {

@@ -22,6 +22,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 namespace c2h {
 namespace {
 
@@ -585,6 +588,139 @@ TEST(VsimCompiled, UncompilableModelFallsBack) {
   auto compiled = vsim::compileModel(model, why);
   EXPECT_EQ(compiled, nullptr);
   EXPECT_FALSE(why.empty());
+}
+
+// --------------------------------------------------------------------------
+// $readmemh / $readmemb
+// --------------------------------------------------------------------------
+
+TEST(VsimSim, ReadMemHexLoadsWordsAddressesAndComments) {
+  const char *path = "vsim_readmem_test.hex";
+  {
+    std::ofstream out(path);
+    out << "// ROM image\n"
+        << "de ad /* block\n comment */ be ef\n"
+        << "@8\n"
+        << "1_2 xZ\n";
+  }
+  auto model = mustElaborate("module m;\n"
+                             "  reg [7:0] rom [0:15];\n"
+                             "  initial $readmemh(\"vsim_readmem_test.hex\","
+                             " rom);\n"
+                             "endmodule\n",
+                             "m");
+  ASSERT_NE(model, nullptr);
+  vsim::Simulation sim(model);
+  sim.settle();
+  ASSERT_TRUE(sim.ok()) << sim.error();
+  auto cells = sim.memoryContents("rom");
+  ASSERT_EQ(cells.size(), 16u);
+  EXPECT_EQ(cells[0].toUint64(), 0xdeu);
+  EXPECT_EQ(cells[1].toUint64(), 0xadu);
+  EXPECT_EQ(cells[2].toUint64(), 0xbeu);
+  EXPECT_EQ(cells[3].toUint64(), 0xefu);
+  EXPECT_EQ(cells[4].toUint64(), 0u); // untouched gap
+  EXPECT_EQ(cells[8].toUint64(), 0x12u); // @8 address record, _ separator
+  EXPECT_EQ(cells[9].toUint64(), 0u);    // x/z digits read as zero
+  std::remove(path);
+}
+
+TEST(VsimSim, ReadMemBinaryFoldsBitsToWords) {
+  const char *path = "vsim_readmem_test.bin";
+  {
+    std::ofstream out(path);
+    out << "1010 11111111\n@2\n1\n";
+  }
+  auto model = mustElaborate("module m;\n"
+                             "  reg [7:0] rom [0:3];\n"
+                             "  initial $readmemb(\"vsim_readmem_test.bin\","
+                             " rom);\n"
+                             "endmodule\n",
+                             "m");
+  ASSERT_NE(model, nullptr);
+  vsim::Simulation sim(model);
+  sim.settle();
+  ASSERT_TRUE(sim.ok()) << sim.error();
+  auto cells = sim.memoryContents("rom");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].toUint64(), 0xau);
+  EXPECT_EQ(cells[1].toUint64(), 0xffu);
+  EXPECT_EQ(cells[2].toUint64(), 0x1u);
+  std::remove(path);
+}
+
+TEST(VsimSim, ReadMemMissingFileIsAStructuredIoError) {
+  auto model = mustElaborate("module m;\n"
+                             "  reg [7:0] rom [0:3];\n"
+                             "  initial $readmemh(\"vsim_no_such.hex\","
+                             " rom);\n"
+                             "endmodule\n",
+                             "m");
+  ASSERT_NE(model, nullptr);
+  vsim::Simulation sim(model);
+  sim.settle();
+  EXPECT_FALSE(sim.ok());
+  EXPECT_EQ(static_cast<int>(sim.verdict().kind),
+            static_cast<int>(guard::Kind::IoError));
+  EXPECT_TRUE(contains(sim.error(), "vsim_no_such.hex")) << sim.error();
+}
+
+TEST(VsimSim, ReadMemMalformedTokenIsAStructuredIoError) {
+  const char *path = "vsim_readmem_bad.hex";
+  {
+    std::ofstream out(path);
+    out << "de adqq\n";
+  }
+  auto model = mustElaborate("module m;\n"
+                             "  reg [7:0] rom [0:3];\n"
+                             "  initial $readmemh(\"vsim_readmem_bad.hex\","
+                             " rom);\n"
+                             "endmodule\n",
+                             "m");
+  ASSERT_NE(model, nullptr);
+  vsim::Simulation sim(model);
+  sim.settle();
+  EXPECT_FALSE(sim.ok());
+  EXPECT_EQ(static_cast<int>(sim.verdict().kind),
+            static_cast<int>(guard::Kind::IoError));
+  std::remove(path);
+}
+
+TEST(VsimSim, ReadMemUnknownMemoryIsAnElabError) {
+  vsim::ParseDiagnostic diag;
+  auto unit = vsim::parseVerilog("module m;\n"
+                                 "  reg [7:0] rom [0:3];\n"
+                                 "  initial $readmemh(\"f.hex\", nope);\n"
+                                 "endmodule\n",
+                                 diag);
+  ASSERT_TRUE(diag.ok()) << diag.str();
+  std::string err;
+  auto model = vsim::elaborate(unit, "m", err);
+  EXPECT_EQ(model, nullptr);
+  EXPECT_TRUE(contains(err, "unknown memory")) << err;
+}
+
+TEST(VsimSim, ReadMemInjectedIoFaultSurfacesAsVerdict) {
+  const char *path = "vsim_readmem_inj.hex";
+  {
+    std::ofstream out(path);
+    out << "00\n";
+  }
+  auto model = mustElaborate("module m;\n"
+                             "  reg [7:0] rom [0:3];\n"
+                             "  initial $readmemh(\"vsim_readmem_inj.hex\","
+                             " rom);\n"
+                             "endmodule\n",
+                             "m");
+  ASSERT_NE(model, nullptr);
+  guard::armFault("guard.io.read");
+  vsim::Simulation sim(model);
+  sim.settle();
+  guard::disarmFaults();
+  EXPECT_FALSE(sim.ok());
+  EXPECT_EQ(static_cast<int>(sim.verdict().kind),
+            static_cast<int>(guard::Kind::InjectedFault));
+  std::remove(path);
 }
 
 TEST(VsimCosim, SeededGlobalsRoundTrip) {

@@ -25,6 +25,14 @@
 //   --analyze          run the synthesizability analyzer only (no synthesis)
 //   --diag-format=<f>  analyzer diagnostic format: text (default) or json
 //   --list-workloads   print the registry workload names and exit
+//   --budget-steps=<n>   per-cell step budget (interpreter/scheduler; 0=off)
+//   --budget-cycles=<n>  per-cell simulation cycle budget (0=off)
+//   --budget-alloc=<n>   per-cell allocation high-water mark, bytes (0=off)
+//   --budget-ms=<n>      per-cell wall-clock deadline in ms (0=off)
+//   --inject-fault=<site>[:<nth>]  arm a deterministic fault: the nth hit
+//                      (1-based, default 1) of that site fails with a
+//                      structured INJECTED_FAULT verdict
+//   --list-fault-sites print every registered fault-site name and exit
 //
 // --flow=all runs the fault-isolated comparison engine: every flow over the
 // program, in parallel, each flow's crash contained to its own row.  With
@@ -42,6 +50,9 @@
 //      error-severity finding
 //   2  usage error (bad option, unknown flow/workload, unreadable file)
 //   3  internal error (uncaught exception)
+//   4  resource limit (a --budget-* limit, the interpreter's step budget,
+//      a simulator cycle budget, a combinational loop, or a deadlock
+//      stopped the run; the verdict names the stage and consumption)
 //
 // Examples:
 //   c2hc fir.uc --flow=handelc --args=0
@@ -53,6 +64,7 @@
 //   c2hc --workload=fir --emit-verilog=out/
 #include "core/c2h.h"
 #include "core/engine.h"
+#include "support/guard.h"
 #include "support/text.h"
 
 #include <filesystem>
@@ -69,6 +81,7 @@ enum ExitCode : int {
   kExitRejected = 1,
   kExitUsage = 2,
   kExitInternal = 3,
+  kExitResource = 4,
 };
 
 struct Options {
@@ -91,6 +104,10 @@ struct Options {
   bool analyzeOnly = false;
   bool jsonDiags = false;
   bool listWorkloads = false;
+  bool listFaultSites = false;
+  guard::BudgetSpec budget;
+  std::string injectSite; // empty = no fault armed
+  std::uint64_t injectNth = 1;
 };
 
 bool parseArgs(int argc, char **argv, Options &options) {
@@ -106,6 +123,20 @@ bool parseArgs(int argc, char **argv, Options &options) {
     auto badNumber = [&](const std::string &flag, const std::string &value) {
       std::cerr << "invalid value for " << flag << ": '" << value << "'\n";
       return false;
+    };
+    // Unsigned counts: all-digits only, so "-3" is rejected instead of
+    // wrapping through std::stoull to 2^64-3.
+    auto parseCount = [&](const std::string &flag, const std::string &value,
+                          std::uint64_t &out) {
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos)
+        return badNumber(flag, value);
+      try {
+        out = std::stoull(value);
+      } catch (const std::exception &) {
+        return badNumber(flag, value);
+      }
+      return true;
     };
     if (auto v = valueOf("--flow=")) {
       options.flow = *v;
@@ -163,6 +194,36 @@ bool parseArgs(int argc, char **argv, Options &options) {
                   << "' (expected event or compiled)\n";
         return false;
       }
+    } else if (auto v = valueOf("--budget-steps=")) {
+      if (!parseCount("--budget-steps", *v, options.budget.maxSteps))
+        return false;
+    } else if (auto v = valueOf("--budget-cycles=")) {
+      if (!parseCount("--budget-cycles", *v, options.budget.maxCycles))
+        return false;
+    } else if (auto v = valueOf("--budget-alloc=")) {
+      if (!parseCount("--budget-alloc", *v, options.budget.maxAllocBytes))
+        return false;
+    } else if (auto v = valueOf("--budget-ms=")) {
+      if (!parseCount("--budget-ms", *v, options.budget.wallMs))
+        return false;
+    } else if (auto v = valueOf("--inject-fault=")) {
+      std::string spec = *v;
+      std::size_t colon = spec.rfind(':');
+      options.injectNth = 1;
+      if (colon != std::string::npos) {
+        if (!parseCount("--inject-fault", spec.substr(colon + 1),
+                        options.injectNth))
+          return false;
+        spec = spec.substr(0, colon);
+      }
+      if (spec.empty() || options.injectNth == 0) {
+        std::cerr << "invalid value for --inject-fault: '" << *v
+                  << "' (expected <site>[:<nth>], nth >= 1)\n";
+        return false;
+      }
+      options.injectSite = spec;
+    } else if (arg == "--list-fault-sites") {
+      options.listFaultSites = true;
     } else if (arg == "--cosim") {
       options.cosim = true;
     } else if (arg == "--ir") {
@@ -183,8 +244,8 @@ bool parseArgs(int argc, char **argv, Options &options) {
       return false;
     }
   }
-  return options.listWorkloads || !options.file.empty() ||
-         !options.workload.empty();
+  return options.listWorkloads || options.listFaultSites ||
+         !options.file.empty() || !options.workload.empty();
 }
 
 std::string availableFlows() {
@@ -283,6 +344,10 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
            const Options &options) {
   flows::FlowTuning tuning;
   tuning.clockNs = options.clockNs;
+  tuning.budget = options.budget;
+  // One meter for the whole invocation: pipeline, verification, cosim.
+  guard::ExecBudget meter(options.budget);
+  tuning.meter = &meter;
   flows::FlowResult result =
       flows::runFlow(spec, workload.source, workload.top, tuning);
 
@@ -303,7 +368,7 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
       std::cout << "\n";
       printReport(result.analysisFindings, options);
     }
-    return kExitRejected;
+    return result.verdict.isResourceLimit() ? kExitResource : kExitRejected;
   }
   for (const auto &v : result.violations)
     std::cout << "   TIMING CONSTRAINT VIOLATED: " << v.str() << "\n";
@@ -320,10 +385,11 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
     std::cout << result.module->str();
 
   if (options.simulate) {
-    core::Verification v = core::verifyAgainstGoldenModel(workload, result);
+    core::Verification v =
+        core::verifyAgainstGoldenModel(workload, result, &meter);
     if (!v.ok) {
       std::cout << "   VERIFY FAILED: " << v.detail << "\n";
-      return kExitRejected;
+      return v.verdict.isResourceLimit() ? kExitResource : kExitRejected;
     }
     std::cout << "   result  : " << v.returnValue.toStringSigned()
               << " (matches the reference interpreter)\n";
@@ -334,13 +400,15 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
   }
 
   if (options.cosim) {
-    core::CosimVerification cv =
-        core::cosimAgainstGoldenModel(workload, result, options.vsimEngine);
+    core::CosimVerification cv = core::cosimAgainstGoldenModel(
+        workload, result, options.vsimEngine, &meter);
+    if (!cv.degradation.empty())
+      std::cout << "   cosim   : degraded (" << cv.degradation << ")\n";
     if (!cv.ran) {
       std::cout << "   cosim   : not run (" << cv.detail << ")\n";
     } else if (!cv.ok) {
       std::cout << "   COSIM FAILED: " << cv.detail << "\n";
-      return kExitRejected;
+      return cv.verdict.isResourceLimit() ? kExitResource : kExitRejected;
     } else {
       std::cout << "   cosim   : PASS (interpreter == fsmd == vsim, "
                 << cv.cycles << " cycles)\n";
@@ -403,6 +471,7 @@ int runAll(const core::Workload &workload, const Options &options) {
   core::CompareEngine engine(engineOptions);
   flows::FlowTuning tuning;
   tuning.clockNs = options.clockNs;
+  tuning.budget = options.budget; // one fresh ExecBudget per cell
   auto rows = engine.compareFlows(workload, tuning);
 
   std::vector<std::string> headers{"flow",   "accepted", "verified", "cycles",
@@ -426,12 +495,19 @@ int runAll(const core::Workload &workload, const Options &options) {
       cells.insert(cells.begin() + 3,
                    r.cosimRan ? (r.cosimOk ? "yes" : "NO") : "-");
     table.addRow(cells);
-    // Rejections are expected under 'all'; real failures are not.
-    if ((r.accepted && !r.verified) || (r.cosimRan && !r.cosimOk) ||
-        r.note.rfind("internal error:", 0) == 0)
+    // Rejections are expected under 'all'; real failures are not.  A
+    // resource-limit verdict on any row dominates the exit code.
+    if (r.verdict.isResourceLimit())
+      exitCode = kExitResource;
+    else if (exitCode != kExitResource &&
+             ((r.accepted && !r.verified) || (r.cosimRan && !r.cosimOk) ||
+              r.note.rfind("internal error:", 0) == 0))
       exitCode = kExitRejected;
   }
   std::cout << table.str();
+  for (const auto &r : rows)
+    if (!r.degradation.empty())
+      std::cout << "degraded: " << r.flowId << ": " << r.degradation << "\n";
 
   // `--emit-verilog` under 'all': one (design, testbench) pair per
   // accepted synchronous flow.
@@ -467,18 +543,36 @@ int run(int argc, char **argv) {
                  "[--args=a,b] [--clock=ns] [--jobs=n] [--verilog=<file>|-] "
                  "[--emit-verilog=<dir>] [--cosim] "
                  "[--vsim-engine=event|compiled] [--ir] [--no-sim] "
-                 "[--analyze] [--diag-format=text|json]\n"
+                 "[--analyze] [--diag-format=text|json] "
+                 "[--budget-steps=n] [--budget-cycles=n] [--budget-alloc=n] "
+                 "[--budget-ms=n] [--inject-fault=site[:nth]]\n"
                  "       c2hc --workload=<name> [options]\n"
-                 "       c2hc --list-workloads\n\nflows: "
+                 "       c2hc --list-workloads\n"
+                 "       c2hc --list-fault-sites\n\nflows: "
               << availableFlows() << "\nworkloads: " << availableWorkloads()
               << "\n";
     return kExitUsage;
+  }
+
+  if (options.listFaultSites) {
+    for (const auto &site : guard::allFaultSites())
+      std::cout << site << "\n";
+    return kExitOk;
   }
 
   if (options.listWorkloads) {
     for (const auto &w : core::standardWorkloads())
       std::cout << w.name << "\n";
     return kExitOk;
+  }
+
+  if (!options.injectSite.empty()) {
+    try {
+      guard::armFault(options.injectSite, options.injectNth);
+    } catch (const std::invalid_argument &e) {
+      std::cerr << "--inject-fault: " << e.what() << "\n";
+      return kExitUsage;
+    }
   }
 
   core::Workload workload;
