@@ -9,13 +9,23 @@
 // throughput (DUT clock cycles per wall-clock second) for the
 // event-driven evaluator and the cycle-compiled bytecode VM.
 //
-// Exit status doubles as the CI perf gate: nonzero when any mismatch
-// appears or when the compiled engine's median speedup over the event
-// engine drops below the floor.
+// The matrix runs under --vsim-engine=compiled-strict semantics: a
+// compiled-engine fallback to the event engine is an error, not a silent
+// downgrade, so the table doubles as the proof that the compiled subset
+// covers every design the event engine accepts.  A second gate replays
+// every accepted design's *generated self-checking testbench*
+// (emitTestbench: delay threads, a #1 clock generator, wait(done)) on both
+// engines and demands identical $display output and finish times.
+//
+// Exit status doubles as the CI perf gate: nonzero when any mismatch or
+// fallback appears or when the compiled engine's median speedup over the
+// event engine drops below the floor.
 #include "core/c2h.h"
 #include "core/engine.h"
+#include "rtl/verilog.h"
 #include "support/text.h"
 #include "vsim/cosim.h"
+#include "vsim/sim.h"
 
 #include <benchmark/benchmark.h>
 
@@ -70,6 +80,10 @@ bool printE11() {
 
   core::EngineOptions opts;
   opts.cosim = true;
+  // Strict mode: a compiled->event fallback fails the row instead of
+  // silently running on the slow engine.  Zero fallbacks across the whole
+  // matrix is the headline claim this binary gates.
+  opts.vsimEngine = vsim::SimEngine::CompiledStrict;
   core::CompareEngine engine(opts);
   const auto &workloads = core::standardWorkloads();
   // Run the full matrix under a generous shared budget, exactly like CI's
@@ -85,6 +99,7 @@ bool printE11() {
                    "event Mcyc/s", "compiled Mcyc/s", "speedup",
                    "mismatches"});
   unsigned totalCosim = 0, totalMatched = 0, totalMismatch = 0;
+  unsigned totalFallback = 0;
   std::vector<double> speedups;
   for (std::size_t i = 0; i < workloads.size(); ++i) {
     const core::Workload &w = workloads[i];
@@ -92,6 +107,11 @@ bool printE11() {
     for (const auto &r : matrix[i]) {
       if (r.accepted)
         ++accepted;
+      if (!r.cosimFallback.empty()) {
+        ++totalFallback;
+        std::cout << "FALLBACK: " << w.name << "/" << r.flowId << ": "
+                  << r.cosimFallback << "\n";
+      }
       if (!r.cosimRan)
         continue;
       ++cosimmed;
@@ -136,7 +156,8 @@ bool printE11() {
   std::cout << table.str() << "\n";
   std::cout << "totals: " << totalCosim << " designs co-simulated, "
             << totalMatched << " matched on values AND exact cycle count, "
-            << totalMismatch << " mismatches\n";
+            << totalMismatch << " mismatches, " << totalFallback
+            << " compiled-engine fallbacks (strict mode)\n";
 
   double median = 0.0;
   if (!speedups.empty()) {
@@ -153,6 +174,11 @@ bool printE11() {
     std::cout << "FAIL: " << totalMismatch << " cosim mismatches\n";
     ok = false;
   }
+  if (totalFallback > 0) {
+    std::cout << "FAIL: " << totalFallback
+              << " compiled-engine fallbacks under compiled-strict\n";
+    ok = false;
+  }
   if (median < kMinMedianSpeedup) {
     std::cout << "FAIL: compiled-engine median speedup "
               << formatDouble(median, 1) << "x below the "
@@ -160,6 +186,71 @@ bool printE11() {
     ok = false;
   }
   return ok;
+}
+
+// Generated-testbench gate: every accepted synchronous design's
+// self-checking testbench (`always #1` clock generator, delay/wait
+// threads, $display/$finish) must run on the compiled engine with no
+// fallback and agree with the event engine on every $display line and the
+// exact finish time.  This is the behavioral half of the "compiled subset
+// == event subset" claim — the handshake matrix above only exercises
+// clocked processes.
+bool checkGeneratedTestbenches() {
+  std::cout << "generated-testbench gate "
+               "(compiled-strict vs event, exact output + finish time):\n";
+  unsigned ran = 0, failed = 0;
+  for (const auto &w : core::standardWorkloads()) {
+    TypeContext types;
+    DiagnosticEngine diags;
+    auto program = frontend(w.source, types, diags);
+    if (!program)
+      continue;
+    auto args = core::argBits(*program, w.top, w.args);
+    Interpreter interp(*program);
+    auto golden = interp.call(w.top, args);
+    if (!golden.ok)
+      continue;
+    for (const auto &spec : flows::allFlows()) {
+      if (spec.asyncDataflow)
+        continue;
+      auto r = flows::runFlow(spec, w.source, w.top);
+      if (!r.ok || !r.design)
+        continue;
+      std::string source = rtl::emitVerilog(*r.design) +
+                           rtl::emitTestbench(*r.design, args,
+                                              golden.returnValue);
+      std::string top =
+          "c2h_" + rtl::verilogIdent(r.design->top) + "_tb";
+      ++ran;
+      auto event = vsim::runTestbench(source, top);
+      std::string note;
+      auto compiled = vsim::runTestbench(
+          source, top, 20'000'000, vsim::SimEngine::CompiledStrict, &note);
+      auto fail = [&](const std::string &why) {
+        std::cout << "FAIL: " << w.name << "/" << spec.info.id << ": "
+                  << why << "\n";
+        ++failed;
+      };
+      if (!note.empty() || !compiled.error.empty())
+        fail("compiled: " + (note.empty() ? compiled.error : note));
+      else if (!event.error.empty())
+        fail("event: " + event.error);
+      else if (!event.finished || !compiled.finished)
+        fail("did not reach $finish");
+      else if (event.timeUnits != compiled.timeUnits)
+        fail("finish time mismatch: event " +
+             std::to_string(event.timeUnits) + " vs compiled " +
+             std::to_string(compiled.timeUnits));
+      else if (event.output != compiled.output)
+        fail("$display output mismatch");
+      else if (event.output.empty() ||
+               event.output.front().rfind("PASS", 0) != 0)
+        fail("testbench did not print PASS");
+    }
+  }
+  std::cout << "totals: " << ran << " generated testbenches, " << failed
+            << " failures, 0 fallbacks required\n\n";
+  return failed == 0;
 }
 
 // Steady-state co-simulation speed: emit+elaborate (and, for the compiled
@@ -212,6 +303,7 @@ void BM_ParseElaborate(benchmark::State &state, const char *flowId,
 
 int main(int argc, char **argv) {
   bool ok = printE11();
+  ok = checkGeneratedTestbenches() && ok;
   struct Pair {
     const char *flow, *workload;
   };

@@ -182,6 +182,8 @@ FlowComparison CompareEngine::runCell(const flows::FlowSpec &spec,
       row.cosimOk = cv.ok;
       row.cosimCycles = cv.cycles;
       row.degradation = cv.degradation;
+      row.cosimEngine = cv.engine;
+      row.cosimFallback = cv.fallback;
       if (cv.ran && !cv.ok) {
         row.cosimNote = cv.detail;
         row.verdict = cv.verdict;

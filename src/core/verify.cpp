@@ -244,6 +244,9 @@ CosimVerification cosimAgainstGoldenModel(const Workload &workload,
   vsim::CosimResult r = cosim.run(args, copts);
   c.cycles = r.cycles;
   c.degradation = r.degradation;
+  c.engine = cosim.engineUsed() == vsim::SimEngine::Event ? "event"
+                                                          : "compiled";
+  c.fallback = cosim.compileNote();
   if (!r.ok) {
     c.detail = r.error;
     c.verdict = r.verdict;

@@ -17,19 +17,22 @@ struct NotCompilable : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-// Statements a compiled (or snapshot-able initial) body may contain:
-// straight-line control flow that always runs to completion.
-bool plainStmt(const Stmt *s, bool allowNb) {
+// Statements a levelized (or snapshot-able initial) body may contain:
+// straight-line control flow that always runs to completion.  `allowIo`
+// additionally admits $readmem loads — they run to completion too, so an
+// initial block doing only assignments and loads still snapshots (the
+// reference engine executes the load once at capture time).
+bool plainStmt(const Stmt *s, bool allowNb, bool allowIo) {
   switch (s->kind) {
   case StmtKind::Block:
   case StmtKind::If:
     for (const auto &c : s->stmts)
-      if (!plainStmt(c.get(), allowNb))
+      if (!plainStmt(c.get(), allowNb, allowIo))
         return false;
     return true;
   case StmtKind::Case:
     for (const auto &item : s->caseItems)
-      if (item.body && !plainStmt(item.body.get(), allowNb))
+      if (item.body && !plainStmt(item.body.get(), allowNb, allowIo))
         return false;
     return true;
   case StmtKind::Assign:
@@ -37,6 +40,8 @@ bool plainStmt(const Stmt *s, bool allowNb) {
     return true;
   case StmtKind::NbAssign:
     return allowNb;
+  case StmtKind::ReadMem:
+    return allowIo;
   default:
     return false; // repeat/waits/delays/$display/$finish
   }
@@ -64,6 +69,36 @@ void collectAssignedNets(const Stmt *s, std::set<int> &nets) {
   }
 }
 
+// Nets a behavioral body sleeps on with @(posedge ...): the VM must record
+// posedges for these (plus clock nets) to wake parked threads.
+void collectEventNets(const Stmt *s, std::set<int> &nets) {
+  switch (s->kind) {
+  case StmtKind::Block:
+  case StmtKind::If:
+    for (const auto &c : s->stmts)
+      collectEventNets(c.get(), nets);
+    break;
+  case StmtKind::Case:
+    for (const auto &item : s->caseItems)
+      if (item.body)
+        collectEventNets(item.body.get(), nets);
+    break;
+  case StmtKind::EventWait:
+    nets.insert(s->eventNet);
+    if (s->body)
+      collectEventNets(s->body.get(), nets);
+    break;
+  case StmtKind::Repeat:
+  case StmtKind::DelayStmt:
+  case StmtKind::WaitExpr:
+    if (s->body)
+      collectEventNets(s->body.get(), nets);
+    break;
+  default:
+    break;
+  }
+}
+
 void collectDeps(const Expr *e, std::set<int> &nets, std::set<int> &mems) {
   if (e->kind == ExprKind::Ident)
     nets.insert(e->netId);
@@ -84,6 +119,7 @@ struct Compiler {
   CompiledModel &cm;
   Program *prog = nullptr;
   bool inProcess = false; // wire reads must flush dirty comb logic
+  bool inThread = false;  // behavioral body: suspension ops allowed
 
   std::uint32_t newTemp(unsigned width) {
     cm.tempWidth.push_back(width);
@@ -547,9 +583,162 @@ struct Compiler {
         patch(j, here());
       return;
     }
+    case StmtKind::Repeat: {
+      if (!inThread)
+        throw NotCompilable("unsupported statement in compiled process");
+      // The count is evaluated once, truncated to 64 bits (toUint64), and
+      // the temp persists across any suspensions inside the body.
+      std::uint32_t cnt =
+          extend(compileExpr(s->cond.get(), s->cond->width), 64, false);
+      std::uint32_t one = constant(BitVector(64, 1));
+      std::size_t head = here();
+      {
+        Insn &I = emit(Op::JumpIfZero);
+        I.a = cnt;
+      }
+      {
+        Insn &I = emit(Op::Sub);
+        I.dst = cnt;
+        I.a = cnt;
+        I.b = one;
+        I.width = 64;
+      }
+      if (s->body)
+        compileStmt(s->body.get());
+      {
+        Insn &I = emit(Op::Jump);
+        I.aux = static_cast<std::uint32_t>(head);
+      }
+      patch(head, here());
+      return;
+    }
+    case StmtKind::EventWait: {
+      if (!inThread)
+        throw NotCompilable("unsupported statement in compiled process");
+      {
+        Insn &I = emit(Op::TWait);
+        I.aux = static_cast<std::uint32_t>(s->eventNet);
+      }
+      if (s->body)
+        compileStmt(s->body.get());
+      return;
+    }
+    case StmtKind::DelayStmt: {
+      if (!inThread)
+        throw NotCompilable("unsupported statement in compiled process");
+      {
+        Insn &I = emit(Op::TDelay);
+        I.imm = s->delay;
+      }
+      if (s->body)
+        compileStmt(s->body.get());
+      return;
+    }
+    case StmtKind::WaitExpr: {
+      if (!inThread)
+        throw NotCompilable("unsupported statement in compiled process");
+      // Inline check falls through when already true; otherwise the thread
+      // parks AtWait and the scheduler polls the side program.  Resume
+      // jumps back to the re-evaluation head, like the event engine's
+      // re-check of the condition on wake.
+      std::size_t head = here();
+      std::uint32_t cv = compileExpr(s->cond.get(), s->cond->width);
+      std::uint32_t wc = static_cast<std::uint32_t>(cm.waitConds.size());
+      {
+        WaitCond w;
+        Program *saved = prog;
+        prog = &w.prog;
+        w.result = compileExpr(s->cond.get(), s->cond->width);
+        prog = saved;
+        cm.waitConds.push_back(std::move(w));
+      }
+      Insn &I = emit(Op::TWaitCond);
+      I.a = cv;
+      I.b = wc;
+      I.aux = static_cast<std::uint32_t>(head);
+      return;
+    }
+    case StmtKind::Display:
+      if (!inThread)
+        throw NotCompilable("unsupported statement in compiled process");
+      compileDisplay(s);
+      return;
+    case StmtKind::Finish:
+      if (!inThread)
+        throw NotCompilable("unsupported statement in compiled process");
+      emit(Op::TFinish);
+      return;
+    case StmtKind::ReadMem: {
+      if (!inThread)
+        throw NotCompilable("unsupported statement in compiled process");
+      std::uint32_t idx = static_cast<std::uint32_t>(cm.readmems.size());
+      ReadMemDesc d;
+      d.path = s->text;
+      d.memId = s->memIdx;
+      d.readHex = s->readHex;
+      cm.readmems.push_back(std::move(d));
+      Insn &I = emit(Op::TReadMem);
+      I.aux = idx;
+      return;
+    }
     default:
       throw NotCompilable("unsupported statement in compiled process");
     }
+  }
+
+  // $display lowered at compile time, mirroring Simulation::formatDisplay:
+  // the format string splits into literal/conversion segments and each
+  // consumed argument compiles to a self-determined-width temp.  Format
+  // errors the event engine raises at run time (dangling '%', unknown
+  // conversion, missing argument) become a TError carrying the identical
+  // message, emitted after the argument evaluations so it only fires when
+  // the statement is actually reached.
+  void compileDisplay(const Stmt *s) {
+    auto emitError = [&](const std::string &msg) {
+      std::uint32_t mi = static_cast<std::uint32_t>(cm.messages.size());
+      cm.messages.push_back(msg);
+      Insn &I = emit(Op::TError);
+      I.aux = mi;
+    };
+    DisplayDesc desc;
+    DisplaySeg cur;
+    std::size_t argIndex = 0;
+    const std::string &fmt = s->text;
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+      char c = fmt[i];
+      if (c != '%') {
+        cur.lit.push_back(c);
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < fmt.size() && fmt[j] >= '0' && fmt[j] <= '9')
+        ++j; // field width / the ubiquitous %0d zero
+      if (j >= fmt.size())
+        return emitError("$display: dangling '%'");
+      char conv = fmt[j];
+      i = j;
+      if (conv == '%') {
+        cur.lit.push_back('%');
+        continue;
+      }
+      if (conv != 'd' && conv != 'h' && conv != 'x' && conv != 'b')
+        return emitError(std::string("$display: unsupported conversion '%") +
+                         conv + "'");
+      if (argIndex >= s->args.size())
+        return emitError("$display: not enough arguments for format string");
+      const Expr *e = s->args[argIndex++].get();
+      cur.conv = conv == 'x' ? 'h' : conv;
+      cur.sign = conv == 'd' && e->sign;
+      cur.arg = compileExpr(e, e->width);
+      desc.segs.push_back(std::move(cur));
+      cur = DisplaySeg{};
+    }
+    if (!cur.lit.empty())
+      desc.segs.push_back(std::move(cur));
+    std::uint32_t di = static_cast<std::uint32_t>(cm.displays.size());
+    cm.displays.push_back(std::move(desc));
+    Insn &I = emit(Op::TDisplay);
+    I.aux = di;
   }
 
   Program compileWire(int netId) {
@@ -571,7 +760,19 @@ struct Compiler {
     Program p;
     prog = &p;
     inProcess = true;
+    inThread = false;
     compileStmt(body);
+    return p;
+  }
+
+  Program compileThread(const Stmt *body) {
+    Program p;
+    prog = &p;
+    inProcess = true;
+    inThread = true;
+    if (body)
+      compileStmt(body);
+    inThread = false;
     return p;
   }
 };
@@ -583,7 +784,7 @@ bool hasPlainInit(const Model &model) {
     if (p.kind == Process::Kind::DelayLoop)
       return false;
     if (p.kind == Process::Kind::Initial && p.body &&
-        !plainStmt(p.body, true))
+        !plainStmt(p.body, true, true))
       return false;
   }
   return true;
@@ -594,47 +795,39 @@ compileModel(std::shared_ptr<const Model> model, std::string &whyNot) {
   siteCompile.hit();
   const Model &m = *model;
 
-  // --- subset checks -----------------------------------------------------
+  // --- classify: levelized-domain mode vs. behavioral thread mode --------
+  // Suspending control flow (testbench threads, always-#N clock
+  // generators) and clocks written by processes (which wake their domain
+  // mid-delta) need the thread scheduler; everything else takes the
+  // per-domain levelized fast path.  Elaboration already rejects
+  // procedural assignment to wires, so no check is needed here.
+  bool behavioral = false;
   std::set<int> procAssigned;
   for (const Process &p : m.procs) {
     switch (p.kind) {
     case Process::Kind::DelayLoop:
-      whyNot = "delay-loop process (always #N clock generator)";
-      return nullptr;
+      behavioral = true;
+      break;
     case Process::Kind::Initial:
-      if (p.body && !plainStmt(p.body, true)) {
-        whyNot = "initial block suspends or does I/O";
-        return nullptr;
-      }
+      if (p.body && !plainStmt(p.body, true, true))
+        behavioral = true;
       break;
     case Process::Kind::Clocked:
-      if (!p.body || !plainStmt(p.body, true)) {
-        whyNot = "clocked process uses behavioral statements";
-        return nullptr;
+      if (!p.body || !plainStmt(p.body, true, false)) {
+        behavioral = true;
+        break;
       }
       collectAssignedNets(p.body, procAssigned);
       break;
     }
   }
-  for (const Process &p : m.procs) {
-    if (p.kind != Process::Kind::Clocked)
-      continue;
-    const Net &clk = m.nets[static_cast<std::size_t>(p.clockNet)];
-    if (clk.driver) {
-      whyNot = "clock net '" + clk.name + "' has a continuous driver";
-      return nullptr;
-    }
-    if (procAssigned.count(p.clockNet)) {
-      whyNot = "clock net '" + clk.name + "' is written by a process";
-      return nullptr;
-    }
-  }
-  for (int n : procAssigned)
-    if (m.nets[static_cast<std::size_t>(n)].driver) {
-      whyNot = "procedural assignment to wire '" +
-               m.nets[static_cast<std::size_t>(n)].name + "'";
-      return nullptr;
-    }
+  if (!behavioral)
+    for (const Process &p : m.procs)
+      if (p.kind == Process::Kind::Clocked &&
+          procAssigned.count(p.clockNet)) {
+        behavioral = true;
+        break;
+      }
 
   // --- levelize the combinational nets -----------------------------------
   std::vector<int> wireIds;
@@ -681,17 +874,33 @@ compileModel(std::shared_ptr<const Model> model, std::string &whyNot) {
     return nullptr;
   }
 
-  // --- capture the post-initial image via the reference engine -----------
+  // --- initial image ------------------------------------------------------
   auto cm = std::make_shared<CompiledModel>();
   cm->model = model;
-  {
+  cm->behavioral = behavioral;
+  // Declared-initializer state first (the event engine's construction
+  // state).  Behavioral models start from it and run their `initial`
+  // threads live; everything else refines it to the post-`initial`
+  // snapshot by running the reference engine once.  A failed capture
+  // (e.g. a broken $readmem file) still compiles — the VM reports the
+  // identical runtime failure instead of forcing a fallback.
+  cm->init.nets.reserve(m.nets.size());
+  for (const Net &net : m.nets)
+    cm->init.nets.push_back(net.hasInit ? net.init : BitVector(net.width));
+  cm->init.mems.reserve(m.mems.size());
+  for (const Memory &mem : m.mems)
+    cm->init.mems.emplace_back(mem.depth, BitVector(mem.width));
+  if (!behavioral) {
     Simulation ref(model);
     ref.settle();
-    if (!ref.ok()) {
-      whyNot = "initial execution failed: " + ref.error();
-      return nullptr;
+    if (ref.ok()) {
+      cm->init = ref.snapshot();
+    } else {
+      // Stored verbatim so the VM's error matches the event engine's
+      // byte for byte.
+      cm->initError = ref.error();
+      cm->initVerdict = ref.verdict();
     }
-    cm->init = ref.snapshot();
   }
 
   // --- compile programs ---------------------------------------------------
@@ -699,6 +908,7 @@ compileModel(std::shared_ptr<const Model> model, std::string &whyNot) {
   cm->netFanout.assign(m.nets.size(), {});
   cm->memFanout.assign(m.mems.size(), {});
   cm->domainOfClock.assign(m.nets.size(), -1);
+  cm->watchNet.assign(m.nets.size(), 0);
   try {
     for (std::size_t rank = 0; rank < topo.size(); ++rank) {
       int w = topo[rank];
@@ -713,19 +923,43 @@ compileModel(std::shared_ptr<const Model> model, std::string &whyNot) {
         cm->memFanout[static_cast<std::size_t>(d)].push_back(
             static_cast<std::uint32_t>(rank));
     }
-    for (const Process &p : m.procs) {
-      if (p.kind != Process::Kind::Clocked)
-        continue;
-      int d = cm->domainOfClock[static_cast<std::size_t>(p.clockNet)];
-      if (d < 0) {
-        d = static_cast<int>(cm->domains.size());
-        ClockDomain dom;
-        dom.clockNet = p.clockNet;
-        cm->domains.push_back(std::move(dom));
-        cm->domainOfClock[static_cast<std::size_t>(p.clockNet)] = d;
+    if (behavioral) {
+      // Posedge-watched nets: clock nets and @(posedge) targets.  Wires
+      // never wake edge sleepers (the event engine records posedges only
+      // on procedural writes), so driven nets stay unwatched.
+      std::set<int> watched;
+      for (const Process &p : m.procs) {
+        if (p.kind == Process::Kind::Clocked)
+          watched.insert(p.clockNet);
+        if (p.body)
+          collectEventNets(p.body, watched);
       }
-      cm->domains[static_cast<std::size_t>(d)].bodies.push_back(
-          c.compileProcess(p.body));
+      for (int nid : watched)
+        if (nid >= 0 && !m.nets[static_cast<std::size_t>(nid)].driver)
+          cm->watchNet[static_cast<std::size_t>(nid)] = 1;
+      for (const Process &p : m.procs) {
+        ThreadProgram tp;
+        tp.kind = p.kind;
+        tp.clockNet = p.clockNet;
+        tp.period = p.period;
+        tp.prog = c.compileThread(p.body);
+        cm->threads.push_back(std::move(tp));
+      }
+    } else {
+      for (const Process &p : m.procs) {
+        if (p.kind != Process::Kind::Clocked)
+          continue;
+        int d = cm->domainOfClock[static_cast<std::size_t>(p.clockNet)];
+        if (d < 0) {
+          d = static_cast<int>(cm->domains.size());
+          ClockDomain dom;
+          dom.clockNet = p.clockNet;
+          cm->domains.push_back(std::move(dom));
+          cm->domainOfClock[static_cast<std::size_t>(p.clockNet)] = d;
+        }
+        cm->domains[static_cast<std::size_t>(d)].bodies.push_back(
+            c.compileProcess(p.body));
+      }
     }
   } catch (const NotCompilable &e) {
     whyNot = e.what();

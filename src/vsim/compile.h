@@ -30,9 +30,15 @@
 //     running the reference engine once at compile time — so per-run
 //     construction never re-executes ROM init blocks.
 //
-// Models outside the subset (testbenches with delays/waits/$display,
-// driven clocks, combinational cycles) are rejected with a reason; the
-// caller falls back to the event engine.
+// Models with suspending control flow (generated testbenches with
+// #delay/@(posedge)/wait threads, always-#N clock generators, clocks
+// written by processes) compile in *behavioral* mode: every process
+// lowers to a thread program and the VM runs the same stratified
+// delta/NBA/time scheduler as the event engine, with wires still settled
+// by the levelized sweep.  The compiled subset therefore equals the event
+// subset; the only remaining compile failure is a combinational cycle
+// (which the event engine also reports, at runtime) or an injected
+// vsim.compile fault, and only then does the caller fall back.
 #ifndef C2H_VSIM_COMPILE_H
 #define C2H_VSIM_COMPILE_H
 
@@ -78,6 +84,21 @@ enum class Op : std::uint8_t {
   StoreMem, // mems[aux][regs[a]] = regs[b]; out of range -> dropped
   NbNet,    // queue nets[aux] <= regs[a]
   NbMem,    // queue mems[aux][regs[a]] <= regs[b]
+  // Thread ops (behavioral programs only — generated testbenches and other
+  // models with suspending control flow).  Each suspension op parks the
+  // thread and records where execution resumes.
+  TWait,     // @(posedge nets[aux]): park AtEdge, resume at pc+1
+  TDelay,    // #imm: park AtTime at now+imm, resume at pc+1
+  TWaitCond, // wait(cond): regs[a] truthy -> fall through; else park
+             //   AtWait polling waitConds[b], resume at aux (the cond
+             //   re-evaluation head, matching the event engine's recheck)
+  TDisplay,  // output displays[aux] (args pre-evaluated into regs)
+  TFinish,   // $finish: finished, thread done
+  TReadMem,  // execute readmems[aux]; on failure record the verdict and
+             //   retire this thread only (the run continues, like the
+             //   event engine)
+  TError,    // abort the run with messages[aux] (compile-time-detected
+             //   runtime errors, e.g. a bad $display conversion)
 };
 
 struct Insn {
@@ -109,6 +130,40 @@ struct ClockDomain {
   std::vector<Program> bodies;
 };
 
+// One process lowered for the behavioral thread scheduler, in procs order.
+struct ThreadProgram {
+  Process::Kind kind = Process::Kind::Initial;
+  int clockNet = -1;        // Clocked
+  std::uint64_t period = 0; // DelayLoop
+  Program prog;
+};
+
+// Side-effect-free poll program for one wait(cond) site: evaluates the
+// condition into regs[result] so the scheduler can poll sleepers exactly
+// like the event engine's wakeOnEvents pass.
+struct WaitCond {
+  Program prog;
+  std::uint32_t result = 0;
+};
+
+// One $display lowered at compile time: literal text followed by an
+// optional conversion of a pre-evaluated register.
+struct DisplaySeg {
+  std::string lit;
+  char conv = 0; // 0 = literal only, else 'd' / 'h' / 'b'
+  std::uint32_t arg = 0;
+  bool sign = false; // %d of a signed expression
+};
+struct DisplayDesc {
+  std::vector<DisplaySeg> segs;
+};
+
+struct ReadMemDesc {
+  std::string path;
+  int memId = -1;
+  bool readHex = true;
+};
+
 struct CompiledModel {
   std::shared_ptr<const Model> model;
   std::vector<WireUpdate> wires; // topological order; rank = index
@@ -122,6 +177,26 @@ struct CompiledModel {
   // in [imm, imm + size); unmatched values route to the default target.
   std::vector<std::vector<std::uint32_t>> jumpTables;
   InitImage init; // post-`initial` state, captured once
+  // Non-behavioral models whose `initial` execution failed at capture time
+  // (e.g. a broken $readmem file) still compile; the VM reports the same
+  // runtime failure the event engine would, so the fallback ladder never
+  // has to reopen for them.
+  std::string initError;
+  guard::Verdict initVerdict;
+  // ---- behavioral mode (testbenches, delay loops, driven clocks) ----
+  // When set, the model runs on the VM's thread scheduler: `threads` holds
+  // one program per process, `watchNet` marks posedge-watched nets (clock
+  // nets and @(posedge) targets without continuous drivers — wires never
+  // wake edge sleepers, matching the event engine), and domains stay
+  // empty.  The init image is the declared-initializer state; `initial`
+  // bodies run live.
+  bool behavioral = false;
+  std::vector<ThreadProgram> threads;
+  std::vector<WaitCond> waitConds;
+  std::vector<DisplayDesc> displays;
+  std::vector<ReadMemDesc> readmems;
+  std::vector<std::string> messages; // TError payloads
+  std::vector<std::uint8_t> watchNet; // netId -> record posedges?
 };
 
 // Lower `model` for the VM.  Returns null and fills `whyNot` when the

@@ -149,31 +149,40 @@ CosimResult Cosimulation::run(const std::vector<BitVector> &args,
          i < sized.size() && i < top->params().size(); ++i)
       sized[i] = sized[i].resize(top->params()[i].width, false);
 
+  const bool strict = options.engine == SimEngine::CompiledStrict;
   bool useCompiled = false;
-  if (options.engine == SimEngine::Compiled) {
+  if (options.engine != SimEngine::Event) {
     if (!triedCompile_) {
       triedCompile_ = true;
       std::string why;
       try {
         compiled_ = compileModel(model_, why);
       } catch (const guard::InjectedFault &e) {
-        // An injected compile fault behaves like an out-of-subset model:
-        // silently fall back to the event engine (the degradation ladder's
-        // first rung).
+        // An injected compile fault behaves like a failed compile: under
+        // Compiled it silently falls back to the event engine (the
+        // degradation ladder's first rung); under CompiledStrict it is an
+        // error like any other fallback.
         compiled_ = nullptr;
         why = e.verdict.str();
+        compileVerdict_ = e.verdict;
       }
       if (!compiled_)
         compileNote_ = why;
     }
     useCompiled = compiled_ != nullptr;
+    if (!useCompiled && strict) {
+      result.error = "vsim: compiled-strict: " + compileNote_;
+      result.verdict = compileVerdict_;
+      return result;
+    }
   }
   if (!useCompiled)
     return runEvent(sized, options);
   result = runCompiled(sized, options);
-  if (!result.ok && !result.verdict.ok()) {
+  if (!result.ok && !result.verdict.ok() && !strict) {
     // Guard event (budget trip / injected fault) on the compiled engine:
     // retry once on the event engine with whatever budget headroom remains.
+    // Strict mode skips the retry — the failure surfaces as-is.
     std::string first = result.error;
     CosimResult retry = runEvent(sized, options);
     retry.degradation = "compiled engine: " + first +
@@ -193,6 +202,12 @@ CosimResult Cosimulation::runCompiled(const std::vector<BitVector> &args,
     csim_->reset();
   else
     csim_ = std::make_unique<CompiledSimulation>(compiled_);
+  // Behavioral models run their `initial` threads live; settle them before
+  // seeding so seeded globals are not clobbered — the same order as
+  // runEvent's construct-settle-seed sequence (and like there, the initial
+  // execution is not charged to the budget).
+  if (compiled_->behavioral)
+    csim_->settle();
   csim_->setBudget(options.budget);
   try {
     siteCompiledRun.hit();
@@ -273,12 +288,27 @@ CosimResult cosimulateSource(const std::string &verilogText,
     result.error = "vsim elaborate: " + elabError;
     return result;
   }
-  if (options.engine == SimEngine::Compiled) {
+  if (options.engine != SimEngine::Event) {
     std::string why;
-    if (auto compiled = compileModel(model, why)) {
+    std::shared_ptr<const CompiledModel> compiled;
+    guard::Verdict compileVerdict;
+    try {
+      compiled = compileModel(model, why);
+    } catch (const guard::InjectedFault &e) {
+      why = e.verdict.str();
+      compileVerdict = e.verdict;
+    }
+    if (compiled) {
       CompiledSimulation sim(compiled);
+      if (compiled->behavioral)
+        sim.settle();
       sim.setBudget(options.budget);
       return runHandshake(sim, args, options.maxCycles, options.budget);
+    }
+    if (options.engine == SimEngine::CompiledStrict) {
+      result.error = "vsim: compiled-strict: " + why;
+      result.verdict = compileVerdict;
+      return result;
     }
   }
   Simulation sim(std::move(model));

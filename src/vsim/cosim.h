@@ -30,8 +30,11 @@ class CompiledSimulation;
 struct CosimOptions {
   std::uint64_t maxCycles = 2'000'000;
   // Which backend executes the elaborated model.  Compiled is the default
-  // and falls back to Event when the model is outside the compilable
-  // subset (engineUsed() reports the actual choice).
+  // and falls back to Event when compilation fails (engineUsed() reports
+  // the actual choice); CompiledStrict turns any fallback — compile
+  // failure or guard-triggered event-engine retry — into an error, which
+  // is how bench_cosim and CI enforce that the compiled subset stays
+  // equal to the event subset.
   SimEngine engine = SimEngine::Compiled;
   // Shared resource meter (non-owning; may be null).  Handshake cycles and
   // VM instructions are charged against it; the degradation ladder hands
@@ -99,6 +102,7 @@ private:
   std::shared_ptr<const CompiledModel> compiled_;
   bool triedCompile_ = false;
   std::string compileNote_;
+  guard::Verdict compileVerdict_; // injected vsim.compile fault, if any
   SimEngine engineUsed_ = SimEngine::Event;
   // Post-`initial` snapshot for the event engine, so repeated runs don't
   // re-execute ROM init blocks (the crc8small outlier fix).

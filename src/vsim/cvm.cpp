@@ -1,5 +1,8 @@
 #include "vsim/cvm.h"
 
+#include "vsim/parser.h"
+#include "vsim/readmem.h"
+
 #include <algorithm>
 
 namespace c2h::vsim {
@@ -48,6 +51,31 @@ CompiledSimulation::CompiledSimulation(
   // every wire must be recomputed by the first sweep.
   dirty_.assign(cm_->wires.size(), 1);
   minDirty_ = 0;
+  for (std::size_t i = 0; i < cm_->threads.size(); ++i) {
+    const ThreadProgram &tp = cm_->threads[i];
+    TbThread t;
+    t.index = static_cast<std::uint32_t>(i);
+    switch (tp.kind) {
+    case Process::Kind::Clocked:
+      t.state = TbThread::State::AtEdge;
+      t.edgeNet = tp.clockNet;
+      break;
+    case Process::Kind::DelayLoop:
+      t.state = TbThread::State::AtTime;
+      t.wakeTime = tp.period;
+      break;
+    case Process::Kind::Initial:
+      t.state = TbThread::State::Ready;
+      break;
+    }
+    threads_.push_back(t);
+  }
+  if (!cm_->initError.empty()) {
+    // The reference capture of this model's `initial` blocks failed; the
+    // event engine reports the same error, so surface it verbatim.
+    error_ = cm_->initError;
+    verdict_ = cm_->initVerdict;
+  }
 }
 
 void CompiledSimulation::reset() {
@@ -56,7 +84,9 @@ void CompiledSimulation::reset() {
   pendingSteps_ = 0;
   nba_.clear();
   // Element-wise copies reuse existing storage (no reallocation); VM
-  // registers are def-before-use scratch, so stale values never leak.
+  // registers are def-before-use scratch, so stale values never leak
+  // (thread temps live across suspensions, but every resume path
+  // re-enters at pc 0 after a reset, re-initializing them).
   for (std::size_t i = 0; i < nets_.size(); ++i)
     nets_[i] = cm_->init.nets[i];
   for (std::size_t i = 0; i < mems_.size(); ++i)
@@ -64,6 +94,44 @@ void CompiledSimulation::reset() {
       mems_[i][j] = cm_->init.mems[i][j];
   std::fill(dirty_.begin(), dirty_.end(), static_cast<std::uint8_t>(1));
   minDirty_ = 0;
+  posedges_.clear();
+  output_.clear();
+  time_ = 0;
+  finished_ = false;
+  stop_ = false;
+  for (TbThread &t : threads_) {
+    const ThreadProgram &tp = cm_->threads[t.index];
+    t.pc = 0;
+    t.edgeNet = tp.clockNet;
+    t.waitCond = 0;
+    t.wakeTime = tp.period;
+    switch (tp.kind) {
+    case Process::Kind::Clocked:
+      t.state = TbThread::State::AtEdge;
+      break;
+    case Process::Kind::DelayLoop:
+      t.state = TbThread::State::AtTime;
+      break;
+    case Process::Kind::Initial:
+      t.state = TbThread::State::Ready;
+      break;
+    }
+  }
+  if (!cm_->initError.empty()) {
+    error_ = cm_->initError;
+    verdict_ = cm_->initVerdict;
+  }
+}
+
+void CompiledSimulation::recordFailure(const guard::Verdict &v) {
+  if (error_.empty()) {
+    verdict_ = v;
+    error_ = v.str();
+  }
+}
+
+void CompiledSimulation::recordPosedge(int netId) {
+  posedges_.push_back(netId);
 }
 
 void CompiledSimulation::markNetFanout(int netId) {
@@ -108,6 +176,9 @@ void CompiledSimulation::commitNba() {
     } else {
       BitVector &slot = nets_[static_cast<std::size_t>(w.id)];
       if (!slot.eq(w.value)) {
+        if (cm_->watchNet[static_cast<std::size_t>(w.id)] &&
+            !slot.bit(0) && w.value.bit(0))
+          recordPosedge(w.id);
         slot = w.value;
         markNetFanout(w.id);
       }
@@ -140,17 +211,18 @@ void CompiledSimulation::chargeBudget(std::uint64_t insns) {
       verdict_ = e.verdict;
       error_ = e.verdict.str();
     }
+    stop_ = true; // the behavioral scheduler must not keep running
   }
   pendingSteps_ = 0;
 }
 
-void CompiledSimulation::execProgram(const Program &p) {
+void CompiledSimulation::execProgram(const Program &p, TbThread *t) {
   if (budget_ != nullptr)
     chargeBudget(p.insns.size());
   const Insn *ins = p.insns.data();
   const std::size_t n = p.insns.size();
   BitVector *regs = regs_.data();
-  std::size_t pc = 0;
+  std::size_t pc = t != nullptr ? t->pc : 0;
   while (pc < n) {
     const Insn &I = ins[pc];
     switch (I.op) {
@@ -435,10 +507,14 @@ void CompiledSimulation::execProgram(const Program &p) {
       const BitVector &v = regs[I.a];
       if (!I.wide) {
         if (slot.word() != v.word()) {
+          if (cm_->watchNet[I.aux] && !(slot.word() & 1) && (v.word() & 1))
+            recordPosedge(static_cast<int>(I.aux));
           slot.setWord(v.word());
           markNetFanout(static_cast<int>(I.aux));
         }
       } else if (!slot.eq(v)) {
+        if (cm_->watchNet[I.aux] && !slot.bit(0) && v.bit(0))
+          recordPosedge(static_cast<int>(I.aux));
         slot = v;
         markNetFanout(static_cast<int>(I.aux));
       }
@@ -470,8 +546,220 @@ void CompiledSimulation::execProgram(const Program &p) {
       nba_.push_back(NbWrite{true, static_cast<int>(I.aux),
                              regs[I.a].word(), regs[I.b]});
       break;
+    // ---- thread ops: only reachable from thread programs (t != null) ----
+    case Op::TWait:
+      t->state = TbThread::State::AtEdge;
+      t->edgeNet = static_cast<int>(I.aux);
+      t->pc = pc + 1;
+      return;
+    case Op::TDelay:
+      t->state = TbThread::State::AtTime;
+      t->wakeTime = time_ + I.imm;
+      t->pc = pc + 1;
+      return;
+    case Op::TWaitCond:
+      if (truthy(regs[I.a]))
+        break; // already true: fall through, like the event engine
+      t->state = TbThread::State::AtWait;
+      t->waitCond = I.b;
+      t->pc = I.aux; // resume re-evaluates the condition
+      return;
+    case Op::TDisplay: {
+      const DisplayDesc &d = cm_->displays[I.aux];
+      std::string out;
+      for (const DisplaySeg &seg : d.segs) {
+        out += seg.lit;
+        if (seg.conv == 0)
+          continue;
+        const BitVector &v = regs_[seg.arg];
+        switch (seg.conv) {
+        case 'd':
+          out += seg.sign ? v.toStringSigned() : v.toStringUnsigned();
+          break;
+        case 'h':
+          out += v.toStringHex().substr(2);
+          break;
+        default: // 'b'
+          for (unsigned b = v.width(); b-- > 0;)
+            out.push_back(v.bit(b) ? '1' : '0');
+          break;
+        }
+      }
+      output_.push_back(std::move(out));
+      break;
+    }
+    case Op::TFinish:
+      finished_ = true;
+      t->state = TbThread::State::Done;
+      return;
+    case Op::TReadMem: {
+      const ReadMemDesc &d = cm_->readmems[I.aux];
+      auto &cells = mems_[static_cast<std::size_t>(d.memId)];
+      unsigned width =
+          cm_->model->mems[static_cast<std::size_t>(d.memId)].width;
+      guard::Verdict v;
+      bool loaded = loadMemFile(d.path, d.readHex, width, cells, v);
+      markMemFanout(d.memId); // the parsed prefix is stored either way
+      if (!loaded) {
+        // Same contract as the event engine: record the failure, retire
+        // only this thread, and let the rest of the run continue.
+        recordFailure(v);
+        t->state = TbThread::State::Done;
+        return;
+      }
+      break;
+    }
+    case Op::TError:
+      if (error_.empty())
+        error_ = cm_->messages[I.aux];
+      stop_ = true;
+      t->state = TbThread::State::Done;
+      return;
     }
     ++pc;
+  }
+}
+
+void CompiledSimulation::execThread(TbThread &t) {
+  execProgram(cm_->threads[t.index].prog, &t);
+  if (t.state != TbThread::State::Ready)
+    return; // parked, finished, or retired by an op
+  // The body ran off the end: loop or retire, like the event engine.
+  const ThreadProgram &tp = cm_->threads[t.index];
+  t.pc = 0;
+  switch (tp.kind) {
+  case Process::Kind::Clocked:
+    t.state = TbThread::State::AtEdge;
+    t.edgeNet = tp.clockNet;
+    break;
+  case Process::Kind::DelayLoop:
+    t.state = TbThread::State::AtTime;
+    t.wakeTime = time_ + tp.period;
+    break;
+  case Process::Kind::Initial:
+    t.state = TbThread::State::Done;
+    break;
+  }
+}
+
+bool CompiledSimulation::wakeOnEventsTb() {
+  bool any = false;
+  if (!posedges_.empty()) {
+    for (TbThread &t : threads_)
+      if (t.state == TbThread::State::AtEdge &&
+          std::find(posedges_.begin(), posedges_.end(), t.edgeNet) !=
+              posedges_.end()) {
+        t.state = TbThread::State::Ready;
+        any = true;
+      }
+    posedges_.clear();
+  }
+  for (TbThread &t : threads_)
+    if (t.state == TbThread::State::AtWait) {
+      const WaitCond &w = cm_->waitConds[t.waitCond];
+      execProgram(w.prog);
+      if (truthy(regs_[w.result])) {
+        t.state = TbThread::State::Ready;
+        any = true;
+      }
+    }
+  return any;
+}
+
+void CompiledSimulation::runDeltaTb() {
+  for (std::uint64_t guard = 0;; ++guard) {
+    if (guard > 1'000'000) {
+      if (error_.empty())
+        error_ = "delta-cycle limit exceeded (oscillating design?)";
+      stop_ = true;
+      return;
+    }
+    if (budget_ && guard != 0 && (guard & 4095) == 0)
+      budget_->checkDeadline("vsim.compiled");
+    if (finished_ || stop_)
+      return;
+    bool any = false;
+    for (TbThread &t : threads_) {
+      if (finished_ || stop_)
+        return;
+      if (t.state == TbThread::State::Ready) {
+        execThread(t);
+        any = true;
+      }
+    }
+    if (wakeOnEventsTb())
+      any = true;
+    if (any)
+      continue;
+    if (!nba_.empty()) {
+      commitNba();
+      flushComb();
+      wakeOnEventsTb();
+      continue;
+    }
+    return;
+  }
+}
+
+bool CompiledSimulation::advanceTimeTb() {
+  std::uint64_t next = 0;
+  bool found = false;
+  for (const TbThread &t : threads_)
+    if (t.state == TbThread::State::AtTime &&
+        (!found || t.wakeTime < next)) {
+      next = t.wakeTime;
+      found = true;
+    }
+  if (!found)
+    return false;
+  time_ = std::max(time_, next);
+  for (TbThread &t : threads_)
+    if (t.state == TbThread::State::AtTime && t.wakeTime <= time_)
+      t.state = TbThread::State::Ready;
+  return true;
+}
+
+void CompiledSimulation::settleTb() {
+  if (stop_)
+    return;
+  try {
+    runDeltaTb();
+  } catch (const guard::BudgetExceeded &e) {
+    recordFailure(e.verdict);
+    stop_ = true;
+  } catch (const guard::InjectedFault &e) {
+    recordFailure(e.verdict);
+    stop_ = true;
+  } catch (const std::exception &e) {
+    if (error_.empty())
+      error_ = e.what();
+    stop_ = true;
+  }
+}
+
+void CompiledSimulation::runToFinish(std::uint64_t maxTime) {
+  if (!error_.empty())
+    return;
+  try {
+    runDeltaTb();
+    while (!finished_ && !stop_) {
+      if (!advanceTimeTb())
+        break; // no pending events: quiescent forever
+      if (time_ > maxTime) {
+        if (error_.empty())
+          error_ = "simulation exceeded " + std::to_string(maxTime) +
+                   " time units";
+        break;
+      }
+      runDeltaTb();
+    }
+  } catch (const guard::BudgetExceeded &e) {
+    recordFailure(e.verdict);
+  } catch (const guard::InjectedFault &e) {
+    recordFailure(e.verdict);
+  } catch (const std::exception &e) {
+    if (error_.empty())
+      error_ = e.what();
   }
 }
 
@@ -497,6 +785,12 @@ void CompiledSimulation::poke(const std::string &name,
   if (!slot.eq(v)) {
     slot = std::move(v);
     markNetFanout(id);
+  }
+  if (cm_->behavioral) {
+    if (rose && cm_->watchNet[static_cast<std::size_t>(id)])
+      recordPosedge(id);
+    settleTb(); // wakes edge sleepers, like the event engine's settle
+    return;
   }
   int d = cm_->domainOfClock[static_cast<std::size_t>(id)];
   if (rose && d >= 0)
@@ -531,6 +825,12 @@ void CompiledSimulation::pokeId(int id, const BitVector &value) {
   }
   if (changed)
     markNetFanout(id);
+  if (cm_->behavioral) {
+    if (rose && cm_->watchNet[static_cast<std::size_t>(id)])
+      recordPosedge(id);
+    settleTb();
+    return;
+  }
   int d = cm_->domainOfClock[static_cast<std::size_t>(id)];
   if (rose && d >= 0)
     runDomain(d);
@@ -589,11 +889,67 @@ void CompiledSimulation::pokeMemory(const std::string &name,
   }
 }
 
-void CompiledSimulation::settle() { flushComb(); }
+void CompiledSimulation::settle() {
+  if (cm_->behavioral) {
+    if (error_.empty())
+      settleTb();
+    return;
+  }
+  flushComb();
+}
 
 void CompiledSimulation::tick(const std::string &clk) {
   poke(clk, BitVector(1, 1));
   poke(clk, BitVector(1, 0));
+}
+
+// ------------------------------------------------------- testbench run --
+
+TestbenchResult runTestbench(const std::string &source,
+                             const std::string &topModule,
+                             std::uint64_t maxTime, SimEngine engine,
+                             std::string *fallbackNote) {
+  if (engine == SimEngine::Event)
+    return runTestbench(source, topModule, maxTime);
+  TestbenchResult result;
+  ParseDiagnostic diag;
+  std::shared_ptr<SourceUnit> unit = parseVerilog(source, diag);
+  if (!unit) {
+    result.error = "parse: " + diag.str();
+    return result;
+  }
+  std::string elabError;
+  std::shared_ptr<Model> model = elaborate(unit, topModule, elabError);
+  if (!model) {
+    result.error = "elaborate: " + elabError;
+    return result;
+  }
+  std::string whyNot;
+  std::shared_ptr<const CompiledModel> cm;
+  try {
+    cm = compileModel(model, whyNot);
+  } catch (const guard::InjectedFault &e) {
+    whyNot = e.verdict.str();
+  }
+  if (!cm) {
+    if (fallbackNote)
+      *fallbackNote = whyNot;
+    if (engine == SimEngine::CompiledStrict) {
+      result.error = "vsim: compiled-strict: " + whyNot;
+      return result;
+    }
+    return runTestbench(source, topModule, maxTime);
+  }
+  CompiledSimulation sim(std::move(cm));
+  sim.runToFinish(maxTime);
+  result.finished = sim.finished();
+  result.output = sim.displayed();
+  result.timeUnits = sim.now();
+  if (!sim.ok())
+    result.error = sim.error();
+  else if (!sim.finished())
+    result.error = "simulation went quiescent without $finish";
+  return result;
 }
 
 } // namespace c2h::vsim

@@ -56,11 +56,21 @@ public:
   void pokeMemory(const std::string &name, std::size_t index,
                   const BitVector &value);
 
-  // Settle combinational logic (poke settles implicitly).
+  // Settle combinational logic (poke settles implicitly).  Behavioral
+  // models additionally run the thread scheduler to quiescence, so the
+  // first settle executes `initial` threads — same as Simulation.
   void settle();
   // One full clock: clk 0->1 (domain executes) -> 0.
   void tick(const std::string &clk = "clk");
+  // Behavioral-mode driver: thread scheduler until $finish, no pending
+  // events, or `maxTime` time units (same contract as
+  // Simulation::runToFinish; a no-op for non-behavioral models, which are
+  // driven externally through poke/tick).
+  void runToFinish(std::uint64_t maxTime);
 
+  bool finished() const { return finished_; }
+  std::uint64_t now() const { return time_; }
+  const std::vector<std::string> &displayed() const { return output_; }
   bool ok() const { return error_.empty(); }
   const std::string &error() const { return error_; }
   // Structured cause when a shared-budget trip or injected fault stopped
@@ -80,13 +90,34 @@ private:
     BitVector value{1};
   };
 
-  void execProgram(const Program &p);
+  // One behavioral thread's runtime state; the program and static shape
+  // live in cm_->threads[index].
+  struct TbThread {
+    enum class State { Ready, AtEdge, AtWait, AtTime, Done };
+    State state = State::Done;
+    std::uint32_t index = 0; // into cm_->threads
+    std::size_t pc = 0;      // resume point
+    int edgeNet = -1;
+    std::uint32_t waitCond = 0;
+    std::uint64_t wakeTime = 0;
+  };
+
+  // `t` is non-null for thread programs: suspension ops park the thread
+  // and record the resume pc before returning.
+  void execProgram(const Program &p, TbThread *t = nullptr);
+  void execThread(TbThread &t);
+  bool wakeOnEventsTb();
+  void runDeltaTb();
+  bool advanceTimeTb();
+  void settleTb();
+  void recordPosedge(int netId); // watched nets only; others are no-ops
   void chargeBudget(std::uint64_t insns);
   void flushComb();
   void commitNba();
   void runDomain(int domain);
   void markNetFanout(int netId);
   void markMemFanout(int memId);
+  void recordFailure(const guard::Verdict &v);
 
   std::shared_ptr<const CompiledModel> cm_;
   std::vector<BitVector> nets_; // committed state + levelized wire values
@@ -95,6 +126,13 @@ private:
   std::vector<NbWrite> nba_;
   std::vector<std::uint8_t> dirty_; // per wire rank
   std::uint32_t minDirty_ = 0;      // first possibly-dirty rank
+  // ---- behavioral mode ----
+  std::vector<TbThread> threads_;
+  std::vector<int> posedges_; // watched nets whose LSB rose since drain
+  std::vector<std::string> output_;
+  std::uint64_t time_ = 0;
+  bool finished_ = false;
+  bool stop_ = false; // abort-class failure: the scheduler must not go on
   std::string error_;
   guard::Verdict verdict_;
   guard::ExecBudget *budget_ = nullptr;

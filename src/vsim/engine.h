@@ -17,6 +17,11 @@ enum class SimEngine {
   Event,    // reference evaluator
   Compiled, // levelized bytecode VM (falls back to Event when a model
             // uses constructs outside the compilable subset)
+  CompiledStrict, // bytecode VM with the fallback ladder disarmed: any
+                  // compile failure or guard-triggered retry is an error
+                  // instead of a silent downgrade.  The contract-checking
+                  // mode bench_cosim and CI run to keep the compiled
+                  // subset equal to the event subset.
 };
 
 } // namespace c2h::vsim

@@ -1,0 +1,30 @@
+// Shared $readmemh/$readmemb loader used by both simulation engines.
+//
+// Parsing follows the subset both engines accept: whitespace-separated
+// hex/binary words, `//` and `/* */` comments, `@addr` (hex) address
+// records, `_` digit separators; x/z digits load as 0 (2-state values).
+// Any failure — unreadable file, malformed token, or a write landing past
+// the end of the memory — fills `verdict` with a structured IoError (or
+// the injected-fault verdict from the guarded read) and returns false;
+// nothing is ever clamped or silently dropped.
+#ifndef C2H_VSIM_READMEM_H
+#define C2H_VSIM_READMEM_H
+
+#include "support/bitvector.h"
+#include "support/guard.h"
+
+#include <string>
+#include <vector>
+
+namespace c2h::vsim {
+
+// Load `path` into `cells` (each cell resized to `width`).  Cells are
+// written in place as records parse, so on failure the prefix before the
+// offending record has already been stored — the same observable state the
+// event engine always had.  Returns false and fills `verdict` on failure.
+bool loadMemFile(const std::string &path, bool readHex, unsigned width,
+                 std::vector<BitVector> &cells, guard::Verdict &verdict);
+
+} // namespace c2h::vsim
+
+#endif // C2H_VSIM_READMEM_H

@@ -1,6 +1,7 @@
 #include "vsim/sim.h"
 
 #include "vsim/parser.h"
+#include "vsim/readmem.h"
 
 #include <algorithm>
 #include <cctype>
@@ -306,100 +307,15 @@ void Simulation::execAssign(const Stmt *s, bool nonBlocking) {
     writeNet(lhs->netId, v);
 }
 
-// $readmemh/$readmemb: load whitespace-separated hex/binary words into a
-// memory.  Supports `//` and `/* */` comments, `@addr` (hex) address
-// records, and `_` digit separators; x/z digits load as 0 (2-state values).
-// File errors and malformed tokens surface as a structured IoError verdict
-// through the guarded-I/O path, never as an exception.
+// $readmemh/$readmemb through the shared loader (vsim/readmem.h): file
+// errors, malformed tokens, and out-of-range records surface as a
+// structured IoError verdict, never as an exception.
 void Simulation::execReadMem(const Stmt *s) {
-  std::string contents;
-  guard::Verdict v;
-  if (!guard::readFile(s->text, contents, v, "vsim.readmem")) {
-    recordGuardFailure(v);
-    return;
-  }
-  auto malformed = [&](const std::string &why) {
-    guard::Verdict bad;
-    bad.kind = guard::Kind::IoError;
-    bad.stage = "vsim.readmem";
-    bad.site = s->text + ": " + why;
-    recordGuardFailure(bad);
-  };
   auto &cells = mems_[static_cast<std::size_t>(s->memIdx)];
   unsigned width = model_->mems[static_cast<std::size_t>(s->memIdx)].width;
-  std::uint64_t addr = 0;
-  std::size_t i = 0, n = contents.size();
-  while (i < n) {
-    char c = contents[i];
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
-      while (i < n && contents[i] != '\n')
-        ++i;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
-      std::size_t end = contents.find("*/", i + 2);
-      if (end == std::string::npos)
-        return malformed("unterminated comment");
-      i = end + 2;
-      continue;
-    }
-    if (c == '@') {
-      std::size_t start = ++i;
-      std::uint64_t a = 0;
-      while (i < n && std::isxdigit(static_cast<unsigned char>(contents[i])))
-        a = a * 16 + static_cast<std::uint64_t>(
-                         std::stoi(std::string(1, contents[i++]), nullptr, 16));
-      if (i == start)
-        return malformed("expected hex address after '@'");
-      addr = a;
-      continue;
-    }
-    // A value token: hex or binary digits (plus x/z/_, 2-state folds to 0).
-    std::string hex;   // the token normalized to hex nibbles
-    std::string bits;  // binary accumulation for $readmemb
-    std::size_t start = i;
-    for (; i < n && !std::isspace(static_cast<unsigned char>(contents[i]));
-         ++i) {
-      char d = contents[i];
-      if (d == '_')
-        continue;
-      if (d == 'x' || d == 'X' || d == 'z' || d == 'Z')
-        d = '0';
-      if (s->readHex) {
-        if (!std::isxdigit(static_cast<unsigned char>(d)))
-          return malformed(std::string("bad hex digit '") + d + "'");
-        hex += d;
-      } else {
-        if (d != '0' && d != '1')
-          return malformed(std::string("bad binary digit '") + d + "'");
-        bits += d;
-      }
-    }
-    if (!s->readHex) {
-      // Fold binary to hex, LSB-aligned.
-      while (bits.size() % 4)
-        bits.insert(bits.begin(), '0');
-      for (std::size_t b = 0; b < bits.size(); b += 4) {
-        int nib = (bits[b] - '0') * 8 + (bits[b + 1] - '0') * 4 +
-                  (bits[b + 2] - '0') * 2 + (bits[b + 3] - '0');
-        hex += "0123456789abcdef"[nib];
-      }
-    }
-    if (hex.empty())
-      hex = "0";
-    bool ok = false;
-    BitVector value = BitVector::fromString(width, "0x" + hex, &ok);
-    if (!ok)
-      return malformed("bad value token '" +
-                       contents.substr(start, i - start) + "'");
-    if (addr < cells.size())
-      cells[addr] = std::move(value);
-    ++addr;
-  }
+  guard::Verdict v;
+  if (!loadMemFile(s->text, s->readHex, width, cells, v))
+    recordGuardFailure(v);
   ++generation_;
 }
 

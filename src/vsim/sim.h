@@ -25,6 +25,7 @@
 
 #include "support/guard.h"
 #include "vsim/elab.h"
+#include "vsim/engine.h"
 
 #include <cstdint>
 #include <memory>
@@ -169,6 +170,15 @@ struct TestbenchResult {
 TestbenchResult runTestbench(const std::string &source,
                              const std::string &topModule,
                              std::uint64_t maxTime = 20'000'000);
+
+// Engine-selecting variant (defined in cvm.cpp).  Compiled engines run the
+// testbench on the bytecode VM's thread scheduler; when compilation fails
+// the reason lands in *fallbackNote (if given) and Compiled falls back to
+// the event engine while CompiledStrict returns the failure as an error.
+TestbenchResult runTestbench(const std::string &source,
+                             const std::string &topModule,
+                             std::uint64_t maxTime, SimEngine engine,
+                             std::string *fallbackNote = nullptr);
 
 } // namespace c2h::vsim
 

@@ -118,6 +118,23 @@ int main(int argc, char **argv) {
              ++n, "cosim   : PASS");
   expectExit("cosim_all_flows", c2hc + " --workload=gcd --flow=all --cosim",
              0, ++n, "cosim");
+  // compiled-strict: every accepted row must run on the compiled engine
+  // with zero fallbacks — a downgrade would fail the row and flip exit 1.
+  expectExit("cosim_strict_no_fallback",
+             c2hc + " --workload=gcd --flow=all --cosim"
+                    " --vsim-engine=compiled-strict",
+             0, ++n, "cosim");
+  expectExit("cosim_strict_single_flow",
+             c2hc + " " + fx + "/good.uc --flow=bachc --args=3 --cosim"
+                    " --vsim-engine=compiled-strict",
+             0, ++n, "compiled engine");
+  expectExit("bad_vsim_engine",
+             c2hc + " --workload=gcd --cosim --vsim-engine=interpreted", 2,
+             ++n, "invalid value for --vsim-engine");
+  // JSON cosim rows carry the engine and (empty) fallback per flow.
+  expectExit("cosim_json_rows",
+             c2hc + " --workload=gcd --flow=all --cosim --diag-format=json",
+             0, ++n, "\"engine\":\"compiled\",\"fallback\":\"\"");
   expectExit("emit_verilog_dir",
              c2hc + " " + fx + "/good.uc --flow=bachc --args=3"
                     " --emit-verilog=test_cli_emit_out",
@@ -155,6 +172,28 @@ int main(int argc, char **argv) {
              c2hc + " " + fx + "/good.uc --flow=bachc --args=3"
                     " --inject-fault=flow.lower",
              1, ++n, "INJECTED_FAULT");
+  // The nth field is parsed as digits only: "-3" must be a usage error,
+  // not a wrap through stoull to the 2^64-3rd hit.
+  expectExit("negative_inject_nth",
+             c2hc + " " + fx + "/good.uc --flow=bachc --args=3"
+                    " --inject-fault=flow.lower:-3",
+             2, ++n, "invalid value for --inject-fault");
+  expectExit("zero_inject_nth",
+             c2hc + " " + fx + "/good.uc --flow=bachc --args=3"
+                    " --inject-fault=flow.lower:0",
+             2, ++n, "invalid value for --inject-fault");
+  // An injected vsim.compile fault downgrades the cosim to the event
+  // engine; the recorded reason is surfaced, never silent.
+  expectExit("compile_fault_fallback_is_surfaced",
+             c2hc + " " + fx + "/good.uc --flow=bachc --args=3 --cosim"
+                    " --inject-fault=vsim.compile",
+             0, ++n, "fallback to event engine");
+  // Under compiled-strict the same fault is an error, exit 1.
+  expectExit("compile_fault_strict_is_an_error",
+             c2hc + " " + fx + "/good.uc --flow=bachc --args=3 --cosim"
+                    " --vsim-engine=compiled-strict"
+                    " --inject-fault=vsim.compile",
+             1, ++n, "compiled-strict");
   expectExit("step_budget_exit_4",
              c2hc + " " + fx + "/longloop.uc --flow=bachc --args=1"
                     " --budget-steps=10000",

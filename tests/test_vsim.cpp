@@ -17,6 +17,7 @@
 #include "testutil.h"
 #include "vsim/compile.h"
 #include "vsim/cosim.h"
+#include "vsim/cvm.h"
 #include "vsim/parser.h"
 #include "vsim/sim.h"
 
@@ -568,10 +569,11 @@ TEST(VsimCompiled, RepeatedRunsAreDeterministic) {
   }
 }
 
-// Models outside the compiled subset (here: a testbench-style delay
-// loop driving its own clock) must fall back to the event engine with a
-// reason, not fail.
-TEST(VsimCompiled, UncompilableModelFallsBack) {
+// Testbench-style models (a delay loop driving its own clock) used to be
+// outside the compiled subset; they now compile in behavioral mode.  The
+// compiled subset equals the event subset — only a combinational loop or
+// an injected compile fault may refuse.
+TEST(VsimCompiled, SelfClockedModelCompilesBehaviorally) {
   std::string err;
   vsim::ParseDiagnostic diag;
   auto unit = vsim::parseVerilog("module m(input wire clk, input wire rst,"
@@ -586,8 +588,200 @@ TEST(VsimCompiled, UncompilableModelFallsBack) {
   ASSERT_NE(model, nullptr) << err;
   std::string why;
   auto compiled = vsim::compileModel(model, why);
-  EXPECT_EQ(compiled, nullptr);
-  EXPECT_FALSE(why.empty());
+  ASSERT_NE(compiled, nullptr) << why;
+  EXPECT_TRUE(compiled->behavioral);
+}
+
+// The fallback ladder still exists, but its only remaining legitimate
+// trigger is a fault: an armed vsim.compile site downgrades Compiled to
+// the event engine with the verdict recorded, and turns CompiledStrict
+// into a loud error instead of a silent downgrade.
+TEST(VsimCompiled, InjectedCompileFaultIsTheOnlyFallback) {
+  const core::Workload &w = core::findWorkload("gcd");
+  auto r = flows::runFlow(*flows::findFlow("bachc"), w.source, w.top);
+  ASSERT_TRUE(r.ok) << r.error;
+  TypeContext types;
+  DiagnosticEngine diags;
+  auto program = frontend(w.source, types, diags);
+  auto args = core::argBits(*program, w.top, w.args);
+
+  {
+    guard::armFault("vsim.compile");
+    vsim::Cosimulation cosim(*r.design);
+    vsim::CosimOptions opts;
+    opts.engine = vsim::SimEngine::Compiled;
+    auto res = cosim.run(args, opts);
+    guard::disarmFaults();
+    ASSERT_TRUE(res.ok) << res.error; // graceful: event engine took over
+    EXPECT_EQ(cosim.engineUsed(), vsim::SimEngine::Event);
+    EXPECT_TRUE(contains(cosim.compileNote(), "INJECTED_FAULT"))
+        << cosim.compileNote();
+  }
+  {
+    guard::armFault("vsim.compile");
+    vsim::Cosimulation cosim(*r.design);
+    vsim::CosimOptions opts;
+    opts.engine = vsim::SimEngine::CompiledStrict;
+    auto res = cosim.run(args, opts);
+    guard::disarmFaults();
+    EXPECT_FALSE(res.ok);
+    EXPECT_TRUE(contains(res.error, "compiled-strict")) << res.error;
+    EXPECT_EQ(res.verdict.kind, guard::Kind::InjectedFault);
+  }
+}
+
+// Registry-wide no-fallback sweep: compileModel must succeed for every
+// design the event engine accepts — every accepted synchronous (flow,
+// workload) pair AND its generated self-checking testbench.  This is the
+// closed-subset claim as a test; bench_cosim enforces the same property
+// with exact-agreement runs.
+TEST(VsimCompiled, NoFallbackAcrossRegistry) {
+  unsigned designs = 0, testbenches = 0;
+  for (const auto &w : core::standardWorkloads()) {
+    TypeContext types;
+    DiagnosticEngine diags;
+    auto program = frontend(w.source, types, diags);
+    if (!program)
+      continue;
+    auto args = core::argBits(*program, w.top, w.args);
+    Interpreter interp(*program);
+    auto golden = interp.call(w.top, args);
+    for (const auto &spec : flows::allFlows()) {
+      if (spec.asyncDataflow)
+        continue;
+      auto r = flows::runFlow(spec, w.source, w.top);
+      if (!r.ok || !r.design)
+        continue;
+      std::string text = rtl::emitVerilog(*r.design);
+      std::string top = "c2h_" + rtl::verilogIdent(r.design->top);
+      vsim::ParseDiagnostic diag;
+      auto unit = vsim::parseVerilog(text, diag);
+      ASSERT_TRUE(diag.ok()) << w.name << "/" << spec.info.id << ": "
+                             << diag.str();
+      std::string err, why;
+      auto model = vsim::elaborate(unit, top, err);
+      ASSERT_NE(model, nullptr) << w.name << "/" << spec.info.id << ": "
+                                << err;
+      EXPECT_NE(vsim::compileModel(model, why), nullptr)
+          << w.name << "/" << spec.info.id << " fell back: " << why;
+      ++designs;
+      if (!golden.ok)
+        continue;
+      std::string tb =
+          text + rtl::emitTestbench(*r.design, args, golden.returnValue);
+      vsim::ParseDiagnostic tbDiag;
+      auto tbUnit = vsim::parseVerilog(tb, tbDiag);
+      ASSERT_TRUE(tbDiag.ok()) << w.name << "/" << spec.info.id << ": "
+                               << tbDiag.str();
+      auto tbModel = vsim::elaborate(tbUnit, top + "_tb", err);
+      ASSERT_NE(tbModel, nullptr) << w.name << "/" << spec.info.id << ": "
+                                  << err;
+      EXPECT_NE(vsim::compileModel(tbModel, why), nullptr)
+          << w.name << "/" << spec.info.id << " testbench fell back: "
+          << why;
+      ++testbenches;
+    }
+  }
+  EXPECT_GT(designs, 100u);     // the sweep really covered the registry
+  EXPECT_GT(testbenches, 100u);
+}
+
+// Regression for closed gap (a): a generated testbench — `always #1`
+// clock, repeat/@(posedge)/wait threads, $display, $finish — runs on the
+// compiled engine with no fallback and byte-identical results.
+TEST(VsimCompiled, DelayThreadTestbenchMatchesEventEngine) {
+  TbRun t = buildGcd();
+  ASSERT_TRUE(t.flow.ok);
+  std::string src = rtl::emitVerilog(*t.flow.design) + "\n" +
+                    rtl::emitTestbench(*t.flow.design, t.args, t.golden);
+  vsim::TestbenchResult event = vsim::runTestbench(src, "c2h_main_tb");
+  ASSERT_TRUE(event.error.empty()) << event.error;
+  std::string note;
+  vsim::TestbenchResult compiled = vsim::runTestbench(
+      src, "c2h_main_tb", 20'000'000, vsim::SimEngine::CompiledStrict,
+      &note);
+  EXPECT_TRUE(note.empty()) << "fell back: " << note;
+  ASSERT_TRUE(compiled.error.empty()) << compiled.error;
+  EXPECT_TRUE(compiled.finished);
+  EXPECT_EQ(event.timeUnits, compiled.timeUnits);
+  EXPECT_EQ(event.output, compiled.output);
+  ASSERT_FALSE(compiled.output.empty());
+  EXPECT_TRUE(contains(compiled.output.front(), "PASS"))
+      << compiled.output.front();
+}
+
+// Regression for closed gap (b): two independent clock domains with
+// different periods.  The compiled engine's per-domain interleaving must
+// reproduce the event engine's deterministic schedule exactly — counts,
+// $display order, and finish time.
+TEST(VsimCompiled, TwoClockDesignMatchesEventEngine) {
+  const std::string src =
+      "module tb;\n"
+      "  reg clka = 0;\n"
+      "  reg clkb = 0;\n"
+      "  integer na = 0;\n"
+      "  integer nb = 0;\n"
+      "  reg [7:0] xfer = 0;\n"
+      "  always #2 clka = ~clka;\n"
+      "  always #3 clkb = ~clkb;\n"
+      "  always @(posedge clka) na = na + 1;\n"
+      "  always @(posedge clkb) begin\n"
+      "    nb = nb + 1;\n"
+      "    xfer <= na[7:0];\n" // cross-domain sample, NBA-committed
+      "  end\n"
+      "  initial begin\n"
+      "    repeat (7) @(posedge clkb);\n"
+      "    $display(\"na=%0d nb=%0d xfer=%0d\", na, nb, xfer);\n"
+      "    wait (na >= 12);\n"
+      "    $display(\"done na=%0d nb=%0d\", na, nb);\n"
+      "    $finish;\n"
+      "  end\n"
+      "endmodule\n";
+  vsim::TestbenchResult event = vsim::runTestbench(src, "tb");
+  ASSERT_TRUE(event.error.empty()) << event.error;
+  ASSERT_TRUE(event.finished);
+  std::string note;
+  vsim::TestbenchResult compiled = vsim::runTestbench(
+      src, "tb", 20'000'000, vsim::SimEngine::CompiledStrict, &note);
+  EXPECT_TRUE(note.empty()) << "fell back: " << note;
+  ASSERT_TRUE(compiled.error.empty()) << compiled.error;
+  EXPECT_TRUE(compiled.finished);
+  EXPECT_EQ(event.timeUnits, compiled.timeUnits);
+  EXPECT_EQ(event.output, compiled.output);
+}
+
+// Regression for closed gap (c): $readmemh in a plain initial block lands
+// in the compiled init image — the VM starts from the loaded ROM without
+// falling back, and both engines read identical contents.
+TEST(VsimCompiled, ReadMemInitMatchesEventEngine) {
+  const char *path = "vsim_compiled_init.hex";
+  {
+    std::ofstream out(path);
+    out << "11 22 33 44\n@6\n55\n";
+  }
+  auto model = mustElaborate("module m(input wire clk);\n"
+                             "  reg [7:0] rom [0:7];\n"
+                             "  initial $readmemh(\"" +
+                                 std::string(path) + "\", rom);\n"
+                             "endmodule\n",
+                             "m");
+  ASSERT_NE(model, nullptr);
+  vsim::Simulation event(model);
+  event.settle();
+  ASSERT_TRUE(event.ok()) << event.error();
+  std::string why;
+  auto compiled = vsim::compileModel(model, why);
+  ASSERT_NE(compiled, nullptr) << why;
+  EXPECT_FALSE(compiled->behavioral); // plain init: image, not threads
+  vsim::CompiledSimulation vm(compiled);
+  auto ec = event.memoryContents("rom");
+  auto cc = vm.memoryContents("rom");
+  ASSERT_EQ(ec.size(), cc.size());
+  for (std::size_t i = 0; i < ec.size(); ++i)
+    EXPECT_EQ(ec[i].toUint64(), cc[i].toUint64()) << "rom[" << i << "]";
+  EXPECT_EQ(cc[0].toUint64(), 0x11u);
+  EXPECT_EQ(cc[6].toUint64(), 0x55u);
+  std::remove(path);
 }
 
 // --------------------------------------------------------------------------
@@ -683,6 +877,47 @@ TEST(VsimSim, ReadMemMalformedTokenIsAStructuredIoError) {
   EXPECT_FALSE(sim.ok());
   EXPECT_EQ(static_cast<int>(sim.verdict().kind),
             static_cast<int>(guard::Kind::IoError));
+  std::remove(path);
+}
+
+// Adversarial image: an @addr record pointing past the end of the memory
+// must be a structured IoError on BOTH engines — never a clamp to the
+// last cell, and never a silent fallback.  Words parsed before the bad
+// record stay loaded (the event engine's historical behavior).
+TEST(VsimSim, ReadMemAddressPastEndIsAStructuredIoError) {
+  const char *path = "vsim_readmem_oob.hex";
+  {
+    std::ofstream out(path);
+    out << "de ad\n@20\nbe\n"; // @0x20 = 32, depth is 16
+  }
+  auto model = mustElaborate("module m;\n"
+                             "  reg [7:0] rom [0:15];\n"
+                             "  initial $readmemh(\"vsim_readmem_oob.hex\","
+                             " rom);\n"
+                             "endmodule\n",
+                             "m");
+  ASSERT_NE(model, nullptr);
+  vsim::Simulation sim(model);
+  sim.settle();
+  EXPECT_FALSE(sim.ok());
+  EXPECT_EQ(static_cast<int>(sim.verdict().kind),
+            static_cast<int>(guard::Kind::IoError));
+  EXPECT_TRUE(contains(sim.error(), "out of range")) << sim.error();
+  auto cells = sim.memoryContents("rom");
+  ASSERT_EQ(cells.size(), 16u);
+  EXPECT_EQ(cells[0].toUint64(), 0xdeu); // parsed prefix survives
+  EXPECT_EQ(cells[1].toUint64(), 0xadu);
+  EXPECT_EQ(cells[15].toUint64(), 0u);   // nothing clamped onto the end
+
+  std::string why;
+  auto compiled = vsim::compileModel(model, why);
+  ASSERT_NE(compiled, nullptr) << why; // still compiles; the *run* fails
+  vsim::CompiledSimulation vm(compiled);
+  vm.settle();
+  EXPECT_FALSE(vm.ok());
+  EXPECT_EQ(static_cast<int>(vm.verdict().kind),
+            static_cast<int>(guard::Kind::IoError));
+  EXPECT_TRUE(contains(vm.error(), "out of range")) << vm.error();
   std::remove(path);
 }
 

@@ -18,8 +18,11 @@
 //                      vsim on values; FSMD == vsim on exact cycles)
 //   --vsim-engine=<e>  vsim backend for --cosim: 'compiled' (default; the
 //                      cycle-compiled bytecode VM, falling back to the
-//                      event engine outside its subset) or 'event' (the
-//                      event-driven reference evaluator)
+//                      event engine on a guard event), 'compiled-strict'
+//                      (same VM, but any fallback is an error — the
+//                      no-silent-fallback gate), or 'event' (the
+//                      event-driven reference evaluator).  Any recorded
+//                      fallback reason is printed with the cosim verdict.
 //   --ir               print the optimized IR listing
 //   --no-sim           synthesize only, skip simulation/verification
 //   --analyze          run the synthesizability analyzer only (no synthesis)
@@ -62,6 +65,7 @@
 //   c2hc pipeline.uc --analyze --diag-format=json
 //   c2hc --workload=gcd --flow=all --cosim
 //   c2hc --workload=fir --emit-verilog=out/
+#include "analysis/diagnostic.h"
 #include "core/c2h.h"
 #include "core/engine.h"
 #include "support/guard.h"
@@ -187,11 +191,13 @@ bool parseArgs(int argc, char **argv, Options &options) {
     } else if (auto v = valueOf("--vsim-engine=")) {
       if (*v == "compiled") {
         options.vsimEngine = vsim::SimEngine::Compiled;
+      } else if (*v == "compiled-strict") {
+        options.vsimEngine = vsim::SimEngine::CompiledStrict;
       } else if (*v == "event") {
         options.vsimEngine = vsim::SimEngine::Event;
       } else {
         std::cerr << "invalid value for --vsim-engine: '" << *v
-                  << "' (expected event or compiled)\n";
+                  << "' (expected event, compiled, or compiled-strict)\n";
         return false;
       }
     } else if (auto v = valueOf("--budget-steps=")) {
@@ -404,6 +410,9 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
         workload, result, options.vsimEngine, &meter);
     if (!cv.degradation.empty())
       std::cout << "   cosim   : degraded (" << cv.degradation << ")\n";
+    if (!cv.fallback.empty())
+      std::cout << "   cosim   : fallback to " << cv.engine << " engine ("
+                << cv.fallback << ")\n";
     if (!cv.ran) {
       std::cout << "   cosim   : not run (" << cv.detail << ")\n";
     } else if (!cv.ok) {
@@ -411,7 +420,7 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
       return cv.verdict.isResourceLimit() ? kExitResource : kExitRejected;
     } else {
       std::cout << "   cosim   : PASS (interpreter == fsmd == vsim, "
-                << cv.cycles << " cycles)\n";
+                << cv.cycles << " cycles, " << cv.engine << " engine)\n";
     }
   }
 
@@ -508,6 +517,32 @@ int runAll(const core::Workload &workload, const Options &options) {
   for (const auto &r : rows)
     if (!r.degradation.empty())
       std::cout << "degraded: " << r.flowId << ": " << r.degradation << "\n";
+  // A recorded compile fallback means the compiled engine ceded the row to
+  // the event engine — surface the whyNot so the downgrade is never silent.
+  for (const auto &r : rows)
+    if (!r.cosimFallback.empty())
+      std::cout << "fallback: " << r.flowId << ": " << r.cosimFallback
+                << "\n";
+  // Machine-readable cosim rows (--diag-format=json --cosim): one JSON
+  // object per flow with the engine that actually ran and any fallback or
+  // degradation reason, for harnesses that gate on zero fallbacks.
+  if (options.jsonDiags && options.cosim) {
+    std::cout << "[";
+    bool first = true;
+    for (const auto &r : rows) {
+      std::cout << (first ? "" : ",") << "{\"flow\":\""
+                << analysis::jsonEscape(r.flowId) << "\",\"cosimRan\":"
+                << (r.cosimRan ? "true" : "false") << ",\"cosimOk\":"
+                << (r.cosimOk ? "true" : "false") << ",\"cycles\":"
+                << r.cosimCycles << ",\"engine\":\""
+                << analysis::jsonEscape(r.cosimEngine) << "\",\"fallback\":\""
+                << analysis::jsonEscape(r.cosimFallback)
+                << "\",\"degradation\":\""
+                << analysis::jsonEscape(r.degradation) << "\"}";
+      first = false;
+    }
+    std::cout << "]\n";
+  }
 
   // `--emit-verilog` under 'all': one (design, testbench) pair per
   // accepted synchronous flow.
@@ -542,7 +577,8 @@ int run(int argc, char **argv) {
     std::cerr << "usage: c2hc <file.uc> [--flow=<id>|all] [--top=<fn>] "
                  "[--args=a,b] [--clock=ns] [--jobs=n] [--verilog=<file>|-] "
                  "[--emit-verilog=<dir>] [--cosim] "
-                 "[--vsim-engine=event|compiled] [--ir] [--no-sim] "
+                 "[--vsim-engine=event|compiled|compiled-strict] "
+                 "[--ir] [--no-sim] "
                  "[--analyze] [--diag-format=text|json] "
                  "[--budget-steps=n] [--budget-cycles=n] [--budget-alloc=n] "
                  "[--budget-ms=n] [--inject-fault=site[:nth]]\n"
