@@ -4,6 +4,7 @@
 #include "analysis/effects.h"
 #include "analysis/lints.h"
 #include "analysis/race.h"
+#include "analysis/range.h"
 
 namespace c2h::analysis {
 
@@ -18,10 +19,15 @@ Report analyzeProgram(const ast::Program &program, const ir::Module *module,
     report.append(checkChannels(program, options.top));
   if (options.loopBounds)
     report.append(lintUnboundedLoops(program, options.loopSeverity));
-  if (options.widthTruncation)
+  // The IR-level range analysis proves what the AST width lint only
+  // guesses; when both could run, only the range findings are reported
+  // (C2H-WIDTH-001 is subsumed by C2H-OVFL-001).
+  if (options.widthTruncation && !(module && options.valueRanges))
     report.append(lintWidthTruncation(program));
   if (options.uninitReads && module)
     report.append(lintUninitReads(*module));
+  if (options.valueRanges && module)
+    report.append(checkRanges(*module));
   report.sort();
   return report;
 }

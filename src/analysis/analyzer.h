@@ -30,6 +30,12 @@ struct AnalyzeOptions {
   bool widthTruncation = true;
   // Uninitialized-read detection runs on the IR when a module is supplied.
   bool uninitReads = true;
+  // Value-range abstract interpretation (analysis/range.h) runs on the IR
+  // when a module is supplied: provable out-of-range indices, divisions by
+  // zero, oversized shifts, dead branches, and guaranteed truncation.  Its
+  // C2H-OVFL-001 subsumes the AST-level C2H-WIDTH-001 heuristic, which is
+  // therefore skipped whenever range analysis runs.
+  bool valueRanges = true;
 };
 
 // Run the enabled analyses over `program` (and `module`, when non-null, for

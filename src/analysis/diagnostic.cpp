@@ -114,7 +114,10 @@ std::string jsonEscape(const std::string &text) {
 
 std::string Report::renderJson() const {
   std::ostringstream out;
-  out << "{\"findings\":[";
+  // schema_version history: 1 = findings/errors/warnings (implicit, never
+  // emitted); 2 = the same shape with this explicit version key.  Bump it
+  // whenever a key is added, removed, or its meaning changes.
+  out << "{\"schema_version\":2,\"findings\":[";
   for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
     const Diagnostic &d = diagnostics_[i];
     if (i)

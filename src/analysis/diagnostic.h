@@ -62,8 +62,10 @@ public:
   void sort();
 
   std::string renderText() const;
-  // Stable JSON: {"findings":[...],"errors":N,"warnings":N}.  Keys and
-  // array orders are fixed; no floats, no timestamps.
+  // Stable JSON: {"schema_version":2,"findings":[...],"errors":N,
+  // "warnings":N}.  Keys and array orders are fixed; no floats, no
+  // timestamps.  schema_version bumps on any shape change so scripts can
+  // hard-fail on surprises instead of misparsing.
   std::string renderJson() const;
 
 private:

@@ -2,6 +2,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/lints.h"
+#include "analysis/range.h"
 #include "frontend/parser.h"
 #include "ir/lower.h"
 #include "opt/ifconvert.h"
@@ -366,8 +367,35 @@ FlowResult runFlowChecked(const FlowSpec &spec, ast::Program &program,
     result.error = "lowering: " + diags.str();
     return result;
   }
-  if (spec.optimizeIr)
+
+  // 4b. Value-range gate, on the *raw* lowered IR: a provably out-of-range
+  //     access or division by zero is wrong in every backend, and it must be
+  //     caught before optimization constant-folds the offending operation
+  //     into its (defined but surprising) hardware result.
+  {
+    analysis::Report ranges = analysis::checkRanges(*module);
+    if (ranges.hasErrors()) {
+      result.accepted = false;
+      analysis::Report errors;
+      for (const auto &d : ranges.diagnostics())
+        if (d.severity == analysis::Severity::Error) {
+          result.rejections.push_back(std::string(spec.info.displayName) +
+                                      " rejects the program: " + d.oneLine());
+          errors.add(d);
+        }
+      errors.sort();
+      result.analysisFindings = std::move(errors);
+      return result;
+    }
+  }
+
+  if (spec.optimizeIr) {
     opt::optimizeModule(*module);
+    // Range-driven dead-branch pruning: branches the interval analysis
+    // decides fold to unconditional jumps, then the cleanup passes rerun.
+    if (analysis::pruneDeadBranches(*module))
+      opt::optimizeModule(*module);
+  }
   if (spec.stackifyRecursion && opt::stackifyRecursion(*module))
     opt::optimizeModule(*module);
   if (spec.ifConvertBranches) {

@@ -578,6 +578,27 @@ bool simplifyCFG(ir::Function &fn) {
   return changed;
 }
 
+bool foldDecidedBranches(ir::Function &fn,
+                         const std::map<const ir::Instr *, bool> &decided) {
+  bool changed = false;
+  for (auto &block : fn.blocks()) {
+    ir::Instr *term = block->terminator();
+    if (!term || term->op != ir::Opcode::CondBr)
+      continue;
+    auto it = decided.find(term);
+    if (it == decided.end())
+      continue;
+    term->op = ir::Opcode::Br;
+    term->target0 = it->second ? term->target0 : term->target1;
+    term->target1 = nullptr;
+    term->operands.clear();
+    changed = true;
+  }
+  if (changed)
+    simplifyCFG(fn);
+  return changed;
+}
+
 std::size_t instructionCount(const ir::Function &fn) {
   std::size_t n = 0;
   for (const auto &block : fn.blocks())

@@ -18,6 +18,8 @@
 
 #include "ir/ir.h"
 
+#include <map>
+
 namespace c2h::opt {
 
 struct IrOptOptions {
@@ -31,6 +33,14 @@ struct IrOptOptions {
 bool localValueNumbering(ir::Function &fn);
 bool deadCodeElimination(ir::Function &fn);
 bool simplifyCFG(ir::Function &fn);
+
+// Rewrite every CondBr listed in `decided` (true = always target0) into an
+// unconditional Br and clean up the CFG.  The verdicts come from whoever
+// can prove them — analysis::pruneDeadBranches feeds this with value-range
+// facts; the pass itself stays analysis-agnostic so the optimizer layer
+// never depends on the analyzer.
+bool foldDecidedBranches(ir::Function &fn,
+                         const std::map<const ir::Instr *, bool> &decided);
 
 // Run all enabled passes to a fixpoint over every function in the module.
 // Returns true if anything changed.

@@ -15,7 +15,31 @@ unsigned capped(std::uint64_t bits, unsigned declared) {
 
 } // namespace
 
-WidthInference inferWidths(const ir::Module &module, const ir::Function &fn) {
+unsigned widthForRange(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi)
+    return 1; // empty (value never produced): one wire
+  if (lo >= 0) {
+    // Unsigned magnitude width: bits needed for hi.
+    unsigned w = 0;
+    std::uint64_t v = static_cast<std::uint64_t>(hi);
+    while (v) {
+      ++w;
+      v >>= 1;
+    }
+    return std::max(1u, w);
+  }
+  // Signed: smallest w with -(2^(w-1)) <= lo and hi <= 2^(w-1)-1.
+  for (unsigned w = 1; w < 64; ++w) {
+    std::int64_t minS = -(std::int64_t(1) << (w - 1));
+    std::int64_t maxS = (std::int64_t(1) << (w - 1)) - 1;
+    if (lo >= minS && hi <= maxS)
+      return w;
+  }
+  return 64;
+}
+
+WidthInference inferWidths(const ir::Module &module, const ir::Function &fn,
+                           const IntervalFacts *facts) {
   WidthInference out;
 
   // Declared widths.
@@ -215,6 +239,25 @@ WidthInference inferWidths(const ir::Module &module, const ir::Function &fn) {
   for (const auto &[reg, w] : bits) {
     // A width of zero means "provably always zero": one wire.
     out.effective[reg] = std::max(1u, w);
+  }
+
+  // Interval-powered narrowing: a signed range that fits w bits beats the
+  // magnitude bound, which saturates as soon as a value can go negative.
+  // The contract flips per vreg: a signed narrowing promises faithful
+  // sign extension (v.trunc(w).sext(W) == v), not a magnitude bound.
+  if (facts) {
+    for (const auto &[reg, fact] : facts->vregs) {
+      auto it = out.effective.find(reg);
+      if (it == out.effective.end())
+        continue;
+      unsigned W = declared[reg];
+      unsigned need = std::min(W, widthForRange(fact.lo, fact.hi));
+      if (need < it->second) {
+        it->second = std::max(1u, need);
+        if (fact.lo < 0)
+          out.narrowedSigned[reg] = true;
+      }
+    }
   }
   for (const auto &block : fn.blocks())
     for (const auto &instr : block->instrs())

@@ -10,25 +10,52 @@
 // The bound tracking is unsigned-magnitude based: operations that can
 // produce two's-complement "negative" patterns (sub, neg, arithmetic
 // shifts of unknowns, sign extension of possibly-negative values)
-// conservatively saturate to the declared width.  Soundness is tested by
+// conservatively saturate to the declared width.  A caller that knows
+// better — the range abstract interpreter in analysis/range.h — can pass
+// per-vreg signed interval facts, and values whose whole range fits a
+// narrower two's-complement width narrow past the magnitude bound, with
+// the sign-extension contract recorded per vreg.  Soundness is tested by
 // executing instrumented programs and checking every dynamic value fits
-// its inferred width.
+// its inferred width under its recorded contract.
 #ifndef C2H_OPT_WIDTHINFER_H
 #define C2H_OPT_WIDTHINFER_H
 
 #include "ir/ir.h"
 
+#include <cstdint>
 #include <map>
 
 namespace c2h::opt {
 
+// A sound signed bound on every value a vreg ever holds: for each dynamic
+// value v (interpreted as a two's-complement signed integer at its declared
+// width), lo <= v <= hi.  Produced by analysis/range.h; declared here so
+// the optimizer can consume interval facts without depending on the
+// analysis layer (which depends on this one).
+struct IntervalFact {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
+struct IntervalFacts {
+  std::map<unsigned, IntervalFact> vregs; // vreg id -> bound
+};
+
 struct WidthInference {
   // vreg id -> effective width (<= declared width).
   std::map<unsigned, unsigned> effective;
+  // vreg ids narrowed on the strength of a *signed* interval: the dynamic
+  // contract for these is sign-extension-faithful (v.trunc(w).sext(W) == v)
+  // rather than the unsigned activeBits(v) <= w bound.
+  std::map<unsigned, bool> narrowedSigned;
 
   unsigned widthOf(unsigned vreg, unsigned declared) const {
     auto it = effective.find(vreg);
     return it == effective.end() ? declared : it->second;
+  }
+  bool signedAt(unsigned vreg) const {
+    auto it = narrowedSigned.find(vreg);
+    return it != narrowedSigned.end() && it->second;
   }
   // Total declared vs. effective datapath bits over all instructions'
   // destinations — the recoverable width.
@@ -36,11 +63,19 @@ struct WidthInference {
   std::uint64_t effectiveBits = 0;
 };
 
+// Minimal two's-complement width holding every value in [lo, hi]: the
+// unsigned magnitude width when lo >= 0, else the signed width (sign bit
+// included).  Always >= 1.
+unsigned widthForRange(std::int64_t lo, std::int64_t hi);
+
 // Analyze `fn` within `module` (memory widths bound loads; stores into a
 // memory widen its content bound).  Parameters are assumed full-width
 // (their inputs are unknown).  The result is a sound over-approximation:
-// every dynamic value of vreg r has activeBits <= effective[r].
-WidthInference inferWidths(const ir::Module &module, const ir::Function &fn);
+// every dynamic value of vreg r has activeBits <= effective[r] — or, when
+// narrowedSigned[r] is set (only possible with `facts`), sign-extends
+// faithfully from effective[r] bits.
+WidthInference inferWidths(const ir::Module &module, const ir::Function &fn,
+                           const IntervalFacts *facts = nullptr);
 
 } // namespace c2h::opt
 

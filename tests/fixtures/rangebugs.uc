@@ -1,0 +1,20 @@
+// Seeded range-analysis defects: every range diagnostic fires here, each
+// at a known site.  test_cli byte-compares the analyzer's JSON against
+// rangebugs_analyze.json.
+uint<8> small[16];
+
+int main(int a) {
+  int m = a & 7;
+  int j = 16 + m;
+  int oob = (int)small[j];
+  int maybe = (int)small[a & 31];
+  int z = 4;
+  z = z - 4;
+  int dz = a / z;
+  int sh = a << (32 + m);
+  uint<4> t = (uint<4>)(m + 256);
+  if (m > 9) {
+    oob = 0;
+  }
+  return oob + maybe + dz + sh + (int)t + z;
+}

@@ -67,6 +67,39 @@ void expectExit(const std::string &name, const std::string &cmd, int want,
   std::cout << "ok   " << name << "\n";
 }
 
+// Byte-exact golden comparison: the diagnostic formats are a contract, so
+// any drift — ordering, spacing, schema — must be a deliberate golden-file
+// update, not an accident.
+void expectOutputMatchesFile(const std::string &name, const std::string &cmd,
+                             int wantExit, const std::string &goldenPath,
+                             int n) {
+  std::string output;
+  int got = run(cmd, output, n);
+  if (got != wantExit) {
+    std::cerr << "FAIL " << name << ": exit " << got << ", want " << wantExit
+              << "\n  cmd: " << cmd << "\n  output:\n" << output << "\n";
+    ++failures;
+    return;
+  }
+  std::ifstream in(goldenPath, std::ios::binary);
+  if (!in) {
+    std::cerr << "FAIL " << name << ": cannot open golden " << goldenPath
+              << "\n";
+    ++failures;
+    return;
+  }
+  std::stringstream golden;
+  golden << in.rdbuf();
+  if (output != golden.str()) {
+    std::cerr << "FAIL " << name << ": output differs from golden "
+              << goldenPath << "\n--- got\n" << output << "--- want\n"
+              << golden.str() << "\n";
+    ++failures;
+    return;
+  }
+  std::cout << "ok   " << name << "\n";
+}
+
 void expectSameOutput(const std::string &name, const std::string &cmdA,
                       const std::string &cmdB, int n) {
   std::string a, b;
@@ -154,6 +187,22 @@ int main(int argc, char **argv) {
              "C2H-RACE-001");
   expectExit("deadlock_analyze", c2hc + " " + fx + "/deadlock.uc --analyze",
              1, ++n, "C2H-CHAN-006");
+  // Range-analysis family: the seeded fixture trips every code; analyzer
+  // errors are exit 1, the JSON carries the schema version, flows reject
+  // before synthesis, and the full JSON report is golden-pinned.
+  expectExit("rangebugs_analyze",
+             c2hc + " " + fx + "/rangebugs.uc --analyze", 1, ++n,
+             "C2H-BOUND-001");
+  expectExit("rangebugs_json_schema_version",
+             c2hc + " " + fx + "/rangebugs.uc --analyze --diag-format=json",
+             1, ++n, "\"schema_version\":2");
+  expectExit("rangebugs_rejected_by_flow",
+             c2hc + " " + fx + "/rangebugs.uc --flow=bachc --args=3", 1, ++n,
+             "C2H-DIV-001");
+  expectOutputMatchesFile(
+      "rangebugs_json_golden",
+      c2hc + " " + fx + "/rangebugs.uc --analyze --diag-format=json", 1,
+      fx + "/rangebugs_analyze.json", ++n);
   expectExit("unbounded_loop_under_cones",
              c2hc + " " + fx + "/unbounded.uc --flow=cones", 1, ++n);
 

@@ -9,6 +9,7 @@
 // bytecode VM).  All executions must agree on the return value and on
 // every global, and both vsim engines must match the FSMD simulator's
 // exact cycle count — any divergence is a compiler bug by construction.
+#include "analysis/range.h"
 #include "frontend/sema.h"
 #include "interp/interp.h"
 #include "ir/exec.h"
@@ -18,6 +19,8 @@
 #include "rtl/sim.h"
 #include "support/text.h"
 #include "vsim/cosim.h"
+
+#include "testutil.h"
 
 #include <gtest/gtest.h>
 
@@ -202,6 +205,19 @@ TEST_P(FuzzParity, FiveWayAgreement) {
   ASSERT_NE(rawModule, nullptr) << diags.str();
   ASSERT_TRUE(ir::verify(*rawModule).empty());
 
+  // Static range analysis over the raw IR: generator output is known-good,
+  // so no error-severity finding may fire, and every claim the analysis
+  // makes (intervals, widths, reachability, decided branches) is replayed
+  // against concrete executions in the rounds below — zero contradictions
+  // allowed.
+  analysis::RangeAnalysis ranges = analysis::analyzeRanges(*rawModule);
+  analysis::Report rangeReport = analysis::checkRanges(*rawModule, ranges);
+  EXPECT_EQ(rangeReport.errorCount(), 0u) << rangeReport.renderText();
+  const ir::Function *rawMain = rawModule->findFunction("main");
+  ASSERT_NE(rawMain, nullptr);
+  opt::WidthInference rangedWidths =
+      analysis::inferWidthsWithRanges(*rawModule, *rawMain, ranges);
+
   // Optimized + if-converted variant.
   auto optModule = ir::lowerToIR(*program, diags);
   opt::optimizeModule(*optModule);
@@ -243,6 +259,11 @@ TEST_P(FuzzParity, FiveWayAgreement) {
     EXPECT_EQ(golden.returnValue.toStringHex(),
               raw.returnValue.toStringHex())
         << "raw IR divergence";
+
+    auto claims = testutil::checkStaticClaims(*rawModule, *rawMain, ranges,
+                                              &rangedWidths, args);
+    for (const auto &v : claims.violations)
+      ADD_FAILURE() << "contradicted static claim: " << v;
 
     ir::IRExecutor optExec(*optModule);
     auto opt = optExec.call("main", args);

@@ -6,7 +6,9 @@
 #include "ir/lower.h"
 #include "opt/irpasses.h"
 #include "opt/widthinfer.h"
+#include "analysis/range.h"
 #include "support/text.h"
+#include "testutil.h"
 
 #include <functional>
 #include <gtest/gtest.h>
@@ -31,88 +33,17 @@ std::unique_ptr<World> lowered(const std::string &src) {
   return w;
 }
 
-// Execute `fn(args)` while checking that every value written to a vreg
-// fits the inferred width.  Sequential functions only.
+// Execute `fn(args)` while cross-checking every static claim — inferred
+// widths, interval facts, reachability — via the shared replayer.
 void checkDynamicSoundness(const ir::Module &module, const ir::Function &fn,
                            const opt::WidthInference &widths,
                            const std::vector<BitVector> &args) {
-  std::vector<std::vector<BitVector>> mems;
-  for (const auto &mem : module.mems()) {
-    std::vector<BitVector> cells(mem.depth, BitVector(std::max(1u, mem.width)));
-    for (std::size_t i = 0; i < mem.init.size() && i < cells.size(); ++i)
-      cells[i] = mem.init[i];
-    mems.push_back(std::move(cells));
-  }
-  std::vector<BitVector> regs(fn.vregCount(), BitVector(1));
-  for (std::size_t i = 0; i < fn.params().size(); ++i)
-    regs[fn.params()[i].id] = args[i].resize(fn.params()[i].width, false);
-  auto val = [&](const ir::Operand &op) {
-    return op.isImm() ? op.imm() : regs[op.reg().id];
-  };
-  auto checkFits = [&](unsigned reg, const BitVector &v) {
-    unsigned w = widths.widthOf(reg, v.width());
-    EXPECT_LE(v.activeBits(), w)
-        << "%r" << reg << " = " << v.toStringHex() << " exceeds inferred "
-        << w << " bits";
-  };
-
-  const ir::BasicBlock *block = fn.entry();
-  std::uint64_t guard = 0;
-  for (;;) {
-    ASSERT_LT(++guard, 500000u);
-    const ir::BasicBlock *next = nullptr;
-    for (const auto &instrPtr : block->instrs()) {
-      const ir::Instr &instr = *instrPtr;
-      switch (instr.op) {
-      case ir::Opcode::Const:
-        regs[instr.dst->id] = instr.constValue;
-        checkFits(instr.dst->id, instr.constValue);
-        break;
-      case ir::Opcode::Load: {
-        auto &mem = mems.at(instr.memId);
-        std::uint64_t addr = val(instr.operands[0]).toUint64();
-        ASSERT_LT(addr, mem.size());
-        regs[instr.dst->id] = mem[addr];
-        checkFits(instr.dst->id, mem[addr]);
-        break;
-      }
-      case ir::Opcode::Store: {
-        auto &mem = mems.at(instr.memId);
-        std::uint64_t addr = val(instr.operands[0]).toUint64();
-        ASSERT_LT(addr, mem.size());
-        mem[addr] = val(instr.operands[1]).resize(mem[addr].width(), false);
-        break;
-      }
-      case ir::Opcode::Br:
-        next = instr.target0;
-        break;
-      case ir::Opcode::CondBr:
-        next = val(instr.operands[0]).isZero() ? instr.target1
-                                               : instr.target0;
-        break;
-      case ir::Opcode::Ret:
-        return;
-      case ir::Opcode::Nop:
-      case ir::Opcode::Delay:
-        break;
-      default: {
-        ASSERT_TRUE(instr.dst);
-        std::vector<BitVector> ops;
-        for (const auto &op : instr.operands)
-          ops.push_back(val(op));
-        BitVector v = ir::IRExecutor::evalOp(instr.op, ops,
-                                             instr.dst->width);
-        regs[instr.dst->id] = v;
-        checkFits(instr.dst->id, v);
-        break;
-      }
-      }
-      if (next)
-        break;
-    }
-    ASSERT_NE(next, nullptr);
-    block = next;
-  }
+  analysis::RangeAnalysis ranges = analysis::analyzeRanges(module);
+  auto result =
+      testutil::checkStaticClaims(module, fn, ranges, &widths, args);
+  EXPECT_TRUE(result.executed) << fn.name() << " did not run to completion";
+  for (const auto &v : result.violations)
+    ADD_FAILURE() << v;
 }
 
 TEST(WidthInfer, MaskNarrowsToMaskWidth) {

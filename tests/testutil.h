@@ -1,8 +1,18 @@
-// Shared helpers for string-scanning emitted artifacts in tests.
+// Shared helpers for tests: string scanning of emitted artifacts, and the
+// dynamic cross-check that replays a program and verifies every claim the
+// static range analysis made about it.
 #ifndef C2H_TESTS_TESTUTIL_H
 #define C2H_TESTS_TESTUTIL_H
 
+#include "analysis/range.h"
+#include "ir/exec.h"
+#include "ir/ir.h"
+#include "opt/widthinfer.h"
+
+#include <cstdint>
+#include <sstream>
 #include <string>
+#include <vector>
 
 namespace c2h::testutil {
 
@@ -19,6 +29,199 @@ inline unsigned countOf(const std::string &text, const std::string &needle) {
 
 inline bool contains(const std::string &text, const std::string &needle) {
   return text.find(needle) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Static-claim soundness checking.
+//
+// The range analysis (analysis/range.h) makes four kinds of claims about a
+// program: per-vreg interval bounds, per-vreg effective widths (through
+// opt::inferWidths), per-block reachability, and per-branch decided
+// directions.  None of them is allowed to be wrong — a claim contradicted
+// by any execution is a soundness bug, not an imprecision.  This replayer
+// runs a sequential function concretely and reports every contradiction.
+
+struct ClaimCheckResult {
+  bool executed = false; // reached Ret within the step budget
+  std::vector<std::string> violations;
+};
+
+// Execute `fn(args)` and check each runtime event against the analysis:
+//  * every executed block must be claimed reachable, and the runtime
+//    register file at its entry must lie inside the claimed entry state;
+//  * every value written to a vreg must lie inside its global interval
+//    fact and fit its inferred width under the recorded contract
+//    (sign-extension-faithful when narrowedSigned, unsigned otherwise);
+//  * every taken CondBr direction must match a decided claim if one exists;
+//  * every loaded value must lie inside the memory's content summary.
+// Functions using calls, channels, or forks are skipped (executed=false,
+// no violations): the replayer only models sequential dataflow.  `widths`
+// may be null to skip width-contract checking.
+inline ClaimCheckResult
+checkStaticClaims(const ir::Module &module, const ir::Function &fn,
+                  const analysis::RangeAnalysis &ranges,
+                  const opt::WidthInference *widths,
+                  const std::vector<BitVector> &args,
+                  std::uint64_t maxSteps = 500000) {
+  ClaimCheckResult out;
+  const analysis::FunctionRanges *fr = ranges.of(fn);
+  if (!fr || !fn.entry())
+    return out;
+  for (const auto &block : fn.blocks())
+    for (const auto &instr : block->instrs())
+      switch (instr->op) {
+      case ir::Opcode::Call:
+      case ir::Opcode::Fork:
+      case ir::Opcode::ChanSend:
+      case ir::Opcode::ChanRecv:
+        return out; // not modeled here
+      default:
+        break;
+      }
+
+  auto fail = [&](const std::string &what) {
+    std::ostringstream msg;
+    msg << fn.name() << ": " << what;
+    out.violations.push_back(msg.str());
+  };
+
+  std::vector<std::vector<BitVector>> mems;
+  for (const auto &mem : module.mems()) {
+    std::vector<BitVector> cells(mem.depth, BitVector(std::max(1u, mem.width)));
+    for (std::size_t i = 0; i < mem.init.size() && i < cells.size(); ++i)
+      cells[i] = mem.init[i];
+    mems.push_back(std::move(cells));
+  }
+
+  std::vector<BitVector> regs(fn.vregCount(), BitVector(1));
+  for (std::size_t i = 0; i < fn.params().size() && i < args.size(); ++i)
+    regs[fn.params()[i].id] = args[i].resize(fn.params()[i].width, false);
+  auto val = [&](const ir::Operand &op) {
+    return op.isImm() ? op.imm() : regs[op.reg().id];
+  };
+
+  // A value written to vreg `id` (declared width `declaredW`): inside the
+  // global interval fact, and fitting the inferred width.
+  auto checkWrite = [&](unsigned id, unsigned declaredW, const BitVector &v) {
+    if (widths) {
+      unsigned w = widths->widthOf(id, declaredW);
+      if (widths->signedAt(id)) {
+        if (w < v.width() && !v.trunc(w).sext(v.width()).eq(v))
+          fail("%r" + std::to_string(id) + " = " + v.toStringHex() +
+               " does not sign-extend from claimed " + std::to_string(w) +
+               " bits");
+      } else if (v.activeBits() > w) {
+        fail("%r" + std::to_string(id) + " = " + v.toStringHex() +
+             " exceeds claimed " + std::to_string(w) + " bits");
+      }
+    }
+    auto fIt = fr->facts.vregs.find(id);
+    if (fIt != fr->facts.vregs.end() && declaredW <= 64) {
+      std::int64_t sv = v.toInt64();
+      if (sv < fIt->second.lo || sv > fIt->second.hi)
+        fail("%r" + std::to_string(id) + " = " + std::to_string(sv) +
+             " outside claimed interval [" + std::to_string(fIt->second.lo) +
+             ", " + std::to_string(fIt->second.hi) + "]");
+    }
+  };
+
+  const ir::BasicBlock *block = fn.entry();
+  std::uint64_t steps = 0;
+  for (;;) {
+    if (++steps > maxSteps)
+      return out; // budget exhausted: not a soundness verdict
+    // Reachability and entry-state claims.
+    auto eIt = fr->entry.find(block);
+    if (eIt == fr->entry.end()) {
+      fail("executed block " + block->name() + " claimed unreachable");
+      return out;
+    }
+    const analysis::ValueState &entry = eIt->second;
+    for (std::size_t i = 0; i < entry.regs.size() && i < regs.size(); ++i) {
+      const analysis::Interval &iv = entry.regs[i];
+      if (!iv.known())
+        continue;
+      std::int64_t sv = regs[i].toInt64();
+      if (sv < iv.lo || sv > iv.hi)
+        fail("at entry of " + block->name() + ": %r" + std::to_string(i) +
+             " = " + std::to_string(sv) + " outside claimed " + iv.str());
+    }
+
+    const ir::BasicBlock *next = nullptr;
+    for (const auto &instrPtr : block->instrs()) {
+      const ir::Instr &instr = *instrPtr;
+      switch (instr.op) {
+      case ir::Opcode::Const:
+        regs[instr.dst->id] = instr.constValue;
+        checkWrite(instr.dst->id, instr.dst->width, instr.constValue);
+        break;
+      case ir::Opcode::Load: {
+        auto &mem = mems.at(instr.memId);
+        std::uint64_t addr = val(instr.operands[0]).toUint64();
+        if (addr >= mem.size()) {
+          fail("load address " + std::to_string(addr) + " out of range");
+          return out;
+        }
+        const BitVector &v = mem[addr];
+        if (instr.memId < ranges.memValues.size()) {
+          const analysis::Interval &iv = ranges.memValues[instr.memId];
+          if (iv.known() && v.width() <= 64) {
+            std::int64_t sv = v.toInt64();
+            if (sv < iv.lo || sv > iv.hi)
+              fail("loaded value " + std::to_string(sv) +
+                   " outside memory summary " + iv.str());
+          }
+        }
+        regs[instr.dst->id] = v;
+        checkWrite(instr.dst->id, instr.dst->width, v);
+        break;
+      }
+      case ir::Opcode::Store: {
+        auto &mem = mems.at(instr.memId);
+        std::uint64_t addr = val(instr.operands[0]).toUint64();
+        if (addr >= mem.size()) {
+          fail("store address " + std::to_string(addr) + " out of range");
+          return out;
+        }
+        mem[addr] = val(instr.operands[1]).resize(mem[addr].width(), false);
+        break;
+      }
+      case ir::Opcode::Br:
+        next = instr.target0;
+        break;
+      case ir::Opcode::CondBr: {
+        bool takeTrue = !val(instr.operands[0]).isZero();
+        auto dIt = fr->decided.find(&instr);
+        if (dIt != fr->decided.end() && dIt->second != takeTrue)
+          fail("decided branch in " + block->name() + " went the other way");
+        next = takeTrue ? instr.target0 : instr.target1;
+        break;
+      }
+      case ir::Opcode::Ret:
+        out.executed = true;
+        return out;
+      case ir::Opcode::Nop:
+      case ir::Opcode::Delay:
+        break;
+      default: {
+        std::vector<BitVector> ops;
+        for (const auto &op : instr.operands)
+          ops.push_back(val(op));
+        BitVector v = ir::IRExecutor::evalOp(instr.op, ops, instr.dst->width);
+        regs[instr.dst->id] = v;
+        checkWrite(instr.dst->id, instr.dst->width, v);
+        break;
+      }
+      }
+      if (next)
+        break;
+    }
+    if (!next) {
+      fail("block " + block->name() + " fell through without terminator");
+      return out;
+    }
+    block = next;
+  }
 }
 
 } // namespace c2h::testutil
