@@ -43,6 +43,7 @@ FrontendCache::get(const std::string &source, const std::string &top) {
   for (const auto &entry : bucket)
     if (entry->source == source && entry->top == top) {
       ++hits_;
+      touchLocked(entry);
       return entry;
     }
   ++misses_;
@@ -96,9 +97,68 @@ FrontendCache::get(const std::string &source, const std::string &top) {
   // later call may run disarmed or with a larger budget.  Return the failed
   // entry to this caller but never cache it, so one faulted run can't
   // poison the shared cache for clean runs that follow.
-  if (entry->verdict.ok())
+  if (entry->verdict.ok()) {
     bucket.push_back(entry);
+    lru_.push_front(entry);
+    sizeBytes_ += entryCost(*entry);
+    enforceCapLocked();
+  }
   return entry;
+}
+
+bool FrontendCache::contains(const std::string &source,
+                             const std::string &top) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(hashKey(source, top));
+  if (it == buckets_.end())
+    return false;
+  for (const auto &entry : it->second)
+    if (entry->source == source && entry->top == top)
+      return true;
+  return false;
+}
+
+std::uint64_t FrontendCache::entryCost(const Entry &entry) {
+  // Source text dominates the key; the 8x multiplier stands in for the AST,
+  // interned types, and analysis report the entry anchors, and the constant
+  // floors tiny programs so a cap of N bytes admits O(N/kB) entries at most.
+  return entry.source.size() * 8 + entry.top.size() + 1024;
+}
+
+void FrontendCache::setCapacityBytes(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacityBytes_ = bytes;
+  enforceCapLocked();
+}
+
+void FrontendCache::touchLocked(const std::shared_ptr<Entry> &entry) {
+  for (auto it = lru_.begin(); it != lru_.end(); ++it)
+    if (it->get() == entry.get()) {
+      lru_.splice(lru_.begin(), lru_, it);
+      return;
+    }
+}
+
+void FrontendCache::enforceCapLocked() {
+  if (capacityBytes_ == 0)
+    return;
+  while (sizeBytes_ > capacityBytes_ && !lru_.empty()) {
+    std::shared_ptr<Entry> victim = lru_.back();
+    lru_.pop_back();
+    sizeBytes_ -= std::min(sizeBytes_, entryCost(*victim));
+    ++evictions_;
+    auto bucketIt = buckets_.find(hashKey(victim->source, victim->top));
+    if (bucketIt == buckets_.end())
+      continue;
+    auto &bucket = bucketIt->second;
+    for (auto it = bucket.begin(); it != bucket.end(); ++it)
+      if (it->get() == victim.get()) {
+        bucket.erase(it);
+        break;
+      }
+    if (bucket.empty())
+      buckets_.erase(bucketIt);
+  }
 }
 
 std::uint64_t FrontendCache::hits() const {
@@ -109,6 +169,21 @@ std::uint64_t FrontendCache::hits() const {
 std::uint64_t FrontendCache::misses() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+std::uint64_t FrontendCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::uint64_t FrontendCache::sizeBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sizeBytes_;
+}
+
+std::uint64_t FrontendCache::capacityBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacityBytes_;
 }
 
 CompareEngine::CompareEngine(EngineOptions options)
@@ -131,10 +206,18 @@ unsigned CompareEngine::resolveJobs(const flows::FlowTuning &tuning) const {
   return ThreadPool::hardwareThreads();
 }
 
+ThreadPool &CompareEngine::sharedPool(unsigned jobs) {
+  std::lock_guard<std::mutex> lock(poolMutex_);
+  if (!pool_)
+    pool_ = std::make_unique<ThreadPool>(jobs);
+  return *pool_;
+}
+
 FlowComparison CompareEngine::runCell(const flows::FlowSpec &spec,
                                       const Workload &workload,
                                       FrontendCache::Entry &entry,
-                                      const flows::FlowTuning &tuning) {
+                                      const flows::FlowTuning &tuning,
+                                      const EngineOptions &options) {
   FlowComparison row;
   row.flowId = spec.info.id;
   // One meter per cell, shared by the pipeline, golden-model verification,
@@ -175,9 +258,9 @@ FlowComparison CompareEngine::runCell(const flows::FlowSpec &spec,
     }
     row.cycles = v.cycles;
     row.asyncNs = v.asyncNs;
-    if (options_.cosim && v.ok && result.design && !result.asyncInfo) {
+    if (options.cosim && v.ok && result.design && !result.asyncInfo) {
       CosimVerification cv = cosimAgainstGoldenModel(
-          workload, result, *entry.program, options_.vsimEngine, meter);
+          workload, result, *entry.program, options.vsimEngine, meter);
       row.cosimRan = cv.ran;
       row.cosimOk = cv.ok;
       row.cosimCycles = cv.cycles;
@@ -224,28 +307,48 @@ FlowComparison CompareEngine::runCell(const flows::FlowSpec &spec,
 std::vector<FlowComparison>
 CompareEngine::compareFlows(const Workload &workload,
                             const flows::FlowTuning &tuning) {
-  return compareFlows(workload, flows::allFlows(), tuning);
+  return compareFlowsImpl(workload, flows::allFlows(), tuning, options_);
 }
 
 std::vector<FlowComparison>
 CompareEngine::compareFlows(const Workload &workload,
                             const std::vector<flows::FlowSpec> &specs,
                             const flows::FlowTuning &tuning) {
+  return compareFlowsImpl(workload, specs, tuning, options_);
+}
+
+std::vector<FlowComparison>
+CompareEngine::compareFlows(const Workload &workload,
+                            const flows::FlowTuning &tuning,
+                            const EngineOptions &callOptions) {
+  return compareFlowsImpl(workload, flows::allFlows(), tuning, callOptions);
+}
+
+std::vector<FlowComparison>
+CompareEngine::compareFlowsImpl(const Workload &workload,
+                                const std::vector<flows::FlowSpec> &specs,
+                                const flows::FlowTuning &tuning,
+                                const EngineOptions &options) {
   std::shared_ptr<FrontendCache::Entry> entry =
       cache_.get(workload.source, workload.top);
   std::vector<FlowComparison> rows(specs.size());
   unsigned jobs = resolveJobs(tuning);
   if (jobs <= 1 || specs.size() <= 1) {
     for (std::size_t i = 0; i < specs.size(); ++i)
-      rows[i] = runCell(specs[i], workload, *entry, tuning);
+      rows[i] = runCell(specs[i], workload, *entry, tuning, options);
     return rows;
   }
-  ThreadPool pool(std::min<std::size_t>(jobs, specs.size()));
+  // The persistent pool outlives this call; the group scopes the wait to
+  // this batch so concurrent callers (service requests) never block on each
+  // other's cells.
+  TaskGroup group(sharedPool(static_cast<unsigned>(
+      std::min<std::size_t>(jobs, specs.size()))));
   for (std::size_t i = 0; i < specs.size(); ++i)
-    pool.submit([this, &rows, &specs, &workload, &entry, &tuning, i] {
-      rows[i] = runCell(specs[i], workload, *entry, tuning);
+    group.submit([this, &rows, &specs, &workload, &entry, &tuning, &options,
+                  i] {
+      rows[i] = runCell(specs[i], workload, *entry, tuning, options);
     });
-  pool.wait();
+  group.wait();
   return rows;
 }
 
@@ -267,16 +370,18 @@ CompareEngine::compareMatrix(const std::vector<Workload> &workloads,
   if (jobs <= 1) {
     for (std::size_t w = 0; w < workloads.size(); ++w)
       for (std::size_t f = 0; f < specs.size(); ++f)
-        rows[w][f] = runCell(specs[f], workloads[w], *entries[w], tuning);
+        rows[w][f] =
+            runCell(specs[f], workloads[w], *entries[w], tuning, options_);
     return rows;
   }
-  ThreadPool pool(jobs);
+  TaskGroup group(sharedPool(jobs));
   for (std::size_t w = 0; w < workloads.size(); ++w)
     for (std::size_t f = 0; f < specs.size(); ++f)
-      pool.submit([this, &rows, &specs, &workloads, &entries, &tuning, w, f] {
-        rows[w][f] = runCell(specs[f], workloads[w], *entries[w], tuning);
+      group.submit([this, &rows, &specs, &workloads, &entries, &tuning, w, f] {
+        rows[w][f] =
+            runCell(specs[f], workloads[w], *entries[w], tuning, options_);
       });
-  pool.wait();
+  group.wait();
   return rows;
 }
 

@@ -21,9 +21,11 @@
 #define C2H_CORE_ENGINE_H
 
 #include "core/c2h.h"
+#include "support/threadpool.h"
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,6 +37,13 @@ namespace c2h::core {
 // Compile-once cache for the front end, keyed by hash(source, top).
 // Entries are immutable after creation except for their TypeContext, whose
 // interning is internally synchronized (flows intern types while inlining).
+//
+// The cache is optionally *bounded*: setCapacityBytes(N) caps the resident
+// set (approximate per-entry cost, see entryCost) with LRU eviction, which
+// is what lets a long-lived `c2hc --serve` daemon hold the hot working set
+// without growing forever.  Evicted entries stay alive for whoever still
+// holds the shared_ptr; a later get() for the same key simply recompiles
+// (a miss), so eviction is always safe, never wrong.
 class FrontendCache {
 public:
   struct Entry {
@@ -62,15 +71,41 @@ public:
   // (source, top) return the cached entry.  Thread-safe.
   std::shared_ptr<Entry> get(const std::string &source, const std::string &top);
 
+  // Non-compiling probe: is (source, top) resident right now?  Thread-safe;
+  // does not touch LRU order or the hit/miss counters.
+  bool contains(const std::string &source, const std::string &top) const;
+
+  // LRU byte cap; 0 (the default) = unbounded, preserving the one-shot
+  // CLI's behavior.  Shrinking below the current resident size evicts
+  // immediately.  Thread-safe.
+  void setCapacityBytes(std::uint64_t bytes);
+
+  // Approximate resident cost of one entry: the source text plus a fixed
+  // multiple for the AST/types/analysis it anchors.  Deliberately cheap and
+  // monotone in source size — the cap is a resource guard, not an
+  // accountant.
+  static std::uint64_t entryCost(const Entry &entry);
+
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  std::uint64_t sizeBytes() const;
+  std::uint64_t capacityBytes() const;
 
 private:
+  void touchLocked(const std::shared_ptr<Entry> &entry);
+  void enforceCapLocked();
+
   mutable std::mutex mutex_;
   // 64-bit FNV-1a of (source, top) -> entries; the vector absorbs hash
   // collisions (entries verify the full key).
   std::map<std::uint64_t, std::vector<std::shared_ptr<Entry>>> buckets_;
-  std::uint64_t hits_ = 0, misses_ = 0;
+  // Most-recently-used first.  Only cached (non-guard-event) entries are
+  // listed; sizeBytes_ is the sum of their entryCost.
+  std::list<std::shared_ptr<Entry>> lru_;
+  std::uint64_t capacityBytes_ = 0; // 0 = unbounded
+  std::uint64_t sizeBytes_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
 };
 
 struct EngineOptions {
@@ -101,6 +136,12 @@ public:
   compareFlows(const Workload &workload,
                const std::vector<flows::FlowSpec> &specs,
                const flows::FlowTuning &tuning = {});
+  // Per-call engine options: the cosim service flips cosim mode and the
+  // vsim backend per request while sharing this engine's front-end cache
+  // and worker pool across every request it serves.
+  std::vector<FlowComparison> compareFlows(const Workload &workload,
+                                           const flows::FlowTuning &tuning,
+                                           const EngineOptions &callOptions);
   // The full matrix: result[i] is workloads[i]'s rows in registry order.
   // One thread pool spans all cells, so small workloads don't serialize.
   std::vector<std::vector<FlowComparison>>
@@ -119,12 +160,24 @@ public:
 private:
   FlowComparison runCell(const flows::FlowSpec &spec, const Workload &workload,
                          FrontendCache::Entry &entry,
-                         const flows::FlowTuning &tuning);
+                         const flows::FlowTuning &tuning,
+                         const EngineOptions &options);
+  std::vector<FlowComparison> compareFlowsImpl(
+      const Workload &workload, const std::vector<flows::FlowSpec> &specs,
+      const flows::FlowTuning &tuning, const EngineOptions &options);
   unsigned resolveJobs(const flows::FlowTuning &tuning) const;
+  // The engine's persistent worker pool, created lazily on the first
+  // parallel call and reused by every later batch (TaskGroup-scoped), so a
+  // long-lived daemon never rebuilds threads per request.  Sized by the
+  // first parallel call's resolved jobs; callers that need a specific width
+  // fix it via EngineOptions::jobs.
+  ThreadPool &sharedPool(unsigned jobs);
 
   EngineOptions options_;
   FrontendCache cache_;
   FlowRunner runner_;
+  std::mutex poolMutex_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 } // namespace c2h::core

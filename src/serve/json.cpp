@@ -1,0 +1,307 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace c2h::serve {
+
+const JsonValue *JsonValue::find(const std::string &key) const {
+  if (kind_ != Kind::Object)
+    return nullptr;
+  for (const auto &[name, value] : members_)
+    if (name == key)
+      return &value;
+  return nullptr;
+}
+
+std::string JsonValue::stringOr(const std::string &key,
+                                std::string fallback) const {
+  const JsonValue *v = find(key);
+  return v && v->isString() ? v->stringValue() : std::move(fallback);
+}
+
+std::int64_t JsonValue::intOr(const std::string &key,
+                              std::int64_t fallback) const {
+  const JsonValue *v = find(key);
+  return v && v->isNumber() ? v->intValue() : fallback;
+}
+
+bool JsonValue::boolOr(const std::string &key, bool fallback) const {
+  const JsonValue *v = find(key);
+  return v && v->isBool() ? v->boolValue() : fallback;
+}
+
+JsonValue JsonValue::makeBool(bool b) {
+  JsonValue v(Kind::Bool);
+  v.boolean_ = b;
+  return v;
+}
+
+JsonValue JsonValue::makeNumber(double n) {
+  JsonValue v(Kind::Number);
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::makeString(std::string s) {
+  JsonValue v(Kind::String);
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::makeArray(std::vector<JsonValue> items) {
+  JsonValue v(Kind::Array);
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::makeObject(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v(Kind::Object);
+  v.members_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &text, std::string &error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue &out) {
+    skipWs();
+    if (!parseValue(out, 0))
+      return false;
+    skipWs();
+    if (pos_ != text_.size())
+      return fail("trailing characters after JSON value");
+    return true;
+  }
+
+private:
+  // Deep-enough for any legitimate request; a bound turns a pathological
+  // nesting bomb into a parse error instead of a stack overflow.
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string &what) {
+    error_ = "json: " + what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(const char *word, JsonValue value, JsonValue &out) {
+    std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0)
+      return fail("invalid literal");
+    pos_ += len;
+    out = std::move(value);
+    return true;
+  }
+
+  bool parseValue(JsonValue &out, int depth) {
+    if (depth > kMaxDepth)
+      return fail("nesting too deep");
+    if (pos_ >= text_.size())
+      return fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+    case '{':
+      return parseObject(out, depth);
+    case '[':
+      return parseArray(out, depth);
+    case '"': {
+      std::string s;
+      if (!parseString(s))
+        return false;
+      out = JsonValue::makeString(std::move(s));
+      return true;
+    }
+    case 't':
+      return literal("true", JsonValue::makeBool(true), out);
+    case 'f':
+      return literal("false", JsonValue::makeBool(false), out);
+    case 'n':
+      return literal("null", JsonValue::makeNull(), out);
+    default:
+      return parseNumber(out);
+    }
+  }
+
+  bool parseObject(JsonValue &out, int depth) {
+    ++pos_; // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out = JsonValue::makeObject(std::move(members));
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      if (!parseString(key))
+        return false;
+      skipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail("expected ':'");
+      ++pos_;
+      skipWs();
+      JsonValue value = JsonValue::makeNull();
+      if (!parseValue(value, depth + 1))
+        return false;
+      members.emplace_back(std::move(key), std::move(value));
+      skipWs();
+      if (pos_ >= text_.size())
+        return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        out = JsonValue::makeObject(std::move(members));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(JsonValue &out, int depth) {
+    ++pos_; // '['
+    std::vector<JsonValue> items;
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out = JsonValue::makeArray(std::move(items));
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      JsonValue value = JsonValue::makeNull();
+      if (!parseValue(value, depth + 1))
+        return false;
+      items.push_back(std::move(value));
+      skipWs();
+      if (pos_ >= text_.size())
+        return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        out = JsonValue::makeArray(std::move(items));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseString(std::string &out) {
+    ++pos_; // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size())
+          return fail("unterminated escape");
+        char e = text_[++pos_];
+        switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 >= text_.size())
+            return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_ + 1 + i];
+            if (!std::isxdigit(static_cast<unsigned char>(h)))
+              return fail("invalid \\u escape");
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point; the protocol's own escaper
+          // only emits \u00XX control characters, so surrogate pairs are
+          // out of scope and rejected.
+          if (code >= 0xD800 && code <= 0xDFFF)
+            return fail("surrogate \\u escape unsupported");
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+        }
+        ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("unescaped control character in string");
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-')
+      ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start)
+      return fail("invalid value");
+    std::string token = text_.substr(start, pos_ - start);
+    char *end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+      return fail("invalid number '" + token + "'");
+    out = JsonValue::makeNumber(value);
+    return true;
+  }
+
+  const std::string &text_;
+  std::string &error_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool parseJson(const std::string &text, JsonValue &out, std::string &error) {
+  Parser parser(text, error);
+  return parser.parse(out);
+}
+
+} // namespace c2h::serve

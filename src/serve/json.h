@@ -1,0 +1,79 @@
+// A minimal JSON reader for the serve wire protocol (docs/SERVICE.md).
+//
+// The daemon's requests are newline-delimited JSON objects, so the parser
+// only needs the RFC 8259 value grammar — no streaming, no comments, no
+// trailing garbage.  It is deliberately tiny: a recursive-descent reader
+// into an immutable JsonValue tree, with object members kept in arrival
+// order (response serialization is hand-written elsewhere; this type is
+// read-only).
+//
+// Failure is a parse-error string, never an exception: a malformed request
+// line must become a structured error *response*, not a daemon crash.
+#ifndef C2H_SERVE_JSON_H
+#define C2H_SERVE_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace c2h::serve {
+
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+  bool isBool() const { return kind_ == Kind::Bool; }
+  bool isNumber() const { return kind_ == Kind::Number; }
+  bool isString() const { return kind_ == Kind::String; }
+  bool isArray() const { return kind_ == Kind::Array; }
+  bool isObject() const { return kind_ == Kind::Object; }
+
+  bool boolValue() const { return boolean_; }
+  double numberValue() const { return number_; }
+  // Integer view of a number (truncates); the protocol's counts and
+  // budgets are integers, transmitted without exponents.
+  std::int64_t intValue() const { return static_cast<std::int64_t>(number_); }
+  const std::string &stringValue() const { return string_; }
+  const std::vector<JsonValue> &items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return members_;
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue *find(const std::string &key) const;
+  // Convenience accessors with defaults for optional request fields.
+  std::string stringOr(const std::string &key, std::string fallback) const;
+  std::int64_t intOr(const std::string &key, std::int64_t fallback) const;
+  bool boolOr(const std::string &key, bool fallback) const;
+
+  static JsonValue makeNull() { return JsonValue(Kind::Null); }
+  static JsonValue makeBool(bool b);
+  static JsonValue makeNumber(double n);
+  static JsonValue makeString(std::string s);
+  static JsonValue makeArray(std::vector<JsonValue> items);
+  static JsonValue makeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+private:
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  Kind kind_ = Kind::Null;
+  bool boolean_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parse one complete JSON value from `text` (leading/trailing whitespace
+// allowed, anything else after the value is an error).  On failure returns
+// false and fills `error` with a position-annotated message.
+bool parseJson(const std::string &text, JsonValue &out, std::string &error);
+
+} // namespace c2h::serve
+
+#endif // C2H_SERVE_JSON_H

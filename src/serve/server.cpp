@@ -1,0 +1,264 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace c2h::serve {
+
+namespace {
+
+volatile std::sig_atomic_t gStopRequested = 0;
+
+void onTerminate(int) { gStopRequested = 1; }
+
+void installSignalHandlers() {
+#ifndef _WIN32
+  struct sigaction action{};
+  action.sa_handler = onTerminate;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+#else
+  std::signal(SIGTERM, onTerminate);
+  std::signal(SIGINT, onTerminate);
+#endif
+}
+
+// Per-stream in-order response delivery: completions arrive in any order
+// (the pool runs requests concurrently), are parked by sequence number, and
+// the contiguous prefix is written out.  One writer exists per stream
+// (stdin mode: the process; socket mode: one per connection).
+class OrderedWriter {
+public:
+  using Sink = std::function<bool(const std::string &)>;
+
+  explicit OrderedWriter(Sink sink) : sink_(std::move(sink)) {}
+
+  std::uint64_t nextSequence() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++outstanding_;
+    return enqueueSeq_++;
+  }
+
+  void deliver(std::uint64_t seq, std::string response) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    parked_[seq] = std::move(response);
+    while (!parked_.empty() && parked_.begin()->first == writeSeq_) {
+      sink_(parked_.begin()->second);
+      parked_.erase(parked_.begin());
+      ++writeSeq_;
+    }
+    if (--outstanding_ == 0)
+      idle_.notify_all();
+  }
+
+  // Block until every sequence handed out has been delivered and written.
+  void drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+private:
+  Sink sink_;
+  std::mutex mutex_;
+  std::condition_variable idle_;
+  std::map<std::uint64_t, std::string> parked_;
+  std::uint64_t enqueueSeq_ = 0;
+  std::uint64_t writeSeq_ = 0;
+  std::size_t outstanding_ = 0;
+};
+
+void submitLine(CosimService &service,
+                const std::shared_ptr<OrderedWriter> &writer,
+                std::string line) {
+  if (line.empty())
+    return;
+  std::uint64_t seq = writer->nextSequence();
+  service.submitAsync(std::move(line),
+                      [writer, seq](std::string response) {
+                        writer->deliver(seq, std::move(response));
+                      });
+}
+
+int runStdinServer(CosimService &service) {
+  auto writer = std::make_shared<OrderedWriter>([](const std::string &line) {
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+    return true;
+  });
+  std::fputs("c2hc --serve: reading requests from stdin\n", stderr);
+  std::fflush(stderr);
+  std::string buffer;
+#ifndef _WIN32
+  char chunk[4096];
+  while (!gStopRequested) {
+    struct pollfd pfd{STDIN_FILENO, POLLIN, 0};
+    int ready = poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (ready == 0)
+      continue;
+    ssize_t n = read(STDIN_FILENO, chunk, sizeof(chunk));
+    if (n <= 0)
+      break; // EOF or read error: stop admission, drain below
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t eol;
+    while ((eol = buffer.find('\n')) != std::string::npos) {
+      submitLine(service, writer, buffer.substr(0, eol));
+      buffer.erase(0, eol + 1);
+    }
+  }
+#else
+  std::string line;
+  while (!gStopRequested && std::getline(std::cin, line))
+    submitLine(service, writer, line);
+#endif
+  if (!buffer.empty())
+    submitLine(service, writer, buffer); // final unterminated line
+  service.drain();
+  writer->drain();
+  return 0;
+}
+
+#ifndef _WIN32
+
+// One connection: read lines until EOF/shutdown, answer in order, then
+// drain this connection's in-flight requests before closing.
+void serveConnection(CosimService &service, int fd) {
+  auto writer =
+      std::make_shared<OrderedWriter>([fd](const std::string &line) {
+        std::string out = line + "\n";
+        std::size_t off = 0;
+        while (off < out.size()) {
+          ssize_t n = ::send(fd, out.data() + off, out.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+          );
+          if (n <= 0)
+            return false; // client went away; keep draining siblings
+          off += static_cast<std::size_t>(n);
+        }
+        return true;
+      });
+  std::string buffer;
+  char chunk[4096];
+  while (!gStopRequested) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    int ready = poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (ready == 0)
+      continue;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0)
+      break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t eol;
+    while ((eol = buffer.find('\n')) != std::string::npos) {
+      submitLine(service, writer, buffer.substr(0, eol));
+      buffer.erase(0, eol + 1);
+    }
+  }
+  if (!buffer.empty())
+    submitLine(service, writer, buffer);
+  writer->drain();
+  ::close(fd);
+}
+
+int runSocketServer(CosimService &service, const std::string &path) {
+  if (path.size() >= sizeof(sockaddr_un::sun_path)) {
+    std::fprintf(stderr, "c2hc --serve: socket path too long: %s\n",
+                 path.c_str());
+    return 3;
+  }
+  int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listenFd < 0) {
+    std::perror("c2hc --serve: socket");
+    return 3;
+  }
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listenFd, 16) < 0) {
+    std::perror("c2hc --serve: bind/listen");
+    ::close(listenFd);
+    return 3;
+  }
+  std::fprintf(stderr, "c2hc --serve: listening on %s\n", path.c_str());
+  std::fflush(stderr);
+  std::vector<std::thread> connections;
+  while (!gStopRequested) {
+    struct pollfd pfd{listenFd, POLLIN, 0};
+    int ready = poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (ready == 0)
+      continue;
+    int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0)
+      continue;
+    connections.emplace_back(
+        [&service, fd] { serveConnection(service, fd); });
+  }
+  ::close(listenFd);
+  for (auto &t : connections)
+    t.join(); // each connection drains its own in-flight requests
+  service.drain();
+  ::unlink(path.c_str());
+  return 0;
+}
+
+#endif // !_WIN32
+
+} // namespace
+
+int runServer(const ServerOptions &options) {
+  gStopRequested = 0;
+  installSignalHandlers();
+  CosimService service(options.service);
+  if (options.socketPath.empty())
+    return runStdinServer(service);
+#ifndef _WIN32
+  return runSocketServer(service, options.socketPath);
+#else
+  std::fputs("c2hc --serve: socket mode is POSIX-only; use stdin mode\n",
+             stderr);
+  return 3;
+#endif
+}
+
+} // namespace c2h::serve

@@ -63,4 +63,27 @@ void ThreadPool::workerLoop() {
   }
 }
 
+void TaskGroup::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit([this, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      // Same backstop as the worker loop: a throwing task must still count
+      // down, or this group's wait() would hang forever.
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_ == 0)
+      done_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
 } // namespace c2h

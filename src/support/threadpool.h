@@ -6,6 +6,12 @@
 // result ordering is the *submitter's* job: callers write each task's
 // result into a pre-assigned slot, so completion order never shows.
 //
+// The pool is long-lived: submit/wait cycles are cheap (no thread rebuild),
+// which is what lets the cosim service and the CompareEngine share one pool
+// across thousands of requests.  When several independent batches run
+// concurrently on the same pool, each uses a TaskGroup, whose wait() blocks
+// only on that group's tasks — ThreadPool::wait() would block on everyone's.
+//
 // Tasks must not let exceptions escape (the engine converts them to result
 // rows before they reach the pool); as a backstop the worker swallows any
 // escaping exception rather than terminating the process.
@@ -36,7 +42,8 @@ public:
   void submit(std::function<void()> task);
 
   // Block until every submitted task has finished.  The pool stays usable
-  // afterwards (submit/wait cycles are fine).
+  // afterwards (submit/wait cycles are fine).  Only meaningful when one
+  // caller owns the pool; concurrent batches should use TaskGroup.
   void wait();
 
   unsigned threadCount() const { return static_cast<unsigned>(threads_.size()); }
@@ -54,6 +61,33 @@ private:
   std::vector<std::thread> threads_;
   std::size_t inFlight_ = 0; // queued + currently running
   bool stopping_ = false;
+};
+
+// One batch of tasks on a shared pool.  Several groups may run on the same
+// ThreadPool at once; each group's wait() returns when *its* tasks finish,
+// regardless of what other groups still have queued.  This is how one
+// persistent pool serves many concurrent service requests without a
+// per-request thread rebuild.
+class TaskGroup {
+public:
+  explicit TaskGroup(ThreadPool &pool) : pool_(pool) {}
+  // Joining a group with unfinished tasks would leave them referencing a
+  // destroyed counter; wait() in the destructor makes that impossible.
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup &) = delete;
+  TaskGroup &operator=(const TaskGroup &) = delete;
+
+  // Enqueue a task accounted to this group.
+  void submit(std::function<void()> task);
+  // Block until every task submitted *to this group* has finished.
+  void wait();
+
+private:
+  ThreadPool &pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
 };
 
 } // namespace c2h

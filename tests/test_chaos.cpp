@@ -18,6 +18,7 @@
 // long-running golden-model run into a structured STEP_LIMIT verdict.
 #include "core/engine.h"
 #include "interp/interp.h"
+#include "serve/service.h"
 #include "support/guard.h"
 
 #include <gtest/gtest.h>
@@ -78,7 +79,8 @@ TEST(Chaos, RegistryEnumeratesEveryStageBoundary) {
        {"frontend.parse", "frontend.sema", "engine.cell", "flow.inline",
         "flow.unroll", "flow.lower", "flow.schedule", "cosim.emit",
         "cosim.parse", "cosim.elab", "vsim.compile", "vsim.compiled.run",
-        "vsim.event.run", "guard.alloc", "guard.io.read"})
+        "vsim.event.run", "guard.alloc", "guard.io.read", "serve.parse",
+        "serve.handle", "serve.respond"})
     EXPECT_TRUE(have.count(required)) << required;
   EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
 }
@@ -108,9 +110,12 @@ TEST(Chaos, EverySiteIsolatedDeterministicAndSelfHealing) {
                                                "frontend.sema"};
   // Sites a healthy gcd run never reaches: no $readmem in the emitted RTL
   // and the compiled engine handles the model, so the event engine only
-  // runs when some *other* site already fired.
-  const std::set<std::string> mayNotFire = {"guard.io.read",
-                                            "vsim.event.run"};
+  // runs when some *other* site already fired.  The serve.* sites live in
+  // the daemon layer, which this engine-level run never enters (they get
+  // their own blast-radius tests below).
+  const std::set<std::string> mayNotFire = {
+      "guard.io.read", "vsim.event.run", "serve.parse", "serve.handle",
+      "serve.respond"};
 
   for (const std::string &site : guard::allFaultSites()) {
     SCOPED_TRACE("site=" + site);
@@ -189,6 +194,130 @@ TEST(Chaos, FaultedRunDoesNotPoisonTheFrontendCache) {
   ASSERT_EQ(clean.size(), expected.size());
   for (std::size_t i = 0; i < clean.size(); ++i)
     expectRowEqual(clean[i], expected[i], "post-fault");
+}
+
+// -------------------------------------------------------- serve chaos --
+//
+// The guard sites extend into the service layer; these tests prove the
+// daemon-level blast-radius contract: a faulted or over-budget request
+// fails alone, with a structured verdict, leaving concurrent siblings
+// byte-identical and both caches unpoisoned.
+
+std::string chaosStripVolatile(std::string response) {
+  std::size_t start = response.find(",\"cache\":{");
+  if (start == std::string::npos)
+    return response;
+  std::size_t end = response.find('}', start);
+  response.erase(start, end - start + 1);
+  return response;
+}
+
+TEST(ServeChaos, EveryServeSiteFailsExactlyOneRequest) {
+  const std::string line =
+      R"({"id":"x","op":"compare","workload":"gcd","timing":false,)"
+      R"("no_cache":true})";
+  for (const char *site : {"serve.parse", "serve.handle", "serve.respond"}) {
+    SCOPED_TRACE(site);
+    guard::disarmFaults();
+    serve::CosimService service;
+    std::string baseline = service.handleLine(line);
+    ASSERT_NE(baseline.find("\"status\":\"ok\""), std::string::npos)
+        << baseline;
+    // Arm the site (counters reset): the next request takes the fault...
+    guard::armFault(site);
+    std::string faulted = service.handleLine(line);
+    guard::disarmFaults();
+    EXPECT_NE(faulted.find("\"status\":\"error\""), std::string::npos)
+        << faulted;
+    EXPECT_NE(faulted.find(std::string("\"site\":\"") + site + "\""),
+              std::string::npos)
+        << faulted;
+    // ...and the next, disarmed request is byte-identical to the baseline:
+    // the daemon survived and nothing leaked into the caches.
+    std::string after = service.handleLine(line);
+    EXPECT_EQ(chaosStripVolatile(after), chaosStripVolatile(baseline));
+  }
+  guard::disarmFaults();
+}
+
+TEST(ServeChaos, FaultedRequestDoesNotDisturbConcurrentSiblings) {
+  guard::disarmFaults();
+  // Baseline: the same request answered by a clean serial service.
+  const std::string line =
+      R"({"id":"s","op":"compare","workload":"gcd","timing":false,)"
+      R"("no_cache":true})";
+  std::string baseline;
+  {
+    serve::CosimService clean;
+    baseline = chaosStripVolatile(clean.handleLine(line));
+  }
+  // Now a parallel service with serve.handle armed: exactly one of the
+  // concurrent requests takes the fault, every other response matches the
+  // clean baseline byte for byte.
+  serve::ServiceOptions options;
+  options.jobs = 4;
+  serve::CosimService service(options);
+  guard::armFault("serve.handle", 3);
+  constexpr int kRequests = 6;
+  std::vector<std::string> responses(kRequests);
+  std::mutex mutex;
+  for (int i = 0; i < kRequests; ++i)
+    service.submitAsync(line, [&, i](std::string r) {
+      std::lock_guard<std::mutex> lock(mutex);
+      responses[i] = std::move(r);
+    });
+  service.drain();
+  guard::disarmFaults();
+  int faulted = 0;
+  for (const auto &r : responses) {
+    if (r.find("\"status\":\"error\"") != std::string::npos) {
+      ++faulted;
+      EXPECT_NE(r.find("\"kind\":\"INJECTED_FAULT\""), std::string::npos)
+          << r;
+      EXPECT_NE(r.find("\"site\":\"serve.handle\""), std::string::npos) << r;
+      continue;
+    }
+    EXPECT_EQ(chaosStripVolatile(r), baseline);
+  }
+  EXPECT_EQ(faulted, 1);
+  // The response cache was never poisoned: a warm repeat (caching enabled
+  // now) still computes the clean answer.
+  std::string repeat = service.handleLine(
+      R"({"id":"r","op":"compare","workload":"gcd","timing":false})");
+  EXPECT_NE(repeat.find("\"status\":\"ok\""), std::string::npos) << repeat;
+}
+
+TEST(ServeChaos, OverBudgetRequestLeavesSiblingsUntouched) {
+  guard::disarmFaults();
+  serve::ServiceOptions options;
+  options.jobs = 4;
+  serve::CosimService service(options);
+  const std::string clean =
+      R"({"id":"c","op":"compare","workload":"gcd","timing":false,)"
+      R"("no_cache":true})";
+  const std::string starved =
+      R"({"id":"b","op":"compare","workload":"gcd","timing":false,)"
+      R"("no_cache":true,"budget":{"cycles":5}})";
+  std::string baseline = chaosStripVolatile(service.handleLine(clean));
+  std::vector<std::string> responses(5);
+  std::mutex mutex;
+  for (int i = 0; i < 5; ++i)
+    service.submitAsync(i == 2 ? starved : clean,
+                        [&, i](std::string r) {
+                          std::lock_guard<std::mutex> lock(mutex);
+                          responses[i] = std::move(r);
+                        });
+  service.drain();
+  for (int i = 0; i < 5; ++i) {
+    if (i == 2) {
+      EXPECT_NE(responses[i].find("\"status\":\"over_budget\""),
+                std::string::npos)
+          << responses[i];
+      EXPECT_NE(responses[i].find("\"exit_code\":4"), std::string::npos);
+    } else {
+      EXPECT_EQ(chaosStripVolatile(responses[i]), baseline) << i;
+    }
+  }
 }
 
 // ------------------------------------------------------ verify budgets --

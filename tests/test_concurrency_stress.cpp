@@ -7,8 +7,14 @@
 #include "opt/inline.h"
 #include "opt/irpasses.h"
 #include "rtl/sim.h"
+#include "support/threadpool.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 namespace c2h {
 namespace {
@@ -222,6 +228,75 @@ TEST(ConcurrencyStress, RtlCyclesReflectCriticalBranch) {
   // The lopsided one has twice the iterations in its slow branch: takes
   // longer despite one branch being trivial.
   EXPECT_GT(rl.cycles, rb.cycles);
+}
+
+// One persistent ThreadPool serving many sequential TaskGroup batches — the
+// serve daemon's scheduling shape.  No pool rebuild between batches, and
+// every batch's wait() sees exactly its own tasks.
+TEST(ConcurrencyStress, TaskGroupBatchesReuseOnePool) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    std::atomic<int> batchCount{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 20; ++i)
+      group.submit([&] {
+        ++batchCount;
+        ++total;
+      });
+    group.wait();
+    EXPECT_EQ(batchCount.load(), 20) << "batch " << batch;
+  }
+  EXPECT_EQ(total.load(), 50 * 20);
+}
+
+// Concurrent TaskGroups on one shared pool (requests racing in the daemon):
+// each group's wait() must return only when its own tasks are done,
+// whatever its siblings are doing.
+TEST(ConcurrencyStress, ConcurrentTaskGroupsAreIndependent) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < 8; ++d)
+    drivers.emplace_back([&pool, &total, d] {
+      for (int batch = 0; batch < 10; ++batch) {
+        std::atomic<int> mine{0};
+        TaskGroup group(pool);
+        int n = 5 + (d + batch) % 7;
+        for (int i = 0; i < n; ++i)
+          group.submit([&] {
+            ++mine;
+            ++total;
+          });
+        group.wait();
+        ASSERT_EQ(mine.load(), n);
+      }
+    });
+  int expected = 0;
+  for (int d = 0; d < 8; ++d)
+    for (int batch = 0; batch < 10; ++batch)
+      expected += 5 + (d + batch) % 7;
+  for (auto &t : drivers)
+    t.join();
+  EXPECT_EQ(total.load(), expected);
+}
+
+// A TaskGroup whose tasks throw must still count down (the pool swallows
+// task exceptions); destruction waits for stragglers.
+TEST(ConcurrencyStress, TaskGroupSurvivesThrowingTasksAndDtorWait) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 16; ++i)
+      group.submit([&ran, i] {
+        ++ran;
+        if (i % 3 == 0)
+          throw std::runtime_error("deliberate");
+      });
+    // No explicit wait: the destructor must block until all 16 finished.
+  }
+  EXPECT_EQ(ran.load(), 16);
 }
 
 } // namespace

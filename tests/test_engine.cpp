@@ -271,6 +271,68 @@ TEST(ThreadPool, TaskExceptionsDoNotKillWorkers) {
   EXPECT_EQ(counter.load(), 10);
 }
 
+TEST(FrontendCache, LruByteCapEvictsAndReadmits) {
+  core::FrontendCache cache;
+  // Three distinct tiny programs; cap the cache so only ~two fit.
+  auto sourceFor = [](int n) {
+    return "int main() { return " + std::to_string(n) + "; }";
+  };
+  std::uint64_t oneCost;
+  {
+    core::FrontendCache probe;
+    auto e = probe.get(sourceFor(0), "main");
+    ASSERT_TRUE(e->ok());
+    oneCost = core::FrontendCache::entryCost(*e);
+  }
+  cache.setCapacityBytes(oneCost * 2 + oneCost / 2);
+  auto e0 = cache.get(sourceFor(0), "main");
+  auto e1 = cache.get(sourceFor(1), "main");
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_TRUE(cache.contains(sourceFor(0), "main"));
+  // Touch 0 so 1 is the LRU victim when 2 arrives.
+  cache.get(sourceFor(0), "main");
+  auto e2 = cache.get(sourceFor(2), "main");
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.sizeBytes(), cache.capacityBytes());
+  EXPECT_TRUE(cache.contains(sourceFor(0), "main"));
+  EXPECT_FALSE(cache.contains(sourceFor(1), "main"));
+  EXPECT_TRUE(cache.contains(sourceFor(2), "main"));
+  // The evicted entry stays usable for holders of the shared_ptr...
+  EXPECT_TRUE(e1->ok());
+  // ...and re-requesting it is a clean miss (recompile + re-admission).
+  std::uint64_t missesBefore = cache.misses();
+  auto e1again = cache.get(sourceFor(1), "main");
+  EXPECT_EQ(cache.misses(), missesBefore + 1);
+  EXPECT_TRUE(e1again->ok());
+  EXPECT_NE(e1again.get(), e1.get());
+  EXPECT_TRUE(cache.contains(sourceFor(1), "main"));
+  EXPECT_EQ(cache.evictions(), 2u); // something else was displaced
+  EXPECT_LE(cache.sizeBytes(), cache.capacityBytes());
+}
+
+TEST(FrontendCache, HitCountersAndShrinkBelowResident) {
+  core::FrontendCache cache;
+  const std::string src = "int main() { return 7; }";
+  cache.get(src, "main");
+  cache.get(src, "main");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_GT(cache.sizeBytes(), 0u);
+  // Shrinking the cap below the resident set evicts immediately.
+  cache.setCapacityBytes(1);
+  EXPECT_EQ(cache.sizeBytes(), 0u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.contains(src, "main"));
+}
+
+TEST(FrontendCache, UnboundedByDefaultNeverEvicts) {
+  core::FrontendCache cache;
+  for (int i = 0; i < 16; ++i)
+    cache.get("int main() { return " + std::to_string(i) + "; }", "main");
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.capacityBytes(), 0u);
+}
+
 TEST(CloneProgram, PreservesRecursionFlagAndParamMarkers) {
   TypeContext types;
   DiagnosticEngine diags;

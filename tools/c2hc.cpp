@@ -36,6 +36,19 @@
 //                      (1-based, default 1) of that site fails with a
 //                      structured INJECTED_FAULT verdict
 //   --list-fault-sites print every registered fault-site name and exit
+//   --serve[=<path>]   run the persistent cosim service (docs/SERVICE.md):
+//                      newline-delimited JSON requests over stdin/stdout,
+//                      or over the AF_UNIX socket <path>.  --jobs sizes the
+//                      request worker pool, --budget-* set the default
+//                      per-request budget, --vsim-engine the default cosim
+//                      backend; SIGTERM drains in-flight requests and
+//                      exits 0
+//   --serve-queue=<n>  max admitted-but-unfinished requests (default 64;
+//                      0 = unbounded); excess submissions are answered
+//                      with a structured `rejected` response
+//   --serve-client-share=<n>  per-client in-flight cap (default 0 = none)
+//   --serve-cache-mb=<n>  LRU byte cap, in MiB, for the shared front-end
+//                      cache and the response cache (default 64 each)
 //
 // --flow=all runs the fault-isolated comparison engine: every flow over the
 // program, in parallel, each flow's crash contained to its own row.  With
@@ -68,6 +81,7 @@
 #include "analysis/diagnostic.h"
 #include "core/c2h.h"
 #include "core/engine.h"
+#include "serve/server.h"
 #include "support/guard.h"
 #include "support/text.h"
 
@@ -112,6 +126,11 @@ struct Options {
   guard::BudgetSpec budget;
   std::string injectSite; // empty = no fault armed
   std::uint64_t injectNth = 1;
+  bool serve = false;
+  std::string servePath;             // empty = stdin/stdout line mode
+  std::uint64_t serveQueue = 64;     // 0 = unbounded
+  std::uint64_t serveClientShare = 0; // 0 = no per-client cap
+  std::uint64_t serveCacheMb = 64;   // per cache (front-end and response)
 };
 
 bool parseArgs(int argc, char **argv, Options &options) {
@@ -228,6 +247,25 @@ bool parseArgs(int argc, char **argv, Options &options) {
         return false;
       }
       options.injectSite = spec;
+    } else if (auto v = valueOf("--serve-queue=")) {
+      if (!parseCount("--serve-queue", *v, options.serveQueue))
+        return false;
+    } else if (auto v = valueOf("--serve-client-share=")) {
+      if (!parseCount("--serve-client-share", *v, options.serveClientShare))
+        return false;
+    } else if (auto v = valueOf("--serve-cache-mb=")) {
+      if (!parseCount("--serve-cache-mb", *v, options.serveCacheMb))
+        return false;
+    } else if (auto v = valueOf("--serve=")) {
+      options.serve = true;
+      options.servePath = *v;
+      if (options.servePath.empty()) {
+        std::cerr << "--serve= needs a socket path (or plain --serve for "
+                     "stdin mode)\n";
+        return false;
+      }
+    } else if (arg == "--serve") {
+      options.serve = true;
     } else if (arg == "--list-fault-sites") {
       options.listFaultSites = true;
     } else if (arg == "--cosim") {
@@ -250,7 +288,7 @@ bool parseArgs(int argc, char **argv, Options &options) {
       return false;
     }
   }
-  return options.listWorkloads || options.listFaultSites ||
+  return options.listWorkloads || options.listFaultSites || options.serve ||
          !options.file.empty() || !options.workload.empty();
 }
 
@@ -583,6 +621,8 @@ int run(int argc, char **argv) {
                  "[--budget-steps=n] [--budget-cycles=n] [--budget-alloc=n] "
                  "[--budget-ms=n] [--inject-fault=site[:nth]]\n"
                  "       c2hc --workload=<name> [options]\n"
+                 "       c2hc --serve[=<socket>] [--serve-queue=n] "
+                 "[--serve-client-share=n] [--serve-cache-mb=n] [--jobs=n]\n"
                  "       c2hc --list-workloads\n"
                  "       c2hc --list-fault-sites\n\nflows: "
               << availableFlows() << "\nworkloads: " << availableWorkloads()
@@ -609,6 +649,21 @@ int run(int argc, char **argv) {
       std::cerr << "--inject-fault: " << e.what() << "\n";
       return kExitUsage;
     }
+  }
+
+  if (options.serve) {
+    serve::ServerOptions serverOptions;
+    serverOptions.socketPath = options.servePath;
+    serverOptions.service.jobs = options.jobs;
+    serverOptions.service.queueDepth =
+        static_cast<std::size_t>(options.serveQueue);
+    serverOptions.service.clientShare =
+        static_cast<std::size_t>(options.serveClientShare);
+    serverOptions.service.frontendCacheBytes = options.serveCacheMb << 20;
+    serverOptions.service.responseCacheBytes = options.serveCacheMb << 20;
+    serverOptions.service.defaultBudget = options.budget;
+    serverOptions.service.vsimEngine = options.vsimEngine;
+    return serve::runServer(serverOptions);
   }
 
   core::Workload workload;
