@@ -41,6 +41,10 @@
 #include <string>
 #include <vector>
 
+namespace c2h::vsim {
+class ModelCache; // vsim/cosim.h — cross-request artifact reuse
+} // namespace c2h::vsim
+
 namespace c2h::core {
 
 // A named benchmark program: uC source, entry function, inputs, and the
@@ -124,18 +128,24 @@ struct CosimVerification {
 // plus every checked global bit-for-bit between interpreter and vsim.
 // `engine` selects the vsim backend: the cycle-compiled bytecode VM
 // (default; silently falls back to the event engine for models outside
-// its subset) or the event-driven reference evaluator.
+// its subset), the host-compiled native tier (degrading native ->
+// bytecode -> event with a recorded reason), or the event-driven
+// reference evaluator.  `modelCache`, when given, reuses elaborated and
+// compiled artifacts across calls that synthesize identical Verilog (the
+// serve layer's cross-request init-image reuse).
 CosimVerification
 cosimAgainstGoldenModel(const Workload &workload,
                         const flows::FlowResult &result,
                         vsim::SimEngine engine = vsim::SimEngine::Compiled,
-                        guard::ExecBudget *budget = nullptr);
+                        guard::ExecBudget *budget = nullptr,
+                        vsim::ModelCache *modelCache = nullptr);
 CosimVerification
 cosimAgainstGoldenModel(const Workload &workload,
                         const flows::FlowResult &result,
                         const ast::Program &goldenProgram,
                         vsim::SimEngine engine = vsim::SimEngine::Compiled,
-                        guard::ExecBudget *budget = nullptr);
+                        guard::ExecBudget *budget = nullptr,
+                        vsim::ModelCache *modelCache = nullptr);
 
 // One row of a cross-flow comparison.
 struct FlowComparison {

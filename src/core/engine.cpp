@@ -260,7 +260,8 @@ FlowComparison CompareEngine::runCell(const flows::FlowSpec &spec,
     row.asyncNs = v.asyncNs;
     if (options.cosim && v.ok && result.design && !result.asyncInfo) {
       CosimVerification cv = cosimAgainstGoldenModel(
-          workload, result, *entry.program, options.vsimEngine, meter);
+          workload, result, *entry.program, options.vsimEngine, meter,
+          options.modelCache);
       row.cosimRan = cv.ran;
       row.cosimOk = cv.ok;
       row.cosimCycles = cv.cycles;

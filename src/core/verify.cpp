@@ -174,7 +174,8 @@ Verification verifyAgainstGoldenModel(const Workload &workload,
 CosimVerification cosimAgainstGoldenModel(const Workload &workload,
                                           const flows::FlowResult &result,
                                           vsim::SimEngine engine,
-                                          guard::ExecBudget *budget) {
+                                          guard::ExecBudget *budget,
+                                          vsim::ModelCache *modelCache) {
   TypeContext types;
   DiagnosticEngine diags;
   auto program = frontend(workload.source, types, diags);
@@ -183,14 +184,16 @@ CosimVerification cosimAgainstGoldenModel(const Workload &workload,
     c.detail = "frontend: " + diags.str();
     return c;
   }
-  return cosimAgainstGoldenModel(workload, result, *program, engine, budget);
+  return cosimAgainstGoldenModel(workload, result, *program, engine, budget,
+                                 modelCache);
 }
 
 CosimVerification cosimAgainstGoldenModel(const Workload &workload,
                                           const flows::FlowResult &result,
                                           const ast::Program &goldenProgram,
                                           vsim::SimEngine engine,
-                                          guard::ExecBudget *budget) {
+                                          guard::ExecBudget *budget,
+                                          vsim::ModelCache *modelCache) {
   CosimVerification c;
   if (!result.accepted || !result.ok) {
     c.detail = "flow produced no design";
@@ -232,7 +235,7 @@ CosimVerification cosimAgainstGoldenModel(const Workload &workload,
   }
 
   // Witness 3: the emitted Verilog text, re-executed by vsim.
-  vsim::Cosimulation cosim(*result.design);
+  vsim::Cosimulation cosim(*result.design, modelCache);
   if (!cosim.valid()) {
     c.detail = cosim.error();
     c.verdict = cosim.verdict();
@@ -244,9 +247,11 @@ CosimVerification cosimAgainstGoldenModel(const Workload &workload,
   vsim::CosimResult r = cosim.run(args, copts);
   c.cycles = r.cycles;
   c.degradation = r.degradation;
-  c.engine = cosim.engineUsed() == vsim::SimEngine::Event ? "event"
-                                                          : "compiled";
-  c.fallback = cosim.compileNote();
+  c.engine = cosim.engineUsed() == vsim::SimEngine::Event    ? "event"
+             : cosim.engineUsed() == vsim::SimEngine::Native ? "native"
+                                                             : "compiled";
+  c.fallback = !cosim.compileNote().empty() ? cosim.compileNote()
+                                            : cosim.nativeNote();
   if (!r.ok) {
     c.detail = r.error;
     c.verdict = r.verdict;

@@ -103,8 +103,11 @@ bool parseRequest(const JsonValue &json, Request &out, std::string &error) {
     } else if (key == "vsim_engine") {
       if (!value.isString() || (value.stringValue() != "compiled" &&
                                 value.stringValue() != "compiled-strict" &&
+                                value.stringValue() != "native" &&
+                                value.stringValue() != "native-strict" &&
                                 value.stringValue() != "event")) {
-        error = "'vsim_engine' must be compiled, compiled-strict, or event";
+        error = "'vsim_engine' must be compiled, compiled-strict, native, "
+                "native-strict, or event";
         return false;
       }
       out.vsimEngine = value.stringValue();

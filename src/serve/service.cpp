@@ -45,6 +45,10 @@ vsim::SimEngine resolveEngine(const Request &request,
     return vsim::SimEngine::Compiled;
   if (request.vsimEngine == "compiled-strict")
     return vsim::SimEngine::CompiledStrict;
+  if (request.vsimEngine == "native")
+    return vsim::SimEngine::Native;
+  if (request.vsimEngine == "native-strict")
+    return vsim::SimEngine::NativeStrict;
   return fallback;
 }
 
@@ -63,6 +67,10 @@ const char *engineName(vsim::SimEngine engine) {
     return "event";
   case vsim::SimEngine::CompiledStrict:
     return "compiled-strict";
+  case vsim::SimEngine::Native:
+    return "native";
+  case vsim::SimEngine::NativeStrict:
+    return "native-strict";
   default:
     return "compiled";
   }
@@ -73,6 +81,7 @@ const char *engineName(vsim::SimEngine engine) {
 CosimService::CosimService(ServiceOptions options)
     : options_(std::move(options)) {
   engine_.cache().setCapacityBytes(options_.frontendCacheBytes);
+  modelCache_.setCapacity(options_.modelCacheEntries);
   pool_ = std::make_unique<ThreadPool>(options_.jobs);
 }
 
@@ -290,6 +299,7 @@ std::string CosimService::handleComparison(const Request &request,
   core::EngineOptions callOptions;
   callOptions.cosim = cosim;
   callOptions.vsimEngine = resolveEngine(request, options_.vsimEngine);
+  callOptions.modelCache = &modelCache_;
 
   flows::FlowTuning tuning;
   tuning.budget = effectiveBudget(request);
@@ -380,6 +390,11 @@ std::string CosimService::statsBody() {
          ",\"evictions\":" + std::to_string(cache.evictions()) +
          ",\"size_bytes\":" + std::to_string(cache.sizeBytes()) +
          ",\"capacity_bytes\":" + std::to_string(cache.capacityBytes()) + "}";
+  const vsim::ModelCache::Stats mc = modelCache_.stats();
+  out += ",\"model_cache\":{\"hits\":" + std::to_string(mc.hits) +
+         ",\"misses\":" + std::to_string(mc.misses) +
+         ",\"entries\":" + std::to_string(mc.entries) +
+         ",\"capacity\":" + std::to_string(mc.capacity) + "}";
   out += ",\"response_cache\":{\"hits\":" + std::to_string(responseHits_) +
          ",\"misses\":" + std::to_string(responseMisses_) +
          ",\"evictions\":" + std::to_string(responseEvictions_) +

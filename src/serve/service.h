@@ -26,6 +26,7 @@
 #include "core/engine.h"
 #include "serve/protocol.h"
 #include "support/threadpool.h"
+#include "vsim/cosim.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -59,6 +60,10 @@ struct ServiceOptions {
   guard::BudgetSpec defaultBudget;
   // Default vsim backend for cosim requests.
   vsim::SimEngine vsimEngine = vsim::SimEngine::Compiled;
+  // Entry cap for the cross-request vsim model cache (elaborated models,
+  // compiled programs and their post-`initial` init images, native
+  // modules, keyed by emitted Verilog).  0 disables the cache.
+  std::size_t modelCacheEntries = 16;
   // Test seam: runs at the top of every handled request (a latch here makes
   // queue-full admission deterministic under test).
   std::function<void()> onHandleForTesting;
@@ -130,6 +135,9 @@ private:
 
   ServiceOptions options_;
   core::CompareEngine engine_;
+  // Cross-request vsim model cache: one per daemon, shared by every cosim
+  // request (compare rows pass it down through EngineOptions).
+  vsim::ModelCache modelCache_;
   std::unique_ptr<ThreadPool> pool_;
 
   mutable std::mutex mutex_; // admission counters, clients, response cache

@@ -185,6 +185,10 @@ std::vector<std::string> allFaultSites() {
   return names;
 }
 
+bool anyFaultArmed() {
+  return FaultSite::anyArmed().load(std::memory_order_relaxed) != 0;
+}
+
 // --------------------------------------------------------------------------
 // Shims
 // --------------------------------------------------------------------------

@@ -172,6 +172,7 @@ private:
   friend void armFault(const std::string &, std::uint64_t);
   friend void disarmFaults();
   friend std::vector<std::string> allFaultSites();
+  friend bool anyFaultArmed();
 };
 
 // Arm `site` to throw InjectedFault on its `nth` hit (1-based; default first).
@@ -182,6 +183,11 @@ void armFault(const std::string &site, std::uint64_t nth = 1);
 void disarmFaults();
 // Sorted names of every registered site.
 std::vector<std::string> allFaultSites();
+// True while any site is armed.  Caches consult this to bypass themselves
+// under fault injection, so an armed site stays reachable (a cache hit
+// would otherwise skip the guarded code path and the fault would never
+// fire, breaking chaos-test determinism).
+bool anyFaultArmed();
 
 // ---------------------------------------------------------------------------
 // Shims.

@@ -1,6 +1,7 @@
 #include "vsim/compile.h"
 
 #include "support/guard.h"
+#include "vsim/peephole.h"
 
 #include <algorithm>
 #include <map>
@@ -965,7 +966,28 @@ compileModel(std::shared_ptr<const Model> model, std::string &whyNot) {
     whyNot = e.what();
     return nullptr;
   }
+  // Final lowering step, shared by the bytecode VM and the native tier:
+  // constant folding (within and across wires), compare+branch fusion,
+  // dead-code removal, and constant wires dropped from the sweep.
+  optimizeCompiledModel(*cm);
   return cm;
+}
+
+const char *opName(Op op) {
+  static const char *const names[] = {
+      "ConstW",  "ConstV",   "LoadNet",    "LoadWire",   "LoadMem",
+      "BitSel",  "Ext",      "Neg",        "BitNot",     "LogNot",
+      "Add",     "Sub",      "Mul",        "Div",        "Mod",
+      "And",     "Or",       "Xor",        "Shl",        "Shr",
+      "AShr",    "CmpLt",    "CmpLe",      "CmpEq",      "CmpNe",
+      "LAnd",    "LOr",      "Select",     "Concat2",    "Extract",
+      "Jump",    "JumpIfZero", "JumpIfTrue", "CmpBr",    "CaseJump",
+      "StoreNet", "StoreMem", "NbNet",     "NbMem",      "TWait",
+      "TDelay",  "TWaitCond", "TDisplay",  "TFinish",    "TReadMem",
+      "TError"};
+  static_assert(sizeof(names) / sizeof(names[0]) == kOpCount,
+                "opName table out of sync with the Op enum");
+  return names[static_cast<unsigned>(op)];
 }
 
 } // namespace c2h::vsim

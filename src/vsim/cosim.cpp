@@ -3,6 +3,7 @@
 #include "rtl/verilog.h"
 #include "vsim/compile.h"
 #include "vsim/cvm.h"
+#include "vsim/jit.h"
 #include "vsim/parser.h"
 
 namespace c2h::vsim {
@@ -14,6 +15,7 @@ std::string memNetName(const ir::Module &module, unsigned memId) {
 }
 
 guard::FaultSite siteCompiledRun("vsim.compiled.run");
+guard::FaultSite siteNativeRun("vsim.native.run");
 guard::FaultSite siteEventRun("vsim.event.run");
 guard::FaultSite siteEmit("cosim.emit");
 guard::FaultSite siteParse("cosim.parse");
@@ -91,16 +93,133 @@ CosimResult runHandshake(Sim &sim, const std::vector<BitVector> &args,
 
 } // namespace
 
-Cosimulation::Cosimulation(const rtl::Design &design) : design_(&design) {
+// --------------------------------------------------------------------------
+// ModelCache
+// --------------------------------------------------------------------------
+
+// One cached design's artifacts.  The entry mutex guards the lazy fields;
+// the contained models themselves are immutable once published.
+struct ModelCache::Entry {
+  std::mutex m;
+  bool elaborated = false;
+  std::string error;
+  std::shared_ptr<Model> model;
+  bool triedCompile = false;
+  std::shared_ptr<const CompiledModel> compiled;
+  std::string compileNote;
+  bool triedNative = false;
+  std::shared_ptr<const NativeModule> native;
+  std::string nativeNote;
+  std::shared_ptr<InitImage> eventImage;
+};
+
+void ModelCache::setCapacity(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = n;
+  while (lru_.size() > capacity_)
+    lru_.pop_back();
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void ModelCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+}
+
+std::shared_ptr<ModelCache::Entry>
+ModelCache::acquire(const std::string &key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0)
+    return nullptr;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->first == key) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it);
+      return lru_.front().second;
+    }
+  }
+  ++misses_;
+  auto entry = std::make_shared<Entry>();
+  lru_.emplace_front(key, entry);
+  while (lru_.size() > capacity_)
+    lru_.pop_back();
+  return entry;
+}
+
+// --------------------------------------------------------------------------
+// Cosimulation
+// --------------------------------------------------------------------------
+
+void Cosimulation::cacheAdopt() {
+  std::lock_guard<std::mutex> lock(cacheEntry_->m);
+  const ModelCache::Entry &e = *cacheEntry_;
+  if (!e.elaborated)
+    return;
+  model_ = e.model;
+  error_ = e.error;
+  triedCompile_ = e.triedCompile;
+  compiled_ = e.compiled;
+  compileNote_ = e.compileNote;
+  triedNative_ = e.triedNative;
+  native_ = e.native;
+  nativeNote_ = e.nativeNote;
+  eventImage_ = e.eventImage;
+}
+
+void Cosimulation::cachePublish() {
+  // Never publish while a fault is armed: an injected-fault outcome must
+  // stay confined to the request it hit.
+  if (!cacheEntry_ || guard::anyFaultArmed())
+    return;
+  std::lock_guard<std::mutex> lock(cacheEntry_->m);
+  ModelCache::Entry &e = *cacheEntry_;
+  if (!e.elaborated) {
+    e.elaborated = true;
+    e.model = model_;
+    e.error = error_;
+  }
+  if (triedCompile_ && !e.triedCompile) {
+    e.triedCompile = true;
+    e.compiled = compiled_;
+    e.compileNote = compileNote_;
+  }
+  if (triedNative_ && !e.triedNative) {
+    e.triedNative = true;
+    e.native = native_;
+    e.nativeNote = nativeNote_;
+  }
+  if (eventImage_ && !e.eventImage)
+    e.eventImage = eventImage_;
+}
+
+Cosimulation::Cosimulation(const rtl::Design &design, ModelCache *cache)
+    : design_(&design) {
   try {
     siteEmit.hit();
     verilog_ = rtl::emitVerilog(design);
     topModule_ = "c2h_" + rtl::verilogIdent(design.top);
+    if (cache && !guard::anyFaultArmed())
+      cacheEntry_ = cache->acquire(verilog_ + '\x1f' + topModule_);
+    if (cacheEntry_) {
+      cacheAdopt();
+      if (model_ || !error_.empty())
+        return; // warm entry: parse/elaborate/compile all skipped
+    }
     siteParse.hit();
     ParseDiagnostic diag;
     std::shared_ptr<SourceUnit> unit = parseVerilog(verilog_, diag);
     if (!unit) {
       error_ = "vsim parse: " + diag.str();
+      cachePublish();
       return;
     }
     siteElab.hit();
@@ -108,6 +227,7 @@ Cosimulation::Cosimulation(const rtl::Design &design) : design_(&design) {
     model_ = elaborate(std::move(unit), topModule_, elabError);
     if (!model_)
       error_ = "vsim elaborate: " + elabError;
+    cachePublish();
   } catch (const guard::InjectedFault &e) {
     verdict_ = e.verdict;
     error_ = "vsim: " + e.verdict.str();
@@ -149,7 +269,11 @@ CosimResult Cosimulation::run(const std::vector<BitVector> &args,
          i < sized.size() && i < top->params().size(); ++i)
       sized[i] = sized[i].resize(top->params()[i].width, false);
 
-  const bool strict = options.engine == SimEngine::CompiledStrict;
+  const bool wantNative = options.engine == SimEngine::Native ||
+                          options.engine == SimEngine::NativeStrict;
+  const bool strict = options.engine == SimEngine::CompiledStrict ||
+                      options.engine == SimEngine::NativeStrict;
+  const char *strictName = wantNative ? "native-strict" : "compiled-strict";
   bool useCompiled = false;
   if (options.engine != SimEngine::Event) {
     if (!triedCompile_) {
@@ -168,16 +292,66 @@ CosimResult Cosimulation::run(const std::vector<BitVector> &args,
       }
       if (!compiled_)
         compileNote_ = why;
+      cachePublish();
     }
     useCompiled = compiled_ != nullptr;
     if (!useCompiled && strict) {
-      result.error = "vsim: compiled-strict: " + compileNote_;
+      result.error = "vsim: " + std::string(strictName) + ": " +
+                     compileNote_;
       result.verdict = compileVerdict_;
+      return result;
+    }
+  }
+  // Second rung of the ladder: lower the levelized program to host code.
+  // Any failure (subset, toolchain, build, load, injected jit fault) is a
+  // recorded reason (nativeNote) and drops the run to the bytecode VM —
+  // or, under NativeStrict, surfaces as an error.
+  bool useNative = false;
+  if (useCompiled && wantNative) {
+    if (!triedNative_) {
+      triedNative_ = true;
+      std::string why;
+      try {
+        native_ = compileNative(*compiled_, why);
+      } catch (const guard::InjectedFault &e) {
+        native_ = nullptr;
+        why = e.verdict.str();
+        nativeVerdict_ = e.verdict;
+      }
+      if (!native_)
+        nativeNote_ = why;
+      cachePublish();
+    }
+    useNative = native_ != nullptr;
+    if (!useNative && strict) {
+      result.error = "vsim: native-strict: " + nativeNote_;
+      result.verdict = nativeVerdict_;
       return result;
     }
   }
   if (!useCompiled)
     return runEvent(sized, options);
+  if (useNative) {
+    result = runNative(sized, options);
+    if (result.ok || result.verdict.ok() || strict)
+      return result;
+    // Guard event on the native engine: descend one rung and retry on the
+    // bytecode VM with whatever budget headroom remains; a second trip
+    // there descends again to the event engine.  Every rung is recorded.
+    std::string first = result.error;
+    result = runCompiled(sized, options);
+    if (!result.ok && !result.verdict.ok()) {
+      std::string second = result.error;
+      CosimResult retry = runEvent(sized, options);
+      retry.degradation = "native engine: " + first +
+                          "; compiled engine: " + second +
+                          "; retried on event engine";
+      return retry;
+    }
+    result.degradation = "native engine: " + first +
+                         "; retried on compiled engine";
+    return result;
+  }
   result = runCompiled(sized, options);
   if (!result.ok && !result.verdict.ok() && !strict) {
     // Guard event (budget trip / injected fault) on the compiled engine:
@@ -192,10 +366,37 @@ CosimResult Cosimulation::run(const std::vector<BitVector> &args,
   return result;
 }
 
+CosimResult Cosimulation::runNative(const std::vector<BitVector> &args,
+                                    const CosimOptions &options) {
+  engineUsed_ = SimEngine::Native;
+  sim_.reset();
+  csim_.reset();
+  if (nsim_)
+    nsim_->reset();
+  else
+    nsim_ = std::make_unique<NativeSimulation>(compiled_, native_);
+  // Same construct-settle-seed order as the other two engines: behavioral
+  // models run their `initial` threads live before globals are seeded.
+  if (compiled_->behavioral)
+    nsim_->settle();
+  nsim_->setBudget(options.budget);
+  try {
+    siteNativeRun.hit();
+  } catch (const guard::InjectedFault &e) {
+    CosimResult result;
+    result.verdict = e.verdict;
+    result.error = "vsim: " + e.verdict.str();
+    return result;
+  }
+  seedInto(*nsim_);
+  return runHandshake(*nsim_, args, options.maxCycles, options.budget);
+}
+
 CosimResult Cosimulation::runCompiled(const std::vector<BitVector> &args,
                                       const CosimOptions &options) {
   engineUsed_ = SimEngine::Compiled;
   sim_.reset();
+  nsim_.reset();
   // The CompiledModel carries the post-`initial` image, so no settle is
   // needed before seeding; later runs restore it in place.
   if (csim_)
@@ -225,13 +426,16 @@ CosimResult Cosimulation::runEvent(const std::vector<BitVector> &args,
                                    const CosimOptions &options) {
   engineUsed_ = SimEngine::Event;
   csim_.reset();
+  nsim_.reset();
   if (eventImage_) {
     sim_ = std::make_unique<Simulation>(model_, *eventImage_);
   } else {
     sim_ = std::make_unique<Simulation>(model_);
     sim_->settle(); // initial blocks load the ROM/global images
-    if (sim_->ok() && hasPlainInit(*model_))
-      eventImage_ = std::make_unique<InitImage>(sim_->snapshot());
+    if (sim_->ok() && hasPlainInit(*model_)) {
+      eventImage_ = std::make_shared<InitImage>(sim_->snapshot());
+      cachePublish();
+    }
   }
   sim_->setBudget(options.budget);
   try {
@@ -248,14 +452,15 @@ CosimResult Cosimulation::runEvent(const std::vector<BitVector> &args,
 
 std::vector<BitVector>
 Cosimulation::readGlobal(const std::string &name) const {
-  if ((!sim_ && !csim_) || !design_)
+  if ((!sim_ && !csim_ && !nsim_) || !design_)
     return {};
   const ir::GlobalSlot *slot = design_->module->findGlobal(name);
   if (!slot)
     return {};
   std::string net = memNetName(*design_->module, slot->memId);
-  std::vector<BitVector> cells =
-      csim_ ? csim_->memoryContents(net) : sim_->memoryContents(net);
+  std::vector<BitVector> cells = nsim_   ? nsim_->memoryContents(net)
+                                 : csim_ ? csim_->memoryContents(net)
+                                         : sim_->memoryContents(net);
   std::vector<BitVector> out;
   for (std::uint64_t i = 0; i < slot->words && slot->base + i < cells.size();
        ++i)
@@ -288,6 +493,10 @@ CosimResult cosimulateSource(const std::string &verilogText,
     result.error = "vsim elaborate: " + elabError;
     return result;
   }
+  const bool wantNative = options.engine == SimEngine::Native ||
+                          options.engine == SimEngine::NativeStrict;
+  const bool strict = options.engine == SimEngine::CompiledStrict ||
+                      options.engine == SimEngine::NativeStrict;
   if (options.engine != SimEngine::Event) {
     std::string why;
     std::shared_ptr<const CompiledModel> compiled;
@@ -298,6 +507,29 @@ CosimResult cosimulateSource(const std::string &verilogText,
       why = e.verdict.str();
       compileVerdict = e.verdict;
     }
+    if (compiled && wantNative) {
+      std::string nativeWhy;
+      std::shared_ptr<const NativeModule> mod;
+      guard::Verdict nativeVerdict;
+      try {
+        mod = compileNative(*compiled, nativeWhy);
+      } catch (const guard::InjectedFault &e) {
+        nativeWhy = e.verdict.str();
+        nativeVerdict = e.verdict;
+      }
+      if (mod) {
+        NativeSimulation sim(compiled, std::move(mod));
+        if (compiled->behavioral)
+          sim.settle();
+        sim.setBudget(options.budget);
+        return runHandshake(sim, args, options.maxCycles, options.budget);
+      }
+      if (options.engine == SimEngine::NativeStrict) {
+        result.error = "vsim: native-strict: " + nativeWhy;
+        result.verdict = nativeVerdict;
+        return result;
+      }
+    }
     if (compiled) {
       CompiledSimulation sim(compiled);
       if (compiled->behavioral)
@@ -305,8 +537,11 @@ CosimResult cosimulateSource(const std::string &verilogText,
       sim.setBudget(options.budget);
       return runHandshake(sim, args, options.maxCycles, options.budget);
     }
-    if (options.engine == SimEngine::CompiledStrict) {
-      result.error = "vsim: compiled-strict: " + why;
+    if (strict) {
+      result.error = "vsim: " +
+                     std::string(wantNative ? "native-strict"
+                                            : "compiled-strict") +
+                     ": " + why;
       result.verdict = compileVerdict;
       return result;
     }

@@ -17,15 +17,20 @@
 #include "vsim/engine.h"
 #include "vsim/sim.h"
 
+#include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace c2h::vsim {
 
 struct CompiledModel;
 class CompiledSimulation;
+class NativeModule;
+class NativeSimulation;
 
 struct CosimOptions {
   std::uint64_t maxCycles = 2'000'000;
@@ -56,11 +61,47 @@ struct CosimResult {
   std::string degradation;
 };
 
+// Cross-request model cache (the serve layer's init-image reuse): keyed by
+// the emitted Verilog text + top module, an entry keeps every immutable
+// artifact a Cosimulation would otherwise rebuild per request — the
+// elaborated Model, the lazily compiled CompiledModel (which carries the
+// post-`initial` init image the bytecode VM restores from), the native
+// module, the event engine's InitImage snapshot, and the recorded fallback
+// notes.  Entries hold no run state, so concurrent requests share one
+// safely; eviction is LRU by entry count.  Lookups and stores are bypassed
+// entirely while a guard fault is armed, so chaos runs can neither poison
+// the cache nor be masked by it.
+class ModelCache {
+public:
+  explicit ModelCache(std::size_t capacity = 16) : capacity_(capacity) {}
+
+  void setCapacity(std::size_t n);
+
+  struct Stats {
+    std::uint64_t hits = 0, misses = 0;
+    std::size_t entries = 0, capacity = 0;
+  };
+  Stats stats() const;
+  void clear();
+
+private:
+  friend class Cosimulation;
+  struct Entry;
+  // Returns the entry for `key`, creating (and registering) it on a miss.
+  std::shared_ptr<Entry> acquire(const std::string &key);
+
+  mutable std::mutex mutex_;
+  // Most-recently-used first; capacities are small, so a scan suffices.
+  std::list<std::pair<std::string, std::shared_ptr<Entry>>> lru_;
+  std::size_t capacity_;
+  std::uint64_t hits_ = 0, misses_ = 0;
+};
+
 // Emits and elaborates once; run() starts a fresh Simulation each time, so
 // one Cosimulation can execute many argument sets (fuzzing, sweeps).
 class Cosimulation {
 public:
-  explicit Cosimulation(const rtl::Design &design);
+  explicit Cosimulation(const rtl::Design &design, ModelCache *cache = nullptr);
   ~Cosimulation();
 
   bool valid() const { return error_.empty(); }
@@ -70,9 +111,11 @@ public:
   const guard::Verdict &verdict() const { return verdict_; }
   const std::string &verilog() const { return verilog_; }
   // Backend that actually executed the last run() (Compiled may fall back
-  // to Event; compileNote() then says why).
+  // to Event; compileNote() then says why.  Native may fall back to
+  // Compiled; nativeNote() then says why).
   SimEngine engineUsed() const { return engineUsed_; }
   const std::string &compileNote() const { return compileNote_; }
+  const std::string &nativeNote() const { return nativeNote_; }
 
   // Seed a source-level global (through the module's GlobalSlot map)
   // before the next run — the vsim analogue of Simulator::writeGlobal.
@@ -86,6 +129,10 @@ public:
 
 private:
   template <class Sim> void seedInto(Sim &sim);
+  void cacheAdopt();   // copy an elaborated entry's artifacts in
+  void cachePublish(); // write lazily built artifacts back (idempotent)
+  CosimResult runNative(const std::vector<BitVector> &args,
+                        const CosimOptions &options);
   CosimResult runCompiled(const std::vector<BitVector> &args,
                           const CosimOptions &options);
   CosimResult runEvent(const std::vector<BitVector> &args,
@@ -97,16 +144,25 @@ private:
   std::shared_ptr<Model> model_;
   std::unique_ptr<Simulation> sim_; // last event run's state, for readGlobal
   std::unique_ptr<CompiledSimulation> csim_; // last compiled run's state
+  std::unique_ptr<NativeSimulation> nsim_;   // last native run's state
   std::map<std::string, std::vector<BitVector>> seeds_;
   // Compile once per model (lazily, on the first Compiled-engine run).
   std::shared_ptr<const CompiledModel> compiled_;
   bool triedCompile_ = false;
   std::string compileNote_;
   guard::Verdict compileVerdict_; // injected vsim.compile fault, if any
+  // Native tier: lowered/built once per model (lazily, on the first
+  // Native-engine run), shared with the jit module cache.
+  std::shared_ptr<const NativeModule> native_;
+  bool triedNative_ = false;
+  std::string nativeNote_;
+  guard::Verdict nativeVerdict_; // injected vsim.jit.* fault, if any
   SimEngine engineUsed_ = SimEngine::Event;
   // Post-`initial` snapshot for the event engine, so repeated runs don't
-  // re-execute ROM init blocks (the crc8small outlier fix).
-  std::unique_ptr<InitImage> eventImage_;
+  // re-execute ROM init blocks (the crc8small outlier fix).  Shared so a
+  // ModelCache entry can reuse it across requests.
+  std::shared_ptr<InitImage> eventImage_;
+  std::shared_ptr<ModelCache::Entry> cacheEntry_;
 };
 
 // One-shot convenience wrapper.

@@ -1,7 +1,9 @@
 #include "vsim/cvm.h"
 
+#include "vsim/jit.h"
 #include "vsim/parser.h"
 #include "vsim/readmem.h"
+#include "vsim/wordops.h"
 
 #include <algorithm>
 
@@ -9,17 +11,9 @@ namespace c2h::vsim {
 
 namespace {
 
-// Zero/sign-extend (or truncate) a word-path value from `from` bits to
-// `to` bits (to <= 64).  `from` may exceed 64 — then `v` is the low word
-// and the operation is a truncation.
-inline std::uint64_t extWord(std::uint64_t v, unsigned from, unsigned to,
-                             bool sgn) {
-  if (to <= from)
-    return v & BitVector::wordMask(to);
-  if (sgn && ((v >> (from - 1)) & 1))
-    return v | (BitVector::wordMask(to) & ~BitVector::wordMask(from));
-  return v;
-}
+// extWord (zero/sign extension), the shift-amount rule, and the div/mod
+// semantics live in wordops.h, shared with the peephole folder and the
+// native emitter.
 
 inline bool truthy(const BitVector &v) {
   return v.isInline() ? v.word() != 0 : !v.isZero();
@@ -225,6 +219,8 @@ void CompiledSimulation::execProgram(const Program &p, TbThread *t) {
   std::size_t pc = t != nullptr ? t->pc : 0;
   while (pc < n) {
     const Insn &I = ins[pc];
+    if (opProfile_ != nullptr) [[unlikely]]
+      ++opProfile_[static_cast<unsigned>(I.op)];
     switch (I.op) {
     case Op::ConstW:
       regs[I.dst].setWord(I.imm);
@@ -494,6 +490,18 @@ void CompiledSimulation::execProgram(const Program &p, TbThread *t) {
         continue;
       }
       break;
+    case Op::CmpBr: {
+      // Peephole-fused compare+branch: compare at I.width (the operand
+      // registers' width), branch to aux when true (bit 2 of imm inverts).
+      bool res = cmpWord(static_cast<unsigned>(I.imm) & 3,
+                         regs[I.a].word(), regs[I.b].word(), I.width,
+                         I.sign);
+      if (res != ((I.imm & 4) != 0)) {
+        pc = I.aux;
+        continue;
+      }
+      break;
+    }
     case Op::CaseJump: {
       // Selector width <= 64 guaranteed by the compiler; values outside
       // [imm, imm + table size) fall through to the default target in b.
@@ -905,6 +913,24 @@ void CompiledSimulation::tick(const std::string &clk) {
 
 // ------------------------------------------------------- testbench run --
 
+namespace {
+
+template <class Sim>
+TestbenchResult finishTestbenchRun(Sim &sim, std::uint64_t maxTime) {
+  TestbenchResult result;
+  sim.runToFinish(maxTime);
+  result.finished = sim.finished();
+  result.output = sim.displayed();
+  result.timeUnits = sim.now();
+  if (!sim.ok())
+    result.error = sim.error();
+  else if (!sim.finished())
+    result.error = "simulation went quiescent without $finish";
+  return result;
+}
+
+} // namespace
+
 TestbenchResult runTestbench(const std::string &source,
                              const std::string &topModule,
                              std::uint64_t maxTime, SimEngine engine,
@@ -938,18 +964,34 @@ TestbenchResult runTestbench(const std::string &source,
       result.error = "vsim: compiled-strict: " + whyNot;
       return result;
     }
+    if (engine == SimEngine::NativeStrict) {
+      result.error = "vsim: native-strict: " + whyNot;
+      return result;
+    }
     return runTestbench(source, topModule, maxTime);
   }
+  if (engine == SimEngine::Native || engine == SimEngine::NativeStrict) {
+    std::string nativeWhy;
+    std::shared_ptr<const NativeModule> mod;
+    try {
+      mod = compileNative(*cm, nativeWhy);
+    } catch (const guard::InjectedFault &e) {
+      nativeWhy = e.verdict.str();
+    }
+    if (mod) {
+      NativeSimulation sim(cm, std::move(mod));
+      return finishTestbenchRun(sim, maxTime);
+    }
+    if (fallbackNote)
+      *fallbackNote = nativeWhy;
+    if (engine == SimEngine::NativeStrict) {
+      result.error = "vsim: native-strict: " + nativeWhy;
+      return result;
+    }
+    // Native degrades one rung: run the same compiled model on the VM.
+  }
   CompiledSimulation sim(std::move(cm));
-  sim.runToFinish(maxTime);
-  result.finished = sim.finished();
-  result.output = sim.displayed();
-  result.timeUnits = sim.now();
-  if (!sim.ok())
-    result.error = sim.error();
-  else if (!sim.finished())
-    result.error = "simulation went quiescent without $finish";
-  return result;
+  return finishTestbenchRun(sim, maxTime);
 }
 
 } // namespace c2h::vsim

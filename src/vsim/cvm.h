@@ -81,6 +81,11 @@ public:
   // nothing when no budget is attached); a trip sets error()/verdict()
   // instead of throwing out of the VM.
   void setBudget(guard::ExecBudget *budget) { budget_ = budget; }
+  // Attach an opcode histogram (non-owning; kOpCount slots).  When set,
+  // execProgram counts every dispatched instruction by opcode — the
+  // bench_cosim --profile-ops observability hook.  Null disables (the
+  // default; the hot loop then pays one predictable branch).
+  void setOpProfile(std::uint64_t *counters) { opProfile_ = counters; }
 
 private:
   struct NbWrite {
@@ -137,6 +142,7 @@ private:
   guard::Verdict verdict_;
   guard::ExecBudget *budget_ = nullptr;
   std::uint64_t pendingSteps_ = 0; // instructions not yet charged
+  std::uint64_t *opProfile_ = nullptr; // optional opcode histogram
 };
 
 } // namespace c2h::vsim

@@ -1,0 +1,758 @@
+#include "vsim/emitcpp.h"
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace c2h::vsim {
+
+namespace {
+
+std::string hexU64(std::uint64_t v) {
+  std::ostringstream s;
+  s << "0x" << std::hex << v << "ull";
+  return s.str();
+}
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+// The context struct and word-semantics helpers compiled into every
+// emitted object.  The struct is a textual twin of NativeCtx in jit.h and
+// the helpers are textual twins of wordops.h; c2h_native_abi() hashes the
+// layout so drift refuses to load instead of corrupting memory.
+const char *kPreamble = R"(// c2h vsim native tier -- machine-generated; do not edit.
+namespace {
+typedef unsigned long long u64;
+typedef unsigned u32;
+typedef unsigned char u8;
+struct Ctx {
+  u64 *nets;
+  u64 *const *mems;
+  u8 *dirty;
+  u64 *tregs;
+  void *host;
+  void (*display)(void *, u32);
+  int (*readmem)(void *, u32);
+  void (*error)(void *, u32);
+  void (*posedge)(void *, u32);
+  void (*nbnet)(void *, u32, u64);
+  void (*nbmem)(void *, u32, u64, u64);
+  u64 pending;
+  u64 now;
+  u64 parkTime;
+  u64 resumePc;
+  u32 minDirty;
+  u32 parkKind;
+  u32 parkArg;
+  u32 pad_;
+};
+constexpr u64 M(unsigned w) {
+  return w >= 64 ? ~0ull : ((1ull << w) - 1ull);
+}
+inline u64 xw(u64 v, unsigned from, unsigned to, int sgn) {
+  if (to <= from)
+    return v & M(to);
+  if (sgn && ((v >> (from - 1)) & 1))
+    return v | (M(to) & ~M(from));
+  return v;
+}
+inline u64 dvw(u64 x, u64 y, unsigned w, int sgn) {
+  u64 mask = M(w);
+  if (!sgn)
+    return y == 0 ? mask : x / y;
+  u64 sbit = 1ull << (w - 1);
+  int negX = (x & sbit) != 0, negY = (y & sbit) != 0;
+  u64 mx = negX ? (0 - x) & mask : x;
+  u64 my = negY ? (0 - y) & mask : y;
+  u64 q = my == 0 ? mask : mx / my;
+  if (negX != negY)
+    q = 0 - q;
+  return q;
+}
+inline u64 mdw(u64 x, u64 y, unsigned w, int sgn) {
+  u64 mask = M(w);
+  if (!sgn)
+    return y == 0 ? x : x % y;
+  u64 sbit = 1ull << (w - 1);
+  int negX = (x & sbit) != 0, negY = (y & sbit) != 0;
+  u64 mx = negX ? (0 - x) & mask : x;
+  u64 my = negY ? (0 - y) & mask : y;
+  u64 r = my == 0 ? mx : mx % my;
+  if (negX)
+    r = 0 - r;
+  return r;
+}
+inline u64 shlw(u64 x, u64 amt, unsigned w) {
+  unsigned a = amt >= 0x80000000ull ? w : (unsigned)amt;
+  return a >= w ? 0 : x << a;
+}
+inline u64 shrw(u64 x, u64 amt, unsigned w) {
+  unsigned a = amt >= 0x80000000ull ? w : (unsigned)amt;
+  return a >= w ? 0 : x >> a;
+}
+inline u64 asrw(u64 x, u64 amt, unsigned w) {
+  unsigned a = amt >= 0x80000000ull ? w : (unsigned)amt;
+  long long sx = (long long)xw(x, w, 64, 1);
+  unsigned sh = a > 63 ? 63 : a;
+  return (u64)(sx >> sh);
+}
+inline int sltw(u64 x, u64 y, unsigned w) {
+  return (long long)xw(x, w, 64, 1) < (long long)xw(y, w, 64, 1);
+}
+inline int slew(u64 x, u64 y, unsigned w) {
+  return (long long)xw(x, w, 64, 1) <= (long long)xw(y, w, 64, 1);
+}
+static void sweep(Ctx *c);
+)";
+
+class Emitter {
+public:
+  explicit Emitter(const CompiledModel &cm) : cm_(cm) {}
+
+  std::string run(std::string &whyNot) {
+    if (!checkSubset(whyNot))
+      return {};
+    out_ += kPreamble;
+    emitSweep();
+    for (std::size_t d = 0; d < cm_.domains.size(); ++d)
+      emitDomain(static_cast<unsigned>(d));
+    for (std::size_t t = 0; t < cm_.threads.size(); ++t)
+      emitThread(static_cast<unsigned>(t));
+    for (std::size_t w = 0; w < cm_.waitConds.size(); ++w)
+      emitWaitCond(static_cast<unsigned>(w));
+    emitExports();
+    return out_;
+  }
+
+private:
+  enum class Kind { Wire, Domain, Thread, Cond };
+
+  const CompiledModel &cm_;
+  std::string out_;
+  // ---- per-program emission state ----
+  Kind kind_ = Kind::Wire;
+  std::string pfx_;
+  unsigned nbaSlot_ = 0; // running NBA slot index within a domain
+
+  bool checkSubset(std::string &whyNot) {
+    for (const Net &n : cm_.model->nets)
+      if (n.width > 64) {
+        whyNot = "net '" + n.name + "' is " + num(n.width) +
+                 " bits: outside the native word subset";
+        return false;
+      }
+    for (const Memory &m : cm_.model->mems)
+      if (m.width > 64) {
+        whyNot = "memory '" + m.name + "' is " + num(m.width) +
+                 " bits: outside the native word subset";
+        return false;
+      }
+    for (unsigned w : cm_.tempWidth)
+      if (w > 64) {
+        whyNot = "a " + num(w) +
+                 "-bit temporary: outside the native word subset";
+        return false;
+      }
+    bool ok = true;
+    forEachProgram([&](const Program &p) {
+      for (const Insn &I : p.insns)
+        if (I.wide || I.op == Op::ConstV) {
+          whyNot = std::string("wide operation (") + opName(I.op) +
+                   "): outside the native word subset";
+          ok = false;
+          return;
+        }
+    });
+    return ok;
+  }
+
+  template <class F> void forEachProgram(const F &f) {
+    for (const WireUpdate &w : cm_.wires)
+      f(w.prog);
+    for (const ClockDomain &d : cm_.domains)
+      for (const Program &b : d.bodies)
+        f(b);
+    for (const ThreadProgram &t : cm_.threads)
+      f(t.prog);
+    for (const WaitCond &w : cm_.waitConds)
+      f(w.prog);
+  }
+
+  void ln(const std::string &s) {
+    out_ += "  ";
+    out_ += s;
+    out_ += '\n';
+  }
+  void raw(const std::string &s) {
+    out_ += s;
+    out_ += '\n';
+  }
+
+  std::string rn(std::uint32_t t) const {
+    return kind_ == Kind::Thread || kind_ == Kind::Cond
+               ? "R[" + num(t) + "]"
+               : "t" + num(t);
+  }
+  std::string lbl(std::size_t pc) const { return pfx_ + "L" + num(pc); }
+
+  std::string maskSuffix(unsigned w) const {
+    return w >= 64 ? std::string() : " & M(" + num(w) + "u)";
+  }
+
+  // dst = expr, masked at the destination register's fixed width — the
+  // textual form of BitVector::setWord.
+  std::string setReg(std::uint32_t dst, const std::string &expr) const {
+    unsigned w = cm_.tempWidth[dst];
+    if (w >= 64)
+      return rn(dst) + " = " + expr + ";";
+    return rn(dst) + " = (" + expr + ")" + maskSuffix(w) + ";";
+  }
+
+  // Register operands of an insn (for local declarations).
+  void regUses(const Insn &I, std::vector<std::uint32_t> &v) const {
+    switch (I.op) {
+    case Op::ConstW:
+    case Op::ConstV:
+    case Op::LoadNet:
+    case Op::LoadWire:
+    case Op::Jump:
+    case Op::TWait:
+    case Op::TDelay:
+    case Op::TDisplay:
+    case Op::TFinish:
+    case Op::TReadMem:
+    case Op::TError:
+      break;
+    case Op::LoadMem:
+    case Op::Ext:
+    case Op::Neg:
+    case Op::BitNot:
+    case Op::LogNot:
+    case Op::Extract:
+    case Op::JumpIfZero:
+    case Op::JumpIfTrue:
+    case Op::CaseJump:
+    case Op::StoreNet:
+    case Op::NbNet:
+    case Op::TWaitCond:
+      v.push_back(I.a);
+      break;
+    case Op::Select:
+      v.push_back(I.a);
+      v.push_back(I.b);
+      v.push_back(I.aux);
+      break;
+    default: // two-operand compute, CmpBr, StoreMem, NbMem
+      v.push_back(I.a);
+      v.push_back(I.b);
+      break;
+    }
+  }
+
+  std::set<std::uint32_t> collectTemps(const Program &p) const {
+    std::set<std::uint32_t> temps;
+    std::vector<std::uint32_t> uses;
+    for (const Insn &I : p.insns) {
+      if (static_cast<unsigned>(I.op) <= static_cast<unsigned>(Op::Extract))
+        temps.insert(I.dst);
+      uses.clear();
+      regUses(I, uses);
+      for (std::uint32_t t : uses)
+        temps.insert(t);
+    }
+    return temps;
+  }
+
+  std::set<std::size_t> collectLabels(const Program &p) const {
+    std::set<std::size_t> labels;
+    for (std::size_t pc = 0; pc < p.insns.size(); ++pc) {
+      const Insn &I = p.insns[pc];
+      switch (I.op) {
+      case Op::Jump:
+      case Op::JumpIfZero:
+      case Op::JumpIfTrue:
+      case Op::CmpBr:
+        labels.insert(I.aux);
+        break;
+      case Op::CaseJump:
+        labels.insert(I.b);
+        for (std::uint32_t t : cm_.jumpTables[I.aux])
+          labels.insert(t);
+        break;
+      case Op::TWait:
+      case Op::TDelay:
+        labels.insert(pc + 1); // resume point
+        break;
+      case Op::TWaitCond:
+        labels.insert(I.aux); // resume re-evaluates the condition
+        break;
+      default:
+        break;
+      }
+    }
+    if (kind_ == Kind::Thread)
+      labels.insert(0);
+    return labels;
+  }
+
+  void emitLocalDecls(const Program &p) {
+    std::set<std::uint32_t> temps = collectTemps(p);
+    if (temps.empty())
+      return;
+    std::string decl = "u64";
+    bool first = true;
+    for (std::uint32_t t : temps) {
+      decl += first ? " " : ", ";
+      decl += "t" + num(t) + " = 0";
+      first = false;
+    }
+    ln(decl + ";");
+  }
+
+  void emitMarkNet(std::uint32_t netId) {
+    const auto &ranks = cm_.netFanout[netId];
+    emitMarks(ranks);
+  }
+  void emitMarkMem(std::uint32_t memId) {
+    const auto &ranks = cm_.memFanout[memId];
+    emitMarks(ranks);
+  }
+  void emitMarks(const std::vector<std::uint32_t> &ranks) {
+    if (ranks.empty())
+      return;
+    std::string s;
+    for (std::uint32_t r : ranks)
+      s += "c->dirty[" + num(r) + "] = 1; ";
+    std::uint32_t minR = ranks.front();
+    for (std::uint32_t r : ranks)
+      if (r < minR)
+        minR = r;
+    s += "if (" + num(minR) + "u < c->minDirty) c->minDirty = " +
+         num(minR) + "u;";
+    ln(s);
+  }
+
+  std::string cmpExpr(unsigned kind, const std::string &x,
+                      const std::string &y, unsigned cw, bool sgn) const {
+    switch (kind) {
+    case 0:
+      return sgn ? "sltw(" + x + ", " + y + ", " + num(cw) + "u)"
+                 : x + " < " + y;
+    case 1:
+      return sgn ? "slew(" + x + ", " + y + ", " + num(cw) + "u)"
+                 : x + " <= " + y;
+    case 2:
+      return x + " == " + y;
+    default:
+      return x + " != " + y;
+    }
+  }
+
+  // Emit the body of one program.  Preconditions established by
+  // checkSubset: every value fits one word.
+  void emitBody(const Program &p) {
+    std::set<std::size_t> labels = collectLabels(p);
+    for (std::size_t pc = 0; pc < p.insns.size(); ++pc) {
+      if (labels.count(pc))
+        raw(lbl(pc) + ":;");
+      const Insn &I = p.insns[pc];
+      const std::string A = rn(I.a), B = rn(I.b);
+      const std::string W = num(I.width) + "u";
+      switch (I.op) {
+      case Op::ConstW:
+        ln(rn(I.dst) + " = " + hexU64(I.imm) + ";");
+        break;
+      case Op::ConstV:
+        break; // excluded by checkSubset
+      case Op::LoadWire:
+        ln("sweep(c);");
+        [[fallthrough]];
+      case Op::LoadNet:
+        ln(setReg(I.dst, "xw(c->nets[" + num(I.aux) + "], " + num(I.b) +
+                             "u, " + W + ", " + (I.sign ? "1" : "0") +
+                             ")"));
+        break;
+      case Op::LoadMem: {
+        std::uint64_t depth = cm_.init.mems[I.aux].size();
+        ln(setReg(I.dst, "xw(" + A + " < " + hexU64(depth) + " ? c->mems[" +
+                             num(I.aux) + "][" + A + "] : 0ull, " +
+                             num(I.b) + "u, " + W + ", 0)"));
+        break;
+      }
+      case Op::BitSel:
+        ln(setReg(I.dst, B + " < " + num(cm_.tempWidth[I.a]) + "ull && ((" +
+                             A + " >> " + B + ") & 1ull) ? 1ull : 0ull"));
+        break;
+      case Op::Ext:
+        ln(setReg(I.dst, "xw(" + A + ", " + num(I.b) + "u, " + W + ", " +
+                             (I.sign ? "1" : "0") + ")"));
+        break;
+      case Op::Neg:
+        ln(setReg(I.dst, "0ull - " + A));
+        break;
+      case Op::BitNot:
+        ln(setReg(I.dst, "~" + A));
+        break;
+      case Op::LogNot:
+        ln(setReg(I.dst, A + " == 0ull ? 1ull : 0ull"));
+        break;
+      case Op::Add:
+        ln(setReg(I.dst, A + " + " + B));
+        break;
+      case Op::Sub:
+        ln(setReg(I.dst, A + " - " + B));
+        break;
+      case Op::Mul:
+        ln(setReg(I.dst, A + " * " + B));
+        break;
+      case Op::Div:
+        ln(setReg(I.dst, "dvw(" + A + ", " + B + ", " + W + ", " +
+                             (I.sign ? "1" : "0") + ")"));
+        break;
+      case Op::Mod:
+        ln(setReg(I.dst, "mdw(" + A + ", " + B + ", " + W + ", " +
+                             (I.sign ? "1" : "0") + ")"));
+        break;
+      case Op::And:
+        ln(setReg(I.dst, A + " & " + B));
+        break;
+      case Op::Or:
+        ln(setReg(I.dst, A + " | " + B));
+        break;
+      case Op::Xor:
+        ln(setReg(I.dst, A + " ^ " + B));
+        break;
+      case Op::Shl:
+        ln(setReg(I.dst, "shlw(" + A + ", " + B + ", " + W + ")"));
+        break;
+      case Op::Shr:
+        ln(setReg(I.dst, "shrw(" + A + ", " + B + ", " + W + ")"));
+        break;
+      case Op::AShr:
+        ln(setReg(I.dst, (I.sign ? "asrw(" : "shrw(") + A + ", " + B +
+                             ", " + W + ")"));
+        break;
+      case Op::CmpLt:
+      case Op::CmpLe:
+      case Op::CmpEq:
+      case Op::CmpNe: {
+        unsigned k = I.op == Op::CmpLt   ? 0u
+                     : I.op == Op::CmpLe ? 1u
+                     : I.op == Op::CmpEq ? 2u
+                                         : 3u;
+        ln(setReg(I.dst, std::string("(") +
+                             cmpExpr(k, A, B, cm_.tempWidth[I.a], I.sign) +
+                             ") ? 1ull : 0ull"));
+        break;
+      }
+      case Op::LAnd:
+        ln(setReg(I.dst,
+                  A + " != 0ull && " + B + " != 0ull ? 1ull : 0ull"));
+        break;
+      case Op::LOr:
+        ln(setReg(I.dst,
+                  A + " != 0ull || " + B + " != 0ull ? 1ull : 0ull"));
+        break;
+      case Op::Select:
+        ln(setReg(I.dst, A + " != 0ull ? " + B + " : " + rn(I.aux)));
+        break;
+      case Op::Concat2:
+        ln(setReg(I.dst, "(" + A + " << " + num(I.aux) + "u) | " + B));
+        break;
+      case Op::Extract:
+        ln(setReg(I.dst, "(" + A + " >> " + num(I.aux) + "u) & M(" +
+                             num(I.b) + "u)"));
+        break;
+      case Op::Jump:
+        ln("goto " + lbl(I.aux) + ";");
+        break;
+      case Op::JumpIfZero:
+        ln("if (" + A + " == 0ull) goto " + lbl(I.aux) + ";");
+        break;
+      case Op::JumpIfTrue:
+        ln("if (" + A + " != 0ull) goto " + lbl(I.aux) + ";");
+        break;
+      case Op::CmpBr: {
+        std::string cond =
+            cmpExpr(static_cast<unsigned>(I.imm) & 3, A, B, I.width,
+                    I.sign);
+        if ((I.imm & 4) != 0)
+          cond = "!(" + cond + ")";
+        ln("if (" + cond + ") goto " + lbl(I.aux) + ";");
+        break;
+      }
+      case Op::CaseJump: {
+        ln("switch (" + A + ") {");
+        const auto &table = cm_.jumpTables[I.aux];
+        for (std::size_t k = 0; k < table.size(); ++k)
+          ln("case " + hexU64(I.imm + k) + ": goto " + lbl(table[k]) +
+             ";");
+        ln("default: goto " + lbl(I.b) + ";");
+        ln("}");
+        break;
+      }
+      case Op::StoreNet: {
+        std::string slot = "c->nets[" + num(I.aux) + "]";
+        ln("{ u64 nv = " + A + ";");
+        ln("if (" + slot + " != nv) {");
+        if (cm_.watchNet[I.aux])
+          ln("  if (!(" + slot + " & 1ull) && (nv & 1ull)) "
+             "c->posedge(c->host, " +
+             num(I.aux) + "u);");
+        ln("  " + slot + " = nv;");
+        emitMarkNet(I.aux);
+        ln("} }");
+        break;
+      }
+      case Op::StoreMem: {
+        std::uint64_t depth = cm_.init.mems[I.aux].size();
+        ln("{ u64 ad = " + A + ";");
+        ln("if (ad < " + hexU64(depth) + ") { u64 nv = " + B + ";");
+        ln("if (c->mems[" + num(I.aux) + "][ad] != nv) {");
+        ln("  c->mems[" + num(I.aux) + "][ad] = nv;");
+        emitMarkMem(I.aux);
+        ln("} } }");
+        break;
+      }
+      case Op::NbNet:
+        if (kind_ == Kind::Thread) {
+          ln("c->nbnet(c->host, " + num(I.aux) + "u, " + A + ");");
+        } else {
+          // Domain bodies are loop-free (forward jumps only), so each
+          // NbNet site runs at most once per domain activation and static
+          // slot order equals the VM's queue order.
+          unsigned s = nbaSlot_++;
+          ln("q" + num(s) + " = " + A + "; qf" + num(s) + " = 1;");
+        }
+        break;
+      case Op::NbMem:
+        if (kind_ == Kind::Thread) {
+          ln("c->nbmem(c->host, " + num(I.aux) + "u, " + A + ", " + B +
+             ");");
+        } else {
+          unsigned s = nbaSlot_++;
+          ln("qa" + num(s) + " = " + A + "; q" + num(s) + " = " + B +
+             "; qf" + num(s) + " = 1;");
+        }
+        break;
+      case Op::TWait:
+        ln("c->parkKind = 1u; c->parkArg = " + num(I.aux) +
+           "u; c->resumePc = " + num(pc + 1) + "ull; return;");
+        break;
+      case Op::TDelay:
+        ln("c->parkKind = 2u; c->parkTime = c->now + " + hexU64(I.imm) +
+           "; c->resumePc = " + num(pc + 1) + "ull; return;");
+        break;
+      case Op::TWaitCond:
+        ln("if (" + A + " == 0ull) { c->parkKind = 3u; c->parkArg = " +
+           num(I.b) + "u; c->resumePc = " + num(I.aux) +
+           "ull; return; }");
+        break;
+      case Op::TDisplay:
+        ln("c->display(c->host, " + num(I.aux) + "u);");
+        break;
+      case Op::TFinish:
+        ln("c->parkKind = 4u; return;");
+        break;
+      case Op::TReadMem:
+        ln("if (!c->readmem(c->host, " + num(I.aux) +
+           "u)) { c->parkKind = 5u; return; }");
+        break;
+      case Op::TError:
+        ln("c->error(c->host, " + num(I.aux) +
+           "u); c->parkKind = 5u; return;");
+        break;
+      }
+    }
+    if (labels.count(p.insns.size()))
+      raw(lbl(p.insns.size()) + ":;");
+  }
+
+  void emitSweep() {
+    const std::size_t nw = cm_.wires.size();
+    kind_ = Kind::Wire;
+    raw("static void sweep(Ctx *c) {");
+    if (nw == 0) {
+      ln("(void)c;");
+      raw("}");
+      return;
+    }
+    ln("switch (c->minDirty) {");
+    for (std::size_t r = 0; r < nw; ++r)
+      ln("case " + num(r) + "u: goto S" + num(r) + ";");
+    ln("default: return;");
+    ln("}");
+    for (std::size_t r = 0; r < nw; ++r) {
+      const WireUpdate &w = cm_.wires[r];
+      pfx_ = "W" + num(r) + "_";
+      raw("S" + num(r) + ":");
+      ln("if (c->dirty[" + num(r) + "]) {");
+      ln("c->dirty[" + num(r) + "] = 0;");
+      if (!w.prog.insns.empty())
+        ln("c->pending += " + num(w.prog.insns.size()) + "ull;");
+      emitLocalDecls(w.prog);
+      emitBody(w.prog);
+      ln("}");
+    }
+    // Parity with the VM's consuming scan: a completed sweep leaves the
+    // cursor one past the last rank.
+    ln("c->minDirty = " + num(nw) + "u;");
+    raw("}");
+  }
+
+  void emitDomain(unsigned d) {
+    const ClockDomain &dom = cm_.domains[d];
+    kind_ = Kind::Domain;
+    raw("static void dom" + num(d) + "(Ctx *c) {");
+    // Pre-pass: one static slot per NbNet/NbMem site, in occurrence
+    // order.  The commit sequence below replays the VM's queue semantics.
+    struct Slot {
+      bool isMem;
+      std::uint32_t id;
+    };
+    std::vector<Slot> slots;
+    for (const Program &b : dom.bodies)
+      for (const Insn &I : b.insns) {
+        if (I.op == Op::NbNet)
+          slots.push_back({false, I.aux});
+        else if (I.op == Op::NbMem)
+          slots.push_back({true, I.aux});
+      }
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      std::string decl = "u64 q" + num(s) + " = 0; int qf" + num(s) +
+                         " = 0;";
+      if (slots[s].isMem)
+        decl += " u64 qa" + num(s) + " = 0;";
+      ln(decl);
+    }
+    nbaSlot_ = 0;
+    for (std::size_t j = 0; j < dom.bodies.size(); ++j) {
+      const Program &b = dom.bodies[j];
+      pfx_ = "D" + num(d) + "B" + num(j) + "_";
+      ln("{");
+      if (!b.insns.empty())
+        ln("c->pending += " + num(b.insns.size()) + "ull;");
+      emitLocalDecls(b);
+      emitBody(b);
+      ln("}");
+    }
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      const Slot &sl = slots[s];
+      ln("if (qf" + num(s) + ") {");
+      if (sl.isMem) {
+        std::uint64_t depth = cm_.init.mems[sl.id].size();
+        ln("if (qa" + num(s) + " < " + hexU64(depth) + " && c->mems[" +
+           num(sl.id) + "][qa" + num(s) + "] != q" + num(s) + ") {");
+        ln("  c->mems[" + num(sl.id) + "][qa" + num(s) + "] = q" + num(s) +
+           ";");
+        emitMarkMem(sl.id);
+        ln("}");
+      } else {
+        std::string slot = "c->nets[" + num(sl.id) + "]";
+        ln("if (" + slot + " != q" + num(s) + ") {");
+        if (cm_.watchNet[sl.id])
+          ln("  if (!(" + slot + " & 1ull) && (q" + num(s) + " & 1ull)) "
+             "c->posedge(c->host, " +
+             num(sl.id) + "u);");
+        ln("  " + slot + " = q" + num(s) + ";");
+        emitMarkNet(sl.id);
+        ln("}");
+      }
+      ln("}");
+    }
+    ln("sweep(c);");
+    raw("}");
+  }
+
+  void emitThread(unsigned t) {
+    const Program &p = cm_.threads[t].prog;
+    kind_ = Kind::Thread;
+    pfx_ = "T" + num(t) + "_";
+    raw("static void th" + num(t) + "(Ctx *c, u64 pc) {");
+    if (p.insns.empty()) {
+      ln("(void)pc; c->parkKind = 0u; return;");
+      raw("}");
+      return;
+    }
+    ln("u64 *R = c->tregs;");
+    ln("(void)R;");
+    ln("c->pending += " + num(p.insns.size()) + "ull;");
+    // Resume dispatch: 0 plus every recorded resume point.
+    std::set<std::size_t> resumes;
+    resumes.insert(0);
+    for (std::size_t pc = 0; pc < p.insns.size(); ++pc) {
+      const Insn &I = p.insns[pc];
+      if (I.op == Op::TWait || I.op == Op::TDelay)
+        resumes.insert(pc + 1);
+      else if (I.op == Op::TWaitCond)
+        resumes.insert(I.aux);
+    }
+    ln("switch (pc) {");
+    for (std::size_t r : resumes)
+      ln("case " + num(r) + "ull: goto " + lbl(r) + ";");
+    ln("default: goto " + lbl(0) + ";");
+    ln("}");
+    emitBody(p);
+    ln("c->parkKind = 0u; return;");
+    raw("}");
+  }
+
+  void emitWaitCond(unsigned w) {
+    const WaitCond &wc = cm_.waitConds[w];
+    kind_ = Kind::Cond;
+    pfx_ = "C" + num(w) + "_";
+    raw("static u64 wc" + num(w) + "(Ctx *c) {");
+    ln("u64 *R = c->tregs;");
+    ln("(void)R;");
+    if (!wc.prog.insns.empty())
+      ln("c->pending += " + num(wc.prog.insns.size()) + "ull;");
+    emitBody(wc.prog);
+    ln("return R[" + num(wc.result) + "];");
+    raw("}");
+  }
+
+  void emitExports() {
+    raw("} // namespace");
+    raw("extern \"C\" {");
+    raw("unsigned c2h_native_abi() { return (" +
+        num(kNativeAbiVersion) + "u << 16) ^ (unsigned)sizeof(Ctx); }");
+    raw("void c2h_native_sweep(void *c) { sweep((Ctx *)c); }");
+    raw("void c2h_native_domain(void *c, unsigned d) {");
+    raw("  switch (d) {");
+    for (std::size_t d = 0; d < cm_.domains.size(); ++d)
+      raw("  case " + num(d) + "u: dom" + num(d) + "((Ctx *)c); break;");
+    raw("  default: break;");
+    raw("  }");
+    raw("  (void)c;");
+    raw("}");
+    raw("void c2h_native_thread(void *c, unsigned t, unsigned long long "
+        "pc) {");
+    raw("  switch (t) {");
+    for (std::size_t t = 0; t < cm_.threads.size(); ++t)
+      raw("  case " + num(t) + "u: th" + num(t) + "((Ctx *)c, pc); break;");
+    raw("  default: break;");
+    raw("  }");
+    raw("  (void)c; (void)pc;");
+    raw("}");
+    raw("unsigned long long c2h_native_waitcond(void *c, unsigned w) {");
+    raw("  switch (w) {");
+    for (std::size_t w = 0; w < cm_.waitConds.size(); ++w)
+      raw("  case " + num(w) + "u: return wc" + num(w) + "((Ctx *)c);");
+    raw("  default: break;");
+    raw("  }");
+    raw("  (void)c;");
+    raw("  return 0;");
+    raw("}");
+    raw("} // extern \"C\"");
+  }
+};
+
+} // namespace
+
+std::string emitNativeSource(const CompiledModel &cm, std::string &whyNot) {
+  return Emitter(cm).run(whyNot);
+}
+
+} // namespace c2h::vsim

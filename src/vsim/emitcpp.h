@@ -1,0 +1,42 @@
+// Native lowering: translate an optimized CompiledModel (compile.h +
+// peephole.h) into one self-contained C++ translation unit that the host
+// toolchain builds into a shared object (jit.h loads it).
+//
+// The emitted code replicates the bytecode VM's word-path semantics
+// exactly (wordops.h is the single source of truth; the emitted preamble
+// is a textual copy of those helpers): every wire becomes a straight-line
+// block inside one levelized sweep function — the dirty-set checks that
+// static scheduling proves redundant are simply not emitted — and every
+// clock domain becomes one function running its bodies, committing
+// non-blocking assigns in program order, and sweeping.  Behavioral thread
+// programs lower to resumable functions (a switch over recorded resume
+// points) that park by filling the context's park fields; cold operations
+// ($display, $readmem, NBAs from threads, runtime errors) call back into
+// the host simulation.
+//
+// The native subset is the word-sized subset: any design with >64-bit
+// nets, memories, or operations is refused with a reason (the caller
+// degrades to the bytecode VM, which handles wide values) — the full
+// workload registry and every generated testbench fit the subset.
+#ifndef C2H_VSIM_EMITCPP_H
+#define C2H_VSIM_EMITCPP_H
+
+#include "vsim/compile.h"
+
+#include <string>
+
+namespace c2h::vsim {
+
+// ABI handshake between the host (jit.cpp) and an emitted shared object:
+// the object exports c2h_native_abi() returning this value computed from
+// its own (textually duplicated) context struct, so any layout drift
+// refuses to load instead of corrupting memory.
+inline constexpr unsigned kNativeAbiVersion = 1;
+
+// Emit the C++ source for `cm`.  Returns an empty string and fills
+// `whyNot` when the model is outside the native subset.
+std::string emitNativeSource(const CompiledModel &cm, std::string &whyNot);
+
+} // namespace c2h::vsim
+
+#endif // C2H_VSIM_EMITCPP_H

@@ -1,0 +1,220 @@
+// The native execution tier: emitcpp.h lowers a CompiledModel to C++
+// source, this layer builds it with the host toolchain into a shared
+// object, dlopens it, and drives it behind the same poke/peek/tick/settle
+// surface as CompiledSimulation — so the co-simulation harness can run
+// event, bytecode, and native engines from the same code.
+//
+// Build pipeline (compileNative):
+//  1. emit the specialized source (refused with a reason outside the
+//     word-sized native subset — the bytecode VM keeps those designs);
+//  2. key it by content hash and look up the in-process module cache,
+//     then the on-disk artifact cache ($C2H_NATIVE_CACHE or a per-user
+//     temp directory) — a hit skips the host compiler entirely;
+//  3. otherwise find a host C++ compiler ($C2H_NATIVE_CXX overrides; an
+//     empty value disables the tier; else c++/g++/clang++ from PATH),
+//     build `-O2 -fPIC -shared`, and atomically publish the artifact;
+//  4. dlopen and verify the ABI stamp before trusting any symbol.
+// Every failure mode returns null with a structured reason — the caller
+// (cosim.cpp's engine ladder) records it and degrades to the bytecode VM;
+// nothing in this layer throws except injected faults (vsim.jit.emit /
+// vsim.jit.cc / vsim.jit.load), which propagate like every other guard
+// fault so chaos tests can prove single-request blast radius.
+//
+// The host keeps ownership of all simulation state (net words, memory
+// cells, thread register file) in a NativeCtx the generated code mutates;
+// cold operations ($display, $readmem, thread NBAs, runtime errors) call
+// back into NativeSimulation.  The generated code never allocates, never
+// throws, and never keeps pointers beyond a call.
+#ifndef C2H_VSIM_JIT_H
+#define C2H_VSIM_JIT_H
+
+#include "vsim/compile.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c2h::vsim {
+
+// Shared state between the host and the generated code.  Textual twin of
+// the `Ctx` struct emitcpp.cpp writes into every generated object; the
+// generated c2h_native_abi() folds sizeof into its stamp so a layout
+// mismatch refuses to load.
+struct NativeCtx {
+  std::uint64_t *nets;          // committed net state, one word per net
+  std::uint64_t *const *mems;   // memId -> cell array base
+  std::uint8_t *dirty;          // per wire rank
+  std::uint64_t *tregs;         // thread/waitcond register file
+  void *host;                   // the owning NativeSimulation
+  void (*display)(void *, std::uint32_t);
+  int (*readmem)(void *, std::uint32_t); // 0 = failed, retire thread
+  void (*error)(void *, std::uint32_t);
+  void (*posedge)(void *, std::uint32_t);
+  void (*nbnet)(void *, std::uint32_t, std::uint64_t);
+  void (*nbmem)(void *, std::uint32_t, std::uint64_t, std::uint64_t);
+  std::uint64_t pending;  // instructions executed, not yet charged
+  std::uint64_t now;      // current simulation time (threads read it)
+  std::uint64_t parkTime; // park protocol, see kPark* below
+  std::uint64_t resumePc;
+  std::uint32_t minDirty;
+  std::uint32_t parkKind;
+  std::uint32_t parkArg;
+  std::uint32_t pad_;
+};
+
+// Thread park protocol: c2h_native_thread returns with parkKind set.
+inline constexpr std::uint32_t kParkRanOff = 0; // body ran to the end
+inline constexpr std::uint32_t kParkAtEdge = 1; // @(posedge parkArg)
+inline constexpr std::uint32_t kParkAtTime = 2; // #delay until parkTime
+inline constexpr std::uint32_t kParkAtWait = 3; // wait(waitConds[parkArg])
+inline constexpr std::uint32_t kParkFinish = 4; // $finish
+inline constexpr std::uint32_t kParkRetire = 5; // failed $readmem / $error
+
+// A loaded shared object.  Closed (dlclose) on destruction; instances are
+// shared between the module cache and every running simulation.
+class NativeModule {
+public:
+  using SweepFn = void (*)(void *);
+  using DomainFn = void (*)(void *, unsigned);
+  using ThreadFn = void (*)(void *, unsigned, unsigned long long);
+  using WaitCondFn = unsigned long long (*)(void *, unsigned);
+
+  NativeModule(void *handle, SweepFn s, DomainFn d, ThreadFn t, WaitCondFn w)
+      : sweep(s), domain(d), thread(t), waitcond(w), handle_(handle) {}
+  ~NativeModule();
+  NativeModule(const NativeModule &) = delete;
+  NativeModule &operator=(const NativeModule &) = delete;
+
+  SweepFn sweep;
+  DomainFn domain;
+  ThreadFn thread;
+  WaitCondFn waitcond;
+
+private:
+  void *handle_;
+};
+
+// True when a host C++ compiler is reachable (or an artifact could still
+// be served from cache — callers use this only for reporting/skipping).
+bool nativeToolchainAvailable();
+
+// In-process + on-disk artifact cache counters, cumulative per process.
+struct NativeCacheStats {
+  std::uint64_t memoryHits = 0; // module already loaded in this process
+  std::uint64_t diskHits = 0;   // .so artifact reused from disk
+  std::uint64_t compiles = 0;   // host compiler actually invoked
+};
+NativeCacheStats nativeCacheStats();
+// Drop every in-process module reference (disk artifacts stay).  Chaos
+// tests call this so vsim.jit.* fault sites are reachable again.
+void clearNativeCache();
+
+// Lower, build, and load `cm`.  Null + reason in `whyNot` on any failure
+// (subset, toolchain, compile, load); throws only injected faults.
+std::shared_ptr<const NativeModule>
+compileNative(const CompiledModel &cm, std::string &whyNot);
+
+// Drives a NativeModule with the exact scheduler semantics of
+// CompiledSimulation (same surface, same observable behavior) — see
+// cvm.h for the contract of each member.
+class NativeSimulation {
+public:
+  NativeSimulation(std::shared_ptr<const CompiledModel> cm,
+                   std::shared_ptr<const NativeModule> mod);
+  // ctx_ holds pointers into this instance; pinning it is simpler than
+  // re-wiring them.
+  NativeSimulation(const NativeSimulation &) = delete;
+  NativeSimulation &operator=(const NativeSimulation &) = delete;
+
+  void reset();
+
+  void poke(const std::string &name, const BitVector &value);
+  BitVector peek(const std::string &name);
+  int findNetId(const std::string &name) const;
+  void pokeId(int id, const BitVector &value);
+  std::uint64_t peekWord(int id);
+  void tickId(int clkId);
+  std::vector<BitVector> memoryContents(const std::string &name) const;
+  void pokeMemory(const std::string &name, std::size_t index,
+                  const BitVector &value);
+
+  void settle();
+  void tick(const std::string &clk = "clk");
+  void runToFinish(std::uint64_t maxTime);
+
+  bool finished() const { return finished_; }
+  std::uint64_t now() const { return time_; }
+  const std::vector<std::string> &displayed() const { return output_; }
+  bool ok() const { return error_.empty(); }
+  const std::string &error() const { return error_; }
+  const guard::Verdict &verdict() const { return verdict_; }
+  void setBudget(guard::ExecBudget *budget) { budget_ = budget; }
+
+private:
+  struct NbWrite {
+    bool isMem = false;
+    int id = -1;
+    std::uint64_t addr = 0;
+    std::uint64_t value = 0;
+  };
+  struct TbThread {
+    enum class State { Ready, AtEdge, AtWait, AtTime, Done };
+    State state = State::Done;
+    std::uint32_t index = 0;
+    std::uint64_t pc = 0;
+    int edgeNet = -1;
+    std::uint32_t waitCond = 0;
+    std::uint64_t wakeTime = 0;
+  };
+
+  // Generated-code callbacks (cold paths).
+  static void cbDisplay(void *host, std::uint32_t id);
+  static int cbReadMem(void *host, std::uint32_t id);
+  static void cbError(void *host, std::uint32_t id);
+  static void cbPosedge(void *host, std::uint32_t netId);
+  static void cbNbNet(void *host, std::uint32_t netId, std::uint64_t v);
+  static void cbNbMem(void *host, std::uint32_t memId, std::uint64_t addr,
+                      std::uint64_t v);
+
+  void execThread(TbThread &t);
+  bool wakeOnEventsTb();
+  void runDeltaTb();
+  bool advanceTimeTb();
+  void settleTb();
+  void chargePending();
+  void flushComb();
+  void commitNba();
+  void runDomain(int domain);
+  void markNetFanout(int netId);
+  void markMemFanout(int memId);
+  void writeNetWord(int netId, std::uint64_t v);
+  void recordFailure(const guard::Verdict &v);
+
+  std::shared_ptr<const CompiledModel> cm_;
+  std::shared_ptr<const NativeModule> mod_;
+  std::vector<std::uint64_t> nets_;
+  // Flat per-net width masks: the poke/tick hot path reads these instead
+  // of chasing through Model::nets (whose entries carry name strings).
+  std::vector<std::uint64_t> netMask_;
+  std::uint32_t wireCount_ = 0; // == dirty_.size(); the clean minDirty rank
+  std::vector<std::vector<std::uint64_t>> memStore_;
+  std::vector<std::uint64_t *> memPtrs_; // stable bases for ctx_.mems
+  std::vector<std::uint64_t> tregs_;
+  std::vector<std::uint8_t> dirty_;
+  NativeCtx ctx_{};
+  std::vector<NbWrite> nba_; // thread NBAs only; domain NBAs are inline
+  std::vector<TbThread> threads_;
+  std::vector<int> posedges_;
+  std::vector<std::string> output_;
+  std::uint64_t time_ = 0;
+  bool finished_ = false;
+  bool stop_ = false;
+  std::string error_;
+  guard::Verdict verdict_;
+  guard::ExecBudget *budget_ = nullptr;
+};
+
+} // namespace c2h::vsim
+
+#endif // C2H_VSIM_JIT_H

@@ -1,0 +1,565 @@
+#include "vsim/peephole.h"
+
+#include "vsim/wordops.h"
+
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace c2h::vsim {
+
+namespace {
+
+// Ops that write `dst` (everything up to and including Extract in the
+// enum); all of them are side-effect-free, so an unused result makes the
+// whole instruction dead.  LoadWire's comb flush is idempotent and
+// observable only through values that a *kept* load would re-flush, so it
+// is removable too.
+inline bool isCompute(Op op) { return op <= Op::Extract; }
+
+// Invoke fn(tempId) for every VM register the instruction reads.
+template <class Fn>
+void forEachUse(const CompiledModel &cm, const Insn &I, Fn fn) {
+  switch (I.op) {
+  case Op::LoadMem:
+  case Op::Ext:
+  case Op::Neg:
+  case Op::BitNot:
+  case Op::LogNot:
+  case Op::Extract:
+  case Op::JumpIfZero:
+  case Op::JumpIfTrue:
+  case Op::CaseJump:
+  case Op::StoreNet:
+  case Op::NbNet:
+  case Op::TWaitCond:
+    fn(I.a);
+    break;
+  case Op::BitSel:
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Div:
+  case Op::Mod:
+  case Op::And:
+  case Op::Or:
+  case Op::Xor:
+  case Op::Shl:
+  case Op::Shr:
+  case Op::AShr:
+  case Op::CmpLt:
+  case Op::CmpLe:
+  case Op::CmpEq:
+  case Op::CmpNe:
+  case Op::LAnd:
+  case Op::LOr:
+  case Op::Concat2:
+  case Op::CmpBr:
+  case Op::StoreMem:
+  case Op::NbMem:
+    fn(I.a);
+    fn(I.b);
+    break;
+  case Op::Select:
+    fn(I.a);
+    fn(I.b);
+    fn(I.aux);
+    break;
+  case Op::TDisplay:
+    for (const DisplaySeg &seg : cm.displays[I.aux].segs)
+      if (seg.conv != 0)
+        fn(seg.arg);
+    break;
+  default: // ConstW/ConstV/LoadNet/LoadWire/Jump/TWait/TDelay/TFinish/...
+    break;
+  }
+}
+
+// Successor pcs of insn i (for reachability).  `fall` is i+1.
+template <class Fn>
+void forEachSucc(const CompiledModel &cm, const Insn &I, std::size_t i,
+                 Fn fn) {
+  switch (I.op) {
+  case Op::Jump:
+    fn(I.aux);
+    return;
+  case Op::JumpIfZero:
+  case Op::JumpIfTrue:
+  case Op::CmpBr:
+    fn(I.aux);
+    fn(i + 1);
+    return;
+  case Op::CaseJump:
+    for (std::uint32_t t : cm.jumpTables[I.aux])
+      fn(t);
+    fn(I.b);
+    return;
+  case Op::TWaitCond:
+    fn(I.aux); // resume re-evaluates the condition
+    fn(i + 1); // already-true falls through
+    return;
+  case Op::TFinish:
+  case Op::TError:
+    return; // the thread retires; nothing after runs in this call
+  default:
+    fn(i + 1);
+    return;
+  }
+}
+
+// Fold one non-wide compute insn whose register operands are all known.
+// Mirrors execProgram's word path exactly (shared helpers in wordops.h);
+// the result is masked to the destination width, as setWord would.
+std::optional<std::uint64_t>
+foldInsn(const Insn &I, std::uint64_t va, std::uint64_t vb,
+         std::uint64_t vaux, unsigned aw) {
+  const std::uint64_t mask = BitVector::wordMask(I.width);
+  switch (I.op) {
+  case Op::Ext:      return extWord(va, I.b, I.width, I.sign) & mask;
+  case Op::Neg:      return (0 - va) & mask;
+  case Op::BitNot:   return (~va) & mask;
+  case Op::LogNot:   return static_cast<std::uint64_t>(va == 0 ? 1 : 0);
+  case Op::Add:      return (va + vb) & mask;
+  case Op::Sub:      return (va - vb) & mask;
+  case Op::Mul:      return (va * vb) & mask;
+  case Op::Div:      return divWord(va, vb, I.width, I.sign) & mask;
+  case Op::Mod:      return modWord(va, vb, I.width, I.sign) & mask;
+  case Op::And:      return (va & vb) & mask;
+  case Op::Or:       return (va | vb) & mask;
+  case Op::Xor:      return (va ^ vb) & mask;
+  case Op::Shl: {
+    unsigned amt = shiftAmountWord(vb, I.width);
+    return amt >= I.width ? 0 : (va << amt) & mask;
+  }
+  case Op::Shr: {
+    unsigned amt = shiftAmountWord(vb, I.width);
+    return amt >= I.width ? 0 : va >> amt;
+  }
+  case Op::AShr: {
+    unsigned amt = shiftAmountWord(vb, I.width);
+    if (!I.sign)
+      return amt >= I.width ? 0 : va >> amt;
+    return ashrWord(va, amt, I.width) & mask;
+  }
+  case Op::CmpLt:
+    return static_cast<std::uint64_t>(cmpWord(0, va, vb, aw, I.sign));
+  case Op::CmpLe:
+    return static_cast<std::uint64_t>(cmpWord(1, va, vb, aw, I.sign));
+  case Op::CmpEq:
+    return static_cast<std::uint64_t>(cmpWord(2, va, vb, aw, I.sign));
+  case Op::CmpNe:
+    return static_cast<std::uint64_t>(cmpWord(3, va, vb, aw, I.sign));
+  case Op::LAnd:
+    return static_cast<std::uint64_t>(va != 0 && vb != 0 ? 1 : 0);
+  case Op::LOr:
+    return static_cast<std::uint64_t>(va != 0 || vb != 0 ? 1 : 0);
+  case Op::BitSel:
+    return static_cast<std::uint64_t>(
+        vb < aw && ((va >> vb) & 1) ? 1 : 0);
+  case Op::Concat2:  return ((va << I.aux) | vb) & mask;
+  case Op::Extract:
+    return ((va >> I.aux) & BitVector::wordMask(I.b)) & mask;
+  case Op::Select:   return (va != 0 ? vb : vaux) & mask;
+  default:
+    return std::nullopt;
+  }
+}
+
+struct ProgOptimizer {
+  CompiledModel &cm;
+  Program &p;
+  const std::unordered_map<int, std::uint64_t> &constNets;
+  const std::vector<std::uint8_t> &extLive;
+  PeepholeStats &st;
+
+  bool run() {
+    bool changed = false;
+    const std::size_t n = p.insns.size();
+    if (n == 0)
+      return false;
+
+    std::vector<std::uint32_t> defCount(cm.tempWidth.size(), 0);
+    for (const Insn &I : p.insns)
+      if (isCompute(I.op))
+        ++defCount[I.dst];
+
+    // --- 1. forward constant propagation + branch folding ---------------
+    // Temps are single-assignment except loop counters (defCount > 1), so
+    // a single-def temp's constness, once established at its def, holds at
+    // every use regardless of control flow (the compiler emits defs before
+    // all uses in program order).
+    std::unordered_map<std::uint32_t, std::uint64_t> known;
+    auto knownOf =
+        [&](std::uint32_t t) -> std::optional<std::uint64_t> {
+      auto it = known.find(t);
+      if (it == known.end())
+        return std::nullopt;
+      return it->second;
+    };
+    auto toConstW = [&](Insn &I, std::uint64_t v) {
+      std::uint32_t dst = I.dst;
+      unsigned width = I.width;
+      I = Insn{};
+      I.op = Op::ConstW;
+      I.dst = dst;
+      I.width = width;
+      I.imm = v & BitVector::wordMask(cm.tempWidth[dst]);
+      ++st.foldedInsns;
+      changed = true;
+    };
+    std::vector<std::uint8_t> dead(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      Insn &I = p.insns[i];
+      if ((I.op == Op::LoadNet || I.op == Op::LoadWire)) {
+        auto it = constNets.find(static_cast<int>(I.aux));
+        if (it != constNets.end()) {
+          if (!I.wide) {
+            toConstW(I, extWord(it->second, I.b, I.width, I.sign));
+          } else {
+            // Wide read of a (word-sized) constant net: materialize the
+            // resized constant in the pool.
+            unsigned netWidth =
+                cm.model->nets[static_cast<std::size_t>(I.aux)].width;
+            BitVector cv =
+                BitVector(netWidth, it->second).resize(I.width, I.sign);
+            std::uint32_t pool =
+                static_cast<std::uint32_t>(cm.constPool.size());
+            cm.constPool.push_back(std::move(cv));
+            std::uint32_t dst = I.dst;
+            unsigned width = I.width;
+            I = Insn{};
+            I.op = Op::ConstV;
+            I.wide = true;
+            I.dst = dst;
+            I.width = width;
+            I.aux = pool;
+            ++st.foldedInsns;
+            changed = true;
+          }
+        }
+      }
+      if (I.op == Op::ConstW) {
+        if (defCount[I.dst] == 1)
+          known[I.dst] = I.imm & BitVector::wordMask(cm.tempWidth[I.dst]);
+        continue;
+      }
+      if (isCompute(I.op) && !I.wide) {
+        std::optional<std::uint64_t> va, vb, vaux;
+        bool ready = true;
+        forEachUse(cm, I, [&](std::uint32_t t) {
+          if (defCount[t] != 1 || !knownOf(t))
+            ready = false;
+        });
+        if (ready) {
+          // Operand slots per op: a (+ b) (+ aux for Select).
+          va = knownOf(I.a);
+          vb = knownOf(I.b);
+          vaux = knownOf(I.aux);
+          auto folded =
+              foldInsn(I, va.value_or(0), vb.value_or(0), vaux.value_or(0),
+                       cm.tempWidth[I.a]);
+          if (folded) {
+            toConstW(I, *folded);
+            if (defCount[I.dst] == 1)
+              known[I.dst] =
+                  I.imm & BitVector::wordMask(cm.tempWidth[I.dst]);
+            continue;
+          }
+        }
+        // A decided select with unknown arms degrades to a copy.
+        if (I.op == Op::Select && defCount[I.a] == 1 && knownOf(I.a)) {
+          std::uint32_t src = *knownOf(I.a) != 0 ? I.b : I.aux;
+          std::uint32_t dst = I.dst;
+          unsigned width = I.width;
+          I = Insn{};
+          I.op = Op::Ext;
+          I.dst = dst;
+          I.a = src;
+          I.b = width; // operands already at the result width
+          I.width = width;
+          ++st.foldedInsns;
+          changed = true;
+        }
+        continue;
+      }
+      // Branches on decided conditions.
+      if ((I.op == Op::JumpIfZero || I.op == Op::JumpIfTrue) &&
+          defCount[I.a] == 1 && knownOf(I.a)) {
+        bool taken = (*knownOf(I.a) != 0) == (I.op == Op::JumpIfTrue);
+        if (taken) {
+          std::uint32_t aux = I.aux;
+          I = Insn{};
+          I.op = Op::Jump;
+          I.aux = aux;
+        } else {
+          dead[i] = 1;
+        }
+        ++st.foldedInsns;
+        changed = true;
+        continue;
+      }
+      if (I.op == Op::CaseJump && defCount[I.a] == 1 && knownOf(I.a)) {
+        const auto &table = cm.jumpTables[I.aux];
+        std::uint64_t idx = *knownOf(I.a) - I.imm;
+        std::uint32_t target = idx < table.size()
+                                   ? table[idx]
+                                   : I.b;
+        I = Insn{};
+        I.op = Op::Jump;
+        I.aux = target;
+        ++st.foldedInsns;
+        changed = true;
+        continue;
+      }
+      if (I.op == Op::TWaitCond && defCount[I.a] == 1 && knownOf(I.a) &&
+          *knownOf(I.a) != 0) {
+        dead[i] = 1; // condition statically true: never parks
+        ++st.foldedInsns;
+        changed = true;
+        continue;
+      }
+    }
+
+    // --- 2. unreachable-code elimination ---------------------------------
+    {
+      std::vector<std::uint8_t> reach(n, 0);
+      std::vector<std::size_t> work{0};
+      while (!work.empty()) {
+        std::size_t i = work.back();
+        work.pop_back();
+        if (i >= n || reach[i])
+          continue;
+        reach[i] = 1;
+        if (dead[i]) { // a killed insn just falls through
+          work.push_back(i + 1);
+          continue;
+        }
+        forEachSucc(cm, p.insns[i], i,
+                    [&](std::size_t s) { work.push_back(s); });
+      }
+      for (std::size_t i = 0; i < n; ++i)
+        if (!reach[i] && !dead[i]) {
+          dead[i] = 1;
+          changed = true;
+        }
+    }
+
+    // --- 3. use counting over the surviving insns ------------------------
+    std::vector<std::uint32_t> useCount(cm.tempWidth.size(), 0);
+    for (std::size_t i = 0; i < n; ++i)
+      if (!dead[i])
+        forEachUse(cm, p.insns[i],
+                   [&](std::uint32_t t) { ++useCount[t]; });
+
+    // --- 4. compare + branch fusion --------------------------------------
+    {
+      std::vector<std::uint8_t> isTarget(n + 1, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (dead[i])
+          continue;
+        const Insn &I = p.insns[i];
+        switch (I.op) {
+        case Op::Jump:
+        case Op::JumpIfZero:
+        case Op::JumpIfTrue:
+        case Op::CmpBr:
+        case Op::TWaitCond:
+          if (I.aux <= n)
+            isTarget[I.aux] = 1;
+          break;
+        case Op::CaseJump:
+          for (std::uint32_t t : cm.jumpTables[I.aux])
+            if (t <= n)
+              isTarget[t] = 1;
+          if (I.b <= n)
+            isTarget[I.b] = 1;
+          break;
+        default:
+          break;
+        }
+      }
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (dead[i] || dead[i + 1])
+          continue;
+        Insn &c = p.insns[i];
+        Insn &j = p.insns[i + 1];
+        if (c.wide || c.op < Op::CmpLt || c.op > Op::CmpNe)
+          continue;
+        if (j.op != Op::JumpIfZero && j.op != Op::JumpIfTrue)
+          continue;
+        if (j.a != c.dst || useCount[c.dst] != 1 || defCount[c.dst] != 1 ||
+            extLive[c.dst] || isTarget[i + 1])
+          continue;
+        unsigned kind = static_cast<unsigned>(c.op) -
+                        static_cast<unsigned>(Op::CmpLt);
+        bool invert = j.op == Op::JumpIfZero;
+        Insn fused{};
+        fused.op = Op::CmpBr;
+        fused.a = c.a;
+        fused.b = c.b;
+        fused.sign = c.sign;
+        fused.width = cm.tempWidth[c.a]; // the compare width
+        fused.imm = kind | (invert ? 4u : 0u);
+        fused.aux = j.aux;
+        useCount[c.dst] = 0;
+        c = fused;
+        dead[i + 1] = 1;
+        ++st.fusedBranches;
+        changed = true;
+      }
+    }
+
+    // --- 5. dead-code elimination (fixpoint) -----------------------------
+    {
+      bool again = true;
+      while (again) {
+        again = false;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (dead[i] || !isCompute(p.insns[i].op))
+            continue;
+          const Insn &I = p.insns[i];
+          if (useCount[I.dst] != 0 || extLive[I.dst])
+            continue;
+          dead[i] = 1;
+          changed = true;
+          again = true;
+          forEachUse(cm, I, [&](std::uint32_t t) { --useCount[t]; });
+        }
+      }
+    }
+
+    // --- 6. compaction with jump-target remap ----------------------------
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      removed += dead[i];
+    if (removed == 0)
+      return changed;
+    // F[t] = new index of the first surviving insn at or after t.
+    std::vector<std::uint32_t> F(n + 1, 0);
+    {
+      std::uint32_t next = static_cast<std::uint32_t>(n - removed);
+      F[n] = next;
+      for (std::size_t i = n; i-- > 0;) {
+        if (!dead[i])
+          --next;
+        F[i] = next;
+      }
+    }
+    std::vector<Insn> out;
+    out.reserve(n - removed);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dead[i])
+        continue;
+      Insn I = p.insns[i];
+      switch (I.op) {
+      case Op::Jump:
+      case Op::JumpIfZero:
+      case Op::JumpIfTrue:
+      case Op::CmpBr:
+      case Op::TWaitCond:
+        I.aux = F[std::min<std::size_t>(I.aux, n)];
+        break;
+      case Op::CaseJump:
+        for (std::uint32_t &t : cm.jumpTables[I.aux])
+          t = F[std::min<std::size_t>(t, n)];
+        I.b = F[std::min<std::size_t>(I.b, n)];
+        break;
+      default:
+        break;
+      }
+      out.push_back(I);
+    }
+    p.insns = std::move(out);
+    st.removedInsns += static_cast<unsigned>(removed);
+    return true;
+  }
+};
+
+} // namespace
+
+PeepholeStats optimizeCompiledModel(CompiledModel &cm) {
+  PeepholeStats st;
+  std::vector<std::uint8_t> extLive(cm.tempWidth.size(), 0);
+  for (const WaitCond &wc : cm.waitConds)
+    extLive[wc.result] = 1;
+
+  std::unordered_map<int, std::uint64_t> constNets;
+  std::vector<std::uint8_t> wireConst(cm.wires.size(), 0);
+
+  auto optimize = [&](Program &p) {
+    ProgOptimizer opt{cm, p, constNets, extLive, st};
+    return opt.run();
+  };
+
+  // Model-wide fixpoint: folding one wire to a constant can decide
+  // branches (and further wires) everywhere it is read.
+  for (bool modelChanged = true; modelChanged;) {
+    modelChanged = false;
+    for (std::size_t r = 0; r < cm.wires.size(); ++r)
+      if (!wireConst[r])
+        optimize(cm.wires[r].prog);
+    for (ClockDomain &d : cm.domains)
+      for (Program &b : d.bodies)
+        optimize(b);
+    for (ThreadProgram &t : cm.threads)
+      optimize(t.prog);
+    for (WaitCond &w : cm.waitConds)
+      optimize(w.prog);
+
+    for (std::size_t r = 0; r < cm.wires.size(); ++r) {
+      if (wireConst[r])
+        continue;
+      const Program &p = cm.wires[r].prog;
+      if (p.insns.size() != 2 || p.insns[0].op != Op::ConstW ||
+          p.insns[1].op != Op::StoreNet || p.insns[1].wide ||
+          p.insns[1].a != p.insns[0].dst)
+        continue;
+      int netId = static_cast<int>(p.insns[1].aux);
+      unsigned width =
+          cm.model->nets[static_cast<std::size_t>(netId)].width;
+      if (width > 64)
+        continue;
+      std::uint64_t value = p.insns[0].imm & BitVector::wordMask(width);
+      constNets[netId] = value;
+      // Bake the value into the init image: with the wire out of the
+      // sweep, its slot is never recomputed — and the reference snapshot
+      // may hold a stale lazily-evaluated value for it.
+      cm.init.nets[static_cast<std::size_t>(netId)] =
+          BitVector(width, value);
+      wireConst[r] = 1;
+      ++st.constWires;
+      modelChanged = true;
+    }
+  }
+
+  // Drop constant wires from the levelized order and rebuild the fan-out
+  // rank lists from the optimized programs: loads that constant folding or
+  // DCE removed no longer dirty anything ("dead dirty-set elimination").
+  std::vector<WireUpdate> wires;
+  wires.reserve(cm.wires.size());
+  for (std::size_t r = 0; r < cm.wires.size(); ++r)
+    if (!wireConst[r])
+      wires.push_back(std::move(cm.wires[r]));
+  cm.wires = std::move(wires);
+  for (auto &f : cm.netFanout)
+    f.clear();
+  for (auto &f : cm.memFanout)
+    f.clear();
+  for (std::size_t rank = 0; rank < cm.wires.size(); ++rank) {
+    std::set<std::uint32_t> netDeps, memDeps;
+    for (const Insn &I : cm.wires[rank].prog.insns) {
+      if (I.op == Op::LoadNet || I.op == Op::LoadWire)
+        netDeps.insert(I.aux);
+      else if (I.op == Op::LoadMem)
+        memDeps.insert(I.aux);
+    }
+    for (std::uint32_t nid : netDeps)
+      cm.netFanout[nid].push_back(static_cast<std::uint32_t>(rank));
+    for (std::uint32_t mid : memDeps)
+      cm.memFanout[mid].push_back(static_cast<std::uint32_t>(rank));
+  }
+  return st;
+}
+
+} // namespace c2h::vsim

@@ -1,0 +1,97 @@
+// Word-path (<= 64 bit) semantics shared by the bytecode VM (cvm.cpp),
+// the peephole constant folder (peephole.cpp), and — re-emitted as C++
+// text — the native back end (emitcpp.cpp).  There must be exactly one
+// definition of these rules: all three execution tiers are differentially
+// tested against each other, and a divergence here is a miscompare, not a
+// crash.
+#ifndef C2H_VSIM_WORDOPS_H
+#define C2H_VSIM_WORDOPS_H
+
+#include "support/bitvector.h"
+
+#include <cstdint>
+
+namespace c2h::vsim {
+
+// Zero/sign-extend (or truncate) a word-path value from `from` bits to
+// `to` bits (to <= 64).  `from` may exceed 64 — then `v` is the low word
+// and the operation is a truncation.
+inline std::uint64_t extWord(std::uint64_t v, unsigned from, unsigned to,
+                             bool sgn) {
+  if (to <= from)
+    return v & BitVector::wordMask(to);
+  if (sgn && ((v >> (from - 1)) & 1))
+    return v | (BitVector::wordMask(to) & ~BitVector::wordMask(from));
+  return v;
+}
+
+// Verilog shift-amount rule, identical to the event engine: amounts with
+// more than 31 active bits saturate to the operand width (shift all out).
+inline unsigned shiftAmountWord(std::uint64_t amt, unsigned width) {
+  return amt >= (1ull << 31) ? width : static_cast<unsigned>(amt);
+}
+
+// Verilog division at `width` bits: divide-by-zero yields all-ones;
+// signed division truncates toward zero (magnitudes, then sign fixup).
+inline std::uint64_t divWord(std::uint64_t x, std::uint64_t y,
+                             unsigned width, bool sgn) {
+  std::uint64_t mask = BitVector::wordMask(width);
+  if (!sgn)
+    return y == 0 ? mask : x / y;
+  std::uint64_t sbit = 1ull << (width - 1);
+  bool negX = (x & sbit) != 0, negY = (y & sbit) != 0;
+  std::uint64_t mx = negX ? (0 - x) & mask : x;
+  std::uint64_t my = negY ? (0 - y) & mask : y;
+  std::uint64_t q = my == 0 ? mask : mx / my;
+  if (negX != negY)
+    q = 0 - q;
+  return q;
+}
+
+// Verilog remainder at `width` bits: x % 0 yields x; the sign of a signed
+// remainder follows the dividend, like C.
+inline std::uint64_t modWord(std::uint64_t x, std::uint64_t y,
+                             unsigned width, bool sgn) {
+  std::uint64_t mask = BitVector::wordMask(width);
+  if (!sgn)
+    return y == 0 ? x : x % y;
+  std::uint64_t sbit = 1ull << (width - 1);
+  bool negX = (x & sbit) != 0, negY = (y & sbit) != 0;
+  std::uint64_t mx = negX ? (0 - x) & mask : x;
+  std::uint64_t my = negY ? (0 - y) & mask : y;
+  std::uint64_t r = my == 0 ? mx : mx % my;
+  if (negX)
+    r = 0 - r;
+  return r;
+}
+
+// Arithmetic shift right of a `width`-bit value (sign-extended through
+// bit 63 first; amounts saturate at 63 once everything is sign bits).
+inline std::uint64_t ashrWord(std::uint64_t x, unsigned amt,
+                              unsigned width) {
+  std::int64_t sx =
+      static_cast<std::int64_t>(extWord(x, width, 64, true));
+  unsigned sh = amt > 63 ? 63 : amt;
+  return static_cast<std::uint64_t>(sx >> sh);
+}
+
+// Signed/unsigned compare of two values read at `cw` bits.
+// kind: 0 = Lt, 1 = Le, 2 = Eq, 3 = Ne (the CmpBr imm encoding).
+inline bool cmpWord(unsigned kind, std::uint64_t x, std::uint64_t y,
+                    unsigned cw, bool sgn) {
+  if (sgn && kind <= 1) {
+    std::int64_t sx = static_cast<std::int64_t>(extWord(x, cw, 64, true));
+    std::int64_t sy = static_cast<std::int64_t>(extWord(y, cw, 64, true));
+    return kind == 0 ? sx < sy : sx <= sy;
+  }
+  switch (kind) {
+  case 0: return x < y;
+  case 1: return x <= y;
+  case 2: return x == y;
+  default: return x != y;
+  }
+}
+
+} // namespace c2h::vsim
+
+#endif // C2H_VSIM_WORDOPS_H

@@ -20,10 +20,13 @@
 #include "interp/interp.h"
 #include "serve/service.h"
 #include "support/guard.h"
+#include "vsim/jit.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 #include <set>
 #include <string>
 #include <vector>
@@ -79,7 +82,8 @@ TEST(Chaos, RegistryEnumeratesEveryStageBoundary) {
        {"frontend.parse", "frontend.sema", "engine.cell", "flow.inline",
         "flow.unroll", "flow.lower", "flow.schedule", "cosim.emit",
         "cosim.parse", "cosim.elab", "vsim.compile", "vsim.compiled.run",
-        "vsim.event.run", "guard.alloc", "guard.io.read", "serve.parse",
+        "vsim.event.run", "vsim.jit.emit", "vsim.jit.cc", "vsim.jit.load",
+        "vsim.native.run", "guard.alloc", "guard.io.read", "serve.parse",
         "serve.handle", "serve.respond"})
     EXPECT_TRUE(have.count(required)) << required;
   EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
@@ -111,11 +115,14 @@ TEST(Chaos, EverySiteIsolatedDeterministicAndSelfHealing) {
   // Sites a healthy gcd run never reaches: no $readmem in the emitted RTL
   // and the compiled engine handles the model, so the event engine only
   // runs when some *other* site already fired.  The serve.* sites live in
-  // the daemon layer, which this engine-level run never enters (they get
-  // their own blast-radius tests below).
+  // the daemon layer, which this engine-level run never enters, and the
+  // vsim.jit.* / vsim.native.run sites live in the native tier, which the
+  // default bytecode-engine run never requests (both families get their
+  // own blast-radius tests below).
   const std::set<std::string> mayNotFire = {
-      "guard.io.read", "vsim.event.run", "serve.parse", "serve.handle",
-      "serve.respond"};
+      "guard.io.read",  "vsim.event.run", "serve.parse",
+      "serve.handle",   "serve.respond",  "vsim.jit.emit",
+      "vsim.jit.cc",    "vsim.jit.load",  "vsim.native.run"};
 
   for (const std::string &site : guard::allFaultSites()) {
     SCOPED_TRACE("site=" + site);
@@ -194,6 +201,154 @@ TEST(Chaos, FaultedRunDoesNotPoisonTheFrontendCache) {
   ASSERT_EQ(clean.size(), expected.size());
   for (std::size_t i = 0; i < clean.size(); ++i)
     expectRowEqual(clean[i], expected[i], "post-fault");
+}
+
+// ------------------------------------------------------- native chaos --
+//
+// The native tier adds four fault sites (vsim.jit.emit / .cc / .load in
+// the build pipeline, vsim.native.run at dispatch).  The engine ladder's
+// contract: any of them failing degrades native -> bytecode with a
+// recorded reason on exactly the request that hit the fault, siblings and
+// results untouched, and the ladder self-heals once disarmed.
+
+std::vector<core::FlowComparison> runGcdNative() {
+  core::EngineOptions opts;
+  opts.cosim = true;
+  opts.vsimEngine = vsim::SimEngine::Native;
+  core::CompareEngine engine(opts);
+  flows::FlowTuning serial;
+  serial.jobs = 1;
+  return engine.compareFlows(core::findWorkload("gcd"), serial);
+}
+
+// Fresh, private native artifact cache: without it the vsim.jit.cc /
+// vsim.jit.load sites can be skipped by a warm disk or in-process hit.
+struct NativeCacheSandbox {
+  std::string dir;
+  explicit NativeCacheSandbox(const std::string &tag) {
+    dir = (std::filesystem::temp_directory_path() / ("c2h-chaos-" + tag))
+              .string();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    ::setenv("C2H_NATIVE_CACHE", dir.c_str(), 1);
+    vsim::clearNativeCache();
+  }
+  ~NativeCacheSandbox() {
+    ::unsetenv("C2H_NATIVE_CACHE");
+    vsim::clearNativeCache();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
+TEST(NativeChaos, JitSitesDegradeToBytecodeWithRecordedReason) {
+  if (!vsim::nativeToolchainAvailable())
+    GTEST_SKIP() << "no host C++ compiler on PATH";
+  guard::disarmFaults();
+  std::vector<core::FlowComparison> baseline;
+  {
+    NativeCacheSandbox sandbox("baseline");
+    baseline = runGcdNative();
+  }
+  ASSERT_FALSE(baseline.empty());
+  for (const auto &r : baseline) {
+    ASSERT_EQ(static_cast<int>(r.verdict.kind),
+              static_cast<int>(guard::Kind::None))
+        << r.flowId << ": " << r.note;
+    if (r.cosimRan) {
+      EXPECT_TRUE(r.cosimOk) << r.flowId << ": " << r.cosimNote;
+      EXPECT_EQ(r.cosimEngine, "native") << r.flowId;
+      EXPECT_TRUE(r.cosimFallback.empty())
+          << r.flowId << ": " << r.cosimFallback;
+    }
+  }
+
+  for (const std::string site :
+       {"vsim.jit.emit", "vsim.jit.cc", "vsim.jit.load"}) {
+    SCOPED_TRACE("site=" + site);
+    NativeCacheSandbox sandbox(site);
+    std::vector<core::FlowComparison> armed;
+    {
+      ArmedGuard arm(site);
+      armed = runGcdNative();
+    }
+    ASSERT_EQ(armed.size(), baseline.size());
+    // The fault never surfaces as a failure: the ladder absorbs it.
+    EXPECT_EQ(countInjected(armed), 0u);
+    std::size_t degraded = 0;
+    for (std::size_t i = 0; i < armed.size(); ++i) {
+      const auto &r = armed[i];
+      EXPECT_EQ(r.verified, baseline[i].verified) << r.flowId;
+      EXPECT_EQ(r.cosimOk, baseline[i].cosimOk) << r.flowId;
+      EXPECT_EQ(r.cosimCycles, baseline[i].cosimCycles) << r.flowId;
+      if (!r.cosimRan)
+        continue;
+      if (r.cosimEngine == "compiled") {
+        ++degraded;
+        // The recorded reason names the injected site.
+        EXPECT_NE(r.cosimFallback.find(site), std::string::npos)
+            << r.flowId << ": " << r.cosimFallback;
+      } else {
+        EXPECT_EQ(r.cosimEngine, "native") << r.flowId;
+        EXPECT_TRUE(r.cosimFallback.empty())
+            << r.flowId << ": " << r.cosimFallback;
+      }
+    }
+    EXPECT_EQ(degraded, 1u) << "exactly one request absorbs the fault";
+    // Self-healing: a disarmed rerun is native again, end to end.
+    auto healed = runGcdNative();
+    ASSERT_EQ(healed.size(), baseline.size());
+    for (std::size_t i = 0; i < healed.size(); ++i) {
+      expectRowEqual(healed[i], baseline[i], "healed");
+      EXPECT_EQ(healed[i].cosimEngine, baseline[i].cosimEngine)
+          << healed[i].flowId;
+    }
+  }
+  guard::disarmFaults();
+}
+
+TEST(NativeChaos, RuntimeFaultRetriesOnBytecodeWithRecordedDegradation) {
+  if (!vsim::nativeToolchainAvailable())
+    GTEST_SKIP() << "no host C++ compiler on PATH";
+  guard::disarmFaults();
+  NativeCacheSandbox sandbox("native-run");
+  const auto baseline = runGcdNative();
+  ASSERT_FALSE(baseline.empty());
+  std::vector<core::FlowComparison> armed, rerun;
+  {
+    ArmedGuard arm("vsim.native.run");
+    armed = runGcdNative();
+  }
+  {
+    ArmedGuard arm("vsim.native.run");
+    rerun = runGcdNative();
+  }
+  ASSERT_EQ(armed.size(), baseline.size());
+  EXPECT_EQ(countInjected(armed), 0u);
+  std::size_t degraded = 0;
+  for (std::size_t i = 0; i < armed.size(); ++i) {
+    const auto &r = armed[i];
+    EXPECT_EQ(r.verified, baseline[i].verified) << r.flowId;
+    EXPECT_EQ(r.cosimOk, baseline[i].cosimOk) << r.flowId;
+    EXPECT_EQ(r.cosimCycles, baseline[i].cosimCycles) << r.flowId;
+    if (!r.degradation.empty()) {
+      ++degraded;
+      // The ladder records the rung it fell from and where it landed.
+      EXPECT_NE(r.degradation.find("native engine"), std::string::npos)
+          << r.degradation;
+      EXPECT_NE(r.degradation.find("retried on compiled engine"),
+                std::string::npos)
+          << r.degradation;
+      EXPECT_NE(r.degradation.find("vsim.native.run"), std::string::npos)
+          << r.degradation;
+    }
+  }
+  EXPECT_EQ(degraded, 1u) << "exactly one request degrades";
+  // Deterministic chaos: identical rows on an identically-armed rerun.
+  ASSERT_EQ(rerun.size(), armed.size());
+  for (std::size_t i = 0; i < armed.size(); ++i)
+    expectRowEqual(armed[i], rerun[i], "rerun");
+  guard::disarmFaults();
 }
 
 // -------------------------------------------------------- serve chaos --

@@ -4,11 +4,12 @@
 // control flow, mixed-width arithmetic, arrays, compound assignments);
 // each program is executed by the reference interpreter, the IR executor
 // (optimized and unoptimized), the cycle-accurate RTL simulator under two
-// scheduling policies, and — through the emitted Verilog text — *both*
-// vsim backends (the event-driven evaluator and the cycle-compiled
-// bytecode VM).  All executions must agree on the return value and on
-// every global, and both vsim engines must match the FSMD simulator's
-// exact cycle count — any divergence is a compiler bug by construction.
+// scheduling policies, and — through the emitted Verilog text — every
+// available vsim backend (the event-driven evaluator, the cycle-compiled
+// bytecode VM, and, when a host compiler is present, the native tier).
+// All executions must agree on the return value and on every global, and
+// every vsim engine must match the FSMD simulator's exact cycle count —
+// any divergence is a compiler bug by construction.
 #include "analysis/range.h"
 #include "frontend/sema.h"
 #include "interp/interp.h"
@@ -19,6 +20,7 @@
 #include "rtl/sim.h"
 #include "support/text.h"
 #include "vsim/cosim.h"
+#include "vsim/jit.h"
 
 #include "testutil.h"
 
@@ -28,6 +30,17 @@
 
 namespace c2h {
 namespace {
+
+// The engines under differential test: event + bytecode always; the
+// native tier joins whenever the host toolchain can build it.  The loops
+// below additionally assert no silent fallback for the upper tiers.
+std::vector<vsim::SimEngine> fuzzEngines() {
+  std::vector<vsim::SimEngine> engines{vsim::SimEngine::Event,
+                                       vsim::SimEngine::Compiled};
+  if (vsim::nativeToolchainAvailable())
+    engines.push_back(vsim::SimEngine::Native);
+  return engines;
+}
 
 class ProgramGenerator {
 public:
@@ -286,11 +299,10 @@ TEST_P(FuzzParity, FiveWayAgreement) {
       for (std::size_t i = 0; i < gm.size(); ++i)
         EXPECT_EQ(gm[i].toStringHex(), rm[i].toStringHex())
             << "mem[" << i << "] divergence";
-      // vsim against both, once per engine — the four-way differential:
-      // interpreter == FSMD == vsim-event == vsim-compiled on values and
-      // exact cycle counts.
-      for (auto engine :
-           {vsim::SimEngine::Event, vsim::SimEngine::Compiled}) {
+      // vsim against both designs, once per available engine — the full
+      // differential: interpreter == FSMD == vsim-event == vsim-compiled
+      // (== vsim-native) on values and exact cycle counts.
+      for (auto engine : fuzzEngines()) {
         vsim::CosimOptions vopts;
         vopts.engine = engine;
         auto v = cosim->run(args, vopts);
@@ -298,6 +310,9 @@ TEST_P(FuzzParity, FiveWayAgreement) {
         if (engine == vsim::SimEngine::Compiled)
           ASSERT_EQ(cosim->engineUsed(), vsim::SimEngine::Compiled)
               << "compiled engine fell back: " << cosim->compileNote();
+        if (engine == vsim::SimEngine::Native)
+          ASSERT_EQ(cosim->engineUsed(), vsim::SimEngine::Native)
+              << "native engine fell back: " << cosim->nativeNote();
         EXPECT_EQ(golden.returnValue.resize(32, false).toStringHex(),
                   v.returnValue.resize(32, false).toStringHex())
             << "vsim divergence";
@@ -404,9 +419,8 @@ TEST_P(ConcurrentFuzz, InterpreterAndRtlAgree) {
     ASSERT_TRUE(r0.ok) << r0.error;
     ASSERT_TRUE(r1.ok) << r1.error;
     EXPECT_EQ(r0.returnValue.toStringHex(), r1.returnValue.toStringHex());
-    // Four-way: the par/channel designs run under both vsim engines too.
-    for (auto engine :
-         {vsim::SimEngine::Event, vsim::SimEngine::Compiled}) {
+    // The par/channel designs run under every available vsim engine too.
+    for (auto engine : fuzzEngines()) {
       vsim::CosimOptions vopts;
       vopts.engine = engine;
       auto r2 = cosim.run(args, vopts);
@@ -414,6 +428,9 @@ TEST_P(ConcurrentFuzz, InterpreterAndRtlAgree) {
       if (engine == vsim::SimEngine::Compiled)
         ASSERT_EQ(cosim.engineUsed(), vsim::SimEngine::Compiled)
             << "compiled engine fell back: " << cosim.compileNote();
+      if (engine == vsim::SimEngine::Native)
+        ASSERT_EQ(cosim.engineUsed(), vsim::SimEngine::Native)
+            << "native engine fell back: " << cosim.nativeNote();
       EXPECT_EQ(r0.returnValue.resize(32, false).toStringHex(),
                 r2.returnValue.resize(32, false).toStringHex())
           << "vsim divergence";

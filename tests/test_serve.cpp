@@ -212,6 +212,42 @@ TEST(ServeService, StatsTracksPerClientMeters) {
   EXPECT_NE(stats.find("\"rejected\":0"), std::string::npos);
 }
 
+// Satellite: the cross-request vsim model cache.  A repeat cosim request
+// (response cache bypassed with no_cache) reuses the first request's
+// elaborated models and compiled artifacts instead of rebuilding them, and
+// the stats op reports the traffic.
+TEST(ServeService, ModelCacheServesRepeatCosimRequests) {
+  ServiceOptions options;
+  options.modelCacheEntries = 64;
+  CosimService service(options);
+  const std::string line =
+      R"({"id":"a","op":"cosim","workload":"gcd","timing":false,)"
+      R"("no_cache":true})";
+  std::string first = service.handleLine(line);
+  EXPECT_NE(first.find("\"status\":\"ok\""), std::string::npos) << first;
+  std::string second = service.handleLine(line);
+  EXPECT_NE(second.find("\"status\":\"ok\""), std::string::npos) << second;
+
+  std::string stats =
+      service.handleLine(R"({"id":"s","op":"stats","timing":false})");
+  const std::string tag = "\"model_cache\":{";
+  std::size_t start = stats.find(tag);
+  ASSERT_NE(start, std::string::npos) << stats;
+  std::size_t end = stats.find('}', start);
+  ASSERT_NE(end, std::string::npos);
+  std::string mc = stats.substr(start, end - start + 1);
+  EXPECT_NE(mc.find("\"capacity\":64"), std::string::npos) << mc;
+  const std::string hitsTag = "\"hits\":";
+  std::size_t h = mc.find(hitsTag);
+  ASSERT_NE(h, std::string::npos) << mc;
+  // The second request's rows were all served from the cache.
+  EXPECT_GE(std::stol(mc.substr(h + hitsTag.size())), 1) << mc;
+  const std::string missTag = "\"misses\":";
+  std::size_t m = mc.find(missTag);
+  ASSERT_NE(m, std::string::npos) << mc;
+  EXPECT_GE(std::stol(mc.substr(m + missTag.size())), 1) << mc;
+}
+
 // Satellite: concurrent mixed requests (cosim + analyze + compare, several
 // workloads) sharing one cache under jobs=4 must answer byte-identically to
 // fresh one-shot services handling the same requests serially.

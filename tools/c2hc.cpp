@@ -20,7 +20,12 @@
 //                      cycle-compiled bytecode VM, falling back to the
 //                      event engine on a guard event), 'compiled-strict'
 //                      (same VM, but any fallback is an error — the
-//                      no-silent-fallback gate), or 'event' (the
+//                      no-silent-fallback gate), 'native' (the levelized
+//                      program lowered to C++ and built with the host
+//                      toolchain; degrades native -> bytecode -> event
+//                      with a recorded reason; .so artifacts are cached
+//                      under $C2H_NATIVE_CACHE), 'native-strict' (same
+//                      tier, any fallback is an error), or 'event' (the
 //                      event-driven reference evaluator).  Any recorded
 //                      fallback reason is printed with the cosim verdict.
 //   --ir               print the optimized IR listing
@@ -212,11 +217,16 @@ bool parseArgs(int argc, char **argv, Options &options) {
         options.vsimEngine = vsim::SimEngine::Compiled;
       } else if (*v == "compiled-strict") {
         options.vsimEngine = vsim::SimEngine::CompiledStrict;
+      } else if (*v == "native") {
+        options.vsimEngine = vsim::SimEngine::Native;
+      } else if (*v == "native-strict") {
+        options.vsimEngine = vsim::SimEngine::NativeStrict;
       } else if (*v == "event") {
         options.vsimEngine = vsim::SimEngine::Event;
       } else {
         std::cerr << "invalid value for --vsim-engine: '" << *v
-                  << "' (expected event, compiled, or compiled-strict)\n";
+                  << "' (expected event, compiled, compiled-strict, "
+                     "native, or native-strict)\n";
         return false;
       }
     } else if (auto v = valueOf("--budget-steps=")) {
@@ -615,7 +625,8 @@ int run(int argc, char **argv) {
     std::cerr << "usage: c2hc <file.uc> [--flow=<id>|all] [--top=<fn>] "
                  "[--args=a,b] [--clock=ns] [--jobs=n] [--verilog=<file>|-] "
                  "[--emit-verilog=<dir>] [--cosim] "
-                 "[--vsim-engine=event|compiled|compiled-strict] "
+                 "[--vsim-engine=event|compiled|compiled-strict|"
+                 "native|native-strict] "
                  "[--ir] [--no-sim] "
                  "[--analyze] [--diag-format=text|json] "
                  "[--budget-steps=n] [--budget-cycles=n] [--budget-alloc=n] "
