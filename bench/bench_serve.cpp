@@ -18,12 +18,23 @@
 // Exit status is the CI regression gate: nonzero when the warm-repeat
 // median fails to be at least kMinWarmSpeedup x faster than the cold
 // median — i.e. when the response cache stops working.
+//
+// A second gate rides along: the crash storm.  With the sandbox on
+// (the daemon default), 10% of a mixed load is a native-strict request
+// whose child genuinely segfaults (sandbox.segv chaos site).  The gate:
+// zero dropped requests, every clean request still a sub-latency-bound
+// cache hit, every injected request a structured `crashed` response.
 #include "serve/service.h"
+#include "support/guard.h"
+#include "support/sandbox.h"
 #include "support/text.h"
+#include "vsim/jit.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -50,7 +61,7 @@ std::string gcdVariant(int k) {
          std::to_string(k) + " - " + std::to_string(k) + "; }\n";
 }
 
-std::string requestFor(const std::string &source, const char *id) {
+std::string escapeSource(const std::string &source) {
   std::string escaped;
   for (char c : source) {
     if (c == '\n')
@@ -60,9 +71,24 @@ std::string requestFor(const std::string &source, const char *id) {
     else
       escaped += c;
   }
+  return escaped;
+}
+
+std::string requestFor(const std::string &source, const char *id) {
   return std::string("{\"id\":\"") + id +
-         "\",\"op\":\"compare\",\"source\":\"" + escaped +
+         "\",\"op\":\"compare\",\"source\":\"" + escapeSource(source) +
          "\",\"args\":[3528,3780],\"timing\":false}";
+}
+
+// The storm's poison pill: a cosim request on the strict native tier, so
+// the injected SIGSEGV surfaces as a `crashed` response instead of
+// self-healing silently (and a unique source per wave, so every wave
+// builds and crashes a fresh artifact rather than hitting quarantine).
+std::string crashRequestFor(const std::string &source) {
+  return "{\"id\":\"storm-crash\",\"op\":\"cosim\",\"source\":\"" +
+         escapeSource(source) +
+         "\",\"args\":[3528,3780],\"timing\":false,\"no_cache\":true,"
+         "\"vsim_engine\":\"native-strict\"}";
 }
 
 double msSince(std::chrono::steady_clock::time_point t0) {
@@ -99,6 +125,102 @@ void printRow(TextTable &table, const char *mix, const Summary &s,
   table.addRow({mix, std::to_string(n), formatDouble(s.p50, 3),
                 formatDouble(s.p95, 3), formatDouble(s.p99, 3),
                 formatDouble(s.reqPerSec, 1)});
+}
+
+// Crash storm: 10 waves on a jobs=4 sandboxed service; each wave is one
+// native-strict request whose sandbox child genuinely segfaults plus nine
+// clean warm requests.  Returns nonzero when containment fails: a dropped
+// request, a clean request that stops being a fast cache hit, or an
+// injected request that is not a structured `crashed` response.
+int runCrashStorm(double warmP50) {
+  if (!vsim::nativeToolchainAvailable() || !sandbox::available() ||
+      sandbox::sanitizersActive()) {
+    std::cout << "\ncrash storm: SKIPPED (needs a host toolchain and the "
+                 "fork sandbox, without sanitizers)\n";
+    return 0;
+  }
+  namespace fs = std::filesystem;
+  const std::string cacheDir =
+      (fs::temp_directory_path() / "c2h-bench-crash-storm").string();
+  std::error_code ec;
+  fs::remove_all(cacheDir, ec);
+  ::setenv("C2H_NATIVE_CACHE", cacheDir.c_str(), 1);
+
+  serve::ServiceOptions options;
+  options.jobs = 4; // sandboxNative is the daemon default (on)
+  serve::CosimService service(options);
+  const std::string warmLine = requestFor(gcdVariant(0), "storm-warm");
+  service.handleLine(warmLine); // prime the response cache
+
+  constexpr int kWaves = 10;
+  constexpr int kCleanPerWave = 9;
+  int submitted = 0, answered = 0, cleanHits = 0, crashed = 0;
+  std::vector<double> cleanLat;
+  std::mutex mutex;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    // Re-armed every wave; only the wave's native child ever reaches the
+    // site, so exactly one request per wave takes the real SIGSEGV.
+    guard::armFault("sandbox.segv");
+    ++submitted;
+    service.submitAsync(crashRequestFor(gcdVariant(1000 + wave)),
+                        [&](std::string r) {
+                          std::lock_guard<std::mutex> lock(mutex);
+                          ++answered;
+                          if (r.find("\"status\":\"crashed\"") !=
+                              std::string::npos)
+                            ++crashed;
+                        });
+    for (int i = 0; i < kCleanPerWave; ++i) {
+      ++submitted;
+      auto t0 = std::chrono::steady_clock::now();
+      service.submitAsync(warmLine, [&, t0](std::string r) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++answered;
+        cleanLat.push_back(msSince(t0));
+        if (r.find("\"status\":\"ok\"") != std::string::npos)
+          ++cleanHits;
+      });
+    }
+    // Wave barrier: the armed fault must land inside its own wave.
+    service.drain();
+  }
+  guard::disarmFaults();
+  ::unsetenv("C2H_NATIVE_CACHE");
+  fs::remove_all(cacheDir, ec);
+
+  Summary clean = summarize(cleanLat);
+  const double latencyBound = std::max(500.0, 25.0 * warmP50);
+  std::cout << "\ncrash storm (" << kWaves << " waves, 10% crash-injected, "
+            << "jobs=4 sandboxed):\n"
+            << "  answered " << answered << "/" << submitted
+            << ", clean ok " << cleanHits << "/" << kWaves * kCleanPerWave
+            << ", crashed " << crashed << "/" << kWaves << "\n"
+            << "  clean p50/p99: " << formatDouble(clean.p50, 3) << "/"
+            << formatDouble(clean.p99, 3) << " ms (p99 bound "
+            << formatDouble(latencyBound, 1) << ")\n";
+  if (answered != submitted) {
+    std::cerr << "REGRESSION: crash storm dropped "
+              << (submitted - answered) << " request(s)\n";
+    return 1;
+  }
+  if (cleanHits != kWaves * kCleanPerWave) {
+    std::cerr << "REGRESSION: clean requests failed during the crash "
+                 "storm\n";
+    return 1;
+  }
+  if (crashed != kWaves) {
+    std::cerr << "REGRESSION: " << (kWaves - crashed)
+              << " injected crash(es) not contained as status=crashed\n";
+    return 1;
+  }
+  if (clean.p99 >= latencyBound) {
+    std::cerr << "REGRESSION: clean p99 " << formatDouble(clean.p99, 3)
+              << " ms exceeded the crash-storm bound "
+              << formatDouble(latencyBound, 1) << " ms\n";
+    return 1;
+  }
+  std::cout << "crash containment gate: PASS\n";
+  return 0;
 }
 
 } // namespace
@@ -198,5 +320,5 @@ int main() {
     return 1;
   }
   std::cout << "serve latency gate: PASS\n";
-  return 0;
+  return runCrashStorm(warm.p50);
 }

@@ -132,20 +132,24 @@ struct CosimVerification {
 // bytecode -> event with a recorded reason), or the event-driven
 // reference evaluator.  `modelCache`, when given, reuses elaborated and
 // compiled artifacts across calls that synthesize identical Verilog (the
-// serve layer's cross-request init-image reuse).
+// serve layer's cross-request init-image reuse).  `sandboxNative` runs
+// native-engine executions in fork-isolated children (crash containment +
+// artifact quarantine); off by default for the in-process fast path.
 CosimVerification
 cosimAgainstGoldenModel(const Workload &workload,
                         const flows::FlowResult &result,
                         vsim::SimEngine engine = vsim::SimEngine::Compiled,
                         guard::ExecBudget *budget = nullptr,
-                        vsim::ModelCache *modelCache = nullptr);
+                        vsim::ModelCache *modelCache = nullptr,
+                        bool sandboxNative = false);
 CosimVerification
 cosimAgainstGoldenModel(const Workload &workload,
                         const flows::FlowResult &result,
                         const ast::Program &goldenProgram,
                         vsim::SimEngine engine = vsim::SimEngine::Compiled,
                         guard::ExecBudget *budget = nullptr,
-                        vsim::ModelCache *modelCache = nullptr);
+                        vsim::ModelCache *modelCache = nullptr,
+                        bool sandboxNative = false);
 
 // One row of a cross-flow comparison.
 struct FlowComparison {

@@ -128,6 +128,12 @@ struct EngineOptions {
   // requests over the same synthesized design skip parse/elaborate/compile
   // and reuse the post-`initial` init image.
   vsim::ModelCache *modelCache = nullptr;
+  // Crash containment for the native tier: run JIT-built .so executions in
+  // fork-isolated sandbox children (real crash/hang -> structured verdict
+  // + artifact quarantine + ladder descent).  Off by default so the
+  // one-shot CLI and benches keep the in-process fast path; the serve
+  // daemon enables it.
+  bool sandboxNative = false;
 };
 
 class CompareEngine {

@@ -175,7 +175,8 @@ CosimVerification cosimAgainstGoldenModel(const Workload &workload,
                                           const flows::FlowResult &result,
                                           vsim::SimEngine engine,
                                           guard::ExecBudget *budget,
-                                          vsim::ModelCache *modelCache) {
+                                          vsim::ModelCache *modelCache,
+                                          bool sandboxNative) {
   TypeContext types;
   DiagnosticEngine diags;
   auto program = frontend(workload.source, types, diags);
@@ -185,7 +186,7 @@ CosimVerification cosimAgainstGoldenModel(const Workload &workload,
     return c;
   }
   return cosimAgainstGoldenModel(workload, result, *program, engine, budget,
-                                 modelCache);
+                                 modelCache, sandboxNative);
 }
 
 CosimVerification cosimAgainstGoldenModel(const Workload &workload,
@@ -193,7 +194,8 @@ CosimVerification cosimAgainstGoldenModel(const Workload &workload,
                                           const ast::Program &goldenProgram,
                                           vsim::SimEngine engine,
                                           guard::ExecBudget *budget,
-                                          vsim::ModelCache *modelCache) {
+                                          vsim::ModelCache *modelCache,
+                                          bool sandboxNative) {
   CosimVerification c;
   if (!result.accepted || !result.ok) {
     c.detail = "flow produced no design";
@@ -244,6 +246,7 @@ CosimVerification cosimAgainstGoldenModel(const Workload &workload,
   vsim::CosimOptions copts;
   copts.engine = engine;
   copts.budget = budget;
+  copts.sandbox = sandboxNative;
   vsim::CosimResult r = cosim.run(args, copts);
   c.cycles = r.cycles;
   c.degradation = r.degradation;

@@ -224,4 +224,18 @@ const char *statusForExitCode(int exitCode) {
   }
 }
 
+const char *comparisonStatus(const std::vector<core::FlowComparison> &rows,
+                             int exitCode) {
+  bool hang = false;
+  for (const auto &r : rows) {
+    if (r.verdict.kind == guard::Kind::Crashed)
+      return "crashed";
+    if (r.verdict.kind == guard::Kind::Hang)
+      hang = true;
+  }
+  if (hang)
+    return "timeout";
+  return statusForExitCode(exitCode);
+}
+
 } // namespace c2h::serve

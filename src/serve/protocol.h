@@ -64,6 +64,15 @@ int comparisonExitCode(const std::vector<core::FlowComparison> &rows);
 // over_budget).
 const char *statusForExitCode(int exitCode);
 
+// Status for a finished comparison, refining statusForExitCode with the
+// sandbox containment outcomes: "crashed" when any row carries a Crashed
+// verdict (a native child died on a real signal under a strict engine),
+// "timeout" when any row carries a Hang verdict (watchdog-killed child),
+// else statusForExitCode(exitCode).  Self-healed rows (the ladder retried
+// successfully) carry no verdict and keep their ordinary status.
+const char *comparisonStatus(const std::vector<core::FlowComparison> &rows,
+                             int exitCode);
+
 } // namespace c2h::serve
 
 #endif // C2H_SERVE_PROTOCOL_H

@@ -31,11 +31,22 @@ void onTerminate(int) { gStopRequested = 1; }
 
 void installSignalHandlers() {
 #ifndef _WIN32
+  // sigaction without SA_RESTART: SIGTERM/SIGINT must interrupt the accept
+  // loop's blocking reads so shutdown drains promptly instead of waiting
+  // for the next request to arrive.
   struct sigaction action{};
   action.sa_handler = onTerminate;
   sigemptyset(&action.sa_mask);
   sigaction(SIGTERM, &action, nullptr);
   sigaction(SIGINT, &action, nullptr);
+  // Ignore SIGPIPE process-wide: a client that disconnects mid-response
+  // must turn the next write into an EPIPE return (handled per-stream by
+  // the sink), never a daemon-killing signal.  MSG_NOSIGNAL covers socket
+  // sends, but stdout/pipe writes have no such flag.
+  struct sigaction ignorePipe{};
+  ignorePipe.sa_handler = SIG_IGN;
+  sigemptyset(&ignorePipe.sa_mask);
+  sigaction(SIGPIPE, &ignorePipe, nullptr);
 #else
   std::signal(SIGTERM, onTerminate);
   std::signal(SIGINT, onTerminate);

@@ -1,6 +1,7 @@
 #include "vsim/cosim.h"
 
 #include "rtl/verilog.h"
+#include "support/sandbox.h"
 #include "vsim/compile.h"
 #include "vsim/cvm.h"
 #include "vsim/jit.h"
@@ -89,6 +90,113 @@ CosimResult runHandshake(Sim &sim, const std::vector<BitVector> &args,
   result.cycles = cycles;
   result.returnValue = sim.peek("retval"); // 1-bit zero when no retval net
   return result;
+}
+
+// ---- sandboxed-run wire format -------------------------------------------
+//
+// The fork child serializes its CosimResult (plus budget deltas and the
+// final memory words, which readGlobal needs) into the sandbox pipe.  A
+// trivial length-prefixed binary layout: the two ends are the same binary,
+// so no portability concerns apply.
+
+void putU64(std::string &s, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    s.push_back(static_cast<char>((v >> (i * 8)) & 0xff));
+}
+
+bool getU64(const std::string &s, std::size_t &off, std::uint64_t &v) {
+  if (off + 8 > s.size())
+    return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(s[off + i]))
+         << (i * 8);
+  off += 8;
+  return true;
+}
+
+void putStr(std::string &s, const std::string &v) {
+  putU64(s, v.size());
+  s += v;
+}
+
+bool getStr(const std::string &s, std::size_t &off, std::string &v) {
+  std::uint64_t n = 0;
+  if (!getU64(s, off, n) || off + n > s.size())
+    return false;
+  v.assign(s, off, n);
+  off += n;
+  return true;
+}
+
+std::string encodeSandboxRun(const CosimResult &r,
+                             std::uint64_t stepsDelta,
+                             std::uint64_t cyclesDelta,
+                             const std::vector<std::vector<std::uint64_t>> &mems) {
+  std::string s;
+  s.push_back(r.ok ? 1 : 0);
+  putStr(s, r.error);
+  putU64(s, r.returnValue.width());
+  putU64(s, r.returnValue.word());
+  putU64(s, r.cycles);
+  s.push_back(static_cast<char>(r.verdict.kind));
+  putStr(s, r.verdict.stage);
+  putStr(s, r.verdict.site);
+  putU64(s, r.verdict.steps);
+  putU64(s, r.verdict.cycles);
+  putU64(s, r.verdict.allocBytes);
+  putU64(s, r.verdict.wallMs);
+  putU64(s, stepsDelta);
+  putU64(s, cyclesDelta);
+  putU64(s, mems.size());
+  for (const auto &m : mems) {
+    putU64(s, m.size());
+    for (std::uint64_t w : m)
+      putU64(s, w);
+  }
+  return s;
+}
+
+bool decodeSandboxRun(const std::string &s, CosimResult &r,
+                      std::uint64_t &stepsDelta, std::uint64_t &cyclesDelta,
+                      std::vector<std::vector<std::uint64_t>> &mems) {
+  std::size_t off = 0;
+  if (s.empty())
+    return false;
+  r.ok = s[off++] != 0;
+  if (!getStr(s, off, r.error))
+    return false;
+  std::uint64_t retWidth = 0, retWord = 0;
+  if (!getU64(s, off, retWidth) || !getU64(s, off, retWord))
+    return false;
+  r.returnValue = BitVector(static_cast<unsigned>(retWidth), retWord);
+  if (!getU64(s, off, r.cycles))
+    return false;
+  if (off >= s.size())
+    return false;
+  r.verdict.kind = static_cast<guard::Kind>(s[off++]);
+  if (!getStr(s, off, r.verdict.stage) || !getStr(s, off, r.verdict.site) ||
+      !getU64(s, off, r.verdict.steps) || !getU64(s, off, r.verdict.cycles) ||
+      !getU64(s, off, r.verdict.allocBytes) ||
+      !getU64(s, off, r.verdict.wallMs))
+    return false;
+  if (!getU64(s, off, stepsDelta) || !getU64(s, off, cyclesDelta))
+    return false;
+  std::uint64_t memCount = 0;
+  if (!getU64(s, off, memCount))
+    return false;
+  mems.clear();
+  mems.reserve(memCount);
+  for (std::uint64_t m = 0; m < memCount; ++m) {
+    std::uint64_t n = 0;
+    if (!getU64(s, off, n) || off + n * 8 > s.size())
+      return false;
+    std::vector<std::uint64_t> words(n);
+    for (std::uint64_t j = 0; j < n; ++j)
+      getU64(s, off, words[j]);
+    mems.push_back(std::move(words));
+  }
+  return true;
 }
 
 } // namespace
@@ -312,7 +420,7 @@ CosimResult Cosimulation::run(const std::vector<BitVector> &args,
       triedNative_ = true;
       std::string why;
       try {
-        native_ = compileNative(*compiled_, why);
+        native_ = compileNative(*compiled_, why, options.budget);
       } catch (const guard::InjectedFault &e) {
         native_ = nullptr;
         why = e.verdict.str();
@@ -389,7 +497,105 @@ CosimResult Cosimulation::runNative(const std::vector<BitVector> &args,
     return result;
   }
   seedInto(*nsim_);
-  return runHandshake(*nsim_, args, options.maxCycles, options.budget);
+  if (!options.sandbox || !sandbox::available())
+    return runHandshake(*nsim_, args, options.maxCycles, options.budget);
+
+  // Sandboxed native execution: the JIT-built .so runs in a fork child so
+  // a real crash or hang in generated code becomes a structured verdict
+  // and an artifact quarantine, never a process death.  The ExecBudget is
+  // forked along with everything else — its steady_clock epoch survives,
+  // so the child's cooperative wall-deadline checks stay exact — and the
+  // child reports its step/cycle deltas for the parent to book into the
+  // live meter.
+  const std::uint64_t steps0 =
+      options.budget ? options.budget->stepsUsed() : 0;
+  const std::uint64_t cycles0 =
+      options.budget ? options.budget->cyclesUsed() : 0;
+  sandbox::Options sopts;
+  sopts.stage = "vsim.native.run";
+  sopts.timeoutMs = sandbox::watchdogMs(30000, options.budget);
+  sandbox::Outcome oc = sandbox::runInChild(
+      [&]() {
+        CosimResult r =
+            runHandshake(*nsim_, args, options.maxCycles, options.budget);
+        std::uint64_t stepsDelta =
+            options.budget ? options.budget->stepsUsed() - steps0 : 0;
+        std::uint64_t cyclesDelta =
+            options.budget ? options.budget->cyclesUsed() - cycles0 : 0;
+        return encodeSandboxRun(r, stepsDelta, cyclesDelta,
+                                nsim_->exportMemories());
+      },
+      sopts);
+
+  CosimResult result;
+  if (oc.status == sandbox::Status::Crashed ||
+      oc.status == sandbox::Status::Timeout) {
+    // Containment path: classify, quarantine the implicated artifact, and
+    // drop every live reference to it so neither this Cosimulation nor a
+    // warm ModelCache entry reloads the bad .so.  The ladder in run()
+    // then self-heals on the compiled engine (or surfaces the verdict
+    // under native-strict).
+    const std::string key = native_ ? native_->key() : std::string();
+    std::string site = oc.detail;
+    if (!key.empty())
+      site += "; artifact " + key;
+    result.verdict = oc.verdict("vsim.native.run", site);
+    if (options.budget) {
+      result.verdict.steps = options.budget->stepsUsed();
+      result.verdict.cycles = options.budget->cyclesUsed();
+      result.verdict.wallMs = options.budget->elapsedMs();
+    }
+    result.error = "vsim: " + result.verdict.str();
+    quarantineNativeArtifact(key);
+    nativeNote_ = "native artifact " + key + " quarantined (" +
+                  (oc.status == sandbox::Status::Crashed
+                       ? "crashed on " + oc.detail
+                       : oc.detail) +
+                  ")";
+    nsim_.reset();
+    native_ = nullptr;
+    if (cacheEntry_) {
+      std::lock_guard<std::mutex> lock(cacheEntry_->m);
+      ModelCache::Entry &e = *cacheEntry_;
+      if (e.native && e.native->key() == key) {
+        e.native = nullptr;
+        e.nativeNote = nativeNote_;
+      }
+    }
+    return result;
+  }
+  if (!oc.ok()) {
+    // Internal child failure (fork error, child-side exception): surface
+    // as a plain error with no guard verdict, matching what an in-process
+    // internal error would produce — no ladder descent.
+    result.error = "vsim: native sandbox: " + oc.detail;
+    return result;
+  }
+  std::uint64_t stepsDelta = 0, cyclesDelta = 0;
+  std::vector<std::vector<std::uint64_t>> mems;
+  if (!decodeSandboxRun(oc.payload, result, stepsDelta, cyclesDelta, mems)) {
+    result = CosimResult{};
+    result.error = "vsim: native sandbox: malformed child result";
+    return result;
+  }
+  nsim_->importMemories(mems); // readGlobal sees what the child wrote
+  if (options.budget && (stepsDelta != 0 || cyclesDelta != 0)) {
+    try {
+      if (stepsDelta != 0)
+        options.budget->chargeSteps(stepsDelta, "vsim.native");
+      if (cyclesDelta != 0)
+        options.budget->chargeCycles(cyclesDelta, "vsim.native");
+    } catch (const guard::BudgetExceeded &e) {
+      // The child already enforced the budget; tripping here means the
+      // meter moved concurrently (a sibling request on the same meter).
+      if (result.ok) {
+        result = CosimResult{};
+        result.verdict = e.verdict;
+        result.error = "vsim: " + e.verdict.str();
+      }
+    }
+  }
+  return result;
 }
 
 CosimResult Cosimulation::runCompiled(const std::vector<BitVector> &args,
@@ -512,7 +718,7 @@ CosimResult cosimulateSource(const std::string &verilogText,
       std::shared_ptr<const NativeModule> mod;
       guard::Verdict nativeVerdict;
       try {
-        mod = compileNative(*compiled, nativeWhy);
+        mod = compileNative(*compiled, nativeWhy, options.budget);
       } catch (const guard::InjectedFault &e) {
         nativeWhy = e.verdict.str();
         nativeVerdict = e.verdict;

@@ -46,6 +46,13 @@ struct CosimOptions {
   // the *same* budget to the event-engine retry, so a compiled-engine trip
   // retries only with whatever headroom remains.
   guard::ExecBudget *budget = nullptr;
+  // Run native-engine executions in a fork-isolated sandbox child with a
+  // watchdog: a real crash (SIGSEGV and friends) or hang in the JIT-built
+  // .so becomes a structured Crashed/Hang verdict, quarantines the
+  // artifact, and descends the ladder instead of killing the process.
+  // Off by default — the one-shot CLI and benches keep the historical
+  // in-process fast path; the serve daemon turns it on.
+  bool sandbox = false;
 };
 
 struct CosimResult {

@@ -1,9 +1,11 @@
 #include "vsim/jit.h"
 
+#include "support/sandbox.h"
 #include "vsim/emitcpp.h"
 #include "vsim/readmem.h"
 
 #include <dlfcn.h>
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -151,7 +153,35 @@ std::shared_ptr<const NativeModule> loadModule(const std::string &path,
     return fail("ABI mismatch");
   if (key != keyFn())
     return fail("design-key mismatch");
-  return std::make_shared<NativeModule>(h, sweep, domain, thread, waitcond);
+  return std::make_shared<NativeModule>(h, sweep, domain, thread, waitcond,
+                                        key);
+}
+
+// ---- crash quarantine -----------------------------------------------------
+//
+// A flat newline-separated key list next to the artifacts.  Appends use
+// O_APPEND so concurrent writers (several serve daemons sharing one cache)
+// interleave whole lines; readers tolerate duplicates.
+
+std::string quarantinePath(std::string &why) {
+  std::string dir = cacheDir(why);
+  if (dir.empty())
+    return {};
+  return dir + "/quarantine";
+}
+
+std::mutex &quarantineMutex() {
+  static std::mutex m;
+  return m;
+}
+
+bool quarantineContains(const std::string &path, const std::string &key) {
+  std::ifstream f(path);
+  std::string line;
+  while (std::getline(f, line))
+    if (line == key)
+      return true;
+  return false;
 }
 
 std::string compileErrorSnippet(const std::string &errPath) {
@@ -191,8 +221,60 @@ void clearNativeCache() {
   mc.modules.clear();
 }
 
-std::shared_ptr<const NativeModule> compileNative(const CompiledModel &cm,
-                                                  std::string &whyNot) {
+bool nativeArtifactQuarantined(const std::string &key) {
+  std::string why;
+  std::string path = quarantinePath(why);
+  if (path.empty())
+    return false;
+  std::lock_guard<std::mutex> lock(quarantineMutex());
+  return quarantineContains(path, key);
+}
+
+bool quarantineNativeArtifact(const std::string &key) {
+  if (key.empty())
+    return false;
+  std::string why;
+  std::string path = quarantinePath(why);
+  if (path.empty())
+    return false;
+  {
+    std::lock_guard<std::mutex> lock(quarantineMutex());
+    if (!quarantineContains(path, key)) {
+      int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd < 0)
+        return false;
+      std::string line = key + "\n";
+      ssize_t n = ::write(fd, line.data(), line.size());
+      ::close(fd);
+      if (n != static_cast<ssize_t>(line.size()))
+        return false;
+    }
+  }
+  // Drop the in-process module so a warm cache can't sidestep the list.
+  ModuleCache &mc = moduleCache();
+  std::lock_guard<std::mutex> lock(mc.m);
+  mc.modules.erase(key);
+  return true;
+}
+
+std::uint64_t quarantinedArtifactCount() {
+  std::string why;
+  std::string path = quarantinePath(why);
+  if (path.empty())
+    return 0;
+  std::lock_guard<std::mutex> lock(quarantineMutex());
+  std::ifstream f(path);
+  std::string line;
+  std::uint64_t n = 0;
+  while (std::getline(f, line))
+    if (!line.empty())
+      ++n;
+  return n;
+}
+
+std::shared_ptr<const NativeModule>
+compileNative(const CompiledModel &cm, std::string &whyNot,
+              const guard::ExecBudget *budget) {
   siteJitEmit.hit();
   std::string src = emitNativeSource(cm, whyNot);
   if (src.empty())
@@ -203,6 +285,14 @@ std::shared_ptr<const NativeModule> compileNative(const CompiledModel &cm,
   const std::string key = keyBuf;
   src += "extern \"C\" const char *c2h_native_key() { return \"" + key +
          "\"; }\n";
+
+  // Checked before either cache: a crash-implicated artifact must never be
+  // reloaded, whether it is still resident in this process or on disk.
+  if (nativeArtifactQuarantined(key)) {
+    whyNot = "native artifact " + key +
+             " is quarantined after a prior crash";
+    return nullptr;
+  }
 
   ModuleCache &mc = moduleCache();
   {
@@ -252,12 +342,25 @@ std::shared_ptr<const NativeModule> compileNative(const CompiledModel &cm,
         return nullptr;
       }
     }
-    const std::string cmd = "'" + cxx + "' -std=c++17 -O2 -fPIC -shared -o '" +
-                            tmpSo + "' '" + cppPath + "' 2>'" + errPath + "'";
-    int rc = std::system(cmd.c_str());
-    if (rc != 0) {
-      whyNot = "native compile failed (" + cxx + " exited " +
-               std::to_string(rc) + "): " + compileErrorSnippet(errPath);
+    // The toolchain runs supervised: fork+exec (no shell), stderr captured,
+    // and a watchdog so a hung compiler becomes a structured reason instead
+    // of wedging the calling thread forever.
+    sandbox::Options sopts;
+    sopts.stage = "vsim.jit.cc";
+    sopts.timeoutMs = sandbox::watchdogMs(120000, budget);
+    sopts.cpuSeconds = sopts.timeoutMs / 1000 + 2;
+    sandbox::Outcome cc = sandbox::runCommand(
+        {cxx, "-std=c++17", "-O2", "-fPIC", "-shared", "-o", tmpSo, cppPath},
+        errPath, sopts);
+    if (!cc.ok()) {
+      if (cc.status == sandbox::Status::Timeout)
+        whyNot = "native compile hung (" + cxx + " " + cc.detail + ")";
+      else if (cc.status == sandbox::Status::Crashed)
+        whyNot = "native compiler crashed (" + cxx + " died on " +
+                 cc.detail + ")";
+      else
+        whyNot = "native compile failed (" + cxx + ": " + cc.detail +
+                 "): " + compileErrorSnippet(errPath);
       std::remove(cppPath.c_str());
       std::remove(tmpSo.c_str());
       std::remove(errPath.c_str());
@@ -858,6 +961,18 @@ void NativeSimulation::pokeMemory(const std::string &name,
   if (cells[index] != v) {
     cells[index] = v;
     markMemFanout(id);
+  }
+}
+
+void NativeSimulation::importMemories(
+    const std::vector<std::vector<std::uint64_t>> &mems) {
+  for (std::size_t m = 0; m < memStore_.size() && m < mems.size(); ++m) {
+    if (memStore_[m].size() != mems[m].size())
+      continue;
+    if (memStore_[m] != mems[m]) {
+      memStore_[m] = mems[m];
+      markMemFanout(static_cast<int>(m));
+    }
   }
 }
 

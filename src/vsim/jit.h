@@ -80,8 +80,10 @@ public:
   using ThreadFn = void (*)(void *, unsigned, unsigned long long);
   using WaitCondFn = unsigned long long (*)(void *, unsigned);
 
-  NativeModule(void *handle, SweepFn s, DomainFn d, ThreadFn t, WaitCondFn w)
-      : sweep(s), domain(d), thread(t), waitcond(w), handle_(handle) {}
+  NativeModule(void *handle, SweepFn s, DomainFn d, ThreadFn t, WaitCondFn w,
+               std::string key)
+      : sweep(s), domain(d), thread(t), waitcond(w), handle_(handle),
+        key_(std::move(key)) {}
   ~NativeModule();
   NativeModule(const NativeModule &) = delete;
   NativeModule &operator=(const NativeModule &) = delete;
@@ -91,8 +93,14 @@ public:
   ThreadFn thread;
   WaitCondFn waitcond;
 
+  // Content hash of the generated source — the artifact cache key, and the
+  // identity written to the quarantine list when a run of this module
+  // crashes its sandbox child.
+  const std::string &key() const { return key_; }
+
 private:
   void *handle_;
+  std::string key_;
 };
 
 // True when a host C++ compiler is reachable (or an artifact could still
@@ -110,10 +118,23 @@ NativeCacheStats nativeCacheStats();
 // tests call this so vsim.jit.* fault sites are reachable again.
 void clearNativeCache();
 
+// Crash quarantine: when a sandboxed run of a native module dies on a real
+// signal, its content-hash key is appended to $C2H_NATIVE_CACHE/quarantine
+// (one key per line) and its in-process module entry is dropped, so neither
+// this process nor any future one reloads the implicated .so.
+// quarantineNativeArtifact is idempotent; returns false only when the
+// quarantine file cannot be written.
+bool quarantineNativeArtifact(const std::string &key);
+bool nativeArtifactQuarantined(const std::string &key);
+std::uint64_t quarantinedArtifactCount();
+
 // Lower, build, and load `cm`.  Null + reason in `whyNot` on any failure
-// (subset, toolchain, compile, load); throws only injected faults.
+// (subset, toolchain, compile, quarantine, load); throws only injected
+// faults.  When `budget` is given, the host-compiler invocation runs under
+// a sandbox watchdog clamped to the remaining wall budget.
 std::shared_ptr<const NativeModule>
-compileNative(const CompiledModel &cm, std::string &whyNot);
+compileNative(const CompiledModel &cm, std::string &whyNot,
+              const guard::ExecBudget *budget = nullptr);
 
 // Drives a NativeModule with the exact scheduler semantics of
 // CompiledSimulation (same surface, same observable behavior) — see
@@ -138,6 +159,14 @@ public:
   std::vector<BitVector> memoryContents(const std::string &name) const;
   void pokeMemory(const std::string &name, std::size_t index,
                   const BitVector &value);
+
+  // Raw memory snapshot/restore for the sandboxed run protocol: the child
+  // exports its post-run memory words and the parent imports them so
+  // readGlobal() observes what the isolated run wrote.
+  std::vector<std::vector<std::uint64_t>> exportMemories() const {
+    return memStore_;
+  }
+  void importMemories(const std::vector<std::vector<std::uint64_t>> &mems);
 
   void settle();
   void tick(const std::string &clk = "clk");

@@ -365,6 +365,101 @@ void testSocketModeServesAndCleansUp(const std::string &c2hc) {
   pass(name);
 }
 
+int connectWithRetry(const std::string &path) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) == 0)
+      return fd;
+    close(fd);
+    usleep(50000);
+  }
+  return -1;
+}
+
+bool readSocketLine(int fd, std::string &line, int timeoutMs = 120000) {
+  line.clear();
+  char ch;
+  while (true) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    if (poll(&pfd, 1, timeoutMs) <= 0)
+      return false;
+    ssize_t n = read(fd, &ch, 1);
+    if (n <= 0)
+      return false;
+    if (ch == '\n')
+      return true;
+    line.push_back(ch);
+  }
+}
+
+// A client that submits work and then vanishes without reading: the
+// daemon's response write hits a closed peer (EPIPE).  With SIGPIPE
+// ignored process-wide that is a per-stream error, not a daemon death —
+// sibling connections must still get byte-identical answers, and the
+// daemon must still drain to a clean exit.
+void testPeerDisconnectDoesNotDisturbSiblings(const std::string &c2hc) {
+  const std::string name = "peer_disconnect_does_not_disturb_siblings";
+  const std::string path = "serve_cli_gone.sock";
+  unlink(path.c_str());
+  Daemon d = spawn(c2hc, {"--serve=" + path, "--jobs=2"});
+  const std::string request =
+      R"({"id":"g","op":"compare","workload":"gcd","timing":false,)"
+      R"("no_cache":true})"
+      "\n";
+  auto abort = [&](const std::string &why) {
+    kill(d.pid, SIGKILL);
+    d.wait();
+    unlink(path.c_str());
+    return fail(name, why);
+  };
+  // Baseline answer from a well-behaved connection.
+  int base = connectWithRetry(path);
+  if (base < 0)
+    return abort("could not connect baseline");
+  std::string baseline;
+  if (write(base, request.data(), request.size()) !=
+          static_cast<ssize_t>(request.size()) ||
+      !readSocketLine(base, baseline)) {
+    close(base);
+    return abort("baseline request failed");
+  }
+  close(base);
+  // The vanishing client: submit, then slam the connection shut before the
+  // response can be written.
+  int gone = connectWithRetry(path);
+  if (gone < 0)
+    return abort("could not connect vanishing client");
+  if (write(gone, request.data(), request.size()) !=
+      static_cast<ssize_t>(request.size())) {
+    close(gone);
+    return abort("vanishing client write failed");
+  }
+  close(gone);
+  // A sibling submitted while the daemon is discovering the dead peer.
+  int sibling = connectWithRetry(path);
+  if (sibling < 0)
+    return abort("could not connect sibling");
+  std::string answer;
+  if (write(sibling, request.data(), request.size()) !=
+          static_cast<ssize_t>(request.size()) ||
+      !readSocketLine(sibling, answer)) {
+    close(sibling);
+    return abort("sibling request failed — daemon disturbed");
+  }
+  close(sibling);
+  if (stripCache(answer) != stripCache(baseline))
+    return fail(name, "sibling response drifted after peer disconnect");
+  if (kill(d.pid, SIGTERM) != 0)
+    return abort("kill failed");
+  int exitCode = d.wait();
+  if (exitCode != 0)
+    return fail(name, "exit " + std::to_string(exitCode) + " after SIGTERM");
+  pass(name);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -381,6 +476,7 @@ int main(int argc, char **argv) {
   testOverBudgetRequestIsContained(c2hc);
   testSigtermDrainsAndExitsZero(c2hc);
   testSocketModeServesAndCleansUp(c2hc);
+  testPeerDisconnectDoesNotDisturbSiblings(c2hc);
   if (failures) {
     std::cerr << failures << " serve CLI scenario(s) failed\n";
     return 1;

@@ -28,6 +28,14 @@
 //                      tier, any fallback is an error), or 'event' (the
 //                      event-driven reference evaluator).  Any recorded
 //                      fallback reason is printed with the cosim verdict.
+//   --sandbox          run native-tier executions and toolchain invocations
+//                      in fork-isolated sandbox children with watchdog
+//                      timeouts: a real SIGSEGV or hang becomes a structured
+//                      CRASHED/HANG verdict (and the .so is quarantined
+//                      under $C2H_NATIVE_CACHE/quarantine), never a process
+//                      death.  Default off for one-shot runs; --serve
+//                      defaults it on
+//   --no-sandbox       force the in-process fast path (also under --serve)
 //   --ir               print the optimized IR listing
 //   --no-sim           synthesize only, skip simulation/verification
 //   --analyze          run the synthesizability analyzer only (no synthesis)
@@ -131,6 +139,9 @@ struct Options {
   guard::BudgetSpec budget;
   std::string injectSite; // empty = no fault armed
   std::uint64_t injectNth = 1;
+  // Sandbox tri-state: -1 = default (off one-shot, on under --serve),
+  // 0 = forced off (--no-sandbox), 1 = forced on (--sandbox).
+  int sandboxMode = -1;
   bool serve = false;
   std::string servePath;             // empty = stdin/stdout line mode
   std::uint64_t serveQueue = 64;     // 0 = unbounded
@@ -280,6 +291,10 @@ bool parseArgs(int argc, char **argv, Options &options) {
       options.listFaultSites = true;
     } else if (arg == "--cosim") {
       options.cosim = true;
+    } else if (arg == "--sandbox") {
+      options.sandboxMode = 1;
+    } else if (arg == "--no-sandbox") {
+      options.sandboxMode = 0;
     } else if (arg == "--ir") {
       options.printIr = true;
     } else if (arg == "--no-sim") {
@@ -455,7 +470,8 @@ int runOne(const flows::FlowSpec &spec, const core::Workload &workload,
 
   if (options.cosim) {
     core::CosimVerification cv = core::cosimAgainstGoldenModel(
-        workload, result, options.vsimEngine, &meter);
+        workload, result, options.vsimEngine, &meter, nullptr,
+        options.sandboxMode == 1);
     if (!cv.degradation.empty())
       std::cout << "   cosim   : degraded (" << cv.degradation << ")\n";
     if (!cv.fallback.empty())
@@ -525,6 +541,7 @@ int runAll(const core::Workload &workload, const Options &options) {
   engineOptions.jobs = options.jobs;
   engineOptions.cosim = options.cosim;
   engineOptions.vsimEngine = options.vsimEngine;
+  engineOptions.sandboxNative = options.sandboxMode == 1;
   core::CompareEngine engine(engineOptions);
   flows::FlowTuning tuning;
   tuning.clockNs = options.clockNs;
@@ -627,7 +644,7 @@ int run(int argc, char **argv) {
                  "[--emit-verilog=<dir>] [--cosim] "
                  "[--vsim-engine=event|compiled|compiled-strict|"
                  "native|native-strict] "
-                 "[--ir] [--no-sim] "
+                 "[--sandbox|--no-sandbox] [--ir] [--no-sim] "
                  "[--analyze] [--diag-format=text|json] "
                  "[--budget-steps=n] [--budget-cycles=n] [--budget-alloc=n] "
                  "[--budget-ms=n] [--inject-fault=site[:nth]]\n"
@@ -674,6 +691,7 @@ int run(int argc, char **argv) {
     serverOptions.service.responseCacheBytes = options.serveCacheMb << 20;
     serverOptions.service.defaultBudget = options.budget;
     serverOptions.service.vsimEngine = options.vsimEngine;
+    serverOptions.service.sandboxNative = options.sandboxMode != 0;
     return serve::runServer(serverOptions);
   }
 
